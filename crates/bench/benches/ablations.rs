@@ -1,0 +1,179 @@
+//! Ablation benchmarks for the design choices DESIGN.md §5 calls out.
+//!
+//! 1. **Grid-coordinate integration vs physical-space point location** —
+//!    the paper's central tracer optimization (§2.1): integrating in grid
+//!    coordinates replaces a per-step curvilinear point search with a
+//!    direct trilinear lookup. The "physical" variant here does what the
+//!    paper says is unacceptable: locate the particle in the grid at
+//!    every step.
+//! 2. **AoS vs SoA field layout** for a full streamline (not just one
+//!    sample).
+//! 3. **Time interpolation on/off** for pathlines (accuracy/cost knob the
+//!    paper's one-field-per-timestep scheme avoids).
+
+use bench_support::{small_spec, tapered_field};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tracer::pathline::{pathline, PathlineConfig};
+use tracer::{streamline, Domain, Integrator, TraceConfig};
+use vecmath::Vec3;
+
+/// The §2.1 anti-pattern: trace a streamline keeping the particle in
+/// *physical* space, re-locating it in the curvilinear grid every step.
+fn streamline_physical_space(
+    grid: &flowfield::CurvilinearGrid,
+    field: &flowfield::VectorField,
+    domain: &Domain,
+    seed_grid: Vec3,
+    cfg: &TraceConfig,
+) -> Vec<Vec3> {
+    use flowfield::FieldSample;
+    let mut path = Vec::with_capacity(cfg.max_points);
+    let Some(mut p_phys) = grid.to_physical(seed_grid) else {
+        return path;
+    };
+    path.push(p_phys);
+    for _ in 0..cfg.max_points {
+        // The expensive search the windtunnel avoids:
+        let Some(gc) = grid.locate(p_phys) else { break };
+        let Some(gc) = domain.canonicalize(gc) else { break };
+        let Some(v_grid) = field.sample(gc) else { break };
+        // Step in grid space, convert back to physical for the next
+        // search (velocity is stored in grid coordinates).
+        let Some(next_gc) = domain.canonicalize(gc + v_grid * cfg.dt) else {
+            break;
+        };
+        let Some(next_phys) = grid.to_physical(next_gc) else { break };
+        p_phys = next_phys;
+        path.push(p_phys);
+    }
+    path
+}
+
+fn ablate_gridcoords(c: &mut Criterion) {
+    let spec = small_spec();
+    let grid = spec.build().unwrap();
+    let (field, domain) = tapered_field(spec, 3.0);
+    let seed = Vec3::new(
+        (spec.dims.ni - 1) as f32 * 0.5,
+        (spec.dims.nj - 1) as f32 * 0.4,
+        (spec.dims.nk - 1) as f32 * 0.5,
+    );
+    let cfg = TraceConfig {
+        dt: 0.3,
+        max_points: 50,
+        integrator: Integrator::Euler, // keep both variants comparable
+        ..TraceConfig::default()
+    };
+    let mut g = c.benchmark_group("ablate_gridcoords_vs_search");
+    g.sample_size(20);
+    g.bench_function("grid_coordinates (paper)", |b| {
+        b.iter(|| black_box(streamline(&field, &domain, black_box(seed), &cfg)))
+    });
+    g.bench_function("physical_space_search (naive)", |b| {
+        b.iter(|| {
+            black_box(streamline_physical_space(
+                &grid,
+                &field,
+                &domain,
+                black_box(seed),
+                &cfg,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn ablate_layout(c: &mut Criterion) {
+    let spec = small_spec();
+    let (field, domain) = tapered_field(spec, 3.0);
+    let soa = field.to_soa();
+    let seed = Vec3::new(
+        (spec.dims.ni - 1) as f32 * 0.5,
+        (spec.dims.nj - 1) as f32 * 0.4,
+        (spec.dims.nk - 1) as f32 * 0.5,
+    );
+    let cfg = TraceConfig {
+        dt: 0.3,
+        max_points: 200,
+        ..TraceConfig::default()
+    };
+    let mut g = c.benchmark_group("ablate_field_layout");
+    g.bench_function("aos_streamline", |b| {
+        b.iter(|| black_box(streamline(&field, &domain, black_box(seed), &cfg)))
+    });
+    g.bench_function("soa_streamline", |b| {
+        b.iter(|| black_box(streamline(&soa, &domain, black_box(seed), &cfg)))
+    });
+    g.finish();
+}
+
+fn ablate_time_interp(c: &mut Criterion) {
+    let spec = small_spec();
+    let fields: Vec<flowfield::VectorField> = (0..8)
+        .map(|t| tapered_field(spec, t as f32 * 0.5).0)
+        .collect();
+    let domain = Domain::o_grid(spec.dims);
+    let seed = Vec3::new(
+        (spec.dims.ni - 1) as f32 * 0.5,
+        (spec.dims.nj - 1) as f32 * 0.4,
+        (spec.dims.nk - 1) as f32 * 0.5,
+    );
+    let mut g = c.benchmark_group("ablate_pathline_time_interp");
+    for (name, interp) in [("per_timestep_field (paper)", false), ("time_blended", true)] {
+        let cfg = PathlineConfig {
+            time_interpolate: interp,
+            substeps_per_timestep: 4,
+            dt_per_timestep: 0.5,
+            ..PathlineConfig::default()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(pathline(&fields, &domain, black_box(seed), 0, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+/// §1.2's tool-selection argument, measured: "interactive streamlines …
+/// can be used, but interactive isosurfaces … can not." Compare the cost
+/// of the paper's whole 100×200 streamline frame against one isosurface
+/// of the velocity-magnitude field on the same grid. Streamline work
+/// scales with path points, isosurface work with grid cells.
+fn ablate_isosurface_vs_streamlines(c: &mut Criterion) {
+    use bench_support::paper_benchmark_seeds;
+    use tracer::isosurface::isosurface;
+    use tracer::trace_batch_scalar;
+
+    let spec = small_spec();
+    let (field, domain) = tapered_field(spec, 3.0);
+    let mag = field.magnitude_field();
+    let iso = {
+        let (lo, hi) = mag.range().unwrap();
+        lo + 0.6 * (hi - lo)
+    };
+    let seeds = paper_benchmark_seeds(spec.dims, 100);
+    let cfg = TraceConfig {
+        dt: 0.04,
+        max_points: 200,
+        ..TraceConfig::default()
+    };
+
+    let mut g = c.benchmark_group("ablate_isosurface_vs_streamlines");
+    g.sample_size(20);
+    g.bench_function("streamline_frame_100x200 (paper's tool)", |b| {
+        b.iter(|| black_box(trace_batch_scalar(&field, &domain, &seeds, &cfg)))
+    });
+    g.bench_function("isosurface_frame (the excluded tool)", |b| {
+        b.iter(|| black_box(isosurface(&mag, iso)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_gridcoords,
+    ablate_layout,
+    ablate_time_interp,
+    ablate_isosurface_vs_streamlines
+);
+criterion_main!(benches);

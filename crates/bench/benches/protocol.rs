@@ -1,0 +1,65 @@
+//! Protocol benchmarks: geometry-frame encode/decode at Table 1's
+//! particle counts, and full dlib round trips over loopback.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vecmath::Vec3;
+use windtunnel::proto::{GeometryFrame, PathKind, PathMsg};
+
+fn frame_with(particles: usize) -> GeometryFrame {
+    GeometryFrame {
+        timestep: 3,
+        time: 0.15,
+        revision: 42,
+        rakes: vec![],
+        paths: vec![PathMsg {
+            rake_id: 1,
+            kind: PathKind::Streamline,
+            points: (0..particles)
+                .map(|i| Vec3::new(i as f32, 2.0, 3.0))
+                .collect(),
+        }],
+        users: vec![],
+    }
+}
+
+fn bench_frame_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("geometry_frame_codec");
+    for particles in [10_000usize, 50_000, 100_000] {
+        let frame = frame_with(particles);
+        let encoded = frame.encode();
+        g.throughput(Throughput::Bytes(encoded.len() as u64));
+        g.bench_with_input(BenchmarkId::new("encode", particles), &frame, |b, f| {
+            b.iter(|| black_box(f.encode()))
+        });
+        g.bench_with_input(BenchmarkId::new("decode", particles), &encoded, |b, e| {
+            b.iter(|| black_box(GeometryFrame::decode(e.clone()).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dlib_roundtrip(c: &mut Criterion) {
+    use dlib::server::DlibServer;
+    use dlib::DlibClient;
+
+    let mut server = DlibServer::new(());
+    server.register(1, |_, _, args| Ok(bytes::Bytes::copy_from_slice(args)));
+    let handle = server.serve("127.0.0.1:0").unwrap();
+    let mut client = DlibClient::connect(handle.addr()).unwrap();
+
+    let mut g = c.benchmark_group("dlib_roundtrip");
+    g.sample_size(30);
+    for size in [64usize, 120_000, 1_200_000] {
+        let payload = vec![0u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &payload, |b, p| {
+            b.iter(|| black_box(client.call(1, p).unwrap()))
+        });
+    }
+    g.finish();
+    handle.shutdown();
+}
+
+criterion_group!(benches, bench_frame_codec, bench_dlib_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Table 3 + §5.3 — the computational-performance study.
+//!
+//! The paper's benchmark: "a benchmark computation of 100 streamlines
+//! each containing 200 points … 20,000 points". Its §5.3 rows:
+//!
+//! * scalar C, parallelized across streamlines on 4 Convex CPUs: 0.24 s
+//! * vectorized across streamlines (3 effective CPUs):            0.19 s
+//! * the 8-CPU SGI workstation, scalar-parallel:                  0.13-0.14 s
+//!
+//! and Table 3 converts benchmark time → max particles at 10 fps
+//! (linear scaling assumption). We run the same benchmark on the *full*
+//! 64×64×32 tapered-cylinder field with every kernel at several thread
+//! counts, print measured time and the derived Table 3 columns, and
+//! reprint the paper's own rows for comparison. Absolute times are ~100×
+//! faster on 2026 hardware; the shape to check is the *ordering*:
+//! vectorized(SoA) beats scalar at equal threads, parallel scales with
+//! cores, and the hybrid (the paper's proposed future optimization) wins
+//! overall.
+
+use bench_support::{paper_benchmark_seeds, paper_spec, tapered_field, TablePrinter};
+use std::time::Duration;
+use storage::constraints::TABLE3_BENCH_TIMES;
+use tracer::benchmark::{
+    max_particles, max_streamlines_200, run_kernel, BenchField, Kernel, FRAME_BUDGET,
+    PAPER_PARTICLES, PAPER_STREAMLINES,
+};
+use tracer::streamline::TraceConfig;
+
+fn main() {
+    println!("\nTable 3 (paper rows): computational performance constraints\n");
+    let mut p = TablePrinter::new(&["benchmark s", "max particles", "streamlines@200"]);
+    for &secs in &TABLE3_BENCH_TIMES {
+        let t = Duration::from_secs_f64(secs);
+        p.row(&[
+            format!("{secs:.2}"),
+            format!("{}", max_particles(t, PAPER_PARTICLES, FRAME_BUDGET)),
+            format!("{}", max_streamlines_200(t, PAPER_PARTICLES, FRAME_BUDGET)),
+        ]);
+    }
+
+    println!("\nMeasured: 100 streamlines x 200 points on the full 64x64x32 tapered-cylinder field\n");
+    let spec = paper_spec();
+    eprintln!("generating field ...");
+    let (field, domain) = tapered_field(spec, 12.0);
+    let bench = BenchField::new(field, domain);
+    let seeds = paper_benchmark_seeds(spec.dims, PAPER_STREAMLINES);
+    // dt chosen so a 200-step path stays inside the O-grid disc for
+    // most seeds (the paper's benchmark assumes full-length streamlines).
+    let cfg = TraceConfig {
+        dt: 0.04,
+        max_points: 200,
+        ..TraceConfig::default()
+    };
+
+    let mut t = TablePrinter::new(&[
+        "kernel",
+        "threads",
+        "seconds",
+        "points",
+        "max particles@10fps",
+        "streamlines@200",
+    ]);
+
+    let thread_counts = [1usize, 3, 4, 8];
+    for &kernel in &Kernel::ALL {
+        let threads: &[usize] = match kernel {
+            Kernel::Scalar | Kernel::Vector => &[1],
+            _ => &thread_counts,
+        };
+        for &n in threads {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap();
+            // Warm up once, then take the best of 5 (the paper reports a
+            // single best-case figure).
+            let mut best = Duration::MAX;
+            let mut points = 0usize;
+            pool.install(|| {
+                let _ = run_kernel(kernel, &bench, &seeds, &cfg);
+                for _ in 0..5 {
+                    let (lines, dt) = run_kernel(kernel, &bench, &seeds, &cfg);
+                    points = lines.iter().map(|l| l.len()).sum();
+                    best = best.min(dt);
+                }
+            });
+            t.row(&[
+                kernel.label().to_string(),
+                format!("{n}"),
+                format!("{:.4}", best.as_secs_f64()),
+                format!("{points}"),
+                format!("{}", max_particles(best, points.max(1), FRAME_BUDGET)),
+                format!("{}", max_streamlines_200(best, points.max(1), FRAME_BUDGET)),
+            ]);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scaled workload: 2 000 streamlines. The 1992 benchmark took 0.19 s
+    // on the Convex; 2026 hardware finishes 100 streamlines in well under
+    // a millisecond, too little work for thread scaling to register. A
+    // 20x workload restores the regime the paper's parallelism argument
+    // lives in.
+    println!("\nScaled workload: 2000 streamlines x 200 points (thread-scaling regime)\n");
+    let big_seeds = paper_benchmark_seeds(spec.dims, 2000);
+    let mut t2 = TablePrinter::new(&["kernel", "threads", "seconds", "points", "max particles@10fps"]);
+    for &kernel in &[Kernel::Scalar, Kernel::Parallel, Kernel::Vector, Kernel::VectorParallel] {
+        let threads: &[usize] = match kernel {
+            Kernel::Scalar | Kernel::Vector => &[1],
+            _ => &thread_counts,
+        };
+        for &n in threads {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            let mut best = Duration::MAX;
+            let mut points = 0usize;
+            pool.install(|| {
+                let _ = run_kernel(kernel, &bench, &big_seeds, &cfg);
+                for _ in 0..3 {
+                    let (lines, dt) = run_kernel(kernel, &bench, &big_seeds, &cfg);
+                    points = lines.iter().map(|l| l.len()).sum();
+                    best = best.min(dt);
+                }
+            });
+            t2.row(&[
+                kernel.label().to_string(),
+                format!("{n}"),
+                format!("{:.4}", best.as_secs_f64()),
+                format!("{points}"),
+                format!("{}", max_particles(best, points.max(1), FRAME_BUDGET)),
+            ]);
+        }
+    }
+
+    println!();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("host parallelism: {cores} core(s)");
+    println!("paper comparison (absolute numbers differ by the 34-year hardware gap):");
+    println!("  scalar-parallel x4 = 0.24 s | vectorized x3 = 0.19 s | workstation x8 = 0.13-0.14 s");
+    println!("shape to verify: the vectorized (SoA lockstep) kernel beats the scalar kernel at");
+    println!("equal thread counts — the paper's 0.19 s vs 0.24 s finding. On multi-core hosts the");
+    println!("parallel kernels additionally scale with threads and the hybrid wins overall; on a");
+    println!("single-core host (cores = 1) the thread rows collapse to the 1-thread time, which");
+    println!("is itself faithful to the paper's observation that vectorization won even with");
+    println!("fewer effective processors (3 vs 4).");
+}

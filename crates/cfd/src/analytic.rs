@@ -1,0 +1,181 @@
+//! Exactly-solvable steady velocity fields.
+//!
+//! Every integrator and every visualization tool in the windtunnel is
+//! validated against these: a tracer that cannot follow a solid-body
+//! vortex in a circle has no business tracing vortex streets.
+
+use vecmath::Vec3;
+
+/// A continuous velocity field `v(x, t)` in physical space.
+pub trait AnalyticField {
+    /// Velocity at physical position `p` and time `t`.
+    fn velocity(&self, p: Vec3, t: f32) -> Vec3;
+}
+
+/// Uniform freestream: `v = u` everywhere. Particle paths are straight
+/// lines `p(t) = p0 + u t`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    pub u: Vec3,
+}
+
+impl AnalyticField for Uniform {
+    fn velocity(&self, _p: Vec3, _t: f32) -> Vec3 {
+        self.u
+    }
+}
+
+/// Solid-body rotation about the z axis with angular velocity `omega`:
+/// `v = ω × r`. Particle paths are circles of constant radius; a particle
+/// at radius r completes an orbit in `2π/ω`.
+#[derive(Debug, Clone, Copy)]
+pub struct SolidBodyVortex {
+    pub omega: f32,
+}
+
+impl AnalyticField for SolidBodyVortex {
+    fn velocity(&self, p: Vec3, _t: f32) -> Vec3 {
+        Vec3::new(-self.omega * p.y, self.omega * p.x, 0.0)
+    }
+}
+
+/// Plane Couette shear: `v = (shear_rate * y, 0, 0)`. Particle paths:
+/// `x(t) = x0 + ẏ·y0·t`, `y`, `z` constant. Streamlines are straight lines.
+#[derive(Debug, Clone, Copy)]
+pub struct Shear {
+    pub shear_rate: f32,
+}
+
+impl AnalyticField for Shear {
+    fn velocity(&self, p: Vec3, _t: f32) -> Vec3 {
+        Vec3::new(self.shear_rate * p.y, 0.0, 0.0)
+    }
+}
+
+/// Arnold–Beltrami–Childress flow — steady, divergence-free, and famously
+/// chaotic. Good stress test: streamlines wander the whole domain.
+#[derive(Debug, Clone, Copy)]
+pub struct AbcFlow {
+    pub a: f32,
+    pub b: f32,
+    pub c: f32,
+}
+
+impl Default for AbcFlow {
+    fn default() -> Self {
+        // The classic parameter choice.
+        AbcFlow {
+            a: 3f32.sqrt(),
+            b: 2f32.sqrt(),
+            c: 1.0,
+        }
+    }
+}
+
+impl AnalyticField for AbcFlow {
+    fn velocity(&self, p: Vec3, _t: f32) -> Vec3 {
+        Vec3::new(
+            self.a * p.z.sin() + self.c * p.y.cos(),
+            self.b * p.x.sin() + self.a * p.z.cos(),
+            self.c * p.y.sin() + self.b * p.x.cos(),
+        )
+    }
+}
+
+/// Time-oscillating uniform flow `v = (cos ωt, sin ωt, 0) · u0`: the
+/// simplest *unsteady* field, separating streamlines (straight lines at
+/// any instant) from particle paths (cycloids) and streaklines — the
+/// conceptual distinction §2.1 of the paper is careful about.
+#[derive(Debug, Clone, Copy)]
+pub struct RotatingUniform {
+    pub u0: f32,
+    pub omega: f32,
+}
+
+impl AnalyticField for RotatingUniform {
+    fn velocity(&self, _p: Vec3, t: f32) -> Vec3 {
+        Vec3::new(
+            self.u0 * (self.omega * t).cos(),
+            self.u0 * (self.omega * t).sin(),
+            0.0,
+        )
+    }
+}
+
+/// Finite-difference divergence of an analytic field — test helper for
+/// checking incompressibility.
+pub fn divergence(field: &impl AnalyticField, p: Vec3, t: f32, h: f32) -> f32 {
+    let dx = (field.velocity(p + Vec3::X * h, t).x - field.velocity(p - Vec3::X * h, t).x) / (2.0 * h);
+    let dy = (field.velocity(p + Vec3::Y * h, t).y - field.velocity(p - Vec3::Y * h, t).y) / (2.0 * h);
+    let dz = (field.velocity(p + Vec3::Z * h, t).z - field.velocity(p - Vec3::Z * h, t).z) / (2.0 * h);
+    dx + dy + dz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_is_uniform() {
+        let f = Uniform { u: Vec3::new(1.0, 2.0, 3.0) };
+        assert_eq!(f.velocity(Vec3::ZERO, 0.0), f.velocity(Vec3::splat(9.0), 5.0));
+    }
+
+    #[test]
+    fn vortex_velocity_is_tangential() {
+        let f = SolidBodyVortex { omega: 2.0 };
+        let p = Vec3::new(3.0, 0.0, 0.0);
+        let v = f.velocity(p, 0.0);
+        // Perpendicular to radius, magnitude ω·r.
+        assert!(v.dot(p).abs() < 1e-6);
+        assert!((v.length() - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vortex_axis_is_stagnant() {
+        let f = SolidBodyVortex { omega: 2.0 };
+        assert_eq!(f.velocity(Vec3::new(0.0, 0.0, 5.0), 1.0), Vec3::ZERO);
+    }
+
+    #[test]
+    fn shear_profile() {
+        let f = Shear { shear_rate: 0.5 };
+        assert_eq!(f.velocity(Vec3::new(0.0, 4.0, 0.0), 0.0), Vec3::new(2.0, 0.0, 0.0));
+        assert_eq!(f.velocity(Vec3::new(7.0, 0.0, 0.0), 0.0), Vec3::ZERO);
+    }
+
+    #[test]
+    fn rotating_uniform_cycles() {
+        let f = RotatingUniform { u0: 1.0, omega: std::f32::consts::TAU };
+        let v0 = f.velocity(Vec3::ZERO, 0.0);
+        let v1 = f.velocity(Vec3::ZERO, 1.0);
+        assert!(v0.distance(v1) < 1e-4);
+        let vq = f.velocity(Vec3::ZERO, 0.25);
+        assert!(vq.distance(Vec3::Y) < 1e-4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_abc_divergence_free(x in -3.0f32..3.0, y in -3.0f32..3.0, z in -3.0f32..3.0) {
+            let f = AbcFlow::default();
+            let div = divergence(&f, Vec3::new(x, y, z), 0.0, 1e-2);
+            prop_assert!(div.abs() < 1e-2);
+        }
+
+        #[test]
+        fn prop_vortex_divergence_free(x in -3.0f32..3.0, y in -3.0f32..3.0) {
+            let f = SolidBodyVortex { omega: 1.3 };
+            let div = divergence(&f, Vec3::new(x, y, 0.0), 0.0, 1e-2);
+            prop_assert!(div.abs() < 1e-3);
+        }
+
+        #[test]
+        fn prop_abc_speed_bounded(x in -10.0f32..10.0, y in -10.0f32..10.0, z in -10.0f32..10.0) {
+            let f = AbcFlow::default();
+            let v = f.velocity(Vec3::new(x, y, z), 0.0);
+            let bound = (f.a.abs() + f.b.abs() + f.c.abs()) * 1.5;
+            prop_assert!(v.length() <= bound);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Dataset generator CLI.
+//!
+//! ```text
+//! dvw-gen <out-dir> [--dims NI NJ NK] [--timesteps N] [--dt SECONDS]
+//!         [--model analytic|navier-stokes] [--name NAME]
+//! ```
+//!
+//! Writes a dataset directory (grid + meta + one velocity file per
+//! timestep) that `dvw-server` can serve. The default is the analytic
+//! tapered-cylinder model at the paper's 64×64×32 resolution.
+
+use cfd::solver::{simulate_extruded, ExtrudeConfig, SolverConfig};
+use cfd::tapered_cylinder::{generate_dataset, TaperedCylinderFlow};
+use cfd::OGridSpec;
+use flowfield::{format, Dims};
+use std::path::PathBuf;
+use std::process::exit;
+
+struct Args {
+    out: PathBuf,
+    dims: Dims,
+    timesteps: usize,
+    dt: f32,
+    model: String,
+    name: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dvw-gen <out-dir> [--dims NI NJ NK] [--timesteps N] [--dt S] \
+         [--model analytic|navier-stokes] [--name NAME]"
+    );
+    exit(2)
+}
+
+fn parse() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let Some(out) = argv.next() else { usage() };
+    if out.starts_with("--") {
+        usage();
+    }
+    let mut args = Args {
+        out: PathBuf::from(out),
+        dims: Dims::TAPERED_CYLINDER,
+        timesteps: 64,
+        dt: 0.25,
+        model: "analytic".into(),
+        name: "tapered-cylinder".into(),
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--dims" => {
+                let mut next = || {
+                    argv.next()
+                        .and_then(|v| v.parse::<u32>().ok())
+                        .unwrap_or_else(|| usage())
+                };
+                args.dims = Dims::new(next(), next(), next());
+            }
+            "--timesteps" => {
+                args.timesteps = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--dt" => {
+                args.dt = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--model" => {
+                args.model = argv.next().unwrap_or_else(|| usage());
+            }
+            "--name" => {
+                args.name = argv.next().unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse();
+    let dataset = match args.model.as_str() {
+        "analytic" => {
+            let flow = TaperedCylinderFlow {
+                spec: OGridSpec {
+                    dims: args.dims,
+                    ..OGridSpec::default()
+                },
+                ..TaperedCylinderFlow::default()
+            };
+            eprintln!(
+                "generating analytic tapered-cylinder dataset: {} x {} timesteps ({:.1} MB total)",
+                args.dims,
+                args.timesteps,
+                args.dims.timestep_bytes() as f64 * args.timesteps as f64 / 1e6
+            );
+            generate_dataset(&flow, &args.name, args.timesteps, args.dt)
+        }
+        "navier-stokes" => {
+            let cfg = ExtrudeConfig {
+                base: SolverConfig::default(),
+                layers: args.dims.nk as usize,
+                snapshots: args.timesteps,
+                out_nx: args.dims.ni,
+                out_ny: args.dims.nj,
+                ..ExtrudeConfig::default()
+            };
+            eprintln!(
+                "running projection-method solver: {} layers x {} snapshots",
+                cfg.layers, cfg.snapshots
+            );
+            simulate_extruded(&cfg, &args.name)
+        }
+        other => {
+            eprintln!("unknown model '{other}'");
+            usage()
+        }
+    };
+    match dataset {
+        Ok(ds) => {
+            if let Err(e) = format::write_dataset(&args.out, &ds) {
+                eprintln!("error writing dataset: {e}");
+                exit(1);
+            }
+            println!(
+                "wrote {} ({} timesteps, {} points each)",
+                args.out.display(),
+                ds.timestep_count(),
+                ds.dims().point_count()
+            );
+        }
+        Err(e) => {
+            eprintln!("generation failed: {e}");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The curvilinear O-grid around a tapered cylinder.
+//!
+//! The Jespersen & Levit dataset the paper visualizes lives on an O-type
+//! grid: one index wraps around the cylinder, one marches radially outward
+//! from the body surface to the far field, one runs along the span. The
+//! cylinder is *tapered* — its radius shrinks linearly along the span —
+//! which makes the vortex shedding frequency vary with span and produces
+//! the vortex dislocations that made this dataset a visualization
+//! showpiece.
+//!
+//! Index convention (matching the 64×64×32 point counts of the paper):
+//!
+//! * `i` ∈ [0, ni)  — angular, wrapping; node `ni-1` duplicates node `0`
+//!   (the standard O-grid seam),
+//! * `j` ∈ [0, nj)  — radial, geometrically stretched from the body
+//!   surface to the far-field radius,
+//! * `k` ∈ [0, nk)  — spanwise.
+
+use flowfield::{CurvilinearGrid, Dims};
+use vecmath::Vec3;
+
+/// Geometry of a tapered-cylinder O-grid.
+#[derive(Debug, Clone, Copy)]
+pub struct OGridSpec {
+    /// Grid dimensions (angular × radial × spanwise).
+    pub dims: Dims,
+    /// Cylinder radius at the `z = 0` end of the span.
+    pub radius0: f32,
+    /// Radius decrease per unit span (0 = straight cylinder). The paper's
+    /// tapered cylinder shrinks linearly along the span.
+    pub taper: f32,
+    /// Span length along the z axis.
+    pub span: f32,
+    /// Far-field boundary radius (constant along the span).
+    pub far_radius: f32,
+}
+
+impl Default for OGridSpec {
+    fn default() -> Self {
+        OGridSpec {
+            dims: Dims::TAPERED_CYLINDER,
+            radius0: 1.0,
+            taper: 0.3 / 8.0, // a 30 % radius reduction over a span of 8
+            span: 8.0,
+            far_radius: 12.0,
+        }
+    }
+}
+
+impl OGridSpec {
+    /// A small grid with the same topology, for fast tests.
+    pub fn small() -> OGridSpec {
+        OGridSpec {
+            dims: Dims::new(17, 9, 5),
+            ..OGridSpec::default()
+        }
+    }
+
+    /// Cylinder radius at spanwise position `z`.
+    pub fn radius_at(&self, z: f32) -> f32 {
+        (self.radius0 - self.taper * z).max(1.0e-3)
+    }
+
+    /// Spanwise coordinate of layer `k`.
+    pub fn z_of_layer(&self, k: usize) -> f32 {
+        self.span * k as f32 / (self.dims.nk - 1).max(1) as f32
+    }
+
+    /// Angle of angular index `i` (node `ni-1` wraps to 2π ≡ 0).
+    pub fn theta_of(&self, i: usize) -> f32 {
+        std::f32::consts::TAU * i as f32 / (self.dims.ni - 1).max(1) as f32
+    }
+
+    /// Radial coordinate of index `j` at span position `z`: geometric
+    /// stretching from the body surface to the far field, concentrating
+    /// cells near the body where the flow structure is.
+    pub fn r_of(&self, j: usize, z: f32) -> f32 {
+        let a = self.radius_at(z);
+        let ratio = self.far_radius / a;
+        let s = j as f32 / (self.dims.nj - 1).max(1) as f32;
+        a * ratio.powf(s)
+    }
+
+    /// Physical position of node `(i, j, k)`.
+    pub fn node_position(&self, i: usize, j: usize, k: usize) -> Vec3 {
+        let z = self.z_of_layer(k);
+        let theta = self.theta_of(i);
+        let r = self.r_of(j, z);
+        Vec3::new(r * theta.cos(), r * theta.sin(), z)
+    }
+
+    /// Build the curvilinear grid.
+    pub fn build(&self) -> flowfield::Result<CurvilinearGrid> {
+        CurvilinearGrid::from_fn(self.dims, |i, j, k| self.node_position(i, j, k))
+    }
+
+    /// The O-grid wraps in `i`: callers integrating in grid coordinates
+    /// should wrap `i` modulo `ni - 1` (the seam node is duplicated).
+    pub fn angular_period(&self) -> f32 {
+        (self.dims.ni - 1) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_dims() {
+        let spec = OGridSpec::default();
+        assert_eq!(spec.dims.point_count(), 131_072);
+    }
+
+    #[test]
+    fn taper_shrinks_radius() {
+        let spec = OGridSpec::default();
+        assert!(spec.radius_at(spec.span) < spec.radius_at(0.0));
+        assert!((spec.radius_at(0.0) - 1.0).abs() < 1e-6);
+        assert!((spec.radius_at(8.0) - 0.7).abs() < 1e-5);
+    }
+
+    #[test]
+    fn radius_never_collapses() {
+        let spec = OGridSpec {
+            taper: 100.0,
+            ..OGridSpec::default()
+        };
+        assert!(spec.radius_at(1.0e3) > 0.0);
+    }
+
+    #[test]
+    fn seam_nodes_coincide() {
+        let spec = OGridSpec::small();
+        for k in 0..spec.dims.nk as usize {
+            for j in 0..spec.dims.nj as usize {
+                let a = spec.node_position(0, j, k);
+                let b = spec.node_position(spec.dims.ni as usize - 1, j, k);
+                assert!(a.distance(b) < 1e-4, "seam mismatch at j={j} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn surface_nodes_sit_on_cylinder() {
+        let spec = OGridSpec::small();
+        for k in 0..spec.dims.nk as usize {
+            let z = spec.z_of_layer(k);
+            let a = spec.radius_at(z);
+            for i in 0..spec.dims.ni as usize {
+                let p = spec.node_position(i, 0, k);
+                let r = (p.x * p.x + p.y * p.y).sqrt();
+                assert!((r - a).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn outer_boundary_at_far_radius() {
+        let spec = OGridSpec::small();
+        let j_max = spec.dims.nj as usize - 1;
+        let p = spec.node_position(3, j_max, 2);
+        let r = (p.x * p.x + p.y * p.y).sqrt();
+        assert!((r - spec.far_radius).abs() < 1e-3);
+    }
+
+    #[test]
+    fn radial_spacing_is_stretched() {
+        // Cells near the body must be finer than cells at the far field.
+        let spec = OGridSpec::small();
+        let inner = spec.r_of(1, 0.0) - spec.r_of(0, 0.0);
+        let outer = spec.r_of(spec.dims.nj as usize - 1, 0.0) - spec.r_of(spec.dims.nj as usize - 2, 0.0);
+        assert!(inner < outer);
+    }
+
+    #[test]
+    fn grid_builds_and_is_nonsingular_off_seam() {
+        let spec = OGridSpec::small();
+        let grid = spec.build().unwrap();
+        assert_eq!(grid.dims(), spec.dims);
+        // Interior Jacobians must be invertible.
+        let j = grid
+            .jacobian(Vec3::new(3.0, 4.0, 2.0))
+            .unwrap();
+        assert!(j.determinant().abs() > 1e-6);
+    }
+
+    #[test]
+    fn bounds_contain_far_field() {
+        let spec = OGridSpec::small();
+        let grid = spec.build().unwrap();
+        let b = grid.bounds();
+        assert!(b.max.x >= spec.far_radius * 0.99);
+        assert!(b.min.x <= -spec.far_radius * 0.99);
+        assert!((b.max.z - spec.span).abs() < 1e-4);
+    }
+}

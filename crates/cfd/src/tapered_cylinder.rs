@@ -1,0 +1,324 @@
+//! Analytic unsteady model of the flow past a tapered cylinder.
+//!
+//! A physically-motivated stand-in for the Jespersen & Levit Navier-Stokes
+//! solution (see DESIGN.md §2). Per spanwise cross-section the velocity is
+//! the superposition of
+//!
+//! 1. 2-D potential flow around a circular cylinder of the local radius
+//!    `a(z)` (exact: zero normal velocity on the body, freestream far
+//!    away), and
+//! 2. a von Kármán vortex street: a staggered double row of Lamb-Oseen
+//!    vortices shed at the local Strouhal frequency
+//!    `f(z) = St · U∞ / (2 a(z))` and convected downstream at a fraction
+//!    of the freestream speed.
+//!
+//! Because `a` varies along the span, the shedding frequency varies along
+//! the span — neighbouring cross-sections drift out of phase, producing
+//! the oblique shedding and vortex dislocations that made the tapered
+//! cylinder a visualization benchmark. That is precisely the structure
+//! figures 1–3 of the paper show streaklines and streamlines wrapping
+//! around.
+
+use crate::analytic::AnalyticField;
+use crate::ogrid::OGridSpec;
+use flowfield::{dataset::VelocityCoords, Dataset, DatasetMeta, VectorField};
+use rayon::prelude::*;
+use vecmath::Vec3;
+
+/// Parameters of the analytic tapered-cylinder flow model.
+#[derive(Debug, Clone, Copy)]
+pub struct TaperedCylinderFlow {
+    /// Grid/geometry description (provides the local radius `a(z)`).
+    pub spec: OGridSpec,
+    /// Freestream speed, along +x.
+    pub u_inf: f32,
+    /// Strouhal number (≈ 0.2 for a circular cylinder at these Reynolds
+    /// numbers).
+    pub strouhal: f32,
+    /// Wake convection speed as a fraction of `u_inf` (≈ 0.8).
+    pub convection_fraction: f32,
+    /// Lateral half-spacing of the vortex rows, in units of `a(z)`.
+    pub row_halfwidth: f32,
+    /// Circulation magnitude of each shed vortex, in units of `u_inf · a`.
+    pub vortex_strength: f32,
+    /// Lamb-Oseen core radius, in units of `a(z)`.
+    pub core_radius: f32,
+    /// Downstream distance at which vortices are dropped from the sum.
+    pub wake_length: f32,
+}
+
+impl Default for TaperedCylinderFlow {
+    fn default() -> Self {
+        TaperedCylinderFlow {
+            spec: OGridSpec::default(),
+            u_inf: 1.0,
+            strouhal: 0.2,
+            convection_fraction: 0.8,
+            row_halfwidth: 0.6,
+            vortex_strength: 2.5,
+            core_radius: 0.45,
+            wake_length: 10.0,
+        }
+    }
+}
+
+impl TaperedCylinderFlow {
+    /// A small, fast configuration for tests.
+    pub fn small() -> TaperedCylinderFlow {
+        TaperedCylinderFlow {
+            spec: OGridSpec::small(),
+            ..TaperedCylinderFlow::default()
+        }
+    }
+
+    /// Local shedding frequency at span position `z`:
+    /// `f = St · U / (2 a(z))` (diameter-based Strouhal relation).
+    pub fn shedding_frequency(&self, z: f32) -> f32 {
+        self.strouhal * self.u_inf / (2.0 * self.spec.radius_at(z))
+    }
+
+    /// Potential-flow velocity around the local cylinder cross-section.
+    fn potential(&self, x: f32, y: f32, a: f32) -> Vec3 {
+        let r2 = x * x + y * y;
+        if r2 < a * a {
+            return Vec3::ZERO; // inside the body
+        }
+        let u = self.u_inf;
+        let a2r2 = a * a / r2;
+        // Cartesian form of the doublet + freestream solution.
+        let cos2 = (x * x - y * y) / r2;
+        let sin2 = 2.0 * x * y / r2;
+        Vec3::new(u * (1.0 - a2r2 * cos2), -u * a2r2 * sin2, 0.0)
+    }
+
+    /// Lamb-Oseen vortex velocity at offset (dx, dy) from the core.
+    fn lamb_oseen(&self, dx: f32, dy: f32, gamma: f32, rc: f32) -> Vec3 {
+        let r2 = dx * dx + dy * dy;
+        if r2 < 1.0e-12 {
+            return Vec3::ZERO;
+        }
+        let factor = gamma / (std::f32::consts::TAU * r2) * (1.0 - (-r2 / (rc * rc)).exp());
+        Vec3::new(-dy * factor, dx * factor, 0.0)
+    }
+
+    /// Summed vortex-street contribution at `(x, y)` for span position `z`
+    /// and time `t`.
+    fn street(&self, x: f32, y: f32, z: f32, t: f32) -> Vec3 {
+        let a = self.spec.radius_at(z);
+        let f = self.shedding_frequency(z);
+        let period = 1.0 / f;
+        let c = self.convection_fraction * self.u_inf;
+        let x_origin = 1.5 * a; // vortices materialize just aft of the body
+        let rc = self.core_radius * a;
+        let h = self.row_halfwidth * a;
+        let gamma0 = self.vortex_strength * self.u_inf * a;
+
+        // Vortex n was shed at t_n = n·period and sits at
+        // x = x_origin + c·(t - t_n). Include those inside the wake window.
+        let newest = (t / period).floor() as i64;
+        let oldest = ((t - self.wake_length / c) / period).ceil() as i64;
+        let mut v = Vec3::ZERO;
+        for n in oldest..=newest {
+            let age = t - n as f32 * period;
+            if age < 0.0 {
+                continue;
+            }
+            let xv = x_origin + c * age;
+            if xv > x_origin + self.wake_length {
+                continue;
+            }
+            // Alternating rows: even vortices on +h with negative
+            // circulation, odd on -h with positive (classic Kármán
+            // arrangement for flow in +x).
+            let (yv, gamma) = if n.rem_euclid(2) == 0 {
+                (h, -gamma0)
+            } else {
+                (-h, gamma0)
+            };
+            // Strength fades in over the first quarter period so vortices
+            // don't pop into existence discontinuously.
+            let ramp = (age / (0.25 * period)).min(1.0);
+            v += self.lamb_oseen(x - xv, y - yv, gamma * ramp, rc);
+        }
+        v
+    }
+}
+
+impl AnalyticField for TaperedCylinderFlow {
+    /// Velocity at physical position `p` and time `t`. The model is 2-D
+    /// per cross-section (w = 0); three-dimensionality enters through the
+    /// spanwise variation of radius and shedding phase.
+    fn velocity(&self, p: Vec3, t: f32) -> Vec3 {
+        let a = self.spec.radius_at(p.z);
+        let r2 = p.x * p.x + p.y * p.y;
+        if r2 < a * a {
+            return Vec3::ZERO;
+        }
+        let mut v = self.potential(p.x, p.y, a);
+        // Suppress the street inside/near the body so the superposition
+        // does not violate the body boundary too badly.
+        let body_fade = ((r2.sqrt() - a) / a).clamp(0.0, 1.0);
+        v += self.street(p.x, p.y, p.z, t) * body_fade;
+        v
+    }
+}
+
+/// Sample the analytic model onto its O-grid for `timestep_count` steps of
+/// `dt`, convert to grid coordinates, and assemble a [`Dataset`] — the
+/// synthetic stand-in for the pre-computed NAS dataset. Parallelized over
+/// timesteps with rayon.
+pub fn generate_dataset(
+    flow: &TaperedCylinderFlow,
+    name: &str,
+    timestep_count: usize,
+    dt: f32,
+) -> flowfield::Result<Dataset> {
+    let grid = flow.spec.build()?;
+    let inv_jac = grid.precompute_inverse_jacobians()?;
+    let dims = flow.spec.dims;
+
+    let timesteps: Vec<VectorField> = (0..timestep_count)
+        .into_par_iter()
+        .map(|step| {
+            let t = step as f32 * dt;
+            let physical = VectorField::from_fn(dims, |i, j, k| {
+                flow.velocity(flow.spec.node_position(i, j, k), t)
+            });
+            grid.convert_field_with(&inv_jac, &physical)
+        })
+        .collect::<flowfield::Result<Vec<_>>>()?;
+
+    let meta = DatasetMeta {
+        name: name.to_string(),
+        dims,
+        timestep_count,
+        dt,
+        coords: VelocityCoords::Grid,
+    };
+    Dataset::new(meta, grid, timesteps)
+}
+
+/// Sample the analytic model in *physical* coordinates on its grid — used
+/// by tests and by tools that want the raw solver output.
+pub fn sample_physical(flow: &TaperedCylinderFlow, t: f32) -> VectorField {
+    VectorField::from_fn(flow.spec.dims, |i, j, k| {
+        flow.velocity(flow.spec.node_position(i, j, k), t)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::divergence;
+
+    #[test]
+    fn interior_of_body_is_stagnant() {
+        let flow = TaperedCylinderFlow::small();
+        assert_eq!(flow.velocity(Vec3::new(0.1, 0.1, 0.0), 3.0), Vec3::ZERO);
+    }
+
+    #[test]
+    fn far_field_approaches_freestream() {
+        let flow = TaperedCylinderFlow::small();
+        let v = flow.velocity(Vec3::new(-10.0, 6.0, 1.0), 0.0);
+        assert!(v.distance(Vec3::new(flow.u_inf, 0.0, 0.0)) < 0.05 * flow.u_inf);
+    }
+
+    #[test]
+    fn surface_normal_velocity_vanishes_without_street() {
+        let flow = TaperedCylinderFlow::small();
+        let a = flow.spec.radius_at(0.0);
+        // Potential-only component: sample on the surface at several angles.
+        for deg in [10.0f32, 45.0, 120.0, 250.0] {
+            let th = deg.to_radians();
+            let p = Vec3::new(a * th.cos() * 1.0001, a * th.sin() * 1.0001, 0.0);
+            let v = flow.potential(p.x, p.y, a);
+            let n = Vec3::new(th.cos(), th.sin(), 0.0);
+            assert!(v.dot(n).abs() < 0.01 * flow.u_inf, "angle {deg}");
+        }
+    }
+
+    #[test]
+    fn wake_is_unsteady() {
+        let flow = TaperedCylinderFlow::small();
+        let probe = Vec3::new(3.0, 0.3, 0.0);
+        let period = 1.0 / flow.shedding_frequency(0.0);
+        let v0 = flow.velocity(probe, 5.0 * period);
+        let v1 = flow.velocity(probe, 5.25 * period);
+        assert!(v0.distance(v1) > 0.05 * flow.u_inf, "wake should oscillate");
+    }
+
+    #[test]
+    fn upstream_is_nearly_steady() {
+        let flow = TaperedCylinderFlow::small();
+        let probe = Vec3::new(-12.0, 0.0, 0.0);
+        let v0 = flow.velocity(probe, 0.0);
+        let v1 = flow.velocity(probe, 7.3);
+        // The street is downstream; upstream only feels its weak far
+        // field, which alternating circulations largely cancel.
+        assert!(v0.distance(v1) < 0.08 * flow.u_inf, "drift {}", v0.distance(v1));
+    }
+
+    #[test]
+    fn shedding_frequency_varies_along_span() {
+        // The signature tapered-cylinder effect: thinner end sheds faster.
+        let flow = TaperedCylinderFlow::small();
+        let f_thick = flow.shedding_frequency(0.0);
+        let f_thin = flow.shedding_frequency(flow.spec.span);
+        assert!(f_thin > f_thick * 1.2, "{f_thin} vs {f_thick}");
+    }
+
+    #[test]
+    fn planar_divergence_is_small_in_wake() {
+        // Potential flow and Lamb-Oseen vortices are both divergence-free
+        // in the plane; the superposition (with slowly-varying fades)
+        // should stay close to divergence-free.
+        let flow = TaperedCylinderFlow::small();
+        let p = Vec3::new(4.0, 0.8, 0.0);
+        let div = divergence(&flow, p, 3.0, 1e-2);
+        assert!(div.abs() < 0.05, "div = {div}");
+    }
+
+    #[test]
+    fn vortex_street_alternates_sign() {
+        let flow = TaperedCylinderFlow::small();
+        // Sample transverse velocity on the wake axis over one period; it
+        // must change sign (vortices pass alternately above and below).
+        let period = 1.0 / flow.shedding_frequency(0.0);
+        let probe = Vec3::new(4.0, 0.0, 0.0);
+        let n = 24;
+        let mut signs = (0..n)
+            .map(|s| flow.velocity(probe, 10.0 * period + s as f32 * period / n as f32).y)
+            .collect::<Vec<_>>();
+        signs.retain(|v| v.abs() > 1e-4);
+        assert!(signs.iter().any(|&v| v > 0.0) && signs.iter().any(|&v| v < 0.0));
+    }
+
+    #[test]
+    fn generate_small_dataset() {
+        let flow = TaperedCylinderFlow::small();
+        let ds = generate_dataset(&flow, "tc-small", 4, 0.2).unwrap();
+        assert_eq!(ds.timestep_count(), 4);
+        assert_eq!(ds.dims(), flow.spec.dims);
+        assert_eq!(ds.meta().coords, VelocityCoords::Grid);
+        // Fields should contain finite, nonzero data.
+        let f = ds.timestep(0).unwrap();
+        assert!(f.as_slice().iter().all(|v| v.is_finite()));
+        assert!(f.max_magnitude() > 0.0);
+    }
+
+    #[test]
+    fn dataset_timesteps_differ() {
+        let flow = TaperedCylinderFlow::small();
+        let ds = generate_dataset(&flow, "tc-small", 3, 0.5).unwrap();
+        let a = ds.timestep(0).unwrap();
+        let b = ds.timestep(2).unwrap();
+        let max_diff = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| x.distance(*y))
+            .fold(0.0f32, f32::max);
+        assert!(max_diff > 1e-3, "unsteady data must change over time");
+    }
+}

@@ -1,0 +1,142 @@
+//! The blocking dlib client.
+//!
+//! §4: "To execute a routine on a remote host, all the information
+//! necessary to execute the routine in the remote environment must be
+//! transmitted over the network to a remote server process. After
+//! execution of the routine is invoked, results of the execution must
+//! also be transmitted back to the local client process." [`DlibClient`]
+//! is that round trip: encode, frame, send, block on the matching reply.
+
+use crate::message::{Call, Reply};
+use crate::wire::{read_frame, write_frame};
+use crate::{DlibError, Result};
+use bytes::Bytes;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A connected dlib client. One outstanding call at a time (the original
+/// dlib was synchronous too); the windtunnel client runs its network
+/// conversation on a dedicated thread, per figure 9.
+pub struct DlibClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_seq: u64,
+}
+
+impl DlibClient {
+    /// Connect to a dlib server.
+    pub fn connect(addr: SocketAddr) -> Result<DlibClient> {
+        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Connect with a timeout (useful when the server may not be up yet).
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> Result<DlibClient> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        Self::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<DlibClient> {
+        stream.set_nodelay(true)?; // command latency beats throughput here
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(DlibClient {
+            reader,
+            writer,
+            next_seq: 1,
+        })
+    }
+
+    /// Invoke a remote procedure and block for its result.
+    pub fn call(&mut self, procedure: u32, args: &[u8]) -> Result<Bytes> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let call = Call {
+            seq,
+            procedure,
+            args: Bytes::copy_from_slice(args),
+        };
+        write_frame(&mut self.writer, &call.encode())?;
+        loop {
+            let frame = read_frame(&mut self.reader)?;
+            let reply = Reply::decode(frame)?;
+            if reply.seq == seq {
+                return reply.into_result();
+            }
+            // A reply for a sequence we no longer care about (e.g. after
+            // a previous call errored locally) is dropped; anything from
+            // the future is a protocol violation.
+            if reply.seq > seq {
+                return Err(DlibError::Protocol(format!(
+                    "reply for future seq {} while waiting for {}",
+                    reply.seq, seq
+                )));
+            }
+        }
+    }
+
+    /// Number of calls issued so far.
+    pub fn calls_issued(&self) -> u64 {
+        self.next_seq - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::DlibServer;
+
+    #[test]
+    fn echo_roundtrip() {
+        let mut server = DlibServer::new(());
+        server.register(1, |_, _, args| Ok(Bytes::copy_from_slice(args)));
+        let handle = server.serve("127.0.0.1:0").unwrap();
+        let mut c = DlibClient::connect(handle.addr()).unwrap();
+        let out = c.call(1, b"ping").unwrap();
+        assert_eq!(&out[..], b"ping");
+        assert_eq!(c.calls_issued(), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn large_payload_roundtrip() {
+        // A Table-1-sized geometry frame: 100 000 particles × 12 B.
+        let mut server = DlibServer::new(());
+        server.register(1, |_, _, args| Ok(Bytes::copy_from_slice(args)));
+        let handle = server.serve("127.0.0.1:0").unwrap();
+        let mut c = DlibClient::connect(handle.addr()).unwrap();
+        let big = vec![0xA5u8; 1_200_000];
+        let out = c.call(1, &big).unwrap();
+        assert_eq!(out.len(), big.len());
+        assert!(out.iter().all(|&b| b == 0xA5));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn connect_to_dead_port_fails() {
+        // Bind-then-drop to get a port that is very likely closed.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        assert!(DlibClient::connect(addr).is_err());
+    }
+
+    #[test]
+    fn sequences_increment() {
+        let mut server = DlibServer::new(0u64);
+        server.register(1, |n, _, _| {
+            *n += 1;
+            Ok(Bytes::copy_from_slice(&n.to_le_bytes()))
+        });
+        let handle = server.serve("127.0.0.1:0").unwrap();
+        let mut c = DlibClient::connect(handle.addr()).unwrap();
+        for expect in 1..=5u64 {
+            let out = c.call(1, b"").unwrap();
+            assert_eq!(u64::from_le_bytes(out[..8].try_into().unwrap()), expect);
+        }
+        assert_eq!(c.calls_issued(), 5);
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,216 @@
+//! The call/reply envelope.
+//!
+//! A dlib *call* names a remote procedure by numeric id and carries opaque
+//! argument bytes; the *reply* echoes the client's sequence number so the
+//! blocking client can match responses, and carries a status plus opaque
+//! result bytes. Argument/result encoding is the caller's business (the
+//! windtunnel layers its own command encoding on top), exactly as the
+//! original dlib generated stubs around untyped transport.
+
+use crate::wire::{WireReader, WireWrite};
+use crate::{DlibError, Result};
+use bytes::{Bytes, BytesMut};
+
+/// Outcome of a remote call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    Ok,
+    /// No such procedure registered.
+    UnknownProcedure,
+    /// The procedure itself failed; the payload carries a message.
+    Error,
+}
+
+impl Status {
+    fn to_u32(self) -> u32 {
+        match self {
+            Status::Ok => 0,
+            Status::UnknownProcedure => 1,
+            Status::Error => 2,
+        }
+    }
+
+    fn from_u32(v: u32) -> Result<Status> {
+        match v {
+            0 => Ok(Status::Ok),
+            1 => Ok(Status::UnknownProcedure),
+            2 => Ok(Status::Error),
+            n => Err(DlibError::Protocol(format!("bad status {n}"))),
+        }
+    }
+}
+
+/// A remote procedure call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Call {
+    /// Client-chosen sequence number, echoed in the reply.
+    pub seq: u64,
+    /// Procedure id (the windtunnel defines its own registry of ids).
+    pub procedure: u32,
+    /// Opaque argument bytes.
+    pub args: Bytes,
+}
+
+impl Call {
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(16 + self.args.len());
+        b.put_u64_le_(self.seq);
+        b.put_u32_le_(self.procedure);
+        b.put_bytes_(&self.args);
+        b.freeze()
+    }
+
+    pub fn decode(buf: Bytes) -> Result<Call> {
+        let mut r = WireReader::new(buf);
+        let seq = r.u64_le()?;
+        let procedure = r.u32_le()?;
+        let args = r.bytes()?;
+        if r.remaining() != 0 {
+            return Err(DlibError::Protocol("trailing bytes after call".into()));
+        }
+        Ok(Call { seq, procedure, args })
+    }
+}
+
+/// Reply to a [`Call`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    pub seq: u64,
+    pub status: Status,
+    pub payload: Bytes,
+}
+
+impl Reply {
+    pub fn ok(seq: u64, payload: Bytes) -> Reply {
+        Reply {
+            seq,
+            status: Status::Ok,
+            payload,
+        }
+    }
+
+    pub fn error(seq: u64, message: &str) -> Reply {
+        Reply {
+            seq,
+            status: Status::Error,
+            payload: Bytes::copy_from_slice(message.as_bytes()),
+        }
+    }
+
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(20 + self.payload.len());
+        b.put_u64_le_(self.seq);
+        b.put_u32_le_(self.status.to_u32());
+        b.put_bytes_(&self.payload);
+        b.freeze()
+    }
+
+    pub fn decode(buf: Bytes) -> Result<Reply> {
+        let mut r = WireReader::new(buf);
+        let seq = r.u64_le()?;
+        let status = Status::from_u32(r.u32_le()?)?;
+        let payload = r.bytes()?;
+        if r.remaining() != 0 {
+            return Err(DlibError::Protocol("trailing bytes after reply".into()));
+        }
+        Ok(Reply { seq, status, payload })
+    }
+
+    /// Convert into the caller-facing result.
+    pub fn into_result(self) -> Result<Bytes> {
+        match self.status {
+            Status::Ok => Ok(self.payload),
+            Status::UnknownProcedure => Err(DlibError::Remote("unknown procedure".into())),
+            Status::Error => Err(DlibError::Remote(
+                String::from_utf8_lossy(&self.payload).into_owned(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_roundtrip() {
+        let c = Call {
+            seq: 77,
+            procedure: 3,
+            args: Bytes::from_static(b"argbytes"),
+        };
+        let back = Call::decode(c.encode()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let r = Reply::ok(5, Bytes::from_static(b"result"));
+        assert_eq!(Reply::decode(r.encode()).unwrap(), r);
+        let e = Reply::error(6, "boom");
+        assert_eq!(Reply::decode(e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn reply_into_result() {
+        assert_eq!(
+            Reply::ok(1, Bytes::from_static(b"x")).into_result().unwrap(),
+            Bytes::from_static(b"x")
+        );
+        assert!(matches!(
+            Reply::error(1, "bad").into_result(),
+            Err(DlibError::Remote(m)) if m == "bad"
+        ));
+        let unknown = Reply {
+            seq: 1,
+            status: Status::UnknownProcedure,
+            payload: Bytes::new(),
+        };
+        assert!(unknown.into_result().is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = Call {
+            seq: 1,
+            procedure: 2,
+            args: Bytes::new(),
+        }
+        .encode()
+        .to_vec();
+        bytes.push(0xAB);
+        assert!(Call::decode(Bytes::from(bytes)).is_err());
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_call_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let _ = Call::decode(Bytes::from(bytes));
+            }
+
+            #[test]
+            fn prop_reply_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let _ = Reply::decode(Bytes::from(bytes));
+            }
+
+            #[test]
+            fn prop_call_roundtrip(seq in any::<u64>(), proc_ in any::<u32>(), args in proptest::collection::vec(any::<u8>(), 0..64)) {
+                let c = Call { seq, procedure: proc_, args: Bytes::from(args) };
+                prop_assert_eq!(Call::decode(c.encode()).unwrap(), c);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_status_rejected() {
+        let mut b = BytesMut::new();
+        b.put_u64_le_(1);
+        b.put_u32_le_(99);
+        b.put_bytes_(b"");
+        assert!(Reply::decode(b.freeze()).is_err());
+    }
+}

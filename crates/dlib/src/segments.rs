@@ -1,0 +1,260 @@
+//! Remote memory segments.
+//!
+//! §4: "Due to the persistent nature of the remote environment, dlib is
+//! able to coordinate allocation and use of remote memory segments and
+//! provide access to remote system utilities." The windtunnel uses this to
+//! park large data (e.g. a preconverted dataset) in the server's address
+//! space across calls. [`SegmentTable`] is the server-side allocator;
+//! [`register_segment_procedures`] wires it to standard procedure ids so
+//! any state type embedding a table gets alloc/write/read/free remotely.
+
+use crate::server::{DlibServer, Session};
+use crate::wire::{WireReader, WireWrite};
+use bytes::{Bytes, BytesMut};
+use std::collections::HashMap;
+
+/// Standard procedure ids for the segment service (high range, out of the
+/// way of application procedures).
+pub const PROC_SEG_ALLOC: u32 = 0xD11B_0001;
+pub const PROC_SEG_WRITE: u32 = 0xD11B_0002;
+pub const PROC_SEG_READ: u32 = 0xD11B_0003;
+pub const PROC_SEG_FREE: u32 = 0xD11B_0004;
+
+/// Server-side table of allocated segments.
+#[derive(Debug, Default)]
+pub struct SegmentTable {
+    segments: HashMap<u64, Vec<u8>>,
+    next_id: u64,
+    /// Total bytes currently allocated.
+    allocated: u64,
+    /// Allocation cap (0 = unlimited).
+    pub max_bytes: u64,
+}
+
+impl SegmentTable {
+    pub fn new() -> SegmentTable {
+        SegmentTable::default()
+    }
+
+    /// Cap total allocation (the Convex had one gigabyte, not infinity).
+    pub fn with_limit(max_bytes: u64) -> SegmentTable {
+        SegmentTable {
+            max_bytes,
+            ..SegmentTable::default()
+        }
+    }
+
+    /// Allocate a zeroed segment; returns its id.
+    pub fn alloc(&mut self, size: u64) -> Result<u64, String> {
+        if self.max_bytes > 0 && self.allocated + size > self.max_bytes {
+            return Err(format!(
+                "allocation of {size} B would exceed the {} B limit",
+                self.max_bytes
+            ));
+        }
+        self.next_id += 1;
+        let id = self.next_id;
+        self.segments.insert(id, vec![0u8; size as usize]);
+        self.allocated += size;
+        Ok(id)
+    }
+
+    /// Write `data` at `offset` within a segment.
+    pub fn write(&mut self, id: u64, offset: u64, data: &[u8]) -> Result<(), String> {
+        let seg = self
+            .segments
+            .get_mut(&id)
+            .ok_or_else(|| format!("no segment {id}"))?;
+        let end = offset as usize + data.len();
+        if end > seg.len() {
+            return Err(format!(
+                "write of {} B at {offset} overruns segment of {} B",
+                data.len(),
+                seg.len()
+            ));
+        }
+        seg[offset as usize..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Read `len` bytes from `offset`.
+    pub fn read(&self, id: u64, offset: u64, len: u64) -> Result<&[u8], String> {
+        let seg = self
+            .segments
+            .get(&id)
+            .ok_or_else(|| format!("no segment {id}"))?;
+        let end = offset as usize + len as usize;
+        if end > seg.len() {
+            return Err(format!(
+                "read of {len} B at {offset} overruns segment of {} B",
+                seg.len()
+            ));
+        }
+        Ok(&seg[offset as usize..end])
+    }
+
+    /// Free a segment.
+    pub fn free(&mut self, id: u64) -> Result<(), String> {
+        match self.segments.remove(&id) {
+            Some(seg) => {
+                self.allocated -= seg.len() as u64;
+                Ok(())
+            }
+            None => Err(format!("no segment {id}")),
+        }
+    }
+
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated
+    }
+
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+/// Register the four segment procedures on a server whose state can
+/// expose a `SegmentTable` via the accessor closure.
+pub fn register_segment_procedures<S: Send + 'static>(
+    server: &mut DlibServer<S>,
+    table: impl Fn(&mut S) -> &mut SegmentTable + Send + Clone + 'static,
+) {
+    let t = table.clone();
+    server.register(PROC_SEG_ALLOC, move |state, _s: Session, args| {
+        let mut r = WireReader::new(Bytes::copy_from_slice(args));
+        let size = r.u64_le().map_err(|e| e.to_string())?;
+        let id = t(state).alloc(size)?;
+        let mut out = BytesMut::new();
+        out.put_u64_le_(id);
+        Ok(out.freeze())
+    });
+    let t = table.clone();
+    server.register(PROC_SEG_WRITE, move |state, _s, args| {
+        let mut r = WireReader::new(Bytes::copy_from_slice(args));
+        let id = r.u64_le().map_err(|e| e.to_string())?;
+        let offset = r.u64_le().map_err(|e| e.to_string())?;
+        let data = r.bytes().map_err(|e| e.to_string())?;
+        t(state).write(id, offset, &data)?;
+        Ok(Bytes::new())
+    });
+    let t = table.clone();
+    server.register(PROC_SEG_READ, move |state, _s, args| {
+        let mut r = WireReader::new(Bytes::copy_from_slice(args));
+        let id = r.u64_le().map_err(|e| e.to_string())?;
+        let offset = r.u64_le().map_err(|e| e.to_string())?;
+        let len = r.u64_le().map_err(|e| e.to_string())?;
+        let data = t(state).read(id, offset, len)?;
+        Ok(Bytes::copy_from_slice(data))
+    });
+    server.register(PROC_SEG_FREE, move |state, _s, args| {
+        let mut r = WireReader::new(Bytes::copy_from_slice(args));
+        let id = r.u64_le().map_err(|e| e.to_string())?;
+        table(state).free(id)?;
+        Ok(Bytes::new())
+    });
+}
+
+/// Client-side convenience wrappers for the segment procedures.
+pub mod client_ops {
+    use super::*;
+    use crate::client::DlibClient;
+    use crate::Result;
+
+    pub fn alloc(c: &mut DlibClient, size: u64) -> Result<u64> {
+        let mut args = BytesMut::new();
+        args.put_u64_le_(size);
+        let out = c.call(PROC_SEG_ALLOC, &args)?;
+        let mut r = WireReader::new(out);
+        r.u64_le()
+    }
+
+    pub fn write(c: &mut DlibClient, id: u64, offset: u64, data: &[u8]) -> Result<()> {
+        let mut args = BytesMut::new();
+        args.put_u64_le_(id);
+        args.put_u64_le_(offset);
+        args.put_bytes_(data);
+        c.call(PROC_SEG_WRITE, &args)?;
+        Ok(())
+    }
+
+    pub fn read(c: &mut DlibClient, id: u64, offset: u64, len: u64) -> Result<Bytes> {
+        let mut args = BytesMut::new();
+        args.put_u64_le_(id);
+        args.put_u64_le_(offset);
+        args.put_u64_le_(len);
+        c.call(PROC_SEG_READ, &args)
+    }
+
+    pub fn free(c: &mut DlibClient, id: u64) -> Result<()> {
+        let mut args = BytesMut::new();
+        args.put_u64_le_(id);
+        c.call(PROC_SEG_FREE, &args)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::DlibClient;
+
+    #[test]
+    fn table_alloc_write_read_free() {
+        let mut t = SegmentTable::new();
+        let id = t.alloc(16).unwrap();
+        t.write(id, 4, b"abcd").unwrap();
+        assert_eq!(t.read(id, 4, 4).unwrap(), b"abcd");
+        assert_eq!(t.read(id, 0, 4).unwrap(), &[0, 0, 0, 0]);
+        assert_eq!(t.allocated_bytes(), 16);
+        t.free(id).unwrap();
+        assert_eq!(t.allocated_bytes(), 0);
+        assert!(t.read(id, 0, 1).is_err());
+    }
+
+    #[test]
+    fn bounds_enforced() {
+        let mut t = SegmentTable::new();
+        let id = t.alloc(8).unwrap();
+        assert!(t.write(id, 6, b"abc").is_err());
+        assert!(t.read(id, 7, 2).is_err());
+        assert!(t.write(999, 0, b"x").is_err());
+        assert!(t.free(999).is_err());
+    }
+
+    #[test]
+    fn allocation_limit() {
+        let mut t = SegmentTable::with_limit(100);
+        let a = t.alloc(60).unwrap();
+        assert!(t.alloc(60).is_err());
+        t.free(a).unwrap();
+        assert!(t.alloc(60).is_ok());
+    }
+
+    #[test]
+    fn remote_segments_end_to_end() {
+        struct State {
+            segments: SegmentTable,
+        }
+        let mut server = DlibServer::new(State {
+            segments: SegmentTable::new(),
+        });
+        register_segment_procedures(&mut server, |s: &mut State| &mut s.segments);
+        let handle = server.serve("127.0.0.1:0").unwrap();
+
+        let mut c = DlibClient::connect(handle.addr()).unwrap();
+        let id = client_ops::alloc(&mut c, 1024).unwrap();
+        client_ops::write(&mut c, id, 100, b"virtual windtunnel").unwrap();
+        let back = client_ops::read(&mut c, id, 100, 18).unwrap();
+        assert_eq!(&back[..], b"virtual windtunnel");
+
+        // Persistence across connections — the defining dlib property.
+        drop(c);
+        let mut c2 = DlibClient::connect(handle.addr()).unwrap();
+        let still = client_ops::read(&mut c2, id, 100, 18).unwrap();
+        assert_eq!(&still[..], b"virtual windtunnel");
+
+        client_ops::free(&mut c2, id).unwrap();
+        assert!(client_ops::read(&mut c2, id, 0, 1).is_err());
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,368 @@
+//! The dlib server: many connections, one serial dispatcher.
+//!
+//! §4: "To allow multiple clients to share the server process environment,
+//! the dlib server was modified to accept more than one connection. Each
+//! connection is selected for service by the server process in the
+//! sequence that the dlib calls are received. The dlib calls are executed
+//! by the server in a single process environment as though there were only
+//! one client." The single dispatcher thread below *is* that guarantee:
+//! every procedure runs with `&mut S` and no lock, because nothing else
+//! ever touches the state.
+
+use crate::message::{Call, Reply};
+use crate::wire::{read_frame, write_frame};
+use crate::{DlibError, Result};
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-connection identity handed to every procedure — the hook the
+/// windtunnel uses for first-come-first-served rake locking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Session {
+    /// Unique id of the client connection (monotonic from 1).
+    pub client_id: u64,
+}
+
+/// A registered remote procedure: gets exclusive state access, the calling
+/// session, and the raw argument bytes; returns result bytes or an error
+/// message that becomes `Status::Error` at the client.
+pub type Procedure<S> =
+    Box<dyn Fn(&mut S, Session, &[u8]) -> std::result::Result<Bytes, String> + Send>;
+
+/// Server under construction: state + procedure registry.
+pub struct DlibServer<S> {
+    state: S,
+    procedures: HashMap<u32, Procedure<S>>,
+}
+
+struct Job {
+    session: Session,
+    call: Call,
+    reply_tx: Sender<Reply>,
+}
+
+impl<S: Send + 'static> DlibServer<S> {
+    pub fn new(state: S) -> DlibServer<S> {
+        DlibServer {
+            state,
+            procedures: HashMap::new(),
+        }
+    }
+
+    /// Register a procedure under a numeric id (replaces any previous
+    /// registration of the same id).
+    pub fn register<F>(&mut self, id: u32, f: F) -> &mut Self
+    where
+        F: Fn(&mut S, Session, &[u8]) -> std::result::Result<Bytes, String> + Send + 'static,
+    {
+        self.procedures.insert(id, Box::new(f));
+        self
+    }
+
+    /// Bind and start serving; returns a handle with the bound address.
+    /// Pass `"127.0.0.1:0"` to let the OS choose a port.
+    pub fn serve(self, addr: &str) -> Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (job_tx, job_rx) = unbounded::<Job>();
+
+        // The single serial dispatcher (the paper's "as though there were
+        // only one client").
+        let mut state = self.state;
+        let procedures = self.procedures;
+        let dispatcher = std::thread::Builder::new()
+            .name("dlib-dispatch".into())
+            .spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    let reply = match procedures.get(&job.call.procedure) {
+                        Some(proc_fn) => {
+                            match proc_fn(&mut state, job.session, &job.call.args) {
+                                Ok(payload) => Reply::ok(job.call.seq, payload),
+                                Err(msg) => Reply::error(job.call.seq, &msg),
+                            }
+                        }
+                        None => Reply {
+                            seq: job.call.seq,
+                            status: crate::message::Status::UnknownProcedure,
+                            payload: Bytes::new(),
+                        },
+                    };
+                    // A dead connection just drops its replies.
+                    let _ = job.reply_tx.send(reply);
+                }
+            })
+            .expect("spawn dispatcher");
+
+        // Accept loop.
+        let accept_shutdown = Arc::clone(&shutdown);
+        let next_client = Arc::new(AtomicU64::new(1));
+        let accept = std::thread::Builder::new()
+            .name("dlib-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            let client_id = next_client.fetch_add(1, Ordering::SeqCst);
+                            spawn_connection(
+                                stream,
+                                Session { client_id },
+                                job_tx.clone(),
+                                Arc::clone(&accept_shutdown),
+                            );
+                        }
+                        Err(_) => break,
+                    }
+                }
+                // Dropping job_tx here ends the dispatcher once all
+                // connection clones are gone too.
+            })
+            .expect("spawn accept loop");
+
+        Ok(ServerHandle {
+            addr: local_addr,
+            shutdown,
+            accept: Some(accept),
+            dispatcher: Some(dispatcher),
+        })
+    }
+}
+
+/// Reader + writer threads for one client connection.
+fn spawn_connection(
+    stream: TcpStream,
+    session: Session,
+    job_tx: Sender<Job>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let (reply_tx, reply_rx): (Sender<Reply>, Receiver<Reply>) = unbounded();
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    // Writer: drains the reply queue in dispatch order.
+    std::thread::Builder::new()
+        .name(format!("dlib-write-{}", session.client_id))
+        .spawn(move || {
+            let mut w = std::io::BufWriter::new(write_stream);
+            while let Ok(reply) = reply_rx.recv() {
+                if write_frame(&mut w, &reply.encode()).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn writer");
+    // Reader: decodes calls and enqueues them in arrival order. A read
+    // timeout lets the thread notice server shutdown.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    std::thread::Builder::new()
+        .name(format!("dlib-read-{}", session.client_id))
+        .spawn(move || {
+            let mut r = std::io::BufReader::new(stream);
+            loop {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match read_frame(&mut r) {
+                    Ok(frame) => match Call::decode(frame) {
+                        Ok(call) => {
+                            if job_tx
+                                .send(Job {
+                                    session,
+                                    call,
+                                    reply_tx: reply_tx.clone(),
+                                })
+                                .is_err()
+                            {
+                                break;
+                            }
+                        }
+                        Err(_) => break, // protocol violation: drop client
+                    },
+                    Err(DlibError::Io(e))
+                        if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("spawn reader");
+}
+
+/// Running server handle; shuts down on [`ServerHandle::shutdown`] or drop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (connect clients here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, stop dispatching, join the threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shutdown_impl();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::DlibClient;
+
+    const PROC_APPEND: u32 = 1;
+    const PROC_READ: u32 = 2;
+    const PROC_FAIL: u32 = 3;
+    const PROC_WHOAMI: u32 = 4;
+
+    fn log_server() -> ServerHandle {
+        let mut server = DlibServer::new(Vec::<u8>::new());
+        server.register(PROC_APPEND, |state, _s, args| {
+            state.extend_from_slice(args);
+            Ok(Bytes::new())
+        });
+        server.register(PROC_READ, |state, _s, _| {
+            Ok(Bytes::copy_from_slice(state))
+        });
+        server.register(PROC_FAIL, |_state, _s, _| Err("deliberate".into()));
+        server.register(PROC_WHOAMI, |_state, s, _| {
+            Ok(Bytes::copy_from_slice(&s.client_id.to_le_bytes()))
+        });
+        server.serve("127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn state_persists_across_calls() {
+        let server = log_server();
+        let mut c = DlibClient::connect(server.addr()).unwrap();
+        c.call(PROC_APPEND, b"ab").unwrap();
+        c.call(PROC_APPEND, b"cd").unwrap();
+        let log = c.call(PROC_READ, b"").unwrap();
+        assert_eq!(&log[..], b"abcd");
+        server.shutdown();
+    }
+
+    #[test]
+    fn errors_and_unknown_procedures_reported() {
+        let server = log_server();
+        let mut c = DlibClient::connect(server.addr()).unwrap();
+        assert!(matches!(
+            c.call(PROC_FAIL, b""),
+            Err(DlibError::Remote(m)) if m == "deliberate"
+        ));
+        assert!(c.call(999, b"").is_err());
+        // Connection still usable after errors.
+        assert!(c.call(PROC_READ, b"").is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn clients_get_distinct_ids() {
+        let server = log_server();
+        let mut c1 = DlibClient::connect(server.addr()).unwrap();
+        let mut c2 = DlibClient::connect(server.addr()).unwrap();
+        let id1 = u64::from_le_bytes(c1.call(PROC_WHOAMI, b"").unwrap()[..8].try_into().unwrap());
+        let id2 = u64::from_le_bytes(c2.call(PROC_WHOAMI, b"").unwrap()[..8].try_into().unwrap());
+        assert_ne!(id1, id2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_clients_share_state_serially() {
+        // The §4 property: concurrent clients are serialized; nothing is
+        // lost or torn.
+        let server = log_server();
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            handles.push(std::thread::spawn(move || {
+                let mut c = DlibClient::connect(addr).unwrap();
+                for _ in 0..25 {
+                    c.call(PROC_APPEND, &[b'a' + t]).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut c = DlibClient::connect(addr).unwrap();
+        let log = c.call(PROC_READ, b"").unwrap();
+        assert_eq!(log.len(), 100);
+        for t in 0..4u8 {
+            assert_eq!(log.iter().filter(|&&b| b == b'a' + t).count(), 25);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn calls_from_one_client_execute_in_order() {
+        let server = log_server();
+        let mut c = DlibClient::connect(server.addr()).unwrap();
+        for b in b"ordered" {
+            c.call(PROC_APPEND, &[*b]).unwrap();
+        }
+        assert_eq!(&c.call(PROC_READ, b"").unwrap()[..], b"ordered");
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_survives_client_disconnect() {
+        let server = log_server();
+        {
+            let mut c = DlibClient::connect(server.addr()).unwrap();
+            c.call(PROC_APPEND, b"x").unwrap();
+        } // dropped
+        let mut c2 = DlibClient::connect(server.addr()).unwrap();
+        assert_eq!(&c2.call(PROC_READ, b"").unwrap()[..], b"x");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_terminates_cleanly() {
+        let server = log_server();
+        let addr = server.addr();
+        server.shutdown();
+        // New connections are refused or die immediately.
+        let mut dead = match DlibClient::connect(addr) {
+            Ok(c) => c,
+            Err(_) => return,
+        };
+        assert!(dead.call(PROC_READ, b"").is_err());
+    }
+}

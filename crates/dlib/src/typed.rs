@@ -1,0 +1,346 @@
+//! Typed remote procedures — dlib's stub generation, reimagined.
+//!
+//! §4: "Dlib provides utilities to automatically create the code which
+//! performs the network transactions required to invoke and execute the
+//! routine in the remote environment and exchange information between the
+//! client and server processes." In 1990 that was a stub *generator*
+//! emitting C; in Rust the same ergonomics fall out of a pair of traits:
+//! implement [`WireEncode`]/[`WireDecode`] for your argument and result
+//! types (implementations for primitives, strings, vectors, options and
+//! tuples are provided) and [`register_typed`]/[`call_typed`] handle the
+//! wire format, so a remote routine reads like a local one:
+//!
+//! ```
+//! use dlib::server::DlibServer;
+//! use dlib::typed::{register_typed, call_typed};
+//!
+//! let mut server = DlibServer::new(0i64);
+//! register_typed(&mut server, 1, |state: &mut i64, _s, (a, b): (i64, i64)| {
+//!     *state += 1;
+//!     Ok::<i64, String>(a + b)
+//! });
+//! let handle = server.serve("127.0.0.1:0").unwrap();
+//! let mut client = dlib::DlibClient::connect(handle.addr()).unwrap();
+//! let sum: i64 = call_typed(&mut client, 1, &(20i64, 22i64)).unwrap();
+//! assert_eq!(sum, 42);
+//! handle.shutdown();
+//! ```
+
+use crate::client::DlibClient;
+use crate::server::{DlibServer, Session};
+use crate::wire::{WireReader, WireWrite};
+use crate::{DlibError, Result};
+use bytes::{Bytes, BytesMut};
+
+/// Types that can be written to the dlib wire.
+pub trait WireEncode {
+    fn encode_to(&self, out: &mut BytesMut);
+
+    fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        self.encode_to(&mut b);
+        b.freeze()
+    }
+}
+
+/// Types that can be read back from the dlib wire.
+pub trait WireDecode: Sized {
+    fn decode_from(r: &mut WireReader) -> Result<Self>;
+
+    fn decode(buf: Bytes) -> Result<Self> {
+        let mut r = WireReader::new(buf);
+        let v = Self::decode_from(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(DlibError::Protocol("trailing bytes".into()));
+        }
+        Ok(v)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive implementations
+
+impl WireEncode for u32 {
+    fn encode_to(&self, out: &mut BytesMut) {
+        out.put_u32_le_(*self);
+    }
+}
+impl WireDecode for u32 {
+    fn decode_from(r: &mut WireReader) -> Result<Self> {
+        r.u32_le()
+    }
+}
+
+impl WireEncode for u64 {
+    fn encode_to(&self, out: &mut BytesMut) {
+        out.put_u64_le_(*self);
+    }
+}
+impl WireDecode for u64 {
+    fn decode_from(r: &mut WireReader) -> Result<Self> {
+        r.u64_le()
+    }
+}
+
+impl WireEncode for i64 {
+    fn encode_to(&self, out: &mut BytesMut) {
+        out.put_u64_le_(*self as u64);
+    }
+}
+impl WireDecode for i64 {
+    fn decode_from(r: &mut WireReader) -> Result<Self> {
+        Ok(r.u64_le()? as i64)
+    }
+}
+
+impl WireEncode for f32 {
+    fn encode_to(&self, out: &mut BytesMut) {
+        out.put_f32_le_(*self);
+    }
+}
+impl WireDecode for f32 {
+    fn decode_from(r: &mut WireReader) -> Result<Self> {
+        r.f32_le()
+    }
+}
+
+impl WireEncode for bool {
+    fn encode_to(&self, out: &mut BytesMut) {
+        out.put_u32_le_(*self as u32);
+    }
+}
+impl WireDecode for bool {
+    fn decode_from(r: &mut WireReader) -> Result<Self> {
+        match r.u32_le()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            n => Err(DlibError::Protocol(format!("bad bool {n}"))),
+        }
+    }
+}
+
+impl WireEncode for String {
+    fn encode_to(&self, out: &mut BytesMut) {
+        out.put_str_(self);
+    }
+}
+impl WireDecode for String {
+    fn decode_from(r: &mut WireReader) -> Result<Self> {
+        r.string()
+    }
+}
+
+impl WireEncode for () {
+    fn encode_to(&self, _out: &mut BytesMut) {}
+}
+impl WireDecode for () {
+    fn decode_from(_r: &mut WireReader) -> Result<Self> {
+        Ok(())
+    }
+}
+
+impl<T: WireEncode> WireEncode for Vec<T> {
+    fn encode_to(&self, out: &mut BytesMut) {
+        out.put_u32_le_(self.len() as u32);
+        for v in self {
+            v.encode_to(out);
+        }
+    }
+}
+impl<T: WireDecode> WireDecode for Vec<T> {
+    fn decode_from(r: &mut WireReader) -> Result<Self> {
+        let n = r.u32_le()? as usize;
+        if n > 100_000_000 {
+            return Err(DlibError::Protocol("absurd vector length".into()));
+        }
+        let mut out = Vec::with_capacity(n.min(65_536));
+        for _ in 0..n {
+            out.push(T::decode_from(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: WireEncode> WireEncode for Option<T> {
+    fn encode_to(&self, out: &mut BytesMut) {
+        match self {
+            None => out.put_u32_le_(0),
+            Some(v) => {
+                out.put_u32_le_(1);
+                v.encode_to(out);
+            }
+        }
+    }
+}
+impl<T: WireDecode> WireDecode for Option<T> {
+    fn decode_from(r: &mut WireReader) -> Result<Self> {
+        match r.u32_le()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode_from(r)?)),
+            n => Err(DlibError::Protocol(format!("bad option tag {n}"))),
+        }
+    }
+}
+
+macro_rules! tuple_wire {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: WireEncode),+> WireEncode for ($($name,)+) {
+            fn encode_to(&self, out: &mut BytesMut) {
+                $(self.$idx.encode_to(out);)+
+            }
+        }
+        impl<$($name: WireDecode),+> WireDecode for ($($name,)+) {
+            fn decode_from(r: &mut WireReader) -> Result<Self> {
+                Ok(($($name::decode_from(r)?,)+))
+            }
+        }
+    };
+}
+
+tuple_wire!(A: 0);
+tuple_wire!(A: 0, B: 1);
+tuple_wire!(A: 0, B: 1, C: 2);
+tuple_wire!(A: 0, B: 1, C: 2, D: 3);
+
+// ---------------------------------------------------------------------
+// The "stubs"
+
+/// Register a typed procedure: arguments decode automatically, results
+/// encode automatically, decode failures become protocol errors at the
+/// caller.
+pub fn register_typed<S, Args, Ret, F>(server: &mut DlibServer<S>, id: u32, f: F)
+where
+    S: Send + 'static,
+    Args: WireDecode,
+    Ret: WireEncode,
+    F: Fn(&mut S, Session, Args) -> std::result::Result<Ret, String> + Send + 'static,
+{
+    server.register(id, move |state, session, raw| {
+        let args = Args::decode(Bytes::copy_from_slice(raw)).map_err(|e| e.to_string())?;
+        let ret = f(state, session, args)?;
+        Ok(ret.encode())
+    });
+}
+
+/// Invoke a typed procedure.
+pub fn call_typed<Args, Ret>(client: &mut DlibClient, id: u32, args: &Args) -> Result<Ret>
+where
+    Args: WireEncode,
+    Ret: WireDecode,
+{
+    let reply = client.call(id, &args.encode())?;
+    Ret::decode(reply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: WireEncode + WireDecode + PartialEq + std::fmt::Debug>(v: T) {
+        let enc = v.encode();
+        let back = T::decode(enc).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u32);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(3.25f32);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip("virtual windtunnel".to_string());
+        roundtrip(());
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u32>::new());
+        roundtrip(Some(7u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip(vec![Some("a".to_string()), None]);
+    }
+
+    #[test]
+    fn tuple_roundtrips() {
+        roundtrip((1u32,));
+        roundtrip((1u32, "two".to_string()));
+        roundtrip((1u32, 2.5f32, vec![3u32], true));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut b = BytesMut::new();
+        7u32.encode_to(&mut b);
+        9u32.encode_to(&mut b);
+        assert!(u32::decode(b.freeze()).is_err());
+    }
+
+    #[test]
+    fn bad_bool_rejected() {
+        let mut b = BytesMut::new();
+        5u32.encode_to(&mut b);
+        assert!(bool::decode(b.freeze()).is_err());
+    }
+
+    #[test]
+    fn typed_end_to_end() {
+        // A tiny typed service: persistent counter + string log.
+        struct State {
+            counter: i64,
+            log: Vec<String>,
+        }
+        const ADD: u32 = 1;
+        const NOTE: u32 = 2;
+        const REPORT: u32 = 3;
+
+        let mut server = DlibServer::new(State {
+            counter: 0,
+            log: Vec::new(),
+        });
+        register_typed(&mut server, ADD, |s: &mut State, _sess, delta: i64| {
+            s.counter += delta;
+            Ok::<i64, String>(s.counter)
+        });
+        register_typed(&mut server, NOTE, |s: &mut State, sess, note: String| {
+            s.log.push(format!("{}: {}", sess.client_id, note));
+            Ok::<(), String>(())
+        });
+        register_typed(&mut server, REPORT, |s: &mut State, _sess, (): ()| {
+            Ok::<(i64, Vec<String>), String>((s.counter, s.log.clone()))
+        });
+        let handle = server.serve("127.0.0.1:0").unwrap();
+
+        let mut c = DlibClient::connect(handle.addr()).unwrap();
+        let total: i64 = call_typed(&mut c, ADD, &40i64).unwrap();
+        assert_eq!(total, 40);
+        let total: i64 = call_typed(&mut c, ADD, &2i64).unwrap();
+        assert_eq!(total, 42);
+        call_typed::<String, ()>(&mut c, NOTE, &"hello".to_string()).unwrap();
+        let (counter, log): (i64, Vec<String>) = call_typed(&mut c, REPORT, &()).unwrap();
+        assert_eq!(counter, 42);
+        assert_eq!(log.len(), 1);
+        assert!(log[0].ends_with("hello"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn typed_decode_error_surfaces_as_remote_error() {
+        let mut server = DlibServer::new(());
+        register_typed(&mut server, 1, |_: &mut (), _s, v: u64| {
+            Ok::<u64, String>(v)
+        });
+        let handle = server.serve("127.0.0.1:0").unwrap();
+        let mut c = DlibClient::connect(handle.addr()).unwrap();
+        // Send 3 raw bytes where a u64 is expected.
+        let err = c.call(1, &[1, 2, 3]);
+        assert!(matches!(err, Err(DlibError::Remote(_))));
+        // Connection unharmed.
+        let ok: u64 = call_typed(&mut c, 1, &9u64).unwrap();
+        assert_eq!(ok, 9);
+        handle.shutdown();
+    }
+}

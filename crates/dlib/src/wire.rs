@@ -1,0 +1,213 @@
+//! Length-prefixed binary framing.
+//!
+//! Every dlib message is `[u32 length (LE)] [payload]`. The length counts
+//! the payload only and is capped to keep a corrupt or hostile peer from
+//! asking us to allocate gigabytes.
+
+use crate::{DlibError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+
+/// Maximum frame payload: comfortably above the largest geometry frame
+/// the windtunnel ships (Table 1's 100 000 particles are 1.2 MB).
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    if payload.len() as u64 > MAX_FRAME as u64 {
+        return Err(DlibError::Protocol(format!(
+            "frame of {} bytes exceeds cap {MAX_FRAME}",
+            payload.len()
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame; `Err(Disconnected)` on clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> Result<Bytes> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(DlibError::Protocol(format!(
+            "peer announced a {len}-byte frame (cap {MAX_FRAME})"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Bytes::from(payload))
+}
+
+/// Primitive encoders shared by the message layer. All little-endian.
+pub trait WireWrite {
+    fn put_u32_le_(&mut self, v: u32);
+    fn put_u64_le_(&mut self, v: u64);
+    fn put_f32_le_(&mut self, v: f32);
+    fn put_bytes_(&mut self, b: &[u8]);
+    fn put_str_(&mut self, s: &str);
+}
+
+impl WireWrite for BytesMut {
+    fn put_u32_le_(&mut self, v: u32) {
+        self.put_u32_le(v);
+    }
+    fn put_u64_le_(&mut self, v: u64) {
+        self.put_u64_le(v);
+    }
+    fn put_f32_le_(&mut self, v: f32) {
+        self.put_f32_le(v);
+    }
+    fn put_bytes_(&mut self, b: &[u8]) {
+        self.put_u32_le(b.len() as u32);
+        self.put_slice(b);
+    }
+    fn put_str_(&mut self, s: &str) {
+        self.put_bytes_(s.as_bytes());
+    }
+}
+
+/// Primitive decoders with bounds checking.
+pub struct WireReader {
+    buf: Bytes,
+}
+
+impl WireReader {
+    pub fn new(buf: Bytes) -> WireReader {
+        WireReader { buf }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    fn need(&self, n: usize) -> Result<()> {
+        if self.buf.remaining() < n {
+            Err(DlibError::Protocol(format!(
+                "truncated message: needed {n} bytes, have {}",
+                self.buf.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    pub fn u32_le(&mut self) -> Result<u32> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    pub fn u64_le(&mut self) -> Result<u64> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    pub fn f32_le(&mut self) -> Result<f32> {
+        self.need(4)?;
+        Ok(self.buf.get_f32_le())
+    }
+
+    pub fn bytes(&mut self) -> Result<Bytes> {
+        let len = self.u32_le()? as usize;
+        self.need(len)?;
+        Ok(self.buf.copy_to_bytes(len))
+    }
+
+    pub fn string(&mut self) -> Result<String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| DlibError::Protocol("string is not UTF-8".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello dlib").unwrap();
+        let mut cur = Cursor::new(buf);
+        let frame = read_frame(&mut cur).unwrap();
+        assert_eq!(&frame[..], b"hello dlib");
+    }
+
+    #[test]
+    fn empty_frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn multiple_frames_in_sequence() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"one").unwrap();
+        write_frame(&mut buf, b"two").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(&read_frame(&mut cur).unwrap()[..], b"one");
+        assert_eq!(&read_frame(&mut cur).unwrap()[..], b"two");
+        assert!(matches!(read_frame(&mut cur), Err(DlibError::Disconnected)));
+    }
+
+    #[test]
+    fn oversized_announcement_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cur), Err(DlibError::Protocol(_))));
+    }
+
+    #[test]
+    fn truncated_payload_is_disconnect() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        buf.extend_from_slice(b"short");
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cur), Err(DlibError::Disconnected)));
+    }
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut b = BytesMut::new();
+        b.put_u32_le_(42);
+        b.put_u64_le_(1 << 40);
+        b.put_f32_le_(2.5);
+        b.put_str_("windtunnel");
+        b.put_bytes_(&[1, 2, 3]);
+        let mut r = WireReader::new(b.freeze());
+        assert_eq!(r.u32_le().unwrap(), 42);
+        assert_eq!(r.u64_le().unwrap(), 1 << 40);
+        assert_eq!(r.f32_le().unwrap(), 2.5);
+        assert_eq!(r.string().unwrap(), "windtunnel");
+        assert_eq!(&r.bytes().unwrap()[..], &[1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_primitives_error() {
+        let mut b = BytesMut::new();
+        b.put_u32_le_(7);
+        let mut r = WireReader::new(b.freeze());
+        assert!(r.u64_le().is_err());
+        // Bad embedded length.
+        let mut b = BytesMut::new();
+        b.put_u32_le(1000); // claims 1000 bytes follow
+        b.put_slice(b"xy");
+        let mut r = WireReader::new(b.freeze());
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn non_utf8_string_rejected() {
+        let mut b = BytesMut::new();
+        b.put_bytes_(&[0xff, 0xfe, 0x00]);
+        let mut r = WireReader::new(b.freeze());
+        assert!(matches!(r.string(), Err(DlibError::Protocol(_))));
+    }
+}

@@ -1,0 +1,444 @@
+//! The on-disk dataset format (PLOT3D-flavoured).
+//!
+//! The NAS datasets of the era were PLOT3D grid/solution pairs: a grid file
+//! holding the physical node positions and one "q" file per timestep. We
+//! keep that shape — it is exactly what the disk-streaming architecture of
+//! §5.1 needs, because each timestep must be loadable independently with
+//! one big sequential read:
+//!
+//! * `grid.dvwg` — magic `DVWG`, dims, then X-plane, Y-plane, Z-plane of
+//!   node positions (component-planar f32 LE, like PLOT3D),
+//! * `q.NNNNN.dvwq` — magic `DVWQ`, dims, timestep index and physical
+//!   time, then U, V, W planes of velocity,
+//! * `meta.dvwm` — magic `DVWM`, dataset name, dims, timestep count, dt,
+//!   coordinate system.
+//!
+//! All integers and floats are little-endian. Component-planar layout means
+//! the reader can stream each component straight into the SoA field layout
+//! without a transpose.
+
+use crate::dataset::{DatasetMeta, VelocityCoords};
+use crate::field::FieldSample;
+use crate::{CurvilinearGrid, Dataset, Dims, FieldError, Result, VectorField};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use vecmath::Vec3;
+
+const MAGIC_GRID: &[u8; 4] = b"DVWG";
+const MAGIC_VELOCITY: &[u8; 4] = b"DVWQ";
+const MAGIC_META: &[u8; 4] = b"DVWM";
+const FORMAT_VERSION: u32 = 1;
+
+fn write_u32(w: &mut impl Write, v: u32) -> Result<()> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn write_f32(w: &mut impl Write, v: f32) -> Result<()> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_f32(r: &mut impl Read) -> Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn expect_magic(r: &mut impl Read, magic: &[u8; 4]) -> Result<()> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    if &b != magic {
+        return Err(FieldError::Format(format!(
+            "bad magic: expected {:?}, found {:?}",
+            std::str::from_utf8(magic).unwrap_or("?"),
+            String::from_utf8_lossy(&b)
+        )));
+    }
+    Ok(())
+}
+
+fn check_version(r: &mut impl Read) -> Result<()> {
+    let v = read_u32(r)?;
+    if v != FORMAT_VERSION {
+        return Err(FieldError::Format(format!(
+            "unsupported format version {v} (expected {FORMAT_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
+fn write_dims(w: &mut impl Write, d: Dims) -> Result<()> {
+    write_u32(w, d.ni)?;
+    write_u32(w, d.nj)?;
+    write_u32(w, d.nk)
+}
+
+fn read_dims(r: &mut impl Read) -> Result<Dims> {
+    Ok(Dims::new(read_u32(r)?, read_u32(r)?, read_u32(r)?))
+}
+
+/// Write one f32 component plane for every point, extracting `get`.
+fn write_plane(w: &mut impl Write, field: &[Vec3], get: impl Fn(&Vec3) -> f32) -> Result<()> {
+    // Serialize in 64 KiB chunks to keep syscalls and allocations bounded.
+    let mut buf = Vec::with_capacity(64 * 1024);
+    for v in field {
+        buf.extend_from_slice(&get(v).to_le_bytes());
+        if buf.len() >= 64 * 1024 {
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Read one component plane of `n` f32s into `set` per element.
+fn read_plane(r: &mut impl Read, field: &mut [Vec3], set: impl Fn(&mut Vec3, f32)) -> Result<()> {
+    let mut bytes = vec![0u8; field.len() * 4];
+    r.read_exact(&mut bytes)?;
+    for (v, chunk) in field.iter_mut().zip(bytes.chunks_exact(4)) {
+        set(v, f32::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    Ok(())
+}
+
+/// Write a grid file.
+pub fn write_grid(path: &Path, grid: &CurvilinearGrid) -> Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC_GRID)?;
+    write_u32(&mut w, FORMAT_VERSION)?;
+    write_dims(&mut w, grid.dims())?;
+    let pts = grid.positions().as_slice();
+    write_plane(&mut w, pts, |v| v.x)?;
+    write_plane(&mut w, pts, |v| v.y)?;
+    write_plane(&mut w, pts, |v| v.z)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a grid file.
+pub fn read_grid(path: &Path) -> Result<CurvilinearGrid> {
+    let mut r = BufReader::new(File::open(path)?);
+    expect_magic(&mut r, MAGIC_GRID)?;
+    check_version(&mut r)?;
+    let dims = read_dims(&mut r)?;
+    let mut field = VectorField::zeros(dims);
+    read_plane(&mut r, field.as_mut_slice(), |v, f| v.x = f)?;
+    read_plane(&mut r, field.as_mut_slice(), |v, f| v.y = f)?;
+    read_plane(&mut r, field.as_mut_slice(), |v, f| v.z = f)?;
+    CurvilinearGrid::new(field)
+}
+
+/// Write one velocity timestep.
+pub fn write_velocity(path: &Path, index: u32, time: f32, field: &VectorField) -> Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC_VELOCITY)?;
+    write_u32(&mut w, FORMAT_VERSION)?;
+    write_dims(&mut w, field.dims())?;
+    write_u32(&mut w, index)?;
+    write_f32(&mut w, time)?;
+    let data = field.as_slice();
+    write_plane(&mut w, data, |v| v.x)?;
+    write_plane(&mut w, data, |v| v.y)?;
+    write_plane(&mut w, data, |v| v.z)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Header of a velocity file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VelocityHeader {
+    pub dims: Dims,
+    pub index: u32,
+    pub time: f32,
+}
+
+/// Read one velocity timestep, reusing `into` (must match dims) to avoid
+/// per-frame allocation — the disk-streaming loop of §5.2 reads a timestep
+/// every frame, so the buffer is recycled. Returns the header.
+pub fn read_velocity_into(path: &Path, into: &mut VectorField) -> Result<VelocityHeader> {
+    let mut r = BufReader::with_capacity(256 * 1024, File::open(path)?);
+    expect_magic(&mut r, MAGIC_VELOCITY)?;
+    check_version(&mut r)?;
+    let dims = read_dims(&mut r)?;
+    if dims != into.dims() {
+        return Err(FieldError::LengthMismatch {
+            expected: into.dims().point_count(),
+            actual: dims.point_count(),
+        });
+    }
+    let index = read_u32(&mut r)?;
+    let time = read_f32(&mut r)?;
+    read_plane(&mut r, into.as_mut_slice(), |v, f| v.x = f)?;
+    read_plane(&mut r, into.as_mut_slice(), |v, f| v.y = f)?;
+    read_plane(&mut r, into.as_mut_slice(), |v, f| v.z = f)?;
+    Ok(VelocityHeader { dims, index, time })
+}
+
+/// Read one velocity timestep into a fresh field.
+pub fn read_velocity(path: &Path) -> Result<(VelocityHeader, VectorField)> {
+    let mut r = BufReader::with_capacity(256 * 1024, File::open(path)?);
+    expect_magic(&mut r, MAGIC_VELOCITY)?;
+    check_version(&mut r)?;
+    let dims = read_dims(&mut r)?;
+    let index = read_u32(&mut r)?;
+    let time = read_f32(&mut r)?;
+    let mut field = VectorField::zeros(dims);
+    read_plane(&mut r, field.as_mut_slice(), |v, f| v.x = f)?;
+    read_plane(&mut r, field.as_mut_slice(), |v, f| v.y = f)?;
+    read_plane(&mut r, field.as_mut_slice(), |v, f| v.z = f)?;
+    Ok((VelocityHeader { dims, index, time }, field))
+}
+
+/// Write dataset metadata.
+pub fn write_meta(path: &Path, meta: &DatasetMeta) -> Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC_META)?;
+    write_u32(&mut w, FORMAT_VERSION)?;
+    let name = meta.name.as_bytes();
+    write_u32(&mut w, name.len() as u32)?;
+    w.write_all(name)?;
+    write_dims(&mut w, meta.dims)?;
+    write_u32(&mut w, meta.timestep_count as u32)?;
+    write_f32(&mut w, meta.dt)?;
+    let coords = match meta.coords {
+        VelocityCoords::Physical => 0u32,
+        VelocityCoords::Grid => 1u32,
+    };
+    write_u32(&mut w, coords)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read dataset metadata.
+pub fn read_meta(path: &Path) -> Result<DatasetMeta> {
+    let mut r = BufReader::new(File::open(path)?);
+    expect_magic(&mut r, MAGIC_META)?;
+    check_version(&mut r)?;
+    let name_len = read_u32(&mut r)? as usize;
+    if name_len > 4096 {
+        return Err(FieldError::Format(format!("unreasonable name length {name_len}")));
+    }
+    let mut name = vec![0u8; name_len];
+    r.read_exact(&mut name)?;
+    let name = String::from_utf8(name)
+        .map_err(|_| FieldError::Format("dataset name is not UTF-8".into()))?;
+    let dims = read_dims(&mut r)?;
+    let timestep_count = read_u32(&mut r)? as usize;
+    let dt = read_f32(&mut r)?;
+    let coords = match read_u32(&mut r)? {
+        0 => VelocityCoords::Physical,
+        1 => VelocityCoords::Grid,
+        n => return Err(FieldError::Format(format!("bad coords tag {n}"))),
+    };
+    Ok(DatasetMeta {
+        name,
+        dims,
+        timestep_count,
+        dt,
+        coords,
+    })
+}
+
+/// Standard file names inside a dataset directory.
+pub fn meta_path(dir: &Path) -> PathBuf {
+    dir.join("meta.dvwm")
+}
+
+pub fn grid_path(dir: &Path) -> PathBuf {
+    dir.join("grid.dvwg")
+}
+
+pub fn velocity_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("q.{index:05}.dvwq"))
+}
+
+/// Write a whole in-memory dataset as a dataset directory.
+pub fn write_dataset(dir: &Path, dataset: &Dataset) -> Result<()> {
+    std::fs::create_dir_all(dir)?;
+    write_meta(&meta_path(dir), dataset.meta())?;
+    write_grid(&grid_path(dir), dataset.grid())?;
+    for (idx, field) in dataset.timesteps().iter().enumerate() {
+        let time = idx as f32 * dataset.meta().dt;
+        write_velocity(&velocity_path(dir, idx), idx as u32, time, field)?;
+    }
+    Ok(())
+}
+
+/// Read a whole dataset directory into memory (only sensible when it fits;
+/// the streaming store reads timesteps on demand instead).
+pub fn read_dataset(dir: &Path) -> Result<Dataset> {
+    let meta = read_meta(&meta_path(dir))?;
+    let grid = read_grid(&grid_path(dir))?;
+    let mut timesteps = Vec::with_capacity(meta.timestep_count);
+    for idx in 0..meta.timestep_count {
+        let (header, field) = read_velocity(&velocity_path(dir, idx))?;
+        if header.index as usize != idx {
+            return Err(FieldError::Format(format!(
+                "timestep file {idx} has index {}",
+                header.index
+            )));
+        }
+        timesteps.push(field);
+    }
+    Dataset::new(meta, grid, timesteps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::tempdir;
+    
+
+    fn sample_grid() -> CurvilinearGrid {
+        CurvilinearGrid::from_fn(Dims::new(4, 3, 2), |i, j, k| {
+            Vec3::new(i as f32 * 1.5, j as f32 - 0.5 * i as f32, k as f32 * 2.0)
+        })
+        .unwrap()
+    }
+
+    fn sample_field(seed: f32) -> VectorField {
+        VectorField::from_fn(Dims::new(4, 3, 2), |i, j, k| {
+            Vec3::new(
+                seed + i as f32,
+                seed - j as f32 * 0.25,
+                seed * k as f32,
+            )
+        })
+    }
+
+    #[test]
+    fn grid_roundtrip() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("g.dvwg");
+        let g = sample_grid();
+        write_grid(&path, &g).unwrap();
+        let g2 = read_grid(&path).unwrap();
+        assert_eq!(g2.dims(), g.dims());
+        for (i, j, k) in g.dims().iter_nodes() {
+            assert_eq!(g2.node(i, j, k), g.node(i, j, k));
+        }
+    }
+
+    #[test]
+    fn velocity_roundtrip() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("q.dvwq");
+        let f = sample_field(3.5);
+        write_velocity(&path, 7, 0.35, &f).unwrap();
+        let (h, f2) = read_velocity(&path).unwrap();
+        assert_eq!(h.index, 7);
+        assert!((h.time - 0.35).abs() < 1e-6);
+        assert_eq!(f2, f);
+    }
+
+    #[test]
+    fn velocity_read_into_reuses_buffer() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("q.dvwq");
+        let f = sample_field(-1.0);
+        write_velocity(&path, 0, 0.0, &f).unwrap();
+        let mut buf = VectorField::zeros(Dims::new(4, 3, 2));
+        let h = read_velocity_into(&path, &mut buf).unwrap();
+        assert_eq!(h.index, 0);
+        assert_eq!(buf, f);
+    }
+
+    #[test]
+    fn velocity_read_into_checks_dims() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("q.dvwq");
+        write_velocity(&path, 0, 0.0, &sample_field(0.0)).unwrap();
+        let mut wrong = VectorField::zeros(Dims::new(2, 2, 2));
+        assert!(read_velocity_into(&path, &mut wrong).is_err());
+    }
+
+    #[test]
+    fn meta_roundtrip() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("m.dvwm");
+        let meta = DatasetMeta {
+            name: "tapered-cylinder".into(),
+            dims: Dims::TAPERED_CYLINDER,
+            timestep_count: 800,
+            dt: 0.05,
+            coords: VelocityCoords::Grid,
+        };
+        write_meta(&path, &meta).unwrap();
+        assert_eq!(read_meta(&path).unwrap(), meta);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("junk");
+        std::fs::write(&path, b"NOPE12345678").unwrap();
+        assert!(matches!(read_grid(&path), Err(FieldError::Format(_))));
+        assert!(matches!(read_meta(&path), Err(FieldError::Format(_))));
+        assert!(read_velocity(&path).is_err());
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("trunc.dvwq");
+        let f = sample_field(1.0);
+        write_velocity(&path, 0, 0.0, &f).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(read_velocity(&path).is_err());
+    }
+
+    #[test]
+    fn dataset_directory_roundtrip() {
+        let dir = tempdir().unwrap();
+        let grid = sample_grid();
+        let meta = DatasetMeta {
+            name: "round".into(),
+            dims: grid.dims(),
+            timestep_count: 3,
+            dt: 0.1,
+            coords: VelocityCoords::Grid,
+        };
+        let ds = Dataset::new(
+            meta,
+            grid,
+            vec![sample_field(0.0), sample_field(1.0), sample_field(2.0)],
+        )
+        .unwrap();
+        write_dataset(dir.path(), &ds).unwrap();
+        let back = read_dataset(dir.path()).unwrap();
+        assert_eq!(back.meta(), ds.meta());
+        assert_eq!(back.timesteps(), ds.timesteps());
+    }
+
+    #[test]
+    fn velocity_paths_are_sorted_and_stable() {
+        let dir = Path::new("/data/ds");
+        assert_eq!(velocity_path(dir, 0).file_name().unwrap(), "q.00000.dvwq");
+        assert_eq!(velocity_path(dir, 799).file_name().unwrap(), "q.00799.dvwq");
+        // Lexicographic order == numeric order, so `ls` shows play order.
+        assert!(velocity_path(dir, 9) < velocity_path(dir, 10));
+    }
+
+    #[test]
+    fn file_size_matches_table2_accounting() {
+        // Table 2's "bytes in a timestep" is 12 B per grid point; our file
+        // adds only a fixed 28-byte header.
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("q.dvwq");
+        let f = sample_field(0.0);
+        write_velocity(&path, 0, 0.0, &f).unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        let payload = f.dims().timestep_bytes() as u64;
+        assert_eq!(len, payload + 28);
+    }
+}

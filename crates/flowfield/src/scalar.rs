@@ -1,0 +1,279 @@
+//! Scalar fields derived from velocity data.
+//!
+//! §1.2 of the paper rules out "computationally intensive algorithms such
+//! as marching cubes" for the interactive loop. To make that claim
+//! *measurable* (see `tracer::isosurface` and the ablation benches), we
+//! need the scalar quantities an isosurface would be extracted from:
+//! velocity magnitude and vorticity magnitude.
+
+use crate::field::FieldSample;
+use crate::{CurvilinearGrid, Dims, FieldError, Result, VectorField};
+use vecmath::Vec3;
+
+/// A scalar sample per grid node, i-fastest order like [`VectorField`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarField {
+    dims: Dims,
+    data: Vec<f32>,
+}
+
+impl ScalarField {
+    pub fn new(dims: Dims, data: Vec<f32>) -> Result<ScalarField> {
+        if data.len() != dims.point_count() {
+            return Err(FieldError::LengthMismatch {
+                expected: dims.point_count(),
+                actual: data.len(),
+            });
+        }
+        Ok(ScalarField { dims, data })
+    }
+
+    pub fn zeros(dims: Dims) -> ScalarField {
+        ScalarField {
+            data: vec![0.0; dims.point_count()],
+            dims,
+        }
+    }
+
+    pub fn from_fn(dims: Dims, mut f: impl FnMut(usize, usize, usize) -> f32) -> ScalarField {
+        let mut data = Vec::with_capacity(dims.point_count());
+        for k in 0..dims.nk as usize {
+            for j in 0..dims.nj as usize {
+                for i in 0..dims.ni as usize {
+                    data.push(f(i, j, k));
+                }
+            }
+        }
+        ScalarField { dims, data }
+    }
+
+    #[inline]
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, j: usize, k: usize) -> f32 {
+        self.data[self.dims.index(i, j, k)]
+    }
+
+    #[inline]
+    pub fn at_mut(&mut self, i: usize, j: usize, k: usize) -> &mut f32 {
+        let idx = self.dims.index(i, j, k);
+        &mut self.data[idx]
+    }
+
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Range of values (min, max); `None` for an all-NaN field.
+    pub fn range(&self) -> Option<(f32, f32)> {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in &self.data {
+            if v.is_nan() {
+                continue;
+            }
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo <= hi).then_some((lo, hi))
+    }
+
+    /// Trilinear sample at a fractional grid coordinate.
+    pub fn sample(&self, p: Vec3) -> Option<f32> {
+        let ((i0, j0, k0), (fx, fy, fz)) = self.dims.cell_of(p)?;
+        let idx = VectorField::corner_indices_pub(self.dims, i0, j0, k0);
+        let w = crate::field::trilinear_weights(fx, fy, fz);
+        let mut acc = 0.0;
+        for c in 0..8 {
+            acc += self.data[idx[c]] * w[c];
+        }
+        Some(acc)
+    }
+}
+
+impl VectorField {
+    /// Public re-export of the corner-index helper for sibling modules.
+    #[inline]
+    pub(crate) fn corner_indices_pub(dims: Dims, i0: usize, j0: usize, k0: usize) -> [usize; 8] {
+        VectorField::corner_indices(dims, i0, j0, k0)
+    }
+
+    /// Velocity-magnitude scalar field.
+    pub fn magnitude_field(&self) -> ScalarField {
+        let dims = self.dims();
+        ScalarField {
+            dims,
+            data: self.as_slice().iter().map(|v| v.length()).collect(),
+        }
+    }
+}
+
+/// Vorticity vector field ω = ∇ × v of a *physical-space* velocity field
+/// on a curvilinear grid, by central differences through the grid's
+/// Jacobian (∂v/∂x = ∂v/∂ξ · ∂ξ/∂x). One-sided at boundaries.
+pub fn vorticity(grid: &CurvilinearGrid, physical_velocity: &VectorField) -> Result<VectorField> {
+    let dims = grid.dims();
+    if physical_velocity.dims() != dims {
+        return Err(FieldError::LengthMismatch {
+            expected: dims.point_count(),
+            actual: physical_velocity.dims().point_count(),
+        });
+    }
+    let mut out = VectorField::zeros(dims);
+    let (ni, nj, nk) = (dims.ni as usize, dims.nj as usize, dims.nk as usize);
+    for k in 0..nk {
+        for j in 0..nj {
+            for i in 0..ni {
+                // dv/dξ by central (one-sided at faces) differences.
+                let diff = |axis: usize| -> (Vec3, f32) {
+                    let (mut lo, mut hi) = ([i, j, k], [i, j, k]);
+                    let n = [ni, nj, nk][axis];
+                    if lo[axis] > 0 {
+                        lo[axis] -= 1;
+                    }
+                    if hi[axis] + 1 < n {
+                        hi[axis] += 1;
+                    }
+                    let span = (hi[axis] - lo[axis]) as f32;
+                    let dv = physical_velocity.at(hi[0], hi[1], hi[2])
+                        - physical_velocity.at(lo[0], lo[1], lo[2]);
+                    (dv, span.max(1.0))
+                };
+                let (dv_di, si) = diff(0);
+                let (dv_dj, sj) = diff(1);
+                let (dv_dk, sk) = diff(2);
+                let gc = Vec3::new(i as f32, j as f32, k as f32);
+                let jac = grid
+                    .jacobian(gc)
+                    .and_then(|m| m.inverse())
+                    .ok_or(FieldError::SingularCell { i, j, k })?;
+                // ∂ξ/∂x is the inverse Jacobian; chain rule per velocity
+                // component: grad_x v = Σ_axis (dv/dξ_axis) · (dξ_axis/dx).
+                let dxi = [dv_di / si, dv_dj / sj, dv_dk / sk];
+                // grad[r][c] = ∂v_r/∂x_c.
+                let mut grad = [[0.0f32; 3]; 3];
+                for (r, g) in grad.iter_mut().enumerate() {
+                    for (c, gc_) in g.iter_mut().enumerate() {
+                        let mut acc = 0.0;
+                        for (axis, d) in dxi.iter().enumerate() {
+                            acc += d[r] * jac.m[axis][c];
+                        }
+                        *gc_ = acc;
+                    }
+                }
+                *out.at_mut(i, j, k) = Vec3::new(
+                    grad[2][1] - grad[1][2],
+                    grad[0][2] - grad[2][0],
+                    grad[1][0] - grad[0][1],
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecmath::Aabb;
+
+    #[test]
+    fn scalar_basics() {
+        let f = ScalarField::from_fn(Dims::new(3, 3, 3), |i, j, k| (i + j + k) as f32);
+        assert_eq!(f.at(1, 1, 1), 3.0);
+        assert_eq!(f.range(), Some((0.0, 6.0)));
+        let s = f.sample(Vec3::splat(0.5)).unwrap();
+        assert!((s - 1.5).abs() < 1e-5);
+        assert!(f.sample(Vec3::splat(5.0)).is_none());
+    }
+
+    #[test]
+    fn length_validation() {
+        assert!(ScalarField::new(Dims::new(2, 2, 2), vec![0.0; 7]).is_err());
+        assert!(ScalarField::new(Dims::new(2, 2, 2), vec![0.0; 8]).is_ok());
+    }
+
+    #[test]
+    fn magnitude_field() {
+        let v = VectorField::from_fn(Dims::new(2, 2, 2), |i, _, _| {
+            Vec3::new(3.0 * i as f32, 4.0 * i as f32, 0.0)
+        });
+        let m = v.magnitude_field();
+        assert_eq!(m.at(0, 0, 0), 0.0);
+        assert_eq!(m.at(1, 0, 0), 5.0);
+    }
+
+    #[test]
+    fn vorticity_of_solid_body_rotation() {
+        // v = ω × r with ω = (0, 0, 1) ⇒ curl v = (0, 0, 2ω).
+        let dims = Dims::new(9, 9, 5);
+        let grid = CurvilinearGrid::cartesian(
+            dims,
+            Aabb::new(Vec3::ZERO, Vec3::new(8.0, 8.0, 4.0)),
+        )
+        .unwrap();
+        let v = VectorField::from_fn(dims, |i, j, _| {
+            let (x, y) = (i as f32 - 4.0, j as f32 - 4.0);
+            Vec3::new(-y, x, 0.0)
+        });
+        let w = vorticity(&grid, &v).unwrap();
+        // Interior nodes: curl = (0,0,2).
+        let c = w.at(4, 4, 2);
+        assert!(c.distance(Vec3::new(0.0, 0.0, 2.0)) < 1e-3, "{c:?}");
+        let c2 = w.at(2, 6, 1);
+        assert!(c2.distance(Vec3::new(0.0, 0.0, 2.0)) < 1e-3, "{c2:?}");
+    }
+
+    #[test]
+    fn vorticity_of_uniform_flow_is_zero() {
+        let dims = Dims::new(5, 5, 5);
+        let grid = CurvilinearGrid::cartesian(
+            dims,
+            Aabb::new(Vec3::ZERO, Vec3::splat(4.0)),
+        )
+        .unwrap();
+        let v = VectorField::from_fn(dims, |_, _, _| Vec3::new(1.0, 2.0, 3.0));
+        let w = vorticity(&grid, &v).unwrap();
+        for (i, j, k) in dims.iter_nodes() {
+            assert!(w.at(i, j, k).length() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn vorticity_respects_grid_spacing() {
+        // Same index-space data, stretched grid: shear dv_x/dy on a grid
+        // with y-spacing 2 gives half the curl of spacing 1.
+        let dims = Dims::new(5, 5, 5);
+        let make = |ly: f32| {
+            let grid = CurvilinearGrid::cartesian(
+                dims,
+                Aabb::new(Vec3::ZERO, Vec3::new(4.0, ly, 4.0)),
+            )
+            .unwrap();
+            // Physical shear: v_x = y_physical.
+            let spacing = ly / 4.0;
+            let v = VectorField::from_fn(dims, move |_, j, _| {
+                Vec3::new(j as f32 * spacing, 0.0, 0.0)
+            });
+            vorticity(&grid, &v).unwrap().at(2, 2, 2)
+        };
+        let w1 = make(4.0); // unit spacing: curl_z = -1
+        let w2 = make(8.0); // spacing 2: same physical shear ⇒ same curl
+        assert!((w1.z + 1.0).abs() < 1e-3, "{w1:?}");
+        assert!((w2.z + 1.0).abs() < 1e-3, "{w2:?}");
+    }
+
+    #[test]
+    fn vorticity_dim_mismatch() {
+        let grid = CurvilinearGrid::cartesian(
+            Dims::new(3, 3, 3),
+            Aabb::new(Vec3::ZERO, Vec3::splat(2.0)),
+        )
+        .unwrap();
+        let v = VectorField::zeros(Dims::new(2, 2, 2));
+        assert!(vorticity(&grid, &v).is_err());
+    }
+}

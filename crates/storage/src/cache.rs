@@ -1,0 +1,231 @@
+//! LRU timestep cache.
+//!
+//! §5.1: "All the timesteps required for the computation of a particle
+//! path must be resident in memory. Thus the number of timesteps that can
+//! fit in physical memory places a limit on the length of the particle
+//! paths." [`CachedStore`] is that residency window: it bounds how many
+//! timesteps of a disk-backed dataset are in memory at once, and exposes
+//! the bound so the windtunnel can clamp particle-path length to it.
+
+use crate::TimestepStore;
+use flowfield::{DatasetMeta, Result, VectorField};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// LRU window over an inner store.
+pub struct CachedStore<S> {
+    inner: S,
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+struct CacheState {
+    entries: HashMap<usize, Arc<VectorField>>,
+    /// Access order, most recent last.
+    order: Vec<usize>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<S: TimestepStore> CachedStore<S> {
+    /// Wrap `inner` with a window of `capacity` timesteps (≥ 1).
+    pub fn new(inner: S, capacity: usize) -> CachedStore<S> {
+        CachedStore {
+            inner,
+            capacity: capacity.max(1),
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                order: Vec::new(),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Window size in timesteps — the particle-path length bound of §5.1.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cache hit/miss counters.
+    pub fn stats(&self) -> (u64, u64) {
+        let s = self.state.lock();
+        (s.hits, s.misses)
+    }
+
+    /// Number of timesteps currently resident.
+    pub fn resident(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    /// Drop everything (e.g. on dataset switch).
+    pub fn clear(&self) {
+        let mut s = self.state.lock();
+        s.entries.clear();
+        s.order.clear();
+    }
+}
+
+impl<S: TimestepStore> TimestepStore for CachedStore<S> {
+    fn meta(&self) -> &DatasetMeta {
+        self.inner.meta()
+    }
+
+    fn fetch(&self, index: usize) -> Result<Arc<VectorField>> {
+        {
+            let mut s = self.state.lock();
+            if let Some(f) = s.entries.get(&index).cloned() {
+                s.hits += 1;
+                // Move to most-recent position.
+                s.order.retain(|&i| i != index);
+                s.order.push(index);
+                return Ok(f);
+            }
+            s.misses += 1;
+        }
+        // Load outside the lock so concurrent hits aren't blocked by disk.
+        let loaded = self.inner.fetch(index)?;
+        let mut s = self.state.lock();
+        if !s.entries.contains_key(&index) {
+            while s.entries.len() >= self.capacity {
+                let victim = s.order.remove(0);
+                s.entries.remove(&victim);
+            }
+            s.entries.insert(index, Arc::clone(&loaded));
+            s.order.push(index);
+        }
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowfield::{dataset::VelocityCoords, Dims, FieldError};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use vecmath::Vec3;
+
+    /// A store that counts fetches (stands in for slow disk).
+    struct CountingStore {
+        meta: DatasetMeta,
+        fetches: AtomicU64,
+    }
+
+    impl CountingStore {
+        fn new(n: usize) -> CountingStore {
+            CountingStore {
+                meta: DatasetMeta {
+                    name: "count".into(),
+                    dims: Dims::new(2, 2, 2),
+                    timestep_count: n,
+                    dt: 0.1,
+                    coords: VelocityCoords::Grid,
+                },
+                fetches: AtomicU64::new(0),
+            }
+        }
+
+        fn fetch_count(&self) -> u64 {
+            self.fetches.load(Ordering::Relaxed)
+        }
+    }
+
+    impl TimestepStore for CountingStore {
+        fn meta(&self) -> &DatasetMeta {
+            &self.meta
+        }
+        fn fetch(&self, index: usize) -> Result<Arc<VectorField>> {
+            if index >= self.meta.timestep_count {
+                return Err(FieldError::Format("oob".into()));
+            }
+            self.fetches.fetch_add(1, Ordering::Relaxed);
+            Ok(Arc::new(VectorField::from_fn(self.meta.dims, |_, _, _| {
+                Vec3::splat(index as f32)
+            })))
+        }
+    }
+
+    #[test]
+    fn repeated_fetch_hits_cache() {
+        let cached = CachedStore::new(CountingStore::new(10), 4);
+        cached.fetch(3).unwrap();
+        cached.fetch(3).unwrap();
+        cached.fetch(3).unwrap();
+        assert_eq!(cached.inner.fetch_count(), 1);
+        let (hits, misses) = cached.stats();
+        assert_eq!((hits, misses), (2, 1));
+    }
+
+    #[test]
+    fn returns_correct_data() {
+        let cached = CachedStore::new(CountingStore::new(10), 2);
+        assert_eq!(cached.fetch(7).unwrap().at(0, 0, 0), Vec3::splat(7.0));
+        assert_eq!(cached.fetch(7).unwrap().at(0, 0, 0), Vec3::splat(7.0));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let cached = CachedStore::new(CountingStore::new(10), 2);
+        cached.fetch(0).unwrap();
+        cached.fetch(1).unwrap();
+        cached.fetch(0).unwrap(); // refresh 0: now 1 is LRU
+        cached.fetch(2).unwrap(); // evicts 1
+        assert_eq!(cached.resident(), 2);
+        cached.fetch(0).unwrap(); // still cached
+        assert_eq!(cached.inner.fetch_count(), 3);
+        cached.fetch(1).unwrap(); // was evicted: refetch
+        assert_eq!(cached.inner.fetch_count(), 4);
+    }
+
+    #[test]
+    fn capacity_bounds_memory() {
+        let cached = CachedStore::new(CountingStore::new(100), 5);
+        for t in 0..50 {
+            cached.fetch(t).unwrap();
+        }
+        assert_eq!(cached.resident(), 5);
+    }
+
+    #[test]
+    fn sequential_playback_window_pattern() {
+        // Playing timesteps forward with a window larger than the stride
+        // re-fetches nothing on a replay of the recent past (time
+        // scrubbing back a few steps, §2's time control).
+        let cached = CachedStore::new(CountingStore::new(20), 8);
+        for t in 0..8 {
+            cached.fetch(t).unwrap();
+        }
+        let before = cached.inner.fetch_count();
+        for t in (2..8).rev() {
+            cached.fetch(t).unwrap();
+        }
+        assert_eq!(cached.inner.fetch_count(), before);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let cached = CachedStore::new(CountingStore::new(10), 4);
+        cached.fetch(1).unwrap();
+        cached.clear();
+        assert_eq!(cached.resident(), 0);
+        cached.fetch(1).unwrap();
+        assert_eq!(cached.inner.fetch_count(), 2);
+    }
+
+    #[test]
+    fn error_not_cached() {
+        let cached = CachedStore::new(CountingStore::new(3), 4);
+        assert!(cached.fetch(9).is_err());
+        assert_eq!(cached.resident(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let cached = CachedStore::new(CountingStore::new(3), 0);
+        assert_eq!(cached.capacity(), 1);
+        cached.fetch(0).unwrap();
+        cached.fetch(0).unwrap();
+        assert_eq!(cached.inner.fetch_count(), 1);
+    }
+}

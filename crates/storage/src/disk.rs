@@ -1,0 +1,178 @@
+//! Disk-resident store: one velocity file per timestep, read on demand.
+//!
+//! "The Convex C3240 with its disk I/O bandwidth of 30 megabytes/second
+//! can load datasets of up to about three and a quarter megabytes [per
+//! timestep] in 1/8th of a second. Thus datasets whose timesteps are this
+//! size are limited only by the disk storage space." (§5.1)
+
+use crate::TimestepStore;
+use flowfield::{format, CurvilinearGrid, DatasetMeta, FieldError, Result, VectorField};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Store backed by a dataset directory written with
+/// [`flowfield::format::write_dataset`].
+pub struct DiskStore {
+    dir: PathBuf,
+    meta: DatasetMeta,
+    grid: CurvilinearGrid,
+    bytes_read: AtomicU64,
+    reads: AtomicU64,
+}
+
+impl DiskStore {
+    /// Open a dataset directory (reads metadata and grid eagerly; the
+    /// timesteps stay on disk).
+    pub fn open(dir: &Path) -> Result<DiskStore> {
+        let meta = format::read_meta(&format::meta_path(dir))?;
+        let grid = format::read_grid(&format::grid_path(dir))?;
+        if grid.dims() != meta.dims {
+            return Err(FieldError::Format(
+                "grid file dims do not match metadata".into(),
+            ));
+        }
+        Ok(DiskStore {
+            dir: dir.to_path_buf(),
+            meta,
+            grid,
+            bytes_read: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+        })
+    }
+
+    /// The curvilinear grid (loaded once at open).
+    pub fn grid(&self) -> &CurvilinearGrid {
+        &self.grid
+    }
+
+    /// Total velocity payload bytes read so far — the Table 2 meter.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Number of timestep reads so far.
+    pub fn read_count(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Path of one timestep file.
+    pub fn timestep_path(&self, index: usize) -> PathBuf {
+        format::velocity_path(&self.dir, index)
+    }
+}
+
+impl TimestepStore for DiskStore {
+    fn meta(&self) -> &DatasetMeta {
+        &self.meta
+    }
+
+    fn fetch(&self, index: usize) -> Result<Arc<VectorField>> {
+        if index >= self.meta.timestep_count {
+            return Err(FieldError::Format(format!("timestep {index} out of range")));
+        }
+        let (header, field) = format::read_velocity(&self.timestep_path(index))?;
+        if header.index as usize != index {
+            return Err(FieldError::Format(format!(
+                "file for timestep {index} claims index {}",
+                header.index
+            )));
+        }
+        self.bytes_read
+            .fetch_add(self.meta.dims.timestep_bytes() as u64, Ordering::Relaxed);
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::new(field))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowfield::{dataset::VelocityCoords, Dataset, Dims};
+    use tempfile::tempdir;
+    use vecmath::{Aabb, Vec3};
+
+    fn write_test_dataset(dir: &Path, n: usize) -> Dataset {
+        let dims = Dims::new(4, 4, 2);
+        let grid =
+            CurvilinearGrid::cartesian(dims, Aabb::new(Vec3::ZERO, Vec3::splat(3.0))).unwrap();
+        let meta = DatasetMeta {
+            name: "disk".into(),
+            dims,
+            timestep_count: n,
+            dt: 0.25,
+            coords: VelocityCoords::Grid,
+        };
+        let fields = (0..n)
+            .map(|t| VectorField::from_fn(dims, move |i, _, _| Vec3::new(i as f32, t as f32, 0.0)))
+            .collect();
+        let ds = Dataset::new(meta, grid, fields).unwrap();
+        format::write_dataset(dir, &ds).unwrap();
+        ds
+    }
+
+    #[test]
+    fn open_and_fetch() {
+        let dir = tempdir().unwrap();
+        let ds = write_test_dataset(dir.path(), 3);
+        let store = DiskStore::open(dir.path()).unwrap();
+        assert_eq!(store.meta(), ds.meta());
+        assert_eq!(store.grid().dims(), ds.dims());
+        let f = store.fetch(1).unwrap();
+        assert_eq!(f.at(2, 0, 0), Vec3::new(2.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let dir = tempdir().unwrap();
+        write_test_dataset(dir.path(), 2);
+        let store = DiskStore::open(dir.path()).unwrap();
+        assert_eq!(store.bytes_read(), 0);
+        store.fetch(0).unwrap();
+        store.fetch(1).unwrap();
+        assert_eq!(store.bytes_read(), 2 * 4 * 4 * 2 * 12);
+        assert_eq!(store.read_count(), 2);
+    }
+
+    #[test]
+    fn out_of_range_fetch_fails() {
+        let dir = tempdir().unwrap();
+        write_test_dataset(dir.path(), 2);
+        let store = DiskStore::open(dir.path()).unwrap();
+        assert!(store.fetch(2).is_err());
+    }
+
+    #[test]
+    fn missing_directory_fails() {
+        assert!(DiskStore::open(Path::new("/nonexistent/nowhere")).is_err());
+    }
+
+    #[test]
+    fn missing_timestep_file_fails() {
+        let dir = tempdir().unwrap();
+        write_test_dataset(dir.path(), 3);
+        std::fs::remove_file(format::velocity_path(dir.path(), 1)).unwrap();
+        let store = DiskStore::open(dir.path()).unwrap();
+        assert!(store.fetch(1).is_err());
+        assert!(store.fetch(0).is_ok());
+    }
+
+    #[test]
+    fn store_is_shareable_across_threads() {
+        let dir = tempdir().unwrap();
+        write_test_dataset(dir.path(), 4);
+        let store = Arc::new(DiskStore::open(dir.path()).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                let f = s.fetch(t).unwrap();
+                assert_eq!(f.at(0, 0, 0).y, t as f32);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.read_count(), 4);
+    }
+}

@@ -1,0 +1,68 @@
+//! Timestep storage for datasets larger than memory.
+//!
+//! §5.1 of the paper: "The problem of large data sets can be handled in a
+//! variety of ways. With one gigabyte of physical memory, data sets can be
+//! loaded into memory… When the data sets are larger than physical memory,
+//! however, the data must reside on a mass storage device, usually disk."
+//! And §5.2 / figure 8: while the current timestep is being used for
+//! computation, "the timestep required for the next computation is loaded
+//! into a buffer" by a separate process.
+//!
+//! * [`TimestepStore`] — the access abstraction shared by all backends,
+//! * [`MemoryStore`] — whole dataset resident (the ≤1 GB regime),
+//! * [`DiskStore`] — one file per timestep, read on demand,
+//! * [`CachedStore`] — LRU window over any store (bounds the resident
+//!   set, which in turn bounds particle-path length, as §5.1 notes),
+//! * [`SimulatedDisk`] — wraps a store in a bandwidth/seek model so the
+//!   Table 2 disk-constraint sweep can be measured rather than merely
+//!   computed,
+//! * [`Prefetcher`] — the figure-8 background loader: double-buffers the
+//!   next timestep while the server computes with the current one.
+
+pub mod cache;
+pub mod constraints;
+pub mod disk;
+pub mod memory;
+pub mod prefetch;
+pub mod readahead;
+pub mod simdisk;
+
+pub use cache::CachedStore;
+pub use disk::DiskStore;
+pub use memory::MemoryStore;
+pub use prefetch::Prefetcher;
+pub use readahead::ReadAhead;
+pub use simdisk::{DiskModel, SimulatedDisk};
+
+use flowfield::{DatasetMeta, Result, VectorField};
+use std::sync::Arc;
+
+/// Random access to the timesteps of one dataset. Implementations must be
+/// shareable across threads: the server's compute, send and prefetch
+/// processes all touch the store.
+pub trait TimestepStore: Send + Sync {
+    /// Dataset metadata (dims, count, dt).
+    fn meta(&self) -> &DatasetMeta;
+
+    /// Fetch one timestep. Backends may return a shared handle (memory)
+    /// or read from disk; either way the result is immutable and cheap to
+    /// clone.
+    fn fetch(&self, index: usize) -> Result<Arc<VectorField>>;
+
+    /// Number of timesteps available.
+    fn timestep_count(&self) -> usize {
+        self.meta().timestep_count
+    }
+}
+
+impl<S: TimestepStore + ?Sized> TimestepStore for Arc<S> {
+    fn meta(&self) -> &DatasetMeta {
+        (**self).meta()
+    }
+    fn fetch(&self, index: usize) -> Result<Arc<VectorField>> {
+        (**self).fetch(index)
+    }
+    fn timestep_count(&self) -> usize {
+        (**self).timestep_count()
+    }
+}

@@ -1,0 +1,192 @@
+//! Direction-predicting read-ahead — figure 8's prefetch, packaged as a
+//! store wrapper.
+//!
+//! The prefetcher in [`crate::prefetch`] needs the caller to say what to
+//! load next; [`ReadAhead`] infers it. It watches the stride between
+//! consecutive fetches (playback forward → +1, reversed → −1, every
+//! other step → ±2 …) and keeps the next `depth` timesteps along that
+//! direction in flight, so a windtunnel server whose clients are playing
+//! the dataset never waits on the disk — including §2's "run backwards".
+
+use crate::{Prefetcher, TimestepStore};
+use flowfield::{DatasetMeta, Result, VectorField};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Store wrapper that keeps upcoming timesteps in flight.
+pub struct ReadAhead<S: TimestepStore + 'static> {
+    inner: Arc<S>,
+    prefetcher: Prefetcher,
+    depth: usize,
+    state: Mutex<PredictState>,
+}
+
+#[derive(Default)]
+struct PredictState {
+    last: Option<usize>,
+    stride: i64,
+}
+
+impl<S: TimestepStore + 'static> ReadAhead<S> {
+    /// Wrap `inner`, keeping `depth` predicted timesteps in flight.
+    pub fn new(inner: Arc<S>, depth: usize) -> ReadAhead<S> {
+        ReadAhead {
+            prefetcher: Prefetcher::new(Arc::clone(&inner)),
+            inner,
+            depth: depth.max(1),
+            state: Mutex::new(PredictState::default()),
+        }
+    }
+
+    /// The stride currently predicted (0 until two fetches happened).
+    pub fn predicted_stride(&self) -> i64 {
+        self.state.lock().stride
+    }
+
+    fn predict_and_request(&self, index: usize) {
+        let len = self.inner.timestep_count() as i64;
+        if len <= 1 {
+            return;
+        }
+        let mut st = self.state.lock();
+        if let Some(last) = st.last {
+            let delta = index as i64 - last as i64;
+            // Playback wrap (t_max → 0) shows up as a large negative
+            // delta; treat any |delta| > len/2 as a wrap of the
+            // complementary stride.
+            let delta = if delta > len / 2 {
+                delta - len
+            } else if delta < -len / 2 {
+                delta + len
+            } else {
+                delta
+            };
+            if delta != 0 {
+                st.stride = delta;
+            }
+        }
+        st.last = Some(index);
+        let stride = st.stride;
+        drop(st);
+        if stride != 0 {
+            for n in 1..=self.depth as i64 {
+                let next = (index as i64 + stride * n).rem_euclid(len) as usize;
+                self.prefetcher.request(next);
+            }
+        }
+    }
+}
+
+impl<S: TimestepStore + 'static> TimestepStore for ReadAhead<S> {
+    fn meta(&self) -> &DatasetMeta {
+        self.inner.meta()
+    }
+
+    fn fetch(&self, index: usize) -> Result<Arc<VectorField>> {
+        // Take from the in-flight set (blocking if the prediction was
+        // right but the disk hasn't finished), then schedule the next
+        // predictions.
+        let result = self.prefetcher.wait(index);
+        self.predict_and_request(index);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DiskModel, MemoryStore, SimulatedDisk};
+    use flowfield::{dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims};
+    use std::time::{Duration, Instant};
+    use vecmath::{Aabb, Vec3};
+
+    fn mem_store(n: usize) -> MemoryStore {
+        let dims = Dims::new(4, 4, 4);
+        let grid =
+            CurvilinearGrid::cartesian(dims, Aabb::new(Vec3::ZERO, Vec3::splat(3.0))).unwrap();
+        let meta = DatasetMeta {
+            name: "ra".into(),
+            dims,
+            timestep_count: n,
+            dt: 0.1,
+            coords: VelocityCoords::Grid,
+        };
+        let fields = (0..n)
+            .map(|t| VectorField::from_fn(dims, move |_, _, _| Vec3::splat(t as f32)))
+            .collect();
+        MemoryStore::from_dataset(Dataset::new(meta, grid, fields).unwrap())
+    }
+
+    #[test]
+    fn returns_correct_data() {
+        let ra = ReadAhead::new(Arc::new(mem_store(8)), 2);
+        for t in [0usize, 1, 2, 5, 3] {
+            assert_eq!(ra.fetch(t).unwrap().at(0, 0, 0), Vec3::splat(t as f32));
+        }
+    }
+
+    #[test]
+    fn learns_forward_stride() {
+        let ra = ReadAhead::new(Arc::new(mem_store(10)), 2);
+        ra.fetch(0).unwrap();
+        ra.fetch(1).unwrap();
+        assert_eq!(ra.predicted_stride(), 1);
+        ra.fetch(2).unwrap();
+        assert_eq!(ra.predicted_stride(), 1);
+    }
+
+    #[test]
+    fn learns_reverse_and_skip_strides() {
+        let ra = ReadAhead::new(Arc::new(mem_store(20)), 2);
+        ra.fetch(10).unwrap();
+        ra.fetch(8).unwrap();
+        assert_eq!(ra.predicted_stride(), -2);
+        ra.fetch(6).unwrap();
+        assert_eq!(ra.predicted_stride(), -2);
+    }
+
+    #[test]
+    fn wraparound_reads_as_continuation() {
+        let ra = ReadAhead::new(Arc::new(mem_store(10)), 2);
+        ra.fetch(8).unwrap();
+        ra.fetch(9).unwrap();
+        assert_eq!(ra.predicted_stride(), 1);
+        ra.fetch(0).unwrap(); // loop playback wrap
+        assert_eq!(ra.predicted_stride(), 1, "wrap must not flip the stride");
+    }
+
+    #[test]
+    fn hides_disk_latency_on_sequential_playback() {
+        // 15 ms simulated loads, 20 ms compute: synchronous would be
+        // ~35 ms/frame; read-ahead should approach ~20 ms/frame.
+        let model = DiskModel {
+            bandwidth_bytes_per_sec: 1.0e12,
+            seek: Duration::from_millis(15),
+        };
+        let slow = Arc::new(SimulatedDisk::new(mem_store(12), model));
+        let ra = ReadAhead::new(slow, 2);
+        // Prime the predictor.
+        ra.fetch(0).unwrap();
+        ra.fetch(1).unwrap();
+        let start = Instant::now();
+        let frames = 8;
+        for t in 2..2 + frames {
+            let _ = ra.fetch(t % 12).unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let per_frame = start.elapsed() / frames as u32;
+        assert!(
+            per_frame < Duration::from_millis(30),
+            "read-ahead failed to overlap: {per_frame:?}"
+        );
+    }
+
+    #[test]
+    fn single_timestep_dataset_is_safe() {
+        let ra = ReadAhead::new(Arc::new(mem_store(1)), 4);
+        for _ in 0..3 {
+            assert_eq!(ra.fetch(0).unwrap().at(0, 0, 0), Vec3::splat(0.0));
+        }
+        assert_eq!(ra.predicted_stride(), 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Adaptive step-size integration.
+//!
+//! The paper uses fixed-step RK2 because the frame budget is the binding
+//! constraint (§5.3). Fixed steps waste work in slow regions and lose
+//! accuracy in fast ones — in the tapered-cylinder field, velocity
+//! magnitudes span orders of magnitude between the stagnation line and
+//! the accelerated flow over the shoulder. This module adds classic
+//! step-doubling error control on top of the paper's RK2: take one full
+//! step and two half steps, use their difference as the local error
+//! estimate, and grow/shrink `dt` to hold a per-step tolerance.
+//!
+//! `benches/kernels.rs` quantifies the trade; the tests verify the
+//! control loop (tight tolerance ⇒ smaller steps ⇒ better orbits).
+
+use crate::domain::Domain;
+use crate::integrate::Integrator;
+use crate::Polyline;
+use flowfield::FieldSample;
+use vecmath::Vec3;
+
+/// Adaptive trace parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// Base integrator (error order determines the step-growth exponent;
+    /// RK2 assumed — others work but adapt suboptimally).
+    pub integrator: Integrator,
+    /// Per-step position tolerance (grid units).
+    pub tolerance: f32,
+    /// Initial step size.
+    pub dt0: f32,
+    /// Step bounds.
+    pub dt_min: f32,
+    pub dt_max: f32,
+    /// Maximum output points.
+    pub max_points: usize,
+    /// Stagnation cutoff (grid units / time).
+    pub min_speed: f32,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            integrator: Integrator::Rk2,
+            tolerance: 1.0e-3,
+            dt0: 0.1,
+            dt_min: 1.0e-4,
+            dt_max: 2.0,
+            max_points: 200,
+            min_speed: 1.0e-6,
+        }
+    }
+}
+
+/// Result of an adaptive trace: the path plus step-size diagnostics.
+#[derive(Debug, Clone)]
+pub struct AdaptiveTrace {
+    pub path: Polyline,
+    /// dt actually used for each accepted step (`path.len() - 1` entries).
+    pub steps: Vec<f32>,
+    /// Steps rejected by the error control.
+    pub rejected: usize,
+}
+
+impl AdaptiveTrace {
+    pub fn min_step(&self) -> f32 {
+        self.steps.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    pub fn max_step(&self) -> f32 {
+        self.steps.iter().copied().fold(0.0, f32::max)
+    }
+
+    /// Total integration time covered.
+    pub fn time_span(&self) -> f32 {
+        self.steps.iter().sum()
+    }
+}
+
+/// Trace a streamline with step-doubling error control.
+pub fn adaptive_streamline<F: FieldSample>(
+    field: &F,
+    domain: &Domain,
+    seed: Vec3,
+    cfg: &AdaptiveConfig,
+) -> AdaptiveTrace {
+    let mut out = AdaptiveTrace {
+        path: Vec::new(),
+        steps: Vec::new(),
+        rejected: 0,
+    };
+    let Some(mut p) = domain.canonicalize(seed) else {
+        return out;
+    };
+    out.path.push(p);
+    let mut dt = cfg.dt0.clamp(cfg.dt_min, cfg.dt_max);
+    // RK2 local error is O(dt³): exponent 1/3 for step scaling.
+    const SAFETY: f32 = 0.9;
+    const EXPONENT: f32 = 1.0 / 3.0;
+
+    while out.path.len() <= cfg.max_points {
+        match field.sample(p) {
+            Some(v) if v.length() >= cfg.min_speed => {}
+            _ => break,
+        }
+        // One full step.
+        let Some(full) = cfg.integrator.step(field, domain, p, dt) else {
+            break;
+        };
+        // Two half steps.
+        let half = cfg
+            .integrator
+            .step(field, domain, p, dt * 0.5)
+            .and_then(|mid| cfg.integrator.step(field, domain, mid, dt * 0.5));
+        let Some(half) = half else {
+            // The half-step path left the domain even though the full
+            // step survived (seam/boundary grazing): accept the full
+            // step, it is the best information we have.
+            p = full;
+            out.path.push(p);
+            out.steps.push(dt);
+            continue;
+        };
+        let err = full.distance(half);
+        if err <= cfg.tolerance || dt <= cfg.dt_min * 1.0001 {
+            // Accept (using the more accurate two-half-steps result).
+            p = half;
+            out.path.push(p);
+            out.steps.push(dt);
+            // Grow for the next step.
+            let grow = if err > 0.0 {
+                SAFETY * (cfg.tolerance / err).powf(EXPONENT)
+            } else {
+                2.0
+            };
+            dt = (dt * grow.clamp(0.5, 2.0)).clamp(cfg.dt_min, cfg.dt_max);
+        } else {
+            // Reject and shrink.
+            out.rejected += 1;
+            let shrink = SAFETY * (cfg.tolerance / err).powf(EXPONENT);
+            dt = (dt * shrink.clamp(0.1, 0.9)).clamp(cfg.dt_min, cfg.dt_max);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowfield::{Dims, VectorField};
+
+    fn vortex(n: u32) -> VectorField {
+        let c = (n - 1) as f32 / 2.0;
+        VectorField::from_fn(Dims::new(n, n, 3), |i, j, _| {
+            Vec3::new(-(j as f32 - c), i as f32 - c, 0.0)
+        })
+    }
+
+    #[test]
+    fn uniform_flow_grows_to_dt_max() {
+        // Zero error ⇒ steps grow to the cap.
+        let f = VectorField::from_fn(Dims::new(64, 8, 8), |_, _, _| Vec3::X);
+        let d = Domain::boxed(f.dims());
+        let trace = adaptive_streamline(
+            &f,
+            &d,
+            Vec3::new(1.0, 4.0, 4.0),
+            &AdaptiveConfig {
+                dt0: 0.05,
+                dt_max: 1.0,
+                max_points: 40,
+                ..Default::default()
+            },
+        );
+        assert!(trace.path.len() > 5);
+        assert!((trace.max_step() - 1.0).abs() < 1e-5, "max {}", trace.max_step());
+        assert_eq!(trace.rejected, 0);
+    }
+
+    #[test]
+    fn tight_tolerance_uses_smaller_steps() {
+        let f = vortex(33);
+        let d = Domain::boxed(f.dims());
+        let seed = Vec3::new(21.0, 16.0, 1.0);
+        let loose = adaptive_streamline(
+            &f,
+            &d,
+            seed,
+            &AdaptiveConfig {
+                tolerance: 1.0e-1,
+                max_points: 100,
+                ..Default::default()
+            },
+        );
+        let tight = adaptive_streamline(
+            &f,
+            &d,
+            seed,
+            &AdaptiveConfig {
+                tolerance: 1.0e-5,
+                max_points: 100,
+                ..Default::default()
+            },
+        );
+        assert!(
+            tight.max_step() < loose.max_step(),
+            "tight {} vs loose {}",
+            tight.max_step(),
+            loose.max_step()
+        );
+    }
+
+    #[test]
+    fn orbit_accuracy_improves_with_tolerance() {
+        let f = vortex(33);
+        let d = Domain::boxed(f.dims());
+        let c = Vec3::new(16.0, 16.0, 1.0);
+        let seed = c + Vec3::new(5.0, 0.0, 0.0);
+        let radius_err = |tol: f32| {
+            let trace = adaptive_streamline(
+                &f,
+                &d,
+                seed,
+                &AdaptiveConfig {
+                    tolerance: tol,
+                    dt0: 0.2,
+                    max_points: 3000,
+                    ..Default::default()
+                },
+            );
+            // Radius drift across the whole path.
+            trace
+                .path
+                .iter()
+                .map(|p| ((*p - c).length() - 5.0).abs())
+                .fold(0.0f32, f32::max)
+        };
+        let loose = radius_err(1.0e-2);
+        let tight = radius_err(1.0e-4);
+        assert!(tight < loose, "tight {tight} vs loose {loose}");
+        assert!(tight < 0.05, "tight drift {tight}");
+    }
+
+    #[test]
+    fn step_sizes_respect_bounds() {
+        let f = vortex(17);
+        let d = Domain::boxed(f.dims());
+        let trace = adaptive_streamline(
+            &f,
+            &d,
+            Vec3::new(12.0, 8.0, 1.0),
+            &AdaptiveConfig {
+                tolerance: 1.0e-6,
+                dt_min: 0.01,
+                dt_max: 0.5,
+                max_points: 60,
+                ..Default::default()
+            },
+        );
+        for &s in &trace.steps {
+            assert!((0.01 - 1e-6..=0.5 + 1e-6).contains(&s), "step {s}");
+        }
+        assert!((trace.time_span() - trace.steps.iter().sum::<f32>()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn out_of_domain_seed_is_empty() {
+        let f = vortex(9);
+        let d = Domain::boxed(f.dims());
+        let trace = adaptive_streamline(&f, &d, Vec3::splat(-4.0), &AdaptiveConfig::default());
+        assert!(trace.path.is_empty());
+        assert!(trace.steps.is_empty());
+    }
+
+    #[test]
+    fn stagnation_stops() {
+        let f = VectorField::zeros(Dims::new(8, 8, 8));
+        let d = Domain::boxed(Dims::new(8, 8, 8));
+        let trace = adaptive_streamline(&f, &d, Vec3::splat(4.0), &AdaptiveConfig::default());
+        assert_eq!(trace.path.len(), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Integration domain: grid bounds plus topology.
+//!
+//! O-grids (the tapered-cylinder topology) wrap in the angular index: node
+//! `ni-1` duplicates node `0`, so a particle crossing the seam should have
+//! its `i` coordinate wrapped modulo `ni-1` instead of being terminated.
+//! [`Domain`] centralizes that decision so every integrator and every
+//! kernel treats the seam identically.
+
+use flowfield::Dims;
+use vecmath::Vec3;
+
+/// The integration domain of a field: dimensions plus per-axis
+/// periodicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Domain {
+    dims: Dims,
+    /// Axis `i` wraps with period `ni - 1` (O-grid seam).
+    pub periodic_i: bool,
+    /// Axis `j` wraps with period `nj - 1`.
+    pub periodic_j: bool,
+    /// Axis `k` wraps with period `nk - 1`.
+    pub periodic_k: bool,
+}
+
+impl Domain {
+    /// Non-periodic box domain.
+    pub fn boxed(dims: Dims) -> Domain {
+        Domain {
+            dims,
+            periodic_i: false,
+            periodic_j: false,
+            periodic_k: false,
+        }
+    }
+
+    /// O-grid domain: periodic in `i` (the angular index).
+    pub fn o_grid(dims: Dims) -> Domain {
+        Domain {
+            periodic_i: true,
+            ..Domain::boxed(dims)
+        }
+    }
+
+    #[inline]
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    /// Wrap periodic axes into range and bounds-check the rest. Returns
+    /// the canonical coordinate, or `None` when the particle has left the
+    /// domain through a non-periodic face.
+    #[inline]
+    pub fn canonicalize(&self, mut p: Vec3) -> Option<Vec3> {
+        if !p.is_finite() {
+            return None;
+        }
+        if self.periodic_i {
+            let period = (self.dims.ni - 1) as f32;
+            p.x = p.x.rem_euclid(period);
+        } else if p.x < 0.0 || p.x > (self.dims.ni - 1) as f32 {
+            return None;
+        }
+        if self.periodic_j {
+            let period = (self.dims.nj - 1) as f32;
+            p.y = p.y.rem_euclid(period);
+        } else if p.y < 0.0 || p.y > (self.dims.nj - 1) as f32 {
+            return None;
+        }
+        if self.periodic_k {
+            let period = (self.dims.nk - 1) as f32;
+            p.z = p.z.rem_euclid(period);
+        } else if p.z < 0.0 || p.z > (self.dims.nk - 1) as f32 {
+            return None;
+        }
+        Some(p)
+    }
+
+    /// True when the point is representable in this domain (after
+    /// canonicalization).
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        self.canonicalize(p).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn boxed_rejects_outside() {
+        let d = Domain::boxed(Dims::new(5, 5, 5));
+        assert!(d.canonicalize(Vec3::splat(2.0)).is_some());
+        assert!(d.canonicalize(Vec3::new(4.01, 0.0, 0.0)).is_none());
+        assert!(d.canonicalize(Vec3::new(0.0, -0.01, 0.0)).is_none());
+        assert!(d.canonicalize(Vec3::new(0.0, 0.0, 5.0)).is_none());
+    }
+
+    #[test]
+    fn boxed_accepts_boundary() {
+        let d = Domain::boxed(Dims::new(5, 5, 5));
+        assert_eq!(d.canonicalize(Vec3::splat(4.0)), Some(Vec3::splat(4.0)));
+        assert_eq!(d.canonicalize(Vec3::ZERO), Some(Vec3::ZERO));
+    }
+
+    #[test]
+    fn ogrid_wraps_i() {
+        // ni = 5 → period 4: i = 4.5 wraps to 0.5, i = -0.5 wraps to 3.5.
+        let d = Domain::o_grid(Dims::new(5, 5, 5));
+        let p = d.canonicalize(Vec3::new(4.5, 1.0, 1.0)).unwrap();
+        assert!((p.x - 0.5).abs() < 1e-5);
+        let q = d.canonicalize(Vec3::new(-0.5, 1.0, 1.0)).unwrap();
+        assert!((q.x - 3.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ogrid_still_bounds_j_k() {
+        let d = Domain::o_grid(Dims::new(5, 5, 5));
+        assert!(d.canonicalize(Vec3::new(2.0, 4.5, 0.0)).is_none());
+        assert!(d.canonicalize(Vec3::new(2.0, 0.0, -0.1)).is_none());
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let d = Domain::o_grid(Dims::new(5, 5, 5));
+        assert!(d.canonicalize(Vec3::new(f32::NAN, 1.0, 1.0)).is_none());
+        assert!(d.canonicalize(Vec3::new(1.0, f32::INFINITY, 1.0)).is_none());
+    }
+
+    #[test]
+    fn multiple_wraps() {
+        let d = Domain::o_grid(Dims::new(5, 5, 5));
+        // i = 9.0 → 9 mod 4 = 1.0.
+        let p = d.canonicalize(Vec3::new(9.0, 1.0, 1.0)).unwrap();
+        assert!((p.x - 1.0).abs() < 1e-4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_canonical_in_range(x in -100.0f32..100.0, y in 0.0f32..4.0, z in 0.0f32..4.0) {
+            let d = Domain::o_grid(Dims::new(5, 5, 5));
+            let p = d.canonicalize(Vec3::new(x, y, z)).unwrap();
+            prop_assert!(p.x >= 0.0 && p.x < 4.0 + 1e-4);
+            prop_assert!(d.dims().contains_grid_coord(p));
+        }
+
+        #[test]
+        fn prop_canonicalize_idempotent(x in -50.0f32..50.0, y in 0.0f32..4.0, z in 0.0f32..4.0) {
+            let d = Domain::o_grid(Dims::new(5, 5, 5));
+            let once = d.canonicalize(Vec3::new(x, y, z)).unwrap();
+            let twice = d.canonicalize(once).unwrap();
+            prop_assert!(once.distance(twice) < 1e-5);
+        }
+    }
+}

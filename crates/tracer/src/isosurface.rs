@@ -1,0 +1,251 @@
+//! Isosurface extraction — the tool the paper says the budget *excludes*.
+//!
+//! §1.2: "interactive streamlines of a flow computed with fast integration
+//! methods can be used, but interactive isosurfaces, which require
+//! computationally intensive algorithms such as marching cubes, can not."
+//!
+//! To turn that design claim into a measurement (see
+//! `benches/ablations.rs`), this module implements isosurface extraction
+//! by **marching tetrahedra**: each grid cell is split into six
+//! tetrahedra, and each tetrahedron contributes 0–2 triangles depending
+//! on which of its corners are above the isovalue. Marching tetrahedra is
+//! topologically unambiguous (no marching-cubes case-table holes) and
+//! costs the same order of work — every cell of the grid must be
+//! visited, which is exactly why it loses to streamlines in the 1/8-s
+//! budget: tracer work scales with path points, isosurface work scales
+//! with grid cells.
+
+use flowfield::ScalarField;
+use vecmath::Vec3;
+
+/// One extracted triangle, vertices in grid coordinates (convert to
+/// physical with `CurvilinearGrid::to_physical`, like any other tool
+/// output).
+pub type Triangle = [Vec3; 3];
+
+/// The six-tetrahedra decomposition of a unit cell. Corner numbering is
+/// the trilinear convention: bit 0 = +i, bit 1 = +j, bit 2 = +k. Every
+/// tet shares the main diagonal 0–7, which guarantees face-consistent
+/// triangulation between neighbouring cells.
+const TETS: [[usize; 4]; 6] = [
+    [0, 5, 1, 7],
+    [0, 1, 3, 7],
+    [0, 3, 2, 7],
+    [0, 2, 6, 7],
+    [0, 6, 4, 7],
+    [0, 4, 5, 7],
+];
+
+/// Corner offsets (i, j, k) by corner index.
+const CORNER_OFFSET: [(usize, usize, usize); 8] = [
+    (0, 0, 0),
+    (1, 0, 0),
+    (0, 1, 0),
+    (1, 1, 0),
+    (0, 0, 1),
+    (1, 0, 1),
+    (0, 1, 1),
+    (1, 1, 1),
+];
+
+/// Linear interpolation of the iso crossing on the edge a→b.
+#[inline]
+fn edge_crossing(pa: Vec3, va: f32, pb: Vec3, vb: f32, iso: f32) -> Vec3 {
+    let denom = vb - va;
+    let t = if denom.abs() < 1.0e-12 {
+        0.5
+    } else {
+        ((iso - va) / denom).clamp(0.0, 1.0)
+    };
+    pa.lerp(pb, t)
+}
+
+/// Emit the triangles of one tetrahedron.
+fn march_tet(p: [Vec3; 4], v: [f32; 4], iso: f32, out: &mut Vec<Triangle>) {
+    let mut inside = 0u8;
+    for (n, &val) in v.iter().enumerate() {
+        if val >= iso {
+            inside |= 1 << n;
+        }
+    }
+    // Helper: crossing point on tet edge (a, b).
+    let cross = |a: usize, b: usize| edge_crossing(p[a], v[a], p[b], v[b], iso);
+    match inside {
+        0b0000 | 0b1111 => {}
+        // One corner on its own side of the surface (inside or outside —
+        // same cut, opposite winding; we don't orient consistently since
+        // the windtunnel renders wireframe/points).
+        0b0001 | 0b1110 => out.push([cross(0, 1), cross(0, 2), cross(0, 3)]),
+        0b0010 | 0b1101 => out.push([cross(1, 0), cross(1, 2), cross(1, 3)]),
+        0b0100 | 0b1011 => out.push([cross(2, 0), cross(2, 1), cross(2, 3)]),
+        0b1000 | 0b0111 => out.push([cross(3, 0), cross(3, 1), cross(3, 2)]),
+        // Two corners inside: quad = two triangles.
+        0b0011 | 0b1100 => {
+            let (q0, q1, q2, q3) = (cross(0, 2), cross(0, 3), cross(1, 3), cross(1, 2));
+            out.push([q0, q1, q2]);
+            out.push([q0, q2, q3]);
+        }
+        0b0101 | 0b1010 => {
+            let (q0, q1, q2, q3) = (cross(0, 1), cross(0, 3), cross(2, 3), cross(2, 1));
+            out.push([q0, q1, q2]);
+            out.push([q0, q2, q3]);
+        }
+        0b0110 | 0b1001 => {
+            let (q0, q1, q2, q3) = (cross(1, 0), cross(1, 3), cross(2, 3), cross(2, 0));
+            out.push([q0, q1, q2]);
+            out.push([q0, q2, q3]);
+        }
+        _ => unreachable!("4-bit mask"),
+    }
+}
+
+/// Extract the isosurface `field == iso` over the whole grid. Returns
+/// triangles in grid coordinates. Cost is Θ(cells) regardless of how much
+/// surface exists — the §1.2 point.
+pub fn isosurface(field: &ScalarField, iso: f32) -> Vec<Triangle> {
+    let dims = field.dims();
+    let mut out = Vec::new();
+    if !dims.supports_interpolation() {
+        return out;
+    }
+    let (ni, nj, nk) = (dims.ni as usize, dims.nj as usize, dims.nk as usize);
+    for k in 0..nk - 1 {
+        for j in 0..nj - 1 {
+            for i in 0..ni - 1 {
+                // Gather the 8 corners.
+                let mut pos = [Vec3::ZERO; 8];
+                let mut val = [0.0f32; 8];
+                let mut lo = f32::INFINITY;
+                let mut hi = f32::NEG_INFINITY;
+                for c in 0..8 {
+                    let (oi, oj, ok) = CORNER_OFFSET[c];
+                    let (ci, cj, ck) = (i + oi, j + oj, k + ok);
+                    pos[c] = Vec3::new(ci as f32, cj as f32, ck as f32);
+                    val[c] = field.at(ci, cj, ck);
+                    lo = lo.min(val[c]);
+                    hi = hi.max(val[c]);
+                }
+                // Quick reject: cell does not straddle the isovalue.
+                if iso < lo || iso > hi {
+                    continue;
+                }
+                for tet in &TETS {
+                    march_tet(
+                        [pos[tet[0]], pos[tet[1]], pos[tet[2]], pos[tet[3]]],
+                        [val[tet[0]], val[tet[1]], val[tet[2]], val[tet[3]]],
+                        iso,
+                        &mut out,
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Total area of a triangle soup (validation metric).
+pub fn surface_area(tris: &[Triangle]) -> f32 {
+    tris.iter()
+        .map(|t| (t[1] - t[0]).cross(t[2] - t[0]).length() * 0.5)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowfield::Dims;
+
+    /// Distance-from-center field: isosurfaces are spheres.
+    fn sphere_field(n: u32) -> ScalarField {
+        let c = (n - 1) as f32 / 2.0;
+        ScalarField::from_fn(Dims::new(n, n, n), |i, j, k| {
+            Vec3::new(i as f32 - c, j as f32 - c, k as f32 - c).length()
+        })
+    }
+
+    #[test]
+    fn empty_when_iso_out_of_range() {
+        let f = sphere_field(9);
+        assert!(isosurface(&f, 100.0).is_empty());
+        assert!(isosurface(&f, -1.0).is_empty());
+    }
+
+    #[test]
+    fn sphere_vertices_lie_on_the_sphere() {
+        let f = sphere_field(17);
+        let r = 5.0;
+        let tris = isosurface(&f, r);
+        assert!(!tris.is_empty());
+        let c = Vec3::splat(8.0);
+        for t in &tris {
+            for v in t {
+                let d = (*v - c).length();
+                // Linear interpolation of a radial field on unit cells is
+                // accurate to a fraction of a cell.
+                assert!((d - r).abs() < 0.3, "vertex at radius {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn sphere_area_approximates_4_pi_r2() {
+        let f = sphere_field(33);
+        let r = 9.0;
+        let tris = isosurface(&f, r);
+        let area = surface_area(&tris);
+        let expect = 4.0 * std::f32::consts::PI * r * r;
+        assert!(
+            (area - expect).abs() / expect < 0.15,
+            "area {area} vs 4πr² = {expect}"
+        );
+    }
+
+    #[test]
+    fn plane_field_gives_flat_surface() {
+        // f = x: iso at 3.5 is the plane x = 3.5 across an n³ grid.
+        let n = 9u32;
+        let f = ScalarField::from_fn(Dims::new(n, n, n), |i, _, _| i as f32);
+        let tris = isosurface(&f, 3.5);
+        assert!(!tris.is_empty());
+        for t in &tris {
+            for v in t {
+                assert!((v.x - 3.5).abs() < 1e-5);
+            }
+        }
+        // Area = (n-1)² of the cross-section.
+        let area = surface_area(&tris);
+        let expect = ((n - 1) * (n - 1)) as f32;
+        assert!((area - expect).abs() / expect < 0.01, "{area} vs {expect}");
+    }
+
+    #[test]
+    fn iso_through_node_values_is_robust() {
+        // Iso exactly equal to node values (degenerate crossings) must
+        // not panic or emit NaN vertices.
+        let f = ScalarField::from_fn(Dims::new(5, 5, 5), |i, j, k| ((i + j + k) % 2) as f32);
+        let tris = isosurface(&f, 1.0);
+        for t in &tris {
+            for v in t {
+                assert!(v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_dims_yield_nothing() {
+        let f = ScalarField::zeros(Dims::new(1, 5, 5));
+        assert!(isosurface(&f, 0.0).is_empty());
+    }
+
+    #[test]
+    fn cost_scales_with_cells_not_surface() {
+        // The §1.2 argument, as an operation-count property: an isovalue
+        // producing *no* surface still visits every cell (we verify via
+        // timing ratio staying bounded rather than instrumenting; here we
+        // just confirm correctness of the quick-reject: zero triangles
+        // but full scan terminates).
+        let f = sphere_field(33);
+        let none = isosurface(&f, 1.0e6);
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! Multiple-grid datasets — the first item of the paper's further work.
+//!
+//! §7: "Further work includes the extension of the computational
+//! algorithms to handle multiple grid data sets…". Real NAS datasets
+//! (the Harrier, full aircraft) were multi-zone: several curvilinear
+//! grids abutting or overlapping, each with its own velocity data. A
+//! particle integrated in zone A's grid coordinates that exits zone A
+//! must be re-located in whichever zone contains its physical position
+//! and continue in *that* zone's coordinates.
+//!
+//! [`trace_multizone`] implements exactly that hand-off: integrate in
+//! grid coordinates as usual (cheap), and only when a particle leaves its
+//! zone pay one physical-space point location (`CurvilinearGrid::locate`)
+//! against the other zones — the economics the paper's single-grid
+//! design established, generalized.
+
+use crate::domain::Domain;
+use crate::streamline::TraceConfig;
+use flowfield::{CurvilinearGrid, FieldSample, VectorField};
+use vecmath::Vec3;
+
+/// One grid zone: geometry + grid-coordinate velocity field + topology.
+pub struct Zone {
+    pub grid: CurvilinearGrid,
+    pub field: VectorField,
+    pub domain: Domain,
+}
+
+impl Zone {
+    pub fn new(grid: CurvilinearGrid, field: VectorField, domain: Domain) -> Zone {
+        Zone {
+            grid,
+            field,
+            domain,
+        }
+    }
+}
+
+/// A point on a multizone path: physical position plus the zone it was
+/// integrated in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZonedPoint {
+    pub position: Vec3,
+    pub zone: usize,
+}
+
+/// Find a zone containing physical point `p`, preferring `hint` (the
+/// zone the particle just left is checked last — it already failed).
+fn locate_in_zones(zones: &[Zone], p: Vec3, exclude: usize) -> Option<(usize, Vec3)> {
+    for (zi, zone) in zones.iter().enumerate() {
+        if zi == exclude {
+            continue;
+        }
+        // Cheap reject by bounding box before the expensive search.
+        if !zone.grid.bounds().inflated(1.0e-4).contains(p) {
+            continue;
+        }
+        if let Some(gc) = zone.grid.locate(p) {
+            if let Some(gc) = zone.domain.canonicalize(gc) {
+                return Some((zi, gc));
+            }
+        }
+    }
+    None
+}
+
+/// Trace a streamline across zones. `seed` is a physical-space point; the
+/// result is a physical-space polyline annotated with the zone each point
+/// was computed in. Terminates when no zone contains the particle, on
+/// stagnation, or at `cfg.max_points`.
+pub fn trace_multizone(zones: &[Zone], seed: Vec3, cfg: &TraceConfig) -> Vec<ZonedPoint> {
+    let mut path = Vec::with_capacity(cfg.max_points + 1);
+    // Initial placement: any zone that contains the seed.
+    let Some((mut zi, mut gc)) = locate_in_zones(zones, seed, usize::MAX) else {
+        return path;
+    };
+    let start_phys = match zones[zi].grid.to_physical(gc) {
+        Some(p) => p,
+        None => return path,
+    };
+    path.push(ZonedPoint {
+        position: start_phys,
+        zone: zi,
+    });
+
+    while path.len() <= cfg.max_points {
+        let zone = &zones[zi];
+        // Stagnation check.
+        match zone.field.sample(gc) {
+            Some(v) if v.length() >= cfg.min_speed => {}
+            _ => break,
+        }
+        match cfg.integrator.step(&zone.field, &zone.domain, gc, cfg.dt) {
+            Some(next) => {
+                gc = next;
+                let phys = match zone.grid.to_physical(gc) {
+                    Some(p) => p,
+                    None => break,
+                };
+                path.push(ZonedPoint {
+                    position: phys,
+                    zone: zi,
+                });
+            }
+            None => {
+                // Left this zone: one half-step forward in physical space
+                // (Euler estimate) to poke into the neighbour, then
+                // re-locate.
+                let phys = match zone.grid.to_physical(zone.domain.canonicalize(gc).unwrap_or(gc))
+                {
+                    Some(p) => p,
+                    None => break,
+                };
+                let v_grid = zone.field.sample(gc).unwrap_or(Vec3::ZERO);
+                let v_phys = zone
+                    .grid
+                    .jacobian(gc)
+                    .map(|j| j.mul_vec(v_grid))
+                    .unwrap_or(Vec3::ZERO);
+                let probe = phys + v_phys * cfg.dt;
+                match locate_in_zones(zones, probe, zi) {
+                    Some((nzi, ngc)) => {
+                        zi = nzi;
+                        gc = ngc;
+                        path.push(ZonedPoint {
+                            position: probe,
+                            zone: zi,
+                        });
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Integrator;
+    use flowfield::Dims;
+    use vecmath::Aabb;
+
+    /// Two abutting unit Cartesian zones: zone 0 covers x ∈ [0, 8],
+    /// zone 1 covers x ∈ [8, 16]; both span y, z ∈ [0, 8]. Uniform +x
+    /// physical flow (unit grids ⇒ grid velocity = +i too).
+    fn two_zones() -> Vec<Zone> {
+        let dims = Dims::new(9, 9, 9);
+        let make = |x0: f32| {
+            let grid = CurvilinearGrid::cartesian(
+                dims,
+                Aabb::new(Vec3::new(x0, 0.0, 0.0), Vec3::new(x0 + 8.0, 8.0, 8.0)),
+            )
+            .unwrap();
+            let field = VectorField::from_fn(dims, |_, _, _| Vec3::X);
+            Zone::new(grid, field, Domain::boxed(dims))
+        };
+        vec![make(0.0), make(8.0)]
+    }
+
+    fn cfg(dt: f32, max_points: usize) -> TraceConfig {
+        TraceConfig {
+            dt,
+            max_points,
+            integrator: Integrator::Rk2,
+            ..TraceConfig::default()
+        }
+    }
+
+    #[test]
+    fn path_crosses_the_zone_boundary() {
+        let zones = two_zones();
+        let path = trace_multizone(&zones, Vec3::new(1.0, 4.0, 4.0), &cfg(1.0, 14));
+        assert!(path.len() >= 13, "path too short: {}", path.len());
+        // Starts in zone 0, ends in zone 1.
+        assert_eq!(path.first().unwrap().zone, 0);
+        assert_eq!(path.last().unwrap().zone, 1);
+        // The physical trajectory stays the straight line y = z = 4.
+        for p in &path {
+            assert!((p.position.y - 4.0).abs() < 1e-2, "{:?}", p);
+            assert!((p.position.z - 4.0).abs() < 1e-2);
+        }
+        // And x is monotone through the seam.
+        for w in path.windows(2) {
+            assert!(w[1].position.x > w[0].position.x - 1e-4);
+        }
+    }
+
+    #[test]
+    fn terminates_when_no_zone_contains_particle() {
+        let zones = two_zones();
+        // Seed near the downstream end of zone 1: exits the world.
+        let path = trace_multizone(&zones, Vec3::new(14.5, 4.0, 4.0), &cfg(1.0, 50));
+        assert!(path.len() <= 4);
+        assert!(path.last().unwrap().position.x <= 17.0);
+    }
+
+    #[test]
+    fn seed_outside_all_zones_is_empty() {
+        let zones = two_zones();
+        assert!(trace_multizone(&zones, Vec3::new(-5.0, 4.0, 4.0), &cfg(1.0, 10)).is_empty());
+        assert!(trace_multizone(&zones, Vec3::new(4.0, 40.0, 4.0), &cfg(1.0, 10)).is_empty());
+    }
+
+    #[test]
+    fn single_zone_matches_plain_streamline() {
+        let zones = two_zones();
+        let seed = Vec3::new(1.0, 3.0, 5.0);
+        let multi = trace_multizone(&zones[..1], seed, &cfg(0.5, 10));
+        let plain = crate::streamline(
+            &zones[0].field,
+            &zones[0].domain,
+            seed, // unit grid: physical == grid coords for zone 0
+            &cfg(0.5, 10),
+        );
+        let plain_phys = zones[0].grid.path_to_physical(&plain);
+        assert_eq!(multi.len(), plain_phys.len());
+        for (m, p) in multi.iter().zip(&plain_phys) {
+            assert!(m.position.distance(*p) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn stagnation_terminates_in_any_zone() {
+        let dims = Dims::new(9, 9, 9);
+        let grid = CurvilinearGrid::cartesian(
+            dims,
+            Aabb::new(Vec3::ZERO, Vec3::splat(8.0)),
+        )
+        .unwrap();
+        let field = VectorField::zeros(dims);
+        let zones = vec![Zone::new(grid, field, Domain::boxed(dims))];
+        let path = trace_multizone(&zones, Vec3::splat(4.0), &cfg(1.0, 50));
+        assert_eq!(path.len(), 1);
+    }
+
+    #[test]
+    fn mismatched_zone_resolutions_still_hand_off() {
+        // Zone 1 at twice the resolution of zone 0: the hand-off relocates
+        // into the finer grid's coordinates and the physical line stays
+        // straight.
+        let coarse_dims = Dims::new(9, 9, 9);
+        let fine_dims = Dims::new(17, 17, 17);
+        let z0 = Zone::new(
+            CurvilinearGrid::cartesian(
+                coarse_dims,
+                Aabb::new(Vec3::ZERO, Vec3::splat(8.0)),
+            )
+            .unwrap(),
+            VectorField::from_fn(coarse_dims, |_, _, _| Vec3::X),
+            Domain::boxed(coarse_dims),
+        );
+        // Fine zone: physical x ∈ [8, 16] over 17 nodes ⇒ spacing 0.5 ⇒
+        // physical +x flow needs grid velocity 2·i.
+        let z1 = Zone::new(
+            CurvilinearGrid::cartesian(
+                fine_dims,
+                Aabb::new(Vec3::new(8.0, 0.0, 0.0), Vec3::new(16.0, 8.0, 8.0)),
+            )
+            .unwrap(),
+            VectorField::from_fn(fine_dims, |_, _, _| Vec3::new(2.0, 0.0, 0.0)),
+            Domain::boxed(fine_dims),
+        );
+        let zones = vec![z0, z1];
+        let path = trace_multizone(&zones, Vec3::new(6.0, 4.0, 4.0), &cfg(1.0, 8));
+        assert!(path.last().unwrap().zone == 1);
+        assert!(path.last().unwrap().position.x > 9.0);
+        for p in &path {
+            assert!((p.position.y - 4.0).abs() < 1e-2);
+        }
+        // Physical speed is ~1 in both zones despite different grid
+        // velocities: consecutive x gaps ≈ dt.
+        for w in path.windows(2) {
+            let dx = w[1].position.x - w[0].position.x;
+            assert!((dx - 1.0).abs() < 0.2, "dx = {dx}");
+        }
+    }
+}

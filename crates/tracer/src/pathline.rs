@@ -1,0 +1,202 @@
+//! Particle paths (pathlines): the trajectory of one fluid element
+//! through the *unsteady* flow.
+//!
+//! §2.1: "Particle paths take as input the seed point(s) and iteratively
+//! integrate the particle position, incrementing the timestep with each
+//! integration." And §5.1's consequence: "Construction of particle paths
+//! in particular require the entire data set for all timesteps, as the
+//! particle paths may extend throughout the entire data set… the number
+//! of timesteps that can fit in physical memory places a limit on the
+//! length of the particle paths." [`pathline`] works over any window of
+//! timesteps, so both the all-in-memory and the windowed disk-streaming
+//! regimes use the same code.
+
+use crate::domain::Domain;
+use crate::integrate::Integrator;
+use crate::Polyline;
+use flowfield::VectorField;
+use vecmath::Vec3;
+
+/// Parameters for a particle-path trace.
+#[derive(Debug, Clone, Copy)]
+pub struct PathlineConfig {
+    pub integrator: Integrator,
+    /// Integration substeps per timestep interval (≥ 1). The paper uses
+    /// one integration per timestep; more substeps improve accuracy when
+    /// timesteps are coarse.
+    pub substeps_per_timestep: usize,
+    /// Physical time between consecutive timestep fields.
+    pub dt_per_timestep: f32,
+    /// Blend velocity linearly between the bracketing timesteps
+    /// (time-accurate); `false` reproduces the paper's
+    /// one-field-per-interval behaviour.
+    pub time_interpolate: bool,
+}
+
+impl Default for PathlineConfig {
+    fn default() -> Self {
+        PathlineConfig {
+            integrator: Integrator::Rk2,
+            substeps_per_timestep: 1,
+            dt_per_timestep: 1.0,
+            time_interpolate: false,
+        }
+    }
+}
+
+/// Integrate a particle path from `seed`, starting at timestep
+/// `start_timestep` of `timesteps`, until the particle leaves the domain
+/// or the window of timesteps is exhausted. Returns one point per
+/// substep, beginning with the seed.
+pub fn pathline(
+    timesteps: &[VectorField],
+    domain: &Domain,
+    seed: Vec3,
+    start_timestep: usize,
+    cfg: &PathlineConfig,
+) -> Polyline {
+    let Some(mut p) = domain.canonicalize(seed) else {
+        return Vec::new();
+    };
+    let substeps = cfg.substeps_per_timestep.max(1);
+    let sub_dt = cfg.dt_per_timestep / substeps as f32;
+    let mut path = vec![p];
+    if start_timestep >= timesteps.len() {
+        return path;
+    }
+    'outer: for ts in start_timestep..timesteps.len() {
+        let f0 = &timesteps[ts];
+        let f1 = timesteps.get(ts + 1);
+        for sub in 0..substeps {
+            let next = if cfg.time_interpolate {
+                let alpha = (sub as f32 + 0.5) / substeps as f32;
+                match f1 {
+                    Some(f1) => cfg
+                        .integrator
+                        .step_blended(f0, f1, alpha, domain, p, sub_dt),
+                    None => cfg.integrator.step(f0, domain, p, sub_dt),
+                }
+            } else {
+                cfg.integrator.step(f0, domain, p, sub_dt)
+            };
+            match next {
+                Some(next) => {
+                    p = next;
+                    path.push(p);
+                }
+                None => break 'outer,
+            }
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowfield::FieldSample;
+    use flowfield::{Dims, VectorField};
+
+    fn steady_x(n_steps: usize) -> Vec<VectorField> {
+        (0..n_steps)
+            .map(|_| VectorField::from_fn(Dims::new(32, 8, 8), |_, _, _| Vec3::X))
+            .collect()
+    }
+
+    /// Velocity +X on even timesteps, +Y on odd — maximally unsteady.
+    fn alternating(n_steps: usize) -> Vec<VectorField> {
+        (0..n_steps)
+            .map(|t| {
+                let v = if t % 2 == 0 { Vec3::X } else { Vec3::Y };
+                VectorField::from_fn(Dims::new(32, 32, 4), move |_, _, _| v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn steady_pathline_matches_streamline_shape() {
+        let ts = steady_x(10);
+        let d = Domain::boxed(ts[0].dims());
+        let cfg = PathlineConfig::default();
+        let path = pathline(&ts, &d, Vec3::new(1.0, 4.0, 4.0), 0, &cfg);
+        assert_eq!(path.len(), 11);
+        for (n, p) in path.iter().enumerate() {
+            assert!(p.distance(Vec3::new(1.0 + n as f32, 4.0, 4.0)) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn path_is_limited_by_available_timesteps() {
+        // §5.1: path length is limited by the resident timestep window.
+        let ts = steady_x(5);
+        let d = Domain::boxed(ts[0].dims());
+        let path = pathline(&ts, &d, Vec3::new(1.0, 4.0, 4.0), 0, &PathlineConfig::default());
+        assert_eq!(path.len(), 6); // seed + one step per timestep
+
+        let path_short = pathline(&ts, &d, Vec3::new(1.0, 4.0, 4.0), 3, &PathlineConfig::default());
+        assert_eq!(path_short.len(), 3); // seed + timesteps 3 and 4
+    }
+
+    #[test]
+    fn start_beyond_window_returns_seed_only() {
+        let ts = steady_x(3);
+        let d = Domain::boxed(ts[0].dims());
+        let path = pathline(&ts, &d, Vec3::new(1.0, 4.0, 4.0), 99, &PathlineConfig::default());
+        assert_eq!(path.len(), 1);
+    }
+
+    #[test]
+    fn unsteady_pathline_tracks_changing_field() {
+        let ts = alternating(4);
+        let d = Domain::boxed(ts[0].dims());
+        let path = pathline(&ts, &d, Vec3::new(2.0, 2.0, 2.0), 0, &PathlineConfig::default());
+        // Steps: +X, +Y, +X, +Y.
+        assert_eq!(path.len(), 5);
+        assert!(path[1].distance(Vec3::new(3.0, 2.0, 2.0)) < 1e-4);
+        assert!(path[2].distance(Vec3::new(3.0, 3.0, 2.0)) < 1e-4);
+        assert!(path[4].distance(Vec3::new(4.0, 4.0, 2.0)) < 1e-4);
+    }
+
+    #[test]
+    fn substeps_refine_the_path() {
+        let ts = steady_x(3);
+        let d = Domain::boxed(ts[0].dims());
+        let cfg = PathlineConfig {
+            substeps_per_timestep: 4,
+            ..PathlineConfig::default()
+        };
+        let path = pathline(&ts, &d, Vec3::new(1.0, 4.0, 4.0), 0, &cfg);
+        assert_eq!(path.len(), 13); // seed + 3·4
+        assert!(path[1].distance(Vec3::new(1.25, 4.0, 4.0)) < 1e-4);
+    }
+
+    #[test]
+    fn time_interpolation_blends_between_fields() {
+        let ts = alternating(2); // +X then +Y
+        let d = Domain::boxed(ts[0].dims());
+        let cfg = PathlineConfig {
+            time_interpolate: true,
+            integrator: Integrator::Euler,
+            ..PathlineConfig::default()
+        };
+        let path = pathline(&ts, &d, Vec3::new(2.0, 2.0, 2.0), 0, &cfg);
+        // First step uses the α=0.5 blend of +X and +Y.
+        assert!(path[1].distance(Vec3::new(2.5, 2.5, 2.0)) < 1e-4);
+    }
+
+    #[test]
+    fn terminates_on_domain_exit() {
+        let ts = steady_x(100);
+        let d = Domain::boxed(ts[0].dims());
+        let path = pathline(&ts, &d, Vec3::new(28.0, 4.0, 4.0), 0, &PathlineConfig::default());
+        // 28 → 31 is 3 steps; the 4th leaves.
+        assert_eq!(path.len(), 4);
+    }
+
+    #[test]
+    fn out_of_domain_seed_is_empty() {
+        let ts = steady_x(3);
+        let d = Domain::boxed(ts[0].dims());
+        assert!(pathline(&ts, &d, Vec3::splat(-1.0), 0, &PathlineConfig::default()).is_empty());
+    }
+}

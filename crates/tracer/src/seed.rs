@@ -1,0 +1,236 @@
+//! Seed points and rakes.
+//!
+//! §2.1: "Control over the seed points for all of the above tools are
+//! provided by lines of seed points called rakes. … These rakes are
+//! grabbed at one of three points: center for rigid translation of the
+//! rake, or at either end for movement of that end of the rake. In this
+//! way rakes may be oriented in an arbitrary manner. Several rakes may be
+//! defined simultaneously. The type and number of seedpoints in a
+//! particular rake is determined by the user."
+//!
+//! Rake geometry lives in *grid coordinates* (like everything the tracer
+//! touches); the client converts to physical space for display.
+
+use serde::{Deserialize, Serialize};
+use vecmath::Vec3;
+
+/// Which visualization tool a rake drives (§2.1's three techniques).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ToolKind {
+    #[default]
+    Streamline,
+    ParticlePath,
+    Streakline,
+}
+
+/// The three grab points of a rake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Handle {
+    /// Rigid translation of the whole rake.
+    Center,
+    /// Move endpoint A only.
+    EndA,
+    /// Move endpoint B only.
+    EndB,
+}
+
+/// A line of seed points between two endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rake {
+    /// First endpoint (grid coordinates).
+    pub a: Vec3,
+    /// Second endpoint (grid coordinates).
+    pub b: Vec3,
+    /// Number of seed points along the line (≥ 1).
+    pub seed_count: u32,
+    /// Tool this rake drives.
+    pub tool: ToolKind,
+}
+
+impl Rake {
+    pub fn new(a: Vec3, b: Vec3, seed_count: u32, tool: ToolKind) -> Rake {
+        Rake {
+            a,
+            b,
+            seed_count: seed_count.max(1),
+            tool,
+        }
+    }
+
+    /// Midpoint of the rake — the "center" grab point.
+    pub fn center(&self) -> Vec3 {
+        (self.a + self.b) * 0.5
+    }
+
+    /// Rake length.
+    pub fn length(&self) -> f32 {
+        self.a.distance(self.b)
+    }
+
+    /// The seed points: `seed_count` points evenly spaced from `a` to `b`
+    /// inclusive (a single seed sits at the center).
+    pub fn seeds(&self) -> Vec<Vec3> {
+        let n = self.seed_count.max(1);
+        if n == 1 {
+            return vec![self.center()];
+        }
+        (0..n)
+            .map(|s| self.a.lerp(self.b, s as f32 / (n - 1) as f32))
+            .collect()
+    }
+
+    /// Position of the given handle.
+    pub fn handle_position(&self, handle: Handle) -> Vec3 {
+        match handle {
+            Handle::Center => self.center(),
+            Handle::EndA => self.a,
+            Handle::EndB => self.b,
+        }
+    }
+
+    /// Which handle (if any) is within `radius` of `point` — the glove's
+    /// grab test. Ends win over center when both are in range, because
+    /// the ends are what you aim for when reorienting.
+    pub fn hit_test(&self, point: Vec3, radius: f32) -> Option<Handle> {
+        if self.a.distance(point) <= radius {
+            return Some(Handle::EndA);
+        }
+        if self.b.distance(point) <= radius {
+            return Some(Handle::EndB);
+        }
+        if self.center().distance(point) <= radius {
+            return Some(Handle::Center);
+        }
+        None
+    }
+
+    /// Drag the given handle by `delta`: center translates rigidly, an
+    /// end moves alone (reorienting the rake about the other end).
+    pub fn drag(&mut self, handle: Handle, delta: Vec3) {
+        match handle {
+            Handle::Center => {
+                self.a += delta;
+                self.b += delta;
+            }
+            Handle::EndA => self.a += delta,
+            Handle::EndB => self.b += delta,
+        }
+    }
+
+    /// Move the given handle to an absolute position.
+    pub fn set_handle(&mut self, handle: Handle, position: Vec3) {
+        match handle {
+            Handle::Center => {
+                let delta = position - self.center();
+                self.a += delta;
+                self.b += delta;
+            }
+            Handle::EndA => self.a = position,
+            Handle::EndB => self.b = position,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rake() -> Rake {
+        Rake::new(Vec3::ZERO, Vec3::new(4.0, 0.0, 0.0), 5, ToolKind::Streamline)
+    }
+
+    #[test]
+    fn seeds_evenly_spaced_inclusive() {
+        let s = rake().seeds();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[0], Vec3::ZERO);
+        assert_eq!(s[4], Vec3::new(4.0, 0.0, 0.0));
+        assert!(s[2].distance(Vec3::new(2.0, 0.0, 0.0)) < 1e-6);
+    }
+
+    #[test]
+    fn single_seed_at_center() {
+        let r = Rake::new(Vec3::ZERO, Vec3::new(2.0, 2.0, 0.0), 1, ToolKind::Streakline);
+        assert_eq!(r.seeds(), vec![Vec3::new(1.0, 1.0, 0.0)]);
+    }
+
+    #[test]
+    fn zero_seed_count_clamped() {
+        let r = Rake::new(Vec3::ZERO, Vec3::X, 0, ToolKind::Streamline);
+        assert_eq!(r.seed_count, 1);
+        assert_eq!(r.seeds().len(), 1);
+    }
+
+    #[test]
+    fn center_drag_is_rigid() {
+        let mut r = rake();
+        let len = r.length();
+        r.drag(Handle::Center, Vec3::new(0.0, 3.0, 0.0));
+        assert_eq!(r.a, Vec3::new(0.0, 3.0, 0.0));
+        assert_eq!(r.b, Vec3::new(4.0, 3.0, 0.0));
+        assert!((r.length() - len).abs() < 1e-6);
+    }
+
+    #[test]
+    fn end_drag_reorients() {
+        let mut r = rake();
+        r.drag(Handle::EndB, Vec3::new(0.0, 4.0, 0.0));
+        assert_eq!(r.a, Vec3::ZERO); // other end fixed
+        assert_eq!(r.b, Vec3::new(4.0, 4.0, 0.0));
+    }
+
+    #[test]
+    fn set_handle_center_translates() {
+        let mut r = rake();
+        r.set_handle(Handle::Center, Vec3::new(10.0, 0.0, 0.0));
+        assert!(r.center().distance(Vec3::new(10.0, 0.0, 0.0)) < 1e-5);
+        assert!((r.length() - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn hit_test_prefers_ends() {
+        let r = rake();
+        assert_eq!(r.hit_test(Vec3::new(0.1, 0.0, 0.0), 0.5), Some(Handle::EndA));
+        assert_eq!(r.hit_test(Vec3::new(3.9, 0.1, 0.0), 0.5), Some(Handle::EndB));
+        assert_eq!(r.hit_test(Vec3::new(2.0, 0.2, 0.0), 0.5), Some(Handle::Center));
+        assert_eq!(r.hit_test(Vec3::new(2.0, 5.0, 0.0), 0.5), None);
+    }
+
+    #[test]
+    fn hit_test_end_beats_center_on_short_rake() {
+        // Rake shorter than the grab radius: both end and center are in
+        // range; the end must win.
+        let r = Rake::new(Vec3::ZERO, Vec3::new(0.2, 0.0, 0.0), 3, ToolKind::Streamline);
+        assert_eq!(r.hit_test(Vec3::new(0.0, 0.0, 0.0), 0.5), Some(Handle::EndA));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_seeds_lie_on_segment(n in 1u32..20, t in 0.0f32..1.0) {
+            let r = Rake::new(Vec3::ZERO, Vec3::new(3.0, 1.0, -2.0), n, ToolKind::Streamline);
+            let seeds = r.seeds();
+            prop_assert_eq!(seeds.len(), n as usize);
+            for s in &seeds {
+                // Each seed is a convex combination of a and b.
+                let along = s.dot(r.b - r.a) / (r.b - r.a).length_squared();
+                prop_assert!((-1e-4..=1.0 + 1e-4).contains(&along));
+                let proj = r.a.lerp(r.b, along.clamp(0.0, 1.0));
+                prop_assert!(proj.distance(*s) < 1e-4);
+            }
+            // t unused beyond exercising the strategy; keeps seeds varied.
+            let _ = t;
+        }
+
+        #[test]
+        fn prop_center_drag_preserves_seed_spacing(dx in -5.0f32..5.0, dy in -5.0f32..5.0) {
+            let mut r = rake();
+            let before = r.seeds();
+            r.drag(Handle::Center, Vec3::new(dx, dy, 0.0));
+            let after = r.seeds();
+            for (b, a) in before.iter().zip(&after) {
+                prop_assert!((*a - *b).distance(Vec3::new(dx, dy, 0.0)) < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Axis-aligned bounding boxes.
+//!
+//! Used for: the physical extent of a dataset (so the client can frame the
+//! scene), rake grab-handle hit testing (is the glove near the rake center
+//! or an endpoint?), and clamping seed points into the valid grid domain.
+
+use crate::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Axis-aligned box `[min, max]`. An "empty" box has `min > max` in some
+/// component and contains nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    pub min: Vec3,
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// The canonical empty box — the identity for [`Aabb::union`].
+    pub const EMPTY: Aabb = Aabb {
+        min: Vec3::splat(f32::INFINITY),
+        max: Vec3::splat(f32::NEG_INFINITY),
+    };
+
+    /// Box spanning two corners (components sorted for you).
+    pub fn new(a: Vec3, b: Vec3) -> Aabb {
+        Aabb {
+            min: a.min_elem(b),
+            max: a.max_elem(b),
+        }
+    }
+
+    /// Box centered on `c` with half-extent `h` in every direction.
+    pub fn centered(c: Vec3, h: f32) -> Aabb {
+        Aabb {
+            min: c - Vec3::splat(h),
+            max: c + Vec3::splat(h),
+        }
+    }
+
+    /// Smallest box containing all `points`; [`Aabb::EMPTY`] if none.
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Aabb {
+        points.into_iter().fold(Aabb::EMPTY, |b, p| b.expanded(p))
+    }
+
+    /// True when the box contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// Inclusive containment test.
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Grow to include a point.
+    #[must_use]
+    pub fn expanded(&self, p: Vec3) -> Aabb {
+        Aabb {
+            min: self.min.min_elem(p),
+            max: self.max.max_elem(p),
+        }
+    }
+
+    /// Grow outward by `margin` on every face.
+    #[must_use]
+    pub fn inflated(&self, margin: f32) -> Aabb {
+        Aabb {
+            min: self.min - Vec3::splat(margin),
+            max: self.max + Vec3::splat(margin),
+        }
+    }
+
+    /// Union of two boxes.
+    #[must_use]
+    pub fn union(&self, rhs: &Aabb) -> Aabb {
+        Aabb {
+            min: self.min.min_elem(rhs.min),
+            max: self.max.max_elem(rhs.max),
+        }
+    }
+
+    /// Overlap test (empty boxes overlap nothing).
+    pub fn intersects(&self, rhs: &Aabb) -> bool {
+        if self.is_empty() || rhs.is_empty() {
+            return false;
+        }
+        self.min.x <= rhs.max.x
+            && self.max.x >= rhs.min.x
+            && self.min.y <= rhs.max.y
+            && self.max.y >= rhs.min.y
+            && self.min.z <= rhs.max.z
+            && self.max.z >= rhs.min.z
+    }
+
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    pub fn size(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Length of the body diagonal — the natural "scene scale" used to pick
+    /// camera distances and integration step sizes.
+    pub fn diagonal(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.size().length()
+        }
+    }
+
+    /// Clamp a point into the box.
+    pub fn clamp(&self, p: Vec3) -> Vec3 {
+        p.clamp_elem(self.min, self.max)
+    }
+}
+
+impl Default for Aabb {
+    fn default() -> Self {
+        Aabb::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_box_properties() {
+        let e = Aabb::EMPTY;
+        assert!(e.is_empty());
+        assert!(!e.contains(Vec3::ZERO));
+        assert_eq!(e.diagonal(), 0.0);
+    }
+
+    #[test]
+    fn new_sorts_corners() {
+        let b = Aabb::new(Vec3::new(1.0, -1.0, 5.0), Vec3::new(-1.0, 1.0, 0.0));
+        assert_eq!(b.min, Vec3::new(-1.0, -1.0, 0.0));
+        assert_eq!(b.max, Vec3::new(1.0, 1.0, 5.0));
+    }
+
+    #[test]
+    fn containment() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        assert!(b.contains(Vec3::splat(0.5)));
+        assert!(b.contains(Vec3::ZERO)); // boundary inclusive
+        assert!(b.contains(Vec3::ONE));
+        assert!(!b.contains(Vec3::splat(1.01)));
+    }
+
+    #[test]
+    fn expand_and_union() {
+        let b = Aabb::EMPTY.expanded(Vec3::ONE).expanded(-Vec3::ONE);
+        assert_eq!(b.min, -Vec3::ONE);
+        assert_eq!(b.max, Vec3::ONE);
+        let c = b.union(&Aabb::centered(Vec3::splat(3.0), 0.5));
+        assert!(c.contains(Vec3::splat(3.4)));
+        assert!(c.contains(-Vec3::ONE));
+    }
+
+    #[test]
+    fn from_points_bounds_all() {
+        let pts = [Vec3::new(0.0, 5.0, -1.0), Vec3::new(2.0, -3.0, 4.0)];
+        let b = Aabb::from_points(pts);
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.center(), Vec3::new(1.0, 1.0, 1.5));
+    }
+
+    #[test]
+    fn intersection_tests() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        let b = Aabb::centered(Vec3::ONE, 0.25);
+        let c = Aabb::centered(Vec3::splat(5.0), 1.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(!a.intersects(&Aabb::EMPTY));
+    }
+
+    #[test]
+    fn clamp_into_box() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        assert_eq!(b.clamp(Vec3::splat(2.0)), Vec3::ONE);
+        assert_eq!(b.clamp(Vec3::splat(-1.0)), Vec3::ZERO);
+        assert_eq!(b.clamp(Vec3::splat(0.5)), Vec3::splat(0.5));
+    }
+
+    #[test]
+    fn inflate() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE).inflated(1.0);
+        assert_eq!(b.min, -Vec3::ONE);
+        assert_eq!(b.max, Vec3::splat(2.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_contains_both(ax in -10f32..10.0, ay in -10f32..10.0,
+                                    bx in -10f32..10.0, by in -10f32..10.0) {
+            let a = Aabb::centered(Vec3::new(ax, ay, 0.0), 1.0);
+            let b = Aabb::centered(Vec3::new(bx, by, 0.0), 2.0);
+            let u = a.union(&b);
+            prop_assert!(u.contains(a.min) && u.contains(a.max));
+            prop_assert!(u.contains(b.min) && u.contains(b.max));
+        }
+
+        #[test]
+        fn prop_clamped_point_inside(px in -50f32..50.0, py in -50f32..50.0, pz in -50f32..50.0) {
+            let b = Aabb::new(Vec3::splat(-3.0), Vec3::splat(7.0));
+            prop_assert!(b.contains(b.clamp(Vec3::new(px, py, pz))));
+        }
+
+        #[test]
+        fn prop_from_points_tight(xs in proptest::collection::vec(-100f32..100.0, 3..30)) {
+            let pts: Vec<Vec3> = xs.chunks(3).filter(|c| c.len() == 3)
+                .map(|c| Vec3::new(c[0], c[1], c[2])).collect();
+            prop_assume!(!pts.is_empty());
+            let b = Aabb::from_points(pts.iter().copied());
+            for p in &pts {
+                prop_assert!(b.contains(*p));
+            }
+            // Tightness: every face is touched by some point.
+            let eps = 1e-4;
+            prop_assert!(pts.iter().any(|p| (p.x - b.min.x).abs() < eps));
+            prop_assert!(pts.iter().any(|p| (p.x - b.max.x).abs() < eps));
+        }
+    }
+}

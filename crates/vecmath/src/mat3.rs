@@ -1,0 +1,354 @@
+//! 3×3 matrices — rotation blocks, Jacobians of the curvilinear mapping.
+//!
+//! The tracer needs 3×3 machinery in one hot place: the Jacobian
+//! ∂(physical)/∂(grid) of a curvilinear grid cell, whose inverse converts a
+//! physical-space velocity into grid-coordinate velocity (the trick in §2.1
+//! of the paper that avoids point-location searches).
+
+use crate::Vec3;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Mul, Sub};
+
+/// Row-major 3×3 matrix of `f32`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    /// Rows of the matrix: `m[r][c]`.
+    pub m: [[f32; 3]; 3],
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Mat3::IDENTITY
+    }
+}
+
+impl Mat3 {
+    pub const IDENTITY: Mat3 = Mat3 {
+        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    pub const ZERO: Mat3 = Mat3 { m: [[0.0; 3]; 3] };
+
+    /// Build from three rows.
+    #[inline]
+    pub fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Mat3 {
+        Mat3 {
+            m: [r0.to_array(), r1.to_array(), r2.to_array()],
+        }
+    }
+
+    /// Build from three columns. Columns of a curvilinear Jacobian are the
+    /// physical-space tangent vectors of the three grid directions.
+    #[inline]
+    pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Mat3 {
+        Mat3 {
+            m: [
+                [c0.x, c1.x, c2.x],
+                [c0.y, c1.y, c2.y],
+                [c0.z, c1.z, c2.z],
+            ],
+        }
+    }
+
+    #[inline]
+    pub fn row(&self, r: usize) -> Vec3 {
+        Vec3::from_array(self.m[r])
+    }
+
+    #[inline]
+    pub fn col(&self, c: usize) -> Vec3 {
+        Vec3::new(self.m[0][c], self.m[1][c], self.m[2][c])
+    }
+
+    /// Rotation about the X axis by `angle` radians (right-handed).
+    pub fn rotation_x(angle: f32) -> Mat3 {
+        let (s, c) = angle.sin_cos();
+        Mat3 {
+            m: [[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]],
+        }
+    }
+
+    /// Rotation about the Y axis by `angle` radians (right-handed).
+    pub fn rotation_y(angle: f32) -> Mat3 {
+        let (s, c) = angle.sin_cos();
+        Mat3 {
+            m: [[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]],
+        }
+    }
+
+    /// Rotation about the Z axis by `angle` radians (right-handed).
+    pub fn rotation_z(angle: f32) -> Mat3 {
+        let (s, c) = angle.sin_cos();
+        Mat3 {
+            m: [[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]],
+        }
+    }
+
+    /// Rotation about an arbitrary unit axis (Rodrigues formula).
+    pub fn rotation_axis(axis: Vec3, angle: f32) -> Mat3 {
+        let a = axis.normalized_or_zero();
+        let (s, c) = angle.sin_cos();
+        let t = 1.0 - c;
+        let (x, y, z) = (a.x, a.y, a.z);
+        Mat3 {
+            m: [
+                [t * x * x + c, t * x * y - s * z, t * x * z + s * y],
+                [t * x * y + s * z, t * y * y + c, t * y * z - s * x],
+                [t * x * z - s * y, t * y * z + s * x, t * z * z + c],
+            ],
+        }
+    }
+
+    /// Diagonal scale matrix.
+    pub fn scale(s: Vec3) -> Mat3 {
+        Mat3 {
+            m: [[s.x, 0.0, 0.0], [0.0, s.y, 0.0], [0.0, 0.0, s.z]],
+        }
+    }
+
+    #[inline]
+    pub fn transpose(&self) -> Mat3 {
+        Mat3 {
+            m: [
+                [self.m[0][0], self.m[1][0], self.m[2][0]],
+                [self.m[0][1], self.m[1][1], self.m[2][1]],
+                [self.m[0][2], self.m[1][2], self.m[2][2]],
+            ],
+        }
+    }
+
+    /// Determinant (the Jacobian determinant is the local cell volume of a
+    /// curvilinear grid; a non-positive value flags a degenerate cell).
+    pub fn determinant(&self) -> f32 {
+        let m = &self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// Inverse via the adjugate; `None` when the determinant is (near) zero.
+    pub fn inverse(&self) -> Option<Mat3> {
+        let det = self.determinant();
+        if det.abs() < 1.0e-12 || !det.is_finite() {
+            return None;
+        }
+        let inv_det = 1.0 / det;
+        let m = &self.m;
+        let adj = [
+            [
+                m[1][1] * m[2][2] - m[1][2] * m[2][1],
+                m[0][2] * m[2][1] - m[0][1] * m[2][2],
+                m[0][1] * m[1][2] - m[0][2] * m[1][1],
+            ],
+            [
+                m[1][2] * m[2][0] - m[1][0] * m[2][2],
+                m[0][0] * m[2][2] - m[0][2] * m[2][0],
+                m[0][2] * m[1][0] - m[0][0] * m[1][2],
+            ],
+            [
+                m[1][0] * m[2][1] - m[1][1] * m[2][0],
+                m[0][1] * m[2][0] - m[0][0] * m[2][1],
+                m[0][0] * m[1][1] - m[0][1] * m[1][0],
+            ],
+        ];
+        let mut out = Mat3::ZERO;
+        for (out_row, adj_row) in out.m.iter_mut().zip(&adj) {
+            for (o, a) in out_row.iter_mut().zip(adj_row) {
+                *o = a * inv_det;
+            }
+        }
+        Some(out)
+    }
+
+    /// Matrix–vector product.
+    #[inline]
+    pub fn mul_vec(&self, v: Vec3) -> Vec3 {
+        Vec3::new(self.row(0).dot(v), self.row(1).dot(v), self.row(2).dot(v))
+    }
+
+    /// Frobenius norm — handy for "how far from identity" assertions.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.m
+            .iter()
+            .flatten()
+            .map(|v| v * v)
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Mat3;
+    fn mul(self, rhs: Mat3) -> Mat3 {
+        let mut out = Mat3::ZERO;
+        for r in 0..3 {
+            for c in 0..3 {
+                out.m[r][c] = (0..3).map(|k| self.m[r][k] * rhs.m[k][c]).sum();
+            }
+        }
+        out
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        self.mul_vec(v)
+    }
+}
+
+impl Add for Mat3 {
+    type Output = Mat3;
+    fn add(self, rhs: Mat3) -> Mat3 {
+        let mut out = Mat3::ZERO;
+        for r in 0..3 {
+            for c in 0..3 {
+                out.m[r][c] = self.m[r][c] + rhs.m[r][c];
+            }
+        }
+        out
+    }
+}
+
+impl Sub for Mat3 {
+    type Output = Mat3;
+    fn sub(self, rhs: Mat3) -> Mat3 {
+        let mut out = Mat3::ZERO;
+        for r in 0..3 {
+            for c in 0..3 {
+                out.m[r][c] = self.m[r][c] - rhs.m[r][c];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use proptest::prelude::*;
+    use std::f32::consts::{FRAC_PI_2, PI};
+
+    fn mat_close(a: &Mat3, b: &Mat3, tol: f32) -> bool {
+        (0..3).all(|r| (0..3).all(|c| approx_eq(a.m[r][c], b.m[r][c], tol)))
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let r = Mat3::rotation_z(0.7);
+        assert!(mat_close(&(Mat3::IDENTITY * r), &r, 1e-6));
+        assert!(mat_close(&(r * Mat3::IDENTITY), &r, 1e-6));
+        assert_eq!(Mat3::IDENTITY.mul_vec(Vec3::new(1.0, 2.0, 3.0)), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn rotation_z_quarter_turn() {
+        let r = Mat3::rotation_z(FRAC_PI_2);
+        let v = r.mul_vec(Vec3::X);
+        assert!(v.distance(Vec3::Y) < 1e-6);
+    }
+
+    #[test]
+    fn rotation_x_quarter_turn() {
+        let r = Mat3::rotation_x(FRAC_PI_2);
+        assert!(r.mul_vec(Vec3::Y).distance(Vec3::Z) < 1e-6);
+    }
+
+    #[test]
+    fn rotation_y_quarter_turn() {
+        let r = Mat3::rotation_y(FRAC_PI_2);
+        assert!(r.mul_vec(Vec3::Z).distance(Vec3::X) < 1e-6);
+    }
+
+    #[test]
+    fn rotation_axis_matches_dedicated() {
+        let a = Mat3::rotation_axis(Vec3::Z, 1.1);
+        let b = Mat3::rotation_z(1.1);
+        assert!(mat_close(&a, &b, 1e-6));
+    }
+
+    #[test]
+    fn half_turn_flips() {
+        let r = Mat3::rotation_axis(Vec3::new(0.0, 0.0, 2.0), PI);
+        assert!(r.mul_vec(Vec3::X).distance(-Vec3::X) < 1e-5);
+    }
+
+    #[test]
+    fn determinant_of_rotation_is_one() {
+        let r = Mat3::rotation_axis(Vec3::new(1.0, 2.0, 3.0), 0.9);
+        assert!(approx_eq(r.determinant(), 1.0, 1e-5));
+    }
+
+    #[test]
+    fn determinant_of_scale() {
+        let s = Mat3::scale(Vec3::new(2.0, 3.0, 4.0));
+        assert!(approx_eq(s.determinant(), 24.0, 1e-6));
+    }
+
+    #[test]
+    fn inverse_of_singular_is_none() {
+        let singular = Mat3::from_rows(Vec3::X, Vec3::X, Vec3::Z);
+        assert!(singular.inverse().is_none());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = Mat3::rotation_x(0.3) * Mat3::scale(Vec3::new(2.0, 1.0, 0.5)) * Mat3::rotation_z(-1.2);
+        let inv = m.inverse().unwrap();
+        assert!(mat_close(&(m * inv), &Mat3::IDENTITY, 1e-5));
+        assert!(mat_close(&(inv * m), &Mat3::IDENTITY, 1e-5));
+    }
+
+    #[test]
+    fn transpose_of_rotation_is_inverse() {
+        let r = Mat3::rotation_axis(Vec3::new(1.0, -1.0, 0.5), 0.77);
+        assert!(mat_close(&(r * r.transpose()), &Mat3::IDENTITY, 1e-5));
+    }
+
+    #[test]
+    fn cols_and_rows() {
+        let m = Mat3::from_cols(Vec3::X, Vec3::Y * 2.0, Vec3::Z * 3.0);
+        assert_eq!(m.col(1), Vec3::Y * 2.0);
+        assert_eq!(m.row(2), Vec3::new(0.0, 0.0, 3.0));
+        assert!(approx_eq(m.determinant(), 6.0, 1e-6));
+    }
+
+    fn arb_rotation() -> impl Strategy<Value = Mat3> {
+        ((-1.0f32..1.0), (-1.0f32..1.0), (-1.0f32..1.0), (0.01f32..3.0)).prop_filter_map(
+            "nonzero axis",
+            |(x, y, z, ang)| {
+                let axis = Vec3::new(x, y, z);
+                if axis.length() < 1e-3 {
+                    None
+                } else {
+                    Some(Mat3::rotation_axis(axis, ang))
+                }
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rotation_preserves_length(r in arb_rotation(), x in -10.0f32..10.0, y in -10.0f32..10.0, z in -10.0f32..10.0) {
+            let v = Vec3::new(x, y, z);
+            let rv = r.mul_vec(v);
+            prop_assert!(approx_eq(rv.length(), v.length(), 1e-3));
+        }
+
+        #[test]
+        fn prop_det_product(r in arb_rotation(), s in 0.1f32..4.0) {
+            let m = r * Mat3::scale(Vec3::splat(s));
+            prop_assert!(approx_eq(m.determinant(), s * s * s, 1e-2));
+        }
+
+        #[test]
+        fn prop_inverse_undoes(r in arb_rotation(), x in -5.0f32..5.0, y in -5.0f32..5.0, z in -5.0f32..5.0) {
+            let v = Vec3::new(x, y, z);
+            let inv = r.inverse().unwrap();
+            prop_assert!(inv.mul_vec(r.mul_vec(v)).distance(v) < 1e-3);
+        }
+    }
+}

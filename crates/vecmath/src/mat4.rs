@@ -1,0 +1,366 @@
+//! 4×4 homogeneous matrices.
+//!
+//! §3 of the paper: "These angles are converted into a standard 4x4 position
+//! and orientation matrix for the position and orientation of the BOOM head
+//! by six successive translations and rotations. By inverting this position
+//! and orientation matrix and concatenating it with the graphics
+//! transformation matrix stack, the computer generated scene is rendered
+//! from the user's point of view." This module provides exactly those
+//! operations plus the perspective projection the renderer needs.
+
+use crate::{Mat3, Vec3};
+use serde::{Deserialize, Serialize};
+use std::ops::Mul;
+
+/// Row-major 4×4 matrix. Points transform as column vectors: `p' = M · p`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat4 {
+    pub m: [[f32; 4]; 4],
+}
+
+impl Default for Mat4 {
+    fn default() -> Self {
+        Mat4::IDENTITY
+    }
+}
+
+impl Mat4 {
+    pub const IDENTITY: Mat4 = Mat4 {
+        m: [
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ],
+    };
+
+    pub const ZERO: Mat4 = Mat4 { m: [[0.0; 4]; 4] };
+
+    /// Pure translation.
+    pub fn translation(t: Vec3) -> Mat4 {
+        let mut m = Mat4::IDENTITY;
+        m.m[0][3] = t.x;
+        m.m[1][3] = t.y;
+        m.m[2][3] = t.z;
+        m
+    }
+
+    /// Embed a 3×3 rotation/scale block in the upper-left corner.
+    pub fn from_mat3(r: Mat3) -> Mat4 {
+        let mut m = Mat4::IDENTITY;
+        for row in 0..3 {
+            for col in 0..3 {
+                m.m[row][col] = r.m[row][col];
+            }
+        }
+        m
+    }
+
+    /// Rigid transform: rotation followed by translation.
+    pub fn from_rotation_translation(r: Mat3, t: Vec3) -> Mat4 {
+        let mut m = Mat4::from_mat3(r);
+        m.m[0][3] = t.x;
+        m.m[1][3] = t.y;
+        m.m[2][3] = t.z;
+        m
+    }
+
+    pub fn rotation_x(angle: f32) -> Mat4 {
+        Mat4::from_mat3(Mat3::rotation_x(angle))
+    }
+
+    pub fn rotation_y(angle: f32) -> Mat4 {
+        Mat4::from_mat3(Mat3::rotation_y(angle))
+    }
+
+    pub fn rotation_z(angle: f32) -> Mat4 {
+        Mat4::from_mat3(Mat3::rotation_z(angle))
+    }
+
+    pub fn scale(s: Vec3) -> Mat4 {
+        Mat4::from_mat3(Mat3::scale(s))
+    }
+
+    /// Upper-left 3×3 block.
+    pub fn rotation_part(&self) -> Mat3 {
+        let mut r = Mat3::ZERO;
+        for row in 0..3 {
+            for col in 0..3 {
+                r.m[row][col] = self.m[row][col];
+            }
+        }
+        r
+    }
+
+    /// Translation column.
+    pub fn translation_part(&self) -> Vec3 {
+        Vec3::new(self.m[0][3], self.m[1][3], self.m[2][3])
+    }
+
+    /// Transform a point (w = 1, with perspective divide if the matrix has a
+    /// projective bottom row).
+    pub fn transform_point(&self, p: Vec3) -> Vec3 {
+        let x = self.m[0][0] * p.x + self.m[0][1] * p.y + self.m[0][2] * p.z + self.m[0][3];
+        let y = self.m[1][0] * p.x + self.m[1][1] * p.y + self.m[1][2] * p.z + self.m[1][3];
+        let z = self.m[2][0] * p.x + self.m[2][1] * p.y + self.m[2][2] * p.z + self.m[2][3];
+        let w = self.m[3][0] * p.x + self.m[3][1] * p.y + self.m[3][2] * p.z + self.m[3][3];
+        if (w - 1.0).abs() < 1.0e-7 || w == 0.0 {
+            Vec3::new(x, y, z)
+        } else {
+            Vec3::new(x / w, y / w, z / w)
+        }
+    }
+
+    /// Transform a point returning the homogeneous result before the
+    /// perspective divide — the renderer clips in homogeneous space.
+    pub fn transform_point_h(&self, p: Vec3) -> [f32; 4] {
+        [
+            self.m[0][0] * p.x + self.m[0][1] * p.y + self.m[0][2] * p.z + self.m[0][3],
+            self.m[1][0] * p.x + self.m[1][1] * p.y + self.m[1][2] * p.z + self.m[1][3],
+            self.m[2][0] * p.x + self.m[2][1] * p.y + self.m[2][2] * p.z + self.m[2][3],
+            self.m[3][0] * p.x + self.m[3][1] * p.y + self.m[3][2] * p.z + self.m[3][3],
+        ]
+    }
+
+    /// Transform a direction (w = 0: rotation/scale only, no translation).
+    pub fn transform_vector(&self, v: Vec3) -> Vec3 {
+        self.rotation_part().mul_vec(v)
+    }
+
+    /// Fast inverse for rigid transforms (orthonormal rotation +
+    /// translation): `R⁻¹ = Rᵀ`, `t⁻¹ = -Rᵀ·t`. This is the inversion the
+    /// paper applies to the BOOM pose each frame.
+    pub fn inverse_rigid(&self) -> Mat4 {
+        let rt = self.rotation_part().transpose();
+        let t = self.translation_part();
+        Mat4::from_rotation_translation(rt, -rt.mul_vec(t))
+    }
+
+    /// General inverse by Gauss-Jordan elimination with partial pivoting;
+    /// `None` when singular. Needed for projection matrices.
+    pub fn inverse(&self) -> Option<Mat4> {
+        let mut a = self.m;
+        let mut inv = Mat4::IDENTITY.m;
+        for col in 0..4 {
+            // Partial pivot.
+            let mut pivot = col;
+            for row in (col + 1)..4 {
+                if a[row][col].abs() > a[pivot][col].abs() {
+                    pivot = row;
+                }
+            }
+            if a[pivot][col].abs() < 1.0e-12 {
+                return None;
+            }
+            a.swap(col, pivot);
+            inv.swap(col, pivot);
+            let diag = a[col][col];
+            for k in 0..4 {
+                a[col][k] /= diag;
+                inv[col][k] /= diag;
+            }
+            for row in 0..4 {
+                if row != col {
+                    let f = a[row][col];
+                    if f != 0.0 {
+                        for k in 0..4 {
+                            a[row][k] -= f * a[col][k];
+                            inv[row][k] -= f * inv[col][k];
+                        }
+                    }
+                }
+            }
+        }
+        Some(Mat4 { m: inv })
+    }
+
+    /// Right-handed perspective projection mapping the view frustum to
+    /// clip space with z ∈ [-1, 1] (OpenGL convention, matching the IRIS GL
+    /// heritage of the original system). `fovy` in radians.
+    pub fn perspective(fovy: f32, aspect: f32, near: f32, far: f32) -> Mat4 {
+        let f = 1.0 / (fovy * 0.5).tan();
+        let mut m = Mat4::ZERO;
+        m.m[0][0] = f / aspect;
+        m.m[1][1] = f;
+        m.m[2][2] = (far + near) / (near - far);
+        m.m[2][3] = 2.0 * far * near / (near - far);
+        m.m[3][2] = -1.0;
+        m
+    }
+
+    /// Right-handed look-at view matrix (camera at `eye`, looking at
+    /// `center`, with `up` roughly up).
+    pub fn look_at(eye: Vec3, center: Vec3, up: Vec3) -> Mat4 {
+        let f = (center - eye).normalized_or_zero();
+        let s = f.cross(up).normalized_or_zero();
+        let u = s.cross(f);
+        let r = Mat3::from_rows(s, u, -f);
+        Mat4::from_rotation_translation(r, -r.mul_vec(eye))
+    }
+
+    /// Frobenius distance to another matrix.
+    pub fn distance(&self, rhs: &Mat4) -> f32 {
+        let mut acc = 0.0;
+        for r in 0..4 {
+            for c in 0..4 {
+                let d = self.m[r][c] - rhs.m[r][c];
+                acc += d * d;
+            }
+        }
+        acc.sqrt()
+    }
+}
+
+impl Mul for Mat4 {
+    type Output = Mat4;
+    fn mul(self, rhs: Mat4) -> Mat4 {
+        let mut out = Mat4::ZERO;
+        for r in 0..4 {
+            for c in 0..4 {
+                out.m[r][c] = (0..4).map(|k| self.m[r][k] * rhs.m[k][c]).sum();
+            }
+        }
+        out
+    }
+}
+
+impl Mul<Vec3> for Mat4 {
+    type Output = Vec3;
+    fn mul(self, p: Vec3) -> Vec3 {
+        self.transform_point(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use proptest::prelude::*;
+    use std::f32::consts::FRAC_PI_2;
+
+    fn close(a: &Mat4, b: &Mat4, tol: f32) -> bool {
+        a.distance(b) < tol
+    }
+
+    #[test]
+    fn translation_moves_points_not_vectors() {
+        let t = Mat4::translation(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(t.transform_point(Vec3::ZERO), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(t.transform_vector(Vec3::X), Vec3::X);
+    }
+
+    #[test]
+    fn compose_rotation_translation() {
+        // Rotate about Z then translate: p' = T · R · p.
+        let m = Mat4::translation(Vec3::new(5.0, 0.0, 0.0)) * Mat4::rotation_z(FRAC_PI_2);
+        let p = m.transform_point(Vec3::X);
+        assert!(p.distance(Vec3::new(5.0, 1.0, 0.0)) < 1e-5);
+    }
+
+    #[test]
+    fn rigid_inverse_matches_general() {
+        let m = Mat4::translation(Vec3::new(1.0, -2.0, 0.5)) * Mat4::rotation_y(0.8) * Mat4::rotation_x(-0.3);
+        let a = m.inverse_rigid();
+        let b = m.inverse().unwrap();
+        assert!(close(&a, &b, 1e-4));
+        assert!(close(&(m * a), &Mat4::IDENTITY, 1e-4));
+    }
+
+    #[test]
+    fn inverse_of_singular_is_none() {
+        assert!(Mat4::ZERO.inverse().is_none());
+        let flat = Mat4::scale(Vec3::new(1.0, 1.0, 0.0));
+        assert!(flat.inverse().is_none());
+    }
+
+    #[test]
+    fn perspective_maps_near_and_far() {
+        let p = Mat4::perspective(FRAC_PI_2, 1.0, 1.0, 100.0);
+        // A point on the near plane (z = -near, camera looks down -Z).
+        let near = p.transform_point(Vec3::new(0.0, 0.0, -1.0));
+        assert!(approx_eq(near.z, -1.0, 1e-5));
+        let far = p.transform_point(Vec3::new(0.0, 0.0, -100.0));
+        assert!(approx_eq(far.z, 1.0, 1e-4));
+    }
+
+    #[test]
+    fn perspective_foreshortens() {
+        let p = Mat4::perspective(FRAC_PI_2, 1.0, 0.1, 100.0);
+        let close_pt = p.transform_point(Vec3::new(1.0, 0.0, -2.0));
+        let far_pt = p.transform_point(Vec3::new(1.0, 0.0, -20.0));
+        assert!(close_pt.x.abs() > far_pt.x.abs());
+    }
+
+    #[test]
+    fn look_at_centers_target() {
+        let v = Mat4::look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, Vec3::Y);
+        let target = v.transform_point(Vec3::ZERO);
+        // Target ends up straight ahead on the -Z axis at distance 5.
+        assert!(target.distance(Vec3::new(0.0, 0.0, -5.0)) < 1e-5);
+    }
+
+    #[test]
+    fn homogeneous_transform_matches_divide() {
+        let p = Mat4::perspective(1.0, 1.3, 0.5, 50.0);
+        let pt = Vec3::new(0.4, -0.2, -3.0);
+        let h = p.transform_point_h(pt);
+        let d = p.transform_point(pt);
+        assert!(approx_eq(h[0] / h[3], d.x, 1e-5));
+        assert!(approx_eq(h[1] / h[3], d.y, 1e-5));
+        assert!(approx_eq(h[2] / h[3], d.z, 1e-5));
+    }
+
+    #[test]
+    fn rotation_translation_parts_roundtrip() {
+        let r = Mat3::rotation_axis(Vec3::new(1.0, 1.0, 0.0), 0.4);
+        let t = Vec3::new(-2.0, 3.0, 7.0);
+        let m = Mat4::from_rotation_translation(r, t);
+        assert_eq!(m.translation_part(), t);
+        assert!((m.rotation_part().m[0][0] - r.m[0][0]).abs() < 1e-7);
+    }
+
+    fn arb_rigid() -> impl Strategy<Value = Mat4> {
+        (
+            (-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0),
+            0.01f32..3.0,
+            (-10.0f32..10.0, -10.0f32..10.0, -10.0f32..10.0),
+        )
+            .prop_filter_map("nonzero axis", |((ax, ay, az), ang, (tx, ty, tz))| {
+                let axis = Vec3::new(ax, ay, az);
+                if axis.length() < 1e-3 {
+                    return None;
+                }
+                Some(Mat4::from_rotation_translation(
+                    Mat3::rotation_axis(axis, ang),
+                    Vec3::new(tx, ty, tz),
+                ))
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rigid_inverse_roundtrips_points(m in arb_rigid(), x in -5.0f32..5.0, y in -5.0f32..5.0, z in -5.0f32..5.0) {
+            let p = Vec3::new(x, y, z);
+            let q = m.inverse_rigid().transform_point(m.transform_point(p));
+            prop_assert!(q.distance(p) < 1e-3);
+        }
+
+        #[test]
+        fn prop_mul_associative_on_points(a in arb_rigid(), b in arb_rigid(), x in -2.0f32..2.0) {
+            let p = Vec3::splat(x);
+            let lhs = (a * b).transform_point(p);
+            let rhs = a.transform_point(b.transform_point(p));
+            prop_assert!(lhs.distance(rhs) < 1e-3);
+        }
+
+        #[test]
+        fn prop_rigid_preserves_distances(m in arb_rigid(), x in -5.0f32..5.0, y in -5.0f32..5.0) {
+            let p = Vec3::new(x, y, 0.0);
+            let q = Vec3::new(y, x, 1.0);
+            let d0 = p.distance(q);
+            let d1 = m.transform_point(p).distance(m.transform_point(q));
+            prop_assert!((d0 - d1).abs() < 1e-3);
+        }
+    }
+}

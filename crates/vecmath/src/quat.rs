@@ -1,0 +1,325 @@
+//! Unit quaternions for orientation.
+//!
+//! The Polhemus 3Space tracker inside the VPL DataGlove reports absolute
+//! orientation; quaternions are the robust way to carry that orientation
+//! through the command protocol (4 floats instead of 9, and they slerp
+//! cleanly when the client interpolates between tracker samples that arrive
+//! slower than the render loop runs).
+
+use crate::{Mat3, Vec3};
+use serde::{Deserialize, Serialize};
+use std::ops::Mul;
+
+/// Quaternion `w + xi + yj + zk`. Only unit quaternions represent
+/// rotations; constructors that build rotations normalize for you.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quat {
+    pub w: f32,
+    pub x: f32,
+    pub y: f32,
+    pub z: f32,
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Quat::IDENTITY
+    }
+}
+
+impl Quat {
+    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    #[inline]
+    pub const fn new(w: f32, x: f32, y: f32, z: f32) -> Self {
+        Quat { w, x, y, z }
+    }
+
+    /// Rotation of `angle` radians about `axis` (normalized internally).
+    pub fn from_axis_angle(axis: Vec3, angle: f32) -> Quat {
+        let a = axis.normalized_or_zero();
+        let (s, c) = (angle * 0.5).sin_cos();
+        Quat::new(c, a.x * s, a.y * s, a.z * s)
+    }
+
+    /// Build from intrinsic yaw (Y), pitch (X), roll (Z) — the order the
+    /// glove calibration uses.
+    pub fn from_yaw_pitch_roll(yaw: f32, pitch: f32, roll: f32) -> Quat {
+        Quat::from_axis_angle(Vec3::Y, yaw)
+            * Quat::from_axis_angle(Vec3::X, pitch)
+            * Quat::from_axis_angle(Vec3::Z, roll)
+    }
+
+    /// Convert a (proper, orthonormal) rotation matrix to a quaternion
+    /// (Shepperd's method).
+    pub fn from_mat3(m: &Mat3) -> Quat {
+        let t = m.m[0][0] + m.m[1][1] + m.m[2][2];
+        let q = if t > 0.0 {
+            let s = (t + 1.0).sqrt() * 2.0;
+            Quat::new(
+                0.25 * s,
+                (m.m[2][1] - m.m[1][2]) / s,
+                (m.m[0][2] - m.m[2][0]) / s,
+                (m.m[1][0] - m.m[0][1]) / s,
+            )
+        } else if m.m[0][0] > m.m[1][1] && m.m[0][0] > m.m[2][2] {
+            let s = (1.0 + m.m[0][0] - m.m[1][1] - m.m[2][2]).sqrt() * 2.0;
+            Quat::new(
+                (m.m[2][1] - m.m[1][2]) / s,
+                0.25 * s,
+                (m.m[0][1] + m.m[1][0]) / s,
+                (m.m[0][2] + m.m[2][0]) / s,
+            )
+        } else if m.m[1][1] > m.m[2][2] {
+            let s = (1.0 + m.m[1][1] - m.m[0][0] - m.m[2][2]).sqrt() * 2.0;
+            Quat::new(
+                (m.m[0][2] - m.m[2][0]) / s,
+                (m.m[0][1] + m.m[1][0]) / s,
+                0.25 * s,
+                (m.m[1][2] + m.m[2][1]) / s,
+            )
+        } else {
+            let s = (1.0 + m.m[2][2] - m.m[0][0] - m.m[1][1]).sqrt() * 2.0;
+            Quat::new(
+                (m.m[1][0] - m.m[0][1]) / s,
+                (m.m[0][2] + m.m[2][0]) / s,
+                (m.m[1][2] + m.m[2][1]) / s,
+                0.25 * s,
+            )
+        };
+        q.normalized()
+    }
+
+    /// Rotation matrix equivalent of this (unit) quaternion.
+    pub fn to_mat3(self) -> Mat3 {
+        let Quat { w, x, y, z } = self.normalized();
+        Mat3 {
+            m: [
+                [
+                    1.0 - 2.0 * (y * y + z * z),
+                    2.0 * (x * y - w * z),
+                    2.0 * (x * z + w * y),
+                ],
+                [
+                    2.0 * (x * y + w * z),
+                    1.0 - 2.0 * (x * x + z * z),
+                    2.0 * (y * z - w * x),
+                ],
+                [
+                    2.0 * (x * z - w * y),
+                    2.0 * (y * z + w * x),
+                    1.0 - 2.0 * (x * x + y * y),
+                ],
+            ],
+        }
+    }
+
+    #[inline]
+    pub fn norm(self) -> f32 {
+        (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Normalize; falls back to identity for degenerate input.
+    pub fn normalized(self) -> Quat {
+        let n = self.norm();
+        if n > 1.0e-12 && n.is_finite() {
+            Quat::new(self.w / n, self.x / n, self.y / n, self.z / n)
+        } else {
+            Quat::IDENTITY
+        }
+    }
+
+    /// Conjugate — the inverse for unit quaternions.
+    #[inline]
+    pub fn conjugate(self) -> Quat {
+        Quat::new(self.w, -self.x, -self.y, -self.z)
+    }
+
+    #[inline]
+    pub fn dot(self, rhs: Quat) -> f32 {
+        self.w * rhs.w + self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Rotate a vector by this unit quaternion: `v' = q v q*`.
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        let u = Vec3::new(self.x, self.y, self.z);
+        let s = self.w;
+        u * (2.0 * u.dot(v)) + v * (s * s - u.dot(u)) + u.cross(v) * (2.0 * s)
+    }
+
+    /// Spherical linear interpolation taking the short arc.
+    pub fn slerp(self, mut rhs: Quat, t: f32) -> Quat {
+        let mut cos = self.dot(rhs);
+        if cos < 0.0 {
+            // Take the short way around.
+            cos = -cos;
+            rhs = Quat::new(-rhs.w, -rhs.x, -rhs.y, -rhs.z);
+        }
+        if cos > 0.9995 {
+            // Nearly parallel: nlerp to dodge the sin(θ)→0 division.
+            return Quat::new(
+                self.w + (rhs.w - self.w) * t,
+                self.x + (rhs.x - self.x) * t,
+                self.y + (rhs.y - self.y) * t,
+                self.z + (rhs.z - self.z) * t,
+            )
+            .normalized();
+        }
+        let theta = cos.clamp(-1.0, 1.0).acos();
+        let sin_theta = theta.sin();
+        let a = ((1.0 - t) * theta).sin() / sin_theta;
+        let b = (t * theta).sin() / sin_theta;
+        Quat::new(
+            a * self.w + b * rhs.w,
+            a * self.x + b * rhs.x,
+            a * self.y + b * rhs.y,
+            a * self.z + b * rhs.z,
+        )
+        .normalized()
+    }
+
+    /// Angle (radians, in [0, π]) between two orientations.
+    pub fn angle_to(self, rhs: Quat) -> f32 {
+        let d = self.normalized().dot(rhs.normalized()).abs().clamp(0.0, 1.0);
+        2.0 * d.acos()
+    }
+}
+
+impl Mul for Quat {
+    type Output = Quat;
+    fn mul(self, r: Quat) -> Quat {
+        Quat::new(
+            self.w * r.w - self.x * r.x - self.y * r.y - self.z * r.z,
+            self.w * r.x + self.x * r.w + self.y * r.z - self.z * r.y,
+            self.w * r.y - self.x * r.z + self.y * r.w + self.z * r.x,
+            self.w * r.z + self.x * r.y - self.y * r.x + self.z * r.w,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use proptest::prelude::*;
+    use std::f32::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn identity_rotates_nothing() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert!(Quat::IDENTITY.rotate(v).distance(v) < 1e-6);
+    }
+
+    #[test]
+    fn quarter_turn_about_z() {
+        let q = Quat::from_axis_angle(Vec3::Z, FRAC_PI_2);
+        assert!(q.rotate(Vec3::X).distance(Vec3::Y) < 1e-6);
+    }
+
+    #[test]
+    fn matches_matrix_rotation() {
+        let axis = Vec3::new(1.0, -2.0, 0.7);
+        let angle = 1.3;
+        let q = Quat::from_axis_angle(axis, angle);
+        let m = Mat3::rotation_axis(axis, angle);
+        for v in [Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(0.3, -0.5, 2.0)] {
+            assert!(q.rotate(v).distance(m.mul_vec(v)) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mat3_roundtrip() {
+        let q = Quat::from_axis_angle(Vec3::new(0.2, 0.9, -0.4), 2.1);
+        let q2 = Quat::from_mat3(&q.to_mat3());
+        // q and -q are the same rotation.
+        assert!(q.angle_to(q2) < 1e-4);
+    }
+
+    #[test]
+    fn conjugate_inverts() {
+        let q = Quat::from_axis_angle(Vec3::Y, 0.9);
+        let v = Vec3::new(3.0, 1.0, -2.0);
+        assert!(q.conjugate().rotate(q.rotate(v)).distance(v) < 1e-5);
+    }
+
+    #[test]
+    fn composition_order() {
+        // q1 * q2 applies q2 first.
+        let q1 = Quat::from_axis_angle(Vec3::Z, FRAC_PI_2);
+        let q2 = Quat::from_axis_angle(Vec3::X, FRAC_PI_2);
+        let v = Vec3::Y;
+        let composed = (q1 * q2).rotate(v);
+        let sequential = q1.rotate(q2.rotate(v));
+        assert!(composed.distance(sequential) < 1e-6);
+    }
+
+    #[test]
+    fn slerp_endpoints() {
+        let a = Quat::from_axis_angle(Vec3::Z, 0.0);
+        let b = Quat::from_axis_angle(Vec3::Z, 1.0);
+        assert!(a.slerp(b, 0.0).angle_to(a) < 1e-4);
+        assert!(a.slerp(b, 1.0).angle_to(b) < 1e-4);
+    }
+
+    #[test]
+    fn slerp_halfway_is_half_angle() {
+        let a = Quat::IDENTITY;
+        let b = Quat::from_axis_angle(Vec3::Y, 1.6);
+        let mid = a.slerp(b, 0.5);
+        assert!(approx_eq(mid.angle_to(a), 0.8, 1e-3));
+    }
+
+    #[test]
+    fn slerp_takes_short_arc() {
+        let a = Quat::from_axis_angle(Vec3::Z, 0.1);
+        // Same rotation as +0.3 but represented with flipped sign.
+        let b0 = Quat::from_axis_angle(Vec3::Z, 0.3);
+        let b = Quat::new(-b0.w, -b0.x, -b0.y, -b0.z);
+        let mid = a.slerp(b, 0.5);
+        assert!(mid.angle_to(Quat::from_axis_angle(Vec3::Z, 0.2)) < 1e-3);
+    }
+
+    #[test]
+    fn yaw_pitch_roll_pure_yaw() {
+        let q = Quat::from_yaw_pitch_roll(FRAC_PI_2, 0.0, 0.0);
+        assert!(q.rotate(Vec3::Z).distance(Vec3::X) < 1e-5);
+    }
+
+    #[test]
+    fn degenerate_normalize_is_identity() {
+        assert_eq!(Quat::new(0.0, 0.0, 0.0, 0.0).normalized(), Quat::IDENTITY);
+    }
+
+    fn arb_quat() -> impl Strategy<Value = Quat> {
+        ((-1.0f32..1.0), (-1.0f32..1.0), (-1.0f32..1.0), (0.01f32..PI))
+            .prop_filter_map("axis", |(x, y, z, a)| {
+                let axis = Vec3::new(x, y, z);
+                (axis.length() > 1e-3).then(|| Quat::from_axis_angle(axis, a))
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rotation_preserves_length(q in arb_quat(), x in -5.0f32..5.0, y in -5.0f32..5.0, z in -5.0f32..5.0) {
+            let v = Vec3::new(x, y, z);
+            prop_assert!(approx_eq(q.rotate(v).length(), v.length(), 1e-3));
+        }
+
+        #[test]
+        fn prop_unit_norm(q in arb_quat()) {
+            prop_assert!(approx_eq(q.norm(), 1.0, 1e-4));
+        }
+
+        #[test]
+        fn prop_mat3_roundtrip(q in arb_quat()) {
+            let q2 = Quat::from_mat3(&q.to_mat3());
+            prop_assert!(q.angle_to(q2) < 1e-3);
+        }
+
+        #[test]
+        fn prop_conjugate_is_inverse(q in arb_quat()) {
+            let id = q * q.conjugate();
+            prop_assert!(id.angle_to(Quat::IDENTITY) < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Poses and the graphics transformation stack.
+//!
+//! IRIS GL (the API the 1992 system rendered with) exposed a matrix stack
+//! that transforms were pushed onto and popped off of; the paper
+//! concatenates the inverted BOOM pose with that stack to render from the
+//! head's point of view. [`TransformStack`] reproduces that model so the
+//! software renderer and the tests can express the same pipeline.
+
+use crate::{Mat3, Mat4, Quat, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A rigid pose: position + orientation. This is what the Polhemus tracker
+/// reports for the hand and what the BOOM kinematics produce for the head.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Pose {
+    pub position: Vec3,
+    pub orientation: Quat,
+}
+
+impl Pose {
+    pub const IDENTITY: Pose = Pose {
+        position: Vec3::ZERO,
+        orientation: Quat::IDENTITY,
+    };
+
+    pub fn new(position: Vec3, orientation: Quat) -> Pose {
+        Pose { position, orientation }
+    }
+
+    /// The 4×4 matrix mapping pose-local coordinates to world coordinates.
+    pub fn to_mat4(&self) -> Mat4 {
+        Mat4::from_rotation_translation(self.orientation.to_mat3(), self.position)
+    }
+
+    /// Recover a pose from a rigid matrix.
+    pub fn from_mat4(m: &Mat4) -> Pose {
+        Pose {
+            position: m.translation_part(),
+            orientation: Quat::from_mat3(&m.rotation_part()),
+        }
+    }
+
+    /// The world→local (view) matrix — the inversion step of §3.
+    pub fn view_matrix(&self) -> Mat4 {
+        self.to_mat4().inverse_rigid()
+    }
+
+    /// Transform a local point into world space.
+    pub fn transform_point(&self, p: Vec3) -> Vec3 {
+        self.orientation.rotate(p) + self.position
+    }
+
+    /// Compose: `self` then `child` (child expressed in self's frame).
+    pub fn then(&self, child: &Pose) -> Pose {
+        Pose {
+            position: self.transform_point(child.position),
+            orientation: self.orientation * child.orientation,
+        }
+    }
+
+    /// Interpolate between two tracker samples.
+    pub fn lerp(&self, rhs: &Pose, t: f32) -> Pose {
+        Pose {
+            position: self.position.lerp(rhs.position, t),
+            orientation: self.orientation.slerp(rhs.orientation, t),
+        }
+    }
+}
+
+/// An IRIS-GL-style matrix stack. The *top* of the stack is the current
+/// transform; `push` duplicates it so a `pop` restores the pre-push state.
+#[derive(Debug, Clone)]
+pub struct TransformStack {
+    stack: Vec<Mat4>,
+}
+
+impl TransformStack {
+    /// A fresh stack holding a single identity matrix.
+    pub fn new() -> TransformStack {
+        TransformStack {
+            stack: vec![Mat4::IDENTITY],
+        }
+    }
+
+    /// Current (top) matrix.
+    pub fn top(&self) -> &Mat4 {
+        self.stack.last().expect("stack is never empty")
+    }
+
+    /// Depth of the stack (≥ 1).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Duplicate the top entry.
+    pub fn push(&mut self) {
+        self.stack.push(*self.top());
+    }
+
+    /// Pop the top entry. Returns `false` (and leaves the stack intact) if
+    /// that would empty the stack — IRIS GL treated stack underflow as an
+    /// error, not a crash.
+    pub fn pop(&mut self) -> bool {
+        if self.stack.len() > 1 {
+            self.stack.pop();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Replace the top with an arbitrary matrix.
+    pub fn load(&mut self, m: Mat4) {
+        *self.stack.last_mut().unwrap() = m;
+    }
+
+    /// Post-multiply the top: `top ← top · m` (GL semantics: the new
+    /// transform applies *first* to incoming geometry).
+    pub fn mult(&mut self, m: Mat4) {
+        let top = *self.top();
+        self.load(top * m);
+    }
+
+    pub fn translate(&mut self, t: Vec3) {
+        self.mult(Mat4::translation(t));
+    }
+
+    pub fn rotate(&mut self, axis: Vec3, angle: f32) {
+        self.mult(Mat4::from_mat3(Mat3::rotation_axis(axis, angle)));
+    }
+
+    pub fn scale(&mut self, s: Vec3) {
+        self.mult(Mat4::scale(s));
+    }
+
+    /// Transform a point by the current matrix.
+    pub fn apply(&self, p: Vec3) -> Vec3 {
+        self.top().transform_point(p)
+    }
+}
+
+impl Default for TransformStack {
+    fn default() -> Self {
+        TransformStack::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::FRAC_PI_2;
+
+    #[test]
+    fn pose_roundtrip_through_mat4() {
+        let p = Pose::new(
+            Vec3::new(1.0, 2.0, 3.0),
+            Quat::from_axis_angle(Vec3::new(0.3, 1.0, -0.2), 0.8),
+        );
+        let q = Pose::from_mat4(&p.to_mat4());
+        assert!(p.position.distance(q.position) < 1e-5);
+        assert!(p.orientation.angle_to(q.orientation) < 1e-4);
+    }
+
+    #[test]
+    fn view_matrix_moves_pose_to_origin() {
+        let p = Pose::new(Vec3::new(5.0, -2.0, 1.0), Quat::from_axis_angle(Vec3::Y, 0.4));
+        let v = p.view_matrix();
+        assert!(v.transform_point(p.position).length() < 1e-5);
+    }
+
+    #[test]
+    fn pose_composition() {
+        let parent = Pose::new(Vec3::new(1.0, 0.0, 0.0), Quat::from_axis_angle(Vec3::Z, FRAC_PI_2));
+        let child = Pose::new(Vec3::X, Quat::IDENTITY);
+        let world = parent.then(&child);
+        // Child's +X offset is rotated to +Y by the parent before adding.
+        assert!(world.position.distance(Vec3::new(1.0, 1.0, 0.0)) < 1e-5);
+    }
+
+    #[test]
+    fn pose_lerp_halfway() {
+        let a = Pose::IDENTITY;
+        let b = Pose::new(Vec3::splat(2.0), Quat::from_axis_angle(Vec3::Z, 1.0));
+        let mid = a.lerp(&b, 0.5);
+        assert!(mid.position.distance(Vec3::splat(1.0)) < 1e-5);
+        assert!((mid.orientation.angle_to(Quat::IDENTITY) - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn stack_push_pop() {
+        let mut s = TransformStack::new();
+        assert_eq!(s.depth(), 1);
+        s.translate(Vec3::X);
+        s.push();
+        s.translate(Vec3::Y);
+        assert!(s.apply(Vec3::ZERO).distance(Vec3::new(1.0, 1.0, 0.0)) < 1e-6);
+        assert!(s.pop());
+        assert!(s.apply(Vec3::ZERO).distance(Vec3::X) < 1e-6);
+    }
+
+    #[test]
+    fn stack_underflow_is_soft_error() {
+        let mut s = TransformStack::new();
+        assert!(!s.pop());
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn gl_multiplication_order() {
+        // translate then rotate == apply rotation first to geometry.
+        let mut s = TransformStack::new();
+        s.translate(Vec3::new(5.0, 0.0, 0.0));
+        s.rotate(Vec3::Z, FRAC_PI_2);
+        // X axis point: rotated to +Y, then translated by +5X.
+        let p = s.apply(Vec3::X);
+        assert!(p.distance(Vec3::new(5.0, 1.0, 0.0)) < 1e-5);
+    }
+
+    #[test]
+    fn boom_style_view_concatenation() {
+        // The paper's pipeline: world geometry rendered through the
+        // inverted head pose looks identity when the head is at the
+        // geometry's own frame.
+        let head = Pose::new(Vec3::new(0.0, 1.7, 3.0), Quat::from_axis_angle(Vec3::Y, 0.2));
+        let mut s = TransformStack::new();
+        s.load(head.view_matrix());
+        s.mult(head.to_mat4());
+        let p = Vec3::new(0.4, -0.6, 2.0);
+        assert!(s.apply(p).distance(p) < 1e-4);
+    }
+
+    #[test]
+    fn load_replaces_top_only() {
+        let mut s = TransformStack::new();
+        s.translate(Vec3::X);
+        s.push();
+        s.load(Mat4::IDENTITY);
+        assert!(s.apply(Vec3::ZERO).length() < 1e-6);
+        s.pop();
+        assert!(s.apply(Vec3::ZERO).distance(Vec3::X) < 1e-6);
+    }
+}

@@ -1,0 +1,460 @@
+//! Three-component single-precision vector.
+//!
+//! This is the fundamental quantity of the whole system: a velocity sample,
+//! a particle position (in grid or physical coordinates), or a point of a
+//! computed path that is shipped over the network as 12 bytes.
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 3-component `f32` vector. `repr(C)` guarantees the x/y/z layout the
+/// wire format relies on (12 bytes per point, §5.1 of the paper).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    pub x: f32,
+    pub y: f32,
+    pub z: f32,
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// All three components set to `v`.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f32 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * rhs.z - self.z * rhs.y,
+            y: self.z * rhs.x - self.x * rhs.z,
+            z: self.x * rhs.y - self.y * rhs.x,
+        }
+    }
+
+    #[inline]
+    pub fn length_squared(self) -> f32 {
+        self.dot(self)
+    }
+
+    #[inline]
+    pub fn length(self) -> f32 {
+        self.length_squared().sqrt()
+    }
+
+    /// Euclidean distance between two points.
+    #[inline]
+    pub fn distance(self, rhs: Vec3) -> f32 {
+        (self - rhs).length()
+    }
+
+    /// Unit vector in the same direction; `None` for the zero vector
+    /// (degenerate velocity samples occur at stagnation points, so the
+    /// caller must decide what "direction" means there).
+    #[inline]
+    pub fn normalized(self) -> Option<Vec3> {
+        let len = self.length();
+        if len > 0.0 && len.is_finite() {
+            Some(self / len)
+        } else {
+            None
+        }
+    }
+
+    /// Like [`Vec3::normalized`] but returns the zero vector for degenerate
+    /// input — convenient in rendering code where a zero direction is
+    /// harmless.
+    #[inline]
+    pub fn normalized_or_zero(self) -> Vec3 {
+        self.normalized().unwrap_or(Vec3::ZERO)
+    }
+
+    /// Linear interpolation: `self` at `t == 0`, `rhs` at `t == 1`.
+    #[inline]
+    pub fn lerp(self, rhs: Vec3, t: f32) -> Vec3 {
+        self + (rhs - self) * t
+    }
+
+    /// Component-wise product (used for grid-spacing scaling).
+    #[inline]
+    pub fn mul_elem(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x * rhs.x, self.y * rhs.y, self.z * rhs.z)
+    }
+
+    /// Component-wise quotient.
+    #[inline]
+    pub fn div_elem(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x / rhs.x, self.y / rhs.y, self.z / rhs.z)
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min_elem(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(rhs.x), self.y.min(rhs.y), self.z.min(rhs.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max_elem(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(rhs.x), self.y.max(rhs.y), self.z.max(rhs.z))
+    }
+
+    /// Component-wise clamp.
+    #[inline]
+    pub fn clamp_elem(self, lo: Vec3, hi: Vec3) -> Vec3 {
+        self.max_elem(lo).min_elem(hi)
+    }
+
+    /// Largest component value.
+    #[inline]
+    pub fn max_component(self) -> f32 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// Smallest component value.
+    #[inline]
+    pub fn min_component(self) -> f32 {
+        self.x.min(self.y).min(self.z)
+    }
+
+    /// True when every component is finite (NaN/Inf poisoning is the
+    /// classic failure mode of runaway integrations).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// The vector as a 3-element array (x, y, z).
+    #[inline]
+    pub fn to_array(self) -> [f32; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    #[inline]
+    pub fn from_array(a: [f32; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+
+    /// Reinterpret a slice of `Vec3` as its raw little-endian-native f32
+    /// storage. Safe because `Vec3` is `repr(C)` with no padding.
+    pub fn as_f32_slice(points: &[Vec3]) -> &[f32] {
+        // SAFETY: Vec3 is repr(C) { f32, f32, f32 }: size 12, align 4, no
+        // padding, so `len * 3` f32s exactly cover the same memory.
+        unsafe { std::slice::from_raw_parts(points.as_ptr().cast::<f32>(), points.len() * 3) }
+    }
+
+    /// Serialize to the 12-byte wire layout used by the geometry protocol.
+    pub fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.x.to_le_bytes());
+        out.extend_from_slice(&self.y.to_le_bytes());
+        out.extend_from_slice(&self.z.to_le_bytes());
+    }
+
+    /// Deserialize from the 12-byte wire layout; `None` if `buf` is short.
+    pub fn read_le(buf: &[u8]) -> Option<Vec3> {
+        if buf.len() < 12 {
+            return None;
+        }
+        Some(Vec3::new(
+            f32::from_le_bytes(buf[0..4].try_into().unwrap()),
+            f32::from_le_bytes(buf[4..8].try_into().unwrap()),
+            f32::from_le_bytes(buf[8..12].try_into().unwrap()),
+        ))
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f32) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f32 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl MulAssign<f32> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f32) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f32) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl DivAssign<f32> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, rhs: f32) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f32;
+    #[inline]
+    fn index(&self, i: usize) -> &f32 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index {i} out of range"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f32 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index {i} out of range"),
+        }
+    }
+}
+
+impl Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<[f32; 3]> for Vec3 {
+    fn from(a: [f32; 3]) -> Self {
+        Vec3::from_array(a)
+    }
+}
+
+impl From<Vec3> for [f32; 3] {
+    fn from(v: Vec3) -> Self {
+        v.to_array()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use proptest::prelude::*;
+
+    fn close(a: Vec3, b: Vec3) -> bool {
+        approx_eq(a.x, b.x, 1e-5) && approx_eq(a.y, b.y, 1e-5) && approx_eq(a.z, b.z, 1e-5)
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Vec3::X;
+        let b = Vec3::Y;
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), Vec3::Z);
+        assert_eq!(b.cross(a), -Vec3::Z);
+        assert_eq!(Vec3::new(1.0, 2.0, 3.0).dot(Vec3::new(4.0, 5.0, 6.0)), 32.0);
+    }
+
+    #[test]
+    fn length_and_normalize() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.length(), 5.0);
+        let n = v.normalized().unwrap();
+        assert!(approx_eq(n.length(), 1.0, 1e-6));
+        assert!(Vec3::ZERO.normalized().is_none());
+        assert_eq!(Vec3::ZERO.normalized_or_zero(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(2.0, 4.0, 8.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, 4.0));
+    }
+
+    #[test]
+    fn elementwise_helpers() {
+        let a = Vec3::new(1.0, 5.0, 3.0);
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.min_elem(b), Vec3::new(1.0, 4.0, 3.0));
+        assert_eq!(a.max_elem(b), Vec3::new(2.0, 5.0, 6.0));
+        assert_eq!(a.mul_elem(b), Vec3::new(2.0, 20.0, 18.0));
+        assert_eq!(b.div_elem(Vec3::splat(2.0)), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(a.max_component(), 5.0);
+        assert_eq!(a.min_component(), 1.0);
+        assert_eq!(
+            Vec3::new(-1.0, 10.0, 0.5).clamp_elem(Vec3::ZERO, Vec3::ONE),
+            Vec3::new(0.0, 1.0, 0.5)
+        );
+    }
+
+    #[test]
+    fn indexing() {
+        let mut v = Vec3::new(7.0, 8.0, 9.0);
+        assert_eq!(v[0], 7.0);
+        assert_eq!(v[1], 8.0);
+        assert_eq!(v[2], 9.0);
+        v[1] = 0.0;
+        assert_eq!(v.y, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn index_out_of_range_panics() {
+        let _ = Vec3::ZERO[3];
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let v = Vec3::new(1.5, -2.25, 3.75);
+        let mut buf = Vec::new();
+        v.write_le(&mut buf);
+        assert_eq!(buf.len(), 12);
+        assert_eq!(Vec3::read_le(&buf), Some(v));
+        assert_eq!(Vec3::read_le(&buf[..11]), None);
+    }
+
+    #[test]
+    fn raw_slice_view() {
+        let pts = vec![Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0)];
+        let raw = Vec3::as_f32_slice(&pts);
+        assert_eq!(raw, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Vec3::ONE.is_finite());
+        assert!(!Vec3::new(f32::NAN, 0.0, 0.0).is_finite());
+        assert!(!Vec3::new(0.0, f32::INFINITY, 0.0).is_finite());
+    }
+
+    #[test]
+    fn sum_of_vectors() {
+        let total: Vec3 = (0..4).map(|i| Vec3::splat(i as f32)).sum();
+        assert_eq!(total, Vec3::splat(6.0));
+    }
+
+    fn arb_vec3() -> impl Strategy<Value = Vec3> {
+        (-1.0e3f32..1.0e3, -1.0e3f32..1.0e3, -1.0e3f32..1.0e3)
+            .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutes(a in arb_vec3(), b in arb_vec3()) {
+            prop_assert!(close(a + b, b + a));
+        }
+
+        #[test]
+        fn prop_cross_orthogonal(a in arb_vec3(), b in arb_vec3()) {
+            let c = a.cross(b);
+            // |a·(a×b)| should be ~0 relative to the magnitudes involved.
+            let scale = a.length() * b.length() * a.length().max(b.length()) + 1.0;
+            prop_assert!(c.dot(a).abs() / scale < 1e-4);
+            prop_assert!(c.dot(b).abs() / scale < 1e-4);
+        }
+
+        #[test]
+        fn prop_lerp_bounded(a in arb_vec3(), b in arb_vec3(), t in 0.0f32..1.0) {
+            let l = a.lerp(b, t);
+            for i in 0..3 {
+                let lo = a[i].min(b[i]) - 1e-3;
+                let hi = a[i].max(b[i]) + 1e-3;
+                prop_assert!(l[i] >= lo && l[i] <= hi);
+            }
+        }
+
+        #[test]
+        fn prop_wire_roundtrip(a in arb_vec3()) {
+            let mut buf = Vec::new();
+            a.write_le(&mut buf);
+            prop_assert_eq!(Vec3::read_le(&buf), Some(a));
+        }
+
+        #[test]
+        fn prop_normalized_unit_length(a in arb_vec3()) {
+            if let Some(n) = a.normalized() {
+                prop_assert!((n.length() - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! BOOM head tracker kinematics.
+//!
+//! §3: "The weight of the CRTs are borne by a counterweighted yoke
+//! assembly with six joints… Optical encoders on the joints of the yoke
+//! assembly are continuously read by the host computer providing six
+//! angles of the joints of the yoke. These angles are converted into a
+//! standard 4x4 position and orientation matrix for the position and
+//! orientation of the BOOM head by six successive translations and
+//! rotations."
+//!
+//! [`BoomGeometry`] describes the chain (per joint: a fixed link
+//! translation followed by a rotation about a fixed axis), [`Boom`] adds
+//! the realities of the device: encoder quantization and joint limits.
+
+use vecmath::{Mat3, Mat4, Pose, Vec3};
+
+/// One joint of the yoke: translate along the link, then rotate.
+#[derive(Debug, Clone, Copy)]
+pub struct BoomJoint {
+    /// Fixed translation from the previous joint's frame to this joint.
+    pub link: Vec3,
+    /// Rotation axis (unit) in this joint's local frame.
+    pub axis: Vec3,
+    /// Joint limits in radians (min, max).
+    pub limits: (f32, f32),
+}
+
+/// The six-joint chain plus the final head offset.
+#[derive(Debug, Clone)]
+pub struct BoomGeometry {
+    pub joints: [BoomJoint; 6],
+    /// Offset from the last joint to the midpoint between the user's
+    /// eyes (the CRT viewing position).
+    pub head_offset: Vec3,
+    /// Encoder resolution: counts per full revolution.
+    pub encoder_counts: u32,
+}
+
+impl Default for BoomGeometry {
+    /// A plausible counterweighted boom: vertical post, two long
+    /// counterweighted arms, three-axis head gimbal.
+    fn default() -> Self {
+        use std::f32::consts::PI;
+        BoomGeometry {
+            joints: [
+                // Base azimuth about the vertical post.
+                BoomJoint {
+                    link: Vec3::new(0.0, 1.0, 0.0),
+                    axis: Vec3::Y,
+                    limits: (-PI, PI),
+                },
+                // Shoulder elevation.
+                BoomJoint {
+                    link: Vec3::ZERO,
+                    axis: Vec3::X,
+                    limits: (-1.2, 1.2),
+                },
+                // Elbow at the end of the first arm.
+                BoomJoint {
+                    link: Vec3::new(0.0, 0.0, -0.9),
+                    axis: Vec3::X,
+                    limits: (-2.0, 2.0),
+                },
+                // Head gimbal yaw at the end of the second arm.
+                BoomJoint {
+                    link: Vec3::new(0.0, 0.0, -0.9),
+                    axis: Vec3::Y,
+                    limits: (-PI, PI),
+                },
+                // Head gimbal pitch.
+                BoomJoint {
+                    link: Vec3::ZERO,
+                    axis: Vec3::X,
+                    limits: (-1.4, 1.4),
+                },
+                // Head gimbal roll.
+                BoomJoint {
+                    link: Vec3::ZERO,
+                    axis: Vec3::Z,
+                    limits: (-0.8, 0.8),
+                },
+            ],
+            head_offset: Vec3::new(0.0, 0.0, -0.15),
+            encoder_counts: 4096,
+        }
+    }
+}
+
+impl BoomGeometry {
+    /// The §3 conversion: six successive translations and rotations,
+    /// then the head offset. Returns the head pose matrix (head-local →
+    /// world).
+    pub fn forward(&self, angles: &[f32; 6]) -> Mat4 {
+        let mut m = Mat4::IDENTITY;
+        for (joint, &angle) in self.joints.iter().zip(angles) {
+            m = m * Mat4::translation(joint.link)
+                * Mat4::from_mat3(Mat3::rotation_axis(joint.axis, angle));
+        }
+        m * Mat4::translation(self.head_offset)
+    }
+
+    /// Head pose as position + orientation.
+    pub fn head_pose(&self, angles: &[f32; 6]) -> Pose {
+        Pose::from_mat4(&self.forward(angles))
+    }
+
+    /// Clamp angles into the joint limits.
+    pub fn clamp(&self, angles: &[f32; 6]) -> [f32; 6] {
+        let mut out = *angles;
+        for (a, j) in out.iter_mut().zip(&self.joints) {
+            *a = a.clamp(j.limits.0, j.limits.1);
+        }
+        out
+    }
+
+    /// Quantize an angle to the optical encoder's resolution.
+    pub fn quantize(&self, angle: f32) -> f32 {
+        let step = std::f32::consts::TAU / self.encoder_counts as f32;
+        (angle / step).round() * step
+    }
+}
+
+/// The tracked device: continuous "true" joint state read through
+/// quantizing encoders, like the real hardware.
+#[derive(Debug, Clone)]
+pub struct Boom {
+    geometry: BoomGeometry,
+    angles: [f32; 6],
+}
+
+impl Boom {
+    pub fn new(geometry: BoomGeometry) -> Boom {
+        Boom {
+            geometry,
+            angles: [0.0; 6],
+        }
+    }
+
+    pub fn geometry(&self) -> &BoomGeometry {
+        &self.geometry
+    }
+
+    /// Move the joints (clamped to limits) — the user pushing the display
+    /// around.
+    pub fn set_angles(&mut self, angles: [f32; 6]) {
+        self.angles = self.geometry.clamp(&angles);
+    }
+
+    /// Incremental joint motion.
+    pub fn move_joints(&mut self, delta: [f32; 6]) {
+        let mut next = self.angles;
+        for (a, d) in next.iter_mut().zip(&delta) {
+            *a += d;
+        }
+        self.set_angles(next);
+    }
+
+    /// Read the encoders: quantized angles, as the host computer sees
+    /// them (§3: encoders are "continuously read by the host computer").
+    pub fn read_encoders(&self) -> [f32; 6] {
+        let mut out = [0.0; 6];
+        for (o, a) in out.iter_mut().zip(&self.angles) {
+            *o = self.geometry.quantize(*a);
+        }
+        out
+    }
+
+    /// Head pose from the quantized encoder readings.
+    pub fn head_pose(&self) -> Pose {
+        self.geometry.head_pose(&self.read_encoders())
+    }
+
+    /// The view matrix to concatenate onto the graphics stack — §3's
+    /// "by inverting this position and orientation matrix".
+    pub fn view_matrix(&self) -> Mat4 {
+        self.head_pose().view_matrix()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_angles_give_repeatable_home_pose() {
+        let g = BoomGeometry::default();
+        let p = g.head_pose(&[0.0; 6]);
+        // Home: on top of the post, arms straight out along -Z twice,
+        // head offset back.
+        let expect = Vec3::new(0.0, 1.0, -1.95);
+        assert!(p.position.distance(expect) < 1e-4, "{:?}", p.position);
+    }
+
+    #[test]
+    fn azimuth_swings_the_whole_arm() {
+        let g = BoomGeometry::default();
+        let p = g.head_pose(&[std::f32::consts::FRAC_PI_2, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        // Quarter turn about +Y maps -Z to -X.
+        assert!(p.position.distance(Vec3::new(-1.95, 1.0, 0.0)) < 1e-3, "{:?}", p.position);
+    }
+
+    #[test]
+    fn head_gimbal_rotates_in_place() {
+        let g = BoomGeometry::default();
+        let p0 = g.head_pose(&[0.0; 6]);
+        // Joint 5 (pitch) has zero link and only the head offset hangs
+        // off it; position moves slightly, orientation changes.
+        let p1 = g.head_pose(&[0.0, 0.0, 0.0, 0.0, 0.5, 0.0]);
+        assert!(p1.orientation.angle_to(p0.orientation) > 0.4);
+        assert!(p0.position.distance(p1.position) < 0.2);
+    }
+
+    #[test]
+    fn joint_limits_enforced() {
+        let g = BoomGeometry::default();
+        let clamped = g.clamp(&[10.0, 10.0, -10.0, 0.0, 0.0, 0.0]);
+        assert!(clamped[0] <= g.joints[0].limits.1 + 1e-6);
+        assert!(clamped[1] <= g.joints[1].limits.1 + 1e-6);
+        assert!(clamped[2] >= g.joints[2].limits.0 - 1e-6);
+    }
+
+    #[test]
+    fn encoder_quantization() {
+        let g = BoomGeometry::default();
+        let step = std::f32::consts::TAU / g.encoder_counts as f32;
+        let q = g.quantize(0.37 * step);
+        assert_eq!(q, 0.0);
+        let q = g.quantize(0.63 * step);
+        assert!((q - step).abs() < 1e-7);
+    }
+
+    #[test]
+    fn boom_reads_quantized() {
+        let mut b = Boom::new(BoomGeometry::default());
+        let step = std::f32::consts::TAU / b.geometry().encoder_counts as f32;
+        b.set_angles([0.4 * step, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(b.read_encoders()[0], 0.0);
+    }
+
+    #[test]
+    fn incremental_motion_accumulates() {
+        let mut b = Boom::new(BoomGeometry::default());
+        b.move_joints([0.1, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        b.move_joints([0.1, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!((b.read_encoders()[0] - 0.2).abs() < 1e-2);
+    }
+
+    #[test]
+    fn view_matrix_inverts_head_pose() {
+        let mut b = Boom::new(BoomGeometry::default());
+        b.set_angles([0.3, 0.2, -0.4, 0.5, 0.1, -0.1]);
+        let head = b.head_pose();
+        let v = b.view_matrix();
+        // The head position maps to the origin under the view matrix.
+        assert!(v.transform_point(head.position).length() < 1e-3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_forward_is_rigid(a0 in -1.0f32..1.0, a1 in -1.0f32..1.0, a2 in -1.0f32..1.0,
+                                 a3 in -1.0f32..1.0, a4 in -1.0f32..1.0, a5 in -0.7f32..0.7) {
+            let g = BoomGeometry::default();
+            let m = g.forward(&[a0, a1, a2, a3, a4, a5]);
+            // Rotation part orthonormal: R·Rᵀ = I.
+            let r = m.rotation_part();
+            let rrt = r * r.transpose();
+            prop_assert!((rrt.m[0][0] - 1.0).abs() < 1e-3);
+            prop_assert!((rrt.m[1][1] - 1.0).abs() < 1e-3);
+            prop_assert!(rrt.m[0][1].abs() < 1e-3);
+            // Reach is bounded by total link length + head offset.
+            let reach = m.translation_part().length();
+            prop_assert!(reach <= 1.0 + 0.9 + 0.9 + 0.15 + 1e-3);
+        }
+
+        #[test]
+        fn prop_quantization_error_bounded(angle in -3.0f32..3.0) {
+            let g = BoomGeometry::default();
+            let step = std::f32::consts::TAU / g.encoder_counts as f32;
+            prop_assert!((g.quantize(angle) - angle).abs() <= step * 0.5 + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! The VPL DataGlove II model: hand pose, finger bends, gestures.
+//!
+//! §3: "the user's hand position, orientation, and finger joint angles are
+//! sensed using a VPL dataglove model II, which incorporates a Polhemus
+//! 3Space tracker… The degree of bend of knuckle and middle joints of the
+//! fingers and thumb of the user's hand are measured… using specially
+//! treated optical fibers. These finger joint angles are combined and
+//! interpreted as gestures. The glove requires recalibration for each
+//! user, and the Polhemus tracker has limited accuracy and is sensitive to
+//! the ambient electromagnetic environment."
+//!
+//! Ten bend sensors (knuckle + middle joint, five digits), a per-user
+//! min/max calibration, a Polhemus noise model, and a debounced gesture
+//! recognizer (the windtunnel's grab interaction is "make a fist near a
+//! rake handle").
+
+use vecmath::{Pose, Quat, Vec3};
+
+/// Raw sensor indices: `sensor = finger * 2 + joint`, fingers ordered
+/// thumb, index, middle, ring, little; joint 0 = knuckle, 1 = middle.
+pub const SENSOR_COUNT: usize = 10;
+
+/// A raw glove sample: Polhemus pose + raw bend sensor values.
+#[derive(Debug, Clone, Copy)]
+pub struct GloveReading {
+    pub pose: Pose,
+    /// Raw optical-fiber readings, arbitrary units.
+    pub bends: [f32; SENSOR_COUNT],
+}
+
+/// Per-user calibration: raw values observed with the hand fully open and
+/// fully fisted, per sensor (§3: "requires recalibration for each user").
+#[derive(Debug, Clone, Copy)]
+pub struct GloveCalibration {
+    pub open: [f32; SENSOR_COUNT],
+    pub fist: [f32; SENSOR_COUNT],
+}
+
+impl Default for GloveCalibration {
+    fn default() -> Self {
+        GloveCalibration {
+            open: [0.1; SENSOR_COUNT],
+            fist: [0.9; SENSOR_COUNT],
+        }
+    }
+}
+
+impl GloveCalibration {
+    /// Normalize a raw reading to [0, 1] (0 = straight, 1 = fully bent).
+    pub fn normalize(&self, raw: &[f32; SENSOR_COUNT]) -> [f32; SENSOR_COUNT] {
+        let mut out = [0.0; SENSOR_COUNT];
+        for s in 0..SENSOR_COUNT {
+            let span = self.fist[s] - self.open[s];
+            out[s] = if span.abs() < 1e-6 {
+                0.0
+            } else {
+                ((raw[s] - self.open[s]) / span).clamp(0.0, 1.0)
+            };
+        }
+        out
+    }
+
+    /// Calibrate from samples: element-wise min of open samples and max
+    /// of fist samples.
+    pub fn from_samples(open_samples: &[[f32; SENSOR_COUNT]], fist_samples: &[[f32; SENSOR_COUNT]]) -> GloveCalibration {
+        let mut cal = GloveCalibration {
+            open: [f32::INFINITY; SENSOR_COUNT],
+            fist: [f32::NEG_INFINITY; SENSOR_COUNT],
+        };
+        for s in open_samples {
+            for (o, v) in cal.open.iter_mut().zip(s) {
+                *o = o.min(*v);
+            }
+        }
+        for s in fist_samples {
+            for (f, v) in cal.fist.iter_mut().zip(s) {
+                *f = f.max(*v);
+            }
+        }
+        cal
+    }
+}
+
+/// Recognized hand gestures (the command vocabulary of the windtunnel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Gesture {
+    /// Flat hand — no command.
+    #[default]
+    Open,
+    /// All fingers bent — grab.
+    Fist,
+    /// Index extended, others bent — point (menu/selection).
+    Point,
+    /// Thumb + index bent, others straight — pinch (fine adjust).
+    Pinch,
+}
+
+/// Classify one normalized bend frame (no hysteresis).
+pub fn classify(bends: &[f32; SENSOR_COUNT]) -> Gesture {
+    // Per-digit bend = mean of its two joints.
+    let digit = |d: usize| (bends[d * 2] + bends[d * 2 + 1]) * 0.5;
+    let thumb = digit(0);
+    let index = digit(1);
+    let rest_bent = (2..5).all(|d| digit(d) > 0.6);
+    let rest_straight = (2..5).all(|d| digit(d) < 0.4);
+    if index < 0.35 && thumb > 0.4 && rest_bent {
+        Gesture::Point
+    } else if index > 0.6 && thumb > 0.6 && rest_bent {
+        Gesture::Fist
+    } else if index > 0.5 && thumb > 0.5 && rest_straight {
+        Gesture::Pinch
+    } else {
+        Gesture::Open
+    }
+}
+
+/// The glove device: calibration + debounced gesture state + a Polhemus
+/// noise/latency model for synthetic sessions.
+#[derive(Debug, Clone)]
+pub struct DataGlove {
+    calibration: GloveCalibration,
+    /// Frames a candidate gesture must persist before being reported —
+    /// raw classification flickers at gesture boundaries exactly like the
+    /// real fiber sensors did.
+    debounce_frames: u32,
+    current: Gesture,
+    candidate: Gesture,
+    candidate_frames: u32,
+    last_pose: Pose,
+}
+
+impl DataGlove {
+    pub fn new(calibration: GloveCalibration) -> DataGlove {
+        DataGlove {
+            calibration,
+            debounce_frames: 3,
+            current: Gesture::Open,
+            candidate: Gesture::Open,
+            candidate_frames: 0,
+            last_pose: Pose::IDENTITY,
+        }
+    }
+
+    pub fn with_debounce(mut self, frames: u32) -> DataGlove {
+        self.debounce_frames = frames;
+        self
+    }
+
+    /// Feed one raw sample; returns the debounced gesture.
+    pub fn update(&mut self, reading: &GloveReading) -> Gesture {
+        self.last_pose = reading.pose;
+        let normalized = self.calibration.normalize(&reading.bends);
+        let raw_gesture = classify(&normalized);
+        if raw_gesture == self.current {
+            self.candidate = raw_gesture;
+            self.candidate_frames = 0;
+        } else if raw_gesture == self.candidate {
+            self.candidate_frames += 1;
+            if self.candidate_frames >= self.debounce_frames {
+                self.current = raw_gesture;
+                self.candidate_frames = 0;
+            }
+        } else {
+            self.candidate = raw_gesture;
+            self.candidate_frames = 1;
+            if self.debounce_frames <= 1 {
+                self.current = raw_gesture;
+            }
+        }
+        self.current
+    }
+
+    /// Latest debounced gesture.
+    pub fn gesture(&self) -> Gesture {
+        self.current
+    }
+
+    /// Latest hand pose.
+    pub fn pose(&self) -> Pose {
+        self.last_pose
+    }
+}
+
+/// Polhemus noise model: positional jitter plus orientation wobble that
+/// grows with distance from the source (§3: "limited accuracy and is
+/// sensitive to the ambient electromagnetic environment"). Deterministic
+/// given the phase argument — synthetic sessions stay reproducible.
+pub fn polhemus_noise(pose: Pose, source: Vec3, phase: f32) -> Pose {
+    let dist = pose.position.distance(source);
+    let amp = 0.002 + 0.004 * dist; // metres of jitter
+    let jitter = Vec3::new(
+        (phase * 37.7).sin(),
+        (phase * 23.3 + 1.0).sin(),
+        (phase * 41.1 + 2.0).sin(),
+    ) * amp;
+    let wobble = Quat::from_axis_angle(Vec3::new(1.0, 0.3, 0.2), 0.002 * dist * (phase * 19.0).sin());
+    Pose {
+        position: pose.position + jitter,
+        orientation: wobble * pose.orientation,
+    }
+}
+
+/// Convenience constructors for synthetic bend frames.
+pub fn bends_open() -> [f32; SENSOR_COUNT] {
+    [0.1; SENSOR_COUNT]
+}
+
+pub fn bends_fist() -> [f32; SENSOR_COUNT] {
+    [0.9; SENSOR_COUNT]
+}
+
+pub fn bends_point() -> [f32; SENSOR_COUNT] {
+    let mut b = [0.9; SENSOR_COUNT];
+    b[2] = 0.1; // index knuckle straight
+    b[3] = 0.1; // index middle straight
+    b
+}
+
+pub fn bends_pinch() -> [f32; SENSOR_COUNT] {
+    let mut b = [0.1; SENSOR_COUNT];
+    b[0] = 0.8;
+    b[1] = 0.8; // thumb bent
+    b[2] = 0.8;
+    b[3] = 0.8; // index bent
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn norm(raw: [f32; SENSOR_COUNT]) -> [f32; SENSOR_COUNT] {
+        GloveCalibration::default().normalize(&raw)
+    }
+
+    #[test]
+    fn classify_canonical_gestures() {
+        assert_eq!(classify(&norm(bends_open())), Gesture::Open);
+        assert_eq!(classify(&norm(bends_fist())), Gesture::Fist);
+        assert_eq!(classify(&norm(bends_point())), Gesture::Point);
+        assert_eq!(classify(&norm(bends_pinch())), Gesture::Pinch);
+    }
+
+    #[test]
+    fn calibration_normalizes_user_range() {
+        // A user whose sensors read 0.3 open and 0.5 fisted.
+        let cal = GloveCalibration {
+            open: [0.3; SENSOR_COUNT],
+            fist: [0.5; SENSOR_COUNT],
+        };
+        let half = cal.normalize(&[0.4; SENSOR_COUNT]);
+        assert!((half[0] - 0.5).abs() < 1e-5);
+        // Out-of-range raw values clamp.
+        assert_eq!(cal.normalize(&[0.9; SENSOR_COUNT])[0], 1.0);
+        assert_eq!(cal.normalize(&[0.0; SENSOR_COUNT])[0], 0.0);
+    }
+
+    #[test]
+    fn degenerate_calibration_is_safe() {
+        let cal = GloveCalibration {
+            open: [0.5; SENSOR_COUNT],
+            fist: [0.5; SENSOR_COUNT],
+        };
+        assert_eq!(cal.normalize(&[0.7; SENSOR_COUNT])[0], 0.0);
+    }
+
+    #[test]
+    fn calibration_from_samples() {
+        let cal = GloveCalibration::from_samples(
+            &[[0.2; SENSOR_COUNT], [0.15; SENSOR_COUNT]],
+            &[[0.8; SENSOR_COUNT], [0.85; SENSOR_COUNT]],
+        );
+        assert_eq!(cal.open[0], 0.15);
+        assert_eq!(cal.fist[0], 0.85);
+    }
+
+    #[test]
+    fn debounce_filters_flicker() {
+        let mut glove = DataGlove::new(GloveCalibration::default()).with_debounce(3);
+        let read = |bends| GloveReading {
+            pose: Pose::IDENTITY,
+            bends,
+        };
+        assert_eq!(glove.update(&read(bends_open())), Gesture::Open);
+        // One flicker frame of fist: still open.
+        assert_eq!(glove.update(&read(bends_fist())), Gesture::Open);
+        assert_eq!(glove.update(&read(bends_open())), Gesture::Open);
+        // Sustained fist: switches after 3 frames.
+        assert_eq!(glove.update(&read(bends_fist())), Gesture::Open);
+        assert_eq!(glove.update(&read(bends_fist())), Gesture::Open);
+        assert_eq!(glove.update(&read(bends_fist())), Gesture::Fist);
+    }
+
+    #[test]
+    fn pose_is_tracked() {
+        let mut glove = DataGlove::new(GloveCalibration::default());
+        let pose = Pose::new(Vec3::new(1.0, 2.0, 3.0), Quat::IDENTITY);
+        glove.update(&GloveReading {
+            pose,
+            bends: bends_open(),
+        });
+        assert_eq!(glove.pose().position, pose.position);
+    }
+
+    #[test]
+    fn polhemus_noise_grows_with_distance() {
+        let near = Pose::new(Vec3::new(0.1, 0.0, 0.0), Quat::IDENTITY);
+        let far = Pose::new(Vec3::new(3.0, 0.0, 0.0), Quat::IDENTITY);
+        let src = Vec3::ZERO;
+        let mut near_err = 0.0f32;
+        let mut far_err = 0.0f32;
+        for i in 0..50 {
+            let phase = i as f32 * 0.113;
+            near_err = near_err.max(polhemus_noise(near, src, phase).position.distance(near.position));
+            far_err = far_err.max(polhemus_noise(far, src, phase).position.distance(far.position));
+        }
+        assert!(far_err > near_err);
+        assert!(near_err < 0.02);
+    }
+
+    #[test]
+    fn polhemus_noise_is_deterministic() {
+        let p = Pose::new(Vec3::new(1.0, 1.0, 0.0), Quat::IDENTITY);
+        let a = polhemus_noise(p, Vec3::ZERO, 0.7);
+        let b = polhemus_noise(p, Vec3::ZERO, 0.7);
+        assert_eq!(a.position, b.position);
+    }
+
+    #[test]
+    fn gesture_sequence_grab_and_release() {
+        // The windtunnel interaction: open → fist (grab) → open (release).
+        let mut glove = DataGlove::new(GloveCalibration::default()).with_debounce(2);
+        let read = |bends| GloveReading {
+            pose: Pose::IDENTITY,
+            bends,
+        };
+        for _ in 0..3 {
+            glove.update(&read(bends_open()));
+        }
+        assert_eq!(glove.gesture(), Gesture::Open);
+        for _ in 0..3 {
+            glove.update(&read(bends_fist()));
+        }
+        assert_eq!(glove.gesture(), Gesture::Fist);
+        for _ in 0..3 {
+            glove.update(&read(bends_open()));
+        }
+        assert_eq!(glove.gesture(), Gesture::Open);
+    }
+}

@@ -1,0 +1,105 @@
+//! PPM/PGM image output for the figure-regeneration harness.
+//!
+//! Figures 1–3 of the paper are rendered views of streaklines and
+//! streamlines around the tapered cylinder; the bench harness regenerates
+//! them as portable pixmaps that any viewer opens.
+
+use crate::render::Framebuffer;
+use std::io::Write;
+use std::path::Path;
+
+/// Write a binary PPM (P6).
+pub fn write_ppm(path: &Path, fb: &Framebuffer) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(f, "P6\n{} {}\n255\n", fb.width(), fb.height())?;
+    f.write_all(&fb.rgb_bytes())?;
+    f.flush()
+}
+
+/// Write a binary PGM (P5) of one channel: `0` = red, `1` = green,
+/// `2` = blue — handy for inspecting a single stereo eye.
+pub fn write_pgm_channel(path: &Path, fb: &Framebuffer, channel: usize) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(f, "P5\n{} {}\n255\n", fb.width(), fb.height())?;
+    let rgb = fb.rgb_bytes();
+    let plane: Vec<u8> = rgb.chunks_exact(3).map(|px| px[channel.min(2)]).collect();
+    f.write_all(&plane)?;
+    f.flush()
+}
+
+/// Parse a P6 PPM back (test helper / tooling).
+pub fn read_ppm(path: &Path) -> std::io::Result<(usize, usize, Vec<u8>)> {
+    let data = std::fs::read(path)?;
+    let header_err = || std::io::Error::new(std::io::ErrorKind::InvalidData, "bad PPM header");
+    // Parse "P6\n<w> <h>\n255\n".
+    let mut parts = data.splitn(2, |&b| b == b'\n');
+    let magic = parts.next().ok_or_else(header_err)?;
+    if magic != b"P6" {
+        return Err(header_err());
+    }
+    let rest = parts.next().ok_or_else(header_err)?;
+    let mut lines = rest.splitn(3, |&b| b == b'\n');
+    let dims = lines.next().ok_or_else(header_err)?;
+    let maxval = lines.next().ok_or_else(header_err)?;
+    if maxval != b"255" {
+        return Err(header_err());
+    }
+    let pixels = lines.next().ok_or_else(header_err)?;
+    let dims_str = std::str::from_utf8(dims).map_err(|_| header_err())?;
+    let mut it = dims_str.split_whitespace();
+    let w: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(header_err)?;
+    let h: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(header_err)?;
+    if pixels.len() < w * h * 3 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "truncated PPM pixel data",
+        ));
+    }
+    Ok((w, h, pixels[..w * h * 3].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::Rgb;
+    use tempfile::tempdir;
+
+    #[test]
+    fn ppm_roundtrip() {
+        let mut fb = Framebuffer::new(5, 3);
+        fb.set_pixel(2, 1, 0.0, Rgb::new(10, 20, 30));
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("out.ppm");
+        write_ppm(&path, &fb).unwrap();
+        let (w, h, px) = read_ppm(&path).unwrap();
+        assert_eq!((w, h), (5, 3));
+        let idx = (5 + 2) * 3;
+        assert_eq!(&px[idx..idx + 3], &[10, 20, 30]);
+    }
+
+    #[test]
+    fn pgm_extracts_channel() {
+        let mut fb = Framebuffer::new(2, 2);
+        fb.set_pixel(0, 0, 0.0, Rgb::new(100, 0, 200));
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("red.pgm");
+        write_pgm_channel(&path, &fb, 0).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        // Header "P5\n2 2\n255\n" is 11 bytes; first pixel is red=100.
+        assert_eq!(data[11], 100);
+        let path_b = dir.path().join("blue.pgm");
+        write_pgm_channel(&path_b, &fb, 2).unwrap();
+        let data_b = std::fs::read(&path_b).unwrap();
+        assert_eq!(data_b[11], 200);
+    }
+
+    #[test]
+    fn bad_ppm_rejected() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("junk.ppm");
+        std::fs::write(&path, b"NOTAPPM").unwrap();
+        assert!(read_ppm(&path).is_err());
+        std::fs::write(&path, b"P6\n4 4\n255\nxx").unwrap();
+        assert!(read_ppm(&path).is_err());
+    }
+}

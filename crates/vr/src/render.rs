@@ -1,0 +1,471 @@
+//! Software line/point rasterizer with Z-buffer and channel writemask.
+//!
+//! §3 describes the stereo trick precisely: "rendering the left eye image
+//! using only shades of pure red (of which 256 are available) and the
+//! right eye image using only shades of pure blue. When the blue (second,
+//! right-eye) image is drawn, it is drawn using a 'writemask' that
+//! protects the bits of the red image. The Z-buffer bit planes are cleared
+//! between the drawing of the left- and right-eye images, but the color
+//! (red) bit planes are not cleared. Thus, the end result is separately
+//! Z-buffered left- and right-eye images, in red and blue respectively, on
+//! the screen at the same time."
+//!
+//! [`Framebuffer`] implements exactly that: per-channel writemask, Z
+//! clear independent of color clear, DDA lines with depth interpolation.
+
+use vecmath::{Mat4, Vec3};
+
+/// 8-bit RGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rgb {
+    pub r: u8,
+    pub g: u8,
+    pub b: u8,
+}
+
+impl Rgb {
+    pub const BLACK: Rgb = Rgb { r: 0, g: 0, b: 0 };
+    pub const WHITE: Rgb = Rgb { r: 255, g: 255, b: 255 };
+
+    pub const fn new(r: u8, g: u8, b: u8) -> Rgb {
+        Rgb { r, g, b }
+    }
+
+    /// A pure-red shade (left eye).
+    pub const fn red(shade: u8) -> Rgb {
+        Rgb { r: shade, g: 0, b: 0 }
+    }
+
+    /// A pure-blue shade (right eye).
+    pub const fn blue(shade: u8) -> Rgb {
+        Rgb { r: 0, g: 0, b: shade }
+    }
+}
+
+/// Which color channels the rasterizer may write — the IRIS GL writemask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColorMask {
+    pub r: bool,
+    pub g: bool,
+    pub b: bool,
+}
+
+impl ColorMask {
+    pub const ALL: ColorMask = ColorMask { r: true, g: true, b: true };
+    /// Left-eye pass: may write red only.
+    pub const RED_ONLY: ColorMask = ColorMask { r: true, g: false, b: false };
+    /// Right-eye pass: may write green+blue only — "protects the bits of
+    /// the red image".
+    pub const PROTECT_RED: ColorMask = ColorMask { r: false, g: true, b: true };
+}
+
+/// RGB framebuffer with f32 Z-buffer (smaller z = nearer; z is the NDC
+/// depth in [-1, 1] after projection).
+pub struct Framebuffer {
+    width: usize,
+    height: usize,
+    color: Vec<Rgb>,
+    depth: Vec<f32>,
+    mask: ColorMask,
+}
+
+impl Framebuffer {
+    pub fn new(width: usize, height: usize) -> Framebuffer {
+        Framebuffer {
+            width,
+            height,
+            color: vec![Rgb::BLACK; width * height],
+            depth: vec![f32::INFINITY; width * height],
+            mask: ColorMask::ALL,
+        }
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    pub fn set_mask(&mut self, mask: ColorMask) {
+        self.mask = mask;
+    }
+
+    pub fn mask(&self) -> ColorMask {
+        self.mask
+    }
+
+    /// Clear color planes (honours the writemask, like the hardware) and
+    /// the Z-buffer.
+    pub fn clear(&mut self, color: Rgb) {
+        for i in 0..self.color.len() {
+            self.write_pixel_unchecked(i, color);
+        }
+        self.clear_depth();
+    }
+
+    /// Clear only the Z planes — the between-eyes step of §3.
+    pub fn clear_depth(&mut self) {
+        self.depth.fill(f32::INFINITY);
+    }
+
+    #[inline]
+    fn write_pixel_unchecked(&mut self, idx: usize, c: Rgb) {
+        let px = &mut self.color[idx];
+        if self.mask.r {
+            px.r = c.r;
+        }
+        if self.mask.g {
+            px.g = c.g;
+        }
+        if self.mask.b {
+            px.b = c.b;
+        }
+    }
+
+    /// Depth-tested, masked pixel write.
+    pub fn set_pixel(&mut self, x: i32, y: i32, z: f32, c: Rgb) {
+        if x < 0 || y < 0 || x >= self.width as i32 || y >= self.height as i32 {
+            return;
+        }
+        let idx = y as usize * self.width + x as usize;
+        if z <= self.depth[idx] {
+            self.depth[idx] = z;
+            self.write_pixel_unchecked(idx, c);
+        }
+    }
+
+    pub fn pixel(&self, x: usize, y: usize) -> Rgb {
+        self.color[y * self.width + x]
+    }
+
+    pub fn depth_at(&self, x: usize, y: usize) -> f32 {
+        self.depth[y * self.width + x]
+    }
+
+    /// Raw RGB bytes, row-major top-to-bottom (PPM order).
+    pub fn rgb_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.color.len() * 3);
+        for px in &self.color {
+            out.push(px.r);
+            out.push(px.g);
+            out.push(px.b);
+        }
+        out
+    }
+
+    /// Count pixels for which `pred` holds — test/diagnostic helper.
+    pub fn count_pixels(&self, pred: impl Fn(Rgb) -> bool) -> usize {
+        self.color.iter().filter(|&&c| pred(c)).count()
+    }
+
+    /// Draw a depth-tested line between two screen-space points
+    /// (x, y in pixels, z in NDC depth) with DDA interpolation.
+    pub fn draw_line_screen(&mut self, a: (f32, f32, f32), b: (f32, f32, f32), c: Rgb) {
+        let dx = b.0 - a.0;
+        let dy = b.1 - a.1;
+        let steps = dx.abs().max(dy.abs()).ceil() as i32;
+        if steps == 0 {
+            self.set_pixel(a.0.round() as i32, a.1.round() as i32, a.2, c);
+            return;
+        }
+        for s in 0..=steps {
+            let t = s as f32 / steps as f32;
+            let x = a.0 + dx * t;
+            let y = a.1 + dy * t;
+            let z = a.2 + (b.2 - a.2) * t;
+            self.set_pixel(x.round() as i32, y.round() as i32, z, c);
+        }
+    }
+
+    /// Project a world-space point through `mvp` into (pixel x, pixel y,
+    /// ndc z); `None` when behind the near plane (w ≤ ε).
+    pub fn project(&self, mvp: &Mat4, p: Vec3) -> Option<(f32, f32, f32)> {
+        let h = mvp.transform_point_h(p);
+        if h[3] <= 1.0e-6 {
+            return None;
+        }
+        let ndc_x = h[0] / h[3];
+        let ndc_y = h[1] / h[3];
+        let ndc_z = h[2] / h[3];
+        Some((
+            (ndc_x * 0.5 + 0.5) * (self.width as f32 - 1.0),
+            (0.5 - ndc_y * 0.5) * (self.height as f32 - 1.0), // y down
+            ndc_z,
+        ))
+    }
+
+    /// Draw a world-space polyline through an MVP matrix. Segments with an
+    /// endpoint behind the eye are dropped (simple near-plane policy —
+    /// adequate for path geometry that lives inside the scene).
+    pub fn draw_polyline(&mut self, mvp: &Mat4, points: &[Vec3], color: Rgb) {
+        for w in points.windows(2) {
+            if let (Some(a), Some(b)) = (self.project(mvp, w[0]), self.project(mvp, w[1])) {
+                self.draw_line_screen(a, b, color);
+            }
+        }
+    }
+
+    /// Draw world-space points.
+    pub fn draw_points(&mut self, mvp: &Mat4, points: &[Vec3], color: Rgb) {
+        for &p in points {
+            if let Some((x, y, z)) = self.project(mvp, p) {
+                self.set_pixel(x.round() as i32, y.round() as i32, z, color);
+            }
+        }
+    }
+
+    /// Fill a screen-space triangle with Z interpolation (barycentric
+    /// scanline). Inputs are (pixel x, pixel y, ndc z).
+    pub fn fill_triangle_screen(
+        &mut self,
+        a: (f32, f32, f32),
+        b: (f32, f32, f32),
+        c: (f32, f32, f32),
+        color: Rgb,
+    ) {
+        let min_x = a.0.min(b.0).min(c.0).floor().max(0.0) as i32;
+        let max_x = a.0.max(b.0).max(c.0).ceil().min(self.width as f32 - 1.0) as i32;
+        let min_y = a.1.min(b.1).min(c.1).floor().max(0.0) as i32;
+        let max_y = a.1.max(b.1).max(c.1).ceil().min(self.height as f32 - 1.0) as i32;
+        if min_x > max_x || min_y > max_y {
+            return;
+        }
+        let area = (b.0 - a.0) * (c.1 - a.1) - (b.1 - a.1) * (c.0 - a.0);
+        if area.abs() < 1.0e-6 {
+            // Degenerate: fall back to its edges.
+            self.draw_line_screen(a, b, color);
+            self.draw_line_screen(b, c, color);
+            return;
+        }
+        let inv_area = 1.0 / area;
+        for y in min_y..=max_y {
+            for x in min_x..=max_x {
+                let px = x as f32 + 0.5;
+                let py = y as f32 + 0.5;
+                // Barycentric coordinates (signed, normalized by the
+                // triangle area so either winding works).
+                let w0 = ((b.0 - px) * (c.1 - py) - (b.1 - py) * (c.0 - px)) * inv_area;
+                let w1 = ((c.0 - px) * (a.1 - py) - (c.1 - py) * (a.0 - px)) * inv_area;
+                let w2 = 1.0 - w0 - w1;
+                if w0 >= 0.0 && w1 >= 0.0 && w2 >= 0.0 {
+                    let z = w0 * a.2 + w1 * b.2 + w2 * c.2;
+                    self.set_pixel(x, y, z, color);
+                }
+            }
+        }
+    }
+
+    /// Draw world-space triangles with flat depth shading (nearer =
+    /// brighter). Triangles with any vertex behind the eye are dropped —
+    /// adequate for iso-geometry inside the scene.
+    pub fn draw_triangles(&mut self, mvp: &Mat4, tris: &[[Vec3; 3]], base: Rgb) {
+        for t in tris {
+            let p: Vec<_> = t.iter().filter_map(|&v| self.project(mvp, v)).collect();
+            if p.len() < 3 {
+                continue;
+            }
+            // ndc z in [-1, 1] → shade factor [1, 0.35].
+            let zavg = (p[0].2 + p[1].2 + p[2].2) / 3.0;
+            let f = (1.0 - 0.325 * (zavg + 1.0)).clamp(0.2, 1.0);
+            let c = Rgb::new(
+                (base.r as f32 * f) as u8,
+                (base.g as f32 * f) as u8,
+                (base.b as f32 * f) as u8,
+            );
+            self.fill_triangle_screen(p[0], p[1], p[2], c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecmath::Mat4;
+
+    #[test]
+    fn clear_fills_and_resets_depth() {
+        let mut fb = Framebuffer::new(8, 8);
+        fb.set_pixel(3, 3, 0.5, Rgb::WHITE);
+        fb.clear(Rgb::new(1, 2, 3));
+        assert_eq!(fb.pixel(3, 3), Rgb::new(1, 2, 3));
+        assert_eq!(fb.depth_at(3, 3), f32::INFINITY);
+    }
+
+    #[test]
+    fn depth_test_keeps_nearer_pixel() {
+        let mut fb = Framebuffer::new(4, 4);
+        fb.set_pixel(1, 1, 0.5, Rgb::red(100));
+        fb.set_pixel(1, 1, 0.8, Rgb::red(200)); // farther: rejected
+        assert_eq!(fb.pixel(1, 1), Rgb::red(100));
+        fb.set_pixel(1, 1, 0.2, Rgb::red(50)); // nearer: wins
+        assert_eq!(fb.pixel(1, 1), Rgb::red(50));
+    }
+
+    #[test]
+    fn writemask_protects_channels() {
+        let mut fb = Framebuffer::new(4, 4);
+        fb.set_mask(ColorMask::RED_ONLY);
+        fb.set_pixel(0, 0, 0.5, Rgb::new(10, 20, 30));
+        assert_eq!(fb.pixel(0, 0), Rgb::new(10, 0, 0));
+        fb.clear_depth();
+        fb.set_mask(ColorMask::PROTECT_RED);
+        fb.set_pixel(0, 0, 0.5, Rgb::new(99, 88, 77));
+        // Red survives; green/blue written.
+        assert_eq!(fb.pixel(0, 0), Rgb::new(10, 88, 77));
+    }
+
+    #[test]
+    fn paper_stereo_sequence() {
+        // Left eye in red, clear Z (not color), right eye in blue behind a
+        // red-protecting writemask → overlapping pixels hold both.
+        let mut fb = Framebuffer::new(8, 8);
+        fb.set_mask(ColorMask::RED_ONLY);
+        fb.draw_line_screen((1.0, 4.0, 0.1), (6.0, 4.0, 0.1), Rgb::red(200));
+        fb.clear_depth();
+        fb.set_mask(ColorMask::PROTECT_RED);
+        fb.draw_line_screen((2.0, 4.0, 0.9), (7.0, 4.0, 0.9), Rgb::blue(150));
+        // Overlap pixel (4, 4): red from the left eye, blue from the
+        // right — even though the blue pass is *farther* in z, because Z
+        // was cleared between eyes.
+        assert_eq!(fb.pixel(4, 4), Rgb::new(200, 0, 150));
+        // Left-only pixel.
+        assert_eq!(fb.pixel(1, 4), Rgb::new(200, 0, 0));
+        // Right-only pixel.
+        assert_eq!(fb.pixel(7, 4), Rgb::new(0, 0, 150));
+    }
+
+    #[test]
+    fn line_endpoints_are_drawn() {
+        let mut fb = Framebuffer::new(16, 16);
+        fb.draw_line_screen((2.0, 3.0, 0.0), (12.0, 9.0, 0.0), Rgb::WHITE);
+        assert_eq!(fb.pixel(2, 3), Rgb::WHITE);
+        assert_eq!(fb.pixel(12, 9), Rgb::WHITE);
+    }
+
+    #[test]
+    fn degenerate_line_is_a_point() {
+        let mut fb = Framebuffer::new(4, 4);
+        fb.draw_line_screen((1.0, 1.0, 0.0), (1.0, 1.0, 0.0), Rgb::WHITE);
+        assert_eq!(fb.pixel(1, 1), Rgb::WHITE);
+        assert_eq!(fb.count_pixels(|c| c == Rgb::WHITE), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_writes_are_clipped() {
+        let mut fb = Framebuffer::new(4, 4);
+        fb.set_pixel(-1, 0, 0.0, Rgb::WHITE);
+        fb.set_pixel(0, 99, 0.0, Rgb::WHITE);
+        fb.draw_line_screen((-10.0, 2.0, 0.0), (10.0, 2.0, 0.0), Rgb::WHITE);
+        // Line crosses the buffer: in-bounds pixels drawn, no panic.
+        assert!(fb.count_pixels(|c| c == Rgb::WHITE) >= 4);
+    }
+
+    #[test]
+    fn project_center_of_view() {
+        let fb = Framebuffer::new(100, 100);
+        let mvp = Mat4::perspective(1.0, 1.0, 0.1, 100.0);
+        let (x, y, _z) = fb.project(&mvp, Vec3::new(0.0, 0.0, -5.0)).unwrap();
+        assert!((x - 49.5).abs() < 1.0);
+        assert!((y - 49.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn project_behind_eye_is_none() {
+        let fb = Framebuffer::new(100, 100);
+        let mvp = Mat4::perspective(1.0, 1.0, 0.1, 100.0);
+        assert!(fb.project(&mvp, Vec3::new(0.0, 0.0, 5.0)).is_none());
+    }
+
+    #[test]
+    fn polyline_draws_visible_segments() {
+        let mut fb = Framebuffer::new(64, 64);
+        let mvp = Mat4::perspective(1.0, 1.0, 0.1, 100.0);
+        let pts = vec![
+            Vec3::new(-1.0, 0.0, -5.0),
+            Vec3::new(1.0, 0.0, -5.0),
+            Vec3::new(1.0, 0.0, 5.0), // behind the eye: segment dropped
+        ];
+        fb.draw_polyline(&mvp, &pts, Rgb::WHITE);
+        assert!(fb.count_pixels(|c| c == Rgb::WHITE) > 5);
+    }
+
+    #[test]
+    fn triangle_fill_covers_interior() {
+        let mut fb = Framebuffer::new(32, 32);
+        fb.fill_triangle_screen((4.0, 4.0, 0.0), (28.0, 4.0, 0.0), (4.0, 28.0, 0.0), Rgb::WHITE);
+        // Interior point filled; outside the hypotenuse empty.
+        assert_eq!(fb.pixel(8, 8), Rgb::WHITE);
+        assert_eq!(fb.pixel(27, 27), Rgb::BLACK);
+        // Roughly half the bounding square.
+        let filled = fb.count_pixels(|c| c == Rgb::WHITE);
+        assert!((200..500).contains(&filled), "filled {filled}");
+    }
+
+    #[test]
+    fn triangle_winding_does_not_matter() {
+        let mut a = Framebuffer::new(16, 16);
+        let mut b = Framebuffer::new(16, 16);
+        a.fill_triangle_screen((2.0, 2.0, 0.0), (14.0, 2.0, 0.0), (2.0, 14.0, 0.0), Rgb::WHITE);
+        b.fill_triangle_screen((2.0, 14.0, 0.0), (14.0, 2.0, 0.0), (2.0, 2.0, 0.0), Rgb::WHITE);
+        // Edge-pixel ties may resolve differently per winding; the
+        // interiors must match to within the perimeter.
+        let ca = a.count_pixels(|c| c == Rgb::WHITE) as i64;
+        let cb = b.count_pixels(|c| c == Rgb::WHITE) as i64;
+        assert!((ca - cb).abs() <= 16, "{ca} vs {cb}");
+        // Interior pixel covered in both.
+        assert_eq!(a.pixel(4, 4), Rgb::WHITE);
+        assert_eq!(b.pixel(4, 4), Rgb::WHITE);
+    }
+
+    #[test]
+    fn degenerate_triangle_draws_edges() {
+        let mut fb = Framebuffer::new(16, 16);
+        fb.fill_triangle_screen((2.0, 8.0, 0.0), (12.0, 8.0, 0.0), (7.0, 8.0, 0.0), Rgb::WHITE);
+        assert!(fb.count_pixels(|c| c == Rgb::WHITE) >= 10);
+    }
+
+    #[test]
+    fn triangles_z_buffer_against_lines() {
+        let mut fb = Framebuffer::new(32, 32);
+        let mvp = Mat4::perspective(1.0, 1.0, 0.1, 100.0);
+        // A big triangle at z=-10, a nearer line at z=-2 crossing it.
+        fb.draw_triangles(
+            &mvp,
+            &[[
+                Vec3::new(-2.0, -2.0, -10.0),
+                Vec3::new(2.0, -2.0, -10.0),
+                Vec3::new(0.0, 2.0, -10.0),
+            ]],
+            Rgb::new(0, 255, 0),
+        );
+        fb.draw_polyline(&mvp, &[Vec3::new(-0.3, 0.0, -2.0), Vec3::new(0.3, 0.0, -2.0)], Rgb::red(255));
+        // Some red survived on top of the green triangle.
+        assert!(fb.count_pixels(|c| c.r > 0) > 0);
+        assert!(fb.count_pixels(|c| c.g > 0) > 20);
+    }
+
+    #[test]
+    fn nearer_geometry_occludes() {
+        let mut fb = Framebuffer::new(32, 32);
+        let mvp = Mat4::perspective(1.0, 1.0, 0.1, 100.0);
+        // Far line first, near line second; both cross the center.
+        fb.draw_polyline(&mvp, &[Vec3::new(-1.0, 0.0, -10.0), Vec3::new(1.0, 0.0, -10.0)], Rgb::red(255));
+        fb.draw_polyline(&mvp, &[Vec3::new(-0.1, 0.0, -2.0), Vec3::new(0.1, 0.0, -2.0)], Rgb::blue(255));
+        // Wherever both lines landed, the nearer (blue) line won the
+        // depth test; the far red line survives only outside the overlap.
+        let mut blue_center = false;
+        for y in 14..=17 {
+            for x in 14..=17 {
+                let c = fb.pixel(x, y);
+                if c.b > 0 {
+                    blue_center = true;
+                    assert_eq!(c.r, 0, "red leaked through at ({x},{y})");
+                }
+            }
+        }
+        assert!(blue_center, "near blue line missing from center region");
+        assert!(fb.count_pixels(|c| c.r > 0) > 0, "far line fully occluded");
+    }
+}

@@ -1,0 +1,154 @@
+//! A workstation client as a standalone process.
+//!
+//! ```text
+//! dvw-client <host:port> [--frames N] [--drive] [--rake X1,Y1,Z1 X2,Y2,Z2 SEEDS TOOL]
+//!            [--play] [--rate R] [--out PREFIX] [--size WxH] [--stereo|--mono]
+//! ```
+//!
+//! Connects to a `dvw-server`, optionally creates a rake and starts
+//! playback, fetches `--frames` geometry frames (driving the shared clock
+//! when `--drive` is set), and writes rendered images to
+//! `PREFIX-NNNN.ppm` — §6's "conventional screen" client, scriptable.
+
+use std::net::ToSocketAddrs;
+use std::process::exit;
+use tracer::ToolKind;
+use vecmath::{Mat4, Pose, Vec3};
+use vr::ppm::write_ppm;
+use vr::stereo::StereoCamera;
+use vr::Framebuffer;
+use windtunnel::client::Palette;
+use windtunnel::{Command, TimeCommand, WindtunnelClient};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dvw-client <host:port> [--frames N] [--drive] \
+         [--rake X1,Y1,Z1 X2,Y2,Z2 SEEDS streamline|pathline|streakline] \
+         [--play] [--rate R] [--out PREFIX] [--size WxH] [--stereo|--mono]"
+    );
+    exit(2)
+}
+
+fn parse_vec3(s: &str) -> Option<Vec3> {
+    let mut it = s.split(',').map(|p| p.trim().parse::<f32>().ok());
+    Some(Vec3::new(it.next()??, it.next()??, it.next()??))
+}
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(addr_str) = argv.next() else { usage() };
+    let mut frames = 10usize;
+    let mut drive = false;
+    let mut rake: Option<(Vec3, Vec3, u32, ToolKind)> = None;
+    let mut play = false;
+    let mut rate = 1.0f32;
+    let mut out: Option<String> = None;
+    let mut size = (640usize, 480usize);
+    let mut stereo = true;
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--frames" => frames = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--drive" => drive = true,
+            "--play" => play = true,
+            "--rate" => rate = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--out" => out = Some(argv.next().unwrap_or_else(|| usage())),
+            "--stereo" => stereo = true,
+            "--mono" => stereo = false,
+            "--size" => {
+                let s = argv.next().unwrap_or_else(|| usage());
+                let mut it = s.split('x');
+                size = (
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+                );
+            }
+            "--rake" => {
+                let a = argv.next().and_then(|s| parse_vec3(&s)).unwrap_or_else(|| usage());
+                let b = argv.next().and_then(|s| parse_vec3(&s)).unwrap_or_else(|| usage());
+                let seeds: u32 = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                let tool = match argv.next().unwrap_or_else(|| usage()).as_str() {
+                    "streamline" => ToolKind::Streamline,
+                    "pathline" => ToolKind::ParticlePath,
+                    "streakline" => ToolKind::Streakline,
+                    _ => usage(),
+                };
+                rake = Some((a, b, seeds, tool));
+            }
+            _ => usage(),
+        }
+    }
+
+    let addr = match addr_str.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(a) => a,
+        None => {
+            eprintln!("cannot resolve {addr_str}");
+            exit(1);
+        }
+    };
+    let mut client = match WindtunnelClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            exit(1);
+        }
+    };
+    let hello = client.hello().clone();
+    println!(
+        "connected to '{}' ({} x {} timesteps, dt {}) as user {}",
+        hello.dataset_name, hello.dims, hello.timestep_count, hello.dt, hello.user_id
+    );
+
+    if let Some((a, b, seeds, tool)) = rake {
+        if let Err(e) = client.send(&Command::AddRake { a, b, seed_count: seeds, tool }) {
+            eprintln!("rake rejected: {e}");
+            exit(1);
+        }
+    }
+    if play {
+        client.send(&Command::Time(TimeCommand::SetRate(rate))).ok();
+        client.send(&Command::Time(TimeCommand::Play)).ok();
+    }
+
+    // Frame the scene from the dataset bounds.
+    let bounds = hello.bounds();
+    let center = bounds.center();
+    let dist = bounds.diagonal().max(1.0);
+    let eye = center + Vec3::new(-0.3 * dist, 0.5 * dist, 0.9 * dist);
+    let mut cam = StereoCamera::new(Pose::from_mat4(
+        &Mat4::look_at(eye, center, Vec3::Y).inverse_rigid(),
+    ));
+    cam.aspect = size.0 as f32 / size.1 as f32;
+    cam.fovy = 0.9;
+
+    for n in 0..frames {
+        match client.frame(drive) {
+            Ok(frame) => {
+                println!(
+                    "frame {n}: timestep {} ({} paths, {} particles, {} users)",
+                    frame.timestep,
+                    frame.paths.len(),
+                    frame.particle_count(),
+                    frame.users.len()
+                );
+                if let Some(prefix) = &out {
+                    let mut fb = Framebuffer::new(size.0, size.1);
+                    if stereo {
+                        WindtunnelClient::render_stereo(&frame, &mut fb, &cam, &Palette::default());
+                    } else {
+                        let mvp = cam.projection() * cam.head.view_matrix();
+                        WindtunnelClient::render_mono(&frame, &mut fb, &mvp, &Palette::default());
+                    }
+                    let path = format!("{prefix}-{n:04}.ppm");
+                    if let Err(e) = write_ppm(std::path::Path::new(&path), &fb) {
+                        eprintln!("cannot write {path}: {e}");
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("frame {n} failed: {e}");
+                exit(1);
+            }
+        }
+    }
+    println!("done ({frames} frames)");
+}

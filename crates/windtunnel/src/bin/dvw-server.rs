@@ -1,0 +1,99 @@
+//! The remote system as a standalone process.
+//!
+//! ```text
+//! dvw-server <dataset-dir> [--addr HOST:PORT] [--ogrid] [--cache N]
+//!            [--budget-ms N]
+//! ```
+//!
+//! Serves a dataset directory (written by `dvw-gen` or
+//! `flowfield::format::write_dataset`) to any number of `dvw-client`s —
+//! the Convex side of figure 8.
+
+use std::process::exit;
+use std::sync::Arc;
+use storage::{CachedStore, DiskStore, ReadAhead};
+use windtunnel::{serve, ServerOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dvw-server <dataset-dir> [--addr HOST:PORT] [--ogrid] [--cache N] [--budget-ms N] [--readahead N]"
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(dir) = argv.next() else { usage() };
+    if dir.starts_with("--") {
+        usage();
+    }
+    let mut addr = "127.0.0.1:5917".to_string();
+    let mut opts = ServerOptions::default();
+    let mut cache = 16usize;
+    let mut readahead = 0usize;
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--addr" => addr = argv.next().unwrap_or_else(|| usage()),
+            "--ogrid" => opts.periodic_i = true,
+            "--cache" => {
+                cache = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--readahead" => {
+                readahead = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--budget-ms" => {
+                let ms: u64 = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                opts.frame_budget = Some(std::time::Duration::from_millis(ms));
+            }
+            _ => usage(),
+        }
+    }
+
+    let disk = match DiskStore::open(std::path::Path::new(&dir)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot open dataset {dir}: {e}");
+            exit(1);
+        }
+    };
+    let grid = disk.grid().clone();
+    let meta = storage::TimestepStore::meta(&disk).clone();
+    // Layering: LRU window over the disk, optional direction-predicting
+    // read-ahead over that (figure 8's prefetch, always on the playback
+    // path).
+    let cached = Arc::new(CachedStore::new(disk, cache));
+    let store: Arc<dyn storage::TimestepStore> = if readahead > 0 {
+        Arc::new(ReadAhead::new(cached, readahead))
+    } else {
+        cached
+    };
+    match serve(store, grid, opts, &addr) {
+        Ok(handle) => {
+            println!(
+                "dvw-server: serving '{}' ({} x {} timesteps) on {}",
+                meta.name,
+                meta.dims,
+                meta.timestep_count,
+                handle.addr()
+            );
+            println!("press Ctrl-C to stop");
+            // Park forever; the dlib threads do the work.
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot serve on {addr}: {e}");
+            exit(1);
+        }
+    }
+}

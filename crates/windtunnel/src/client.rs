@@ -1,0 +1,487 @@
+//! The workstation side: commands out, geometry in, frames rendered.
+//!
+//! Figure 9: the workstation runs a network conversation (this module's
+//! blocking calls, meant to live on a dedicated thread) and a renderer
+//! (the `vr` substrate) that draws the last received environment state
+//! from the head-tracked point of view at full rate.
+
+use crate::proto::{
+    Command, FrameRequest, GeometryFrame, HelloReply, PathKind, PROC_COMMAND, PROC_FRAME,
+    PROC_HELLO,
+};
+use dlib::{DlibClient, Result};
+use std::net::SocketAddr;
+use vecmath::Vec3;
+use vr::render::Rgb;
+use vr::stereo::{render_anaglyph, StereoCamera};
+use vr::Framebuffer;
+
+/// Per-kind line shades for the anaglyph display (applied to both eyes).
+#[derive(Debug, Clone, Copy)]
+pub struct Palette {
+    pub streamline: u8,
+    pub particle_path: u8,
+    pub streak: u8,
+    pub rake: u8,
+}
+
+impl Default for Palette {
+    fn default() -> Self {
+        Palette {
+            streamline: 235,
+            particle_path: 180,
+            streak: 140,
+            rake: 255,
+        }
+    }
+}
+
+/// A connected windtunnel client.
+pub struct WindtunnelClient {
+    dlib: DlibClient,
+    hello: HelloReply,
+    said_goodbye: bool,
+}
+
+impl WindtunnelClient {
+    /// Connect and perform the session handshake.
+    pub fn connect(addr: SocketAddr) -> Result<WindtunnelClient> {
+        let mut dlib = DlibClient::connect(addr)?;
+        let reply = dlib.call(PROC_HELLO, b"")?;
+        let hello = HelloReply::decode(reply)?;
+        Ok(WindtunnelClient {
+            dlib,
+            hello,
+            said_goodbye: false,
+        })
+    }
+
+    /// Session metadata learned at connect time.
+    pub fn hello(&self) -> &HelloReply {
+        &self.hello
+    }
+
+    /// This client's user id (for recognizing its own rake locks).
+    pub fn user_id(&self) -> u64 {
+        self.hello.user_id
+    }
+
+    /// Send one environment command.
+    pub fn send(&mut self, cmd: &Command) -> Result<()> {
+        self.dlib.call(PROC_COMMAND, &cmd.encode())?;
+        if matches!(cmd, Command::Goodbye) {
+            self.said_goodbye = true;
+        }
+        Ok(())
+    }
+
+    /// Request the current geometry frame; `advance` drives the shared
+    /// clock (exactly one client per session should pass `true`).
+    pub fn frame(&mut self, advance: bool) -> Result<GeometryFrame> {
+        let bytes = self
+            .dlib
+            .call(PROC_FRAME, &FrameRequest { advance }.encode())?;
+        GeometryFrame::decode(bytes)
+    }
+
+    /// Render a frame into an anaglyph stereo framebuffer from the given
+    /// head-tracked camera — the full client-side display path. Draws the
+    /// other participants' heads too (§5.1: "indicating to participants
+    /// in the environment where everyone is"); pass your own user id so
+    /// your head is not drawn over your eyes.
+    pub fn render_stereo_for_user(
+        frame: &GeometryFrame,
+        fb: &mut Framebuffer,
+        camera: &StereoCamera,
+        palette: &Palette,
+        self_user: u64,
+    ) {
+        let mut lines: Vec<(Vec<Vec3>, u8)> =
+            Vec::with_capacity(frame.paths.len() + frame.rakes.len() + frame.users.len() * 2);
+        for p in &frame.paths {
+            let shade = match p.kind {
+                PathKind::Streamline => palette.streamline,
+                PathKind::ParticlePath => palette.particle_path,
+                PathKind::Streak => palette.streak,
+            };
+            lines.push((p.points.clone(), shade));
+        }
+        for r in &frame.rakes {
+            lines.push((vec![r.a, r.b], palette.rake));
+        }
+        for u in &frame.users {
+            if u.id == self_user {
+                continue;
+            }
+            for glyph in head_glyph(&u.head) {
+                lines.push((glyph, palette.rake));
+            }
+        }
+        render_anaglyph(fb, camera, &lines);
+    }
+
+    /// [`WindtunnelClient::render_stereo_for_user`] drawing every user's
+    /// head (suitable for spectator views).
+    pub fn render_stereo(
+        frame: &GeometryFrame,
+        fb: &mut Framebuffer,
+        camera: &StereoCamera,
+        palette: &Palette,
+    ) {
+        Self::render_stereo_for_user(frame, fb, camera, palette, u64::MAX);
+    }
+
+    /// Render a frame in mono (the "conventional screen and mouse
+    /// environment" §6 mentions as the other use of the architecture).
+    pub fn render_mono(
+        frame: &GeometryFrame,
+        fb: &mut Framebuffer,
+        mvp: &vecmath::Mat4,
+        palette: &Palette,
+    ) {
+        for p in &frame.paths {
+            let color = match p.kind {
+                PathKind::Streamline => Rgb::new(80, 200, 255),
+                PathKind::ParticlePath => Rgb::new(255, 180, 60),
+                PathKind::Streak => Rgb::new(220, 220, 220),
+            };
+            fb.draw_polyline(mvp, &p.points, color);
+        }
+        for r in &frame.rakes {
+            fb.draw_polyline(mvp, &[r.a, r.b], Rgb::new(palette.rake, 60, 60));
+        }
+    }
+}
+
+/// A simple head marker: a diamond around the head position plus a gaze
+/// tick along the head's forward (-Z) axis.
+pub fn head_glyph(head: &vecmath::Pose) -> Vec<Vec<Vec3>> {
+    let c = head.position;
+    let r = 0.25;
+    let x = Vec3::new(r, 0.0, 0.0);
+    let y = Vec3::new(0.0, r, 0.0);
+    let z = Vec3::new(0.0, 0.0, r);
+    let diamond = vec![
+        c + x, c + y, c - x, c - y, c + x, c + z, c - x, c - z, c + x,
+    ];
+    let gaze_dir = head.orientation.rotate(Vec3::new(0.0, 0.0, -1.0));
+    let gaze = vec![c, c + gaze_dir * (3.0 * r)];
+    vec![diamond, gaze]
+}
+
+impl Drop for WindtunnelClient {
+    fn drop(&mut self) {
+        if !self.said_goodbye {
+            let _ = self.dlib.call(PROC_COMMAND, &Command::Goodbye.encode());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::ComputeConfig;
+    use crate::proto::TimeCommand;
+    use crate::server::{serve, ServerOptions};
+    use flowfield::{dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims, VectorField};
+    use std::sync::Arc;
+    use storage::MemoryStore;
+    use tracer::{ToolKind, TraceConfig};
+    use vecmath::{Aabb, Pose};
+    use vr::Gesture;
+
+    /// Spin up a server over a unit-spacing Cartesian grid with uniform
+    /// +x flow.
+    fn test_server() -> (crate::server::WindtunnelHandle, SocketAddr) {
+        let dims = Dims::new(16, 9, 9);
+        let grid = CurvilinearGrid::cartesian(
+            dims,
+            Aabb::new(Vec3::ZERO, Vec3::new(15.0, 8.0, 8.0)),
+        )
+        .unwrap();
+        let meta = DatasetMeta {
+            name: "uniform".into(),
+            dims,
+            timestep_count: 8,
+            dt: 0.1,
+            coords: VelocityCoords::Grid,
+        };
+        let fields = (0..8)
+            .map(|_| VectorField::from_fn(dims, |_, _, _| Vec3::X))
+            .collect();
+        let ds = Dataset::new(meta, grid.clone(), fields).unwrap();
+        let store = Arc::new(MemoryStore::from_dataset(ds));
+        let opts = ServerOptions {
+            compute: ComputeConfig {
+                trace: TraceConfig {
+                    dt: 1.0,
+                    max_points: 6,
+                    ..TraceConfig::default()
+                },
+                ..ComputeConfig::default()
+            },
+            ..ServerOptions::default()
+        };
+        let handle = serve(store, grid, opts, "127.0.0.1:0").unwrap();
+        let addr = handle.addr();
+        (handle, addr)
+    }
+
+    #[test]
+    fn handshake_reports_dataset() {
+        let (handle, addr) = test_server();
+        let client = WindtunnelClient::connect(addr).unwrap();
+        assert_eq!(client.hello().dataset_name, "uniform");
+        assert_eq!(client.hello().timestep_count, 8);
+        assert!(client.user_id() > 0);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn add_rake_and_receive_streamlines() {
+        let (handle, addr) = test_server();
+        let mut client = WindtunnelClient::connect(addr).unwrap();
+        client
+            .send(&Command::AddRake {
+                a: Vec3::new(2.0, 2.0, 4.0),
+                b: Vec3::new(2.0, 6.0, 4.0),
+                seed_count: 4,
+                tool: ToolKind::Streamline,
+            })
+            .unwrap();
+        let frame = client.frame(false).unwrap();
+        assert_eq!(frame.rakes.len(), 1);
+        assert_eq!(frame.paths.len(), 4);
+        // Physical-space paths flow in +x on the unit grid.
+        let p = &frame.paths[0].points;
+        assert!(p.last().unwrap().x > p.first().unwrap().x);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn rake_outside_grid_rejected() {
+        let (handle, addr) = test_server();
+        let mut client = WindtunnelClient::connect(addr).unwrap();
+        let err = client.send(&Command::AddRake {
+            a: Vec3::splat(1.0e5),
+            b: Vec3::splat(1.0e5 + 1.0),
+            seed_count: 2,
+            tool: ToolKind::Streamline,
+        });
+        assert!(err.is_err());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shared_session_lock_over_the_wire() {
+        // The §5.1 scenario end-to-end: two workstations, one rake.
+        let (handle, addr) = test_server();
+        let mut alice = WindtunnelClient::connect(addr).unwrap();
+        let mut bob = WindtunnelClient::connect(addr).unwrap();
+        alice
+            .send(&Command::AddRake {
+                a: Vec3::new(4.0, 4.0, 4.0),
+                b: Vec3::new(6.0, 4.0, 4.0),
+                seed_count: 2,
+                tool: ToolKind::Streamline,
+            })
+            .unwrap();
+        // Alice grabs the center (5, 4, 4).
+        alice
+            .send(&Command::Hand {
+                position: Vec3::new(5.0, 4.0, 4.0),
+                gesture: Gesture::Fist,
+            })
+            .unwrap();
+        let f = alice.frame(false).unwrap();
+        assert_eq!(f.rakes[0].owner, alice.user_id());
+        // Bob tries the same handle: locked out.
+        bob.send(&Command::Hand {
+            position: Vec3::new(5.0, 4.0, 4.0),
+            gesture: Gesture::Fist,
+        })
+        .unwrap();
+        let f = bob.frame(false).unwrap();
+        assert_eq!(f.rakes[0].owner, alice.user_id());
+        // Bob's drag does nothing.
+        bob.send(&Command::Hand {
+            position: Vec3::new(5.0, 6.0, 4.0),
+            gesture: Gesture::Fist,
+        })
+        .unwrap();
+        let f = bob.frame(false).unwrap();
+        assert!((f.rakes[0].a.y - 4.0).abs() < 1e-3);
+        // Alice drags: the rake moves for everyone.
+        alice
+            .send(&Command::Hand {
+                position: Vec3::new(5.0, 5.0, 4.0),
+                gesture: Gesture::Fist,
+            })
+            .unwrap();
+        let f = bob.frame(false).unwrap();
+        assert!((f.rakes[0].a.y - 5.0).abs() < 1e-3);
+        // Alice releases; Bob can now grab.
+        alice
+            .send(&Command::Hand {
+                position: Vec3::new(5.0, 5.0, 4.0),
+                gesture: Gesture::Open,
+            })
+            .unwrap();
+        bob.send(&Command::Hand {
+            position: Vec3::new(5.0, 5.0, 4.0),
+            gesture: Gesture::Fist,
+        })
+        .unwrap();
+        let f = bob.frame(false).unwrap();
+        assert_eq!(f.rakes[0].owner, bob.user_id());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn time_advances_only_for_driver() {
+        let (handle, addr) = test_server();
+        let mut driver = WindtunnelClient::connect(addr).unwrap();
+        let mut passenger = WindtunnelClient::connect(addr).unwrap();
+        driver.send(&Command::Time(TimeCommand::Play)).unwrap();
+        let f0 = passenger.frame(false).unwrap();
+        assert_eq!(f0.timestep, 0);
+        driver.frame(true).unwrap();
+        driver.frame(true).unwrap();
+        let f = passenger.frame(false).unwrap();
+        assert_eq!(f.timestep, 2);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn frame_cache_consistent_between_clients() {
+        let (handle, addr) = test_server();
+        let mut a = WindtunnelClient::connect(addr).unwrap();
+        let mut b = WindtunnelClient::connect(addr).unwrap();
+        a.send(&Command::AddRake {
+            a: Vec3::new(2.0, 4.0, 4.0),
+            b: Vec3::new(2.0, 5.0, 4.0),
+            seed_count: 2,
+            tool: ToolKind::Streamline,
+        })
+        .unwrap();
+        let fa = a.frame(false).unwrap();
+        let fb = b.frame(false).unwrap();
+        assert_eq!(fa, fb); // same revision, identical frame
+        handle.shutdown();
+    }
+
+    #[test]
+    fn goodbye_releases_locks() {
+        let (handle, addr) = test_server();
+        let mut a = WindtunnelClient::connect(addr).unwrap();
+        let mut b = WindtunnelClient::connect(addr).unwrap();
+        a.send(&Command::AddRake {
+            a: Vec3::new(4.0, 4.0, 4.0),
+            b: Vec3::new(6.0, 4.0, 4.0),
+            seed_count: 2,
+            tool: ToolKind::Streamline,
+        })
+        .unwrap();
+        a.send(&Command::Hand {
+            position: Vec3::new(5.0, 4.0, 4.0),
+            gesture: Gesture::Fist,
+        })
+        .unwrap();
+        drop(a); // sends Goodbye
+        let f = b.frame(false).unwrap();
+        assert_eq!(f.rakes[0].owner, 0, "lock must be released on goodbye");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn head_poses_shared() {
+        let (handle, addr) = test_server();
+        let mut a = WindtunnelClient::connect(addr).unwrap();
+        let mut b = WindtunnelClient::connect(addr).unwrap();
+        let pose = Pose::new(Vec3::new(1.0, 1.7, 3.0), Default::default());
+        a.send(&Command::HeadPose { pose }).unwrap();
+        let f = b.frame(false).unwrap();
+        let a_user = f.users.iter().find(|u| u.id == a.user_id()).unwrap();
+        assert!(a_user.head.position.distance(pose.position) < 1e-5);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn stereo_render_of_live_frame() {
+        let (handle, addr) = test_server();
+        let mut client = WindtunnelClient::connect(addr).unwrap();
+        client
+            .send(&Command::AddRake {
+                a: Vec3::new(2.0, 3.0, 4.0),
+                b: Vec3::new(2.0, 5.0, 4.0),
+                seed_count: 4,
+                tool: ToolKind::Streamline,
+            })
+            .unwrap();
+        let frame = client.frame(false).unwrap();
+        let mut fb = Framebuffer::new(160, 160);
+        let camera = StereoCamera::new(Pose::new(
+            Vec3::new(7.5, 4.0, 20.0),
+            Default::default(),
+        ));
+        WindtunnelClient::render_stereo(&frame, &mut fb, &camera, &Palette::default());
+        assert!(fb.count_pixels(|c| c.r > 0) > 20);
+        assert!(fb.count_pixels(|c| c.b > 0) > 20);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn other_users_heads_are_drawn_but_not_own() {
+        let (handle, addr) = test_server();
+        let mut a = WindtunnelClient::connect(addr).unwrap();
+        let mut b = WindtunnelClient::connect(addr).unwrap();
+        // b announces a head pose in front of a's camera.
+        b.send(&Command::HeadPose {
+            pose: Pose::new(Vec3::new(7.5, 4.0, 4.0), Default::default()),
+        })
+        .unwrap();
+        let frame = a.frame(false).unwrap();
+        let camera = StereoCamera::new(Pose::new(Vec3::new(7.5, 4.0, 20.0), Default::default()));
+
+        // Rendering for user a: b's head glyph appears.
+        let mut fb = Framebuffer::new(160, 160);
+        WindtunnelClient::render_stereo_for_user(&frame, &mut fb, &camera, &Palette::default(), a.user_id());
+        let with_b = fb.count_pixels(|c| c.r > 0 || c.b > 0);
+        assert!(with_b > 5, "b's head should be visible");
+
+        // Rendering for user b: own head excluded, scene now empty.
+        let mut fb2 = Framebuffer::new(160, 160);
+        WindtunnelClient::render_stereo_for_user(&frame, &mut fb2, &camera, &Palette::default(), b.user_id());
+        let without_b = fb2.count_pixels(|c| c.r > 0 || c.b > 0);
+        // a's head pose is identity-at-origin (behind the camera's far
+        // plane region) — only b's glyph differs between the two renders.
+        assert!(without_b < with_b, "own head must not be drawn: {without_b} vs {with_b}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn streakline_session_accumulates_smoke() {
+        let (handle, addr) = test_server();
+        let mut client = WindtunnelClient::connect(addr).unwrap();
+        client
+            .send(&Command::AddRake {
+                a: Vec3::new(2.0, 3.0, 4.0),
+                b: Vec3::new(2.0, 5.0, 4.0),
+                seed_count: 3,
+                tool: ToolKind::Streakline,
+            })
+            .unwrap();
+        for _ in 0..5 {
+            client.frame(true).unwrap();
+        }
+        let f = client.frame(false).unwrap();
+        let streaks: Vec<_> = f
+            .paths
+            .iter()
+            .filter(|p| p.kind == PathKind::Streak)
+            .collect();
+        assert_eq!(streaks.len(), 3);
+        assert!(streaks.iter().all(|p| p.points.len() >= 4));
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,405 @@
+//! Per-frame visualization computation on the remote system.
+//!
+//! §5.2: "The remote system updates the virtual environment including if
+//! necessary loading the data for the current timestep, computes the
+//! current visualizations, and transfers the environment state back to
+//! the workstations." This module is the "computes the current
+//! visualizations" box of figure 8: for every rake, run its tool over the
+//! current timestep (streamlines), the timestep window (particle paths),
+//! or the persistent particle system (streaklines), then convert all
+//! geometry to physical space for the wire.
+
+use crate::env::{EnvironmentState, RakeId};
+use crate::proto::{GeometryFrame, PathKind, PathMsg, RakeMsg, UserMsg};
+use flowfield::{CurvilinearGrid, FieldError, VectorField};
+use std::collections::HashMap;
+use std::sync::Arc;
+use storage::TimestepStore;
+use tracer::{
+    trace_batch_parallel, Domain, Integrator, Streakline, StreaklineConfig, ToolKind, TraceConfig,
+};
+use vecmath::Vec3;
+
+/// Compute-side configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ComputeConfig {
+    /// Streamline tracing parameters.
+    pub trace: TraceConfig,
+    /// Streakline particle-system parameters.
+    pub streak: StreaklineConfig,
+    /// Maximum timesteps a particle path may span — bounded by the
+    /// resident window (§5.1's particle-path length limit).
+    pub pathline_window: usize,
+}
+
+impl Default for ComputeConfig {
+    fn default() -> Self {
+        ComputeConfig {
+            trace: TraceConfig::default(),
+            streak: StreaklineConfig::default(),
+            pathline_window: 50,
+        }
+    }
+}
+
+/// Stateful per-rake engines (streaklines persist across frames).
+#[derive(Default)]
+pub struct ToolEngines {
+    streaks: HashMap<RakeId, Streakline>,
+}
+
+impl ToolEngines {
+    pub fn new() -> ToolEngines {
+        ToolEngines::default()
+    }
+
+    /// Drop engines whose rakes no longer exist or changed tool.
+    fn prune(&mut self, env: &EnvironmentState) {
+        self.streaks.retain(|id, _| {
+            env.rake(*id)
+                .map(|e| e.rake.tool == ToolKind::Streakline)
+                .unwrap_or(false)
+        });
+    }
+
+    /// Advance all streak systems one step in the current field — called
+    /// exactly once per time advance, not per client frame request.
+    pub fn advance_streaks(
+        &mut self,
+        env: &EnvironmentState,
+        field: &VectorField,
+        domain: &Domain,
+        cfg: &StreaklineConfig,
+    ) {
+        self.prune(env);
+        for (id, entry) in env.rakes() {
+            if entry.rake.tool != ToolKind::Streakline {
+                continue;
+            }
+            let seeds = entry.rake.seeds();
+            let streak = self
+                .streaks
+                .entry(id)
+                .or_insert_with(|| Streakline::new(seeds.clone(), *cfg));
+            streak.set_seeds(seeds);
+            streak.advance(field, domain);
+        }
+    }
+
+    /// Reset all particle systems (time jumped discontinuously).
+    pub fn clear(&mut self) {
+        for s in self.streaks.values_mut() {
+            s.clear();
+        }
+    }
+
+    /// Total live streak particles (diagnostics).
+    pub fn streak_particles(&self) -> usize {
+        self.streaks.values().map(|s| s.particle_count()).sum()
+    }
+}
+
+/// Integrate a particle path starting at `seed` (grid coords) from
+/// timestep `start`, fetching fields from the store as it goes — the
+/// windowed variant of §5.1's particle paths. One RK2 step per timestep.
+fn pathline_over_store(
+    store: &dyn TimestepStore,
+    domain: &Domain,
+    seed: Vec3,
+    start: usize,
+    window: usize,
+    integrator: Integrator,
+    dt: f32,
+) -> Result<Vec<Vec3>, FieldError> {
+    let Some(mut p) = domain.canonicalize(seed) else {
+        return Ok(Vec::new());
+    };
+    let mut path = vec![p];
+    let end = (start + window).min(store.timestep_count());
+    for ts in start..end {
+        let field: Arc<VectorField> = store.fetch(ts)?;
+        match integrator.step(field.as_ref(), domain, p, dt) {
+            Some(next) => {
+                p = next;
+                path.push(p);
+            }
+            None => break,
+        }
+    }
+    Ok(path)
+}
+
+/// Compute a full [`GeometryFrame`] for the current environment state.
+///
+/// `timestep` is the integer timestep to visualize (from the time
+/// controller). Streak systems are *read*, not advanced — advancing
+/// happens once per clock tick via [`ToolEngines::advance_streaks`].
+pub fn compute_frame(
+    env: &EnvironmentState,
+    engines: &mut ToolEngines,
+    store: &dyn TimestepStore,
+    grid: &CurvilinearGrid,
+    domain: &Domain,
+    cfg: &ComputeConfig,
+) -> Result<GeometryFrame, FieldError> {
+    let timestep = env.time.timestep();
+    let field = store.fetch(timestep)?;
+    let mut paths = Vec::new();
+    let mut rakes = Vec::new();
+
+    for (id, entry) in env.rakes() {
+        let rake = &entry.rake;
+        // Rake state for client rendering (physical endpoints; endpoints
+        // may sit outside the grid mid-drag — clamp to the grid domain
+        // for display).
+        let dims = grid.dims();
+        let a_phys = grid
+            .to_physical(dims.clamp_grid_coord(rake.a))
+            .unwrap_or(Vec3::ZERO);
+        let b_phys = grid
+            .to_physical(dims.clamp_grid_coord(rake.b))
+            .unwrap_or(Vec3::ZERO);
+        rakes.push(RakeMsg {
+            id,
+            a: a_phys,
+            b: b_phys,
+            seed_count: rake.seed_count,
+            tool: rake.tool,
+            owner: entry.grab.map(|(u, _)| u).unwrap_or(0),
+        });
+
+        let seeds = rake.seeds();
+        match rake.tool {
+            ToolKind::Streamline => {
+                let lines = trace_batch_parallel(field.as_ref(), domain, &seeds, &cfg.trace);
+                for line in lines {
+                    if line.is_empty() {
+                        continue;
+                    }
+                    paths.push(PathMsg {
+                        rake_id: id,
+                        kind: PathKind::Streamline,
+                        points: grid.path_to_physical(&line),
+                    });
+                }
+            }
+            ToolKind::ParticlePath => {
+                for seed in seeds {
+                    let line = pathline_over_store(
+                        store,
+                        domain,
+                        seed,
+                        timestep,
+                        cfg.pathline_window,
+                        cfg.trace.integrator,
+                        cfg.trace.dt,
+                    )?;
+                    if line.is_empty() {
+                        continue;
+                    }
+                    paths.push(PathMsg {
+                        rake_id: id,
+                        kind: PathKind::ParticlePath,
+                        points: grid.path_to_physical(&line),
+                    });
+                }
+            }
+            ToolKind::Streakline => {
+                if let Some(streak) = engines.streaks.get(&id) {
+                    for filament in streak.filaments() {
+                        if filament.is_empty() {
+                            continue;
+                        }
+                        paths.push(PathMsg {
+                            rake_id: id,
+                            kind: PathKind::Streak,
+                            points: grid.path_to_physical(&filament),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let users = env
+        .users()
+        .map(|(id, pose)| UserMsg { id, head: *pose })
+        .collect();
+
+    Ok(GeometryFrame {
+        timestep: timestep as u32,
+        time: env.time.time(),
+        revision: env.revision(),
+        rakes,
+        paths,
+        users,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowfield::{dataset::VelocityCoords, Dataset, DatasetMeta, Dims};
+    use storage::MemoryStore;
+    use tracer::Rake;
+    use vecmath::Aabb;
+
+    /// Unit Cartesian grid with uniform +i grid velocity.
+    fn test_store() -> (MemoryStore, CurvilinearGrid, Domain) {
+        let dims = Dims::new(16, 9, 9);
+        let grid = CurvilinearGrid::cartesian(
+            dims,
+            Aabb::new(Vec3::ZERO, Vec3::new(15.0, 8.0, 8.0)),
+        )
+        .unwrap();
+        let meta = DatasetMeta {
+            name: "test".into(),
+            dims,
+            timestep_count: 6,
+            dt: 0.1,
+            coords: VelocityCoords::Grid,
+        };
+        let fields = (0..6)
+            .map(|_| VectorField::from_fn(dims, |_, _, _| Vec3::X))
+            .collect();
+        let ds = Dataset::new(meta, grid.clone(), fields).unwrap();
+        (MemoryStore::from_dataset(ds), grid, Domain::boxed(dims))
+    }
+
+    fn rake(tool: ToolKind) -> Rake {
+        Rake::new(Vec3::new(2.0, 2.0, 4.0), Vec3::new(2.0, 6.0, 4.0), 3, tool)
+    }
+
+    #[test]
+    fn streamline_frame_has_paths_in_physical_space() {
+        let (store, grid, domain) = test_store();
+        let mut env = EnvironmentState::new(store.timestep_count());
+        env.add_rake(rake(ToolKind::Streamline));
+        let mut engines = ToolEngines::new();
+        let cfg = ComputeConfig {
+            trace: TraceConfig {
+                dt: 1.0,
+                max_points: 5,
+                ..TraceConfig::default()
+            },
+            ..ComputeConfig::default()
+        };
+        let frame = compute_frame(&env, &mut engines, &store, &grid, &domain, &cfg).unwrap();
+        assert_eq!(frame.rakes.len(), 1);
+        assert_eq!(frame.paths.len(), 3); // one per seed
+        for p in &frame.paths {
+            assert_eq!(p.kind, PathKind::Streamline);
+            assert_eq!(p.points.len(), 6); // seed + 5 steps
+            // Unit grid: physical x advances 1 per step from x=2.
+            assert!((p.points[1].x - 3.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn pathline_respects_window() {
+        let (store, grid, domain) = test_store();
+        let mut env = EnvironmentState::new(store.timestep_count());
+        env.add_rake(rake(ToolKind::ParticlePath));
+        let mut engines = ToolEngines::new();
+        let cfg = ComputeConfig {
+            pathline_window: 3,
+            trace: TraceConfig {
+                dt: 1.0,
+                ..TraceConfig::default()
+            },
+            ..ComputeConfig::default()
+        };
+        let frame = compute_frame(&env, &mut engines, &store, &grid, &domain, &cfg).unwrap();
+        for p in &frame.paths {
+            assert_eq!(p.kind, PathKind::ParticlePath);
+            assert_eq!(p.points.len(), 4); // seed + window of 3
+        }
+    }
+
+    #[test]
+    fn pathline_window_clipped_by_dataset_end() {
+        let (store, grid, domain) = test_store();
+        let mut env = EnvironmentState::new(store.timestep_count());
+        env.add_rake(rake(ToolKind::ParticlePath));
+        env.time.jump(4); // two timesteps left (4, 5)
+        let mut engines = ToolEngines::new();
+        let cfg = ComputeConfig {
+            pathline_window: 50,
+            trace: TraceConfig {
+                dt: 1.0,
+                ..TraceConfig::default()
+            },
+            ..ComputeConfig::default()
+        };
+        let frame = compute_frame(&env, &mut engines, &store, &grid, &domain, &cfg).unwrap();
+        for p in &frame.paths {
+            assert_eq!(p.points.len(), 3); // seed + 2
+        }
+    }
+
+    #[test]
+    fn streaklines_accumulate_only_on_advance() {
+        let (store, grid, domain) = test_store();
+        let mut env = EnvironmentState::new(store.timestep_count());
+        env.add_rake(rake(ToolKind::Streakline));
+        let mut engines = ToolEngines::new();
+        let cfg = ComputeConfig::default();
+
+        // No advance yet: no smoke.
+        let f0 = compute_frame(&env, &mut engines, &store, &grid, &domain, &cfg).unwrap();
+        assert_eq!(f0.paths.len(), 0);
+
+        // Three clock ticks.
+        let field = store.fetch(0).unwrap();
+        for _ in 0..3 {
+            engines.advance_streaks(&env, field.as_ref(), &domain, &cfg.streak);
+        }
+        let f1 = compute_frame(&env, &mut engines, &store, &grid, &domain, &cfg).unwrap();
+        assert_eq!(f1.paths.len(), 3); // one filament per seed
+        for p in &f1.paths {
+            assert_eq!(p.kind, PathKind::Streak);
+            assert_eq!(p.points.len(), 3); // one particle per tick
+        }
+        // Reading a frame twice does not advance anything.
+        let f2 = compute_frame(&env, &mut engines, &store, &grid, &domain, &cfg).unwrap();
+        assert_eq!(f2.particle_count(), f1.particle_count());
+    }
+
+    #[test]
+    fn engines_prune_deleted_rakes() {
+        let (store, grid, domain) = test_store();
+        let mut env = EnvironmentState::new(store.timestep_count());
+        let id = env.add_rake(rake(ToolKind::Streakline));
+        let mut engines = ToolEngines::new();
+        let field = store.fetch(0).unwrap();
+        engines.advance_streaks(&env, field.as_ref(), &domain, &StreaklineConfig::default());
+        assert!(engines.streak_particles() > 0);
+        env.remove_rake(0, id).unwrap();
+        engines.advance_streaks(&env, field.as_ref(), &domain, &StreaklineConfig::default());
+        assert_eq!(engines.streak_particles(), 0);
+        let frame = compute_frame(&env, &mut engines, &store, &grid, &domain, &ComputeConfig::default()).unwrap();
+        assert_eq!(frame.paths.len(), 0);
+    }
+
+    #[test]
+    fn users_appear_in_frame() {
+        let (store, grid, domain) = test_store();
+        let mut env = EnvironmentState::new(store.timestep_count());
+        env.update_user(9, vecmath::Pose::IDENTITY);
+        let mut engines = ToolEngines::new();
+        let frame = compute_frame(&env, &mut engines, &store, &grid, &domain, &ComputeConfig::default()).unwrap();
+        assert_eq!(frame.users.len(), 1);
+        assert_eq!(frame.users[0].id, 9);
+    }
+
+    #[test]
+    fn frame_reports_revision_and_timestep() {
+        let (store, grid, domain) = test_store();
+        let mut env = EnvironmentState::new(store.timestep_count());
+        env.time.jump(3);
+        let mut engines = ToolEngines::new();
+        let frame = compute_frame(&env, &mut engines, &store, &grid, &domain, &ComputeConfig::default()).unwrap();
+        assert_eq!(frame.timestep, 3);
+        assert_eq!(frame.revision, env.revision());
+    }
+}

@@ -1,0 +1,368 @@
+//! The shared virtual environment: rakes, locks, users.
+//!
+//! §5.1: "Because the computation of the environment state is performed
+//! by a single machine, possible conflicting commands from different
+//! workstations are easily handled… conflicts \[are\] resolved by a 'first
+//! come first served' rule. For example, if two users grab the same rake,
+//! the user who grabbed it first gets control of that rake and the second
+//! user is locked out of interaction with that rake until the first user
+//! lets the rake go. Other rakes are unaffected by this locking, so the
+//! second user can interact with them."
+//!
+//! All rake geometry here is in **grid coordinates** (the tracer's native
+//! frame); the server converts to physical space at the protocol edge.
+
+use crate::time::TimeController;
+use std::collections::BTreeMap;
+use tracer::{Handle, Rake, ToolKind};
+use vecmath::{Pose, Vec3};
+
+/// Identifies a rake inside one environment.
+pub type RakeId = u32;
+
+/// Identifies a connected user (the dlib client id).
+pub type UserId = u64;
+
+/// Environment-level errors, all user-visible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvError {
+    NoSuchRake(RakeId),
+    /// Somebody else holds the rake — the lockout of §5.1.
+    LockedByOther { rake: RakeId, owner: UserId },
+    /// The caller does not hold the rake it tried to manipulate.
+    NotHeld(RakeId),
+}
+
+impl std::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvError::NoSuchRake(id) => write!(f, "no rake {id}"),
+            EnvError::LockedByOther { rake, owner } => {
+                write!(f, "rake {rake} is held by user {owner}")
+            }
+            EnvError::NotHeld(id) => write!(f, "rake {id} is not held by the caller"),
+        }
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// One rake plus its lock state.
+#[derive(Debug, Clone)]
+pub struct RakeEntry {
+    pub rake: Rake,
+    /// Holder and grabbed handle, if grabbed.
+    pub grab: Option<(UserId, Handle)>,
+}
+
+/// The complete server-side environment state.
+#[derive(Debug, Clone)]
+pub struct EnvironmentState {
+    rakes: BTreeMap<RakeId, RakeEntry>,
+    next_rake_id: RakeId,
+    pub time: TimeController,
+    /// Head poses of connected users, for the shared-environment display
+    /// ("indicating to participants in the environment where everyone
+    /// is", §5.1).
+    users: BTreeMap<UserId, Pose>,
+    /// Bumped on every mutation; lets the server cache computed frames.
+    revision: u64,
+}
+
+impl EnvironmentState {
+    pub fn new(timestep_count: usize) -> EnvironmentState {
+        EnvironmentState {
+            rakes: BTreeMap::new(),
+            next_rake_id: 1,
+            time: TimeController::new(timestep_count),
+            users: BTreeMap::new(),
+            revision: 0,
+        }
+    }
+
+    fn touch(&mut self) {
+        self.revision += 1;
+    }
+
+    /// Monotone state revision (cache invalidation token).
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Explicitly bump the revision (used by the server when it mutates
+    /// adjacent state, e.g. the clock).
+    pub fn bump_revision(&mut self) {
+        self.touch();
+    }
+
+    // ------------------------------------------------------------------
+    // Rakes
+
+    /// Add a rake (grid coordinates); returns its id.
+    pub fn add_rake(&mut self, rake: Rake) -> RakeId {
+        let id = self.next_rake_id;
+        self.next_rake_id += 1;
+        self.rakes.insert(id, RakeEntry { rake, grab: None });
+        self.touch();
+        id
+    }
+
+    /// Remove a rake; held rakes can only be removed by their holder.
+    pub fn remove_rake(&mut self, user: UserId, id: RakeId) -> Result<(), EnvError> {
+        let entry = self.rakes.get(&id).ok_or(EnvError::NoSuchRake(id))?;
+        if let Some((owner, _)) = entry.grab {
+            if owner != user {
+                return Err(EnvError::LockedByOther { rake: id, owner });
+            }
+        }
+        self.rakes.remove(&id);
+        self.touch();
+        Ok(())
+    }
+
+    pub fn rake(&self, id: RakeId) -> Option<&RakeEntry> {
+        self.rakes.get(&id)
+    }
+
+    pub fn rakes(&self) -> impl Iterator<Item = (RakeId, &RakeEntry)> {
+        self.rakes.iter().map(|(&id, e)| (id, e))
+    }
+
+    pub fn rake_count(&self) -> usize {
+        self.rakes.len()
+    }
+
+    /// First-come-first-served grab. Re-grabbing a rake you already hold
+    /// just updates the handle.
+    pub fn grab(&mut self, user: UserId, id: RakeId, handle: Handle) -> Result<(), EnvError> {
+        let entry = self.rakes.get_mut(&id).ok_or(EnvError::NoSuchRake(id))?;
+        match entry.grab {
+            Some((owner, _)) if owner != user => {
+                Err(EnvError::LockedByOther { rake: id, owner })
+            }
+            _ => {
+                entry.grab = Some((user, handle));
+                self.touch();
+                Ok(())
+            }
+        }
+    }
+
+    /// Release a held rake.
+    pub fn release(&mut self, user: UserId, id: RakeId) -> Result<(), EnvError> {
+        let entry = self.rakes.get_mut(&id).ok_or(EnvError::NoSuchRake(id))?;
+        match entry.grab {
+            Some((owner, _)) if owner == user => {
+                entry.grab = None;
+                self.touch();
+                Ok(())
+            }
+            Some((owner, _)) => Err(EnvError::LockedByOther { rake: id, owner }),
+            None => Err(EnvError::NotHeld(id)),
+        }
+    }
+
+    /// Drag the held handle by a grid-coordinate delta.
+    pub fn drag(&mut self, user: UserId, id: RakeId, delta: Vec3) -> Result<(), EnvError> {
+        let entry = self.rakes.get_mut(&id).ok_or(EnvError::NoSuchRake(id))?;
+        match entry.grab {
+            Some((owner, handle)) if owner == user => {
+                entry.rake.drag(handle, delta);
+                self.touch();
+                Ok(())
+            }
+            Some((owner, _)) => Err(EnvError::LockedByOther { rake: id, owner }),
+            None => Err(EnvError::NotHeld(id)),
+        }
+    }
+
+    /// Change a rake's seed count (any user, ungated — the paper gates
+    /// only grabbing).
+    pub fn set_seed_count(&mut self, id: RakeId, n: u32) -> Result<(), EnvError> {
+        let entry = self.rakes.get_mut(&id).ok_or(EnvError::NoSuchRake(id))?;
+        entry.rake.seed_count = n.max(1);
+        self.touch();
+        Ok(())
+    }
+
+    /// Change a rake's tool.
+    pub fn set_tool(&mut self, id: RakeId, tool: ToolKind) -> Result<(), EnvError> {
+        let entry = self.rakes.get_mut(&id).ok_or(EnvError::NoSuchRake(id))?;
+        entry.rake.tool = tool;
+        self.touch();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Users
+
+    /// Record a user's head pose (shared display of participants).
+    pub fn update_user(&mut self, user: UserId, head: Pose) {
+        self.users.insert(user, head);
+        self.touch();
+    }
+
+    pub fn users(&self) -> impl Iterator<Item = (UserId, &Pose)> {
+        self.users.iter().map(|(&id, p)| (id, p))
+    }
+
+    /// A user disconnected: drop their head pose and release every rake
+    /// they held (otherwise a crashed workstation would wedge the shared
+    /// session forever).
+    pub fn disconnect_user(&mut self, user: UserId) {
+        self.users.remove(&user);
+        for entry in self.rakes.values_mut() {
+            if matches!(entry.grab, Some((owner, _)) if owner == user) {
+                entry.grab = None;
+            }
+        }
+        self.touch();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rake() -> Rake {
+        Rake::new(Vec3::ZERO, Vec3::new(4.0, 0.0, 0.0), 5, ToolKind::Streamline)
+    }
+
+    #[test]
+    fn add_and_list_rakes() {
+        let mut env = EnvironmentState::new(10);
+        let a = env.add_rake(rake());
+        let b = env.add_rake(rake());
+        assert_ne!(a, b);
+        assert_eq!(env.rake_count(), 2);
+        assert!(env.rake(a).is_some());
+    }
+
+    #[test]
+    fn first_come_first_served_grab() {
+        // The exact scenario of §5.1: two users grab the same rake.
+        let mut env = EnvironmentState::new(10);
+        let id = env.add_rake(rake());
+        env.grab(1, id, Handle::Center).unwrap();
+        let err = env.grab(2, id, Handle::Center).unwrap_err();
+        assert_eq!(err, EnvError::LockedByOther { rake: id, owner: 1 });
+        // "until the first user lets the rake go."
+        env.release(1, id).unwrap();
+        env.grab(2, id, Handle::EndA).unwrap();
+    }
+
+    #[test]
+    fn other_rakes_unaffected_by_locking() {
+        // "Other rakes are unaffected by this locking, so the second user
+        // can interact with them."
+        let mut env = EnvironmentState::new(10);
+        let a = env.add_rake(rake());
+        let b = env.add_rake(rake());
+        env.grab(1, a, Handle::Center).unwrap();
+        env.grab(2, b, Handle::Center).unwrap();
+        env.drag(2, b, Vec3::X).unwrap();
+        assert_eq!(env.rake(b).unwrap().rake.a, Vec3::X);
+    }
+
+    #[test]
+    fn drag_requires_ownership() {
+        let mut env = EnvironmentState::new(10);
+        let id = env.add_rake(rake());
+        assert_eq!(env.drag(1, id, Vec3::X), Err(EnvError::NotHeld(id)));
+        env.grab(1, id, Handle::Center).unwrap();
+        assert!(matches!(
+            env.drag(2, id, Vec3::X),
+            Err(EnvError::LockedByOther { .. })
+        ));
+        env.drag(1, id, Vec3::new(0.0, 1.0, 0.0)).unwrap();
+        assert_eq!(env.rake(id).unwrap().rake.center(), Vec3::new(2.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn drag_respects_grabbed_handle() {
+        let mut env = EnvironmentState::new(10);
+        let id = env.add_rake(rake());
+        env.grab(1, id, Handle::EndB).unwrap();
+        env.drag(1, id, Vec3::new(0.0, 2.0, 0.0)).unwrap();
+        let r = env.rake(id).unwrap().rake;
+        assert_eq!(r.a, Vec3::ZERO); // end A untouched
+        assert_eq!(r.b, Vec3::new(4.0, 2.0, 0.0));
+    }
+
+    #[test]
+    fn regrab_updates_handle() {
+        let mut env = EnvironmentState::new(10);
+        let id = env.add_rake(rake());
+        env.grab(1, id, Handle::Center).unwrap();
+        env.grab(1, id, Handle::EndA).unwrap(); // same user: allowed
+        assert_eq!(env.rake(id).unwrap().grab, Some((1, Handle::EndA)));
+    }
+
+    #[test]
+    fn release_validates() {
+        let mut env = EnvironmentState::new(10);
+        let id = env.add_rake(rake());
+        assert_eq!(env.release(1, id), Err(EnvError::NotHeld(id)));
+        env.grab(1, id, Handle::Center).unwrap();
+        assert!(matches!(env.release(2, id), Err(EnvError::LockedByOther { .. })));
+        env.release(1, id).unwrap();
+    }
+
+    #[test]
+    fn remove_held_rake_only_by_holder() {
+        let mut env = EnvironmentState::new(10);
+        let id = env.add_rake(rake());
+        env.grab(1, id, Handle::Center).unwrap();
+        assert!(env.remove_rake(2, id).is_err());
+        env.remove_rake(1, id).unwrap();
+        assert_eq!(env.rake_count(), 0);
+    }
+
+    #[test]
+    fn disconnect_releases_locks() {
+        let mut env = EnvironmentState::new(10);
+        let a = env.add_rake(rake());
+        let b = env.add_rake(rake());
+        env.grab(1, a, Handle::Center).unwrap();
+        env.grab(1, b, Handle::EndA).unwrap();
+        env.update_user(1, Pose::IDENTITY);
+        env.disconnect_user(1);
+        assert!(env.rake(a).unwrap().grab.is_none());
+        assert!(env.rake(b).unwrap().grab.is_none());
+        assert_eq!(env.users().count(), 0);
+        // Another user can now grab.
+        env.grab(2, a, Handle::Center).unwrap();
+    }
+
+    #[test]
+    fn revision_bumps_on_mutation_only() {
+        let mut env = EnvironmentState::new(10);
+        let r0 = env.revision();
+        let id = env.add_rake(rake());
+        assert!(env.revision() > r0);
+        let r1 = env.revision();
+        let _ = env.rake(id);
+        let _ = env.rakes().count();
+        assert_eq!(env.revision(), r1);
+        env.set_tool(id, ToolKind::Streakline).unwrap();
+        assert!(env.revision() > r1);
+    }
+
+    #[test]
+    fn seed_count_clamped() {
+        let mut env = EnvironmentState::new(10);
+        let id = env.add_rake(rake());
+        env.set_seed_count(id, 0).unwrap();
+        assert_eq!(env.rake(id).unwrap().rake.seed_count, 1);
+        assert!(env.set_seed_count(99, 5).is_err());
+    }
+
+    #[test]
+    fn user_poses_tracked() {
+        let mut env = EnvironmentState::new(10);
+        env.update_user(7, Pose::new(Vec3::ONE, Default::default()));
+        env.update_user(9, Pose::IDENTITY);
+        let ids: Vec<UserId> = env.users().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![7, 9]);
+    }
+}

@@ -1,0 +1,282 @@
+//! Server-side hand interaction: gesture + position → rake manipulation.
+//!
+//! §2.1: "Rakes may be manipulated with the glove through finger gestures
+//! and hand motion. These rakes are grabbed at one of three points:
+//! center for rigid translation of the rake, or at either end for
+//! movement of that end of the rake."
+//!
+//! The state machine per user: a **fist** near a handle grabs it (subject
+//! to the first-come-first-served lock in [`EnvironmentState`]); while
+//! the fist is held, hand motion drags the handle; opening the hand
+//! releases. Hand positions arrive in *physical* space and are converted
+//! to grid-coordinate deltas through the local Jacobian, since rakes live
+//! in grid coordinates.
+
+use crate::env::{EnvironmentState, RakeId, UserId};
+use flowfield::CurvilinearGrid;
+use std::collections::HashMap;
+use tracer::Handle;
+use vecmath::Vec3;
+use vr::Gesture;
+
+/// Tunables of the grab interaction.
+#[derive(Debug, Clone, Copy)]
+pub struct InteractionConfig {
+    /// Grab radius around a handle, in physical units.
+    pub grab_radius: f32,
+}
+
+impl Default for InteractionConfig {
+    fn default() -> Self {
+        InteractionConfig { grab_radius: 0.5 }
+    }
+}
+
+/// Per-user hand-tracking state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HandState {
+    /// Last physical hand position (for drag deltas).
+    last_position: Option<Vec3>,
+    /// Rake currently held by this hand.
+    holding: Option<RakeId>,
+}
+
+impl HandState {
+    pub fn holding(&self) -> Option<RakeId> {
+        self.holding
+    }
+}
+
+/// All users' hand states.
+pub type HandStates = HashMap<UserId, HandState>;
+
+/// Physical position of a rake handle (grid→physical lookup).
+fn handle_physical(grid: &CurvilinearGrid, rake: &tracer::Rake, handle: Handle) -> Option<Vec3> {
+    grid.to_physical(rake.handle_position(handle))
+}
+
+/// Find the nearest grabbable handle within radius across all rakes.
+fn hit_test(
+    env: &EnvironmentState,
+    grid: &CurvilinearGrid,
+    position: Vec3,
+    radius: f32,
+) -> Option<(RakeId, Handle)> {
+    let mut best: Option<(f32, RakeId, Handle)> = None;
+    for (id, entry) in env.rakes() {
+        for handle in [Handle::EndA, Handle::EndB, Handle::Center] {
+            if let Some(hp) = handle_physical(grid, &entry.rake, handle) {
+                let d = hp.distance(position);
+                if d <= radius && best.is_none_or(|(bd, _, _)| d < bd) {
+                    best = Some((d, id, handle));
+                }
+            }
+        }
+    }
+    best.map(|(_, id, h)| (id, h))
+}
+
+/// Process one hand sample for `user`. Returns the rake the user holds
+/// after the update (if any). Grab attempts on locked rakes fail silently
+/// — the second user simply doesn't get the rake, exactly the lockout
+/// behaviour §5.1 describes.
+pub fn process_hand(
+    env: &mut EnvironmentState,
+    grid: &CurvilinearGrid,
+    hands: &mut HandStates,
+    user: UserId,
+    position: Vec3,
+    gesture: Gesture,
+    cfg: &InteractionConfig,
+) -> Option<RakeId> {
+    let state = hands.entry(user).or_default();
+    match (gesture, state.holding) {
+        (Gesture::Fist, None) => {
+            if let Some((id, handle)) = hit_test(env, grid, position, cfg.grab_radius) {
+                if env.grab(user, id, handle).is_ok() {
+                    state.holding = Some(id);
+                }
+            }
+        }
+        (Gesture::Fist, Some(id)) => {
+            if let Some(last) = state.last_position {
+                let delta_phys = position - last;
+                if delta_phys.length_squared() > 0.0 {
+                    // Convert the physical delta to a grid delta at the
+                    // held handle.
+                    if let Some(entry) = env.rake(id) {
+                        let handle = entry.grab.map(|(_, h)| h).unwrap_or(Handle::Center);
+                        let gc = entry.rake.handle_position(handle);
+                        if let Some(delta_grid) = grid.physical_velocity_to_grid(gc, delta_phys) {
+                            let _ = env.drag(user, id, delta_grid);
+                        }
+                    }
+                }
+            }
+        }
+        (_, Some(id)) => {
+            // Any non-fist gesture releases.
+            let _ = env.release(user, id);
+            state.holding = None;
+        }
+        _ => {}
+    }
+    state.last_position = Some(position);
+    state.holding
+}
+
+/// Forget a disconnected user's hand state (their env locks are released
+/// by [`EnvironmentState::disconnect_user`]).
+pub fn forget_user(hands: &mut HandStates, user: UserId) {
+    hands.remove(&user);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowfield::Dims;
+    use tracer::{Rake, ToolKind};
+    use vecmath::Aabb;
+
+    /// Unit-spacing Cartesian grid: physical == grid coordinates, which
+    /// makes the assertions transparent.
+    fn unit_grid() -> CurvilinearGrid {
+        CurvilinearGrid::cartesian(
+            Dims::new(9, 9, 9),
+            Aabb::new(Vec3::ZERO, Vec3::splat(8.0)),
+        )
+        .unwrap()
+    }
+
+    fn env_with_rake() -> (EnvironmentState, RakeId) {
+        let mut env = EnvironmentState::new(10);
+        let id = env.add_rake(Rake::new(
+            Vec3::new(2.0, 4.0, 4.0),
+            Vec3::new(6.0, 4.0, 4.0),
+            5,
+            ToolKind::Streamline,
+        ));
+        (env, id)
+    }
+
+    #[test]
+    fn fist_near_end_grabs_it() {
+        let grid = unit_grid();
+        let (mut env, id) = env_with_rake();
+        let mut hands = HandStates::new();
+        let cfg = InteractionConfig::default();
+        let held = process_hand(
+            &mut env,
+            &grid,
+            &mut hands,
+            1,
+            Vec3::new(2.1, 4.0, 4.0),
+            Gesture::Fist,
+            &cfg,
+        );
+        assert_eq!(held, Some(id));
+        assert_eq!(env.rake(id).unwrap().grab, Some((1, Handle::EndA)));
+    }
+
+    #[test]
+    fn fist_far_away_grabs_nothing() {
+        let grid = unit_grid();
+        let (mut env, _) = env_with_rake();
+        let mut hands = HandStates::new();
+        let held = process_hand(
+            &mut env,
+            &grid,
+            &mut hands,
+            1,
+            Vec3::new(0.0, 0.0, 0.0),
+            Gesture::Fist,
+            &InteractionConfig::default(),
+        );
+        assert_eq!(held, None);
+    }
+
+    #[test]
+    fn drag_moves_the_rake() {
+        let grid = unit_grid();
+        let (mut env, id) = env_with_rake();
+        let mut hands = HandStates::new();
+        let cfg = InteractionConfig::default();
+        // Grab the center.
+        process_hand(&mut env, &grid, &mut hands, 1, Vec3::new(4.0, 4.0, 4.0), Gesture::Fist, &cfg);
+        assert_eq!(env.rake(id).unwrap().grab, Some((1, Handle::Center)));
+        // Move the fist up by 1 (physical) — unit grid means grid delta 1.
+        process_hand(&mut env, &grid, &mut hands, 1, Vec3::new(4.0, 5.0, 4.0), Gesture::Fist, &cfg);
+        let r = env.rake(id).unwrap().rake;
+        assert!(r.center().distance(Vec3::new(4.0, 5.0, 4.0)) < 1e-4);
+        // Rigid: both ends moved.
+        assert!(r.a.distance(Vec3::new(2.0, 5.0, 4.0)) < 1e-4);
+    }
+
+    #[test]
+    fn open_hand_releases() {
+        let grid = unit_grid();
+        let (mut env, id) = env_with_rake();
+        let mut hands = HandStates::new();
+        let cfg = InteractionConfig::default();
+        process_hand(&mut env, &grid, &mut hands, 1, Vec3::new(4.0, 4.0, 4.0), Gesture::Fist, &cfg);
+        let held = process_hand(&mut env, &grid, &mut hands, 1, Vec3::new(4.0, 4.0, 4.0), Gesture::Open, &cfg);
+        assert_eq!(held, None);
+        assert!(env.rake(id).unwrap().grab.is_none());
+    }
+
+    #[test]
+    fn second_user_locked_out_silently() {
+        let grid = unit_grid();
+        let (mut env, id) = env_with_rake();
+        let mut hands = HandStates::new();
+        let cfg = InteractionConfig::default();
+        process_hand(&mut env, &grid, &mut hands, 1, Vec3::new(4.0, 4.0, 4.0), Gesture::Fist, &cfg);
+        // User 2 fists the same handle: no grab, no panic.
+        let held = process_hand(&mut env, &grid, &mut hands, 2, Vec3::new(4.0, 4.0, 4.0), Gesture::Fist, &cfg);
+        assert_eq!(held, None);
+        assert_eq!(env.rake(id).unwrap().grab, Some((1, Handle::Center)));
+        // User 2's drags do nothing.
+        process_hand(&mut env, &grid, &mut hands, 2, Vec3::new(4.0, 6.0, 4.0), Gesture::Fist, &cfg);
+        assert!(env.rake(id).unwrap().rake.center().distance(Vec3::new(4.0, 4.0, 4.0)) < 1e-4);
+    }
+
+    #[test]
+    fn end_drag_reorients_only_that_end() {
+        let grid = unit_grid();
+        let (mut env, id) = env_with_rake();
+        let mut hands = HandStates::new();
+        let cfg = InteractionConfig::default();
+        process_hand(&mut env, &grid, &mut hands, 1, Vec3::new(6.0, 4.0, 4.0), Gesture::Fist, &cfg);
+        assert_eq!(env.rake(id).unwrap().grab, Some((1, Handle::EndB)));
+        process_hand(&mut env, &grid, &mut hands, 1, Vec3::new(6.0, 6.0, 4.0), Gesture::Fist, &cfg);
+        let r = env.rake(id).unwrap().rake;
+        assert!(r.a.distance(Vec3::new(2.0, 4.0, 4.0)) < 1e-4);
+        assert!(r.b.distance(Vec3::new(6.0, 6.0, 4.0)) < 1e-4);
+    }
+
+    #[test]
+    fn drag_without_prior_position_is_safe() {
+        // First-ever sample is already a fist on a handle: grab happens,
+        // no drag (no last position on the *grab* frame — dragging starts
+        // from the next sample).
+        let grid = unit_grid();
+        let (mut env, id) = env_with_rake();
+        let mut hands = HandStates::new();
+        let cfg = InteractionConfig::default();
+        process_hand(&mut env, &grid, &mut hands, 1, Vec3::new(4.0, 4.0, 4.0), Gesture::Fist, &cfg);
+        let before = env.rake(id).unwrap().rake;
+        assert!(before.center().distance(Vec3::new(4.0, 4.0, 4.0)) < 1e-4);
+    }
+
+    #[test]
+    fn forget_user_clears_state() {
+        let grid = unit_grid();
+        let (mut env, _) = env_with_rake();
+        let mut hands = HandStates::new();
+        let cfg = InteractionConfig::default();
+        process_hand(&mut env, &grid, &mut hands, 1, Vec3::splat(4.0), Gesture::Open, &cfg);
+        assert!(hands.contains_key(&1));
+        forget_user(&mut hands, 1);
+        assert!(!hands.contains_key(&1));
+    }
+}

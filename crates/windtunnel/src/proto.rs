@@ -1,0 +1,737 @@
+//! The windtunnel wire protocol on top of dlib.
+//!
+//! §5.1 defines both directions precisely. Upstream (workstation →
+//! remote): "the information that is sent to the remote system are those
+//! user commands which effect the virtual environment. These include hand
+//! position, hand gestures, keyboard and mouse commands… In the shared
+//! scenario, the position of the users' heads would also be sent."
+//! Downstream (remote → workstation): "the resulting paths … as arrays of
+//! floating point vectors in three dimensions… the transfer of 12 bytes
+//! per point in each array", plus "the information about the virtual
+//! control devices such as rakes … so that the current state of these
+//! devices may be correctly rendered."
+//!
+//! All protocol geometry is in **physical** coordinates; grid coordinates
+//! never cross the wire.
+
+use bytes::{Bytes, BytesMut};
+use dlib::wire::{WireReader, WireWrite};
+use dlib::{DlibError, Result};
+use flowfield::Dims;
+use tracer::ToolKind;
+use vecmath::{Aabb, Pose, Quat, Vec3};
+use vr::Gesture;
+
+/// Wire-protocol version, checked during the hello handshake: a client
+/// and server that disagree fail fast with a clear error instead of
+/// mis-decoding geometry.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Procedure ids registered on the windtunnel's dlib server.
+pub const PROC_HELLO: u32 = 0x0057_0001;
+pub const PROC_COMMAND: u32 = 0x0057_0002;
+pub const PROC_FRAME: u32 = 0x0057_0003;
+
+/// Identifies a rake (mirrors `env::RakeId`).
+pub type RakeId = u32;
+
+// ---------------------------------------------------------------------
+// Primitive helpers
+
+fn put_vec3(b: &mut BytesMut, v: Vec3) {
+    b.put_f32_le_(v.x);
+    b.put_f32_le_(v.y);
+    b.put_f32_le_(v.z);
+}
+
+fn get_vec3(r: &mut WireReader) -> Result<Vec3> {
+    Ok(Vec3::new(r.f32_le()?, r.f32_le()?, r.f32_le()?))
+}
+
+fn put_pose(b: &mut BytesMut, p: &Pose) {
+    put_vec3(b, p.position);
+    b.put_f32_le_(p.orientation.w);
+    b.put_f32_le_(p.orientation.x);
+    b.put_f32_le_(p.orientation.y);
+    b.put_f32_le_(p.orientation.z);
+}
+
+fn get_pose(r: &mut WireReader) -> Result<Pose> {
+    let position = get_vec3(r)?;
+    let orientation = Quat::new(r.f32_le()?, r.f32_le()?, r.f32_le()?, r.f32_le()?);
+    Ok(Pose {
+        position,
+        orientation,
+    })
+}
+
+fn put_tool(b: &mut BytesMut, t: ToolKind) {
+    b.put_u32_le_(match t {
+        ToolKind::Streamline => 0,
+        ToolKind::ParticlePath => 1,
+        ToolKind::Streakline => 2,
+    });
+}
+
+fn get_tool(r: &mut WireReader) -> Result<ToolKind> {
+    match r.u32_le()? {
+        0 => Ok(ToolKind::Streamline),
+        1 => Ok(ToolKind::ParticlePath),
+        2 => Ok(ToolKind::Streakline),
+        n => Err(DlibError::Protocol(format!("bad tool {n}"))),
+    }
+}
+
+fn put_gesture(b: &mut BytesMut, g: Gesture) {
+    b.put_u32_le_(match g {
+        Gesture::Open => 0,
+        Gesture::Fist => 1,
+        Gesture::Point => 2,
+        Gesture::Pinch => 3,
+    });
+}
+
+fn get_gesture(r: &mut WireReader) -> Result<Gesture> {
+    match r.u32_le()? {
+        0 => Ok(Gesture::Open),
+        1 => Ok(Gesture::Fist),
+        2 => Ok(Gesture::Point),
+        3 => Ok(Gesture::Pinch),
+        n => Err(DlibError::Protocol(format!("bad gesture {n}"))),
+    }
+}
+
+fn put_points(b: &mut BytesMut, pts: &[Vec3]) {
+    b.put_u32_le_(pts.len() as u32);
+    for p in pts {
+        put_vec3(b, *p);
+    }
+}
+
+fn get_points(r: &mut WireReader) -> Result<Vec<Vec3>> {
+    let n = r.u32_le()? as usize;
+    if n > 16_000_000 {
+        return Err(DlibError::Protocol(format!("absurd point count {n}")));
+    }
+    let mut pts = Vec::with_capacity(n);
+    for _ in 0..n {
+        pts.push(get_vec3(r)?);
+    }
+    Ok(pts)
+}
+
+// ---------------------------------------------------------------------
+// Commands (workstation → remote)
+
+/// Time-control commands (§2's "sped up, slowed down, run backwards, or
+/// stopped completely").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimeCommand {
+    Play,
+    Pause,
+    Reverse,
+    SetRate(f32),
+    Jump(u32),
+    Step(i32),
+}
+
+/// Commands that affect the shared environment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Create a rake between two physical-space endpoints.
+    AddRake {
+        a: Vec3,
+        b: Vec3,
+        seed_count: u32,
+        tool: ToolKind,
+    },
+    RemoveRake { id: RakeId },
+    SetTool { id: RakeId, tool: ToolKind },
+    SetSeedCount { id: RakeId, n: u32 },
+    /// The glove sample: hand position (physical) + current gesture.
+    Hand { position: Vec3, gesture: Gesture },
+    /// The BOOM sample, for the shared-participants display.
+    HeadPose { pose: Pose },
+    Time(TimeCommand),
+    /// Clean sign-off: releases the user's locks and presence.
+    Goodbye,
+}
+
+impl Command {
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        match self {
+            Command::AddRake { a, b: bb, seed_count, tool } => {
+                b.put_u32_le_(0);
+                put_vec3(&mut b, *a);
+                put_vec3(&mut b, *bb);
+                b.put_u32_le_(*seed_count);
+                put_tool(&mut b, *tool);
+            }
+            Command::RemoveRake { id } => {
+                b.put_u32_le_(1);
+                b.put_u32_le_(*id);
+            }
+            Command::SetTool { id, tool } => {
+                b.put_u32_le_(2);
+                b.put_u32_le_(*id);
+                put_tool(&mut b, *tool);
+            }
+            Command::SetSeedCount { id, n } => {
+                b.put_u32_le_(3);
+                b.put_u32_le_(*id);
+                b.put_u32_le_(*n);
+            }
+            Command::Hand { position, gesture } => {
+                b.put_u32_le_(4);
+                put_vec3(&mut b, *position);
+                put_gesture(&mut b, *gesture);
+            }
+            Command::HeadPose { pose } => {
+                b.put_u32_le_(5);
+                put_pose(&mut b, pose);
+            }
+            Command::Goodbye => {
+                b.put_u32_le_(7);
+            }
+            Command::Time(tc) => {
+                b.put_u32_le_(6);
+                match tc {
+                    TimeCommand::Play => b.put_u32_le_(0),
+                    TimeCommand::Pause => b.put_u32_le_(1),
+                    TimeCommand::Reverse => b.put_u32_le_(2),
+                    TimeCommand::SetRate(r) => {
+                        b.put_u32_le_(3);
+                        b.put_f32_le_(*r);
+                    }
+                    TimeCommand::Jump(t) => {
+                        b.put_u32_le_(4);
+                        b.put_u32_le_(*t);
+                    }
+                    TimeCommand::Step(d) => {
+                        b.put_u32_le_(5);
+                        b.put_u32_le_(*d as u32);
+                    }
+                }
+            }
+        }
+        b.freeze()
+    }
+
+    pub fn decode(buf: Bytes) -> Result<Command> {
+        let mut r = WireReader::new(buf);
+        let tag = r.u32_le()?;
+        let cmd = match tag {
+            0 => Command::AddRake {
+                a: get_vec3(&mut r)?,
+                b: get_vec3(&mut r)?,
+                seed_count: r.u32_le()?,
+                tool: get_tool(&mut r)?,
+            },
+            1 => Command::RemoveRake { id: r.u32_le()? },
+            2 => Command::SetTool {
+                id: r.u32_le()?,
+                tool: get_tool(&mut r)?,
+            },
+            3 => Command::SetSeedCount {
+                id: r.u32_le()?,
+                n: r.u32_le()?,
+            },
+            4 => Command::Hand {
+                position: get_vec3(&mut r)?,
+                gesture: get_gesture(&mut r)?,
+            },
+            5 => Command::HeadPose {
+                pose: get_pose(&mut r)?,
+            },
+            6 => {
+                let sub = r.u32_le()?;
+                Command::Time(match sub {
+                    0 => TimeCommand::Play,
+                    1 => TimeCommand::Pause,
+                    2 => TimeCommand::Reverse,
+                    3 => TimeCommand::SetRate(r.f32_le()?),
+                    4 => TimeCommand::Jump(r.u32_le()?),
+                    5 => TimeCommand::Step(r.u32_le()? as i32),
+                    n => return Err(DlibError::Protocol(format!("bad time cmd {n}"))),
+                })
+            }
+            7 => Command::Goodbye,
+            n => return Err(DlibError::Protocol(format!("bad command tag {n}"))),
+        };
+        if r.remaining() != 0 {
+            return Err(DlibError::Protocol("trailing bytes after command".into()));
+        }
+        Ok(cmd)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hello (session setup)
+
+/// What a client learns when it joins a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HelloReply {
+    pub dataset_name: String,
+    pub dims: Dims,
+    pub timestep_count: u32,
+    pub dt: f32,
+    /// Physical bounds of the grid, for scene framing.
+    pub bounds_min: Vec3,
+    pub bounds_max: Vec3,
+    /// The caller's user id (dlib client id) — lets the client recognize
+    /// its own locks in the rake state.
+    pub user_id: u64,
+}
+
+impl HelloReply {
+    pub fn bounds(&self) -> Aabb {
+        Aabb::new(self.bounds_min, self.bounds_max)
+    }
+
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        b.put_u32_le_(PROTOCOL_VERSION);
+        b.put_str_(&self.dataset_name);
+        b.put_u32_le_(self.dims.ni);
+        b.put_u32_le_(self.dims.nj);
+        b.put_u32_le_(self.dims.nk);
+        b.put_u32_le_(self.timestep_count);
+        b.put_f32_le_(self.dt);
+        put_vec3(&mut b, self.bounds_min);
+        put_vec3(&mut b, self.bounds_max);
+        b.put_u64_le_(self.user_id);
+        b.freeze()
+    }
+
+    pub fn decode(buf: Bytes) -> Result<HelloReply> {
+        let mut r = WireReader::new(buf);
+        let version = r.u32_le()?;
+        if version != PROTOCOL_VERSION {
+            return Err(DlibError::Protocol(format!(
+                "protocol version mismatch: server speaks v{version}, this client v{PROTOCOL_VERSION}"
+            )));
+        }
+        Ok(HelloReply {
+            dataset_name: r.string()?,
+            dims: Dims::new(r.u32_le()?, r.u32_le()?, r.u32_le()?),
+            timestep_count: r.u32_le()?,
+            dt: r.f32_le()?,
+            bounds_min: get_vec3(&mut r)?,
+            bounds_max: get_vec3(&mut r)?,
+            user_id: r.u64_le()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Geometry frame (remote → workstation)
+
+/// What kind of geometry a path carries (drives color/style on the
+/// client).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathKind {
+    Streamline,
+    ParticlePath,
+    /// A connected streak filament ("smoke").
+    Streak,
+}
+
+impl PathKind {
+    fn to_u32(self) -> u32 {
+        match self {
+            PathKind::Streamline => 0,
+            PathKind::ParticlePath => 1,
+            PathKind::Streak => 2,
+        }
+    }
+
+    fn from_u32(v: u32) -> Result<PathKind> {
+        match v {
+            0 => Ok(PathKind::Streamline),
+            1 => Ok(PathKind::ParticlePath),
+            2 => Ok(PathKind::Streak),
+            n => Err(DlibError::Protocol(format!("bad path kind {n}"))),
+        }
+    }
+}
+
+/// One computed path: 12 bytes per point, as §5.1 specifies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathMsg {
+    pub rake_id: RakeId,
+    pub kind: PathKind,
+    pub points: Vec<Vec3>,
+}
+
+/// Rake state for client-side rendering (physical endpoints).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RakeMsg {
+    pub id: RakeId,
+    pub a: Vec3,
+    pub b: Vec3,
+    pub seed_count: u32,
+    pub tool: ToolKind,
+    /// Holder, if grabbed (0 = free).
+    pub owner: u64,
+}
+
+/// Another participant's head pose.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserMsg {
+    pub id: u64,
+    pub head: Pose,
+}
+
+/// One full environment frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeometryFrame {
+    pub timestep: u32,
+    pub time: f32,
+    /// Environment revision this frame was computed at.
+    pub revision: u64,
+    pub rakes: Vec<RakeMsg>,
+    pub paths: Vec<PathMsg>,
+    pub users: Vec<UserMsg>,
+}
+
+impl GeometryFrame {
+    /// Total path points — the "particles" of Table 1.
+    pub fn particle_count(&self) -> usize {
+        self.paths.iter().map(|p| p.points.len()).sum()
+    }
+
+    /// Wire bytes of the path payload alone (12 B/point, the table's
+    /// accounting).
+    pub fn path_payload_bytes(&self) -> usize {
+        self.particle_count() * 12
+    }
+
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(64 + self.path_payload_bytes());
+        b.put_u32_le_(self.timestep);
+        b.put_f32_le_(self.time);
+        b.put_u64_le_(self.revision);
+        b.put_u32_le_(self.rakes.len() as u32);
+        for rk in &self.rakes {
+            b.put_u32_le_(rk.id);
+            put_vec3(&mut b, rk.a);
+            put_vec3(&mut b, rk.b);
+            b.put_u32_le_(rk.seed_count);
+            put_tool(&mut b, rk.tool);
+            b.put_u64_le_(rk.owner);
+        }
+        b.put_u32_le_(self.paths.len() as u32);
+        for p in &self.paths {
+            b.put_u32_le_(p.rake_id);
+            b.put_u32_le_(p.kind.to_u32());
+            put_points(&mut b, &p.points);
+        }
+        b.put_u32_le_(self.users.len() as u32);
+        for u in &self.users {
+            b.put_u64_le_(u.id);
+            put_pose(&mut b, &u.head);
+        }
+        b.freeze()
+    }
+
+    pub fn decode(buf: Bytes) -> Result<GeometryFrame> {
+        let mut r = WireReader::new(buf);
+        let timestep = r.u32_le()?;
+        let time = r.f32_le()?;
+        let revision = r.u64_le()?;
+        let n_rakes = r.u32_le()? as usize;
+        if n_rakes > 100_000 {
+            return Err(DlibError::Protocol("absurd rake count".into()));
+        }
+        let mut rakes = Vec::with_capacity(n_rakes);
+        for _ in 0..n_rakes {
+            rakes.push(RakeMsg {
+                id: r.u32_le()?,
+                a: get_vec3(&mut r)?,
+                b: get_vec3(&mut r)?,
+                seed_count: r.u32_le()?,
+                tool: get_tool(&mut r)?,
+                owner: r.u64_le()?,
+            });
+        }
+        let n_paths = r.u32_le()? as usize;
+        if n_paths > 1_000_000 {
+            return Err(DlibError::Protocol("absurd path count".into()));
+        }
+        let mut paths = Vec::with_capacity(n_paths);
+        for _ in 0..n_paths {
+            paths.push(PathMsg {
+                rake_id: r.u32_le()?,
+                kind: PathKind::from_u32(r.u32_le()?)?,
+                points: get_points(&mut r)?,
+            });
+        }
+        let n_users = r.u32_le()? as usize;
+        if n_users > 100_000 {
+            return Err(DlibError::Protocol("absurd user count".into()));
+        }
+        let mut users = Vec::with_capacity(n_users);
+        for _ in 0..n_users {
+            users.push(UserMsg {
+                id: r.u64_le()?,
+                head: get_pose(&mut r)?,
+            });
+        }
+        if r.remaining() != 0 {
+            return Err(DlibError::Protocol("trailing bytes after frame".into()));
+        }
+        Ok(GeometryFrame {
+            timestep,
+            time,
+            revision,
+            rakes,
+            paths,
+            users,
+        })
+    }
+}
+
+/// The FRAME request: whether this call should advance the clock (one
+/// designated client drives time; the rest just read).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameRequest {
+    pub advance: bool,
+}
+
+impl FrameRequest {
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        b.put_u32_le_(self.advance as u32);
+        b.freeze()
+    }
+
+    pub fn decode(buf: Bytes) -> Result<FrameRequest> {
+        let mut r = WireReader::new(buf);
+        Ok(FrameRequest {
+            advance: r.u32_le()? != 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_roundtrips() {
+        let cmds = vec![
+            Command::AddRake {
+                a: Vec3::new(1.0, 2.0, 3.0),
+                b: Vec3::new(4.0, 5.0, 6.0),
+                seed_count: 16,
+                tool: ToolKind::Streakline,
+            },
+            Command::RemoveRake { id: 7 },
+            Command::SetTool {
+                id: 3,
+                tool: ToolKind::ParticlePath,
+            },
+            Command::SetSeedCount { id: 3, n: 25 },
+            Command::Hand {
+                position: Vec3::new(-1.0, 0.5, 2.0),
+                gesture: Gesture::Fist,
+            },
+            Command::HeadPose {
+                pose: Pose::new(Vec3::ONE, Quat::from_axis_angle(Vec3::Y, 0.3)),
+            },
+            Command::Time(TimeCommand::Play),
+            Command::Time(TimeCommand::SetRate(-2.5)),
+            Command::Time(TimeCommand::Jump(120)),
+            Command::Time(TimeCommand::Step(-1)),
+            Command::Goodbye,
+        ];
+        for c in cmds {
+            let back = Command::decode(c.encode()).unwrap();
+            assert_eq!(back, c);
+        }
+    }
+
+    #[test]
+    fn bad_command_rejected() {
+        let mut b = BytesMut::new();
+        b.put_u32_le_(99);
+        assert!(Command::decode(b.freeze()).is_err());
+        // Trailing garbage.
+        let mut bytes = Command::RemoveRake { id: 1 }.encode().to_vec();
+        bytes.push(0);
+        assert!(Command::decode(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        let h = HelloReply {
+            dataset_name: "tapered-cylinder".into(),
+            dims: Dims::TAPERED_CYLINDER,
+            timestep_count: 800,
+            dt: 0.05,
+            bounds_min: Vec3::splat(-12.0),
+            bounds_max: Vec3::new(12.0, 12.0, 8.0),
+            user_id: 42,
+        };
+        let back = HelloReply::decode(h.encode()).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.bounds().max.z, 8.0);
+    }
+
+    #[test]
+    fn hello_version_mismatch_rejected() {
+        let h = HelloReply {
+            dataset_name: "x".into(),
+            dims: Dims::new(2, 2, 2),
+            timestep_count: 1,
+            dt: 0.1,
+            bounds_min: Vec3::ZERO,
+            bounds_max: Vec3::ONE,
+            user_id: 1,
+        };
+        let mut bytes = h.encode().to_vec();
+        bytes[0] = 99; // stamp a wrong version
+        let err = HelloReply::decode(Bytes::from(bytes));
+        assert!(matches!(err, Err(DlibError::Protocol(m)) if m.contains("version")));
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let frame = GeometryFrame {
+            timestep: 17,
+            time: 0.85,
+            revision: 99,
+            rakes: vec![RakeMsg {
+                id: 1,
+                a: Vec3::ZERO,
+                b: Vec3::ONE,
+                seed_count: 8,
+                tool: ToolKind::Streamline,
+                owner: 2,
+            }],
+            paths: vec![
+                PathMsg {
+                    rake_id: 1,
+                    kind: PathKind::Streamline,
+                    points: vec![Vec3::X, Vec3::Y, Vec3::Z],
+                },
+                PathMsg {
+                    rake_id: 1,
+                    kind: PathKind::Streak,
+                    points: vec![],
+                },
+            ],
+            users: vec![UserMsg {
+                id: 5,
+                head: Pose::new(Vec3::new(0.0, 1.7, 2.0), Quat::IDENTITY),
+            }],
+        };
+        let back = GeometryFrame::decode(frame.encode()).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(back.particle_count(), 3);
+        assert_eq!(back.path_payload_bytes(), 36);
+    }
+
+    #[test]
+    fn table1_payload_accounting() {
+        // A 10 000-particle frame carries 120 000 bytes of path payload
+        // (Table 1 row 1); envelope overhead stays small (< 1 %).
+        let frame = GeometryFrame {
+            timestep: 0,
+            time: 0.0,
+            revision: 0,
+            rakes: vec![],
+            paths: vec![PathMsg {
+                rake_id: 1,
+                kind: PathKind::Streamline,
+                points: vec![Vec3::ZERO; 10_000],
+            }],
+            users: vec![],
+        };
+        assert_eq!(frame.path_payload_bytes(), 120_000);
+        let encoded = frame.encode();
+        assert!(encoded.len() >= 120_000);
+        assert!(encoded.len() < 121_000, "envelope too heavy: {}", encoded.len());
+    }
+
+    #[test]
+    fn frame_request_roundtrip() {
+        for advance in [true, false] {
+            let fr = FrameRequest { advance };
+            assert_eq!(FrameRequest::decode(fr.encode()).unwrap(), fr);
+        }
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Decoders are a network boundary: arbitrary bytes must
+            /// produce `Err`, never a panic.
+            #[test]
+            fn prop_command_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let _ = Command::decode(Bytes::from(bytes));
+            }
+
+            #[test]
+            fn prop_frame_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+                let _ = GeometryFrame::decode(Bytes::from(bytes));
+            }
+
+            #[test]
+            fn prop_hello_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let _ = HelloReply::decode(Bytes::from(bytes));
+            }
+
+            /// Bit-flipping a valid frame must decode to Err or to a
+            /// *valid* different frame — never panic.
+            #[test]
+            fn prop_frame_bitflip_safe(flip_at in 0usize..200, flip_bit in 0u8..8) {
+                let frame = GeometryFrame {
+                    timestep: 3,
+                    time: 1.5,
+                    revision: 9,
+                    rakes: vec![RakeMsg {
+                        id: 1,
+                        a: Vec3::ZERO,
+                        b: Vec3::ONE,
+                        seed_count: 4,
+                        tool: ToolKind::Streamline,
+                        owner: 7,
+                    }],
+                    paths: vec![PathMsg {
+                        rake_id: 1,
+                        kind: PathKind::Streak,
+                        points: vec![Vec3::X; 8],
+                    }],
+                    users: vec![],
+                };
+                let mut bytes = frame.encode().to_vec();
+                let idx = flip_at % bytes.len();
+                bytes[idx] ^= 1 << flip_bit;
+                let _ = GeometryFrame::decode(Bytes::from(bytes));
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let frame = GeometryFrame {
+            timestep: 1,
+            time: 0.0,
+            revision: 1,
+            rakes: vec![],
+            paths: vec![PathMsg {
+                rake_id: 1,
+                kind: PathKind::Streamline,
+                points: vec![Vec3::X; 10],
+            }],
+            users: vec![],
+        };
+        let bytes = frame.encode();
+        let cut = bytes.slice(..bytes.len() - 5);
+        assert!(GeometryFrame::decode(cut).is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! The remote system: a dlib server hosting the shared windtunnel.
+//!
+//! Figure 8's architecture: commands arrive from the network, a single
+//! serial dispatcher (dlib's multi-client rule) updates the environment,
+//! the visualization is computed against the timestep store (whose
+//! prefetching/caching layers hide the disk), and geometry frames go back
+//! out. One designated client "drives" the clock by passing
+//! `advance = true` in its frame requests; every other client just reads
+//! the latest state, which is served from a cache keyed on the
+//! environment revision.
+
+use crate::compute::{compute_frame, ComputeConfig, ToolEngines};
+use crate::env::EnvironmentState;
+use crate::governor::FrameGovernor;
+use crate::interaction::{process_hand, HandStates, InteractionConfig};
+use crate::proto::{
+    Command, FrameRequest, HelloReply, TimeCommand, PROC_COMMAND, PROC_FRAME, PROC_HELLO,
+};
+use bytes::Bytes;
+use dlib::server::{DlibServer, ServerHandle, Session};
+use flowfield::CurvilinearGrid;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use storage::TimestepStore;
+use tracer::Domain;
+use vecmath::Pose;
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerOptions {
+    pub compute: ComputeConfig,
+    pub interaction: InteractionConfig,
+    /// Treat the grid as an O-grid (periodic in `i`).
+    pub periodic_i: bool,
+    /// Compute budget per frame; when set, the governor scales streamline
+    /// detail to stay inside it (§1.2's rich-environment/frame-rate
+    /// tradeoff, automated). `None` disables governing.
+    pub frame_budget: Option<std::time::Duration>,
+}
+
+struct ServerState {
+    env: EnvironmentState,
+    engines: ToolEngines,
+    hands: HandStates,
+    store: Arc<dyn TimestepStore>,
+    grid: CurvilinearGrid,
+    domain: Domain,
+    opts: ServerOptions,
+    governor: Option<FrameGovernor>,
+    /// Encoded frame cache: (revision it was computed at, bytes).
+    frame_cache: Option<(u64, Bytes)>,
+}
+
+impl ServerState {
+    fn apply_command(&mut self, session: Session, cmd: Command) -> Result<(), String> {
+        let user = session.client_id;
+        match cmd {
+            Command::AddRake { a, b, seed_count, tool } => {
+                let ga = self
+                    .grid
+                    .locate(a)
+                    .ok_or_else(|| format!("rake endpoint {a:?} is outside the grid"))?;
+                let gb = self
+                    .grid
+                    .locate(b)
+                    .ok_or_else(|| format!("rake endpoint {b:?} is outside the grid"))?;
+                self.env
+                    .add_rake(tracer::Rake::new(ga, gb, seed_count, tool));
+                Ok(())
+            }
+            Command::RemoveRake { id } => self.env.remove_rake(user, id).map_err(|e| e.to_string()),
+            Command::SetTool { id, tool } => {
+                self.env.set_tool(id, tool).map_err(|e| e.to_string())
+            }
+            Command::SetSeedCount { id, n } => {
+                self.env.set_seed_count(id, n).map_err(|e| e.to_string())
+            }
+            Command::Hand { position, gesture } => {
+                process_hand(
+                    &mut self.env,
+                    &self.grid,
+                    &mut self.hands,
+                    user,
+                    position,
+                    gesture,
+                    &self.opts.interaction,
+                );
+                Ok(())
+            }
+            Command::HeadPose { pose } => {
+                self.env.update_user(user, pose);
+                Ok(())
+            }
+            Command::Time(tc) => {
+                match tc {
+                    TimeCommand::Play => self.env.time.play(),
+                    TimeCommand::Pause => self.env.time.pause(),
+                    TimeCommand::Reverse => self.env.time.reverse(),
+                    TimeCommand::SetRate(r) => self.env.time.set_rate(r),
+                    TimeCommand::Jump(t) => {
+                        self.env.time.jump(t as usize);
+                        // Discontinuous jump: existing smoke is no longer
+                        // meaningful.
+                        self.engines.clear();
+                    }
+                    TimeCommand::Step(d) => self.env.time.step(d),
+                }
+                self.env.bump_revision();
+                Ok(())
+            }
+            Command::Goodbye => {
+                self.env.disconnect_user(user);
+                crate::interaction::forget_user(&mut self.hands, user);
+                Ok(())
+            }
+        }
+    }
+
+    fn frame_bytes(&mut self, advance: bool) -> Result<Bytes, String> {
+        if advance {
+            self.env.time.advance();
+            // Streaklines advance once per clock tick, in the *current*
+            // field (§2.1), whether or not the integer timestep moved —
+            // time can be paused with smoke still streaming.
+            let field = self
+                .store
+                .fetch(self.env.time.timestep())
+                .map_err(|e| e.to_string())?;
+            self.engines.advance_streaks(
+                &self.env,
+                field.as_ref(),
+                &self.domain,
+                &self.opts.compute.streak,
+            );
+            self.env.bump_revision();
+        }
+        let revision = self.env.revision();
+        if let Some((cached_rev, bytes)) = &self.frame_cache {
+            if *cached_rev == revision {
+                return Ok(bytes.clone());
+            }
+        }
+        // The governor scales the streamline point budget before the
+        // compute, then observes the measured time after it.
+        let mut cfg = self.opts.compute;
+        if let Some(gov) = &self.governor {
+            cfg.trace.max_points = gov.scaled_points(cfg.trace.max_points);
+            cfg.pathline_window = gov.scaled_points(cfg.pathline_window);
+        }
+        let started = std::time::Instant::now();
+        let frame = compute_frame(
+            &self.env,
+            &mut self.engines,
+            self.store.as_ref(),
+            &self.grid,
+            &self.domain,
+            &cfg,
+        )
+        .map_err(|e| e.to_string())?;
+        if let Some(gov) = &mut self.governor {
+            gov.observe(started.elapsed());
+        }
+        let bytes = frame.encode();
+        self.frame_cache = Some((revision, bytes.clone()));
+        Ok(bytes)
+    }
+}
+
+/// A running windtunnel server.
+pub struct WindtunnelHandle {
+    inner: ServerHandle,
+}
+
+impl WindtunnelHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr()
+    }
+
+    pub fn shutdown(self) {
+        self.inner.shutdown();
+    }
+}
+
+/// Start a windtunnel server for one dataset. `addr` is typically
+/// `"127.0.0.1:0"`.
+pub fn serve(
+    store: Arc<dyn TimestepStore>,
+    grid: CurvilinearGrid,
+    opts: ServerOptions,
+    addr: &str,
+) -> dlib::Result<WindtunnelHandle> {
+    let timestep_count = store.timestep_count();
+    let meta = store.meta().clone();
+    let bounds = grid.bounds();
+    let domain = if opts.periodic_i {
+        Domain::o_grid(grid.dims())
+    } else {
+        Domain::boxed(grid.dims())
+    };
+    let state = ServerState {
+        env: EnvironmentState::new(timestep_count),
+        engines: ToolEngines::new(),
+        hands: HandStates::new(),
+        store,
+        grid,
+        domain,
+        governor: opts.frame_budget.map(FrameGovernor::new),
+        opts,
+        frame_cache: None,
+    };
+
+    let mut server = DlibServer::new(state);
+    server.register(PROC_HELLO, move |state, session: Session, _args| {
+        // Joining announces presence (head pose arrives later).
+        state.env.update_user(session.client_id, Pose::IDENTITY);
+        let reply = HelloReply {
+            dataset_name: meta.name.clone(),
+            dims: meta.dims,
+            timestep_count: meta.timestep_count as u32,
+            dt: meta.dt,
+            bounds_min: bounds.min,
+            bounds_max: bounds.max,
+            user_id: session.client_id,
+        };
+        Ok(reply.encode())
+    });
+    server.register(PROC_COMMAND, |state, session, args| {
+        let cmd = Command::decode(Bytes::copy_from_slice(args)).map_err(|e| e.to_string())?;
+        state.apply_command(session, cmd)?;
+        Ok(Bytes::new())
+    });
+    server.register(PROC_FRAME, |state, _session, args| {
+        let req = FrameRequest::decode(Bytes::copy_from_slice(args)).map_err(|e| e.to_string())?;
+        state.frame_bytes(req.advance)
+    });
+
+    let inner = server.serve(addr)?;
+    Ok(WindtunnelHandle { inner })
+}

@@ -1,0 +1,144 @@
+//! The "conventional screen and mouse environment" of §6: a desktop
+//! client driving the same server with keyboard + mouse instead of BOOM +
+//! glove, with the whole session recorded and replayed.
+//!
+//! ```sh
+//! cargo run --release --example desktop_session
+//! ```
+
+use distributed_virtual_windtunnel as dvw;
+use dvw::cfd::tapered_cylinder::{generate_dataset, TaperedCylinderFlow};
+use dvw::flowfield::Dims;
+use dvw::storage::MemoryStore;
+use dvw::tracer::ToolKind;
+use dvw::vecmath::{Mat4, Pose, Vec3};
+use dvw::vr::ppm::write_ppm;
+use dvw::vr::stereo::StereoCamera;
+use dvw::vr::Framebuffer;
+use dvw::windtunnel::client::Palette;
+use dvw::windtunnel::desktop::{DesktopInput, Key};
+use dvw::windtunnel::record::{load, replay, SessionRecorder};
+use dvw::windtunnel::{serve, Command, ServerOptions, WindtunnelClient};
+use std::sync::Arc;
+
+fn main() {
+    // Server.
+    let flow = TaperedCylinderFlow {
+        spec: dvw::cfd::OGridSpec {
+            dims: Dims::new(33, 17, 9),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    println!("[server] generating dataset...");
+    let dataset = generate_dataset(&flow, "desktop", 10, 0.3).expect("generate");
+    let grid = dataset.grid().clone();
+    let make_store = {
+        let ds = dataset.clone();
+        move || Arc::new(MemoryStore::from_dataset(ds.clone()))
+    };
+    let handle = serve(
+        make_store(),
+        grid.clone(),
+        ServerOptions { periodic_i: true, ..Default::default() },
+        "127.0.0.1:0",
+    )
+    .expect("serve");
+
+    // Desktop client with a fixed screen camera.
+    let mut client = WindtunnelClient::connect(handle.addr()).expect("connect");
+    let bounds = client.hello().bounds();
+    let center = bounds.center();
+    let eye = center + Vec3::new(0.0, 0.3 * bounds.diagonal(), 0.85 * bounds.diagonal());
+    let mut cam = StereoCamera::new(Pose::from_mat4(
+        &Mat4::look_at(eye, center, Vec3::Y).inverse_rigid(),
+    ));
+    cam.aspect = 4.0 / 3.0;
+    let mvp = cam.projection() * cam.head.view_matrix();
+    let (w, h) = (640.0f32, 480.0f32);
+
+    let mut desk = DesktopInput::new();
+    let mut rec = SessionRecorder::new();
+    let send = |client: &mut WindtunnelClient, rec: &mut SessionRecorder, cmd: Command| {
+        client.send(&cmd).expect("send");
+        rec.command(&cmd);
+    };
+
+    // Build the scene.
+    send(&mut client, &mut rec, Command::AddRake {
+        a: Vec3::new(-2.5, 0.0, 1.5),
+        b: Vec3::new(-2.5, 0.0, 6.5),
+        seed_count: 10,
+        tool: ToolKind::Streamline,
+    });
+
+    // Keyboard: play at half rate.
+    send(&mut client, &mut rec, desk.key(Key::Space));
+    send(&mut client, &mut rec, desk.key(Key::Slower));
+    for _ in 0..4 {
+        client.frame(true).expect("tick");
+        rec.tick();
+    }
+
+    // Mouse: grab the rake center on screen and drag it upward.
+    let frame = client.frame(false).expect("frame");
+    let rake_center = (frame.rakes[0].a + frame.rakes[0].b) * 0.5;
+    let (cx, cy) = {
+        let hcoords = mvp.transform_point_h(rake_center);
+        (
+            (hcoords[0] / hcoords[3] * 0.5 + 0.5) * (w - 1.0),
+            (0.5 - hcoords[1] / hcoords[3] * 0.5) * (h - 1.0),
+        )
+    };
+    if let Some(cmd) = desk.mouse_down(cx, cy, &frame, &mvp, w, h) {
+        println!("[mouse] grabbed the rake at pixel ({cx:.0}, {cy:.0})");
+        send(&mut client, &mut rec, cmd);
+        for step in 1..=5 {
+            let cmd = desk.mouse_drag(cx, cy - 12.0 * step as f32, &mvp, w, h).unwrap();
+            send(&mut client, &mut rec, cmd);
+        }
+        send(&mut client, &mut rec, desk.mouse_up().unwrap());
+    } else {
+        println!("[mouse] pick missed — rake center off screen?");
+    }
+
+    let after = client.frame(false).expect("frame");
+    let moved = (after.rakes[0].a + after.rakes[0].b) * 0.5;
+    println!(
+        "[mouse] rake center moved {:.2} -> {:.2} in y",
+        rake_center.y, moved.y
+    );
+
+    // Render the final view (mono, as a desktop screen would).
+    let mut fb = Framebuffer::new(w as usize, h as usize);
+    WindtunnelClient::render_mono(&after, &mut fb, &mvp, &Palette::default());
+    let img = std::env::temp_dir().join("dvw-desktop.ppm");
+    write_ppm(&img, &fb).expect("write");
+    println!("[render] wrote {}", img.display());
+
+    // Save the recording and replay it against a *fresh* server.
+    let rec_path = std::env::temp_dir().join("dvw-desktop.dvwr");
+    rec.save(&rec_path).expect("save recording");
+    println!("[record] saved {} events to {}", rec.len(), rec_path.display());
+    drop(client);
+    handle.shutdown();
+
+    let handle2 = serve(
+        make_store(),
+        grid,
+        ServerOptions { periodic_i: true, ..Default::default() },
+        "127.0.0.1:0",
+    )
+    .expect("serve again");
+    let mut replay_client = WindtunnelClient::connect(handle2.addr()).expect("connect");
+    let events = load(&rec_path).expect("load recording");
+    let n = replay(&mut replay_client, &events, 0.0).expect("replay");
+    let replayed = replay_client.frame(false).expect("frame");
+    let rcenter = (replayed.rakes[0].a + replayed.rakes[0].b) * 0.5;
+    println!(
+        "[replay] {n} events against a fresh server: rake center y = {:.2} (live session had {:.2})",
+        rcenter.y, moved.y
+    );
+    handle2.shutdown();
+    println!("done.");
+}

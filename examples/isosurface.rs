@@ -1,0 +1,144 @@
+//! Isosurface extraction — the tool §1.2 of the paper excludes from the
+//! interactive loop, demonstrated offline with a budget measurement.
+//!
+//! Extracts an isosurface of velocity magnitude around the tapered
+//! cylinder, times it against the 1/8-s virtual-environment budget and
+//! against the 100×200 streamline frame the budget *does* accommodate,
+//! and renders the triangles with the software rasterizer.
+//!
+//! ```sh
+//! cargo run --release --example isosurface
+//! ```
+
+use distributed_virtual_windtunnel as dvw;
+
+// The bench crate isn't a dependency of the umbrella crate, so inline the
+// two helpers we need.
+mod helpers {
+    use distributed_virtual_windtunnel as dvw;
+    use dvw::cfd::tapered_cylinder::{sample_physical, TaperedCylinderFlow};
+    use dvw::cfd::OGridSpec;
+    use dvw::flowfield::{Dims, VectorField};
+    use dvw::tracer::Domain;
+
+    pub fn spec() -> OGridSpec {
+        OGridSpec {
+            dims: Dims::new(49, 33, 17),
+            ..OGridSpec::default()
+        }
+    }
+
+    pub fn field_at(t: f32) -> (VectorField, Domain, dvw::flowfield::CurvilinearGrid) {
+        let spec = spec();
+        let flow = TaperedCylinderFlow {
+            spec,
+            ..TaperedCylinderFlow::default()
+        };
+        let grid = spec.build().unwrap();
+        let inv = grid.precompute_inverse_jacobians().unwrap();
+        let physical = sample_physical(&flow, t);
+        let field = grid.convert_field_with(&inv, &physical).unwrap();
+        (field, Domain::o_grid(spec.dims), grid)
+    }
+}
+
+fn main() {
+    use dvw::tracer::isosurface::{isosurface, surface_area};
+    use dvw::tracer::{trace_batch_scalar, TraceConfig};
+    use dvw::vecmath::{Mat4, Pose, Vec3};
+    use dvw::vr::ppm::write_ppm;
+    use dvw::vr::{Framebuffer, Rgb};
+    use std::time::Instant;
+
+    let (field, domain, grid) = helpers::field_at(8.0);
+    let spec = helpers::spec();
+    let mag = field.magnitude_field();
+    let (lo, hi) = mag.range().unwrap();
+    let iso = lo + 0.55 * (hi - lo);
+    println!(
+        "velocity-magnitude range on the {} grid: [{lo:.3}, {hi:.3}], extracting iso = {iso:.3}",
+        spec.dims
+    );
+
+    // Time the excluded tool.
+    let t0 = Instant::now();
+    let tris = isosurface(&mag, iso);
+    let iso_time = t0.elapsed();
+    println!(
+        "isosurface: {} triangles, area {:.1}, computed in {:.1?}",
+        tris.len(),
+        surface_area(&tris),
+        iso_time
+    );
+
+    // Time the included tool (the paper's benchmark frame).
+    let seeds: Vec<Vec3> = (0..100)
+        .map(|s| {
+            let f = s as f32 / 100.0;
+            Vec3::new(
+                (spec.dims.ni - 1) as f32 * (0.3 + 0.4 * f),
+                (spec.dims.nj - 1) as f32 * 0.45,
+                (spec.dims.nk - 1) as f32 * (0.1 + 0.8 * f),
+            )
+        })
+        .collect();
+    let cfg = TraceConfig {
+        dt: 0.04,
+        max_points: 200,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let lines = trace_batch_scalar(&field, &domain, &seeds, &cfg);
+    let stream_time = t0.elapsed();
+    println!(
+        "streamline frame: {} paths / {} points in {:.1?}",
+        lines.len(),
+        lines.iter().map(|l| l.len()).sum::<usize>(),
+        stream_time
+    );
+    println!(
+        "ratio isosurface/streamlines = {:.1}x  (the 1/8 s budget is 125 ms)",
+        iso_time.as_secs_f64() / stream_time.as_secs_f64().max(1e-9),
+    );
+    // 34 years of hardware rewrote the absolute verdict: on a 2026 core
+    // *both* tools fit the 1/8 s budget at this resolution. What survives
+    // is the scaling argument — isosurface work is Θ(grid cells) and
+    // cannot be throttled below grid resolution, while streamline work is
+    // Θ(requested points) and degrades gracefully (see the governor). On
+    // the 1992 Convex (~40 MFLOPS) this cell count put marching cubes at
+    // seconds per frame, which is why §1.2 excluded it.
+    let cells = spec.dims.cell_count();
+    println!(
+        "scaling: isosurface visits all {cells} cells every frame; streamlines visit only \
+         the ~20k cells their paths cross and can be cut by the frame governor."
+    );
+
+    // Convert triangle vertices to physical space and render.
+    let tris_phys: Vec<[Vec3; 3]> = tris
+        .iter()
+        .filter_map(|t| {
+            Some([
+                grid.to_physical(t[0])?,
+                grid.to_physical(t[1])?,
+                grid.to_physical(t[2])?,
+            ])
+        })
+        .collect();
+    let eye = Vec3::new(-6.0, 10.0, spec.span * 0.5 + 14.0);
+    let target = Vec3::new(2.0, 0.0, spec.span * 0.5);
+    let mvp = Mat4::perspective(0.9, 4.0 / 3.0, 0.1, 200.0)
+        * Pose::from_mat4(&Mat4::look_at(eye, target, Vec3::Y).inverse_rigid()).view_matrix();
+    let mut fb = Framebuffer::new(640, 480);
+    fb.draw_triangles(&mvp, &tris_phys, Rgb::new(90, 170, 255));
+    for l in &lines {
+        let phys = grid.path_to_physical(l);
+        fb.draw_polyline(&mvp, &phys, Rgb::new(255, 200, 80));
+    }
+    let out = std::env::temp_dir().join("dvw-isosurface.ppm");
+    write_ppm(&out, &fb).expect("write");
+    println!("wrote {} ({} triangles rendered)", out.display(), tris_phys.len());
+    println!();
+    println!("paper context (§1.2): 'interactive streamlines ... can be used, but interactive");
+    println!("isosurfaces, which require computationally intensive algorithms such as marching");
+    println!("cubes, can not' — true on 1992 hardware; the scaling asymmetry is what remains.");
+}

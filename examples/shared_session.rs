@@ -1,0 +1,132 @@
+//! Shared session: two workstations, one server, one contested rake.
+//!
+//! Reproduces §5.1's multi-user scenario end-to-end over real sockets:
+//! Alice and Bob connect to the same windtunnel server; Alice grabs a
+//! rake first and Bob is locked out until she lets go; both see the same
+//! environment state; Bob (not Alice) drives the shared clock.
+//!
+//! ```sh
+//! cargo run --release --example shared_session
+//! ```
+
+use distributed_virtual_windtunnel as dvw;
+use dvw::cfd::tapered_cylinder::{generate_dataset, TaperedCylinderFlow};
+use dvw::flowfield::Dims;
+use dvw::storage::MemoryStore;
+use dvw::tracer::ToolKind;
+use dvw::vecmath::Vec3;
+use dvw::vr::Gesture;
+use dvw::windtunnel::{serve, Command, ServerOptions, TimeCommand, WindtunnelClient};
+use std::sync::Arc;
+
+fn main() {
+    // Server side: a small tapered-cylinder dataset in memory.
+    let flow = TaperedCylinderFlow {
+        spec: dvw::cfd::OGridSpec {
+            dims: Dims::new(33, 17, 9),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    println!("[server] generating dataset...");
+    let dataset = generate_dataset(&flow, "shared", 12, 0.25).expect("generate");
+    let grid = dataset.grid().clone();
+    let store = Arc::new(MemoryStore::from_dataset(dataset));
+    let opts = ServerOptions {
+        periodic_i: true,
+        ..Default::default()
+    };
+    let handle = serve(store, grid, opts, "127.0.0.1:0").expect("serve");
+    println!("[server] listening on {}", handle.addr());
+
+    // Two workstations join.
+    let mut alice = WindtunnelClient::connect(handle.addr()).expect("alice connects");
+    let mut bob = WindtunnelClient::connect(handle.addr()).expect("bob connects");
+    println!(
+        "[alice] joined '{}' as user {}",
+        alice.hello().dataset_name,
+        alice.user_id()
+    );
+    println!("[bob]   joined as user {}", bob.user_id());
+
+    // Alice creates a rake upstream of the cylinder (physical coords).
+    alice
+        .send(&Command::AddRake {
+            a: Vec3::new(-2.5, 0.0, 1.0),
+            b: Vec3::new(-2.5, 0.0, 7.0),
+            seed_count: 10,
+            tool: ToolKind::Streamline,
+        })
+        .expect("add rake");
+    let frame = alice.frame(false).expect("frame");
+    let rake = &frame.rakes[0];
+    println!(
+        "[alice] created rake {} with {} streamline paths in the frame",
+        rake.id,
+        frame.paths.len()
+    );
+    let grab_point = (rake.a + rake.b) * 0.5;
+
+    // Alice grabs the center; Bob tries the same handle and is refused.
+    alice
+        .send(&Command::Hand { position: grab_point, gesture: Gesture::Fist })
+        .expect("alice grab");
+    bob.send(&Command::Hand { position: grab_point, gesture: Gesture::Fist })
+        .expect("bob grab attempt");
+    let f = bob.frame(false).expect("frame");
+    println!(
+        "[bob]   rake owner is user {} (me: {}) -> {}",
+        f.rakes[0].owner,
+        bob.user_id(),
+        if f.rakes[0].owner == alice.user_id() {
+            "locked out, first come first served"
+        } else {
+            "UNEXPECTED"
+        }
+    );
+
+    // Alice drags; both clients observe the motion.
+    alice
+        .send(&Command::Hand {
+            position: grab_point + Vec3::new(0.0, 1.5, 0.0),
+            gesture: Gesture::Fist,
+        })
+        .expect("alice drag");
+    let fa = alice.frame(false).expect("frame");
+    let fb_ = bob.frame(false).expect("frame");
+    println!(
+        "[both]  rake center y after Alice's drag: alice sees {:.2}, bob sees {:.2}",
+        (fa.rakes[0].a.y + fa.rakes[0].b.y) * 0.5,
+        (fb_.rakes[0].a.y + fb_.rakes[0].b.y) * 0.5
+    );
+
+    // Alice releases; Bob grabs successfully.
+    alice
+        .send(&Command::Hand {
+            position: grab_point + Vec3::new(0.0, 1.5, 0.0),
+            gesture: Gesture::Open,
+        })
+        .expect("alice release");
+    bob.send(&Command::Hand {
+        position: grab_point + Vec3::new(0.0, 1.5, 0.0),
+        gesture: Gesture::Fist,
+    })
+    .expect("bob grab");
+    let f = bob.frame(false).expect("frame");
+    println!(
+        "[bob]   after Alice released, owner is user {} -> {}",
+        f.rakes[0].owner,
+        if f.rakes[0].owner == bob.user_id() { "got it" } else { "UNEXPECTED" }
+    );
+
+    // Bob drives the shared clock while Alice watches.
+    bob.send(&Command::Time(TimeCommand::Play)).expect("play");
+    for _ in 0..5 {
+        bob.frame(true).expect("tick");
+    }
+    let fa = alice.frame(false).expect("frame");
+    println!("[alice] shared clock advanced to timestep {} (driven by bob)", fa.timestep);
+
+    handle.shutdown();
+    println!("done.");
+}

@@ -1,0 +1,145 @@
+//! A full virtual-environment session, devices and all: the BOOM head
+//! tracker and DataGlove are simulated, their samples flow through the
+//! command protocol to a windtunnel server, and the returned geometry is
+//! rendered head-tracked in red/blue stereo — the complete figure-9
+//! workstation loop with synthetic hardware.
+//!
+//! The scripted user: looks around (BOOM joints move), reaches out,
+//! makes a fist near the rake center, drags the rake through the flow,
+//! releases, and watches the streamlines respond.
+//!
+//! ```sh
+//! cargo run --release --example vr_session
+//! ```
+
+use distributed_virtual_windtunnel as dvw;
+use dvw::cfd::tapered_cylinder::{generate_dataset, TaperedCylinderFlow};
+use dvw::flowfield::Dims;
+use dvw::storage::MemoryStore;
+use dvw::tracer::ToolKind;
+use dvw::vecmath::Vec3;
+use dvw::vr::boom::{Boom, BoomGeometry};
+use dvw::vr::glove::{bends_fist, bends_open, DataGlove, GloveCalibration, GloveReading};
+use dvw::vr::ppm::write_ppm;
+use dvw::vr::stereo::StereoCamera;
+use dvw::vr::Framebuffer;
+use dvw::windtunnel::client::Palette;
+use dvw::windtunnel::{serve, Command, ServerOptions, WindtunnelClient};
+use std::sync::Arc;
+
+fn main() {
+    // ---------------- server ----------------
+    let flow = TaperedCylinderFlow {
+        spec: dvw::cfd::OGridSpec {
+            dims: Dims::new(33, 17, 9),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    println!("[server] generating dataset...");
+    let dataset = generate_dataset(&flow, "vr", 8, 0.3).expect("generate");
+    let grid = dataset.grid().clone();
+    let handle = serve(
+        Arc::new(MemoryStore::from_dataset(dataset)),
+        grid,
+        ServerOptions { periodic_i: true, ..Default::default() },
+        "127.0.0.1:0",
+    )
+    .expect("serve");
+
+    // ---------------- workstation ----------------
+    let mut client = WindtunnelClient::connect(handle.addr()).expect("connect");
+    let bounds = client.hello().bounds();
+    println!(
+        "[client] in session; dataset bounds {:?} .. {:?}",
+        bounds.min, bounds.max
+    );
+
+    // The devices.
+    let mut boom = Boom::new(BoomGeometry::default());
+    let mut glove = DataGlove::new(GloveCalibration::default());
+
+    // A rake near the wake.
+    client
+        .send(&Command::AddRake {
+            a: Vec3::new(-2.5, 0.0, 2.0),
+            b: Vec3::new(-2.5, 0.0, 6.0),
+            seed_count: 8,
+            tool: ToolKind::Streamline,
+        })
+        .expect("add rake");
+    let rake_center = {
+        let f = client.frame(false).expect("frame");
+        (f.rakes[0].a + f.rakes[0].b) * 0.5
+    };
+
+    // Scripted session: 40 frames of head motion + a grab-drag-release.
+    let frames = 40usize;
+    let mut saved = 0usize;
+    for f in 0..frames {
+        let t = f as f32 / frames as f32;
+
+        // BOOM: the user slowly swings the display around the scene.
+        boom.set_angles([
+            -0.6 + 1.0 * t, // azimuth sweep
+            0.25,           // shoulder
+            -0.9,           // elbow
+            0.3 - 0.4 * t,  // head yaw
+            -0.15,          // head pitch
+            0.0,
+        ]);
+        let head = boom.head_pose();
+        client.send(&Command::HeadPose { pose: head }).expect("head");
+
+        // Glove: approach the rake (frames 5-12), fist and drag (13-28),
+        // release (29+).
+        let (hand_pos, bends) = if f < 13 {
+            let approach = t * 2.0;
+            (rake_center + Vec3::new(0.0, 2.0 - 2.0 * approach.min(1.0), 0.0), bends_open())
+        } else if f < 29 {
+            let drag = (f - 13) as f32 / 16.0;
+            (rake_center + Vec3::new(0.0, 1.2 * drag, 0.0), bends_fist())
+        } else {
+            (rake_center + Vec3::new(0.0, 1.2, 0.0), bends_open())
+        };
+        let gesture = glove.update(&GloveReading {
+            pose: dvw::vecmath::Pose::new(hand_pos, Default::default()),
+            bends,
+        });
+        client
+            .send(&Command::Hand { position: hand_pos, gesture })
+            .expect("hand");
+
+        // Fetch and render the frame from the tracked head pose. Scale
+        // the boom's ~2 m working volume up to scene scale.
+        let frame = client.frame(true).expect("frame");
+        if f % 10 == 0 || f == frames - 1 {
+            let mut cam = StereoCamera::new(dvw::vecmath::Pose {
+                position: head.position * 6.0 + Vec3::new(2.0, 0.0, 16.0),
+                orientation: head.orientation,
+            });
+            cam.aspect = 4.0 / 3.0;
+            let mut fb = Framebuffer::new(512, 384);
+            WindtunnelClient::render_stereo(&frame, &mut fb, &cam, &Palette::default());
+            let path = std::env::temp_dir().join(format!("dvw-vr-{saved:02}.ppm"));
+            write_ppm(&path, &fb).expect("write");
+            saved += 1;
+            println!(
+                "[client] frame {f}: gesture {:?}, rake owner {}, rake center y {:+.2}, {} paths -> {}",
+                gesture,
+                frame.rakes[0].owner,
+                (frame.rakes[0].a.y + frame.rakes[0].b.y) * 0.5,
+                frame.paths.len(),
+                path.display()
+            );
+        }
+    }
+
+    let f = client.frame(false).expect("frame");
+    println!(
+        "[client] session end: rake center moved to y = {:+.2} (dragged by the glove), owner now {}",
+        (f.rakes[0].a.y + f.rakes[0].b.y) * 0.5,
+        f.rakes[0].owner
+    );
+    handle.shutdown();
+}

@@ -1,0 +1,156 @@
+//! Concurrency stress: many clients hammering one server — the dlib
+//! serialization guarantee (§4) must keep the shared environment
+//! consistent under fire, and the pipeline must survive disconnects.
+
+use distributed_virtual_windtunnel as dvw;
+use dvw::flowfield::{dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims, VectorField};
+use dvw::storage::MemoryStore;
+use dvw::tracer::ToolKind;
+use dvw::vecmath::{Aabb, Vec3};
+use dvw::vr::Gesture;
+use dvw::windtunnel::{serve, Command, ServerOptions, TimeCommand, WindtunnelClient, WindtunnelHandle};
+use std::sync::Arc;
+
+fn uniform_server() -> WindtunnelHandle {
+    let dims = Dims::new(16, 9, 9);
+    let grid = CurvilinearGrid::cartesian(
+        dims,
+        Aabb::new(Vec3::ZERO, Vec3::new(15.0, 8.0, 8.0)),
+    )
+    .unwrap();
+    let meta = DatasetMeta {
+        name: "stress".into(),
+        dims,
+        timestep_count: 4,
+        dt: 0.1,
+        coords: VelocityCoords::Grid,
+    };
+    let fields = (0..4)
+        .map(|_| VectorField::from_fn(dims, |_, _, _| Vec3::X))
+        .collect();
+    let ds = Dataset::new(meta, grid.clone(), fields).unwrap();
+    serve(
+        Arc::new(MemoryStore::from_dataset(ds)),
+        grid,
+        ServerOptions::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap()
+}
+
+#[test]
+fn eight_clients_full_blast() {
+    let handle = uniform_server();
+    let addr = handle.addr();
+    let mut joins = Vec::new();
+    for t in 0..8u32 {
+        joins.push(std::thread::spawn(move || {
+            let mut c = WindtunnelClient::connect(addr).unwrap();
+            for i in 0..15 {
+                // Every client adds rakes, pokes time, moves its hand and
+                // reads frames, concurrently.
+                c.send(&Command::AddRake {
+                    a: Vec3::new(2.0, 2.0 + (t % 4) as f32, 4.0),
+                    b: Vec3::new(2.0, 3.0 + (t % 4) as f32, 4.0),
+                    seed_count: 2,
+                    tool: ToolKind::Streamline,
+                })
+                .unwrap();
+                c.send(&Command::Hand {
+                    position: Vec3::new(5.0, 4.0, 4.0),
+                    gesture: if i % 2 == 0 { Gesture::Fist } else { Gesture::Open },
+                })
+                .unwrap();
+                if t == 0 {
+                    c.send(&Command::Time(TimeCommand::Step(1))).unwrap();
+                }
+                let frame = c.frame(false).unwrap();
+                assert!(!frame.rakes.is_empty());
+            }
+            c.frame(false).unwrap().rakes.len()
+        }));
+    }
+    let counts: Vec<usize> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    // All 8×15 rakes exist and were visible by the end to the last
+    // finishers (monotone growth — nothing deletes).
+    assert!(counts.iter().max().unwrap() >= &60);
+
+    // A fresh observer sees exactly 120 rakes: nothing lost, nothing torn.
+    let mut observer = WindtunnelClient::connect(addr).unwrap();
+    let frame = observer.frame(false).unwrap();
+    assert_eq!(frame.rakes.len(), 8 * 15);
+    handle.shutdown();
+}
+
+#[test]
+fn abrupt_disconnects_release_locks() {
+    let handle = uniform_server();
+    let addr = handle.addr();
+    let mut a = WindtunnelClient::connect(addr).unwrap();
+    a.send(&Command::AddRake {
+        a: Vec3::new(4.0, 4.0, 4.0),
+        b: Vec3::new(6.0, 4.0, 4.0),
+        seed_count: 2,
+        tool: ToolKind::Streamline,
+    })
+    .unwrap();
+    a.send(&Command::Hand {
+        position: Vec3::new(5.0, 4.0, 4.0),
+        gesture: Gesture::Fist,
+    })
+    .unwrap();
+    let owner = a.frame(false).unwrap().rakes[0].owner;
+    assert_eq!(owner, a.user_id());
+    drop(a); // Drop sends Goodbye → lock released server-side.
+
+    let mut b = WindtunnelClient::connect(addr).unwrap();
+    let frame = b.frame(false).unwrap();
+    assert_eq!(frame.rakes[0].owner, 0);
+    // And b can take it.
+    b.send(&Command::Hand {
+        position: Vec3::new(5.0, 4.0, 4.0),
+        gesture: Gesture::Fist,
+    })
+    .unwrap();
+    assert_eq!(b.frame(false).unwrap().rakes[0].owner, b.user_id());
+    handle.shutdown();
+}
+
+#[test]
+fn frame_reads_scale_with_shared_cache() {
+    // Many concurrent readers of an unchanged environment must all get
+    // identical bytes (served from the revision cache).
+    let handle = uniform_server();
+    let addr = handle.addr();
+    let mut setup = WindtunnelClient::connect(addr).unwrap();
+    setup
+        .send(&Command::AddRake {
+            a: Vec3::new(2.0, 4.0, 4.0),
+            b: Vec3::new(2.0, 6.0, 4.0),
+            seed_count: 8,
+            tool: ToolKind::Streamline,
+        })
+        .unwrap();
+    let reference = setup.frame(false).unwrap();
+
+    let mut joins = Vec::new();
+    for _ in 0..6 {
+        let reference = reference.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut c = WindtunnelClient::connect(addr).unwrap();
+            for _ in 0..20 {
+                let f = c.frame(false).unwrap();
+                // Joining clients bump the revision (their presence is
+                // itself shared state), but the geometry must be
+                // identical for every reader.
+                assert_eq!(f.paths, reference.paths);
+                assert_eq!(f.rakes, reference.rakes);
+                assert_eq!(f.timestep, reference.timestep);
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    handle.shutdown();
+}

@@ -1,0 +1,160 @@
+//! End-to-end integration: generate a dataset, persist it, serve it from
+//! disk through cache + prefetch, drive a multi-user session over real
+//! sockets, and render the result — every crate in one flow.
+
+use distributed_virtual_windtunnel as dvw;
+use dvw::cfd::tapered_cylinder::{generate_dataset, TaperedCylinderFlow};
+use dvw::cfd::OGridSpec;
+use dvw::flowfield::{format, Dims};
+use dvw::storage::{CachedStore, DiskStore, TimestepStore};
+use dvw::tracer::ToolKind;
+use dvw::vecmath::Vec3;
+use dvw::vr::stereo::StereoCamera;
+use dvw::vr::{Framebuffer, Gesture};
+use dvw::windtunnel::client::Palette;
+use dvw::windtunnel::{serve, Command, ServerOptions, TimeCommand, WindtunnelClient};
+use std::sync::Arc;
+
+fn small_flow() -> TaperedCylinderFlow {
+    TaperedCylinderFlow {
+        spec: OGridSpec {
+            dims: Dims::new(25, 13, 7),
+            ..OGridSpec::default()
+        },
+        ..TaperedCylinderFlow::default()
+    }
+}
+
+#[test]
+fn full_pipeline_disk_to_pixels() {
+    // 1. Generate + persist.
+    let flow = small_flow();
+    let dataset = generate_dataset(&flow, "e2e", 6, 0.3).unwrap();
+    let dir = tempfile::tempdir().unwrap();
+    format::write_dataset(dir.path(), &dataset).unwrap();
+    let grid = dataset.grid().clone();
+
+    // 2. Serve from disk with an LRU window.
+    let disk = DiskStore::open(dir.path()).unwrap();
+    let store = Arc::new(CachedStore::new(disk, 4));
+    let handle = serve(
+        store,
+        grid,
+        ServerOptions {
+            periodic_i: true,
+            ..ServerOptions::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+
+    // 3. A client builds a scene and plays time.
+    let mut client = WindtunnelClient::connect(handle.addr()).unwrap();
+    assert_eq!(client.hello().dataset_name, "e2e");
+    assert_eq!(client.hello().timestep_count, 6);
+    client
+        .send(&Command::AddRake {
+            a: Vec3::new(-2.0, 0.0, 1.0),
+            b: Vec3::new(-2.0, 0.0, 5.0),
+            seed_count: 6,
+            tool: ToolKind::Streamline,
+        })
+        .unwrap();
+    client.send(&Command::Time(TimeCommand::Play)).unwrap();
+
+    let mut last_timestep = 0;
+    let mut total_points = 0usize;
+    for _ in 0..4 {
+        let frame = client.frame(true).unwrap();
+        last_timestep = frame.timestep;
+        total_points += frame.particle_count();
+        assert_eq!(frame.rakes.len(), 1);
+        assert!(!frame.paths.is_empty(), "streamlines must be produced");
+        // All geometry is physical-space and inside (near) the grid
+        // bounds.
+        let bounds = client.hello().bounds().inflated(1.0);
+        for p in &frame.paths {
+            for pt in &p.points {
+                assert!(bounds.contains(*pt), "{pt:?} outside {bounds:?}");
+            }
+        }
+    }
+    assert!(last_timestep > 0, "clock must have advanced");
+    assert!(total_points > 50);
+
+    // 4. Render the last frame to pixels.
+    let frame = client.frame(false).unwrap();
+    let mut fb = Framebuffer::new(128, 96);
+    let cam = StereoCamera::new(dvw::vecmath::Pose::new(
+        Vec3::new(0.0, 0.0, 30.0),
+        Default::default(),
+    ));
+    WindtunnelClient::render_stereo(&frame, &mut fb, &cam, &Palette::default());
+    assert!(fb.count_pixels(|c| c.r > 0 || c.b > 0) > 10);
+
+    handle.shutdown();
+}
+
+#[test]
+fn disk_and_memory_stores_agree_exactly() {
+    use dvw::storage::MemoryStore;
+    let flow = small_flow();
+    let dataset = generate_dataset(&flow, "agree", 4, 0.25).unwrap();
+    let dir = tempfile::tempdir().unwrap();
+    format::write_dataset(dir.path(), &dataset).unwrap();
+
+    let mem = MemoryStore::from_dataset(dataset);
+    let disk = DiskStore::open(dir.path()).unwrap();
+    for t in 0..4 {
+        let a = mem.fetch(t).unwrap();
+        let b = disk.fetch(t).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice(), "timestep {t} differs");
+    }
+}
+
+#[test]
+fn three_users_share_consistently() {
+    let flow = small_flow();
+    let dataset = generate_dataset(&flow, "trio", 4, 0.3).unwrap();
+    let grid = dataset.grid().clone();
+    let store = Arc::new(dvw::storage::MemoryStore::from_dataset(dataset));
+    let handle = serve(store, grid, ServerOptions { periodic_i: true, ..Default::default() }, "127.0.0.1:0").unwrap();
+
+    let mut users: Vec<WindtunnelClient> = (0..3)
+        .map(|_| WindtunnelClient::connect(handle.addr()).unwrap())
+        .collect();
+
+    users[0]
+        .send(&Command::AddRake {
+            a: Vec3::new(-2.0, 0.0, 1.0),
+            b: Vec3::new(-2.0, 0.0, 4.0),
+            seed_count: 4,
+            tool: ToolKind::Streamline,
+        })
+        .unwrap();
+
+    // Everyone sees the same revision and identical frames.
+    let frames: Vec<_> = users.iter_mut().map(|u| u.frame(false).unwrap()).collect();
+    assert_eq!(frames[0], frames[1]);
+    assert_eq!(frames[1], frames[2]);
+
+    // User 1 grabs, user 2 fails, user 0 observes the lock.
+    let center = (frames[0].rakes[0].a + frames[0].rakes[0].b) * 0.5;
+    let grab = |u: &mut WindtunnelClient| {
+        u.send(&Command::Hand {
+            position: center,
+            gesture: Gesture::Fist,
+        })
+        .unwrap()
+    };
+    grab(&mut users[1]);
+    grab(&mut users[2]);
+    let owner_ids: Vec<u64> = users
+        .iter_mut()
+        .map(|u| u.frame(false).unwrap().rakes[0].owner)
+        .collect();
+    let u1 = users[1].user_id();
+    assert!(owner_ids.iter().all(|&o| o == u1));
+
+    handle.shutdown();
+}

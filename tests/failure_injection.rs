@@ -1,0 +1,194 @@
+//! Failure injection: corrupt files, dead servers, byzantine peers.
+//! The 1992 system ran on a dedicated machine room; a 2026 open-source
+//! release has to survive hostile inputs.
+
+use distributed_virtual_windtunnel as dvw;
+use dvw::cfd::tapered_cylinder::{generate_dataset, TaperedCylinderFlow};
+use dvw::cfd::OGridSpec;
+use dvw::flowfield::{format, Dims};
+use dvw::storage::{DiskStore, TimestepStore};
+use dvw::tracer::ToolKind;
+use dvw::vecmath::Vec3;
+use dvw::windtunnel::{serve, Command, ServerOptions, WindtunnelClient};
+use std::io::Write;
+use std::sync::Arc;
+
+fn small_dataset() -> dvw::flowfield::Dataset {
+    let flow = TaperedCylinderFlow {
+        spec: OGridSpec {
+            dims: Dims::new(17, 9, 5),
+            ..OGridSpec::default()
+        },
+        ..TaperedCylinderFlow::default()
+    };
+    generate_dataset(&flow, "fault", 4, 0.3).unwrap()
+}
+
+#[test]
+fn corrupt_timestep_file_fails_cleanly_and_locally() {
+    let ds = small_dataset();
+    let dir = tempfile::tempdir().unwrap();
+    format::write_dataset(dir.path(), &ds).unwrap();
+
+    // Truncate timestep 2.
+    let victim = format::velocity_path(dir.path(), 2);
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..bytes.len() / 3]).unwrap();
+
+    let store = DiskStore::open(dir.path()).unwrap();
+    assert!(store.fetch(0).is_ok());
+    assert!(store.fetch(2).is_err(), "corrupt file must error");
+    assert!(store.fetch(3).is_ok(), "other timesteps unaffected");
+}
+
+#[test]
+fn wrong_magic_grid_file_rejected_at_open() {
+    let ds = small_dataset();
+    let dir = tempfile::tempdir().unwrap();
+    format::write_dataset(dir.path(), &ds).unwrap();
+    // Stomp the grid file header.
+    let grid_path = format::grid_path(dir.path());
+    let mut f = std::fs::OpenOptions::new().write(true).open(&grid_path).unwrap();
+    f.write_all(b"XXXX").unwrap();
+    drop(f);
+    assert!(DiskStore::open(dir.path()).is_err());
+}
+
+#[test]
+fn mismatched_grid_and_meta_rejected() {
+    let ds = small_dataset();
+    let dir = tempfile::tempdir().unwrap();
+    format::write_dataset(dir.path(), &ds).unwrap();
+    // Replace the meta with different dims.
+    let mut meta = ds.meta().clone();
+    meta.dims = Dims::new(4, 4, 4);
+    format::write_meta(&format::meta_path(dir.path()), &meta).unwrap();
+    assert!(DiskStore::open(dir.path()).is_err());
+}
+
+#[test]
+fn server_fetch_failure_reaches_client_as_error_not_hang() {
+    // Serve a dataset directory, then delete a timestep file out from
+    // under the server: the client's frame request must fail fast.
+    let ds = small_dataset();
+    let dir = tempfile::tempdir().unwrap();
+    format::write_dataset(dir.path(), &ds).unwrap();
+    let grid = ds.grid().clone();
+    let store = Arc::new(DiskStore::open(dir.path()).unwrap());
+    let handle = serve(store, grid, ServerOptions { periodic_i: true, ..Default::default() }, "127.0.0.1:0").unwrap();
+
+    let mut client = WindtunnelClient::connect(handle.addr()).unwrap();
+    client
+        .send(&Command::AddRake {
+            a: Vec3::new(-2.0, 0.0, 1.0),
+            b: Vec3::new(-2.0, 0.0, 3.0),
+            seed_count: 2,
+            tool: ToolKind::Streamline,
+        })
+        .unwrap();
+    // First frame works (timestep 0 exists).
+    assert!(client.frame(false).is_ok());
+    // Nuke timestep 1 and jump to it: the error must propagate.
+    std::fs::remove_file(format::velocity_path(dir.path(), 1)).unwrap();
+    client
+        .send(&Command::Time(dvw::windtunnel::TimeCommand::Jump(1)))
+        .unwrap();
+    let result = client.frame(false);
+    assert!(result.is_err(), "missing timestep must surface as an error");
+    // The session survives: jump back and keep working.
+    client
+        .send(&Command::Time(dvw::windtunnel::TimeCommand::Jump(0)))
+        .unwrap();
+    assert!(client.frame(false).is_ok());
+    handle.shutdown();
+}
+
+#[test]
+fn client_of_dead_server_errors_quickly() {
+    let ds = small_dataset();
+    let grid = ds.grid().clone();
+    let store = Arc::new(dvw::storage::MemoryStore::from_dataset(ds));
+    let handle = serve(store, grid, ServerOptions::default(), "127.0.0.1:0").unwrap();
+    let mut client = WindtunnelClient::connect(handle.addr()).unwrap();
+    assert!(client.frame(false).is_ok());
+    handle.shutdown();
+    // Server gone: next call errors (possibly after the OS notices), and
+    // must not panic or hang.
+    let start = std::time::Instant::now();
+    let r = client.frame(false);
+    assert!(r.is_err());
+    assert!(start.elapsed() < std::time::Duration::from_secs(5));
+}
+
+#[test]
+fn byzantine_bytes_on_the_dlib_port_dont_kill_the_server() {
+    let ds = small_dataset();
+    let grid = ds.grid().clone();
+    let store = Arc::new(dvw::storage::MemoryStore::from_dataset(ds));
+    let handle = serve(store, grid, ServerOptions::default(), "127.0.0.1:0").unwrap();
+
+    // A peer that sends garbage frames.
+    {
+        let mut sock = std::net::TcpStream::connect(handle.addr()).unwrap();
+        sock.write_all(&[0xFF; 64]).unwrap();
+        // (dropped: disconnect)
+    }
+    // A peer that announces an absurd frame length.
+    {
+        let mut sock = std::net::TcpStream::connect(handle.addr()).unwrap();
+        sock.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    }
+    // Honest clients still work.
+    let mut client = WindtunnelClient::connect(handle.addr()).unwrap();
+    assert!(client.frame(false).is_ok());
+    handle.shutdown();
+}
+
+#[test]
+fn governor_reins_in_oversized_scenes() {
+    use dvw::windtunnel::compute::ComputeConfig;
+    use dvw::tracer::TraceConfig;
+    // A server with a (deliberately absurd) 50 µs compute budget: after a
+    // few computed frames the governor must have cut the per-path point
+    // budget, so later frames carry fewer points than the first.
+    let ds = small_dataset();
+    let grid = ds.grid().clone();
+    let store = Arc::new(dvw::storage::MemoryStore::from_dataset(ds));
+    let opts = ServerOptions {
+        periodic_i: true,
+        frame_budget: Some(std::time::Duration::from_micros(50)),
+        compute: ComputeConfig {
+            trace: TraceConfig {
+                dt: 0.02,
+                max_points: 400,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let handle = serve(store, grid, opts, "127.0.0.1:0").unwrap();
+    let mut client = WindtunnelClient::connect(handle.addr()).unwrap();
+    client
+        .send(&Command::AddRake {
+            a: Vec3::new(-2.0, 0.0, 1.0),
+            b: Vec3::new(-2.0, 0.0, 3.0),
+            seed_count: 16,
+            tool: ToolKind::Streamline,
+        })
+        .unwrap();
+    let first = client.frame(false).unwrap().particle_count();
+    // Force recomputes (each Step bumps the revision).
+    let mut last = first;
+    for t in 0..6 {
+        client
+            .send(&Command::Time(dvw::windtunnel::TimeCommand::Step(if t % 2 == 0 { 1 } else { -1 })))
+            .unwrap();
+        last = client.frame(false).unwrap().particle_count();
+    }
+    assert!(
+        last < first,
+        "governor should shrink the scene: first {first}, last {last}"
+    );
+    handle.shutdown();
+}

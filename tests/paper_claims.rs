@@ -1,0 +1,152 @@
+//! The paper's quantitative claims, checked as executable assertions.
+//! Each test cites the section it reproduces.
+
+use distributed_virtual_windtunnel as dvw;
+use dvw::flowfield::{DatasetMeta, Dims};
+use dvw::storage::constraints as c;
+use dvw::storage::DiskModel;
+use dvw::tracer::benchmark as b;
+use std::time::Duration;
+
+#[test]
+fn section1_tapered_cylinder_size() {
+    // §1: "Each timestep consists of about one and a half megabytes of
+    // velocity data, and 800 timesteps were computed."
+    let meta = DatasetMeta::tapered_cylinder();
+    let mb = meta.dims.timestep_bytes() as f64 / (1024.0 * 1024.0);
+    assert!((mb - 1.5).abs() < 0.01, "timestep = {mb} MiB");
+    assert_eq!(meta.timestep_count, 800);
+    // Total ≈ 1.2 decimal GB — the "four times the workstation's 256 MB"
+    // regime of §5.1.
+    assert!(meta.total_velocity_bytes() > 250 * 1024 * 1024 * 4);
+}
+
+#[test]
+fn section12_frame_budget() {
+    // §1.2: react in < 1/8 s; ten frames/second desired.
+    assert_eq!(c::REACTION_BUDGET, Duration::from_millis(125));
+    assert_eq!(c::TARGET_FPS, 10.0);
+    assert!(b::FRAME_BUDGET <= c::REACTION_BUDGET);
+}
+
+#[test]
+fn table1_all_rows() {
+    // Bytes/frame at 12 B/particle.
+    assert_eq!(c::frame_bytes(10_000), 120_000);
+    assert_eq!(c::frame_bytes(50_000), 600_000);
+    assert_eq!(c::frame_bytes(100_000), 1_200_000);
+    // Bandwidth (binary MB/s, as printed).
+    assert!((c::required_network_mbytes_per_sec(10_000, 10.0) - 1.144).abs() < 1e-3);
+    assert!((c::required_network_mbytes_per_sec(50_000, 10.0) - 5.722).abs() < 1e-3);
+    // (The paper's third row is arithmetically inconsistent; see
+    // EXPERIMENTS.md.)
+}
+
+#[test]
+fn section51_stereo_projection_argument() {
+    // §5.1: sending 3-D points is 12 B/pt; stereo screen coordinates
+    // would be two projections × 8 B = 16 B/pt. 12 < 16 ⇒ world-space
+    // points win. (This is the design argument, as arithmetic.)
+    let world_bytes_per_point = 12u32;
+    let mono_projected = 8u32;
+    let stereo_projected = 2 * mono_projected;
+    assert!(world_bytes_per_point < stereo_projected);
+}
+
+#[test]
+fn table2_all_rows() {
+    for (points, bytes, per_gib) in [
+        (131_072u64, 1_572_864u64, 682u64),
+        (1_000_000, 12_000_000, 89),
+        (3_000_000, 36_000_000, 29),
+    ] {
+        assert_eq!(c::timestep_bytes(points), bytes);
+        assert_eq!(c::timesteps_per_gibibyte(points), per_gib);
+    }
+}
+
+#[test]
+fn section51_convex_disk_observations() {
+    // "The Convex C3240 with its disk I/O bandwidth of 30
+    // megabytes/second can load datasets of up to about three and a
+    // quarter megabytes in 1/8th of a second."
+    let max = c::max_timestep_bytes_within_budget(30.0e6, c::REACTION_BUDGET);
+    assert!(max >= 3_250_000, "max loadable = {max}");
+    // "the hovering Harrier … about 36 megabytes per timestep …
+    // will require a disk bandwidth of about 600 megabytes per second."
+    let harrier = c::required_disk_bandwidth(3_000_000, 10.0);
+    assert!((harrier - 360.0e6).abs() < 1.0, "{harrier}");
+    // At 10 fps a 36 MB timestep needs 360 MB/s by the 12 B/pt rule; the
+    // paper's 600 MB/s figure uses the Harrier's full q-file (36 MB of
+    // *velocity* plus the other flow quantities). Either way the Convex
+    // cannot stream it:
+    assert!(DiskModel::convex_c3240().timesteps_per_sec(36_000_000) < 1.0);
+}
+
+#[test]
+fn table3_all_rows() {
+    let rows = [
+        (0.25, 8_000usize, 40usize),
+        (0.19, 10_526, 52),
+        (0.13, 15_384, 76),
+        (0.10, 20_000, 100),
+        (0.05, 40_000, 200),
+    ];
+    for (secs, particles, lines) in rows {
+        let t = Duration::from_secs_f64(secs);
+        assert_eq!(b::max_particles(t, b::PAPER_PARTICLES, b::FRAME_BUDGET), particles);
+        assert_eq!(
+            b::max_streamlines_200(t, b::PAPER_PARTICLES, b::FRAME_BUDGET),
+            lines
+        );
+    }
+}
+
+#[test]
+fn section53_benchmark_definition() {
+    // "a benchmark computation of 100 streamlines each containing 200
+    // points … 20,000 points with a transfer over the networks of
+    // 240,000 bytes".
+    assert_eq!(b::PAPER_STREAMLINES, 100);
+    assert_eq!(b::PAPER_POINTS, 200);
+    assert_eq!(b::PAPER_PARTICLES, 20_000);
+    assert_eq!(b::PAPER_WIRE_BYTES, 240_000);
+}
+
+#[test]
+fn section53_vectorized_beats_scalar_on_this_substrate() {
+    // The §5.3 finding, measured live on a small field: the SoA lockstep
+    // kernel outperforms the AoS per-streamline kernel at equal thread
+    // count. (Run in release for meaningful margins; in debug we only
+    // require it not be dramatically slower.)
+    use dvw::flowfield::VectorField;
+    use dvw::tracer::{Domain, TraceConfig};
+    use dvw::vecmath::Vec3;
+
+    let dims = Dims::new(48, 48, 16);
+    let field = VectorField::from_fn(dims, |i, j, _| {
+        let c = 23.5;
+        Vec3::new(-(j as f32 - c) * 0.05, (i as f32 - c) * 0.05, 0.02)
+    });
+    let bench = b::BenchField::new(field, Domain::boxed(dims));
+    let seeds = b::benchmark_seeds(dims, 100);
+    let cfg = TraceConfig {
+        dt: 0.3,
+        max_points: 200,
+        ..Default::default()
+    };
+    // Warm up and take best-of-3 for each kernel.
+    let best = |k: b::Kernel| {
+        let _ = b::run_kernel(k, &bench, &seeds, &cfg);
+        (0..3)
+            .map(|_| b::run_kernel(k, &bench, &seeds, &cfg).1)
+            .min()
+            .unwrap()
+    };
+    let scalar = best(b::Kernel::Scalar);
+    let vector = best(b::Kernel::Vector);
+    assert!(
+        vector.as_secs_f64() < scalar.as_secs_f64() * if cfg!(debug_assertions) { 2.5 } else { 1.1 },
+        "vector {vector:?} vs scalar {scalar:?}"
+    );
+}

@@ -32,8 +32,20 @@ fn bench_frame_codec(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("encode", particles), &frame, |b, f| {
             b.iter(|| black_box(f.encode()))
         });
+        g.bench_with_input(
+            BenchmarkId::new("encode_into_reused", particles),
+            &frame,
+            |b, f| {
+                let mut scratch = bytes::BytesMut::new();
+                b.iter(|| {
+                    scratch.clear();
+                    f.encode_into(&mut scratch);
+                    black_box(scratch.len())
+                })
+            },
+        );
         g.bench_with_input(BenchmarkId::new("decode", particles), &encoded, |b, e| {
-            b.iter(|| black_box(GeometryFrame::decode(e.clone()).unwrap()))
+            b.iter(|| black_box(GeometryFrame::decode(e).unwrap()))
         });
     }
     g.finish();

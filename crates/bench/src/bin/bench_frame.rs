@@ -1,0 +1,369 @@
+//! Frame-pipeline benchmark: bulk slab point serialization vs the
+//! per-element baseline, plus end-to-end cache-hit frame latency against
+//! a live server. Emits `BENCH_frame.json` in the working directory.
+//!
+//! The per-element codec below replicates the exact wire layout of
+//! `GeometryFrame` (the protocol is unchanged — the slab path must
+//! produce identical bytes, which is asserted before timing anything).
+
+use bytes::{Bytes, BytesMut};
+use dlib::wire::{WireReader, WireWrite};
+use flowfield::{dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims, VectorField};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use storage::MemoryStore;
+use tracer::{ToolKind, TraceConfig};
+use vecmath::{Aabb, Pose, Vec3};
+use windtunnel::client::WindtunnelClient;
+use windtunnel::compute::ComputeConfig;
+use windtunnel::proto::{Command, GeometryFrame, PathKind, PathMsg};
+use windtunnel::server::{serve, ServerOptions};
+
+// ---------------------------------------------------------------------
+// Per-element reference codec (the pre-slab wire path, byte-identical)
+
+fn put_vec3(b: &mut BytesMut, v: Vec3) {
+    b.put_f32_le_(v.x);
+    b.put_f32_le_(v.y);
+    b.put_f32_le_(v.z);
+}
+
+fn get_vec3(r: &mut WireReader) -> Vec3 {
+    Vec3::new(
+        r.f32_le().unwrap(),
+        r.f32_le().unwrap(),
+        r.f32_le().unwrap(),
+    )
+}
+
+fn tool_tag(t: ToolKind) -> u32 {
+    match t {
+        ToolKind::Streamline => 0,
+        ToolKind::ParticlePath => 1,
+        ToolKind::Streakline => 2,
+    }
+}
+
+fn kind_tag(k: PathKind) -> u32 {
+    match k {
+        PathKind::Streamline => 0,
+        PathKind::ParticlePath => 1,
+        PathKind::Streak => 2,
+    }
+}
+
+fn encode_per_element(f: &GeometryFrame) -> Bytes {
+    let mut b = BytesMut::with_capacity(64 + f.path_payload_bytes());
+    b.put_u32_le_(f.timestep);
+    b.put_f32_le_(f.time);
+    b.put_u64_le_(f.revision);
+    b.put_u32_le_(f.rakes.len() as u32);
+    for rk in &f.rakes {
+        b.put_u32_le_(rk.id);
+        put_vec3(&mut b, rk.a);
+        put_vec3(&mut b, rk.b);
+        b.put_u32_le_(rk.seed_count);
+        b.put_u32_le_(tool_tag(rk.tool));
+        b.put_u64_le_(rk.owner);
+    }
+    b.put_u32_le_(f.paths.len() as u32);
+    for p in &f.paths {
+        b.put_u32_le_(p.rake_id);
+        b.put_u32_le_(kind_tag(p.kind));
+        b.put_u32_le_(p.points.len() as u32);
+        for pt in &p.points {
+            put_vec3(&mut b, *pt);
+        }
+    }
+    b.put_u32_le_(f.users.len() as u32);
+    for u in &f.users {
+        b.put_u64_le_(u.id);
+        put_vec3(&mut b, u.head.position);
+        b.put_f32_le_(u.head.orientation.w);
+        b.put_f32_le_(u.head.orientation.x);
+        b.put_f32_le_(u.head.orientation.y);
+        b.put_f32_le_(u.head.orientation.z);
+    }
+    b.freeze()
+}
+
+/// Per-element decode of the paths section (the hot part; envelope
+/// decoding is identical in both codecs). Panics on malformed input —
+/// this is a benchmark over known-good bytes, not a boundary.
+fn decode_paths_per_element(buf: &[u8], skip_rakes: usize) -> Vec<PathMsg> {
+    let mut r = WireReader::new(buf);
+    r.u32_le().unwrap(); // timestep
+    r.f32_le().unwrap(); // time
+    r.u64_le().unwrap(); // revision
+    let n_rakes = r.u32_le().unwrap();
+    assert_eq!(n_rakes as usize, skip_rakes);
+    for _ in 0..n_rakes {
+        r.take(4 + 12 + 12 + 4 + 4 + 8).unwrap();
+    }
+    let n_paths = r.u32_le().unwrap() as usize;
+    let mut paths = Vec::with_capacity(n_paths);
+    for _ in 0..n_paths {
+        let rake_id = r.u32_le().unwrap();
+        let kind = match r.u32_le().unwrap() {
+            0 => PathKind::Streamline,
+            1 => PathKind::ParticlePath,
+            _ => PathKind::Streak,
+        };
+        let n = r.u32_le().unwrap() as usize;
+        let mut points = Vec::with_capacity(n);
+        for _ in 0..n {
+            points.push(get_vec3(&mut r));
+        }
+        paths.push(PathMsg {
+            rake_id,
+            kind,
+            points,
+        });
+    }
+    paths
+}
+
+// ---------------------------------------------------------------------
+// Timing
+
+/// Best-of-three seconds-per-iteration, calibrated to ~80 ms per pass.
+fn time_it<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-7);
+    let iters = ((0.08 / once) as usize).clamp(1, 100_000);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+fn frame_with(particles: usize) -> GeometryFrame {
+    // 50 paths, matching a 50-seed rake — realistic path granularity.
+    let paths = 50usize;
+    let per = particles / paths;
+    GeometryFrame {
+        timestep: 3,
+        time: 0.15,
+        revision: 42,
+        rakes: vec![],
+        paths: (0..paths as u32)
+            .map(|pi| PathMsg {
+                rake_id: 1,
+                kind: PathKind::Streamline,
+                points: (0..per)
+                    .map(|i| Vec3::new(i as f32 * 0.1, pi as f32, 3.0))
+                    .collect(),
+            })
+            .collect(),
+        users: vec![],
+    }
+}
+
+struct Row {
+    particles: usize,
+    bytes: usize,
+    bulk_encode_s: f64,
+    bulk_decode_s: f64,
+    ref_encode_s: f64,
+    ref_decode_s: f64,
+}
+
+impl Row {
+    fn bulk_encdec_pts(&self) -> f64 {
+        self.particles as f64 / (self.bulk_encode_s + self.bulk_decode_s)
+    }
+    fn ref_encdec_pts(&self) -> f64 {
+        self.particles as f64 / (self.ref_encode_s + self.ref_decode_s)
+    }
+    fn speedup(&self) -> f64 {
+        self.bulk_encdec_pts() / self.ref_encdec_pts()
+    }
+}
+
+fn codec_rows() -> Vec<Row> {
+    [10_000usize, 50_000, 100_000]
+        .into_iter()
+        .map(|particles| {
+            let frame = frame_with(particles);
+            let encoded = frame.encode();
+            let reference = encode_per_element(&frame);
+            assert_eq!(
+                &encoded[..],
+                &reference[..],
+                "slab codec must be byte-identical to the per-element wire format"
+            );
+            let mut scratch = BytesMut::new();
+            let bulk_encode_s = time_it(|| {
+                scratch.clear();
+                frame.encode_into(&mut scratch);
+                std::hint::black_box(scratch.len());
+            });
+            let bulk_decode_s = time_it(|| {
+                std::hint::black_box(GeometryFrame::decode(&encoded).unwrap());
+            });
+            let ref_encode_s = time_it(|| {
+                std::hint::black_box(encode_per_element(&frame).len());
+            });
+            let ref_decode_s = time_it(|| {
+                std::hint::black_box(decode_paths_per_element(&encoded, 0).len());
+            });
+            Row {
+                particles,
+                bytes: encoded.len(),
+                bulk_encode_s,
+                bulk_decode_s,
+                ref_encode_s,
+                ref_decode_s,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Live-server cache latency
+
+struct CacheLatency {
+    cold_us: f64,
+    frame_hit_us: f64,
+    geom_hit_us: f64,
+    frame_bytes: usize,
+}
+
+fn cache_latency() -> CacheLatency {
+    let dims = Dims::new(32, 17, 17);
+    let grid = CurvilinearGrid::cartesian(
+        dims,
+        Aabb::new(Vec3::ZERO, Vec3::new(31.0, 16.0, 16.0)),
+    )
+    .unwrap();
+    let meta = DatasetMeta {
+        name: "bench".into(),
+        dims,
+        timestep_count: 4,
+        dt: 0.1,
+        coords: VelocityCoords::Grid,
+    };
+    let fields = (0..4)
+        .map(|_| VectorField::from_fn(dims, |_, j, k| Vec3::new(1.0, (j as f32).sin() * 0.1, (k as f32).cos() * 0.1)))
+        .collect();
+    let ds = Dataset::new(meta, grid.clone(), fields).unwrap();
+    let store = Arc::new(MemoryStore::from_dataset(ds));
+    let opts = ServerOptions {
+        compute: ComputeConfig {
+            trace: TraceConfig {
+                dt: 0.25,
+                max_points: 200,
+                ..TraceConfig::default()
+            },
+            ..ComputeConfig::default()
+        },
+        ..ServerOptions::default()
+    };
+    let handle = serve(store, grid, opts, "127.0.0.1:0").unwrap();
+    let mut client = WindtunnelClient::connect(handle.addr()).unwrap();
+    client
+        .send(&Command::AddRake {
+            a: Vec3::new(1.0, 2.0, 8.0),
+            b: Vec3::new(1.0, 14.0, 8.0),
+            seed_count: 50,
+            tool: ToolKind::Streamline,
+        })
+        .unwrap();
+
+    // Cold: first computation of this revision (geometry + encode).
+    let t = Instant::now();
+    let frame = client.frame(false).unwrap();
+    let cold_us = t.elapsed().as_secs_f64() * 1e6;
+    let frame_bytes = frame.encode().len();
+
+    // Whole-frame cache hit: identical revision, served from bytes.
+    let frame_hit_us = time_it(|| {
+        std::hint::black_box(client.frame(false).unwrap());
+    }) * 1e6;
+
+    // Geometry-cache hit: every request mutates a head pose (revision
+    // moves, frame cache misses) but no rake geometry changes.
+    let mut tick = 0u32;
+    let geom_hit_us = time_it(|| {
+        tick += 1;
+        client
+            .send(&Command::HeadPose {
+                pose: Pose::new(Vec3::new(0.0, tick as f32 * 1e-3, 5.0), Default::default()),
+            })
+            .unwrap();
+        std::hint::black_box(client.frame(false).unwrap());
+    }) * 1e6;
+
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.geom_misses, 0,
+        "head-pose churn must be served from the geometry cache"
+    );
+    handle.shutdown();
+    CacheLatency {
+        cold_us,
+        frame_hit_us,
+        geom_hit_us,
+        frame_bytes,
+    }
+}
+
+fn main() {
+    let rows = codec_rows();
+    let cache = cache_latency();
+
+    let mut json = String::from("{\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"particles\": {}, \"bytes\": {}, \
+             \"bulk\": {{\"encode_us\": {:.2}, \"decode_us\": {:.2}, \"encdec_points_per_s\": {:.0}, \"encdec_bytes_per_s\": {:.0}}}, \
+             \"per_element\": {{\"encode_us\": {:.2}, \"decode_us\": {:.2}, \"encdec_points_per_s\": {:.0}, \"encdec_bytes_per_s\": {:.0}}}, \
+             \"speedup_encdec\": {:.2}}}{}",
+            r.particles,
+            r.bytes,
+            r.bulk_encode_s * 1e6,
+            r.bulk_decode_s * 1e6,
+            r.bulk_encdec_pts(),
+            r.bytes as f64 / (r.bulk_encode_s + r.bulk_decode_s),
+            r.ref_encode_s * 1e6,
+            r.ref_decode_s * 1e6,
+            r.ref_encdec_pts(),
+            r.bytes as f64 / (r.ref_encode_s + r.ref_decode_s),
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  ],\n  \"cache\": {{\"cold_frame_us\": {:.1}, \"frame_hit_us\": {:.1}, \"geom_hit_frame_us\": {:.1}, \"frame_bytes\": {}}}\n}}",
+        cache.cold_us, cache.frame_hit_us, cache.geom_hit_us, cache.frame_bytes
+    );
+    std::fs::write("BENCH_frame.json", &json).expect("write BENCH_frame.json");
+    print!("{json}");
+
+    for r in &rows {
+        eprintln!(
+            "{:>7} particles: bulk {:.1} Mpts/s vs per-element {:.1} Mpts/s ({:.2}x)",
+            r.particles,
+            r.bulk_encdec_pts() / 1e6,
+            r.ref_encdec_pts() / 1e6,
+            r.speedup()
+        );
+    }
+    let last = rows.last().unwrap();
+    if last.speedup() < 2.0 {
+        eprintln!(
+            "WARNING: 100k-row encode+decode speedup {:.2}x is below the 2x target",
+            last.speedup()
+        );
+    }
+}

@@ -61,13 +61,18 @@ impl Call {
     }
 
     pub fn decode(buf: Bytes) -> Result<Call> {
-        let mut r = WireReader::new(buf);
+        let mut r = WireReader::new(&buf);
         let seq = r.u64_le()?;
         let procedure = r.u32_le()?;
-        let args = r.bytes()?;
-        if r.remaining() != 0 {
+        let len = r.u32_le()? as usize;
+        if r.remaining() < len {
+            return Err(DlibError::Protocol("truncated call args".into()));
+        }
+        if r.remaining() != len {
             return Err(DlibError::Protocol("trailing bytes after call".into()));
         }
+        // Zero-copy: the args are a view of the incoming frame buffer.
+        let args = buf.slice(buf.len() - len..);
         Ok(Call { seq, procedure, args })
     }
 }
@@ -106,13 +111,18 @@ impl Reply {
     }
 
     pub fn decode(buf: Bytes) -> Result<Reply> {
-        let mut r = WireReader::new(buf);
+        let mut r = WireReader::new(&buf);
         let seq = r.u64_le()?;
         let status = Status::from_u32(r.u32_le()?)?;
-        let payload = r.bytes()?;
-        if r.remaining() != 0 {
+        let len = r.u32_le()? as usize;
+        if r.remaining() < len {
+            return Err(DlibError::Protocol("truncated reply payload".into()));
+        }
+        if r.remaining() != len {
             return Err(DlibError::Protocol("trailing bytes after reply".into()));
         }
+        // Zero-copy: the payload is a view of the incoming frame buffer.
+        let payload = buf.slice(buf.len() - len..);
         Ok(Reply { seq, status, payload })
     }
 

@@ -121,7 +121,7 @@ pub fn register_segment_procedures<S: Send + 'static>(
 ) {
     let t = table.clone();
     server.register(PROC_SEG_ALLOC, move |state, _s: Session, args| {
-        let mut r = WireReader::new(Bytes::copy_from_slice(args));
+        let mut r = WireReader::new(args);
         let size = r.u64_le().map_err(|e| e.to_string())?;
         let id = t(state).alloc(size)?;
         let mut out = BytesMut::new();
@@ -130,16 +130,16 @@ pub fn register_segment_procedures<S: Send + 'static>(
     });
     let t = table.clone();
     server.register(PROC_SEG_WRITE, move |state, _s, args| {
-        let mut r = WireReader::new(Bytes::copy_from_slice(args));
+        let mut r = WireReader::new(args);
         let id = r.u64_le().map_err(|e| e.to_string())?;
         let offset = r.u64_le().map_err(|e| e.to_string())?;
         let data = r.bytes().map_err(|e| e.to_string())?;
-        t(state).write(id, offset, &data)?;
+        t(state).write(id, offset, data)?;
         Ok(Bytes::new())
     });
     let t = table.clone();
     server.register(PROC_SEG_READ, move |state, _s, args| {
-        let mut r = WireReader::new(Bytes::copy_from_slice(args));
+        let mut r = WireReader::new(args);
         let id = r.u64_le().map_err(|e| e.to_string())?;
         let offset = r.u64_le().map_err(|e| e.to_string())?;
         let len = r.u64_le().map_err(|e| e.to_string())?;
@@ -147,7 +147,7 @@ pub fn register_segment_procedures<S: Send + 'static>(
         Ok(Bytes::copy_from_slice(data))
     });
     server.register(PROC_SEG_FREE, move |state, _s, args| {
-        let mut r = WireReader::new(Bytes::copy_from_slice(args));
+        let mut r = WireReader::new(args);
         let id = r.u64_le().map_err(|e| e.to_string())?;
         table(state).free(id)?;
         Ok(Bytes::new())
@@ -164,7 +164,7 @@ pub mod client_ops {
         let mut args = BytesMut::new();
         args.put_u64_le_(size);
         let out = c.call(PROC_SEG_ALLOC, &args)?;
-        let mut r = WireReader::new(out);
+        let mut r = WireReader::new(&out);
         r.u64_le()
     }
 

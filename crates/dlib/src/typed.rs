@@ -47,7 +47,7 @@ pub trait WireEncode {
 pub trait WireDecode: Sized {
     fn decode_from(r: &mut WireReader) -> Result<Self>;
 
-    fn decode(buf: Bytes) -> Result<Self> {
+    fn decode(buf: &[u8]) -> Result<Self> {
         let mut r = WireReader::new(buf);
         let v = Self::decode_from(&mut r)?;
         if r.remaining() != 0 {
@@ -216,7 +216,7 @@ where
     F: Fn(&mut S, Session, Args) -> std::result::Result<Ret, String> + Send + 'static,
 {
     server.register(id, move |state, session, raw| {
-        let args = Args::decode(Bytes::copy_from_slice(raw)).map_err(|e| e.to_string())?;
+        let args = Args::decode(raw).map_err(|e| e.to_string())?;
         let ret = f(state, session, args)?;
         Ok(ret.encode())
     });
@@ -229,7 +229,7 @@ where
     Ret: WireDecode,
 {
     let reply = client.call(id, &args.encode())?;
-    Ret::decode(reply)
+    Ret::decode(&reply)
 }
 
 #[cfg(test)]
@@ -238,7 +238,7 @@ mod tests {
 
     fn roundtrip<T: WireEncode + WireDecode + PartialEq + std::fmt::Debug>(v: T) {
         let enc = v.encode();
-        let back = T::decode(enc).unwrap();
+        let back = T::decode(&enc).unwrap();
         assert_eq!(back, v);
     }
 
@@ -276,14 +276,14 @@ mod tests {
         let mut b = BytesMut::new();
         7u32.encode_to(&mut b);
         9u32.encode_to(&mut b);
-        assert!(u32::decode(b.freeze()).is_err());
+        assert!(u32::decode(&b.freeze()).is_err());
     }
 
     #[test]
     fn bad_bool_rejected() {
         let mut b = BytesMut::new();
         5u32.encode_to(&mut b);
-        assert!(bool::decode(b.freeze()).is_err());
+        assert!(bool::decode(&b.freeze()).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! asking us to allocate gigabytes.
 
 use crate::{DlibError, Result};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use std::io::{Read, Write};
 
 /// Maximum frame payload: comfortably above the largest geometry frame
@@ -70,55 +70,115 @@ impl WireWrite for BytesMut {
 }
 
 /// Primitive decoders with bounds checking.
-pub struct WireReader {
-    buf: Bytes,
+///
+/// Borrows the message rather than owning it, so decoders can run
+/// directly over a `&[u8]` (e.g. the argument slice a server procedure
+/// receives) without first copying into an owned buffer. `Bytes` derefs
+/// to `[u8]`, so `WireReader::new(&bytes)` works unchanged.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
 }
 
-impl WireReader {
-    pub fn new(buf: Bytes) -> WireReader {
+impl<'a> WireReader<'a> {
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
         WireReader { buf }
     }
 
     pub fn remaining(&self) -> usize {
-        self.buf.remaining()
+        self.buf.len()
     }
 
     fn need(&self, n: usize) -> Result<()> {
-        if self.buf.remaining() < n {
+        if self.buf.len() < n {
             Err(DlibError::Protocol(format!(
                 "truncated message: needed {n} bytes, have {}",
-                self.buf.remaining()
+                self.buf.len()
             )))
         } else {
             Ok(())
         }
     }
 
+    /// Consume exactly `n` bytes after a single bounds check — the slab
+    /// primitive bulk decoders build on.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.need(n)?;
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
     pub fn u32_le(&mut self) -> Result<u32> {
-        self.need(4)?;
-        Ok(self.buf.get_u32_le())
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     pub fn u64_le(&mut self) -> Result<u64> {
-        self.need(8)?;
-        Ok(self.buf.get_u64_le())
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     pub fn f32_le(&mut self) -> Result<f32> {
-        self.need(4)?;
-        Ok(self.buf.get_f32_le())
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    pub fn bytes(&mut self) -> Result<Bytes> {
+    /// Length-prefixed byte run, borrowed from the message.
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
         let len = self.u32_le()? as usize;
-        self.need(len)?;
-        Ok(self.buf.copy_to_bytes(len))
+        self.take(len)
     }
 
     pub fn string(&mut self) -> Result<String> {
         let b = self.bytes()?;
         String::from_utf8(b.to_vec())
             .map_err(|_| DlibError::Protocol("string is not UTF-8".into()))
+    }
+
+    /// Bulk-decode `n` f32 triples (12 bytes each, little-endian) after a
+    /// single bounds check for the whole slab. The per-triple conversion
+    /// uses `from_le_bytes` on fixed-size chunks, which the compiler
+    /// reduces to plain loads on little-endian targets — no per-element
+    /// `Result` or length test survives in the hot loop.
+    pub fn f32x3_slab(&mut self, n: usize) -> Result<impl ExactSizeIterator<Item = [f32; 3]> + 'a> {
+        let slab = self.take(n * 12)?;
+        Ok(slab.chunks_exact(12).map(|c| {
+            [
+                f32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                f32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+                f32::from_le_bytes([c[8], c[9], c[10], c[11]]),
+            ]
+        }))
+    }
+}
+
+/// Bulk-encode f32 triples (12 bytes each, little-endian). Triples are
+/// staged through a stack scratch block and appended with one
+/// `extend_from_slice` per block instead of one reserve/append cycle per
+/// float — safe on any endianness, and on little-endian targets the
+/// `to_le_bytes` copies compile to plain stores.
+pub fn put_f32x3_slab<I>(b: &mut BytesMut, triples: I)
+where
+    I: ExactSizeIterator<Item = [f32; 3]>,
+{
+    const PER_BLOCK: usize = 128; // 1536-byte stack scratch
+    b.reserve(triples.len() * 12);
+    let mut scratch = [0u8; PER_BLOCK * 12];
+    let mut off = 0;
+    for t in triples {
+        scratch[off..off + 4].copy_from_slice(&t[0].to_le_bytes());
+        scratch[off + 4..off + 8].copy_from_slice(&t[1].to_le_bytes());
+        scratch[off + 8..off + 12].copy_from_slice(&t[2].to_le_bytes());
+        off += 12;
+        if off == scratch.len() {
+            b.put_slice(&scratch);
+            off = 0;
+        }
+    }
+    if off > 0 {
+        b.put_slice(&scratch[..off]);
     }
 }
 
@@ -180,12 +240,13 @@ mod tests {
         b.put_f32_le_(2.5);
         b.put_str_("windtunnel");
         b.put_bytes_(&[1, 2, 3]);
-        let mut r = WireReader::new(b.freeze());
+        let buf = b.freeze();
+        let mut r = WireReader::new(&buf);
         assert_eq!(r.u32_le().unwrap(), 42);
         assert_eq!(r.u64_le().unwrap(), 1 << 40);
         assert_eq!(r.f32_le().unwrap(), 2.5);
         assert_eq!(r.string().unwrap(), "windtunnel");
-        assert_eq!(&r.bytes().unwrap()[..], &[1, 2, 3]);
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
         assert_eq!(r.remaining(), 0);
     }
 
@@ -193,13 +254,15 @@ mod tests {
     fn truncated_primitives_error() {
         let mut b = BytesMut::new();
         b.put_u32_le_(7);
-        let mut r = WireReader::new(b.freeze());
+        let buf = b.freeze();
+        let mut r = WireReader::new(&buf);
         assert!(r.u64_le().is_err());
         // Bad embedded length.
         let mut b = BytesMut::new();
         b.put_u32_le(1000); // claims 1000 bytes follow
         b.put_slice(b"xy");
-        let mut r = WireReader::new(b.freeze());
+        let buf = b.freeze();
+        let mut r = WireReader::new(&buf);
         assert!(r.bytes().is_err());
     }
 
@@ -207,7 +270,57 @@ mod tests {
     fn non_utf8_string_rejected() {
         let mut b = BytesMut::new();
         b.put_bytes_(&[0xff, 0xfe, 0x00]);
-        let mut r = WireReader::new(b.freeze());
+        let buf = b.freeze();
+        let mut r = WireReader::new(&buf);
         assert!(matches!(r.string(), Err(DlibError::Protocol(_))));
+    }
+
+    #[test]
+    fn f32x3_slab_roundtrip() {
+        let triples: Vec<[f32; 3]> = (0..300)
+            .map(|i| [i as f32, i as f32 * 0.5, -(i as f32)])
+            .collect();
+        let mut b = BytesMut::new();
+        put_f32x3_slab(&mut b, triples.iter().copied());
+        assert_eq!(b.len(), 300 * 12);
+        let buf = b.freeze();
+        let mut r = WireReader::new(&buf);
+        let back: Vec<[f32; 3]> = r.f32x3_slab(300).unwrap().collect();
+        assert_eq!(back, triples);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn f32x3_slab_matches_per_element_encoding() {
+        // The slab must be byte-identical to the naive per-float path.
+        let triples: Vec<[f32; 3]> = (0..130).map(|i| [0.1 * i as f32, -2.5, 1e9]).collect();
+        let mut slab = BytesMut::new();
+        put_f32x3_slab(&mut slab, triples.iter().copied());
+        let mut naive = BytesMut::new();
+        for t in &triples {
+            naive.put_f32_le_(t[0]);
+            naive.put_f32_le_(t[1]);
+            naive.put_f32_le_(t[2]);
+        }
+        assert_eq!(&slab[..], &naive[..]);
+    }
+
+    #[test]
+    fn f32x3_slab_truncated_rejected() {
+        let mut b = BytesMut::new();
+        put_f32x3_slab(&mut b, [[1.0f32, 2.0, 3.0]].into_iter());
+        let buf = b.freeze();
+        let mut r = WireReader::new(&buf[..11]); // one byte short
+        assert!(r.f32x3_slab(1).is_err());
+    }
+
+    #[test]
+    fn take_advances_exactly() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut r = WireReader::new(&data);
+        assert_eq!(r.take(2).unwrap(), &[1, 2]);
+        assert_eq!(r.remaining(), 3);
+        assert!(r.take(4).is_err());
+        assert_eq!(r.take(3).unwrap(), &[3, 4, 5]);
     }
 }

@@ -6,8 +6,8 @@
 //! from the head-tracked point of view at full rate.
 
 use crate::proto::{
-    Command, FrameRequest, GeometryFrame, HelloReply, PathKind, PROC_COMMAND, PROC_FRAME,
-    PROC_HELLO,
+    Command, FrameRequest, FrameStats, GeometryFrame, HelloReply, PathKind, PROC_COMMAND,
+    PROC_FRAME, PROC_HELLO, PROC_STATS,
 };
 use dlib::{DlibClient, Result};
 use std::net::SocketAddr;
@@ -48,7 +48,7 @@ impl WindtunnelClient {
     pub fn connect(addr: SocketAddr) -> Result<WindtunnelClient> {
         let mut dlib = DlibClient::connect(addr)?;
         let reply = dlib.call(PROC_HELLO, b"")?;
-        let hello = HelloReply::decode(reply)?;
+        let hello = HelloReply::decode(&reply)?;
         Ok(WindtunnelClient {
             dlib,
             hello,
@@ -81,7 +81,15 @@ impl WindtunnelClient {
         let bytes = self
             .dlib
             .call(PROC_FRAME, &FrameRequest { advance }.encode())?;
-        GeometryFrame::decode(bytes)
+        GeometryFrame::decode(&bytes)
+    }
+
+    /// Fetch the server's frame-pipeline stats (stage timings + cache
+    /// counters). Purely observational: never advances time or touches
+    /// the environment.
+    pub fn stats(&mut self) -> Result<FrameStats> {
+        let bytes = self.dlib.call(PROC_STATS, b"")?;
+        FrameStats::decode(&bytes)
     }
 
     /// Render a frame into an anaglyph stereo framebuffer from the given
@@ -456,6 +464,50 @@ mod tests {
         // a's head pose is identity-at-origin (behind the camera's far
         // plane region) — only b's glyph differs between the two renders.
         assert!(without_b < with_b, "own head must not be drawn: {without_b} vs {with_b}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn head_pose_only_mutation_skips_integration() {
+        // The §5.1 shared scenario stress case: users nodding their
+        // heads must not re-run the tracers. Observable through the
+        // PROC_STATS cache counters.
+        let (handle, addr) = test_server();
+        let mut client = WindtunnelClient::connect(addr).unwrap();
+        client
+            .send(&Command::AddRake {
+                a: Vec3::new(2.0, 2.0, 4.0),
+                b: Vec3::new(2.0, 6.0, 4.0),
+                seed_count: 4,
+                tool: ToolKind::Streamline,
+            })
+            .unwrap();
+        let f0 = client.frame(false).unwrap();
+        let s0 = client.stats().unwrap();
+        assert_eq!(s0.geom_misses, 1, "first frame traces the rake");
+
+        // Head-pose-only mutation: revision moves (the frame cache
+        // misses) but no geometry input changed.
+        client
+            .send(&Command::HeadPose {
+                pose: Pose::new(Vec3::new(0.0, 1.7, 5.0), Default::default()),
+            })
+            .unwrap();
+        let f1 = client.frame(false).unwrap();
+        let s1 = client.stats().unwrap();
+        assert_eq!(s1.geom_misses, 0, "head pose must not re-run integration");
+        assert_eq!(s1.geom_hits, 1, "rake geometry served from cache");
+        assert_eq!(s1.cum_geom_misses, s0.cum_geom_misses);
+        assert!(f1.revision > f0.revision, "frame still reflects the update");
+        assert_eq!(f1.paths, f0.paths, "identical geometry either way");
+
+        // Identical request again: whole-frame encoded cache hit, stats
+        // otherwise untouched.
+        let before = client.stats().unwrap();
+        client.frame(false).unwrap();
+        let after = client.stats().unwrap();
+        assert_eq!(after.cum_frame_hits, before.cum_frame_hits + 1);
+        assert_eq!(after.cum_geom_misses, before.cum_geom_misses);
         handle.shutdown();
     }
 

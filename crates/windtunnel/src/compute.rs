@@ -12,8 +12,10 @@
 use crate::env::{EnvironmentState, RakeId};
 use crate::proto::{GeometryFrame, PathKind, PathMsg, RakeMsg, UserMsg};
 use flowfield::{CurvilinearGrid, FieldError, VectorField};
+use rayon::IntoParallelIterator;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 use storage::TimestepStore;
 use tracer::{
     trace_batch_parallel, Domain, Integrator, Streakline, StreaklineConfig, ToolKind, TraceConfig,
@@ -46,6 +48,11 @@ impl Default for ComputeConfig {
 #[derive(Default)]
 pub struct ToolEngines {
     streaks: HashMap<RakeId, Streakline>,
+    /// Bumped whenever the persistent particle systems mutate (advance
+    /// or clear), so cached streak geometry invalidates precisely — a
+    /// streak rake's smoke changes per clock tick even when the rake
+    /// itself hasn't moved.
+    epoch: u64,
 }
 
 impl ToolEngines {
@@ -72,6 +79,7 @@ impl ToolEngines {
         cfg: &StreaklineConfig,
     ) {
         self.prune(env);
+        self.epoch += 1;
         for (id, entry) in env.rakes() {
             if entry.rake.tool != ToolKind::Streakline {
                 continue;
@@ -91,6 +99,12 @@ impl ToolEngines {
         for s in self.streaks.values_mut() {
             s.clear();
         }
+        self.epoch += 1;
+    }
+
+    /// Mutation counter for the particle systems (cache-key component).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Total live streak particles (diagnostics).
@@ -129,24 +143,122 @@ fn pathline_over_store(
     Ok(path)
 }
 
-/// Compute a full [`GeometryFrame`] for the current environment state.
+/// Cache key for one rake's computed geometry: any field differing from
+/// the cached entry means the rake's paths must be re-traced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct GeomKey {
+    /// The rake's own geometry revision (endpoints, seed count, tool).
+    geom_rev: u64,
+    /// Timestep whose field the paths were traced in.
+    timestep: usize,
+    tool: ToolKind,
+    integrator: Integrator,
+    dt_bits: u32,
+    max_points: usize,
+    min_speed_bits: u32,
+    both_directions: bool,
+    pathline_window: usize,
+    /// Engines epoch for streak rakes (0 for stateless tools) — smoke
+    /// geometry changes when the particle system advances, not when the
+    /// rake moves.
+    streak_epoch: u64,
+}
+
+fn geom_key(
+    geom_rev: u64,
+    timestep: usize,
+    tool: ToolKind,
+    cfg: &ComputeConfig,
+    engines: &ToolEngines,
+) -> GeomKey {
+    GeomKey {
+        geom_rev,
+        timestep,
+        tool,
+        integrator: cfg.trace.integrator,
+        dt_bits: cfg.trace.dt.to_bits(),
+        max_points: cfg.trace.max_points,
+        min_speed_bits: cfg.trace.min_speed.to_bits(),
+        both_directions: cfg.trace.both_directions,
+        pathline_window: cfg.pathline_window,
+        streak_epoch: if tool == ToolKind::Streakline {
+            engines.epoch
+        } else {
+            0
+        },
+    }
+}
+
+/// Per-rake cache of computed wire geometry, layered beneath the
+/// server's whole-frame encoded-bytes cache. A mutation that touches one
+/// rake — or none, like a head-pose update — re-traces only what
+/// actually changed; everything else is served from here.
+#[derive(Default)]
+pub struct GeometryCache {
+    entries: HashMap<RakeId, (GeomKey, Vec<PathMsg>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl GeometryCache {
+    pub fn new() -> GeometryCache {
+        GeometryCache::default()
+    }
+
+    /// Lifetime (hits, misses) across every frame built with this cache.
+    pub fn cumulative(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Drop all cached geometry (e.g. on dataset swap).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Timings and cache counters from one [`compute_frame_cached`] call.
+/// Stage times are summed across rakes, so under the parallel fan-out
+/// they measure CPU work, not wall-clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameComputeStats {
+    /// Current-timestep field fetch, microseconds.
+    pub fetch_us: u64,
+    /// Path integration (streamlines, pathlines, streak snapshot), µs.
+    pub integrate_us: u64,
+    /// Grid→physical mapping of computed paths, microseconds.
+    pub map_us: u64,
+    /// Rakes served from the geometry cache.
+    pub geom_hits: u32,
+    /// Rakes re-traced this frame.
+    pub geom_misses: u32,
+}
+
+/// Compute a full [`GeometryFrame`], re-tracing only rakes whose cache
+/// key changed and fanning the misses out across threads.
 ///
 /// `timestep` is the integer timestep to visualize (from the time
 /// controller). Streak systems are *read*, not advanced — advancing
 /// happens once per clock tick via [`ToolEngines::advance_streaks`].
-pub fn compute_frame(
+pub fn compute_frame_cached(
     env: &EnvironmentState,
-    engines: &mut ToolEngines,
+    engines: &ToolEngines,
+    cache: &mut GeometryCache,
     store: &dyn TimestepStore,
     grid: &CurvilinearGrid,
     domain: &Domain,
     cfg: &ComputeConfig,
-) -> Result<GeometryFrame, FieldError> {
+) -> Result<(GeometryFrame, FrameComputeStats), FieldError> {
+    let mut stats = FrameComputeStats::default();
     let timestep = env.time.timestep();
+    let fetch_started = Instant::now();
     let field = store.fetch(timestep)?;
-    let mut paths = Vec::new();
-    let mut rakes = Vec::new();
+    stats.fetch_us = fetch_started.elapsed().as_micros() as u64;
 
+    // Forget geometry for rakes that no longer exist.
+    cache.entries.retain(|id, _| env.rake(*id).is_some());
+
+    let mut rakes = Vec::new();
+    let mut misses: Vec<(RakeId, GeomKey, Vec<Vec3>, ToolKind)> = Vec::new();
     for (id, entry) in env.rakes() {
         let rake = &entry.rake;
         // Rake state for client rendering (physical endpoints; endpoints
@@ -168,56 +280,106 @@ pub fn compute_frame(
             owner: entry.grab.map(|(u, _)| u).unwrap_or(0),
         });
 
-        let seeds = rake.seeds();
-        match rake.tool {
-            ToolKind::Streamline => {
-                let lines = trace_batch_parallel(field.as_ref(), domain, &seeds, &cfg.trace);
-                for line in lines {
-                    if line.is_empty() {
-                        continue;
-                    }
-                    paths.push(PathMsg {
-                        rake_id: id,
-                        kind: PathKind::Streamline,
-                        points: grid.path_to_physical(&line),
-                    });
-                }
+        let key = geom_key(entry.geom_rev(), timestep, rake.tool, cfg, engines);
+        match cache.entries.get(&id) {
+            Some((cached, _)) if *cached == key => stats.geom_hits += 1,
+            _ => {
+                stats.geom_misses += 1;
+                misses.push((id, key, rake.seeds(), rake.tool));
             }
-            ToolKind::ParticlePath => {
-                for seed in seeds {
-                    let line = pathline_over_store(
-                        store,
-                        domain,
-                        seed,
-                        timestep,
-                        cfg.pathline_window,
-                        cfg.trace.integrator,
-                        cfg.trace.dt,
-                    )?;
-                    if line.is_empty() {
-                        continue;
-                    }
-                    paths.push(PathMsg {
-                        rake_id: id,
-                        kind: PathKind::ParticlePath,
-                        points: grid.path_to_physical(&line),
-                    });
-                }
-            }
-            ToolKind::Streakline => {
-                if let Some(streak) = engines.streaks.get(&id) {
-                    for filament in streak.filaments() {
-                        if filament.is_empty() {
+        }
+    }
+    cache.hits += u64::from(stats.geom_hits);
+    cache.misses += u64::from(stats.geom_misses);
+
+    // Re-trace stale rakes in parallel; each job reports its own
+    // integrate/map split.
+    type Traced = (RakeId, GeomKey, Vec<PathMsg>, u64, u64);
+    let traced: Vec<Result<Traced, FieldError>> = misses
+        .into_par_iter()
+        .map(|(id, key, seeds, tool)| {
+            let mut integrate_us = 0u64;
+            let mut map_us = 0u64;
+            let mut paths = Vec::new();
+            match tool {
+                ToolKind::Streamline => {
+                    let t0 = Instant::now();
+                    let lines = trace_batch_parallel(field.as_ref(), domain, &seeds, &cfg.trace);
+                    integrate_us += t0.elapsed().as_micros() as u64;
+                    let t1 = Instant::now();
+                    for line in lines {
+                        if line.is_empty() {
                             continue;
                         }
                         paths.push(PathMsg {
                             rake_id: id,
-                            kind: PathKind::Streak,
-                            points: grid.path_to_physical(&filament),
+                            kind: PathKind::Streamline,
+                            points: grid.path_to_physical(&line),
                         });
+                    }
+                    map_us += t1.elapsed().as_micros() as u64;
+                }
+                ToolKind::ParticlePath => {
+                    for seed in seeds {
+                        let t0 = Instant::now();
+                        let line = pathline_over_store(
+                            store,
+                            domain,
+                            seed,
+                            timestep,
+                            cfg.pathline_window,
+                            cfg.trace.integrator,
+                            cfg.trace.dt,
+                        )?;
+                        integrate_us += t0.elapsed().as_micros() as u64;
+                        if line.is_empty() {
+                            continue;
+                        }
+                        let t1 = Instant::now();
+                        paths.push(PathMsg {
+                            rake_id: id,
+                            kind: PathKind::ParticlePath,
+                            points: grid.path_to_physical(&line),
+                        });
+                        map_us += t1.elapsed().as_micros() as u64;
+                    }
+                }
+                ToolKind::Streakline => {
+                    if let Some(streak) = engines.streaks.get(&id) {
+                        let t0 = Instant::now();
+                        let filaments = streak.filaments();
+                        integrate_us += t0.elapsed().as_micros() as u64;
+                        let t1 = Instant::now();
+                        for filament in filaments {
+                            if filament.is_empty() {
+                                continue;
+                            }
+                            paths.push(PathMsg {
+                                rake_id: id,
+                                kind: PathKind::Streak,
+                                points: grid.path_to_physical(&filament),
+                            });
+                        }
+                        map_us += t1.elapsed().as_micros() as u64;
                     }
                 }
             }
+            Ok((id, key, paths, integrate_us, map_us))
+        })
+        .collect();
+    for result in traced {
+        let (id, key, paths, integrate_us, map_us) = result?;
+        stats.integrate_us += integrate_us;
+        stats.map_us += map_us;
+        cache.entries.insert(id, (key, paths));
+    }
+
+    // Assemble in rake order from the (now fully warm) cache, so hit and
+    // miss frames are byte-identical.
+    let mut paths = Vec::new();
+    for (id, _) in env.rakes() {
+        if let Some((_, cached)) = cache.entries.get(&id) {
+            paths.extend(cached.iter().cloned());
         }
     }
 
@@ -226,14 +388,31 @@ pub fn compute_frame(
         .map(|(id, pose)| UserMsg { id, head: *pose })
         .collect();
 
-    Ok(GeometryFrame {
+    let frame = GeometryFrame {
         timestep: timestep as u32,
         time: env.time.time(),
         revision: env.revision(),
         rakes,
         paths,
         users,
-    })
+    };
+    Ok((frame, stats))
+}
+
+/// Compute a full [`GeometryFrame`] without cross-frame caching — every
+/// rake is traced fresh. Wrapper over [`compute_frame_cached`] with a
+/// throwaway cache.
+pub fn compute_frame(
+    env: &EnvironmentState,
+    engines: &mut ToolEngines,
+    store: &dyn TimestepStore,
+    grid: &CurvilinearGrid,
+    domain: &Domain,
+    cfg: &ComputeConfig,
+) -> Result<GeometryFrame, FieldError> {
+    let mut cache = GeometryCache::new();
+    compute_frame_cached(env, engines, &mut cache, store, grid, domain, cfg)
+        .map(|(frame, _)| frame)
 }
 
 #[cfg(test)]
@@ -390,6 +569,134 @@ mod tests {
         let frame = compute_frame(&env, &mut engines, &store, &grid, &domain, &ComputeConfig::default()).unwrap();
         assert_eq!(frame.users.len(), 1);
         assert_eq!(frame.users[0].id, 9);
+    }
+
+    #[test]
+    fn geometry_cache_hits_when_nothing_changed() {
+        let (store, grid, domain) = test_store();
+        let mut env = EnvironmentState::new(store.timestep_count());
+        env.add_rake(rake(ToolKind::Streamline));
+        env.add_rake(Rake::new(
+            Vec3::new(3.0, 2.0, 4.0),
+            Vec3::new(3.0, 6.0, 4.0),
+            2,
+            ToolKind::Streamline,
+        ));
+        let engines = ToolEngines::new();
+        let mut cache = GeometryCache::new();
+        let cfg = ComputeConfig::default();
+        let (f0, s0) =
+            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg)
+                .unwrap();
+        assert_eq!(s0.geom_misses, 2);
+        assert_eq!(s0.geom_hits, 0);
+        let (f1, s1) =
+            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg)
+                .unwrap();
+        assert_eq!(s1.geom_hits, 2);
+        assert_eq!(s1.geom_misses, 0);
+        assert_eq!(f0, f1, "cached frame must equal the computed one");
+        assert_eq!(cache.cumulative(), (2, 2));
+    }
+
+    #[test]
+    fn mutating_one_rake_retraces_only_that_rake() {
+        let (store, grid, domain) = test_store();
+        let mut env = EnvironmentState::new(store.timestep_count());
+        let a = env.add_rake(rake(ToolKind::Streamline));
+        env.add_rake(Rake::new(
+            Vec3::new(3.0, 2.0, 4.0),
+            Vec3::new(3.0, 6.0, 4.0),
+            2,
+            ToolKind::Streamline,
+        ));
+        let engines = ToolEngines::new();
+        let mut cache = GeometryCache::new();
+        let cfg = ComputeConfig::default();
+        compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
+        env.set_seed_count(a, 5).unwrap();
+        let (frame, stats) =
+            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg)
+                .unwrap();
+        assert_eq!(stats.geom_hits, 1, "untouched rake must be served from cache");
+        assert_eq!(stats.geom_misses, 1, "mutated rake must be re-traced");
+        assert_eq!(
+            frame.paths.iter().filter(|p| p.rake_id == a).count(),
+            5,
+            "re-trace must see the new seed count"
+        );
+    }
+
+    #[test]
+    fn head_pose_update_is_all_cache_hits() {
+        let (store, grid, domain) = test_store();
+        let mut env = EnvironmentState::new(store.timestep_count());
+        env.add_rake(rake(ToolKind::Streamline));
+        let engines = ToolEngines::new();
+        let mut cache = GeometryCache::new();
+        let cfg = ComputeConfig::default();
+        compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
+        env.update_user(9, vecmath::Pose::IDENTITY);
+        let (frame, stats) =
+            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg)
+                .unwrap();
+        assert_eq!(stats.geom_misses, 0, "a head pose is not a geometry change");
+        assert_eq!(stats.geom_hits, 1);
+        assert_eq!(frame.users.len(), 1);
+        assert_eq!(frame.revision, env.revision(), "frame still reflects new state");
+    }
+
+    #[test]
+    fn streak_advance_invalidates_smoke_but_not_streamlines() {
+        let (store, grid, domain) = test_store();
+        let mut env = EnvironmentState::new(store.timestep_count());
+        let smoke = env.add_rake(rake(ToolKind::Streakline));
+        env.add_rake(Rake::new(
+            Vec3::new(3.0, 2.0, 4.0),
+            Vec3::new(3.0, 6.0, 4.0),
+            2,
+            ToolKind::Streamline,
+        ));
+        let mut engines = ToolEngines::new();
+        let mut cache = GeometryCache::new();
+        let cfg = ComputeConfig::default();
+        let field = store.fetch(0).unwrap();
+        engines.advance_streaks(&env, field.as_ref(), &domain, &cfg.streak);
+        compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
+        engines.advance_streaks(&env, field.as_ref(), &domain, &cfg.streak);
+        let (frame, stats) =
+            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg)
+                .unwrap();
+        assert_eq!(stats.geom_misses, 1, "only the streak rake re-traces");
+        assert_eq!(stats.geom_hits, 1);
+        assert_eq!(
+            frame
+                .paths
+                .iter()
+                .filter(|p| p.rake_id == smoke)
+                .map(|p| p.points.len())
+                .max()
+                .unwrap(),
+            2,
+            "smoke must reflect the second advance"
+        );
+    }
+
+    #[test]
+    fn removed_rake_evicted_from_cache() {
+        let (store, grid, domain) = test_store();
+        let mut env = EnvironmentState::new(store.timestep_count());
+        let id = env.add_rake(rake(ToolKind::Streamline));
+        let engines = ToolEngines::new();
+        let mut cache = GeometryCache::new();
+        let cfg = ComputeConfig::default();
+        compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
+        env.remove_rake(0, id).unwrap();
+        let (frame, _) =
+            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg)
+                .unwrap();
+        assert!(frame.paths.is_empty());
+        assert!(cache.entries.is_empty());
     }
 
     #[test]

@@ -53,6 +53,19 @@ pub struct RakeEntry {
     pub rake: Rake,
     /// Holder and grabbed handle, if grabbed.
     pub grab: Option<(UserId, Handle)>,
+    /// Revision of this rake's geometry-affecting state (endpoints, seed
+    /// count, tool). Stamped from the environment's global counter, so
+    /// values are unique across rakes and monotone over time. Lock state
+    /// is excluded: grabbing a rake does not move it.
+    geom_rev: u64,
+}
+
+impl RakeEntry {
+    /// Geometry revision — cache key for anything derived from this
+    /// rake's seeds (traced paths, most importantly).
+    pub fn geom_rev(&self) -> u64 {
+        self.geom_rev
+    }
 }
 
 /// The complete server-side environment state.
@@ -65,8 +78,16 @@ pub struct EnvironmentState {
     /// ("indicating to participants in the environment where everyone
     /// is", §5.1).
     users: BTreeMap<UserId, Pose>,
-    /// Bumped on every mutation; lets the server cache computed frames.
+    /// Bumped on every mutation; lets the server cache encoded frames.
     revision: u64,
+    /// Bumped only when some rake's geometry changes (add/remove/drag/
+    /// seed-count/tool) — head-pose traffic leaves this untouched, which
+    /// is what lets the geometry cache survive user motion.
+    geom_rev: u64,
+    /// Bumped when a head pose is recorded or a user disconnects.
+    users_rev: u64,
+    /// Bumped when the server moves the clock.
+    time_rev: u64,
 }
 
 impl EnvironmentState {
@@ -77,6 +98,9 @@ impl EnvironmentState {
             time: TimeController::new(timestep_count),
             users: BTreeMap::new(),
             revision: 0,
+            geom_rev: 0,
+            users_rev: 0,
+            time_rev: 0,
         }
     }
 
@@ -84,15 +108,43 @@ impl EnvironmentState {
         self.revision += 1;
     }
 
-    /// Monotone state revision (cache invalidation token).
+    fn touch_geom(&mut self) {
+        self.touch();
+        self.geom_rev = self.revision;
+    }
+
+    fn touch_users(&mut self) {
+        self.touch();
+        self.users_rev = self.revision;
+    }
+
+    /// Monotone state revision (cache invalidation token for anything
+    /// derived from the *whole* environment, e.g. encoded frames).
     pub fn revision(&self) -> u64 {
         self.revision
     }
 
+    /// Revision of the union of all rake geometry. Unchanged by head-pose
+    /// updates, grabs/releases, and clock motion.
+    pub fn geometry_revision(&self) -> u64 {
+        self.geom_rev
+    }
+
+    /// Revision of the head-pose table.
+    pub fn users_revision(&self) -> u64 {
+        self.users_rev
+    }
+
+    /// Revision of the clock (bumped via [`Self::bump_revision`]).
+    pub fn time_revision(&self) -> u64 {
+        self.time_rev
+    }
+
     /// Explicitly bump the revision (used by the server when it mutates
-    /// adjacent state, e.g. the clock).
+    /// adjacent state, i.e. the clock).
     pub fn bump_revision(&mut self) {
         self.touch();
+        self.time_rev = self.revision;
     }
 
     // ------------------------------------------------------------------
@@ -102,8 +154,16 @@ impl EnvironmentState {
     pub fn add_rake(&mut self, rake: Rake) -> RakeId {
         let id = self.next_rake_id;
         self.next_rake_id += 1;
-        self.rakes.insert(id, RakeEntry { rake, grab: None });
-        self.touch();
+        self.touch_geom();
+        let geom_rev = self.revision;
+        self.rakes.insert(
+            id,
+            RakeEntry {
+                rake,
+                grab: None,
+                geom_rev,
+            },
+        );
         id
     }
 
@@ -116,7 +176,7 @@ impl EnvironmentState {
             }
         }
         self.rakes.remove(&id);
-        self.touch();
+        self.touch_geom();
         Ok(())
     }
 
@@ -168,7 +228,9 @@ impl EnvironmentState {
         match entry.grab {
             Some((owner, handle)) if owner == user => {
                 entry.rake.drag(handle, delta);
-                self.touch();
+                self.revision += 1;
+                self.geom_rev = self.revision;
+                entry.geom_rev = self.revision;
                 Ok(())
             }
             Some((owner, _)) => Err(EnvError::LockedByOther { rake: id, owner }),
@@ -181,7 +243,9 @@ impl EnvironmentState {
     pub fn set_seed_count(&mut self, id: RakeId, n: u32) -> Result<(), EnvError> {
         let entry = self.rakes.get_mut(&id).ok_or(EnvError::NoSuchRake(id))?;
         entry.rake.seed_count = n.max(1);
-        self.touch();
+        self.revision += 1;
+        self.geom_rev = self.revision;
+        entry.geom_rev = self.revision;
         Ok(())
     }
 
@@ -189,7 +253,9 @@ impl EnvironmentState {
     pub fn set_tool(&mut self, id: RakeId, tool: ToolKind) -> Result<(), EnvError> {
         let entry = self.rakes.get_mut(&id).ok_or(EnvError::NoSuchRake(id))?;
         entry.rake.tool = tool;
-        self.touch();
+        self.revision += 1;
+        self.geom_rev = self.revision;
+        entry.geom_rev = self.revision;
         Ok(())
     }
 
@@ -199,7 +265,7 @@ impl EnvironmentState {
     /// Record a user's head pose (shared display of participants).
     pub fn update_user(&mut self, user: UserId, head: Pose) {
         self.users.insert(user, head);
-        self.touch();
+        self.touch_users();
     }
 
     pub fn users(&self) -> impl Iterator<Item = (UserId, &Pose)> {
@@ -216,7 +282,7 @@ impl EnvironmentState {
                 entry.grab = None;
             }
         }
-        self.touch();
+        self.touch_users();
     }
 }
 
@@ -346,6 +412,63 @@ mod tests {
         assert_eq!(env.revision(), r1);
         env.set_tool(id, ToolKind::Streakline).unwrap();
         assert!(env.revision() > r1);
+    }
+
+    #[test]
+    fn head_pose_does_not_touch_geometry_revision() {
+        let mut env = EnvironmentState::new(10);
+        let id = env.add_rake(rake());
+        let geom = env.geometry_revision();
+        let per_rake = env.rake(id).unwrap().geom_rev();
+        let users = env.users_revision();
+        env.update_user(1, Pose::IDENTITY);
+        env.update_user(2, Pose::new(Vec3::ONE, Default::default()));
+        assert_eq!(env.geometry_revision(), geom);
+        assert_eq!(env.rake(id).unwrap().geom_rev(), per_rake);
+        assert!(env.users_revision() > users);
+        // The global revision still moves: the encoded frame changes.
+        assert!(env.revision() > geom);
+    }
+
+    #[test]
+    fn drag_bumps_only_the_dragged_rakes_geom_rev() {
+        let mut env = EnvironmentState::new(10);
+        let a = env.add_rake(rake());
+        let b = env.add_rake(rake());
+        let rev_a = env.rake(a).unwrap().geom_rev();
+        let rev_b = env.rake(b).unwrap().geom_rev();
+        env.grab(1, a, Handle::Center).unwrap();
+        // Grabbing is lock state, not geometry.
+        assert_eq!(env.rake(a).unwrap().geom_rev(), rev_a);
+        env.drag(1, a, Vec3::X).unwrap();
+        assert!(env.rake(a).unwrap().geom_rev() > rev_a);
+        assert_eq!(env.rake(b).unwrap().geom_rev(), rev_b);
+        assert!(env.geometry_revision() >= env.rake(a).unwrap().geom_rev());
+    }
+
+    #[test]
+    fn tool_and_seed_count_are_geometry_changes() {
+        let mut env = EnvironmentState::new(10);
+        let id = env.add_rake(rake());
+        let r0 = env.rake(id).unwrap().geom_rev();
+        env.set_seed_count(id, 9).unwrap();
+        let r1 = env.rake(id).unwrap().geom_rev();
+        assert!(r1 > r0);
+        env.set_tool(id, ToolKind::Streakline).unwrap();
+        assert!(env.rake(id).unwrap().geom_rev() > r1);
+    }
+
+    #[test]
+    fn clock_bump_is_time_only() {
+        let mut env = EnvironmentState::new(10);
+        env.add_rake(rake());
+        let geom = env.geometry_revision();
+        let users = env.users_revision();
+        let time = env.time_revision();
+        env.bump_revision();
+        assert!(env.time_revision() > time);
+        assert_eq!(env.geometry_revision(), geom);
+        assert_eq!(env.users_revision(), users);
     }
 
     #[test]

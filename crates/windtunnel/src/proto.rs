@@ -15,7 +15,7 @@
 //! never cross the wire.
 
 use bytes::{Bytes, BytesMut};
-use dlib::wire::{WireReader, WireWrite};
+use dlib::wire::{put_f32x3_slab, WireReader, WireWrite};
 use dlib::{DlibError, Result};
 use flowfield::Dims;
 use tracer::ToolKind;
@@ -31,6 +31,9 @@ pub const PROTOCOL_VERSION: u32 = 1;
 pub const PROC_HELLO: u32 = 0x0057_0001;
 pub const PROC_COMMAND: u32 = 0x0057_0002;
 pub const PROC_FRAME: u32 = 0x0057_0003;
+/// Pipeline instrumentation (additive — a v1 peer that never calls it is
+/// unaffected, so `PROTOCOL_VERSION` stays 1).
+pub const PROC_STATS: u32 = 0x0057_0004;
 
 /// Identifies a rake (mirrors `env::RakeId`).
 pub type RakeId = u32;
@@ -101,23 +104,51 @@ fn get_gesture(r: &mut WireReader) -> Result<Gesture> {
     }
 }
 
+/// Cap on a single path's point count (well above Table 1's largest
+/// frame) — bounds the allocation a hostile length prefix can demand.
+const MAX_POINTS_PER_PATH: usize = 16_000_000;
+
 fn put_points(b: &mut BytesMut, pts: &[Vec3]) {
     b.put_u32_le_(pts.len() as u32);
-    for p in pts {
-        put_vec3(b, *p);
-    }
+    // Bulk slab encode: one reserve + block copies instead of three
+    // bounds-checked appends per point. Byte-identical to the
+    // per-element path (see `reference` tests).
+    put_f32x3_slab(b, pts.iter().map(|p| [p.x, p.y, p.z]));
 }
 
 fn get_points(r: &mut WireReader) -> Result<Vec<Vec3>> {
     let n = r.u32_le()? as usize;
-    if n > 16_000_000 {
+    if n > MAX_POINTS_PER_PATH {
         return Err(DlibError::Protocol(format!("absurd point count {n}")));
     }
-    let mut pts = Vec::with_capacity(n);
-    for _ in 0..n {
-        pts.push(get_vec3(r)?);
+    // Bulk slab decode: one bounds check for the whole 12n-byte run.
+    Ok(r.f32x3_slab(n)?.map(|[x, y, z]| Vec3::new(x, y, z)).collect())
+}
+
+/// The original per-element codec, kept as the reference the slab path
+/// must match byte-for-byte (asserted by proptest below).
+#[cfg(test)]
+mod reference_points {
+    use super::*;
+
+    pub fn put_points(b: &mut BytesMut, pts: &[Vec3]) {
+        b.put_u32_le_(pts.len() as u32);
+        for p in pts {
+            put_vec3(b, *p);
+        }
     }
-    Ok(pts)
+
+    pub fn get_points(r: &mut WireReader) -> Result<Vec<Vec3>> {
+        let n = r.u32_le()? as usize;
+        if n > MAX_POINTS_PER_PATH {
+            return Err(DlibError::Protocol(format!("absurd point count {n}")));
+        }
+        let mut pts = Vec::with_capacity(n);
+        for _ in 0..n {
+            pts.push(get_vec3(r)?);
+        }
+        Ok(pts)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -218,7 +249,7 @@ impl Command {
         b.freeze()
     }
 
-    pub fn decode(buf: Bytes) -> Result<Command> {
+    pub fn decode(buf: &[u8]) -> Result<Command> {
         let mut r = WireReader::new(buf);
         let tag = r.u32_le()?;
         let cmd = match tag {
@@ -304,7 +335,7 @@ impl HelloReply {
         b.freeze()
     }
 
-    pub fn decode(buf: Bytes) -> Result<HelloReply> {
+    pub fn decode(buf: &[u8]) -> Result<HelloReply> {
         let mut r = WireReader::new(buf);
         let version = r.u32_le()?;
         if version != PROTOCOL_VERSION {
@@ -409,33 +440,40 @@ impl GeometryFrame {
 
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(64 + self.path_payload_bytes());
+        self.encode_into(&mut b);
+        b.freeze()
+    }
+
+    /// Encode into a caller-owned buffer, so a server pumping frames can
+    /// reuse one scratch `BytesMut` instead of allocating per frame.
+    pub fn encode_into(&self, b: &mut BytesMut) {
+        b.reserve(64 + self.path_payload_bytes());
         b.put_u32_le_(self.timestep);
         b.put_f32_le_(self.time);
         b.put_u64_le_(self.revision);
         b.put_u32_le_(self.rakes.len() as u32);
         for rk in &self.rakes {
             b.put_u32_le_(rk.id);
-            put_vec3(&mut b, rk.a);
-            put_vec3(&mut b, rk.b);
+            put_vec3(b, rk.a);
+            put_vec3(b, rk.b);
             b.put_u32_le_(rk.seed_count);
-            put_tool(&mut b, rk.tool);
+            put_tool(b, rk.tool);
             b.put_u64_le_(rk.owner);
         }
         b.put_u32_le_(self.paths.len() as u32);
         for p in &self.paths {
             b.put_u32_le_(p.rake_id);
             b.put_u32_le_(p.kind.to_u32());
-            put_points(&mut b, &p.points);
+            put_points(b, &p.points);
         }
         b.put_u32_le_(self.users.len() as u32);
         for u in &self.users {
             b.put_u64_le_(u.id);
-            put_pose(&mut b, &u.head);
+            put_pose(b, &u.head);
         }
-        b.freeze()
     }
 
-    pub fn decode(buf: Bytes) -> Result<GeometryFrame> {
+    pub fn decode(buf: &[u8]) -> Result<GeometryFrame> {
         let mut r = WireReader::new(buf);
         let timestep = r.u32_le()?;
         let time = r.f32_le()?;
@@ -506,7 +544,7 @@ impl FrameRequest {
         b.freeze()
     }
 
-    pub fn decode(buf: Bytes) -> Result<FrameRequest> {
+    pub fn decode(buf: &[u8]) -> Result<FrameRequest> {
         let mut r = WireReader::new(buf);
         Ok(FrameRequest {
             advance: r.u32_le()? != 0,
@@ -514,9 +552,88 @@ impl FrameRequest {
     }
 }
 
+// ---------------------------------------------------------------------
+// Pipeline stats (remote → workstation, PROC_STATS)
+
+/// Stage timings and cache counters for the frame pipeline. Returned by
+/// [`PROC_STATS`]; the per-frame fields describe the most recently
+/// *computed* frame, the `cum_*` fields accumulate over the server's
+/// lifetime (so a client can observe, e.g., that a head-pose-only update
+/// produced geometry-cache hits rather than fresh integrations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameStats {
+    /// Environment revision the per-frame numbers below were measured at.
+    pub revision: u64,
+    /// Timestep fetch / interpolation setup, microseconds.
+    pub fetch_us: u64,
+    /// Streamline / particle-path integration, microseconds.
+    pub integrate_us: u64,
+    /// Grid→physical mapping of computed paths, microseconds.
+    pub map_us: u64,
+    /// Wire encoding of the frame, microseconds.
+    pub encode_us: u64,
+    /// Per-rake geometry cache hits while assembling the last frame.
+    pub geom_hits: u32,
+    /// Per-rake geometry cache misses (rakes whose paths were re-traced).
+    pub geom_misses: u32,
+    /// Lifetime per-rake geometry cache hits.
+    pub cum_geom_hits: u64,
+    /// Lifetime per-rake geometry cache misses.
+    pub cum_geom_misses: u64,
+    /// Lifetime whole-frame encoded-bytes cache hits.
+    pub cum_frame_hits: u64,
+    /// Lifetime frames served.
+    pub cum_frames: u64,
+}
+
+impl FrameStats {
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(72);
+        b.put_u64_le_(self.revision);
+        b.put_u64_le_(self.fetch_us);
+        b.put_u64_le_(self.integrate_us);
+        b.put_u64_le_(self.map_us);
+        b.put_u64_le_(self.encode_us);
+        b.put_u32_le_(self.geom_hits);
+        b.put_u32_le_(self.geom_misses);
+        b.put_u64_le_(self.cum_geom_hits);
+        b.put_u64_le_(self.cum_geom_misses);
+        b.put_u64_le_(self.cum_frame_hits);
+        b.put_u64_le_(self.cum_frames);
+        b.freeze()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<FrameStats> {
+        let mut r = WireReader::new(buf);
+        let stats = FrameStats {
+            revision: r.u64_le()?,
+            fetch_us: r.u64_le()?,
+            integrate_us: r.u64_le()?,
+            map_us: r.u64_le()?,
+            encode_us: r.u64_le()?,
+            geom_hits: r.u32_le()?,
+            geom_misses: r.u32_le()?,
+            cum_geom_hits: r.u64_le()?,
+            cum_geom_misses: r.u64_le()?,
+            cum_frame_hits: r.u64_le()?,
+            cum_frames: r.u64_le()?,
+        };
+        if r.remaining() != 0 {
+            return Err(DlibError::Protocol("trailing bytes after stats".into()));
+        }
+        Ok(stats)
+    }
+
+    /// Total pipeline time for the last computed frame, microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.fetch_us + self.integrate_us + self.map_us + self.encode_us
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::BufMut;
 
     #[test]
     fn command_roundtrips() {
@@ -547,7 +664,7 @@ mod tests {
             Command::Goodbye,
         ];
         for c in cmds {
-            let back = Command::decode(c.encode()).unwrap();
+            let back = Command::decode(&c.encode()).unwrap();
             assert_eq!(back, c);
         }
     }
@@ -556,11 +673,11 @@ mod tests {
     fn bad_command_rejected() {
         let mut b = BytesMut::new();
         b.put_u32_le_(99);
-        assert!(Command::decode(b.freeze()).is_err());
+        assert!(Command::decode(&b.freeze()).is_err());
         // Trailing garbage.
         let mut bytes = Command::RemoveRake { id: 1 }.encode().to_vec();
         bytes.push(0);
-        assert!(Command::decode(Bytes::from(bytes)).is_err());
+        assert!(Command::decode(&bytes).is_err());
     }
 
     #[test]
@@ -574,7 +691,7 @@ mod tests {
             bounds_max: Vec3::new(12.0, 12.0, 8.0),
             user_id: 42,
         };
-        let back = HelloReply::decode(h.encode()).unwrap();
+        let back = HelloReply::decode(&h.encode()).unwrap();
         assert_eq!(back, h);
         assert_eq!(back.bounds().max.z, 8.0);
     }
@@ -592,7 +709,7 @@ mod tests {
         };
         let mut bytes = h.encode().to_vec();
         bytes[0] = 99; // stamp a wrong version
-        let err = HelloReply::decode(Bytes::from(bytes));
+        let err = HelloReply::decode(&bytes);
         assert!(matches!(err, Err(DlibError::Protocol(m)) if m.contains("version")));
     }
 
@@ -627,7 +744,7 @@ mod tests {
                 head: Pose::new(Vec3::new(0.0, 1.7, 2.0), Quat::IDENTITY),
             }],
         };
-        let back = GeometryFrame::decode(frame.encode()).unwrap();
+        let back = GeometryFrame::decode(&frame.encode()).unwrap();
         assert_eq!(back, frame);
         assert_eq!(back.particle_count(), 3);
         assert_eq!(back.path_payload_bytes(), 36);
@@ -659,7 +776,7 @@ mod tests {
     fn frame_request_roundtrip() {
         for advance in [true, false] {
             let fr = FrameRequest { advance };
-            assert_eq!(FrameRequest::decode(fr.encode()).unwrap(), fr);
+            assert_eq!(FrameRequest::decode(&fr.encode()).unwrap(), fr);
         }
     }
 
@@ -672,17 +789,44 @@ mod tests {
             /// produce `Err`, never a panic.
             #[test]
             fn prop_command_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
-                let _ = Command::decode(Bytes::from(bytes));
+                let _ = Command::decode(&bytes);
             }
 
             #[test]
             fn prop_frame_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
-                let _ = GeometryFrame::decode(Bytes::from(bytes));
+                let _ = GeometryFrame::decode(&bytes);
             }
 
             #[test]
             fn prop_hello_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
-                let _ = HelloReply::decode(Bytes::from(bytes));
+                let _ = HelloReply::decode(&bytes);
+            }
+
+            #[test]
+            fn prop_stats_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+                let _ = FrameStats::decode(&bytes);
+            }
+
+            /// The slab codec must be byte-identical to the retired
+            /// per-element path — encode and decode both directions.
+            #[test]
+            fn prop_points_slab_matches_per_element(raw in proptest::collection::vec((-1e6f32..1e6, -1e6f32..1e6, -1e6f32..1e6), 0..300)) {
+                let pts: Vec<Vec3> = raw.iter().map(|&(x, y, z)| Vec3::new(x, y, z)).collect();
+                let mut slab = BytesMut::new();
+                put_points(&mut slab, &pts);
+                let mut per_element = BytesMut::new();
+                reference_points::put_points(&mut per_element, &pts);
+                prop_assert_eq!(&slab[..], &per_element[..]);
+                // Bulk decoder reads the reference encoding…
+                let mut r = WireReader::new(&per_element);
+                let bulk = get_points(&mut r).unwrap();
+                prop_assert_eq!(&bulk, &pts);
+                prop_assert_eq!(r.remaining(), 0);
+                // …and the reference decoder reads the slab encoding.
+                let mut r = WireReader::new(&slab);
+                let back = reference_points::get_points(&mut r).unwrap();
+                prop_assert_eq!(&back, &pts);
+                prop_assert_eq!(r.remaining(), 0);
             }
 
             /// Bit-flipping a valid frame must decode to Err or to a
@@ -711,7 +855,7 @@ mod tests {
                 let mut bytes = frame.encode().to_vec();
                 let idx = flip_at % bytes.len();
                 bytes[idx] ^= 1 << flip_bit;
-                let _ = GeometryFrame::decode(Bytes::from(bytes));
+                let _ = GeometryFrame::decode(&bytes);
             }
         }
     }
@@ -731,7 +875,72 @@ mod tests {
             users: vec![],
         };
         let bytes = frame.encode();
-        let cut = bytes.slice(..bytes.len() - 5);
-        assert!(GeometryFrame::decode(cut).is_err());
+        assert!(GeometryFrame::decode(&bytes[..bytes.len() - 5]).is_err());
+    }
+
+    #[test]
+    fn truncated_point_slab_rejected() {
+        // A path whose length prefix claims more points than the slab
+        // that follows must fail cleanly, not read out of bounds.
+        let mut b = BytesMut::new();
+        b.put_u32_le_(10); // claims 10 points = 120 bytes
+        b.put_slice(&[0u8; 60]); // only 5 points present
+        let mut r = WireReader::new(&b);
+        assert!(matches!(get_points(&mut r), Err(DlibError::Protocol(_))));
+    }
+
+    #[test]
+    fn oversized_point_slab_rejected() {
+        // A count beyond the cap is rejected before any allocation.
+        let mut b = BytesMut::new();
+        b.put_u32_le_((MAX_POINTS_PER_PATH + 1) as u32);
+        let mut r = WireReader::new(&b);
+        let err = get_points(&mut r);
+        assert!(matches!(err, Err(DlibError::Protocol(m)) if m.contains("absurd")));
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_appends() {
+        let frame = GeometryFrame {
+            timestep: 4,
+            time: 0.2,
+            revision: 11,
+            rakes: vec![],
+            paths: vec![PathMsg {
+                rake_id: 2,
+                kind: PathKind::ParticlePath,
+                points: vec![Vec3::X, Vec3::Y],
+            }],
+            users: vec![],
+        };
+        // Reusing a scratch buffer with prior garbage: encode_into must
+        // append exactly the canonical encoding after it.
+        let mut scratch = BytesMut::new();
+        scratch.put_slice(b"junk");
+        frame.encode_into(&mut scratch);
+        assert_eq!(&scratch[4..], &frame.encode()[..]);
+    }
+
+    #[test]
+    fn frame_stats_roundtrip() {
+        let s = FrameStats {
+            revision: 9,
+            fetch_us: 120,
+            integrate_us: 4_500,
+            map_us: 310,
+            encode_us: 95,
+            geom_hits: 3,
+            geom_misses: 1,
+            cum_geom_hits: 40,
+            cum_geom_misses: 12,
+            cum_frame_hits: 7,
+            cum_frames: 52,
+        };
+        assert_eq!(FrameStats::decode(&s.encode()).unwrap(), s);
+        assert_eq!(s.total_us(), 5_025);
+        // Trailing garbage rejected.
+        let mut bytes = s.encode().to_vec();
+        bytes.push(0);
+        assert!(FrameStats::decode(&bytes).is_err());
     }
 }

@@ -149,7 +149,7 @@ pub fn load(path: &Path) -> Result<Vec<TimedEvent>> {
         let mut payload = vec![0u8; len];
         r.read_exact(&mut payload).map_err(DlibError::Io)?;
         let event = match kind[0] {
-            0 => Event::Command(Command::decode(bytes::Bytes::from(payload))?),
+            0 => Event::Command(Command::decode(&payload)?),
             1 => Event::Tick,
             k => return Err(DlibError::Protocol(format!("bad event kind {k}"))),
         };

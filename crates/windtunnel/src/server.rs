@@ -9,14 +9,15 @@
 //! the latest state, which is served from a cache keyed on the
 //! environment revision.
 
-use crate::compute::{compute_frame, ComputeConfig, ToolEngines};
+use crate::compute::{compute_frame_cached, ComputeConfig, GeometryCache, ToolEngines};
 use crate::env::EnvironmentState;
 use crate::governor::FrameGovernor;
 use crate::interaction::{process_hand, HandStates, InteractionConfig};
 use crate::proto::{
-    Command, FrameRequest, HelloReply, TimeCommand, PROC_COMMAND, PROC_FRAME, PROC_HELLO,
+    Command, FrameRequest, FrameStats, HelloReply, TimeCommand, PROC_COMMAND, PROC_FRAME,
+    PROC_HELLO, PROC_STATS,
 };
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use dlib::server::{DlibServer, ServerHandle, Session};
 use flowfield::CurvilinearGrid;
 use std::net::SocketAddr;
@@ -49,6 +50,14 @@ struct ServerState {
     governor: Option<FrameGovernor>,
     /// Encoded frame cache: (revision it was computed at, bytes).
     frame_cache: Option<(u64, Bytes)>,
+    /// Per-rake geometry cache, layered beneath the frame cache: when the
+    /// revision moved but a rake's geometry inputs didn't (head pose,
+    /// another rake dragged), its paths are reused instead of re-traced.
+    geom_cache: GeometryCache,
+    /// Scratch buffer frames are encoded into (reused across frames).
+    scratch: BytesMut,
+    /// Pipeline stats served by [`PROC_STATS`].
+    stats: FrameStats,
 }
 
 impl ServerState {
@@ -135,8 +144,10 @@ impl ServerState {
             self.env.bump_revision();
         }
         let revision = self.env.revision();
+        self.stats.cum_frames += 1;
         if let Some((cached_rev, bytes)) = &self.frame_cache {
             if *cached_rev == revision {
+                self.stats.cum_frame_hits += 1;
                 return Ok(bytes.clone());
             }
         }
@@ -148,19 +159,39 @@ impl ServerState {
             cfg.pathline_window = gov.scaled_points(cfg.pathline_window);
         }
         let started = std::time::Instant::now();
-        let frame = compute_frame(
+        let (frame, cstats) = compute_frame_cached(
             &self.env,
-            &mut self.engines,
+            &self.engines,
+            &mut self.geom_cache,
             self.store.as_ref(),
             &self.grid,
             &self.domain,
             &cfg,
         )
         .map_err(|e| e.to_string())?;
+        let encode_started = std::time::Instant::now();
+        self.scratch.clear();
+        frame.encode_into(&mut self.scratch);
+        let bytes = self.scratch.split().freeze();
         if let Some(gov) = &mut self.governor {
+            // Wall-clock over compute + encode: the budget governs what a
+            // client actually waits for.
             gov.observe(started.elapsed());
         }
-        let bytes = frame.encode();
+        let (cum_geom_hits, cum_geom_misses) = self.geom_cache.cumulative();
+        self.stats = FrameStats {
+            revision,
+            fetch_us: cstats.fetch_us,
+            integrate_us: cstats.integrate_us,
+            map_us: cstats.map_us,
+            encode_us: encode_started.elapsed().as_micros() as u64,
+            geom_hits: cstats.geom_hits,
+            geom_misses: cstats.geom_misses,
+            cum_geom_hits,
+            cum_geom_misses,
+            cum_frame_hits: self.stats.cum_frame_hits,
+            cum_frames: self.stats.cum_frames,
+        };
         self.frame_cache = Some((revision, bytes.clone()));
         Ok(bytes)
     }
@@ -207,6 +238,9 @@ pub fn serve(
         governor: opts.frame_budget.map(FrameGovernor::new),
         opts,
         frame_cache: None,
+        geom_cache: GeometryCache::new(),
+        scratch: BytesMut::new(),
+        stats: FrameStats::default(),
     };
 
     let mut server = DlibServer::new(state);
@@ -225,14 +259,15 @@ pub fn serve(
         Ok(reply.encode())
     });
     server.register(PROC_COMMAND, |state, session, args| {
-        let cmd = Command::decode(Bytes::copy_from_slice(args)).map_err(|e| e.to_string())?;
+        let cmd = Command::decode(args).map_err(|e| e.to_string())?;
         state.apply_command(session, cmd)?;
         Ok(Bytes::new())
     });
     server.register(PROC_FRAME, |state, _session, args| {
-        let req = FrameRequest::decode(Bytes::copy_from_slice(args)).map_err(|e| e.to_string())?;
+        let req = FrameRequest::decode(args).map_err(|e| e.to_string())?;
         state.frame_bytes(req.advance)
     });
+    server.register(PROC_STATS, |state, _session, _args| Ok(state.stats.encode()));
 
     let inner = server.serve(addr)?;
     Ok(WindtunnelHandle { inner })

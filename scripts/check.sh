@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Full pre-merge check: release build, tests, and warning-free clippy.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "check.sh: all green"

@@ -1,0 +1,155 @@
+//! Offline stand-in for `crossbeam-channel`.
+//!
+//! Backed by `std::sync::mpsc`. Two deliberate differences from std are
+//! preserved from the real crate's semantics because this workspace
+//! relies on them:
+//!
+//! * [`Receiver`] is `Sync` (std's is not) — the storage prefetcher keeps
+//!   a receiver inside a `TimestepStore: Sync` implementation. The shim
+//!   wraps the std receiver in a mutex; contention is nil because every
+//!   call site is single-consumer.
+//! * `bounded` maps to `sync_channel`, so `try_send` reports a full
+//!   queue without blocking.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+/// Error from [`Sender::try_send`] on a full or disconnected channel.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    Full(T),
+    Disconnected(T),
+}
+
+enum Tx<T> {
+    Unbounded(mpsc::Sender<T>),
+    Bounded(mpsc::SyncSender<T>),
+}
+
+impl<T> Clone for Tx<T> {
+    fn clone(&self) -> Tx<T> {
+        match self {
+            Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+            Tx::Bounded(s) => Tx::Bounded(s.clone()),
+        }
+    }
+}
+
+pub struct Sender<T> {
+    tx: Tx<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        Sender {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send, blocking if a bounded channel is full.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        match &self.tx {
+            Tx::Unbounded(s) => s.send(value),
+            Tx::Bounded(s) => s.send(value),
+        }
+    }
+
+    /// Send without blocking; fails on a full bounded channel.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        match &self.tx {
+            Tx::Unbounded(s) => s.send(value).map_err(|e| TrySendError::Disconnected(e.0)),
+            Tx::Bounded(s) => s.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            }),
+        }
+    }
+}
+
+pub struct Receiver<T> {
+    rx: Mutex<mpsc::Receiver<T>>,
+}
+
+impl<T> Receiver<T> {
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.rx.lock().unwrap_or_else(|e| e.into_inner()).recv()
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.rx.lock().unwrap_or_else(|e| e.into_inner()).try_recv()
+    }
+
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.rx
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .recv_timeout(timeout)
+    }
+
+    /// Drain everything currently queued plus block for the rest, until
+    /// disconnect — mirrors `crossbeam_channel::Receiver::iter`.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.recv().ok())
+    }
+}
+
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (
+        Sender {
+            tx: Tx::Unbounded(tx),
+        },
+        Receiver { rx: Mutex::new(rx) },
+    )
+}
+
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (
+        Sender {
+            tx: Tx::Bounded(tx),
+        },
+        Receiver { rx: Mutex::new(rx) },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn bounded_try_send_full() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.recv().unwrap(), 1);
+    }
+
+    #[test]
+    fn receiver_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Receiver<u32>>();
+    }
+
+    #[test]
+    fn disconnect_observed() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! Offline stand-in for `rand` 0.9.
+//!
+//! Provides the rand 0.9 API surface this workspace uses — the [`Rng`]
+//! extension trait (`random`, `random_range`, `random_bool`),
+//! [`SeedableRng::seed_from_u64`], and a [`rngs::StdRng`] — backed by
+//! SplitMix64 followed by an xorshift-style scramble. Statistical
+//! quality is ample for tests and benches; this is not a cryptographic
+//! generator.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible uniformly from a generator.
+pub trait Standard: Sized {
+    fn sample_standard(rng: &mut impl RngCore) -> Self;
+}
+
+/// Types samplable uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample_range(rng: &mut impl RngCore, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+/// Ranges accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut impl RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut impl RngCore) -> T {
+        assert!(self.start < self.end, "empty range in random_range");
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, rng: &mut impl RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty range in random_range");
+        T::sample_range(rng, lo, hi, true)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample_range(rng: &mut impl RngCore, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as i128 - lo as i128) + i128::from(inclusive);
+                debug_assert!(span > 0);
+                let v = (rng.next_u64() as u128 % span as u128) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+
+        impl Standard for $t {
+            fn sample_standard(rng: &mut impl RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut impl RngCore, lo: Self, hi: Self, _inclusive: bool) -> Self {
+                // 53 random bits -> [0, 1), scaled into the span.
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = lo as f64 + unit * (hi as f64 - lo as f64);
+                v as $t
+            }
+        }
+
+        impl Standard for $t {
+            fn sample_standard(rng: &mut impl RngCore) -> Self {
+                <$t as SampleUniform>::sample_range(rng, 0.0, 1.0, false)
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+impl Standard for bool {
+    fn sample_standard(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// High-level sampling, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_range(self, 0.0, 1.0, false) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Default generator: SplitMix64 stream with an extra xorshift
+    /// scramble. Deterministic across platforms.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele et al.), public-domain constants.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng {
+                // Avoid the all-zero fixed point and decorrelate small seeds.
+                state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+            }
+        }
+    }
+}
+
+/// Process-global generator, seeded per thread from a counter — the
+/// `rand::rng()` entry point.
+pub fn rng() -> rngs::StdRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0x1234_5678);
+    SeedableRng::seed_from_u64(COUNTER.fetch_add(0x9E37_79B9, Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let f: f32 = r.random_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let i: i32 = r.random_range(-5..5);
+            assert!((-5..5).contains(&i));
+            let u: usize = r.random_range(0..10);
+            assert!(u < 10);
+        }
+    }
+
+    #[test]
+    fn spread_covers_range() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[r.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    use super::RngCore;
+}

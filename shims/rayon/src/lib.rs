@@ -1,0 +1,254 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the slice of the rayon API this workspace uses — `par_iter`
+//! / `into_par_iter` / `par_chunks` with `map`, `flat_map_iter`,
+//! `for_each` and `collect`, plus `ThreadPoolBuilder::install` for
+//! thread-count ablations — on top of `std::thread::scope`.
+//!
+//! Unlike real rayon there is no work-stealing pool: each parallel stage
+//! eagerly splits its input into one contiguous chunk per thread and
+//! joins in order, so results are deterministic and ordering matches the
+//! sequential semantics rayon guarantees for indexed iterators. For the
+//! frame-sized batches this workspace runs (dozens of rakes, thousands of
+//! seeds) chunk-per-thread is within noise of a real pool.
+
+use std::cell::Cell;
+use std::thread;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Effective parallelism for stages started on this thread.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(|| thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Parallel-map `items` through `f`, preserving input order.
+fn pmap<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous chunks, one per thread, sized as evenly as possible.
+    let len = items.len();
+    let base = len / threads;
+    let extra = len % threads;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    for i in 0..threads {
+        let take = base + usize::from(i < extra);
+        chunks.push(it.by_ref().take(take).collect());
+    }
+    let f = &f;
+    let per_chunk: Vec<Vec<U>> = thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// An eagerly evaluated "parallel iterator": adapters run the parallel
+/// stage immediately and hand back the materialized results.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync + Send,
+    {
+        ParIter {
+            items: pmap(self.items, f),
+        }
+    }
+
+    pub fn flat_map_iter<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync + Send,
+    {
+        let nested = pmap(self.items, |t| f(t).into_iter().collect::<Vec<U>>());
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn filter_map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> Option<U> + Sync + Send,
+    {
+        let nested = pmap(self.items, f);
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        pmap(self.items, f);
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// `into_par_iter` for anything iterable (vectors, ranges, maps).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// Borrowing parallel access to slices: `par_iter` and `par_chunks`.
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<&T>;
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (infallible in the shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// 0 means "use the default", as in real rayon.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = (n > 0).then_some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A "pool" that scopes a thread-count override: parallel stages started
+/// inside `install` split into at most `num_threads` chunks.
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(self.num_threads));
+        let result = op();
+        POOL_THREADS.with(|c| c.set(prev));
+        result
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(current_num_threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.windows(2).all(|w| w[1] == w[0] + 2));
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = [1, 2, 3, 4];
+        let sum: Vec<i32> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(sum, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn par_chunks_and_flat_map() {
+        let data: Vec<u32> = (0..10).collect();
+        let out: Vec<u32> = data
+            .par_chunks(3)
+            .flat_map_iter(|c| c.to_vec())
+            .collect();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn install_limits_threads() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let n = pool.install(super::current_num_threads);
+        assert_eq!(n, 2);
+        // Override is scoped.
+        assert!(super::current_num_threads() >= 1);
+    }
+}

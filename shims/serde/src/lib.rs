@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes `Serialize`/`Deserialize` as blanket-implemented marker
+//! traits and re-exports the no-op derives, so `#[derive(Serialize,
+//! Deserialize)]` and `T: Serialize` bounds compile unchanged. Nothing
+//! in this workspace actually serializes through serde — every format is
+//! hand-rolled binary — so no data model is needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization alias, mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}

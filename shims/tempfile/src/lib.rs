@@ -1,0 +1,83 @@
+//! Offline stand-in for `tempfile`: just [`tempdir`]/[`TempDir`], which
+//! is all this workspace uses. Directories are created under
+//! `std::env::temp_dir()` with a process-unique name and removed
+//! (recursively, best-effort) on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::{fs, io};
+
+/// A directory deleted when this handle drops.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consume without deleting, returning the path.
+    pub fn keep(self) -> PathBuf {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+impl AsRef<Path> for TempDir {
+    fn as_ref(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Create a fresh temporary directory.
+pub fn tempdir() -> io::Result<TempDir> {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let base = std::env::temp_dir();
+    let pid = std::process::id();
+    // Retry on collision (e.g. leftovers from a previous crashed run).
+    for _ in 0..1024 {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = base.join(format!(".tmp-shim-{pid}-{n}"));
+        match fs::create_dir(&path) {
+            Ok(()) => return Ok(TempDir { path }),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::AlreadyExists,
+        "could not find a free temp dir name",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tempdir;
+
+    #[test]
+    fn create_write_and_cleanup() {
+        let dir = tempdir().unwrap();
+        let file = dir.path().join("x.txt");
+        std::fs::write(&file, b"hello").unwrap();
+        assert_eq!(std::fs::read(&file).unwrap(), b"hello");
+        let path = dir.path().to_path_buf();
+        drop(dir);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn dirs_are_unique() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

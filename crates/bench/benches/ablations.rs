@@ -36,14 +36,20 @@ fn streamline_physical_space(
     for _ in 0..cfg.max_points {
         // The expensive search the windtunnel avoids:
         let Some(gc) = grid.locate(p_phys) else { break };
-        let Some(gc) = domain.canonicalize(gc) else { break };
-        let Some(v_grid) = field.sample(gc) else { break };
+        let Some(gc) = domain.canonicalize(gc) else {
+            break;
+        };
+        let Some(v_grid) = field.sample(gc) else {
+            break;
+        };
         // Step in grid space, convert back to physical for the next
         // search (velocity is stored in grid coordinates).
         let Some(next_gc) = domain.canonicalize(gc + v_grid * cfg.dt) else {
             break;
         };
-        let Some(next_phys) = grid.to_physical(next_gc) else { break };
+        let Some(next_phys) = grid.to_physical(next_gc) else {
+            break;
+        };
         p_phys = next_phys;
         path.push(p_phys);
     }
@@ -120,7 +126,10 @@ fn ablate_time_interp(c: &mut Criterion) {
         (spec.dims.nk - 1) as f32 * 0.5,
     );
     let mut g = c.benchmark_group("ablate_pathline_time_interp");
-    for (name, interp) in [("per_timestep_field (paper)", false), ("time_blended", true)] {
+    for (name, interp) in [
+        ("per_timestep_field (paper)", false),
+        ("time_blended", true),
+    ] {
         let cfg = PathlineConfig {
             time_interpolate: interp,
             substeps_per_timestep: 4,

@@ -89,9 +89,11 @@ fn bench_table3_kernels(c: &mut Criterion) {
     let mut g = c.benchmark_group("table3_100x200");
     g.sample_size(10);
     for kernel in Kernel::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(kernel.label()), &kernel, |b, &k| {
-            b.iter(|| black_box(run_kernel(k, &bench, &seeds, &cfg).0))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kernel.label()),
+            &kernel,
+            |b, &k| b.iter(|| black_box(run_kernel(k, &bench, &seeds, &cfg).0)),
+        );
     }
     g.finish();
 }

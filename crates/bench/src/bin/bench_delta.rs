@@ -1,0 +1,314 @@
+//! Delta-protocol benchmark: bytes/frame and end-to-end latency of
+//! FRAME_DELTA vs the full-frame RPC, across the three workloads the
+//! paper's interaction budget cares about — head-pose-only churn, a
+//! single dragged rake, and timestep playback — at 1, 2, and 4 simulated
+//! clients. Also verifies the encode-once broadcast property: per-rake
+//! chunks are encoded once per content change no matter how many clients
+//! pull the revision. Emits `BENCH_delta.json` in the working directory.
+//!
+//! `--quick` runs a down-scaled smoke pass (tiny workload, one client
+//! count, nothing written) so CI can prove the harness still works.
+
+use flowfield::{
+    dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims, VectorField,
+};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use storage::MemoryStore;
+use tracer::{ToolKind, TraceConfig};
+use vecmath::{Aabb, Pose, Vec3};
+use vr::Gesture;
+use windtunnel::client::WindtunnelClient;
+use windtunnel::compute::ComputeConfig;
+use windtunnel::proto::{Command, TimeCommand};
+use windtunnel::server::{serve, ServerOptions, WindtunnelHandle};
+
+/// Benchmark scale. The full profile puts ~100k path points on the wire
+/// (Table 1's largest interactive row): 8 rakes x 25 seeds x 501 points.
+#[derive(Clone, Copy)]
+struct Profile {
+    rakes: u32,
+    seeds_per_rake: u32,
+    max_points: usize,
+    frames: usize,
+    client_counts: &'static [usize],
+}
+
+const FULL: Profile = Profile {
+    rakes: 8,
+    seeds_per_rake: 25,
+    max_points: 500,
+    frames: 20,
+    client_counts: &[1, 2, 4],
+};
+
+const QUICK: Profile = Profile {
+    rakes: 2,
+    seeds_per_rake: 3,
+    max_points: 20,
+    frames: 3,
+    client_counts: &[2],
+};
+
+fn start_server(p: &Profile) -> WindtunnelHandle {
+    let dims = Dims::new(32, 17, 17);
+    let grid = CurvilinearGrid::cartesian(dims, Aabb::new(Vec3::ZERO, Vec3::new(31.0, 16.0, 16.0)))
+        .unwrap();
+    let meta = DatasetMeta {
+        name: "bench-delta".into(),
+        dims,
+        timestep_count: 8,
+        dt: 0.1,
+        coords: VelocityCoords::Grid,
+    };
+    // A slow uniform field: streamlines run to max_points without leaving
+    // the domain, so the wire payload is deterministic.
+    let fields = (0..8)
+        .map(|_| VectorField::from_fn(dims, |_, _, _| Vec3::X * 0.1))
+        .collect();
+    let ds = Dataset::new(meta, grid.clone(), fields).unwrap();
+    let store = Arc::new(MemoryStore::from_dataset(ds));
+    let opts = ServerOptions {
+        compute: ComputeConfig {
+            trace: TraceConfig {
+                dt: 0.25,
+                max_points: p.max_points,
+                ..TraceConfig::default()
+            },
+            ..ComputeConfig::default()
+        },
+        ..ServerOptions::default()
+    };
+    serve(store, grid, opts, "127.0.0.1:0").unwrap()
+}
+
+/// Rake `i`'s endpoints (spread along y/z so drags never collide).
+fn rake_endpoints(i: u32) -> (Vec3, Vec3) {
+    let y = 2.0 + (i % 4) as f32 * 3.0;
+    let z = 4.0 + (i / 4) as f32 * 6.0;
+    (Vec3::new(1.0, y, z), Vec3::new(1.0, y + 2.0, z))
+}
+
+fn add_rakes(driver: &mut WindtunnelClient, p: &Profile) {
+    for i in 0..p.rakes {
+        let (a, b) = rake_endpoints(i);
+        driver
+            .send(&Command::AddRake {
+                a,
+                b,
+                seed_count: p.seeds_per_rake,
+                tool: ToolKind::Streamline,
+            })
+            .unwrap();
+    }
+}
+
+/// One workload's per-frame mutation, applied through the driving client.
+#[derive(Clone, Copy)]
+enum Mutation {
+    HeadPose,
+    Drag,
+    Playback,
+}
+
+struct WorkloadResult {
+    workload: &'static str,
+    clients: usize,
+    total_points: usize,
+    delta_bytes_per_frame: f64,
+    full_bytes_per_frame: f64,
+    reduction: f64,
+    delta_frame_us: f64,
+    full_frame_us: f64,
+    /// Chunk encodes during the measured delta phase — must not scale
+    /// with the client count (encode-once broadcast).
+    chunk_encodes: u64,
+}
+
+fn run_workload(
+    name: &'static str,
+    mutation: Mutation,
+    n_clients: usize,
+    p: &Profile,
+) -> WorkloadResult {
+    let handle = start_server(p);
+    let mut clients: Vec<WindtunnelClient> = (0..n_clients)
+        .map(|_| WindtunnelClient::connect(handle.addr()).unwrap())
+        .collect();
+    add_rakes(&mut clients[0], p);
+
+    // Drag workload: hold the first rake's center for the whole run.
+    let (a0, b0) = rake_endpoints(0);
+    let center = (a0 + b0) * 0.5;
+    if matches!(mutation, Mutation::Drag) {
+        clients[0]
+            .send(&Command::Hand {
+                position: center,
+                gesture: Gesture::Fist,
+            })
+            .unwrap();
+    }
+    if matches!(mutation, Mutation::Playback) {
+        clients[0].send(&Command::Time(TimeCommand::Play)).unwrap();
+    }
+
+    // Warmup: every client receives its keyframe; measure payload size.
+    let mut total_points = 0;
+    for c in clients.iter_mut() {
+        total_points = c.frame_delta(false).unwrap().particle_count();
+    }
+    let encodes_before = clients[0].stats().unwrap().cum_chunk_encodes;
+
+    let mutate = |clients: &mut Vec<WindtunnelClient>, tick: usize| match mutation {
+        Mutation::HeadPose => clients[0]
+            .send(&Command::HeadPose {
+                pose: Pose::new(
+                    Vec3::new(0.0, 1.7 + tick as f32 * 1e-3, 5.0),
+                    Default::default(),
+                ),
+            })
+            .unwrap(),
+        Mutation::Drag => clients[0]
+            .send(&Command::Hand {
+                position: center + Vec3::X * (0.2 + 0.01 * tick as f32),
+                gesture: Gesture::Fist,
+            })
+            .unwrap(),
+        // Playback's mutation is the clock itself: the driving fetch
+        // below passes advance = true.
+        Mutation::Playback => {}
+    };
+    let advance = matches!(mutation, Mutation::Playback);
+
+    // Delta phase.
+    let mut delta_bytes = 0usize;
+    let mut delta_secs = 0.0f64;
+    let mut fetches = 0usize;
+    for tick in 0..p.frames {
+        mutate(&mut clients, tick);
+        for (ci, c) in clients.iter_mut().enumerate() {
+            let t = Instant::now();
+            let (_, n) = c.frame_delta_measured(advance && ci == 0).unwrap();
+            delta_secs += t.elapsed().as_secs_f64();
+            delta_bytes += n;
+            fetches += 1;
+        }
+    }
+    let chunk_encodes = clients[0].stats().unwrap().cum_chunk_encodes - encodes_before;
+
+    // Full-frame phase: same mutation pattern over the same server.
+    let mut full_bytes = 0usize;
+    let mut full_secs = 0.0f64;
+    for tick in 0..p.frames {
+        mutate(&mut clients, p.frames + tick);
+        for (ci, c) in clients.iter_mut().enumerate() {
+            let t = Instant::now();
+            let (_, n) = c.frame_measured(advance && ci == 0).unwrap();
+            full_secs += t.elapsed().as_secs_f64();
+            full_bytes += n;
+        }
+    }
+    handle.shutdown();
+
+    let delta_bytes_per_frame = delta_bytes as f64 / fetches as f64;
+    let full_bytes_per_frame = full_bytes as f64 / fetches as f64;
+    WorkloadResult {
+        workload: name,
+        clients: n_clients,
+        total_points,
+        delta_bytes_per_frame,
+        full_bytes_per_frame,
+        reduction: full_bytes_per_frame / delta_bytes_per_frame,
+        delta_frame_us: delta_secs / fetches as f64 * 1e6,
+        full_frame_us: full_secs / fetches as f64 * 1e6,
+        chunk_encodes,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let profile = if quick { QUICK } else { FULL };
+
+    let workloads = [
+        ("head_pose_only", Mutation::HeadPose),
+        ("single_rake_drag", Mutation::Drag),
+        ("playback", Mutation::Playback),
+    ];
+
+    let mut results: Vec<WorkloadResult> = Vec::new();
+    for (name, mutation) in workloads {
+        for &n in profile.client_counts {
+            let r = run_workload(name, mutation, n, &profile);
+            eprintln!(
+                "{:>17} x{} clients: {:>9.0} B/frame delta vs {:>9.0} B full ({:>5.1}x), \
+                 {:>7.0} us delta vs {:>7.0} us full, {} chunk encodes",
+                r.workload,
+                r.clients,
+                r.delta_bytes_per_frame,
+                r.full_bytes_per_frame,
+                r.reduction,
+                r.delta_frame_us,
+                r.full_frame_us,
+                r.chunk_encodes
+            );
+            results.push(r);
+        }
+    }
+
+    // Encode-once broadcast: for each workload, the number of chunk
+    // encodes must not grow with the client count.
+    let mut encode_once = true;
+    for (name, _) in workloads {
+        let per_count: Vec<u64> = results
+            .iter()
+            .filter(|r| r.workload == name)
+            .map(|r| r.chunk_encodes)
+            .collect();
+        if per_count.windows(2).any(|w| w[1] > w[0]) {
+            encode_once = false;
+            eprintln!("WARNING: {name} chunk encodes grew with client count: {per_count:?}");
+        }
+    }
+
+    if quick {
+        eprintln!("--quick: smoke pass only, BENCH_delta.json not written");
+        assert!(encode_once, "encode-once broadcast property violated");
+        return;
+    }
+
+    for r in &results {
+        if (r.workload == "head_pose_only" || r.workload == "single_rake_drag") && r.reduction < 5.0
+        {
+            eprintln!(
+                "WARNING: {} x{} reduction {:.1}x is below the 5x target",
+                r.workload, r.clients, r.reduction
+            );
+        }
+    }
+
+    let mut json = String::from("{\n  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"clients\": {}, \"total_points\": {}, \
+             \"delta_bytes_per_frame\": {:.0}, \"full_bytes_per_frame\": {:.0}, \
+             \"reduction\": {:.2}, \"delta_frame_us\": {:.1}, \"full_frame_us\": {:.1}, \
+             \"chunk_encodes\": {}}}{}",
+            r.workload,
+            r.clients,
+            r.total_points,
+            r.delta_bytes_per_frame,
+            r.full_bytes_per_frame,
+            r.reduction,
+            r.delta_frame_us,
+            r.full_frame_us,
+            r.chunk_encodes,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],\n  \"encode_once_broadcast\": {encode_once}\n}}");
+    std::fs::write("BENCH_delta.json", &json).expect("write BENCH_delta.json");
+    print!("{json}");
+    assert!(encode_once, "encode-once broadcast property violated");
+}

@@ -8,7 +8,9 @@
 
 use bytes::{Bytes, BytesMut};
 use dlib::wire::{WireReader, WireWrite};
-use flowfield::{dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims, VectorField};
+use flowfield::{
+    dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims, VectorField,
+};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -188,9 +190,10 @@ impl Row {
     }
 }
 
-fn codec_rows() -> Vec<Row> {
-    [10_000usize, 50_000, 100_000]
-        .into_iter()
+fn codec_rows(sizes: &[usize]) -> Vec<Row> {
+    sizes
+        .iter()
+        .copied()
         .map(|particles| {
             let frame = frame_with(particles);
             let encoded = frame.encode();
@@ -239,11 +242,8 @@ struct CacheLatency {
 
 fn cache_latency() -> CacheLatency {
     let dims = Dims::new(32, 17, 17);
-    let grid = CurvilinearGrid::cartesian(
-        dims,
-        Aabb::new(Vec3::ZERO, Vec3::new(31.0, 16.0, 16.0)),
-    )
-    .unwrap();
+    let grid = CurvilinearGrid::cartesian(dims, Aabb::new(Vec3::ZERO, Vec3::new(31.0, 16.0, 16.0)))
+        .unwrap();
     let meta = DatasetMeta {
         name: "bench".into(),
         dims,
@@ -252,7 +252,11 @@ fn cache_latency() -> CacheLatency {
         coords: VelocityCoords::Grid,
     };
     let fields = (0..4)
-        .map(|_| VectorField::from_fn(dims, |_, j, k| Vec3::new(1.0, (j as f32).sin() * 0.1, (k as f32).cos() * 0.1)))
+        .map(|_| {
+            VectorField::from_fn(dims, |_, j, k| {
+                Vec3::new(1.0, (j as f32).sin() * 0.1, (k as f32).cos() * 0.1)
+            })
+        })
         .collect();
     let ds = Dataset::new(meta, grid.clone(), fields).unwrap();
     let store = Arc::new(MemoryStore::from_dataset(ds));
@@ -317,8 +321,28 @@ fn cache_latency() -> CacheLatency {
 }
 
 fn main() {
-    let rows = codec_rows();
+    // --quick: a scaled-down smoke pass for CI — one small codec row,
+    // byte-identity still asserted, recorded BENCH_frame.json untouched.
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick {
+        &[5_000]
+    } else {
+        &[10_000, 50_000, 100_000]
+    };
+    let rows = codec_rows(sizes);
     let cache = cache_latency();
+
+    if quick {
+        eprintln!(
+            "--quick: {} pts codec {:.2}x, cold frame {:.0} us, frame hit {:.0} us; \
+             BENCH_frame.json not written",
+            rows[0].particles,
+            rows[0].speedup(),
+            cache.cold_us,
+            cache.frame_hit_us
+        );
+        return;
+    }
 
     let mut json = String::from("{\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {

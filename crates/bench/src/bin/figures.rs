@@ -81,12 +81,7 @@ fn figure_rake(spec: &cfd::OGridSpec) -> Rake {
     )
 }
 
-fn render_to(
-    out_dir: &Path,
-    name: &str,
-    spec: &cfd::OGridSpec,
-    paths: &[(Vec<Vec3>, u8)],
-) {
+fn render_to(out_dir: &Path, name: &str, spec: &cfd::OGridSpec, paths: &[(Vec<Vec3>, u8)]) {
     let cam = camera(spec);
     let mut all: Vec<(Vec<Vec3>, u8)> = cylinder_wireframe(spec);
     all.extend_from_slice(paths);
@@ -104,7 +99,10 @@ fn render_to(
         fb.draw_polyline(&mvp, line, c);
     }
     write_ppm(&out_dir.join(format!("{name}_mono.ppm")), &fb).unwrap();
-    println!("wrote {name}_stereo.ppm and {name}_mono.ppm ({} polylines)", all.len());
+    println!(
+        "wrote {name}_stereo.ppm and {name}_mono.ppm ({} polylines)",
+        all.len()
+    );
 }
 
 fn main() {
@@ -143,7 +141,10 @@ fn main() {
         }
         streak.advance(field_cache.as_ref().unwrap(), &domain);
         if f % 30 == 0 {
-            eprintln!("  frame {f}/{frames}, {} particles", streak.particle_count());
+            eprintln!(
+                "  frame {f}/{frames}, {} particles",
+                streak.particle_count()
+            );
         }
     }
     let smoke: Vec<(Vec<Vec3>, u8)> = streak
@@ -166,7 +167,10 @@ fn main() {
         max_points: 200,
         ..TraceConfig::default()
     };
-    for (fig, t) in [("fig2_streamlines_t0", 6.0 * period), ("fig3_streamlines_t1", 6.5 * period)] {
+    for (fig, t) in [
+        ("fig2_streamlines_t0", 6.0 * period),
+        ("fig3_streamlines_t1", 6.5 * period),
+    ] {
         eprintln!("{fig}: tracing ...");
         let (field, _) = tapered_field(spec, t);
         let lines: Vec<(Vec<Vec3>, u8)> = rake
@@ -193,6 +197,8 @@ fn main() {
     }
     println!("\nmax streamline divergence between fig2 and fig3 (grid units): {max_div:.2}");
     println!("shape to verify: smoke rolls up into the staggered vortex street (fig1);");
-    println!("streamlines from identical seeds differ visibly between the two times (fig2 vs fig3).");
+    println!(
+        "streamlines from identical seeds differ visibly between the two times (fig2 vs fig3)."
+    );
     let _ = Quat::IDENTITY; // keep the import used in all cfgs
 }

@@ -90,7 +90,10 @@ fn main() {
         t.row(&[
             format!("{particles}"),
             format!("{}", frame_bytes(particles)),
-            format!("{:.3}", required_network_mbytes_per_sec(particles, TARGET_FPS)),
+            format!(
+                "{:.3}",
+                required_network_mbytes_per_sec(particles, TARGET_FPS)
+            ),
             format!("{fps_100:.1}"),
             format!("{fps_13:.1}"),
             format!("{fps_1:.1}"),
@@ -100,5 +103,7 @@ fn main() {
     println!();
     println!("paper row check: 10k -> 120000 B, 1.144 MB/s; 50k -> 600000 B, 5.722 MB/s;");
     println!("100k -> 1200000 B (paper prints 9.537 MB/s; the formula gives 11.444 — see EXPERIMENTS.md).");
-    println!("Shape to verify: 13 MB/s sustains 10 fps up to ~100k particles; 1 MB/s only below ~10k.");
+    println!(
+        "Shape to verify: 13 MB/s sustains 10 fps up to ~100k particles; 1 MB/s only below ~10k."
+    );
 }

@@ -111,9 +111,7 @@ fn main() {
     ]);
 
     println!();
-    println!(
-        "paper row check: 131072 pts -> 1572864 B, 682/GiB, 15 MB/s; 10M pts needs ~1.1 GB/s"
-    );
+    println!("paper row check: 131072 pts -> 1572864 B, 682/GiB, 15 MB/s; 10M pts needs ~1.1 GB/s");
     println!("(the paper's last row prints 360 MB/timestep = 36 B/pt; we keep 12 B/pt — see EXPERIMENTS.md).");
     println!("Shape to verify: Convex streams the tapered cylinder >10 fps; 3M+ points cannot;");
     println!("prefetch hides the ~52 ms scaled load behind the 40 ms compute.");

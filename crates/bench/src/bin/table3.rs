@@ -38,7 +38,9 @@ fn main() {
         ]);
     }
 
-    println!("\nMeasured: 100 streamlines x 200 points on the full 64x64x32 tapered-cylinder field\n");
+    println!(
+        "\nMeasured: 100 streamlines x 200 points on the full 64x64x32 tapered-cylinder field\n"
+    );
     let spec = paper_spec();
     eprintln!("generating field ...");
     let (field, domain) = tapered_field(spec, 12.0);
@@ -103,14 +105,28 @@ fn main() {
     // lives in.
     println!("\nScaled workload: 2000 streamlines x 200 points (thread-scaling regime)\n");
     let big_seeds = paper_benchmark_seeds(spec.dims, 2000);
-    let mut t2 = TablePrinter::new(&["kernel", "threads", "seconds", "points", "max particles@10fps"]);
-    for &kernel in &[Kernel::Scalar, Kernel::Parallel, Kernel::Vector, Kernel::VectorParallel] {
+    let mut t2 = TablePrinter::new(&[
+        "kernel",
+        "threads",
+        "seconds",
+        "points",
+        "max particles@10fps",
+    ]);
+    for &kernel in &[
+        Kernel::Scalar,
+        Kernel::Parallel,
+        Kernel::Vector,
+        Kernel::VectorParallel,
+    ] {
         let threads: &[usize] = match kernel {
             Kernel::Scalar | Kernel::Vector => &[1],
             _ => &thread_counts,
         };
         for &n in threads {
-            let pool = rayon::ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap();
             let mut best = Duration::MAX;
             let mut points = 0usize;
             pool.install(|| {
@@ -132,10 +148,14 @@ fn main() {
     }
 
     println!();
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("host parallelism: {cores} core(s)");
     println!("paper comparison (absolute numbers differ by the 34-year hardware gap):");
-    println!("  scalar-parallel x4 = 0.24 s | vectorized x3 = 0.19 s | workstation x8 = 0.13-0.14 s");
+    println!(
+        "  scalar-parallel x4 = 0.24 s | vectorized x3 = 0.19 s | workstation x8 = 0.13-0.14 s"
+    );
     println!("shape to verify: the vectorized (SoA lockstep) kernel beats the scalar kernel at");
     println!("equal thread counts — the paper's 0.19 s vs 0.24 s finding. On multi-core hosts the");
     println!("parallel kernels additionally scale with threads and the hybrid wins overall; on a");

@@ -105,9 +105,12 @@ impl AnalyticField for RotatingUniform {
 /// Finite-difference divergence of an analytic field — test helper for
 /// checking incompressibility.
 pub fn divergence(field: &impl AnalyticField, p: Vec3, t: f32, h: f32) -> f32 {
-    let dx = (field.velocity(p + Vec3::X * h, t).x - field.velocity(p - Vec3::X * h, t).x) / (2.0 * h);
-    let dy = (field.velocity(p + Vec3::Y * h, t).y - field.velocity(p - Vec3::Y * h, t).y) / (2.0 * h);
-    let dz = (field.velocity(p + Vec3::Z * h, t).z - field.velocity(p - Vec3::Z * h, t).z) / (2.0 * h);
+    let dx =
+        (field.velocity(p + Vec3::X * h, t).x - field.velocity(p - Vec3::X * h, t).x) / (2.0 * h);
+    let dy =
+        (field.velocity(p + Vec3::Y * h, t).y - field.velocity(p - Vec3::Y * h, t).y) / (2.0 * h);
+    let dz =
+        (field.velocity(p + Vec3::Z * h, t).z - field.velocity(p - Vec3::Z * h, t).z) / (2.0 * h);
     dx + dy + dz
 }
 
@@ -118,8 +121,13 @@ mod tests {
 
     #[test]
     fn uniform_is_uniform() {
-        let f = Uniform { u: Vec3::new(1.0, 2.0, 3.0) };
-        assert_eq!(f.velocity(Vec3::ZERO, 0.0), f.velocity(Vec3::splat(9.0), 5.0));
+        let f = Uniform {
+            u: Vec3::new(1.0, 2.0, 3.0),
+        };
+        assert_eq!(
+            f.velocity(Vec3::ZERO, 0.0),
+            f.velocity(Vec3::splat(9.0), 5.0)
+        );
     }
 
     #[test]
@@ -141,13 +149,19 @@ mod tests {
     #[test]
     fn shear_profile() {
         let f = Shear { shear_rate: 0.5 };
-        assert_eq!(f.velocity(Vec3::new(0.0, 4.0, 0.0), 0.0), Vec3::new(2.0, 0.0, 0.0));
+        assert_eq!(
+            f.velocity(Vec3::new(0.0, 4.0, 0.0), 0.0),
+            Vec3::new(2.0, 0.0, 0.0)
+        );
         assert_eq!(f.velocity(Vec3::new(7.0, 0.0, 0.0), 0.0), Vec3::ZERO);
     }
 
     #[test]
     fn rotating_uniform_cycles() {
-        let f = RotatingUniform { u0: 1.0, omega: std::f32::consts::TAU };
+        let f = RotatingUniform {
+            u0: 1.0,
+            omega: std::f32::consts::TAU,
+        };
         let v0 = f.velocity(Vec3::ZERO, 0.0);
         let v1 = f.velocity(Vec3::ZERO, 1.0);
         assert!(v0.distance(v1) < 1e-4);

@@ -168,7 +168,8 @@ mod tests {
         // Cells near the body must be finer than cells at the far field.
         let spec = OGridSpec::small();
         let inner = spec.r_of(1, 0.0) - spec.r_of(0, 0.0);
-        let outer = spec.r_of(spec.dims.nj as usize - 1, 0.0) - spec.r_of(spec.dims.nj as usize - 2, 0.0);
+        let outer =
+            spec.r_of(spec.dims.nj as usize - 1, 0.0) - spec.r_of(spec.dims.nj as usize - 2, 0.0);
         assert!(inner < outer);
     }
 
@@ -178,9 +179,7 @@ mod tests {
         let grid = spec.build().unwrap();
         assert_eq!(grid.dims(), spec.dims);
         // Interior Jacobians must be invertible.
-        let j = grid
-            .jacobian(Vec3::new(3.0, 4.0, 2.0))
-            .unwrap();
+        let j = grid.jacobian(Vec3::new(3.0, 4.0, 2.0)).unwrap();
         assert!(j.determinant().abs() > 1e-6);
     }
 

@@ -14,7 +14,9 @@
 //! outflow on the right, free-slip top and bottom, no-slip on cells inside
 //! the cylinder.
 
-use flowfield::{dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims, VectorField};
+use flowfield::{
+    dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims, VectorField,
+};
 use rayon::prelude::*;
 use vecmath::{Aabb, Vec3};
 
@@ -388,16 +390,14 @@ impl Solver2D {
         for j in 0..ny {
             for i in 1..nx {
                 if !self.solid[pi(i - 1, j)] && !self.solid[pi(i, j)] {
-                    self.u[ui(i, j)] -=
-                        dt * (self.p[pi(i, j)] - self.p[pi(i - 1, j)]) / dx;
+                    self.u[ui(i, j)] -= dt * (self.p[pi(i, j)] - self.p[pi(i - 1, j)]) / dx;
                 }
             }
         }
         for j in 1..ny {
             for i in 0..nx {
                 if !self.solid[pi(i, j - 1)] && !self.solid[pi(i, j)] {
-                    self.v[vi(i, j)] -=
-                        dt * (self.p[pi(i, j)] - self.p[pi(i, j - 1)]) / dy;
+                    self.v[vi(i, j)] -= dt * (self.p[pi(i, j)] - self.p[pi(i, j - 1)]) / dy;
                 }
             }
         }
@@ -514,10 +514,7 @@ pub fn simulate_extruded(cfg: &ExtrudeConfig, name: &str) -> flowfield::Result<D
         .collect();
 
     let dims = Dims::new(cfg.out_nx, cfg.out_ny, nk as u32);
-    let bounds = Aabb::new(
-        Vec3::ZERO,
-        Vec3::new(cfg.base.lx, cfg.base.ly, cfg.span),
-    );
+    let bounds = Aabb::new(Vec3::ZERO, Vec3::new(cfg.base.lx, cfg.base.ly, cfg.span));
     let grid = CurvilinearGrid::cartesian(dims, bounds)?;
     let inv_jac = grid.precompute_inverse_jacobians()?;
 
@@ -607,7 +604,10 @@ mod tests {
         }
         // Speed just behind the cylinder is lower than the freestream
         // above it.
-        let (u_wake, _) = s.velocity_at(cfg.cylinder_center.0 + 3.0 * cfg.cylinder_radius, cfg.cylinder_center.1);
+        let (u_wake, _) = s.velocity_at(
+            cfg.cylinder_center.0 + 3.0 * cfg.cylinder_radius,
+            cfg.cylinder_center.1,
+        );
         let (u_free, _) = s.velocity_at(cfg.cylinder_center.0, cfg.ly - 0.5);
         assert!(u_wake < u_free, "wake {u_wake} vs free {u_free}");
     }

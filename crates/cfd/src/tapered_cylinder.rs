@@ -256,7 +256,11 @@ mod tests {
         let v1 = flow.velocity(probe, 7.3);
         // The street is downstream; upstream only feels its weak far
         // field, which alternating circulations largely cancel.
-        assert!(v0.distance(v1) < 0.08 * flow.u_inf, "drift {}", v0.distance(v1));
+        assert!(
+            v0.distance(v1) < 0.08 * flow.u_inf,
+            "drift {}",
+            v0.distance(v1)
+        );
     }
 
     #[test]
@@ -288,7 +292,10 @@ mod tests {
         let probe = Vec3::new(4.0, 0.0, 0.0);
         let n = 24;
         let mut signs = (0..n)
-            .map(|s| flow.velocity(probe, 10.0 * period + s as f32 * period / n as f32).y)
+            .map(|s| {
+                flow.velocity(probe, 10.0 * period + s as f32 * period / n as f32)
+                    .y
+            })
             .collect::<Vec<_>>();
         signs.retain(|v| v.abs() > 1e-4);
         assert!(signs.iter().any(|&v| v > 0.0) && signs.iter().any(|&v| v < 0.0));

@@ -73,7 +73,11 @@ impl Call {
         }
         // Zero-copy: the args are a view of the incoming frame buffer.
         let args = buf.slice(buf.len() - len..);
-        Ok(Call { seq, procedure, args })
+        Ok(Call {
+            seq,
+            procedure,
+            args,
+        })
     }
 }
 
@@ -123,7 +127,11 @@ impl Reply {
         }
         // Zero-copy: the payload is a view of the incoming frame buffer.
         let payload = buf.slice(buf.len() - len..);
-        Ok(Reply { seq, status, payload })
+        Ok(Reply {
+            seq,
+            status,
+            payload,
+        })
     }
 
     /// Convert into the caller-facing result.
@@ -164,7 +172,9 @@ mod tests {
     #[test]
     fn reply_into_result() {
         assert_eq!(
-            Reply::ok(1, Bytes::from_static(b"x")).into_result().unwrap(),
+            Reply::ok(1, Bytes::from_static(b"x"))
+                .into_result()
+                .unwrap(),
             Bytes::from_static(b"x")
         );
         assert!(matches!(

@@ -83,12 +83,10 @@ impl<S: Send + 'static> DlibServer<S> {
             .spawn(move || {
                 while let Ok(job) = job_rx.recv() {
                     let reply = match procedures.get(&job.call.procedure) {
-                        Some(proc_fn) => {
-                            match proc_fn(&mut state, job.session, &job.call.args) {
-                                Ok(payload) => Reply::ok(job.call.seq, payload),
-                                Err(msg) => Reply::error(job.call.seq, &msg),
-                            }
-                        }
+                        Some(proc_fn) => match proc_fn(&mut state, job.session, &job.call.args) {
+                            Ok(payload) => Reply::ok(job.call.seq, payload),
+                            Err(msg) => Reply::error(job.call.seq, &msg),
+                        },
                         None => Reply {
                             seq: job.call.seq,
                             status: crate::message::Status::UnknownProcedure,
@@ -257,9 +255,7 @@ mod tests {
             state.extend_from_slice(args);
             Ok(Bytes::new())
         });
-        server.register(PROC_READ, |state, _s, _| {
-            Ok(Bytes::copy_from_slice(state))
-        });
+        server.register(PROC_READ, |state, _s, _| Ok(Bytes::copy_from_slice(state)));
         server.register(PROC_FAIL, |_state, _s, _| Err("deliberate".into()));
         server.register(PROC_WHOAMI, |_state, s, _| {
             Ok(Bytes::copy_from_slice(&s.client_id.to_le_bytes()))

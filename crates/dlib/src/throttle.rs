@@ -82,7 +82,9 @@ impl<W: Write> Write for ThrottledWriter<W> {
                 std::thread::sleep(self.earliest_next - now);
             }
             let cost = Duration::from_secs_f64(take as f64 / self.bytes_per_sec);
-            let base = self.earliest_next.max(Instant::now() - Duration::from_millis(50));
+            let base = self
+                .earliest_next
+                .max(Instant::now() - Duration::from_millis(50));
             self.earliest_next = base + cost;
         }
         let n = self.inner.write(&buf[..take])?;

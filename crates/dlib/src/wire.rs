@@ -133,8 +133,7 @@ impl<'a> WireReader<'a> {
 
     pub fn string(&mut self) -> Result<String> {
         let b = self.bytes()?;
-        String::from_utf8(b.to_vec())
-            .map_err(|_| DlibError::Protocol("string is not UTF-8".into()))
+        String::from_utf8(b.to_vec()).map_err(|_| DlibError::Protocol("string is not UTF-8".into()))
     }
 
     /// Bulk-decode `n` f32 triples (12 bytes each, little-endian) after a

@@ -70,7 +70,11 @@ pub struct Dataset {
 
 impl Dataset {
     /// Assemble a dataset, validating that every timestep matches the grid.
-    pub fn new(meta: DatasetMeta, grid: CurvilinearGrid, timesteps: Vec<VectorField>) -> Result<Dataset> {
+    pub fn new(
+        meta: DatasetMeta,
+        grid: CurvilinearGrid,
+        timesteps: Vec<VectorField>,
+    ) -> Result<Dataset> {
         if grid.dims() != meta.dims {
             return Err(FieldError::LengthMismatch {
                 expected: meta.dims.point_count(),
@@ -92,7 +96,11 @@ impl Dataset {
                 });
             }
         }
-        Ok(Dataset { meta, grid, timesteps })
+        Ok(Dataset {
+            meta,
+            grid,
+            timesteps,
+        })
     }
 
     /// Build from physical-space velocity fields, converting them to grid
@@ -157,7 +165,6 @@ impl Dataset {
     /// stand-alone windtunnel runs time forward/backward at user-controlled
     /// rates (§2), which lands between stored timesteps.
     pub fn sample_time_interp(&self, grid_coord: Vec3, t: f32) -> Option<Vec3> {
-
         if !(0.0..=(self.timesteps.len().saturating_sub(1)) as f32).contains(&t) {
             return None;
         }
@@ -216,7 +223,11 @@ mod tests {
 
     #[test]
     fn rejects_wrong_timestep_count() {
-        let r = Dataset::new(tiny_meta(3), tiny_grid(), vec![const_field(Dims::new(3, 3, 3), Vec3::X)]);
+        let r = Dataset::new(
+            tiny_meta(3),
+            tiny_grid(),
+            vec![const_field(Dims::new(3, 3, 3), Vec3::X)],
+        );
         assert!(r.is_err());
     }
 

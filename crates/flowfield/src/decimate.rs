@@ -78,11 +78,9 @@ mod tests {
 
     fn make_dataset(n: u32) -> Dataset {
         let dims = Dims::new(n, n, n);
-        let grid = CurvilinearGrid::cartesian(
-            dims,
-            Aabb::new(Vec3::ZERO, Vec3::splat((n - 1) as f32)),
-        )
-        .unwrap();
+        let grid =
+            CurvilinearGrid::cartesian(dims, Aabb::new(Vec3::ZERO, Vec3::splat((n - 1) as f32)))
+                .unwrap();
         let meta = DatasetMeta {
             name: "full".into(),
             dims,
@@ -100,7 +98,10 @@ mod tests {
     #[test]
     fn dims_shrink_correctly() {
         assert_eq!(decimate_dims(Dims::new(9, 9, 9), 2), Dims::new(5, 5, 5));
-        assert_eq!(decimate_dims(Dims::new(64, 64, 32), 2), Dims::new(32, 32, 16));
+        assert_eq!(
+            decimate_dims(Dims::new(64, 64, 32), 2),
+            Dims::new(32, 32, 16)
+        );
         assert_eq!(decimate_dims(Dims::new(9, 9, 9), 1), Dims::new(9, 9, 9));
         // Odd strides on non-multiples keep both endpoints coverage-safe.
         assert_eq!(decimate_dims(Dims::new(10, 10, 10), 3), Dims::new(4, 4, 4));
@@ -142,7 +143,10 @@ mod tests {
         let jac_dec = dec.grid().jacobian(Vec3::splat(1.0)).unwrap();
         let phys_dec = jac_dec.mul_vec(v_dec);
 
-        assert!(phys_full.distance(phys_dec) < 1e-4, "{phys_full:?} vs {phys_dec:?}");
+        assert!(
+            phys_full.distance(phys_dec) < 1e-4,
+            "{phys_full:?} vs {phys_dec:?}"
+        );
     }
 
     #[test]

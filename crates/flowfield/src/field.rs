@@ -121,10 +121,7 @@ impl VectorField {
     /// Largest velocity magnitude in the field (used to choose stable
     /// integration step sizes).
     pub fn max_magnitude(&self) -> f32 {
-        self.data
-            .iter()
-            .map(|v| v.length())
-            .fold(0.0f32, f32::max)
+        self.data.iter().map(|v| v.length()).fold(0.0f32, f32::max)
     }
 
     /// Convert to the SoA layout.
@@ -340,7 +337,13 @@ mod tests {
     #[test]
     fn length_mismatch_rejected() {
         let err = VectorField::new(Dims::new(2, 2, 2), vec![Vec3::ZERO; 7]);
-        assert!(matches!(err, Err(FieldError::LengthMismatch { expected: 8, actual: 7 })));
+        assert!(matches!(
+            err,
+            Err(FieldError::LengthMismatch {
+                expected: 8,
+                actual: 7
+            })
+        ));
     }
 
     #[test]

@@ -225,7 +225,9 @@ pub fn read_meta(path: &Path) -> Result<DatasetMeta> {
     check_version(&mut r)?;
     let name_len = read_u32(&mut r)? as usize;
     if name_len > 4096 {
-        return Err(FieldError::Format(format!("unreasonable name length {name_len}")));
+        return Err(FieldError::Format(format!(
+            "unreasonable name length {name_len}"
+        )));
     }
     let mut name = vec![0u8; name_len];
     r.read_exact(&mut name)?;
@@ -296,7 +298,6 @@ pub fn read_dataset(dir: &Path) -> Result<Dataset> {
 mod tests {
     use super::*;
     use tempfile::tempdir;
-    
 
     fn sample_grid() -> CurvilinearGrid {
         CurvilinearGrid::from_fn(Dims::new(4, 3, 2), |i, j, k| {
@@ -307,11 +308,7 @@ mod tests {
 
     fn sample_field(seed: f32) -> VectorField {
         VectorField::from_fn(Dims::new(4, 3, 2), |i, j, k| {
-            Vec3::new(
-                seed + i as f32,
-                seed - j as f32 * 0.25,
-                seed * k as f32,
-            )
+            Vec3::new(seed + i as f32, seed - j as f32 * 0.25, seed * k as f32)
         })
     }
 

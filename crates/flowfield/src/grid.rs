@@ -38,7 +38,10 @@ impl CurvilinearGrid {
     }
 
     /// Build by evaluating a mapping at every node.
-    pub fn from_fn(dims: Dims, f: impl FnMut(usize, usize, usize) -> Vec3) -> Result<CurvilinearGrid> {
+    pub fn from_fn(
+        dims: Dims,
+        f: impl FnMut(usize, usize, usize) -> Vec3,
+    ) -> Result<CurvilinearGrid> {
         CurvilinearGrid::new(VectorField::from_fn(dims, f))
     }
 
@@ -149,9 +152,7 @@ impl CurvilinearGrid {
             let jac = self
                 .jacobian(gc)
                 .ok_or(FieldError::SingularCell { i, j, k })?;
-            let inv = jac
-                .inverse()
-                .ok_or(FieldError::SingularCell { i, j, k })?;
+            let inv = jac.inverse().ok_or(FieldError::SingularCell { i, j, k })?;
             *out.at_mut(i, j, k) = inv.mul_vec(physical.at(i, j, k));
         }
         Ok(out)
@@ -176,7 +177,11 @@ impl CurvilinearGrid {
 
     /// Convert a physical velocity field using precomputed inverse
     /// Jacobians from [`CurvilinearGrid::precompute_inverse_jacobians`].
-    pub fn convert_field_with(&self, inv_jacobians: &[Mat3], physical: &VectorField) -> Result<VectorField> {
+    pub fn convert_field_with(
+        &self,
+        inv_jacobians: &[Mat3],
+        physical: &VectorField,
+    ) -> Result<VectorField> {
         let dims = self.dims();
         if physical.dims() != dims || inv_jacobians.len() != dims.point_count() {
             return Err(FieldError::LengthMismatch {

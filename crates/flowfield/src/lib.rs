@@ -54,10 +54,17 @@ impl std::fmt::Display for FieldError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FieldError::LengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match grid point count {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match grid point count {expected}"
+                )
             }
             FieldError::DegenerateDims(d) => {
-                write!(f, "grid dims {}x{}x{} too small for interpolation", d.ni, d.nj, d.nk)
+                write!(
+                    f,
+                    "grid dims {}x{}x{} too small for interpolation",
+                    d.ni, d.nj, d.nk
+                )
             }
             FieldError::SingularCell { i, j, k } => {
                 write!(f, "curvilinear cell ({i},{j},{k}) has a singular Jacobian")

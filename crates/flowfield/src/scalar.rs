@@ -210,11 +210,9 @@ mod tests {
     fn vorticity_of_solid_body_rotation() {
         // v = ω × r with ω = (0, 0, 1) ⇒ curl v = (0, 0, 2ω).
         let dims = Dims::new(9, 9, 5);
-        let grid = CurvilinearGrid::cartesian(
-            dims,
-            Aabb::new(Vec3::ZERO, Vec3::new(8.0, 8.0, 4.0)),
-        )
-        .unwrap();
+        let grid =
+            CurvilinearGrid::cartesian(dims, Aabb::new(Vec3::ZERO, Vec3::new(8.0, 8.0, 4.0)))
+                .unwrap();
         let v = VectorField::from_fn(dims, |i, j, _| {
             let (x, y) = (i as f32 - 4.0, j as f32 - 4.0);
             Vec3::new(-y, x, 0.0)
@@ -230,11 +228,8 @@ mod tests {
     #[test]
     fn vorticity_of_uniform_flow_is_zero() {
         let dims = Dims::new(5, 5, 5);
-        let grid = CurvilinearGrid::cartesian(
-            dims,
-            Aabb::new(Vec3::ZERO, Vec3::splat(4.0)),
-        )
-        .unwrap();
+        let grid =
+            CurvilinearGrid::cartesian(dims, Aabb::new(Vec3::ZERO, Vec3::splat(4.0))).unwrap();
         let v = VectorField::from_fn(dims, |_, _, _| Vec3::new(1.0, 2.0, 3.0));
         let w = vorticity(&grid, &v).unwrap();
         for (i, j, k) in dims.iter_nodes() {
@@ -248,16 +243,13 @@ mod tests {
         // with y-spacing 2 gives half the curl of spacing 1.
         let dims = Dims::new(5, 5, 5);
         let make = |ly: f32| {
-            let grid = CurvilinearGrid::cartesian(
-                dims,
-                Aabb::new(Vec3::ZERO, Vec3::new(4.0, ly, 4.0)),
-            )
-            .unwrap();
+            let grid =
+                CurvilinearGrid::cartesian(dims, Aabb::new(Vec3::ZERO, Vec3::new(4.0, ly, 4.0)))
+                    .unwrap();
             // Physical shear: v_x = y_physical.
             let spacing = ly / 4.0;
-            let v = VectorField::from_fn(dims, move |_, j, _| {
-                Vec3::new(j as f32 * spacing, 0.0, 0.0)
-            });
+            let v =
+                VectorField::from_fn(dims, move |_, j, _| Vec3::new(j as f32 * spacing, 0.0, 0.0));
             vorticity(&grid, &v).unwrap().at(2, 2, 2)
         };
         let w1 = make(4.0); // unit spacing: curl_z = -1
@@ -268,11 +260,9 @@ mod tests {
 
     #[test]
     fn vorticity_dim_mismatch() {
-        let grid = CurvilinearGrid::cartesian(
-            Dims::new(3, 3, 3),
-            Aabb::new(Vec3::ZERO, Vec3::splat(2.0)),
-        )
-        .unwrap();
+        let grid =
+            CurvilinearGrid::cartesian(Dims::new(3, 3, 3), Aabb::new(Vec3::ZERO, Vec3::splat(2.0)))
+                .unwrap();
         let v = VectorField::zeros(Dims::new(2, 2, 2));
         assert!(vorticity(&grid, &v).is_err());
     }

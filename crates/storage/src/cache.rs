@@ -97,6 +97,10 @@ impl<S: TimestepStore> TimestepStore for CachedStore<S> {
         }
         Ok(loaded)
     }
+
+    fn hint_direction(&self, direction: i64) {
+        self.inner.hint_direction(direction)
+    }
 }
 
 #[cfg(test)]

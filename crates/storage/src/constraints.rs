@@ -89,7 +89,11 @@ mod tests {
         // 10 fps = 11.444 MiB/s; 9.537 is what 1 000 000 B/frame would
         // give) — we reproduce the formula, and note the paper's
         // arithmetic slip in EXPERIMENTS.md.
-        let expect = [(10_000u64, 120_000u64, 1.144), (50_000, 600_000, 5.722), (100_000, 1_200_000, 11.444)];
+        let expect = [
+            (10_000u64, 120_000u64, 1.144),
+            (50_000, 600_000, 5.722),
+            (100_000, 1_200_000, 11.444),
+        ];
         for (particles, bytes, mbps) in expect {
             assert_eq!(frame_bytes(particles), bytes);
             let got = required_network_mbytes_per_sec(particles, TARGET_FPS);
@@ -109,14 +113,21 @@ mod tests {
         ];
         for (points, bytes, per_gb, mbps) in rows {
             assert_eq!(timestep_bytes(points), bytes, "bytes for {points}");
-            assert_eq!(timesteps_per_gibibyte(points), per_gb, "per-GB for {points}");
+            assert_eq!(
+                timesteps_per_gibibyte(points),
+                per_gb,
+                "per-GB for {points}"
+            );
             let got = required_disk_mbytes_per_sec(points, TARGET_FPS);
             // The paper's MB/s column uses decimal MB for the small rows
             // and is internally inconsistent for the largest (it prints
             // 360 MB/timestep and 3433 MB/s for the 10 M row, i.e. 36 B
             // per point — we follow the 12 B/point convention of every
             // other row and document the discrepancy in EXPERIMENTS.md).
-            assert!((got - mbps).abs() / mbps < 0.05, "{points}: {got} vs {mbps}");
+            assert!(
+                (got - mbps).abs() / mbps < 0.05,
+                "{points}: {got} vs {mbps}"
+            );
         }
     }
 
@@ -134,8 +145,8 @@ mod tests {
         // §5.1: 30 MB/s loads ~3.25 MB in 1/8 s.
         let max = max_timestep_bytes_within_budget(30.0e6, REACTION_BUDGET);
         assert!((max as f64 - 3.75e6).abs() < 0.1e6); // 30e6 × 0.125
-        // (The paper says "about three and a quarter megabytes"; exact
-        // arithmetic gives 3.75 decimal MB = 3.58 binary MB.)
+                                                      // (The paper says "about three and a quarter megabytes"; exact
+                                                      // arithmetic gives 3.75 decimal MB = 3.58 binary MB.)
     }
 
     #[test]

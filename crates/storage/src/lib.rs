@@ -53,6 +53,13 @@ pub trait TimestepStore: Send + Sync {
     fn timestep_count(&self) -> usize {
         self.meta().timestep_count
     }
+
+    /// Advise the store of the expected playback direction: positive for
+    /// forward, negative for reverse, zero for unknown/paused. Plain
+    /// backends ignore it; prefetching wrappers ([`ReadAhead`]) use it to
+    /// aim read-ahead the moment §2's "run backwards" control flips the
+    /// rate, instead of waiting to observe a reversed fetch stride.
+    fn hint_direction(&self, _direction: i64) {}
 }
 
 impl<S: TimestepStore + ?Sized> TimestepStore for Arc<S> {
@@ -64,5 +71,8 @@ impl<S: TimestepStore + ?Sized> TimestepStore for Arc<S> {
     }
     fn timestep_count(&self) -> usize {
         (**self).timestep_count()
+    }
+    fn hint_direction(&self, direction: i64) {
+        (**self).hint_direction(direction)
     }
 }

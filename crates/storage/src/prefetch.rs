@@ -242,9 +242,9 @@ mod tests {
         }
         let elapsed = start.elapsed();
         assert_eq!(checksum, 15.0); // 0+1+..+5
-        // Overlapped pipeline: ~6·25 ms + one initial 20 ms load. Allow
-        // generous slack but stay clearly under the 6·45 ms sequential
-        // cost.
+                                    // Overlapped pipeline: ~6·25 ms + one initial 20 ms load. Allow
+                                    // generous slack but stay clearly under the 6·45 ms sequential
+                                    // cost.
         assert!(
             elapsed < Duration::from_millis(240),
             "pipeline did not overlap: {elapsed:?}"

@@ -90,6 +90,32 @@ impl<S: TimestepStore + 'static> TimestepStore for ReadAhead<S> {
         self.predict_and_request(index);
         result
     }
+
+    fn hint_direction(&self, direction: i64) {
+        let len = self.inner.timestep_count() as i64;
+        if direction == 0 || len <= 1 {
+            return;
+        }
+        let mut st = self.state.lock();
+        let dir = direction.signum();
+        if st.stride == 0 {
+            st.stride = dir;
+        } else if st.stride.signum() != dir {
+            // Keep any learned skip magnitude (every-other-step playback)
+            // but aim it the advised way.
+            st.stride = -st.stride;
+        }
+        let (stride, last) = (st.stride, st.last);
+        drop(st);
+        // Re-aim the in-flight set right away — the next fetch after a
+        // reversal should already find its timestep loading.
+        if let Some(last) = last {
+            for n in 1..=self.depth as i64 {
+                let next = (last as i64 + stride * n).rem_euclid(len) as usize;
+                self.prefetcher.request(next);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +205,73 @@ mod tests {
             per_frame < Duration::from_millis(30),
             "read-ahead failed to overlap: {per_frame:?}"
         );
+    }
+
+    #[test]
+    fn direction_hint_seeds_stride_before_any_pattern() {
+        let ra = ReadAhead::new(Arc::new(mem_store(10)), 2);
+        ra.hint_direction(-1);
+        assert_eq!(ra.predicted_stride(), -1);
+        ra.fetch(9).unwrap();
+        ra.fetch(8).unwrap();
+        assert_eq!(ra.predicted_stride(), -1);
+    }
+
+    #[test]
+    fn direction_hint_flips_learned_stride_keeping_magnitude() {
+        let ra = ReadAhead::new(Arc::new(mem_store(20)), 2);
+        ra.fetch(0).unwrap();
+        ra.fetch(2).unwrap();
+        ra.fetch(4).unwrap();
+        assert_eq!(ra.predicted_stride(), 2);
+        // §2's "run backwards": the rate flips, the store is told at once.
+        ra.hint_direction(-1);
+        assert_eq!(ra.predicted_stride(), -2);
+        // A matching hint is a no-op.
+        ra.hint_direction(-3);
+        assert_eq!(ra.predicted_stride(), -2);
+    }
+
+    #[test]
+    fn direction_hint_hides_latency_on_reversal() {
+        // Prime forward, then reverse with a hint: the first backward
+        // fetches should already be in flight, not mispredicted.
+        let model = DiskModel {
+            bandwidth_bytes_per_sec: 1.0e12,
+            seek: Duration::from_millis(15),
+        };
+        let slow = Arc::new(SimulatedDisk::new(mem_store(12), model));
+        let ra = ReadAhead::new(slow, 2);
+        ra.fetch(6).unwrap();
+        ra.fetch(7).unwrap();
+        ra.fetch(8).unwrap();
+        ra.hint_direction(-1);
+        std::thread::sleep(Duration::from_millis(40)); // let 7, 6 land
+        let start = Instant::now();
+        let f = ra.fetch(7).unwrap();
+        assert_eq!(f.at(0, 0, 0), Vec3::splat(7.0));
+        assert!(
+            start.elapsed() < Duration::from_millis(10),
+            "reversed fetch was not in flight: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn hint_forwards_through_wrappers() {
+        let ra = Arc::new(ReadAhead::new(Arc::new(mem_store(10)), 2));
+        let stack = crate::CachedStore::new(
+            SimulatedDisk::new(
+                Arc::clone(&ra),
+                DiskModel {
+                    bandwidth_bytes_per_sec: 1.0e12,
+                    seek: Duration::ZERO,
+                },
+            ),
+            4,
+        );
+        stack.hint_direction(-5);
+        assert_eq!(ra.predicted_stride(), -1);
     }
 
     #[test]

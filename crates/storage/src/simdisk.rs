@@ -94,6 +94,10 @@ impl<S: TimestepStore> TimestepStore for SimulatedDisk<S> {
             .fetch_add(budget.as_nanos() as u64, Ordering::Relaxed);
         Ok(result)
     }
+
+    fn hint_direction(&self, direction: i64) {
+        self.inner.hint_direction(direction)
+    }
 }
 
 #[cfg(test)]

@@ -172,7 +172,11 @@ mod tests {
             },
         );
         assert!(trace.path.len() > 5);
-        assert!((trace.max_step() - 1.0).abs() < 1e-5, "max {}", trace.max_step());
+        assert!(
+            (trace.max_step() - 1.0).abs() < 1e-5,
+            "max {}",
+            trace.max_step()
+        );
         assert_eq!(trace.rejected, 0);
     }
 

@@ -165,8 +165,8 @@ pub fn trace_batch_vector_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flowfield::FieldSample;
     use flowfield::Dims;
+    use flowfield::FieldSample;
 
     fn vortex_field() -> VectorField {
         VectorField::from_fn(Dims::new(33, 33, 5), |i, j, _| {

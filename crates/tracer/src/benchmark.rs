@@ -92,7 +92,16 @@ pub fn benchmark_seeds(dims: Dims, n: usize) -> Vec<Vec3> {
         dims.nk as f32 * 0.7,
     );
     (0..n)
-        .map(|s| lo.lerp(hi, if n > 1 { s as f32 / (n - 1) as f32 } else { 0.5 }))
+        .map(|s| {
+            lo.lerp(
+                hi,
+                if n > 1 {
+                    s as f32 / (n - 1) as f32
+                } else {
+                    0.5
+                },
+            )
+        })
         .collect()
 }
 
@@ -127,7 +136,11 @@ pub fn max_particles(bench_time: Duration, bench_particles: usize, budget: Durat
 }
 
 /// Table 3's last column: streamlines of 200 points at that particle count.
-pub fn max_streamlines_200(bench_time: Duration, bench_particles: usize, budget: Duration) -> usize {
+pub fn max_streamlines_200(
+    bench_time: Duration,
+    bench_particles: usize,
+    budget: Duration,
+) -> usize {
     max_particles(bench_time, bench_particles, budget) / PAPER_POINTS
 }
 

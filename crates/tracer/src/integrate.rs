@@ -38,7 +38,13 @@ impl Integrator {
     /// (whose values are grid-coordinate velocities). Returns the new
     /// canonical coordinate, or `None` when the particle leaves the
     /// domain mid-step.
-    pub fn step<F: FieldSample>(&self, field: &F, domain: &Domain, p: Vec3, dt: f32) -> Option<Vec3> {
+    pub fn step<F: FieldSample>(
+        &self,
+        field: &F,
+        domain: &Domain,
+        p: Vec3,
+        dt: f32,
+    ) -> Option<Vec3> {
         let p = domain.canonicalize(p)?;
         match self {
             Integrator::Euler => {
@@ -125,7 +131,9 @@ mod tests {
     fn euler_step_on_constant_field() {
         let f = const_field();
         let d = Domain::boxed(f.dims());
-        let p = Integrator::Euler.step(&f, &d, Vec3::splat(1.0), 2.0).unwrap();
+        let p = Integrator::Euler
+            .step(&f, &d, Vec3::splat(1.0), 2.0)
+            .unwrap();
         assert!(p.distance(Vec3::new(3.0, 2.0, 1.5)) < 1e-5);
     }
 
@@ -145,8 +153,12 @@ mod tests {
     fn step_out_of_domain_is_none() {
         let f = const_field();
         let d = Domain::boxed(f.dims());
-        assert!(Integrator::Rk2.step(&f, &d, Vec3::splat(6.9), 10.0).is_none());
-        assert!(Integrator::Rk2.step(&f, &d, Vec3::splat(-1.0), 0.1).is_none());
+        assert!(Integrator::Rk2
+            .step(&f, &d, Vec3::splat(6.9), 10.0)
+            .is_none());
+        assert!(Integrator::Rk2
+            .step(&f, &d, Vec3::splat(-1.0), 0.1)
+            .is_none());
     }
 
     #[test]
@@ -167,7 +179,10 @@ mod tests {
         let euler_err = run(Integrator::Euler);
         let rk2_err = run(Integrator::Rk2);
         let rk4_err = run(Integrator::Rk4);
-        assert!(rk2_err < euler_err * 0.25, "rk2 {rk2_err} vs euler {euler_err}");
+        assert!(
+            rk2_err < euler_err * 0.25,
+            "rk2 {rk2_err} vs euler {euler_err}"
+        );
         assert!(rk4_err < rk2_err + 1e-3, "rk4 {rk4_err} vs rk2 {rk2_err}");
     }
 

@@ -36,7 +36,9 @@ pub mod streakline;
 pub mod streamline;
 
 pub use adaptive::{adaptive_streamline, AdaptiveConfig, AdaptiveTrace};
-pub use batch::{trace_batch_parallel, trace_batch_scalar, trace_batch_vector, trace_batch_vector_parallel};
+pub use batch::{
+    trace_batch_parallel, trace_batch_scalar, trace_batch_vector, trace_batch_vector_parallel,
+};
 pub use domain::Domain;
 pub use integrate::Integrator;
 pub use isosurface::{isosurface, Triangle};

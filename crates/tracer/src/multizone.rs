@@ -106,7 +106,9 @@ pub fn trace_multizone(zones: &[Zone], seed: Vec3, cfg: &TraceConfig) -> Vec<Zon
                 // Left this zone: one half-step forward in physical space
                 // (Euler estimate) to poke into the neighbour, then
                 // re-locate.
-                let phys = match zone.grid.to_physical(zone.domain.canonicalize(gc).unwrap_or(gc))
+                let phys = match zone
+                    .grid
+                    .to_physical(zone.domain.canonicalize(gc).unwrap_or(gc))
                 {
                     Some(p) => p,
                     None => break,
@@ -224,11 +226,8 @@ mod tests {
     #[test]
     fn stagnation_terminates_in_any_zone() {
         let dims = Dims::new(9, 9, 9);
-        let grid = CurvilinearGrid::cartesian(
-            dims,
-            Aabb::new(Vec3::ZERO, Vec3::splat(8.0)),
-        )
-        .unwrap();
+        let grid =
+            CurvilinearGrid::cartesian(dims, Aabb::new(Vec3::ZERO, Vec3::splat(8.0))).unwrap();
         let field = VectorField::zeros(dims);
         let zones = vec![Zone::new(grid, field, Domain::boxed(dims))];
         let path = trace_multizone(&zones, Vec3::splat(4.0), &cfg(1.0, 50));
@@ -243,11 +242,8 @@ mod tests {
         let coarse_dims = Dims::new(9, 9, 9);
         let fine_dims = Dims::new(17, 17, 17);
         let z0 = Zone::new(
-            CurvilinearGrid::cartesian(
-                coarse_dims,
-                Aabb::new(Vec3::ZERO, Vec3::splat(8.0)),
-            )
-            .unwrap(),
+            CurvilinearGrid::cartesian(coarse_dims, Aabb::new(Vec3::ZERO, Vec3::splat(8.0)))
+                .unwrap(),
             VectorField::from_fn(coarse_dims, |_, _, _| Vec3::X),
             Domain::boxed(coarse_dims),
         );

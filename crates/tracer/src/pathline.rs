@@ -130,10 +130,22 @@ mod tests {
         // §5.1: path length is limited by the resident timestep window.
         let ts = steady_x(5);
         let d = Domain::boxed(ts[0].dims());
-        let path = pathline(&ts, &d, Vec3::new(1.0, 4.0, 4.0), 0, &PathlineConfig::default());
+        let path = pathline(
+            &ts,
+            &d,
+            Vec3::new(1.0, 4.0, 4.0),
+            0,
+            &PathlineConfig::default(),
+        );
         assert_eq!(path.len(), 6); // seed + one step per timestep
 
-        let path_short = pathline(&ts, &d, Vec3::new(1.0, 4.0, 4.0), 3, &PathlineConfig::default());
+        let path_short = pathline(
+            &ts,
+            &d,
+            Vec3::new(1.0, 4.0, 4.0),
+            3,
+            &PathlineConfig::default(),
+        );
         assert_eq!(path_short.len(), 3); // seed + timesteps 3 and 4
     }
 
@@ -141,7 +153,13 @@ mod tests {
     fn start_beyond_window_returns_seed_only() {
         let ts = steady_x(3);
         let d = Domain::boxed(ts[0].dims());
-        let path = pathline(&ts, &d, Vec3::new(1.0, 4.0, 4.0), 99, &PathlineConfig::default());
+        let path = pathline(
+            &ts,
+            &d,
+            Vec3::new(1.0, 4.0, 4.0),
+            99,
+            &PathlineConfig::default(),
+        );
         assert_eq!(path.len(), 1);
     }
 
@@ -149,7 +167,13 @@ mod tests {
     fn unsteady_pathline_tracks_changing_field() {
         let ts = alternating(4);
         let d = Domain::boxed(ts[0].dims());
-        let path = pathline(&ts, &d, Vec3::new(2.0, 2.0, 2.0), 0, &PathlineConfig::default());
+        let path = pathline(
+            &ts,
+            &d,
+            Vec3::new(2.0, 2.0, 2.0),
+            0,
+            &PathlineConfig::default(),
+        );
         // Steps: +X, +Y, +X, +Y.
         assert_eq!(path.len(), 5);
         assert!(path[1].distance(Vec3::new(3.0, 2.0, 2.0)) < 1e-4);
@@ -188,7 +212,13 @@ mod tests {
     fn terminates_on_domain_exit() {
         let ts = steady_x(100);
         let d = Domain::boxed(ts[0].dims());
-        let path = pathline(&ts, &d, Vec3::new(28.0, 4.0, 4.0), 0, &PathlineConfig::default());
+        let path = pathline(
+            &ts,
+            &d,
+            Vec3::new(28.0, 4.0, 4.0),
+            0,
+            &PathlineConfig::default(),
+        );
         // 28 → 31 is 3 steps; the 4th leaves.
         assert_eq!(path.len(), 4);
     }

@@ -137,7 +137,12 @@ mod tests {
     use proptest::prelude::*;
 
     fn rake() -> Rake {
-        Rake::new(Vec3::ZERO, Vec3::new(4.0, 0.0, 0.0), 5, ToolKind::Streamline)
+        Rake::new(
+            Vec3::ZERO,
+            Vec3::new(4.0, 0.0, 0.0),
+            5,
+            ToolKind::Streamline,
+        )
     }
 
     #[test]
@@ -151,7 +156,12 @@ mod tests {
 
     #[test]
     fn single_seed_at_center() {
-        let r = Rake::new(Vec3::ZERO, Vec3::new(2.0, 2.0, 0.0), 1, ToolKind::Streakline);
+        let r = Rake::new(
+            Vec3::ZERO,
+            Vec3::new(2.0, 2.0, 0.0),
+            1,
+            ToolKind::Streakline,
+        );
         assert_eq!(r.seeds(), vec![Vec3::new(1.0, 1.0, 0.0)]);
     }
 
@@ -191,9 +201,18 @@ mod tests {
     #[test]
     fn hit_test_prefers_ends() {
         let r = rake();
-        assert_eq!(r.hit_test(Vec3::new(0.1, 0.0, 0.0), 0.5), Some(Handle::EndA));
-        assert_eq!(r.hit_test(Vec3::new(3.9, 0.1, 0.0), 0.5), Some(Handle::EndB));
-        assert_eq!(r.hit_test(Vec3::new(2.0, 0.2, 0.0), 0.5), Some(Handle::Center));
+        assert_eq!(
+            r.hit_test(Vec3::new(0.1, 0.0, 0.0), 0.5),
+            Some(Handle::EndA)
+        );
+        assert_eq!(
+            r.hit_test(Vec3::new(3.9, 0.1, 0.0), 0.5),
+            Some(Handle::EndB)
+        );
+        assert_eq!(
+            r.hit_test(Vec3::new(2.0, 0.2, 0.0), 0.5),
+            Some(Handle::Center)
+        );
         assert_eq!(r.hit_test(Vec3::new(2.0, 5.0, 0.0), 0.5), None);
     }
 
@@ -201,8 +220,16 @@ mod tests {
     fn hit_test_end_beats_center_on_short_rake() {
         // Rake shorter than the grab radius: both end and center are in
         // range; the end must win.
-        let r = Rake::new(Vec3::ZERO, Vec3::new(0.2, 0.0, 0.0), 3, ToolKind::Streamline);
-        assert_eq!(r.hit_test(Vec3::new(0.0, 0.0, 0.0), 0.5), Some(Handle::EndA));
+        let r = Rake::new(
+            Vec3::ZERO,
+            Vec3::new(0.2, 0.0, 0.0),
+            3,
+            ToolKind::Streamline,
+        );
+        assert_eq!(
+            r.hit_test(Vec3::new(0.0, 0.0, 0.0), 0.5),
+            Some(Handle::EndA)
+        );
     }
 
     proptest! {

@@ -43,11 +43,7 @@ impl Mat3 {
     #[inline]
     pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Mat3 {
         Mat3 {
-            m: [
-                [c0.x, c1.x, c2.x],
-                [c0.y, c1.y, c2.y],
-                [c0.z, c1.z, c2.z],
-            ],
+            m: [[c0.x, c1.x, c2.x], [c0.y, c1.y, c2.y], [c0.z, c1.z, c2.z]],
         }
     }
 
@@ -169,12 +165,7 @@ impl Mat3 {
 
     /// Frobenius norm — handy for "how far from identity" assertions.
     pub fn frobenius_norm(&self) -> f32 {
-        self.m
-            .iter()
-            .flatten()
-            .map(|v| v * v)
-            .sum::<f32>()
-            .sqrt()
+        self.m.iter().flatten().map(|v| v * v).sum::<f32>().sqrt()
     }
 }
 
@@ -241,7 +232,10 @@ mod tests {
         let r = Mat3::rotation_z(0.7);
         assert!(mat_close(&(Mat3::IDENTITY * r), &r, 1e-6));
         assert!(mat_close(&(r * Mat3::IDENTITY), &r, 1e-6));
-        assert_eq!(Mat3::IDENTITY.mul_vec(Vec3::new(1.0, 2.0, 3.0)), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(
+            Mat3::IDENTITY.mul_vec(Vec3::new(1.0, 2.0, 3.0)),
+            Vec3::new(1.0, 2.0, 3.0)
+        );
     }
 
     #[test]
@@ -296,7 +290,8 @@ mod tests {
 
     #[test]
     fn inverse_roundtrip() {
-        let m = Mat3::rotation_x(0.3) * Mat3::scale(Vec3::new(2.0, 1.0, 0.5)) * Mat3::rotation_z(-1.2);
+        let m =
+            Mat3::rotation_x(0.3) * Mat3::scale(Vec3::new(2.0, 1.0, 0.5)) * Mat3::rotation_z(-1.2);
         let inv = m.inverse().unwrap();
         assert!(mat_close(&(m * inv), &Mat3::IDENTITY, 1e-5));
         assert!(mat_close(&(inv * m), &Mat3::IDENTITY, 1e-5));
@@ -317,17 +312,20 @@ mod tests {
     }
 
     fn arb_rotation() -> impl Strategy<Value = Mat3> {
-        ((-1.0f32..1.0), (-1.0f32..1.0), (-1.0f32..1.0), (0.01f32..3.0)).prop_filter_map(
-            "nonzero axis",
-            |(x, y, z, ang)| {
+        (
+            (-1.0f32..1.0),
+            (-1.0f32..1.0),
+            (-1.0f32..1.0),
+            (0.01f32..3.0),
+        )
+            .prop_filter_map("nonzero axis", |(x, y, z, ang)| {
                 let axis = Vec3::new(x, y, z);
                 if axis.length() < 1e-3 {
                     None
                 } else {
                     Some(Mat3::rotation_axis(axis, ang))
                 }
-            },
-        )
+            })
     }
 
     proptest! {

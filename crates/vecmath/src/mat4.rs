@@ -260,7 +260,9 @@ mod tests {
 
     #[test]
     fn rigid_inverse_matches_general() {
-        let m = Mat4::translation(Vec3::new(1.0, -2.0, 0.5)) * Mat4::rotation_y(0.8) * Mat4::rotation_x(-0.3);
+        let m = Mat4::translation(Vec3::new(1.0, -2.0, 0.5))
+            * Mat4::rotation_y(0.8)
+            * Mat4::rotation_x(-0.3);
         let a = m.inverse_rigid();
         let b = m.inverse().unwrap();
         assert!(close(&a, &b, 1e-4));

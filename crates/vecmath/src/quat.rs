@@ -28,7 +28,12 @@ impl Default for Quat {
 }
 
 impl Quat {
-    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+    pub const IDENTITY: Quat = Quat {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     #[inline]
     pub const fn new(w: f32, x: f32, y: f32, z: f32) -> Self {
@@ -180,7 +185,11 @@ impl Quat {
 
     /// Angle (radians, in [0, π]) between two orientations.
     pub fn angle_to(self, rhs: Quat) -> f32 {
-        let d = self.normalized().dot(rhs.normalized()).abs().clamp(0.0, 1.0);
+        let d = self
+            .normalized()
+            .dot(rhs.normalized())
+            .abs()
+            .clamp(0.0, 1.0);
         2.0 * d.acos()
     }
 }
@@ -291,7 +300,12 @@ mod tests {
     }
 
     fn arb_quat() -> impl Strategy<Value = Quat> {
-        ((-1.0f32..1.0), (-1.0f32..1.0), (-1.0f32..1.0), (0.01f32..PI))
+        (
+            (-1.0f32..1.0),
+            (-1.0f32..1.0),
+            (-1.0f32..1.0),
+            (0.01f32..PI),
+        )
             .prop_filter_map("axis", |(x, y, z, a)| {
                 let axis = Vec3::new(x, y, z);
                 (axis.length() > 1e-3).then(|| Quat::from_axis_angle(axis, a))

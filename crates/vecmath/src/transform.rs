@@ -24,7 +24,10 @@ impl Pose {
     };
 
     pub fn new(position: Vec3, orientation: Quat) -> Pose {
-        Pose { position, orientation }
+        Pose {
+            position,
+            orientation,
+        }
     }
 
     /// The 4×4 matrix mapping pose-local coordinates to world coordinates.
@@ -163,14 +166,20 @@ mod tests {
 
     #[test]
     fn view_matrix_moves_pose_to_origin() {
-        let p = Pose::new(Vec3::new(5.0, -2.0, 1.0), Quat::from_axis_angle(Vec3::Y, 0.4));
+        let p = Pose::new(
+            Vec3::new(5.0, -2.0, 1.0),
+            Quat::from_axis_angle(Vec3::Y, 0.4),
+        );
         let v = p.view_matrix();
         assert!(v.transform_point(p.position).length() < 1e-5);
     }
 
     #[test]
     fn pose_composition() {
-        let parent = Pose::new(Vec3::new(1.0, 0.0, 0.0), Quat::from_axis_angle(Vec3::Z, FRAC_PI_2));
+        let parent = Pose::new(
+            Vec3::new(1.0, 0.0, 0.0),
+            Quat::from_axis_angle(Vec3::Z, FRAC_PI_2),
+        );
         let child = Pose::new(Vec3::X, Quat::IDENTITY);
         let world = parent.then(&child);
         // Child's +X offset is rotated to +Y by the parent before adding.
@@ -221,7 +230,10 @@ mod tests {
         // The paper's pipeline: world geometry rendered through the
         // inverted head pose looks identity when the head is at the
         // geometry's own frame.
-        let head = Pose::new(Vec3::new(0.0, 1.7, 3.0), Quat::from_axis_angle(Vec3::Y, 0.2));
+        let head = Pose::new(
+            Vec3::new(0.0, 1.7, 3.0),
+            Quat::from_axis_angle(Vec3::Y, 0.2),
+        );
         let mut s = TransformStack::new();
         s.load(head.view_matrix());
         s.mult(head.to_mat4());

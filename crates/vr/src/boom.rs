@@ -93,7 +93,8 @@ impl BoomGeometry {
     pub fn forward(&self, angles: &[f32; 6]) -> Mat4 {
         let mut m = Mat4::IDENTITY;
         for (joint, &angle) in self.joints.iter().zip(angles) {
-            m = m * Mat4::translation(joint.link)
+            m = m
+                * Mat4::translation(joint.link)
                 * Mat4::from_mat3(Mat3::rotation_axis(joint.axis, angle));
         }
         m * Mat4::translation(self.head_offset)
@@ -197,7 +198,11 @@ mod tests {
         let g = BoomGeometry::default();
         let p = g.head_pose(&[std::f32::consts::FRAC_PI_2, 0.0, 0.0, 0.0, 0.0, 0.0]);
         // Quarter turn about +Y maps -Z to -X.
-        assert!(p.position.distance(Vec3::new(-1.95, 1.0, 0.0)) < 1e-3, "{:?}", p.position);
+        assert!(
+            p.position.distance(Vec3::new(-1.95, 1.0, 0.0)) < 1e-3,
+            "{:?}",
+            p.position
+        );
     }
 
     #[test]

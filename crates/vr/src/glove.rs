@@ -62,7 +62,10 @@ impl GloveCalibration {
 
     /// Calibrate from samples: element-wise min of open samples and max
     /// of fist samples.
-    pub fn from_samples(open_samples: &[[f32; SENSOR_COUNT]], fist_samples: &[[f32; SENSOR_COUNT]]) -> GloveCalibration {
+    pub fn from_samples(
+        open_samples: &[[f32; SENSOR_COUNT]],
+        fist_samples: &[[f32; SENSOR_COUNT]],
+    ) -> GloveCalibration {
         let mut cal = GloveCalibration {
             open: [f32::INFINITY; SENSOR_COUNT],
             fist: [f32::NEG_INFINITY; SENSOR_COUNT],
@@ -193,7 +196,10 @@ pub fn polhemus_noise(pose: Pose, source: Vec3, phase: f32) -> Pose {
         (phase * 23.3 + 1.0).sin(),
         (phase * 41.1 + 2.0).sin(),
     ) * amp;
-    let wobble = Quat::from_axis_angle(Vec3::new(1.0, 0.3, 0.2), 0.002 * dist * (phase * 19.0).sin());
+    let wobble = Quat::from_axis_angle(
+        Vec3::new(1.0, 0.3, 0.2),
+        0.002 * dist * (phase * 19.0).sin(),
+    );
     Pose {
         position: pose.position + jitter,
         orientation: wobble * pose.orientation,
@@ -311,8 +317,16 @@ mod tests {
         let mut far_err = 0.0f32;
         for i in 0..50 {
             let phase = i as f32 * 0.113;
-            near_err = near_err.max(polhemus_noise(near, src, phase).position.distance(near.position));
-            far_err = far_err.max(polhemus_noise(far, src, phase).position.distance(far.position));
+            near_err = near_err.max(
+                polhemus_noise(near, src, phase)
+                    .position
+                    .distance(near.position),
+            );
+            far_err = far_err.max(
+                polhemus_noise(far, src, phase)
+                    .position
+                    .distance(far.position),
+            );
         }
         assert!(far_err > near_err);
         assert!(near_err < 0.02);

@@ -47,8 +47,14 @@ pub fn read_ppm(path: &Path) -> std::io::Result<(usize, usize, Vec<u8>)> {
     let pixels = lines.next().ok_or_else(header_err)?;
     let dims_str = std::str::from_utf8(dims).map_err(|_| header_err())?;
     let mut it = dims_str.split_whitespace();
-    let w: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(header_err)?;
-    let h: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(header_err)?;
+    let w: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(header_err)?;
+    let h: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(header_err)?;
     if pixels.len() < w * h * 3 {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,

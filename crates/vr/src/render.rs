@@ -25,7 +25,11 @@ pub struct Rgb {
 
 impl Rgb {
     pub const BLACK: Rgb = Rgb { r: 0, g: 0, b: 0 };
-    pub const WHITE: Rgb = Rgb { r: 255, g: 255, b: 255 };
+    pub const WHITE: Rgb = Rgb {
+        r: 255,
+        g: 255,
+        b: 255,
+    };
 
     pub const fn new(r: u8, g: u8, b: u8) -> Rgb {
         Rgb { r, g, b }
@@ -33,12 +37,20 @@ impl Rgb {
 
     /// A pure-red shade (left eye).
     pub const fn red(shade: u8) -> Rgb {
-        Rgb { r: shade, g: 0, b: 0 }
+        Rgb {
+            r: shade,
+            g: 0,
+            b: 0,
+        }
     }
 
     /// A pure-blue shade (right eye).
     pub const fn blue(shade: u8) -> Rgb {
-        Rgb { r: 0, g: 0, b: shade }
+        Rgb {
+            r: 0,
+            g: 0,
+            b: shade,
+        }
     }
 }
 
@@ -51,12 +63,24 @@ pub struct ColorMask {
 }
 
 impl ColorMask {
-    pub const ALL: ColorMask = ColorMask { r: true, g: true, b: true };
+    pub const ALL: ColorMask = ColorMask {
+        r: true,
+        g: true,
+        b: true,
+    };
     /// Left-eye pass: may write red only.
-    pub const RED_ONLY: ColorMask = ColorMask { r: true, g: false, b: false };
+    pub const RED_ONLY: ColorMask = ColorMask {
+        r: true,
+        g: false,
+        b: false,
+    };
     /// Right-eye pass: may write green+blue only — "protects the bits of
     /// the red image".
-    pub const PROTECT_RED: ColorMask = ColorMask { r: false, g: true, b: true };
+    pub const PROTECT_RED: ColorMask = ColorMask {
+        r: false,
+        g: true,
+        b: true,
+    };
 }
 
 /// RGB framebuffer with f32 Z-buffer (smaller z = nearer; z is the NDC
@@ -394,7 +418,12 @@ mod tests {
     #[test]
     fn triangle_fill_covers_interior() {
         let mut fb = Framebuffer::new(32, 32);
-        fb.fill_triangle_screen((4.0, 4.0, 0.0), (28.0, 4.0, 0.0), (4.0, 28.0, 0.0), Rgb::WHITE);
+        fb.fill_triangle_screen(
+            (4.0, 4.0, 0.0),
+            (28.0, 4.0, 0.0),
+            (4.0, 28.0, 0.0),
+            Rgb::WHITE,
+        );
         // Interior point filled; outside the hypotenuse empty.
         assert_eq!(fb.pixel(8, 8), Rgb::WHITE);
         assert_eq!(fb.pixel(27, 27), Rgb::BLACK);
@@ -407,8 +436,18 @@ mod tests {
     fn triangle_winding_does_not_matter() {
         let mut a = Framebuffer::new(16, 16);
         let mut b = Framebuffer::new(16, 16);
-        a.fill_triangle_screen((2.0, 2.0, 0.0), (14.0, 2.0, 0.0), (2.0, 14.0, 0.0), Rgb::WHITE);
-        b.fill_triangle_screen((2.0, 14.0, 0.0), (14.0, 2.0, 0.0), (2.0, 2.0, 0.0), Rgb::WHITE);
+        a.fill_triangle_screen(
+            (2.0, 2.0, 0.0),
+            (14.0, 2.0, 0.0),
+            (2.0, 14.0, 0.0),
+            Rgb::WHITE,
+        );
+        b.fill_triangle_screen(
+            (2.0, 14.0, 0.0),
+            (14.0, 2.0, 0.0),
+            (2.0, 2.0, 0.0),
+            Rgb::WHITE,
+        );
         // Edge-pixel ties may resolve differently per winding; the
         // interiors must match to within the perimeter.
         let ca = a.count_pixels(|c| c == Rgb::WHITE) as i64;
@@ -422,7 +461,12 @@ mod tests {
     #[test]
     fn degenerate_triangle_draws_edges() {
         let mut fb = Framebuffer::new(16, 16);
-        fb.fill_triangle_screen((2.0, 8.0, 0.0), (12.0, 8.0, 0.0), (7.0, 8.0, 0.0), Rgb::WHITE);
+        fb.fill_triangle_screen(
+            (2.0, 8.0, 0.0),
+            (12.0, 8.0, 0.0),
+            (7.0, 8.0, 0.0),
+            Rgb::WHITE,
+        );
         assert!(fb.count_pixels(|c| c == Rgb::WHITE) >= 10);
     }
 
@@ -440,7 +484,11 @@ mod tests {
             ]],
             Rgb::new(0, 255, 0),
         );
-        fb.draw_polyline(&mvp, &[Vec3::new(-0.3, 0.0, -2.0), Vec3::new(0.3, 0.0, -2.0)], Rgb::red(255));
+        fb.draw_polyline(
+            &mvp,
+            &[Vec3::new(-0.3, 0.0, -2.0), Vec3::new(0.3, 0.0, -2.0)],
+            Rgb::red(255),
+        );
         // Some red survived on top of the green triangle.
         assert!(fb.count_pixels(|c| c.r > 0) > 0);
         assert!(fb.count_pixels(|c| c.g > 0) > 20);
@@ -451,8 +499,16 @@ mod tests {
         let mut fb = Framebuffer::new(32, 32);
         let mvp = Mat4::perspective(1.0, 1.0, 0.1, 100.0);
         // Far line first, near line second; both cross the center.
-        fb.draw_polyline(&mvp, &[Vec3::new(-1.0, 0.0, -10.0), Vec3::new(1.0, 0.0, -10.0)], Rgb::red(255));
-        fb.draw_polyline(&mvp, &[Vec3::new(-0.1, 0.0, -2.0), Vec3::new(0.1, 0.0, -2.0)], Rgb::blue(255));
+        fb.draw_polyline(
+            &mvp,
+            &[Vec3::new(-1.0, 0.0, -10.0), Vec3::new(1.0, 0.0, -10.0)],
+            Rgb::red(255),
+        );
+        fb.draw_polyline(
+            &mvp,
+            &[Vec3::new(-0.1, 0.0, -2.0), Vec3::new(0.1, 0.0, -2.0)],
+            Rgb::blue(255),
+        );
         // Wherever both lines landed, the nearer (blue) line won the
         // depth test; the far red line survives only outside the overlap.
         let mut blue_center = false;

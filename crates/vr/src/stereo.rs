@@ -76,11 +76,7 @@ impl StereoCamera {
 /// Render a scene of polylines in the paper's red/blue two-channel
 /// stereo: left eye in red shades, Z cleared, right eye in blue behind a
 /// writemask protecting the red planes. `shade` is applied to both eyes.
-pub fn render_anaglyph(
-    fb: &mut Framebuffer,
-    camera: &StereoCamera,
-    polylines: &[(Vec<Vec3>, u8)],
-) {
+pub fn render_anaglyph(fb: &mut Framebuffer, camera: &StereoCamera, polylines: &[(Vec<Vec3>, u8)]) {
     // Left eye: red only.
     fb.set_mask(ColorMask::RED_ONLY);
     let mvp_l = camera.mvp(Eye::Left);

@@ -47,10 +47,20 @@ fn main() {
     let mut stereo = true;
     while let Some(flag) = argv.next() {
         match flag.as_str() {
-            "--frames" => frames = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--frames" => {
+                frames = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--drive" => drive = true,
             "--play" => play = true,
-            "--rate" => rate = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--rate" => {
+                rate = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--out" => out = Some(argv.next().unwrap_or_else(|| usage())),
             "--stereo" => stereo = true,
             "--mono" => stereo = false,
@@ -58,14 +68,27 @@ fn main() {
                 let s = argv.next().unwrap_or_else(|| usage());
                 let mut it = s.split('x');
                 size = (
-                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
                 );
             }
             "--rake" => {
-                let a = argv.next().and_then(|s| parse_vec3(&s)).unwrap_or_else(|| usage());
-                let b = argv.next().and_then(|s| parse_vec3(&s)).unwrap_or_else(|| usage());
-                let seeds: u32 = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                let a = argv
+                    .next()
+                    .and_then(|s| parse_vec3(&s))
+                    .unwrap_or_else(|| usage());
+                let b = argv
+                    .next()
+                    .and_then(|s| parse_vec3(&s))
+                    .unwrap_or_else(|| usage());
+                let seeds: u32 = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 let tool = match argv.next().unwrap_or_else(|| usage()).as_str() {
                     "streamline" => ToolKind::Streamline,
                     "pathline" => ToolKind::ParticlePath,
@@ -99,7 +122,12 @@ fn main() {
     );
 
     if let Some((a, b, seeds, tool)) = rake {
-        if let Err(e) = client.send(&Command::AddRake { a, b, seed_count: seeds, tool }) {
+        if let Err(e) = client.send(&Command::AddRake {
+            a,
+            b,
+            seed_count: seeds,
+            tool,
+        }) {
             eprintln!("rake rejected: {e}");
             exit(1);
         }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! dvw-server <dataset-dir> [--addr HOST:PORT] [--ogrid] [--cache N]
-//!            [--budget-ms N]
+//!            [--budget-ms N] [--readahead N] [--keyframe-interval N]
 //! ```
 //!
 //! Serves a dataset directory (written by `dvw-gen` or
@@ -14,17 +14,42 @@ use std::sync::Arc;
 use storage::{CachedStore, DiskStore, ReadAhead};
 use windtunnel::{serve, ServerOptions};
 
+const USAGE: &str = "usage: dvw-server <dataset-dir> [--addr HOST:PORT] [--ogrid] [--cache N] \
+     [--budget-ms N] [--readahead N] [--keyframe-interval N]";
+
 fn usage() -> ! {
-    eprintln!(
-        "usage: dvw-server <dataset-dir> [--addr HOST:PORT] [--ogrid] [--cache N] [--budget-ms N] [--readahead N]"
-    );
+    eprintln!("{USAGE}");
     exit(2)
+}
+
+/// Take `flag`'s value argument, saying exactly what went wrong (missing
+/// vs unparsable) before the usage line.
+fn flag_value<T: std::str::FromStr>(
+    argv: &mut impl Iterator<Item = String>,
+    flag: &str,
+    expects: &str,
+) -> T {
+    let Some(raw) = argv.next() else {
+        eprintln!("dvw-server: {flag} expects {expects}, but no value was given");
+        usage();
+    };
+    match raw.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("dvw-server: {flag} expects {expects}, got '{raw}'");
+            usage();
+        }
+    }
 }
 
 fn main() {
     let mut argv = std::env::args().skip(1);
-    let Some(dir) = argv.next() else { usage() };
+    let Some(dir) = argv.next() else {
+        eprintln!("dvw-server: missing <dataset-dir>");
+        usage();
+    };
     if dir.starts_with("--") {
+        eprintln!("dvw-server: the first argument must be <dataset-dir>, got flag '{dir}'");
         usage();
     }
     let mut addr = "127.0.0.1:5917".to_string();
@@ -33,28 +58,25 @@ fn main() {
     let mut readahead = 0usize;
     while let Some(flag) = argv.next() {
         match flag.as_str() {
-            "--addr" => addr = argv.next().unwrap_or_else(|| usage()),
+            "--addr" => addr = flag_value(&mut argv, "--addr", "HOST:PORT"),
             "--ogrid" => opts.periodic_i = true,
-            "--cache" => {
-                cache = argv
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
-            "--readahead" => {
-                readahead = argv
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
+            "--cache" => cache = flag_value(&mut argv, "--cache", "a timestep count"),
+            "--readahead" => readahead = flag_value(&mut argv, "--readahead", "a prefetch depth"),
+            "--keyframe-interval" => {
+                opts.keyframe_interval = flag_value(
+                    &mut argv,
+                    "--keyframe-interval",
+                    "a frame count (0 = never)",
+                );
             }
             "--budget-ms" => {
-                let ms: u64 = argv
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
+                let ms: u64 = flag_value(&mut argv, "--budget-ms", "milliseconds");
                 opts.frame_budget = Some(std::time::Duration::from_millis(ms));
             }
-            _ => usage(),
+            _ => {
+                eprintln!("dvw-server: unknown flag '{flag}'");
+                usage();
+            }
         }
     }
 

@@ -5,11 +5,13 @@
 //! (the `vr` substrate) that draws the last received environment state
 //! from the head-tracked point of view at full rate.
 
+use crate::env::RakeId;
 use crate::proto::{
-    Command, FrameRequest, FrameStats, GeometryFrame, HelloReply, PathKind, PROC_COMMAND,
-    PROC_FRAME, PROC_HELLO, PROC_STATS,
+    Command, DeltaFrame, DeltaRequest, FrameRequest, FrameStats, GeometryFrame, HelloReply,
+    PathKind, PathMsg, PROC_COMMAND, PROC_FRAME, PROC_FRAME_DELTA, PROC_HELLO, PROC_STATS,
 };
-use dlib::{DlibClient, Result};
+use dlib::{DlibClient, DlibError, Result};
+use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use vecmath::Vec3;
 use vr::render::Rgb;
@@ -36,10 +38,78 @@ impl Default for Palette {
     }
 }
 
+/// The client's retained copy of the server's computed geometry, keyed
+/// by rake id. FRAME_DELTA replies patch it — chunks upsert, tombstones
+/// delete, keyframes replace wholesale — and a full [`GeometryFrame`]
+/// is reassembled from it after every patch, byte-identical to what the
+/// full-frame RPC would have returned at the same revision.
+#[derive(Default)]
+pub struct RetainedScene {
+    /// Revision of the last applied delta — the baseline acknowledged
+    /// back to the server. Zero means "no scene": the next reply must be
+    /// a keyframe.
+    revision: u64,
+    /// Per-rake paths, ascending by rake id to match the server's frame
+    /// assembly order.
+    chunks: BTreeMap<RakeId, Vec<PathMsg>>,
+}
+
+impl RetainedScene {
+    pub fn new() -> RetainedScene {
+        RetainedScene::default()
+    }
+
+    /// The baseline to acknowledge in the next [`DeltaRequest`].
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Rakes currently retained.
+    pub fn rake_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Apply one delta (or keyframe) and reassemble the resulting full
+    /// frame.
+    pub fn apply(&mut self, delta: DeltaFrame) -> Result<GeometryFrame> {
+        if delta.keyframe {
+            self.chunks.clear();
+        } else {
+            if delta.baseline != self.revision {
+                return Err(DlibError::Protocol(format!(
+                    "delta patches baseline {} but the scene is at {}",
+                    delta.baseline, self.revision
+                )));
+            }
+            for id in &delta.tombstones {
+                self.chunks.remove(id);
+            }
+        }
+        for chunk in delta.chunks {
+            self.chunks.insert(chunk.rake_id, chunk.paths);
+        }
+        self.revision = delta.revision;
+        let paths: Vec<PathMsg> = self
+            .chunks
+            .values()
+            .flat_map(|p| p.iter().cloned())
+            .collect();
+        Ok(GeometryFrame {
+            timestep: delta.timestep,
+            time: delta.time,
+            revision: delta.revision,
+            rakes: delta.rakes,
+            paths,
+            users: delta.users,
+        })
+    }
+}
+
 /// A connected windtunnel client.
 pub struct WindtunnelClient {
     dlib: DlibClient,
     hello: HelloReply,
+    scene: RetainedScene,
     said_goodbye: bool,
 }
 
@@ -52,6 +122,7 @@ impl WindtunnelClient {
         Ok(WindtunnelClient {
             dlib,
             hello,
+            scene: RetainedScene::new(),
             said_goodbye: false,
         })
     }
@@ -78,10 +149,49 @@ impl WindtunnelClient {
     /// Request the current geometry frame; `advance` drives the shared
     /// clock (exactly one client per session should pass `true`).
     pub fn frame(&mut self, advance: bool) -> Result<GeometryFrame> {
+        self.frame_measured(advance).map(|(f, _)| f)
+    }
+
+    /// [`WindtunnelClient::frame`], also reporting the reply's payload
+    /// size in bytes (benchmark harnesses measure wire traffic with it).
+    pub fn frame_measured(&mut self, advance: bool) -> Result<(GeometryFrame, usize)> {
         let bytes = self
             .dlib
             .call(PROC_FRAME, &FrameRequest { advance }.encode())?;
-        GeometryFrame::decode(&bytes)
+        Ok((GeometryFrame::decode(&bytes)?, bytes.len()))
+    }
+
+    /// Request the current frame incrementally: the server sends only the
+    /// rakes whose geometry changed since this client's last delta (or a
+    /// full keyframe when there is no usable baseline), and the retained
+    /// scene reassembles the complete frame. Mixing [`Self::frame`] and
+    /// this is safe — the full-frame RPC neither reads nor moves the
+    /// baseline.
+    pub fn frame_delta(&mut self, advance: bool) -> Result<GeometryFrame> {
+        self.frame_delta_measured(advance).map(|(f, _)| f)
+    }
+
+    /// [`WindtunnelClient::frame_delta`], also reporting the reply's
+    /// payload size in bytes.
+    pub fn frame_delta_measured(&mut self, advance: bool) -> Result<(GeometryFrame, usize)> {
+        let req = DeltaRequest {
+            advance,
+            baseline: self.scene.revision(),
+        };
+        let bytes = self.dlib.call(PROC_FRAME_DELTA, &req.encode())?;
+        let delta = DeltaFrame::decode(&bytes)?;
+        Ok((self.scene.apply(delta)?, bytes.len()))
+    }
+
+    /// Drop the retained scene: the next [`Self::frame_delta`] call
+    /// acknowledges no baseline and resyncs via a full keyframe.
+    pub fn reset_scene(&mut self) {
+        self.scene = RetainedScene::new();
+    }
+
+    /// The retained scene the delta path patches (for inspection).
+    pub fn scene(&self) -> &RetainedScene {
+        &self.scene
     }
 
     /// Fetch the server's frame-pipeline stats (stage timings + cache
@@ -170,7 +280,15 @@ pub fn head_glyph(head: &vecmath::Pose) -> Vec<Vec<Vec3>> {
     let y = Vec3::new(0.0, r, 0.0);
     let z = Vec3::new(0.0, 0.0, r);
     let diamond = vec![
-        c + x, c + y, c - x, c - y, c + x, c + z, c - x, c - z, c + x,
+        c + x,
+        c + y,
+        c - x,
+        c - y,
+        c + x,
+        c + z,
+        c - x,
+        c - z,
+        c + x,
     ];
     let gaze_dir = head.orientation.rotate(Vec3::new(0.0, 0.0, -1.0));
     let gaze = vec![c, c + gaze_dir * (3.0 * r)];
@@ -191,7 +309,9 @@ mod tests {
     use crate::compute::ComputeConfig;
     use crate::proto::TimeCommand;
     use crate::server::{serve, ServerOptions};
-    use flowfield::{dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims, VectorField};
+    use flowfield::{
+        dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims, VectorField,
+    };
     use std::sync::Arc;
     use storage::MemoryStore;
     use tracer::{ToolKind, TraceConfig};
@@ -202,11 +322,9 @@ mod tests {
     /// +x flow.
     fn test_server() -> (crate::server::WindtunnelHandle, SocketAddr) {
         let dims = Dims::new(16, 9, 9);
-        let grid = CurvilinearGrid::cartesian(
-            dims,
-            Aabb::new(Vec3::ZERO, Vec3::new(15.0, 8.0, 8.0)),
-        )
-        .unwrap();
+        let grid =
+            CurvilinearGrid::cartesian(dims, Aabb::new(Vec3::ZERO, Vec3::new(15.0, 8.0, 8.0)))
+                .unwrap();
         let meta = DatasetMeta {
             name: "uniform".into(),
             dims,
@@ -428,10 +546,7 @@ mod tests {
             .unwrap();
         let frame = client.frame(false).unwrap();
         let mut fb = Framebuffer::new(160, 160);
-        let camera = StereoCamera::new(Pose::new(
-            Vec3::new(7.5, 4.0, 20.0),
-            Default::default(),
-        ));
+        let camera = StereoCamera::new(Pose::new(Vec3::new(7.5, 4.0, 20.0), Default::default()));
         WindtunnelClient::render_stereo(&frame, &mut fb, &camera, &Palette::default());
         assert!(fb.count_pixels(|c| c.r > 0) > 20);
         assert!(fb.count_pixels(|c| c.b > 0) > 20);
@@ -453,17 +568,32 @@ mod tests {
 
         // Rendering for user a: b's head glyph appears.
         let mut fb = Framebuffer::new(160, 160);
-        WindtunnelClient::render_stereo_for_user(&frame, &mut fb, &camera, &Palette::default(), a.user_id());
+        WindtunnelClient::render_stereo_for_user(
+            &frame,
+            &mut fb,
+            &camera,
+            &Palette::default(),
+            a.user_id(),
+        );
         let with_b = fb.count_pixels(|c| c.r > 0 || c.b > 0);
         assert!(with_b > 5, "b's head should be visible");
 
         // Rendering for user b: own head excluded, scene now empty.
         let mut fb2 = Framebuffer::new(160, 160);
-        WindtunnelClient::render_stereo_for_user(&frame, &mut fb2, &camera, &Palette::default(), b.user_id());
+        WindtunnelClient::render_stereo_for_user(
+            &frame,
+            &mut fb2,
+            &camera,
+            &Palette::default(),
+            b.user_id(),
+        );
         let without_b = fb2.count_pixels(|c| c.r > 0 || c.b > 0);
         // a's head pose is identity-at-origin (behind the camera's far
         // plane region) — only b's glyph differs between the two renders.
-        assert!(without_b < with_b, "own head must not be drawn: {without_b} vs {with_b}");
+        assert!(
+            without_b < with_b,
+            "own head must not be drawn: {without_b} vs {with_b}"
+        );
         handle.shutdown();
     }
 
@@ -508,6 +638,154 @@ mod tests {
         let after = client.stats().unwrap();
         assert_eq!(after.cum_frame_hits, before.cum_frame_hits + 1);
         assert_eq!(after.cum_geom_misses, before.cum_geom_misses);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn delta_stream_reconstructs_full_frames_byte_identically() {
+        let (handle, addr) = test_server();
+        let mut full = WindtunnelClient::connect(addr).unwrap();
+        let mut inc = WindtunnelClient::connect(addr).unwrap();
+        inc.send(&Command::AddRake {
+            a: Vec3::new(2.0, 2.0, 4.0),
+            b: Vec3::new(2.0, 6.0, 4.0),
+            seed_count: 4,
+            tool: ToolKind::Streamline,
+        })
+        .unwrap();
+
+        // First contact: keyframe (no baseline yet).
+        let (f0, n0) = inc.frame_delta_measured(false).unwrap();
+        assert_eq!(f0.encode(), full.frame(false).unwrap().encode());
+
+        // Head-pose-only change: the delta must carry no path chunks, so
+        // it is far smaller than the keyframe — yet reassemble the exact
+        // frame.
+        inc.send(&Command::HeadPose {
+            pose: Pose::new(Vec3::new(0.0, 1.7, 5.0), Default::default()),
+        })
+        .unwrap();
+        let (f1, n1) = inc.frame_delta_measured(false).unwrap();
+        assert_eq!(f1.encode(), full.frame(false).unwrap().encode());
+        assert!(
+            n1 * 2 < n0,
+            "head-pose delta ({n1} B) should be far smaller than the keyframe ({n0} B)"
+        );
+
+        // Geometry change: the chunk comes back, still byte-identical.
+        inc.send(&Command::SetSeedCount { id: 1, n: 6 }).unwrap();
+        let f2 = inc.frame_delta(false).unwrap();
+        assert_eq!(f2.encode(), full.frame(false).unwrap().encode());
+
+        // Deletion: tombstone erases the rake from the retained scene.
+        inc.send(&Command::RemoveRake { id: 1 }).unwrap();
+        let f3 = inc.frame_delta(false).unwrap();
+        assert_eq!(f3.encode(), full.frame(false).unwrap().encode());
+        assert_eq!(inc.scene().rake_count(), 0);
+
+        // Forced resync rebuilds from a keyframe.
+        inc.reset_scene();
+        let f4 = inc.frame_delta(false).unwrap();
+        assert_eq!(f4.encode(), full.frame(false).unwrap().encode());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn chunks_encoded_once_across_clients() {
+        let (handle, addr) = test_server();
+        let mut a = WindtunnelClient::connect(addr).unwrap();
+        let mut b = WindtunnelClient::connect(addr).unwrap();
+        let mut c = WindtunnelClient::connect(addr).unwrap();
+        a.send(&Command::AddRake {
+            a: Vec3::new(2.0, 2.0, 4.0),
+            b: Vec3::new(2.0, 6.0, 4.0),
+            seed_count: 4,
+            tool: ToolKind::Streamline,
+        })
+        .unwrap();
+        a.frame_delta(false).unwrap();
+        let after_first = a.stats().unwrap().cum_chunk_encodes;
+        assert_eq!(after_first, 1, "one rake, one chunk encode");
+        // Two more clients pull the same revision: served from the
+        // broadcast cache, no further encodes.
+        b.frame_delta(false).unwrap();
+        c.frame_delta(false).unwrap();
+        assert_eq!(
+            a.stats().unwrap().cum_chunk_encodes,
+            after_first,
+            "same revision must not re-encode chunks per client"
+        );
+        // A geometry change re-encodes exactly once more, again shared.
+        a.send(&Command::SetSeedCount { id: 1, n: 5 }).unwrap();
+        a.frame_delta(false).unwrap();
+        b.frame_delta(false).unwrap();
+        c.frame_delta(false).unwrap();
+        assert_eq!(a.stats().unwrap().cum_chunk_encodes, after_first + 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn keyframe_interval_forces_periodic_keyframes() {
+        let (handle, addr) = {
+            let dims = Dims::new(16, 9, 9);
+            let grid =
+                CurvilinearGrid::cartesian(dims, Aabb::new(Vec3::ZERO, Vec3::new(15.0, 8.0, 8.0)))
+                    .unwrap();
+            let meta = DatasetMeta {
+                name: "uniform".into(),
+                dims,
+                timestep_count: 8,
+                dt: 0.1,
+                coords: VelocityCoords::Grid,
+            };
+            let fields = (0..8)
+                .map(|_| VectorField::from_fn(dims, |_, _, _| Vec3::X))
+                .collect();
+            let ds = Dataset::new(meta, grid.clone(), fields).unwrap();
+            let store = Arc::new(MemoryStore::from_dataset(ds));
+            let opts = ServerOptions {
+                keyframe_interval: 2,
+                ..ServerOptions::default()
+            };
+            let handle = serve(store, grid, opts, "127.0.0.1:0").unwrap();
+            let addr = handle.addr();
+            (handle, addr)
+        };
+        let mut client = WindtunnelClient::connect(addr).unwrap();
+        for _ in 0..7 {
+            // Mutate so every request sees a new revision.
+            client
+                .send(&Command::HeadPose {
+                    pose: Pose::new(Vec3::new(0.0, 1.7, 5.0), Default::default()),
+                })
+                .unwrap();
+            client.frame_delta(false).unwrap();
+        }
+        let stats = client.stats().unwrap();
+        // 7 replies at interval 2: keyframes at frames 1, 4, 7.
+        assert_eq!(stats.cum_keyframes, 3);
+        assert_eq!(stats.cum_delta_frames, 4);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn stats_track_bytes_and_delta_counts() {
+        let (handle, addr) = test_server();
+        let mut client = WindtunnelClient::connect(addr).unwrap();
+        client
+            .send(&Command::AddRake {
+                a: Vec3::new(2.0, 2.0, 4.0),
+                b: Vec3::new(2.0, 6.0, 4.0),
+                seed_count: 4,
+                tool: ToolKind::Streamline,
+            })
+            .unwrap();
+        let (_, nd) = client.frame_delta_measured(false).unwrap();
+        let (_, nf) = client.frame_measured(false).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.cum_keyframes, 1);
+        assert_eq!(stats.cum_delta_frames, 0);
+        assert_eq!(stats.cum_bytes_sent, (nd + nf) as u64);
         handle.shutdown();
     }
 

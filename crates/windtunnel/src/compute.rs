@@ -189,13 +189,24 @@ fn geom_key(
     }
 }
 
+struct CacheEntry {
+    key: GeomKey,
+    paths: Vec<PathMsg>,
+    /// Monotone token bumped every time this rake's paths are replaced.
+    /// The server's broadcast chunk cache compares stamps to decide
+    /// whether its *encoded* copy of the rake is still current — a cheap
+    /// content-change test that needs no knowledge of [`GeomKey`].
+    stamp: u64,
+}
+
 /// Per-rake cache of computed wire geometry, layered beneath the
 /// server's whole-frame encoded-bytes cache. A mutation that touches one
 /// rake — or none, like a head-pose update — re-traces only what
 /// actually changed; everything else is served from here.
 #[derive(Default)]
 pub struct GeometryCache {
-    entries: HashMap<RakeId, (GeomKey, Vec<PathMsg>)>,
+    entries: HashMap<RakeId, CacheEntry>,
+    next_stamp: u64,
     hits: u64,
     misses: u64,
 }
@@ -208,6 +219,13 @@ impl GeometryCache {
     /// Lifetime (hits, misses) across every frame built with this cache.
     pub fn cumulative(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// The cached paths and change stamp for one rake. The stamp changes
+    /// exactly when the paths do, so callers can cache derived artifacts
+    /// (e.g. encoded wire chunks) keyed on it.
+    pub fn rake_geometry(&self, id: RakeId) -> Option<(&[PathMsg], u64)> {
+        self.entries.get(&id).map(|e| (e.paths.as_slice(), e.stamp))
     }
 
     /// Drop all cached geometry (e.g. on dataset swap).
@@ -282,7 +300,7 @@ pub fn compute_frame_cached(
 
         let key = geom_key(entry.geom_rev(), timestep, rake.tool, cfg, engines);
         match cache.entries.get(&id) {
-            Some((cached, _)) if *cached == key => stats.geom_hits += 1,
+            Some(cached) if cached.key == key => stats.geom_hits += 1,
             _ => {
                 stats.geom_misses += 1;
                 misses.push((id, key, rake.seeds(), rake.tool));
@@ -371,15 +389,17 @@ pub fn compute_frame_cached(
         let (id, key, paths, integrate_us, map_us) = result?;
         stats.integrate_us += integrate_us;
         stats.map_us += map_us;
-        cache.entries.insert(id, (key, paths));
+        cache.next_stamp += 1;
+        let stamp = cache.next_stamp;
+        cache.entries.insert(id, CacheEntry { key, paths, stamp });
     }
 
     // Assemble in rake order from the (now fully warm) cache, so hit and
     // miss frames are byte-identical.
     let mut paths = Vec::new();
     for (id, _) in env.rakes() {
-        if let Some((_, cached)) = cache.entries.get(&id) {
-            paths.extend(cached.iter().cloned());
+        if let Some(cached) = cache.entries.get(&id) {
+            paths.extend(cached.paths.iter().cloned());
         }
     }
 
@@ -411,8 +431,7 @@ pub fn compute_frame(
     cfg: &ComputeConfig,
 ) -> Result<GeometryFrame, FieldError> {
     let mut cache = GeometryCache::new();
-    compute_frame_cached(env, engines, &mut cache, store, grid, domain, cfg)
-        .map(|(frame, _)| frame)
+    compute_frame_cached(env, engines, &mut cache, store, grid, domain, cfg).map(|(frame, _)| frame)
 }
 
 #[cfg(test)]
@@ -426,11 +445,9 @@ mod tests {
     /// Unit Cartesian grid with uniform +i grid velocity.
     fn test_store() -> (MemoryStore, CurvilinearGrid, Domain) {
         let dims = Dims::new(16, 9, 9);
-        let grid = CurvilinearGrid::cartesian(
-            dims,
-            Aabb::new(Vec3::ZERO, Vec3::new(15.0, 8.0, 8.0)),
-        )
-        .unwrap();
+        let grid =
+            CurvilinearGrid::cartesian(dims, Aabb::new(Vec3::ZERO, Vec3::new(15.0, 8.0, 8.0)))
+                .unwrap();
         let meta = DatasetMeta {
             name: "test".into(),
             dims,
@@ -469,7 +486,7 @@ mod tests {
         for p in &frame.paths {
             assert_eq!(p.kind, PathKind::Streamline);
             assert_eq!(p.points.len(), 6); // seed + 5 steps
-            // Unit grid: physical x advances 1 per step from x=2.
+                                           // Unit grid: physical x advances 1 per step from x=2.
             assert!((p.points[1].x - 3.0).abs() < 1e-4);
         }
     }
@@ -556,7 +573,15 @@ mod tests {
         env.remove_rake(0, id).unwrap();
         engines.advance_streaks(&env, field.as_ref(), &domain, &StreaklineConfig::default());
         assert_eq!(engines.streak_particles(), 0);
-        let frame = compute_frame(&env, &mut engines, &store, &grid, &domain, &ComputeConfig::default()).unwrap();
+        let frame = compute_frame(
+            &env,
+            &mut engines,
+            &store,
+            &grid,
+            &domain,
+            &ComputeConfig::default(),
+        )
+        .unwrap();
         assert_eq!(frame.paths.len(), 0);
     }
 
@@ -566,7 +591,15 @@ mod tests {
         let mut env = EnvironmentState::new(store.timestep_count());
         env.update_user(9, vecmath::Pose::IDENTITY);
         let mut engines = ToolEngines::new();
-        let frame = compute_frame(&env, &mut engines, &store, &grid, &domain, &ComputeConfig::default()).unwrap();
+        let frame = compute_frame(
+            &env,
+            &mut engines,
+            &store,
+            &grid,
+            &domain,
+            &ComputeConfig::default(),
+        )
+        .unwrap();
         assert_eq!(frame.users.len(), 1);
         assert_eq!(frame.users[0].id, 9);
     }
@@ -586,13 +619,11 @@ mod tests {
         let mut cache = GeometryCache::new();
         let cfg = ComputeConfig::default();
         let (f0, s0) =
-            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg)
-                .unwrap();
+            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
         assert_eq!(s0.geom_misses, 2);
         assert_eq!(s0.geom_hits, 0);
         let (f1, s1) =
-            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg)
-                .unwrap();
+            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
         assert_eq!(s1.geom_hits, 2);
         assert_eq!(s1.geom_misses, 0);
         assert_eq!(f0, f1, "cached frame must equal the computed one");
@@ -616,9 +647,11 @@ mod tests {
         compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
         env.set_seed_count(a, 5).unwrap();
         let (frame, stats) =
-            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg)
-                .unwrap();
-        assert_eq!(stats.geom_hits, 1, "untouched rake must be served from cache");
+            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
+        assert_eq!(
+            stats.geom_hits, 1,
+            "untouched rake must be served from cache"
+        );
         assert_eq!(stats.geom_misses, 1, "mutated rake must be re-traced");
         assert_eq!(
             frame.paths.iter().filter(|p| p.rake_id == a).count(),
@@ -638,12 +671,15 @@ mod tests {
         compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
         env.update_user(9, vecmath::Pose::IDENTITY);
         let (frame, stats) =
-            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg)
-                .unwrap();
+            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
         assert_eq!(stats.geom_misses, 0, "a head pose is not a geometry change");
         assert_eq!(stats.geom_hits, 1);
         assert_eq!(frame.users.len(), 1);
-        assert_eq!(frame.revision, env.revision(), "frame still reflects new state");
+        assert_eq!(
+            frame.revision,
+            env.revision(),
+            "frame still reflects new state"
+        );
     }
 
     #[test]
@@ -665,8 +701,7 @@ mod tests {
         compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
         engines.advance_streaks(&env, field.as_ref(), &domain, &cfg.streak);
         let (frame, stats) =
-            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg)
-                .unwrap();
+            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
         assert_eq!(stats.geom_misses, 1, "only the streak rake re-traces");
         assert_eq!(stats.geom_hits, 1);
         assert_eq!(
@@ -693,8 +728,7 @@ mod tests {
         compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
         env.remove_rake(0, id).unwrap();
         let (frame, _) =
-            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg)
-                .unwrap();
+            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
         assert!(frame.paths.is_empty());
         assert!(cache.entries.is_empty());
     }
@@ -705,7 +739,15 @@ mod tests {
         let mut env = EnvironmentState::new(store.timestep_count());
         env.time.jump(3);
         let mut engines = ToolEngines::new();
-        let frame = compute_frame(&env, &mut engines, &store, &grid, &domain, &ComputeConfig::default()).unwrap();
+        let frame = compute_frame(
+            &env,
+            &mut engines,
+            &store,
+            &grid,
+            &domain,
+            &ComputeConfig::default(),
+        )
+        .unwrap();
         assert_eq!(frame.timestep, 3);
         assert_eq!(frame.revision, env.revision());
     }

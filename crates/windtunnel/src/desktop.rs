@@ -108,7 +108,14 @@ impl DesktopInput {
     }
 
     /// Unproject a pixel at a given NDC depth back to world space.
-    fn unproject(mvp: &Mat4, px: f32, py: f32, ndc_z: f32, width: f32, height: f32) -> Option<Vec3> {
+    fn unproject(
+        mvp: &Mat4,
+        px: f32,
+        py: f32,
+        ndc_z: f32,
+        width: f32,
+        height: f32,
+    ) -> Option<Vec3> {
         let inv = mvp.inverse()?;
         let ndc = Vec3::new(
             px / (width - 1.0) * 2.0 - 1.0,
@@ -237,8 +244,7 @@ mod tests {
         let mvp = test_mvp();
         let (w, h) = (640.0, 480.0);
         // Project the rake center and click exactly there.
-        let (cx, cy, _) =
-            DesktopInput::project(&mvp, Vec3::ZERO, w, h).expect("center visible");
+        let (cx, cy, _) = DesktopInput::project(&mvp, Vec3::ZERO, w, h).expect("center visible");
         let cmd = d.mouse_down(cx, cy, &frame, &mvp, w, h).expect("grab");
         match cmd {
             Command::Hand { position, gesture } => {
@@ -309,7 +315,9 @@ mod tests {
         let (w, h) = (640.0, 480.0);
         // Click next to end A: must grab A's world position, not center.
         let (ax, ay, _) = DesktopInput::project(&mvp, Vec3::new(-1.0, 0.0, 0.0), w, h).unwrap();
-        let cmd = d.mouse_down(ax + 2.0, ay, &frame, &mvp, w, h).expect("grab");
+        let cmd = d
+            .mouse_down(ax + 2.0, ay, &frame, &mvp, w, h)
+            .expect("grab");
         match cmd {
             Command::Hand { position, .. } => {
                 assert!(position.distance(Vec3::new(-1.0, 0.0, 0.0)) < 0.05);
@@ -322,17 +330,17 @@ mod tests {
     fn end_to_end_desktop_drag_against_server() {
         // The desktop path drives the same server logic as the glove.
         use crate::server::{serve, ServerOptions};
-        use flowfield::{dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims, VectorField};
+        use flowfield::{
+            dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims, VectorField,
+        };
         use std::sync::Arc;
         use storage::MemoryStore;
         use vecmath::Aabb;
 
         let dims = Dims::new(16, 9, 9);
-        let grid = CurvilinearGrid::cartesian(
-            dims,
-            Aabb::new(Vec3::ZERO, Vec3::new(15.0, 8.0, 8.0)),
-        )
-        .unwrap();
+        let grid =
+            CurvilinearGrid::cartesian(dims, Aabb::new(Vec3::ZERO, Vec3::new(15.0, 8.0, 8.0)))
+                .unwrap();
         let meta = DatasetMeta {
             name: "desktop".into(),
             dims,
@@ -370,13 +378,20 @@ mod tests {
         let (cx, cy, _) = DesktopInput::project(&mvp, center, w, h).unwrap();
 
         // Click, drag up, release — through the wire.
-        client.send(&desk.mouse_down(cx, cy, &frame, &mvp, w, h).unwrap()).unwrap();
-        client.send(&desk.mouse_drag(cx, cy - 40.0, &mvp, w, h).unwrap()).unwrap();
+        client
+            .send(&desk.mouse_down(cx, cy, &frame, &mvp, w, h).unwrap())
+            .unwrap();
+        client
+            .send(&desk.mouse_drag(cx, cy - 40.0, &mvp, w, h).unwrap())
+            .unwrap();
         client.send(&desk.mouse_up().unwrap()).unwrap();
 
         let after = client.frame(false).unwrap();
         let new_center = (after.rakes[0].a + after.rakes[0].b) * 0.5;
-        assert!(new_center.y > center.y + 0.1, "rake moved up: {new_center:?}");
+        assert!(
+            new_center.y > center.y + 0.1,
+            "rake moved up: {new_center:?}"
+        );
         assert_eq!(after.rakes[0].owner, 0, "released after mouse-up");
         handle.shutdown();
     }

@@ -28,7 +28,10 @@ pub type UserId = u64;
 pub enum EnvError {
     NoSuchRake(RakeId),
     /// Somebody else holds the rake — the lockout of §5.1.
-    LockedByOther { rake: RakeId, owner: UserId },
+    LockedByOther {
+        rake: RakeId,
+        owner: UserId,
+    },
     /// The caller does not hold the rake it tried to manipulate.
     NotHeld(RakeId),
 }
@@ -197,9 +200,7 @@ impl EnvironmentState {
     pub fn grab(&mut self, user: UserId, id: RakeId, handle: Handle) -> Result<(), EnvError> {
         let entry = self.rakes.get_mut(&id).ok_or(EnvError::NoSuchRake(id))?;
         match entry.grab {
-            Some((owner, _)) if owner != user => {
-                Err(EnvError::LockedByOther { rake: id, owner })
-            }
+            Some((owner, _)) if owner != user => Err(EnvError::LockedByOther { rake: id, owner }),
             _ => {
                 entry.grab = Some((user, handle));
                 self.touch();
@@ -291,7 +292,12 @@ mod tests {
     use super::*;
 
     fn rake() -> Rake {
-        Rake::new(Vec3::ZERO, Vec3::new(4.0, 0.0, 0.0), 5, ToolKind::Streamline)
+        Rake::new(
+            Vec3::ZERO,
+            Vec3::new(4.0, 0.0, 0.0),
+            5,
+            ToolKind::Streamline,
+        )
     }
 
     #[test]
@@ -341,7 +347,10 @@ mod tests {
             Err(EnvError::LockedByOther { .. })
         ));
         env.drag(1, id, Vec3::new(0.0, 1.0, 0.0)).unwrap();
-        assert_eq!(env.rake(id).unwrap().rake.center(), Vec3::new(2.0, 1.0, 0.0));
+        assert_eq!(
+            env.rake(id).unwrap().rake.center(),
+            Vec3::new(2.0, 1.0, 0.0)
+        );
     }
 
     #[test]
@@ -370,7 +379,10 @@ mod tests {
         let id = env.add_rake(rake());
         assert_eq!(env.release(1, id), Err(EnvError::NotHeld(id)));
         env.grab(1, id, Handle::Center).unwrap();
-        assert!(matches!(env.release(2, id), Err(EnvError::LockedByOther { .. })));
+        assert!(matches!(
+            env.release(2, id),
+            Err(EnvError::LockedByOther { .. })
+        ));
         env.release(1, id).unwrap();
     }
 

@@ -141,11 +141,8 @@ mod tests {
     /// Unit-spacing Cartesian grid: physical == grid coordinates, which
     /// makes the assertions transparent.
     fn unit_grid() -> CurvilinearGrid {
-        CurvilinearGrid::cartesian(
-            Dims::new(9, 9, 9),
-            Aabb::new(Vec3::ZERO, Vec3::splat(8.0)),
-        )
-        .unwrap()
+        CurvilinearGrid::cartesian(Dims::new(9, 9, 9), Aabb::new(Vec3::ZERO, Vec3::splat(8.0)))
+            .unwrap()
     }
 
     fn env_with_rake() -> (EnvironmentState, RakeId) {
@@ -202,10 +199,26 @@ mod tests {
         let mut hands = HandStates::new();
         let cfg = InteractionConfig::default();
         // Grab the center.
-        process_hand(&mut env, &grid, &mut hands, 1, Vec3::new(4.0, 4.0, 4.0), Gesture::Fist, &cfg);
+        process_hand(
+            &mut env,
+            &grid,
+            &mut hands,
+            1,
+            Vec3::new(4.0, 4.0, 4.0),
+            Gesture::Fist,
+            &cfg,
+        );
         assert_eq!(env.rake(id).unwrap().grab, Some((1, Handle::Center)));
         // Move the fist up by 1 (physical) — unit grid means grid delta 1.
-        process_hand(&mut env, &grid, &mut hands, 1, Vec3::new(4.0, 5.0, 4.0), Gesture::Fist, &cfg);
+        process_hand(
+            &mut env,
+            &grid,
+            &mut hands,
+            1,
+            Vec3::new(4.0, 5.0, 4.0),
+            Gesture::Fist,
+            &cfg,
+        );
         let r = env.rake(id).unwrap().rake;
         assert!(r.center().distance(Vec3::new(4.0, 5.0, 4.0)) < 1e-4);
         // Rigid: both ends moved.
@@ -218,8 +231,24 @@ mod tests {
         let (mut env, id) = env_with_rake();
         let mut hands = HandStates::new();
         let cfg = InteractionConfig::default();
-        process_hand(&mut env, &grid, &mut hands, 1, Vec3::new(4.0, 4.0, 4.0), Gesture::Fist, &cfg);
-        let held = process_hand(&mut env, &grid, &mut hands, 1, Vec3::new(4.0, 4.0, 4.0), Gesture::Open, &cfg);
+        process_hand(
+            &mut env,
+            &grid,
+            &mut hands,
+            1,
+            Vec3::new(4.0, 4.0, 4.0),
+            Gesture::Fist,
+            &cfg,
+        );
+        let held = process_hand(
+            &mut env,
+            &grid,
+            &mut hands,
+            1,
+            Vec3::new(4.0, 4.0, 4.0),
+            Gesture::Open,
+            &cfg,
+        );
         assert_eq!(held, None);
         assert!(env.rake(id).unwrap().grab.is_none());
     }
@@ -230,14 +259,45 @@ mod tests {
         let (mut env, id) = env_with_rake();
         let mut hands = HandStates::new();
         let cfg = InteractionConfig::default();
-        process_hand(&mut env, &grid, &mut hands, 1, Vec3::new(4.0, 4.0, 4.0), Gesture::Fist, &cfg);
+        process_hand(
+            &mut env,
+            &grid,
+            &mut hands,
+            1,
+            Vec3::new(4.0, 4.0, 4.0),
+            Gesture::Fist,
+            &cfg,
+        );
         // User 2 fists the same handle: no grab, no panic.
-        let held = process_hand(&mut env, &grid, &mut hands, 2, Vec3::new(4.0, 4.0, 4.0), Gesture::Fist, &cfg);
+        let held = process_hand(
+            &mut env,
+            &grid,
+            &mut hands,
+            2,
+            Vec3::new(4.0, 4.0, 4.0),
+            Gesture::Fist,
+            &cfg,
+        );
         assert_eq!(held, None);
         assert_eq!(env.rake(id).unwrap().grab, Some((1, Handle::Center)));
         // User 2's drags do nothing.
-        process_hand(&mut env, &grid, &mut hands, 2, Vec3::new(4.0, 6.0, 4.0), Gesture::Fist, &cfg);
-        assert!(env.rake(id).unwrap().rake.center().distance(Vec3::new(4.0, 4.0, 4.0)) < 1e-4);
+        process_hand(
+            &mut env,
+            &grid,
+            &mut hands,
+            2,
+            Vec3::new(4.0, 6.0, 4.0),
+            Gesture::Fist,
+            &cfg,
+        );
+        assert!(
+            env.rake(id)
+                .unwrap()
+                .rake
+                .center()
+                .distance(Vec3::new(4.0, 4.0, 4.0))
+                < 1e-4
+        );
     }
 
     #[test]
@@ -246,9 +306,25 @@ mod tests {
         let (mut env, id) = env_with_rake();
         let mut hands = HandStates::new();
         let cfg = InteractionConfig::default();
-        process_hand(&mut env, &grid, &mut hands, 1, Vec3::new(6.0, 4.0, 4.0), Gesture::Fist, &cfg);
+        process_hand(
+            &mut env,
+            &grid,
+            &mut hands,
+            1,
+            Vec3::new(6.0, 4.0, 4.0),
+            Gesture::Fist,
+            &cfg,
+        );
         assert_eq!(env.rake(id).unwrap().grab, Some((1, Handle::EndB)));
-        process_hand(&mut env, &grid, &mut hands, 1, Vec3::new(6.0, 6.0, 4.0), Gesture::Fist, &cfg);
+        process_hand(
+            &mut env,
+            &grid,
+            &mut hands,
+            1,
+            Vec3::new(6.0, 6.0, 4.0),
+            Gesture::Fist,
+            &cfg,
+        );
         let r = env.rake(id).unwrap().rake;
         assert!(r.a.distance(Vec3::new(2.0, 4.0, 4.0)) < 1e-4);
         assert!(r.b.distance(Vec3::new(6.0, 6.0, 4.0)) < 1e-4);
@@ -263,7 +339,15 @@ mod tests {
         let (mut env, id) = env_with_rake();
         let mut hands = HandStates::new();
         let cfg = InteractionConfig::default();
-        process_hand(&mut env, &grid, &mut hands, 1, Vec3::new(4.0, 4.0, 4.0), Gesture::Fist, &cfg);
+        process_hand(
+            &mut env,
+            &grid,
+            &mut hands,
+            1,
+            Vec3::new(4.0, 4.0, 4.0),
+            Gesture::Fist,
+            &cfg,
+        );
         let before = env.rake(id).unwrap().rake;
         assert!(before.center().distance(Vec3::new(4.0, 4.0, 4.0)) < 1e-4);
     }
@@ -274,7 +358,15 @@ mod tests {
         let (mut env, _) = env_with_rake();
         let mut hands = HandStates::new();
         let cfg = InteractionConfig::default();
-        process_hand(&mut env, &grid, &mut hands, 1, Vec3::splat(4.0), Gesture::Open, &cfg);
+        process_hand(
+            &mut env,
+            &grid,
+            &mut hands,
+            1,
+            Vec3::splat(4.0),
+            Gesture::Open,
+            &cfg,
+        );
         assert!(hands.contains_key(&1));
         forget_user(&mut hands, 1);
         assert!(!hands.contains_key(&1));

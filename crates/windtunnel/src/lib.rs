@@ -40,10 +40,10 @@ pub mod server;
 pub mod session;
 pub mod time;
 
-pub use client::WindtunnelClient;
+pub use client::{RetainedScene, WindtunnelClient};
 pub use env::{EnvError, EnvironmentState, RakeId};
 pub use governor::FrameGovernor;
-pub use proto::{Command, GeometryFrame, PathKind, TimeCommand};
+pub use proto::{Command, DeltaFrame, DeltaRequest, GeometryFrame, PathKind, TimeCommand};
 pub use server::{serve, ServerOptions, WindtunnelHandle};
 pub use session::BackgroundSession;
 pub use time::{PlaybackMode, TimeController};

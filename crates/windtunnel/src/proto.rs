@@ -14,7 +14,7 @@
 //! All protocol geometry is in **physical** coordinates; grid coordinates
 //! never cross the wire.
 
-use bytes::{Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use dlib::wire::{put_f32x3_slab, WireReader, WireWrite};
 use dlib::{DlibError, Result};
 use flowfield::Dims;
@@ -34,6 +34,12 @@ pub const PROC_FRAME: u32 = 0x0057_0003;
 /// Pipeline instrumentation (additive — a v1 peer that never calls it is
 /// unaffected, so `PROTOCOL_VERSION` stays 1).
 pub const PROC_STATS: u32 = 0x0057_0004;
+/// Incremental frame transfer (additive, like [`PROC_STATS`]): the client
+/// sends the revision it last applied, the server replies with only the
+/// per-rake chunks that changed since — or a full keyframe when the
+/// client has no baseline / is too far behind. [`PROC_FRAME`] remains the
+/// always-works resync path, so `PROTOCOL_VERSION` stays 1.
+pub const PROC_FRAME_DELTA: u32 = 0x0057_0005;
 
 /// Identifies a rake (mirrors `env::RakeId`).
 pub type RakeId = u32;
@@ -122,7 +128,9 @@ fn get_points(r: &mut WireReader) -> Result<Vec<Vec3>> {
         return Err(DlibError::Protocol(format!("absurd point count {n}")));
     }
     // Bulk slab decode: one bounds check for the whole 12n-byte run.
-    Ok(r.f32x3_slab(n)?.map(|[x, y, z]| Vec3::new(x, y, z)).collect())
+    Ok(r.f32x3_slab(n)?
+        .map(|[x, y, z]| Vec3::new(x, y, z))
+        .collect())
 }
 
 /// The original per-element codec, kept as the reference the slab path
@@ -176,13 +184,26 @@ pub enum Command {
         seed_count: u32,
         tool: ToolKind,
     },
-    RemoveRake { id: RakeId },
-    SetTool { id: RakeId, tool: ToolKind },
-    SetSeedCount { id: RakeId, n: u32 },
+    RemoveRake {
+        id: RakeId,
+    },
+    SetTool {
+        id: RakeId,
+        tool: ToolKind,
+    },
+    SetSeedCount {
+        id: RakeId,
+        n: u32,
+    },
     /// The glove sample: hand position (physical) + current gesture.
-    Hand { position: Vec3, gesture: Gesture },
+    Hand {
+        position: Vec3,
+        gesture: Gesture,
+    },
     /// The BOOM sample, for the shared-participants display.
-    HeadPose { pose: Pose },
+    HeadPose {
+        pose: Pose,
+    },
     Time(TimeCommand),
     /// Clean sign-off: releases the user's locks and presence.
     Goodbye,
@@ -192,7 +213,12 @@ impl Command {
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::new();
         match self {
-            Command::AddRake { a, b: bb, seed_count, tool } => {
+            Command::AddRake {
+                a,
+                b: bb,
+                seed_count,
+                tool,
+            } => {
                 b.put_u32_le_(0);
                 put_vec3(&mut b, *a);
                 put_vec3(&mut b, *bb);
@@ -426,6 +452,86 @@ pub struct GeometryFrame {
     pub users: Vec<UserMsg>,
 }
 
+// Shared section codecs: the full frame and the delta frame are built
+// from the same per-element encoders, so a frame reassembled from delta
+// chunks is byte-identical to the directly encoded one by construction.
+
+fn put_rake(b: &mut BytesMut, rk: &RakeMsg) {
+    b.put_u32_le_(rk.id);
+    put_vec3(b, rk.a);
+    put_vec3(b, rk.b);
+    b.put_u32_le_(rk.seed_count);
+    put_tool(b, rk.tool);
+    b.put_u64_le_(rk.owner);
+}
+
+fn get_rake(r: &mut WireReader) -> Result<RakeMsg> {
+    Ok(RakeMsg {
+        id: r.u32_le()?,
+        a: get_vec3(r)?,
+        b: get_vec3(r)?,
+        seed_count: r.u32_le()?,
+        tool: get_tool(r)?,
+        owner: r.u64_le()?,
+    })
+}
+
+fn put_rakes_section(b: &mut BytesMut, rakes: &[RakeMsg]) {
+    b.put_u32_le_(rakes.len() as u32);
+    for rk in rakes {
+        put_rake(b, rk);
+    }
+}
+
+fn get_rakes_section(r: &mut WireReader) -> Result<Vec<RakeMsg>> {
+    let n_rakes = r.u32_le()? as usize;
+    if n_rakes > 100_000 {
+        return Err(DlibError::Protocol("absurd rake count".into()));
+    }
+    let mut rakes = Vec::with_capacity(n_rakes);
+    for _ in 0..n_rakes {
+        rakes.push(get_rake(r)?);
+    }
+    Ok(rakes)
+}
+
+fn put_path(b: &mut BytesMut, p: &PathMsg) {
+    b.put_u32_le_(p.rake_id);
+    b.put_u32_le_(p.kind.to_u32());
+    put_points(b, &p.points);
+}
+
+fn get_path(r: &mut WireReader) -> Result<PathMsg> {
+    Ok(PathMsg {
+        rake_id: r.u32_le()?,
+        kind: PathKind::from_u32(r.u32_le()?)?,
+        points: get_points(r)?,
+    })
+}
+
+fn put_users_section(b: &mut BytesMut, users: &[UserMsg]) {
+    b.put_u32_le_(users.len() as u32);
+    for u in users {
+        b.put_u64_le_(u.id);
+        put_pose(b, &u.head);
+    }
+}
+
+fn get_users_section(r: &mut WireReader) -> Result<Vec<UserMsg>> {
+    let n_users = r.u32_le()? as usize;
+    if n_users > 100_000 {
+        return Err(DlibError::Protocol("absurd user count".into()));
+    }
+    let mut users = Vec::with_capacity(n_users);
+    for _ in 0..n_users {
+        users.push(UserMsg {
+            id: r.u64_le()?,
+            head: get_pose(r)?,
+        });
+    }
+    Ok(users)
+}
+
 impl GeometryFrame {
     /// Total path points — the "particles" of Table 1.
     pub fn particle_count(&self) -> usize {
@@ -451,26 +557,12 @@ impl GeometryFrame {
         b.put_u32_le_(self.timestep);
         b.put_f32_le_(self.time);
         b.put_u64_le_(self.revision);
-        b.put_u32_le_(self.rakes.len() as u32);
-        for rk in &self.rakes {
-            b.put_u32_le_(rk.id);
-            put_vec3(b, rk.a);
-            put_vec3(b, rk.b);
-            b.put_u32_le_(rk.seed_count);
-            put_tool(b, rk.tool);
-            b.put_u64_le_(rk.owner);
-        }
+        put_rakes_section(b, &self.rakes);
         b.put_u32_le_(self.paths.len() as u32);
         for p in &self.paths {
-            b.put_u32_le_(p.rake_id);
-            b.put_u32_le_(p.kind.to_u32());
-            put_points(b, &p.points);
+            put_path(b, p);
         }
-        b.put_u32_le_(self.users.len() as u32);
-        for u in &self.users {
-            b.put_u64_le_(u.id);
-            put_pose(b, &u.head);
-        }
+        put_users_section(b, &self.users);
     }
 
     pub fn decode(buf: &[u8]) -> Result<GeometryFrame> {
@@ -478,44 +570,16 @@ impl GeometryFrame {
         let timestep = r.u32_le()?;
         let time = r.f32_le()?;
         let revision = r.u64_le()?;
-        let n_rakes = r.u32_le()? as usize;
-        if n_rakes > 100_000 {
-            return Err(DlibError::Protocol("absurd rake count".into()));
-        }
-        let mut rakes = Vec::with_capacity(n_rakes);
-        for _ in 0..n_rakes {
-            rakes.push(RakeMsg {
-                id: r.u32_le()?,
-                a: get_vec3(&mut r)?,
-                b: get_vec3(&mut r)?,
-                seed_count: r.u32_le()?,
-                tool: get_tool(&mut r)?,
-                owner: r.u64_le()?,
-            });
-        }
+        let rakes = get_rakes_section(&mut r)?;
         let n_paths = r.u32_le()? as usize;
         if n_paths > 1_000_000 {
             return Err(DlibError::Protocol("absurd path count".into()));
         }
         let mut paths = Vec::with_capacity(n_paths);
         for _ in 0..n_paths {
-            paths.push(PathMsg {
-                rake_id: r.u32_le()?,
-                kind: PathKind::from_u32(r.u32_le()?)?,
-                points: get_points(&mut r)?,
-            });
+            paths.push(get_path(&mut r)?);
         }
-        let n_users = r.u32_le()? as usize;
-        if n_users > 100_000 {
-            return Err(DlibError::Protocol("absurd user count".into()));
-        }
-        let mut users = Vec::with_capacity(n_users);
-        for _ in 0..n_users {
-            users.push(UserMsg {
-                id: r.u64_le()?,
-                head: get_pose(&mut r)?,
-            });
-        }
+        let users = get_users_section(&mut r)?;
         if r.remaining() != 0 {
             return Err(DlibError::Protocol("trailing bytes after frame".into()));
         }
@@ -553,6 +617,245 @@ impl FrameRequest {
 }
 
 // ---------------------------------------------------------------------
+// Delta frames (remote → workstation, PROC_FRAME_DELTA)
+
+/// The FRAME_DELTA request: like [`FrameRequest`], plus the revision the
+/// client last applied to its retained scene (its acknowledged
+/// baseline). `baseline == 0` means "no scene yet — send a keyframe".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaRequest {
+    pub advance: bool,
+    pub baseline: u64,
+}
+
+impl DeltaRequest {
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        b.put_u32_le_(self.advance as u32);
+        b.put_u64_le_(self.baseline);
+        b.freeze()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<DeltaRequest> {
+        let mut r = WireReader::new(buf);
+        let req = DeltaRequest {
+            advance: r.u32_le()? != 0,
+            baseline: r.u64_le()?,
+        };
+        if r.remaining() != 0 {
+            return Err(DlibError::Protocol(
+                "trailing bytes after delta request".into(),
+            ));
+        }
+        Ok(req)
+    }
+}
+
+/// One rake's worth of computed paths, stamped with the environment
+/// revision its content last changed at. The path encoding inside a
+/// chunk is exactly the full-frame path encoding, so the server can
+/// cache chunks as encoded bytes and splice them into replies, and the
+/// client can reassemble a byte-identical [`GeometryFrame`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RakeChunkMsg {
+    pub rake_id: RakeId,
+    /// Revision at which this chunk's content last changed — the server
+    /// resends a chunk only to clients whose baseline is older.
+    pub content_rev: u64,
+    pub paths: Vec<PathMsg>,
+}
+
+impl RakeChunkMsg {
+    pub fn encode_into(&self, b: &mut BytesMut) {
+        Self::encode_parts(b, self.rake_id, self.content_rev, &self.paths);
+    }
+
+    /// Encode straight from borrowed parts — the server's broadcast cache
+    /// encodes each rake once per revision from its cached paths without
+    /// building an owned message first.
+    pub fn encode_parts(b: &mut BytesMut, rake_id: RakeId, content_rev: u64, paths: &[PathMsg]) {
+        b.put_u32_le_(rake_id);
+        b.put_u64_le_(content_rev);
+        b.put_u32_le_(paths.len() as u32);
+        for p in paths {
+            put_path(b, p);
+        }
+    }
+
+    fn decode_from(r: &mut WireReader) -> Result<RakeChunkMsg> {
+        let rake_id = r.u32_le()?;
+        let content_rev = r.u64_le()?;
+        let n_paths = r.u32_le()? as usize;
+        if n_paths > 1_000_000 {
+            return Err(DlibError::Protocol("absurd chunk path count".into()));
+        }
+        let mut paths = Vec::with_capacity(n_paths);
+        for _ in 0..n_paths {
+            let p = get_path(r)?;
+            if p.rake_id != rake_id {
+                return Err(DlibError::Protocol(format!(
+                    "chunk for rake {rake_id} carries a path of rake {}",
+                    p.rake_id
+                )));
+            }
+            paths.push(p);
+        }
+        Ok(RakeChunkMsg {
+            rake_id,
+            content_rev,
+            paths,
+        })
+    }
+}
+
+/// One incremental frame: header + full (cheap) rake/user state + path
+/// chunks only for rakes whose content advanced past the client's
+/// baseline + tombstones for rakes deleted since. A keyframe carries
+/// every chunk and resets the client's scene wholesale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaFrame {
+    /// True when this is a full keyframe (fresh client, client too far
+    /// behind, or a forced periodic resync).
+    pub keyframe: bool,
+    pub timestep: u32,
+    pub time: f32,
+    /// Environment revision this frame describes; becomes the client's
+    /// next baseline.
+    pub revision: u64,
+    /// The baseline this delta patches (0 on keyframes). A client whose
+    /// scene revision differs must resync with a keyframe.
+    pub baseline: u64,
+    /// The complete rake list (44 B each — owner/lock state does not
+    /// bump geometry revisions, so it rides along in full every frame).
+    pub rakes: Vec<RakeMsg>,
+    /// Path chunks for rakes with `content_rev > baseline` (all rakes on
+    /// a keyframe), in ascending rake-id order.
+    pub chunks: Vec<RakeChunkMsg>,
+    /// Rakes deleted since the baseline (empty on keyframes).
+    pub tombstones: Vec<RakeId>,
+    /// The complete user/head-pose list.
+    pub users: Vec<UserMsg>,
+}
+
+const DELTA_FLAG_KEYFRAME: u32 = 1;
+
+impl DeltaFrame {
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        self.encode_into(&mut b);
+        b.freeze()
+    }
+
+    pub fn encode_into(&self, b: &mut BytesMut) {
+        b.put_u32_le_(if self.keyframe {
+            DELTA_FLAG_KEYFRAME
+        } else {
+            0
+        });
+        b.put_u32_le_(self.timestep);
+        b.put_f32_le_(self.time);
+        b.put_u64_le_(self.revision);
+        b.put_u64_le_(self.baseline);
+        put_rakes_section(b, &self.rakes);
+        b.put_u32_le_(self.chunks.len() as u32);
+        for c in &self.chunks {
+            c.encode_into(b);
+        }
+        b.put_u32_le_(self.tombstones.len() as u32);
+        for id in &self.tombstones {
+            b.put_u32_le_(*id);
+        }
+        put_users_section(b, &self.users);
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<DeltaFrame> {
+        let mut r = WireReader::new(buf);
+        let flags = r.u32_le()?;
+        if flags & !DELTA_FLAG_KEYFRAME != 0 {
+            return Err(DlibError::Protocol(format!(
+                "unknown delta flags {flags:#x}"
+            )));
+        }
+        let timestep = r.u32_le()?;
+        let time = r.f32_le()?;
+        let revision = r.u64_le()?;
+        let baseline = r.u64_le()?;
+        let rakes = get_rakes_section(&mut r)?;
+        let n_chunks = r.u32_le()? as usize;
+        if n_chunks > 100_000 {
+            return Err(DlibError::Protocol("absurd chunk count".into()));
+        }
+        let mut chunks = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            chunks.push(RakeChunkMsg::decode_from(&mut r)?);
+        }
+        let n_tombstones = r.u32_le()? as usize;
+        if n_tombstones > 100_000 {
+            return Err(DlibError::Protocol("absurd tombstone count".into()));
+        }
+        let mut tombstones = Vec::with_capacity(n_tombstones);
+        for _ in 0..n_tombstones {
+            tombstones.push(r.u32_le()?);
+        }
+        let users = get_users_section(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(DlibError::Protocol(
+                "trailing bytes after delta frame".into(),
+            ));
+        }
+        Ok(DeltaFrame {
+            keyframe: flags & DELTA_FLAG_KEYFRAME != 0,
+            timestep,
+            time,
+            revision,
+            baseline,
+            rakes,
+            chunks,
+            tombstones,
+            users,
+        })
+    }
+}
+
+/// Assemble a [`DeltaFrame`] reply by splicing *pre-encoded* chunk blobs
+/// (each produced by [`RakeChunkMsg::encode_parts`]) between a freshly
+/// encoded header and tail. This is how the server reuses its broadcast
+/// cache across clients: chunks are encoded once per revision, and every
+/// reply is a cheap copy of the cached bytes. The output is byte-identical
+/// to `DeltaFrame::encode` on the equivalent typed value.
+#[allow(clippy::too_many_arguments)]
+pub fn splice_delta(
+    b: &mut BytesMut,
+    keyframe: bool,
+    timestep: u32,
+    time: f32,
+    revision: u64,
+    baseline: u64,
+    rakes: &[RakeMsg],
+    chunk_blobs: &[Bytes],
+    tombstones: &[RakeId],
+    users: &[UserMsg],
+) {
+    let blob_bytes: usize = chunk_blobs.iter().map(|c| c.len()).sum();
+    b.reserve(64 + rakes.len() * 44 + blob_bytes);
+    b.put_u32_le_(if keyframe { DELTA_FLAG_KEYFRAME } else { 0 });
+    b.put_u32_le_(timestep);
+    b.put_f32_le_(time);
+    b.put_u64_le_(revision);
+    b.put_u64_le_(baseline);
+    put_rakes_section(b, rakes);
+    b.put_u32_le_(chunk_blobs.len() as u32);
+    for blob in chunk_blobs {
+        b.put_slice(blob);
+    }
+    b.put_u32_le_(tombstones.len() as u32);
+    for id in tombstones {
+        b.put_u32_le_(*id);
+    }
+    put_users_section(b, users);
+}
+
+// ---------------------------------------------------------------------
 // Pipeline stats (remote → workstation, PROC_STATS)
 
 /// Stage timings and cache counters for the frame pipeline. Returned by
@@ -584,11 +887,25 @@ pub struct FrameStats {
     pub cum_frame_hits: u64,
     /// Lifetime frames served.
     pub cum_frames: u64,
+    /// Per-rake chunk encoding for the last frame, microseconds (zero
+    /// when every chunk came from the broadcast cache).
+    pub chunk_encode_us: u64,
+    /// Delta reply assembly (header + cached-chunk splicing), µs.
+    pub delta_encode_us: u64,
+    /// Lifetime per-rake chunks encoded — stays flat across extra
+    /// clients at the same revision, proving encode-once broadcast.
+    pub cum_chunk_encodes: u64,
+    /// Lifetime keyframes served over FRAME_DELTA.
+    pub cum_keyframes: u64,
+    /// Lifetime true deltas served over FRAME_DELTA.
+    pub cum_delta_frames: u64,
+    /// Lifetime payload bytes sent over FRAME / FRAME_DELTA replies.
+    pub cum_bytes_sent: u64,
 }
 
 impl FrameStats {
     pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(72);
+        let mut b = BytesMut::with_capacity(120);
         b.put_u64_le_(self.revision);
         b.put_u64_le_(self.fetch_us);
         b.put_u64_le_(self.integrate_us);
@@ -600,6 +917,12 @@ impl FrameStats {
         b.put_u64_le_(self.cum_geom_misses);
         b.put_u64_le_(self.cum_frame_hits);
         b.put_u64_le_(self.cum_frames);
+        b.put_u64_le_(self.chunk_encode_us);
+        b.put_u64_le_(self.delta_encode_us);
+        b.put_u64_le_(self.cum_chunk_encodes);
+        b.put_u64_le_(self.cum_keyframes);
+        b.put_u64_le_(self.cum_delta_frames);
+        b.put_u64_le_(self.cum_bytes_sent);
         b.freeze()
     }
 
@@ -617,6 +940,12 @@ impl FrameStats {
             cum_geom_misses: r.u64_le()?,
             cum_frame_hits: r.u64_le()?,
             cum_frames: r.u64_le()?,
+            chunk_encode_us: r.u64_le()?,
+            delta_encode_us: r.u64_le()?,
+            cum_chunk_encodes: r.u64_le()?,
+            cum_keyframes: r.u64_le()?,
+            cum_delta_frames: r.u64_le()?,
+            cum_bytes_sent: r.u64_le()?,
         };
         if r.remaining() != 0 {
             return Err(DlibError::Protocol("trailing bytes after stats".into()));
@@ -769,7 +1098,11 @@ mod tests {
         assert_eq!(frame.path_payload_bytes(), 120_000);
         let encoded = frame.encode();
         assert!(encoded.len() >= 120_000);
-        assert!(encoded.len() < 121_000, "envelope too heavy: {}", encoded.len());
+        assert!(
+            encoded.len() < 121_000,
+            "envelope too heavy: {}",
+            encoded.len()
+        );
     }
 
     #[test]
@@ -805,6 +1138,11 @@ mod tests {
             #[test]
             fn prop_stats_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
                 let _ = FrameStats::decode(&bytes);
+            }
+
+            #[test]
+            fn prop_delta_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+                let _ = DeltaFrame::decode(&bytes);
             }
 
             /// The slab codec must be byte-identical to the retired
@@ -921,6 +1259,141 @@ mod tests {
         assert_eq!(&scratch[4..], &frame.encode()[..]);
     }
 
+    fn sample_delta() -> DeltaFrame {
+        DeltaFrame {
+            keyframe: false,
+            timestep: 12,
+            time: 0.6,
+            revision: 40,
+            baseline: 37,
+            rakes: vec![
+                RakeMsg {
+                    id: 1,
+                    a: Vec3::ZERO,
+                    b: Vec3::ONE,
+                    seed_count: 8,
+                    tool: ToolKind::Streamline,
+                    owner: 2,
+                },
+                RakeMsg {
+                    id: 3,
+                    a: Vec3::X,
+                    b: Vec3::Y,
+                    seed_count: 4,
+                    tool: ToolKind::Streakline,
+                    owner: 0,
+                },
+            ],
+            chunks: vec![RakeChunkMsg {
+                rake_id: 3,
+                content_rev: 39,
+                paths: vec![
+                    PathMsg {
+                        rake_id: 3,
+                        kind: PathKind::Streak,
+                        points: vec![Vec3::X, Vec3::Z],
+                    },
+                    PathMsg {
+                        rake_id: 3,
+                        kind: PathKind::Streak,
+                        points: vec![],
+                    },
+                ],
+            }],
+            tombstones: vec![2],
+            users: vec![UserMsg {
+                id: 5,
+                head: Pose::new(Vec3::new(0.0, 1.7, 2.0), Quat::IDENTITY),
+            }],
+        }
+    }
+
+    #[test]
+    fn delta_request_roundtrip() {
+        for (advance, baseline) in [(true, 0u64), (false, 41), (true, u64::MAX)] {
+            let req = DeltaRequest { advance, baseline };
+            assert_eq!(DeltaRequest::decode(&req.encode()).unwrap(), req);
+        }
+        // Trailing garbage rejected.
+        let mut bytes = DeltaRequest {
+            advance: true,
+            baseline: 3,
+        }
+        .encode()
+        .to_vec();
+        bytes.push(0);
+        assert!(DeltaRequest::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn delta_frame_roundtrip() {
+        let delta = sample_delta();
+        assert_eq!(DeltaFrame::decode(&delta.encode()).unwrap(), delta);
+        let key = DeltaFrame {
+            keyframe: true,
+            baseline: 0,
+            tombstones: vec![],
+            ..delta
+        };
+        assert_eq!(DeltaFrame::decode(&key.encode()).unwrap(), key);
+    }
+
+    #[test]
+    fn delta_frame_rejects_garbage() {
+        let delta = sample_delta();
+        // Trailing bytes.
+        let mut bytes = delta.encode().to_vec();
+        bytes.push(0);
+        assert!(DeltaFrame::decode(&bytes).is_err());
+        // Truncation.
+        let bytes = delta.encode();
+        assert!(DeltaFrame::decode(&bytes[..bytes.len() - 3]).is_err());
+        // Unknown flag bits.
+        let mut bytes = delta.encode().to_vec();
+        bytes[0] |= 0x80;
+        assert!(DeltaFrame::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn chunk_path_rake_mismatch_rejected() {
+        let mut delta = sample_delta();
+        delta.chunks[0].paths[0].rake_id = 99;
+        assert!(DeltaFrame::decode(&delta.encode()).is_err());
+    }
+
+    /// The server's broadcast cache stores *encoded* chunks and splices
+    /// them into replies — the splice must be indistinguishable from
+    /// encoding the typed [`DeltaFrame`] directly.
+    #[test]
+    fn spliced_chunks_match_typed_encode() {
+        let delta = sample_delta();
+        // Pre-encode each chunk separately, as the broadcast cache does.
+        let blobs: Vec<Bytes> = delta
+            .chunks
+            .iter()
+            .map(|c| {
+                let mut b = BytesMut::new();
+                c.encode_into(&mut b);
+                b.freeze()
+            })
+            .collect();
+        // Assemble the reply by splicing the cached blobs.
+        let mut spliced = BytesMut::new();
+        splice_delta(
+            &mut spliced,
+            delta.keyframe,
+            delta.timestep,
+            delta.time,
+            delta.revision,
+            delta.baseline,
+            &delta.rakes,
+            &blobs,
+            &delta.tombstones,
+            &delta.users,
+        );
+        assert_eq!(&spliced[..], &delta.encode()[..]);
+    }
+
     #[test]
     fn frame_stats_roundtrip() {
         let s = FrameStats {
@@ -935,6 +1408,12 @@ mod tests {
             cum_geom_misses: 12,
             cum_frame_hits: 7,
             cum_frames: 52,
+            chunk_encode_us: 61,
+            delta_encode_us: 8,
+            cum_chunk_encodes: 19,
+            cum_keyframes: 4,
+            cum_delta_frames: 44,
+            cum_bytes_sent: 1_234_567,
         };
         assert_eq!(FrameStats::decode(&s.encode()).unwrap(), s);
         assert_eq!(s.total_us(), 5_025);

@@ -256,17 +256,17 @@ mod tests {
     #[test]
     fn replay_reproduces_environment() {
         use crate::server::{serve, ServerOptions};
-        use flowfield::{dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims, VectorField};
+        use flowfield::{
+            dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims, VectorField,
+        };
         use std::sync::Arc;
         use storage::MemoryStore;
         use vecmath::Aabb;
 
         let dims = Dims::new(16, 9, 9);
-        let grid = CurvilinearGrid::cartesian(
-            dims,
-            Aabb::new(Vec3::ZERO, Vec3::new(15.0, 8.0, 8.0)),
-        )
-        .unwrap();
+        let grid =
+            CurvilinearGrid::cartesian(dims, Aabb::new(Vec3::ZERO, Vec3::new(15.0, 8.0, 8.0)))
+                .unwrap();
         let meta = DatasetMeta {
             name: "rec".into(),
             dims,

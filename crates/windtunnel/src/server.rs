@@ -10,21 +10,29 @@
 //! environment revision.
 
 use crate::compute::{compute_frame_cached, ComputeConfig, GeometryCache, ToolEngines};
-use crate::env::EnvironmentState;
+use crate::env::{EnvironmentState, RakeId, UserId};
 use crate::governor::FrameGovernor;
 use crate::interaction::{process_hand, HandStates, InteractionConfig};
 use crate::proto::{
-    Command, FrameRequest, FrameStats, HelloReply, TimeCommand, PROC_COMMAND, PROC_FRAME,
-    PROC_HELLO, PROC_STATS,
+    splice_delta, Command, DeltaRequest, FrameRequest, FrameStats, GeometryFrame, HelloReply,
+    RakeChunkMsg, TimeCommand, PROC_COMMAND, PROC_FRAME, PROC_FRAME_DELTA, PROC_HELLO, PROC_STATS,
 };
 use bytes::{Bytes, BytesMut};
 use dlib::server::{DlibServer, ServerHandle, Session};
 use flowfield::CurvilinearGrid;
+use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use storage::TimestepStore;
 use tracer::Domain;
 use vecmath::Pose;
+
+/// Tombstones kept for delta patching before falling back to keyframes.
+/// Once pruned, clients whose baseline predates the oldest retained
+/// tombstone get a full keyframe instead — correct either way, so the cap
+/// only bounds memory on delete-heavy sessions.
+const MAX_TOMBSTONES: usize = 512;
 
 /// Server configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -37,6 +45,32 @@ pub struct ServerOptions {
     /// detail to stay inside it (§1.2's rich-environment/frame-rate
     /// tradeoff, automated). `None` disables governing.
     pub frame_budget: Option<std::time::Duration>,
+    /// Force a full keyframe on every Nth FRAME_DELTA reply per session
+    /// (0 = only when a client actually needs one). A periodic keyframe
+    /// bounds how long a corrupted client scene could persist.
+    pub keyframe_interval: u32,
+}
+
+/// One rake's paths, pre-encoded for FRAME_DELTA replies. Shared across
+/// every connected client: the bytes are encoded once per content change
+/// and spliced (refcounted, not copied) into each reply that needs them.
+struct ChunkEntry {
+    /// Geometry-cache stamp the bytes were encoded from; a differing
+    /// stamp means the rake's paths were re-traced since.
+    stamp: u64,
+    /// Revision at which this content first became visible — clients
+    /// whose baseline is older get the chunk resent.
+    content_rev: u64,
+    bytes: Bytes,
+}
+
+/// Per-client delta bookkeeping.
+#[derive(Default)]
+struct DeltaSession {
+    /// Revision of the last FRAME_DELTA reply this client received.
+    last_sent: u64,
+    /// Deltas since the last keyframe (drives `keyframe_interval`).
+    frames_since_key: u32,
 }
 
 struct ServerState {
@@ -48,12 +82,27 @@ struct ServerState {
     domain: Domain,
     opts: ServerOptions,
     governor: Option<FrameGovernor>,
+    /// The typed frame for the current revision — computed at most once
+    /// per revision no matter how many clients or RPC kinds request it,
+    /// so FRAME and FRAME_DELTA describe identical content.
+    frame: Option<GeometryFrame>,
+    /// Wall-clock of the last fresh compute (governor input).
+    compute_elapsed: Duration,
     /// Encoded frame cache: (revision it was computed at, bytes).
     frame_cache: Option<(u64, Bytes)>,
     /// Per-rake geometry cache, layered beneath the frame cache: when the
     /// revision moved but a rake's geometry inputs didn't (head pose,
     /// another rake dragged), its paths are reused instead of re-traced.
     geom_cache: GeometryCache,
+    /// Broadcast cache of per-rake *encoded* chunks for FRAME_DELTA.
+    chunk_cache: HashMap<RakeId, ChunkEntry>,
+    /// Rakes deleted recently: (id, revision the deletion bumped to).
+    tombstones: Vec<(RakeId, u64)>,
+    /// Baselines below this can no longer be delta-patched (their
+    /// tombstones were pruned) and are served a keyframe.
+    delta_floor: u64,
+    /// Per-client delta state, dropped on Goodbye.
+    sessions: HashMap<UserId, DeltaSession>,
     /// Scratch buffer frames are encoded into (reused across frames).
     scratch: BytesMut,
     /// Pipeline stats served by [`PROC_STATS`].
@@ -64,7 +113,12 @@ impl ServerState {
     fn apply_command(&mut self, session: Session, cmd: Command) -> Result<(), String> {
         let user = session.client_id;
         match cmd {
-            Command::AddRake { a, b, seed_count, tool } => {
+            Command::AddRake {
+                a,
+                b,
+                seed_count,
+                tool,
+            } => {
                 let ga = self
                     .grid
                     .locate(a)
@@ -77,10 +131,12 @@ impl ServerState {
                     .add_rake(tracer::Rake::new(ga, gb, seed_count, tool));
                 Ok(())
             }
-            Command::RemoveRake { id } => self.env.remove_rake(user, id).map_err(|e| e.to_string()),
-            Command::SetTool { id, tool } => {
-                self.env.set_tool(id, tool).map_err(|e| e.to_string())
+            Command::RemoveRake { id } => {
+                self.env.remove_rake(user, id).map_err(|e| e.to_string())?;
+                self.record_tombstone(id);
+                Ok(())
             }
+            Command::SetTool { id, tool } => self.env.set_tool(id, tool).map_err(|e| e.to_string()),
             Command::SetSeedCount { id, n } => {
                 self.env.set_seed_count(id, n).map_err(|e| e.to_string())
             }
@@ -120,45 +176,71 @@ impl ServerState {
             Command::Goodbye => {
                 self.env.disconnect_user(user);
                 crate::interaction::forget_user(&mut self.hands, user);
+                self.sessions.remove(&user);
                 Ok(())
             }
         }
     }
 
-    fn frame_bytes(&mut self, advance: bool) -> Result<Bytes, String> {
-        if advance {
-            self.env.time.advance();
-            // Streaklines advance once per clock tick, in the *current*
-            // field (§2.1), whether or not the integer timestep moved —
-            // time can be paused with smoke still streaming.
-            let field = self
-                .store
-                .fetch(self.env.time.timestep())
-                .map_err(|e| e.to_string())?;
-            self.engines.advance_streaks(
-                &self.env,
-                field.as_ref(),
-                &self.domain,
-                &self.opts.compute.streak,
-            );
-            self.env.bump_revision();
-        }
-        let revision = self.env.revision();
-        self.stats.cum_frames += 1;
-        if let Some((cached_rev, bytes)) = &self.frame_cache {
-            if *cached_rev == revision {
-                self.stats.cum_frame_hits += 1;
-                return Ok(bytes.clone());
+    fn record_tombstone(&mut self, id: RakeId) {
+        self.tombstones.push((id, self.env.revision()));
+        if self.tombstones.len() > MAX_TOMBSTONES {
+            let excess = self.tombstones.len() - MAX_TOMBSTONES;
+            for (_, rev) in self.tombstones.drain(..excess) {
+                self.delta_floor = self.delta_floor.max(rev);
             }
         }
+    }
+
+    /// Advance the clock (and the persistent smoke) for a driving client.
+    fn tick(&mut self, advance: bool) -> Result<(), String> {
+        if !advance {
+            return Ok(());
+        }
+        // Tell the store which way the clock is running so a prefetching
+        // backend aims its read-ahead before the stride is observable —
+        // including the instant playback reverses.
+        if self.env.time.is_playing() {
+            self.store
+                .hint_direction(self.env.time.rate().signum() as i64);
+        }
+        self.env.time.advance();
+        // Streaklines advance once per clock tick, in the *current*
+        // field (§2.1), whether or not the integer timestep moved —
+        // time can be paused with smoke still streaming.
+        let field = self
+            .store
+            .fetch(self.env.time.timestep())
+            .map_err(|e| e.to_string())?;
+        self.engines.advance_streaks(
+            &self.env,
+            field.as_ref(),
+            &self.domain,
+            &self.opts.compute.streak,
+        );
+        self.env.bump_revision();
+        Ok(())
+    }
+
+    /// Compute the typed frame for the current revision unless it is
+    /// already computed. Both the full-frame and the delta paths go
+    /// through here, so within one revision every client — whatever RPC
+    /// it speaks — sees the same content. Returns whether a fresh compute
+    /// happened.
+    fn refresh_frame(&mut self) -> Result<bool, String> {
+        let revision = self.env.revision();
+        if self.frame.as_ref().map(|f| f.revision) == Some(revision) {
+            return Ok(false);
+        }
         // The governor scales the streamline point budget before the
-        // compute, then observes the measured time after it.
+        // compute, then observes the measured time after the reply is
+        // encoded.
         let mut cfg = self.opts.compute;
         if let Some(gov) = &self.governor {
             cfg.trace.max_points = gov.scaled_points(cfg.trace.max_points);
             cfg.pathline_window = gov.scaled_points(cfg.pathline_window);
         }
-        let started = std::time::Instant::now();
+        let started = Instant::now();
         let (frame, cstats) = compute_frame_cached(
             &self.env,
             &self.engines,
@@ -169,30 +251,168 @@ impl ServerState {
             &cfg,
         )
         .map_err(|e| e.to_string())?;
-        let encode_started = std::time::Instant::now();
-        self.scratch.clear();
-        frame.encode_into(&mut self.scratch);
-        let bytes = self.scratch.split().freeze();
-        if let Some(gov) = &mut self.governor {
-            // Wall-clock over compute + encode: the budget governs what a
-            // client actually waits for.
-            gov.observe(started.elapsed());
-        }
+        self.compute_elapsed = started.elapsed();
         let (cum_geom_hits, cum_geom_misses) = self.geom_cache.cumulative();
         self.stats = FrameStats {
             revision,
             fetch_us: cstats.fetch_us,
             integrate_us: cstats.integrate_us,
             map_us: cstats.map_us,
-            encode_us: encode_started.elapsed().as_micros() as u64,
+            encode_us: 0,
             geom_hits: cstats.geom_hits,
             geom_misses: cstats.geom_misses,
             cum_geom_hits,
             cum_geom_misses,
-            cum_frame_hits: self.stats.cum_frame_hits,
-            cum_frames: self.stats.cum_frames,
+            chunk_encode_us: 0,
+            delta_encode_us: 0,
+            ..self.stats
         };
+        self.frame = Some(frame);
+        Ok(true)
+    }
+
+    /// Bring the broadcast chunk cache up to date with the current frame:
+    /// encode rakes whose paths changed (once, for all clients), evict
+    /// deleted ones.
+    fn refresh_chunks(&mut self) {
+        let frame = self.frame.as_ref().expect("frame refreshed before chunks");
+        let revision = frame.revision;
+        let live: Vec<RakeId> = frame.rakes.iter().map(|r| r.id).collect();
+        self.chunk_cache.retain(|id, _| live.contains(id));
+        let started = Instant::now();
+        let mut encoded = 0u64;
+        for id in live {
+            let Some((paths, stamp)) = self.geom_cache.rake_geometry(id) else {
+                continue;
+            };
+            if self.chunk_cache.get(&id).map(|e| e.stamp) == Some(stamp) {
+                continue;
+            }
+            let mut b = BytesMut::new();
+            RakeChunkMsg::encode_parts(&mut b, id, revision, paths);
+            self.chunk_cache.insert(
+                id,
+                ChunkEntry {
+                    stamp,
+                    content_rev: revision,
+                    bytes: b.freeze(),
+                },
+            );
+            encoded += 1;
+        }
+        if encoded > 0 {
+            self.stats.chunk_encode_us = started.elapsed().as_micros() as u64;
+            self.stats.cum_chunk_encodes += encoded;
+        }
+    }
+
+    fn frame_bytes(&mut self, advance: bool) -> Result<Bytes, String> {
+        self.tick(advance)?;
+        let revision = self.env.revision();
+        self.stats.cum_frames += 1;
+        if let Some((cached_rev, bytes)) = &self.frame_cache {
+            if *cached_rev == revision {
+                self.stats.cum_frame_hits += 1;
+                let bytes = bytes.clone();
+                self.stats.cum_bytes_sent += bytes.len() as u64;
+                return Ok(bytes);
+            }
+        }
+        let fresh = self.refresh_frame()?;
+        let encode_started = Instant::now();
+        self.scratch.clear();
+        self.frame
+            .as_ref()
+            .expect("frame refreshed")
+            .encode_into(&mut self.scratch);
+        let bytes = self.scratch.split().freeze();
+        self.stats.encode_us = encode_started.elapsed().as_micros() as u64;
+        if fresh {
+            if let Some(gov) = &mut self.governor {
+                // Wall-clock over compute + encode: the budget governs
+                // what a client actually waits for.
+                gov.observe(self.compute_elapsed + encode_started.elapsed());
+            }
+        }
+        self.stats.cum_bytes_sent += bytes.len() as u64;
         self.frame_cache = Some((revision, bytes.clone()));
+        Ok(bytes)
+    }
+
+    fn delta_bytes(&mut self, client: UserId, req: DeltaRequest) -> Result<Bytes, String> {
+        self.tick(req.advance)?;
+        let revision = self.env.revision();
+        self.stats.cum_frames += 1;
+        let fresh = self.refresh_frame()?;
+        self.refresh_chunks();
+
+        let assemble_started = Instant::now();
+        let sess = self.sessions.entry(client).or_default();
+        let interval = self.opts.keyframe_interval;
+        let forced = interval > 0 && sess.frames_since_key >= interval;
+        // A usable baseline is one this client actually received from us,
+        // no newer than the current revision, and no older than the
+        // tombstone horizon. Anything else resyncs with a keyframe.
+        let keyframe = forced
+            || req.baseline == 0
+            || req.baseline > sess.last_sent
+            || req.baseline > revision
+            || req.baseline < self.delta_floor;
+        let baseline = if keyframe { 0 } else { req.baseline };
+
+        let frame = self.frame.as_ref().expect("frame refreshed");
+        // frame.rakes ascends by id (environment BTreeMap order), so the
+        // spliced chunks do too — matching the full-frame path order.
+        let chunk_blobs: Vec<Bytes> = frame
+            .rakes
+            .iter()
+            .filter_map(|rk| self.chunk_cache.get(&rk.id))
+            .filter(|e| keyframe || e.content_rev > baseline)
+            .map(|e| e.bytes.clone())
+            .collect();
+        let tombstones: Vec<RakeId> = if keyframe {
+            Vec::new()
+        } else {
+            self.tombstones
+                .iter()
+                .filter(|(_, rev)| *rev > baseline)
+                .map(|(id, _)| *id)
+                .collect()
+        };
+        self.scratch.clear();
+        splice_delta(
+            &mut self.scratch,
+            keyframe,
+            frame.timestep,
+            frame.time,
+            revision,
+            baseline,
+            &frame.rakes,
+            &chunk_blobs,
+            &tombstones,
+            &frame.users,
+        );
+        let bytes = self.scratch.split().freeze();
+
+        self.stats.delta_encode_us = assemble_started.elapsed().as_micros() as u64;
+        if keyframe {
+            self.stats.cum_keyframes += 1;
+        } else {
+            self.stats.cum_delta_frames += 1;
+        }
+        self.stats.cum_bytes_sent += bytes.len() as u64;
+        if fresh {
+            if let Some(gov) = &mut self.governor {
+                gov.observe(self.compute_elapsed + assemble_started.elapsed());
+            }
+        }
+        let sess = self.sessions.entry(client).or_default();
+        sess.last_sent = revision;
+        if keyframe {
+            sess.frames_since_key = 0;
+        } else {
+            sess.frames_since_key += 1;
+        }
         Ok(bytes)
     }
 }
@@ -237,8 +457,14 @@ pub fn serve(
         domain,
         governor: opts.frame_budget.map(FrameGovernor::new),
         opts,
+        frame: None,
+        compute_elapsed: Duration::ZERO,
         frame_cache: None,
         geom_cache: GeometryCache::new(),
+        chunk_cache: HashMap::new(),
+        tombstones: Vec::new(),
+        delta_floor: 0,
+        sessions: HashMap::new(),
         scratch: BytesMut::new(),
         stats: FrameStats::default(),
     };
@@ -267,7 +493,13 @@ pub fn serve(
         let req = FrameRequest::decode(args).map_err(|e| e.to_string())?;
         state.frame_bytes(req.advance)
     });
-    server.register(PROC_STATS, |state, _session, _args| Ok(state.stats.encode()));
+    server.register(PROC_FRAME_DELTA, |state, session, args| {
+        let req = DeltaRequest::decode(args).map_err(|e| e.to_string())?;
+        state.delta_bytes(session.client_id, req)
+    });
+    server.register(PROC_STATS, |state, _session, _args| {
+        Ok(state.stats.encode())
+    });
 
     let inner = server.serve(addr)?;
     Ok(WindtunnelHandle { inner })

@@ -159,18 +159,18 @@ mod tests {
     use super::*;
     use crate::proto::TimeCommand;
     use crate::server::{serve, ServerOptions};
-    use flowfield::{dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims, VectorField};
+    use flowfield::{
+        dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims, VectorField,
+    };
     use storage::MemoryStore;
     use tracer::ToolKind;
     use vecmath::{Aabb, Vec3};
 
     fn test_server() -> crate::server::WindtunnelHandle {
         let dims = Dims::new(16, 9, 9);
-        let grid = CurvilinearGrid::cartesian(
-            dims,
-            Aabb::new(Vec3::ZERO, Vec3::new(15.0, 8.0, 8.0)),
-        )
-        .unwrap();
+        let grid =
+            CurvilinearGrid::cartesian(dims, Aabb::new(Vec3::ZERO, Vec3::new(15.0, 8.0, 8.0)))
+                .unwrap();
         let meta = DatasetMeta {
             name: "bg".into(),
             dims,

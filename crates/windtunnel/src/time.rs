@@ -239,6 +239,100 @@ mod tests {
     }
 
     #[test]
+    fn clamp_stops_at_start_when_reversed() {
+        let mut t = TimeController::new(8);
+        t.set_mode(PlaybackMode::Clamp);
+        t.jump(2);
+        t.play();
+        t.set_rate(-3.0);
+        assert_eq!(t.advance(), 0);
+        assert!(!t.is_playing(), "hitting t=0 backwards must pause");
+        assert_eq!(t.advance(), 0);
+        // Playback can resume forward from the clamped end.
+        t.set_rate(1.0);
+        t.play();
+        assert_eq!(t.advance(), 1);
+    }
+
+    #[test]
+    fn clamp_pauses_on_exact_landing() {
+        let mut t = TimeController::new(5);
+        t.set_mode(PlaybackMode::Clamp);
+        t.jump(2);
+        t.play();
+        t.set_rate(2.0);
+        // 2 → 4 lands exactly on the last index: end reached, pause.
+        assert_eq!(t.advance(), 4);
+        assert!(!t.is_playing());
+    }
+
+    #[test]
+    fn bounce_reflects_off_start_with_negative_rate() {
+        let mut t = TimeController::new(6);
+        t.set_mode(PlaybackMode::Bounce);
+        t.jump(1);
+        t.play();
+        t.set_rate(-2.0);
+        // 1 → -1 reflects to 1, rate flips forward.
+        assert_eq!(t.advance(), 1);
+        assert!(t.rate() > 0.0);
+        assert_eq!(t.advance(), 3);
+    }
+
+    #[test]
+    fn bounce_reflection_preserves_fraction() {
+        let mut t = TimeController::new(5); // max index 4
+        t.set_mode(PlaybackMode::Bounce);
+        t.jump(3);
+        t.play();
+        t.set_rate(1.5);
+        // 3 → 4.5 reflects to 3.5: the overshoot past the end comes back
+        // as distance from the end, fraction intact.
+        t.advance();
+        assert!((t.time() - 3.5).abs() < 1e-6, "time {}", t.time());
+        assert!(t.rate() < 0.0);
+    }
+
+    #[test]
+    fn negative_fractional_rate_accumulates() {
+        let mut t = TimeController::new(10);
+        t.jump(2);
+        t.play();
+        t.set_rate(-0.25);
+        for _ in 0..4 {
+            t.advance();
+        }
+        assert!((t.time() - 1.0).abs() < 1e-6);
+        assert_eq!(t.timestep(), 1);
+    }
+
+    #[test]
+    fn fractional_accumulation_survives_loop_wrap() {
+        let mut t = TimeController::new(10); // period max = 9
+        t.jump(8);
+        t.play();
+        t.set_rate(0.4);
+        t.advance(); // 8.4
+        t.advance(); // 8.8
+        t.advance(); // 9.2 wraps to 0.2
+        assert!((t.time() - 0.2).abs() < 1e-5, "time {}", t.time());
+        t.advance();
+        assert!((t.time() - 0.6).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fractional_accumulation_survives_backward_wrap() {
+        let mut t = TimeController::new(10);
+        t.jump(1);
+        t.play();
+        t.set_rate(-0.75);
+        t.advance(); // 0.25
+        t.advance(); // -0.5 wraps to 8.5
+        assert!((t.time() - 8.5).abs() < 1e-5, "time {}", t.time());
+        assert_eq!(t.timestep(), 9); // half-way rounds up to the nearer end
+    }
+
+    #[test]
     fn jump_clamps_to_range() {
         let mut t = TimeController::new(10);
         t.jump(999);

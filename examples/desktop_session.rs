@@ -40,7 +40,10 @@ fn main() {
     let handle = serve(
         make_store(),
         grid.clone(),
-        ServerOptions { periodic_i: true, ..Default::default() },
+        ServerOptions {
+            periodic_i: true,
+            ..Default::default()
+        },
         "127.0.0.1:0",
     )
     .expect("serve");
@@ -65,12 +68,16 @@ fn main() {
     };
 
     // Build the scene.
-    send(&mut client, &mut rec, Command::AddRake {
-        a: Vec3::new(-2.5, 0.0, 1.5),
-        b: Vec3::new(-2.5, 0.0, 6.5),
-        seed_count: 10,
-        tool: ToolKind::Streamline,
-    });
+    send(
+        &mut client,
+        &mut rec,
+        Command::AddRake {
+            a: Vec3::new(-2.5, 0.0, 1.5),
+            b: Vec3::new(-2.5, 0.0, 6.5),
+            seed_count: 10,
+            tool: ToolKind::Streamline,
+        },
+    );
 
     // Keyboard: play at half rate.
     send(&mut client, &mut rec, desk.key(Key::Space));
@@ -94,7 +101,9 @@ fn main() {
         println!("[mouse] grabbed the rake at pixel ({cx:.0}, {cy:.0})");
         send(&mut client, &mut rec, cmd);
         for step in 1..=5 {
-            let cmd = desk.mouse_drag(cx, cy - 12.0 * step as f32, &mvp, w, h).unwrap();
+            let cmd = desk
+                .mouse_drag(cx, cy - 12.0 * step as f32, &mvp, w, h)
+                .unwrap();
             send(&mut client, &mut rec, cmd);
         }
         send(&mut client, &mut rec, desk.mouse_up().unwrap());
@@ -119,14 +128,21 @@ fn main() {
     // Save the recording and replay it against a *fresh* server.
     let rec_path = std::env::temp_dir().join("dvw-desktop.dvwr");
     rec.save(&rec_path).expect("save recording");
-    println!("[record] saved {} events to {}", rec.len(), rec_path.display());
+    println!(
+        "[record] saved {} events to {}",
+        rec.len(),
+        rec_path.display()
+    );
     drop(client);
     handle.shutdown();
 
     let handle2 = serve(
         make_store(),
         grid,
-        ServerOptions { periodic_i: true, ..Default::default() },
+        ServerOptions {
+            periodic_i: true,
+            ..Default::default()
+        },
         "127.0.0.1:0",
     )
     .expect("serve again");

@@ -136,7 +136,11 @@ fn main() {
     }
     let out = std::env::temp_dir().join("dvw-isosurface.ppm");
     write_ppm(&out, &fb).expect("write");
-    println!("wrote {} ({} triangles rendered)", out.display(), tris_phys.len());
+    println!(
+        "wrote {} ({} triangles rendered)",
+        out.display(),
+        tris_phys.len()
+    );
     println!();
     println!("paper context (§1.2): 'interactive streamlines ... can be used, but interactive");
     println!("isosurfaces, which require computationally intensive algorithms such as marching");

@@ -75,7 +75,11 @@ fn main() {
     );
     let t0 = Instant::now();
     let dataset = simulate_extruded(&cfg, "ns-tapered").expect("simulate");
-    println!("  simulated in {:.1?}; dataset dims {}", t0.elapsed(), dataset.dims());
+    println!(
+        "  simulated in {:.1?}; dataset dims {}",
+        t0.elapsed(),
+        dataset.dims()
+    );
 
     // Streaklines through the simulated wake.
     let domain = Domain::boxed(dataset.dims());
@@ -86,7 +90,13 @@ fn main() {
         10,
         ToolKind::Streakline,
     );
-    let mut streak = Streakline::new(rake.seeds(), StreaklineConfig { dt: 0.8, ..Default::default() });
+    let mut streak = Streakline::new(
+        rake.seeds(),
+        StreaklineConfig {
+            dt: 0.8,
+            ..Default::default()
+        },
+    );
     for loop_pass in 0..3 {
         for t in 0..dataset.timestep_count() {
             streak.advance(dataset.timestep(t).unwrap(), &domain);

@@ -27,7 +27,10 @@ fn main() {
         },
         ..Default::default()
     };
-    println!("generating dataset ({} points/timestep)...", flow.spec.dims.point_count());
+    println!(
+        "generating dataset ({} points/timestep)...",
+        flow.spec.dims.point_count()
+    );
     let dataset = generate_dataset(&flow, "quickstart", 20, 0.25).expect("generate");
     let grid = dataset.grid();
     let domain = Domain::o_grid(dataset.dims());
@@ -71,13 +74,27 @@ fn main() {
             ..Default::default()
         },
     );
-    println!("particle path: {} points across {} timesteps", path.len(), dataset.timestep_count());
+    println!(
+        "particle path: {} points across {} timesteps",
+        path.len(),
+        dataset.timestep_count()
+    );
 
-    let mut streak = Streakline::new(rake.seeds(), StreaklineConfig { dt: 0.1, ..Default::default() });
+    let mut streak = Streakline::new(
+        rake.seeds(),
+        StreaklineConfig {
+            dt: 0.1,
+            ..Default::default()
+        },
+    );
     for t in 0..dataset.timestep_count() {
         streak.advance(dataset.timestep(t).unwrap(), &domain);
     }
-    println!("streakline smoke: {} particles after {} frames", streak.particle_count(), streak.frame_count());
+    println!(
+        "streakline smoke: {} particles after {} frames",
+        streak.particle_count(),
+        streak.frame_count()
+    );
 
     // 5. Render everything in the paper's red/blue stereo and save a PPM.
     let mut lines: Vec<(Vec<Vec3>, u8)> = Vec::new();
@@ -102,5 +119,9 @@ fn main() {
     render_anaglyph(&mut fb, &camera, &lines);
     let out = std::path::Path::new("quickstart.ppm");
     write_ppm(out, &fb).expect("write image");
-    println!("wrote {} ({} polylines) — view with any PPM-capable viewer", out.display(), lines.len());
+    println!(
+        "wrote {} ({} polylines) — view with any PPM-capable viewer",
+        out.display(),
+        lines.len()
+    );
 }

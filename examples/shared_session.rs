@@ -69,10 +69,16 @@ fn main() {
 
     // Alice grabs the center; Bob tries the same handle and is refused.
     alice
-        .send(&Command::Hand { position: grab_point, gesture: Gesture::Fist })
+        .send(&Command::Hand {
+            position: grab_point,
+            gesture: Gesture::Fist,
+        })
         .expect("alice grab");
-    bob.send(&Command::Hand { position: grab_point, gesture: Gesture::Fist })
-        .expect("bob grab attempt");
+    bob.send(&Command::Hand {
+        position: grab_point,
+        gesture: Gesture::Fist,
+    })
+    .expect("bob grab attempt");
     let f = bob.frame(false).expect("frame");
     println!(
         "[bob]   rake owner is user {} (me: {}) -> {}",
@@ -116,7 +122,11 @@ fn main() {
     println!(
         "[bob]   after Alice released, owner is user {} -> {}",
         f.rakes[0].owner,
-        if f.rakes[0].owner == bob.user_id() { "got it" } else { "UNEXPECTED" }
+        if f.rakes[0].owner == bob.user_id() {
+            "got it"
+        } else {
+            "UNEXPECTED"
+        }
     );
 
     // Bob drives the shared clock while Alice watches.
@@ -125,7 +135,10 @@ fn main() {
         bob.frame(true).expect("tick");
     }
     let fa = alice.frame(false).expect("frame");
-    println!("[alice] shared clock advanced to timestep {} (driven by bob)", fa.timestep);
+    println!(
+        "[alice] shared clock advanced to timestep {} (driven by bob)",
+        fa.timestep
+    );
 
     handle.shutdown();
     println!("done.");

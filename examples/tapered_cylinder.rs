@@ -35,7 +35,10 @@ fn main() {
         }
     };
     let timesteps = if full { 48 } else { 32 };
-    let flow = TaperedCylinderFlow { spec, ..Default::default() };
+    let flow = TaperedCylinderFlow {
+        spec,
+        ..Default::default()
+    };
     let period = 1.0 / flow.shedding_frequency(0.0);
     let dt = period / 16.0;
 
@@ -71,14 +74,26 @@ fn main() {
     // A streakline rake along the span, upstream.
     let dims = spec.dims;
     let rake = Rake::new(
-        Vec3::new((dims.ni - 1) as f32 * 0.5, (dims.nj - 1) as f32 * 0.3, (dims.nk - 1) as f32 * 0.1),
-        Vec3::new((dims.ni - 1) as f32 * 0.5, (dims.nj - 1) as f32 * 0.3, (dims.nk - 1) as f32 * 0.9),
+        Vec3::new(
+            (dims.ni - 1) as f32 * 0.5,
+            (dims.nj - 1) as f32 * 0.3,
+            (dims.nk - 1) as f32 * 0.1,
+        ),
+        Vec3::new(
+            (dims.ni - 1) as f32 * 0.5,
+            (dims.nj - 1) as f32 * 0.3,
+            (dims.nk - 1) as f32 * 0.9,
+        ),
         12,
         ToolKind::Streakline,
     );
     let mut streak = Streakline::new(
         rake.seeds(),
-        StreaklineConfig { dt: dt * 0.8, max_age: 300, ..Default::default() },
+        StreaklineConfig {
+            dt: dt * 0.8,
+            max_age: 300,
+            ..Default::default()
+        },
     );
 
     // Camera for the saved frames.
@@ -92,7 +107,10 @@ fn main() {
         cam
     };
 
-    println!("streaming {} frames from disk (prefetch pipeline)...", timesteps * 2);
+    println!(
+        "streaming {} frames from disk (prefetch pipeline)...",
+        timesteps * 2
+    );
     let t0 = Instant::now();
     prefetcher.request(0);
     let mut saved = 0;
@@ -125,7 +143,10 @@ fn main() {
         streak.particle_count(),
         store.bytes_read() as f64 / 1e6
     );
-    println!("  saved {saved} anaglyph frames to {}/dvw-smoke-NN.ppm", std::env::temp_dir().display());
+    println!(
+        "  saved {saved} anaglyph frames to {}/dvw-smoke-NN.ppm",
+        std::env::temp_dir().display()
+    );
     println!("paper context: Table 2 row 1 — this dataset needs 15 MB/s of disk for 10 fps;");
     println!("the prefetcher overlaps that load with the visualization compute (figure 8).");
 }

@@ -42,7 +42,10 @@ fn main() {
     let handle = serve(
         Arc::new(MemoryStore::from_dataset(dataset)),
         grid,
-        ServerOptions { periodic_i: true, ..Default::default() },
+        ServerOptions {
+            periodic_i: true,
+            ..Default::default()
+        },
         "127.0.0.1:0",
     )
     .expect("serve");
@@ -89,13 +92,18 @@ fn main() {
             0.0,
         ]);
         let head = boom.head_pose();
-        client.send(&Command::HeadPose { pose: head }).expect("head");
+        client
+            .send(&Command::HeadPose { pose: head })
+            .expect("head");
 
         // Glove: approach the rake (frames 5-12), fist and drag (13-28),
         // release (29+).
         let (hand_pos, bends) = if f < 13 {
             let approach = t * 2.0;
-            (rake_center + Vec3::new(0.0, 2.0 - 2.0 * approach.min(1.0), 0.0), bends_open())
+            (
+                rake_center + Vec3::new(0.0, 2.0 - 2.0 * approach.min(1.0), 0.0),
+                bends_open(),
+            )
         } else if f < 29 {
             let drag = (f - 13) as f32 / 16.0;
             (rake_center + Vec3::new(0.0, 1.2 * drag, 0.0), bends_fist())
@@ -107,7 +115,10 @@ fn main() {
             bends,
         });
         client
-            .send(&Command::Hand { position: hand_pos, gesture })
+            .send(&Command::Hand {
+                position: hand_pos,
+                gesture,
+            })
             .expect("hand");
 
         // Fetch and render the frame from the tracked head pose. Scale

@@ -1,10 +1,15 @@
 #!/usr/bin/env sh
-# Full pre-merge check: release build, tests, and warning-free clippy.
+# Full pre-merge check: formatting, release build, tests, warning-free
+# clippy, and a smoke run of the bench harnesses (--quick: scaled-down
+# workloads, nothing written, so recorded BENCH_*.json stay untouched).
 set -eu
 cd "$(dirname "$0")/.."
 
+cargo fmt --all --check
 cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
+cargo run --release -p dvw-bench --bin bench_frame -- --quick
+cargo run --release -p dvw-bench --bin bench_delta -- --quick
 
 echo "check.sh: all green"

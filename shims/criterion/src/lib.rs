@@ -49,7 +49,9 @@ impl BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> BenchmarkId {
-        BenchmarkId { label: s.to_string() }
+        BenchmarkId {
+            label: s.to_string(),
+        }
     }
 }
 
@@ -124,7 +126,10 @@ fn report(group: Option<&str>, label: &str, ns_per_iter: f64, throughput: Option
         }
         None => String::new(),
     };
-    println!("bench: {full:<56} {:>12}/iter{rate}", human_time(ns_per_iter));
+    println!(
+        "bench: {full:<56} {:>12}/iter{rate}",
+        human_time(ns_per_iter)
+    );
 }
 
 fn run_one<F>(group: Option<&str>, label: &str, throughput: Option<Throughput>, f: F)
@@ -183,7 +188,12 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, f: F) -> &mut Self
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
     where
         F: FnOnce(&mut Bencher, &I),
     {

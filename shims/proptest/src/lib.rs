@@ -151,12 +151,12 @@ macro_rules! impl_tuple_strategy {
     };
 }
 
-impl_tuple_strategy!(A/0);
-impl_tuple_strategy!(A/0, B/1);
-impl_tuple_strategy!(A/0, B/1, C/2);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
 
 /// Types with a default "anything goes" strategy, via `any::<T>()`.
 pub trait Arbitrary: Sized {
@@ -194,7 +194,7 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 }
 
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::Rng;
     use std::ops::Range;
 
@@ -310,7 +310,12 @@ macro_rules! prop_assert_eq {
         if lhs != rhs {
             return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
                 "assertion failed: {} == {} (left: {:?}, right: {:?}) at {}:{}",
-                stringify!($lhs), stringify!($rhs), lhs, rhs, file!(), line!(),
+                stringify!($lhs),
+                stringify!($rhs),
+                lhs,
+                rhs,
+                file!(),
+                line!(),
             )));
         }
     }};
@@ -324,7 +329,11 @@ macro_rules! prop_assert_ne {
         if lhs == rhs {
             return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
                 "assertion failed: {} != {} (both: {:?}) at {}:{}",
-                stringify!($lhs), stringify!($rhs), lhs, file!(), line!(),
+                stringify!($lhs),
+                stringify!($rhs),
+                lhs,
+                file!(),
+                line!(),
             )));
         }
     }};

@@ -22,9 +22,11 @@ thread_local! {
 
 /// Effective parallelism for stages started on this thread.
 pub fn current_num_threads() -> usize {
-    POOL_THREADS
-        .with(|c| c.get())
-        .unwrap_or_else(|| thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    POOL_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Parallel-map `items` through `f`, preserving input order.
@@ -233,10 +235,7 @@ mod tests {
     #[test]
     fn par_chunks_and_flat_map() {
         let data: Vec<u32> = (0..10).collect();
-        let out: Vec<u32> = data
-            .par_chunks(3)
-            .flat_map_iter(|c| c.to_vec())
-            .collect();
+        let out: Vec<u32> = data.par_chunks(3).flat_map_iter(|c| c.to_vec()).collect();
         assert_eq!(out, data);
     }
 

@@ -3,21 +3,22 @@
 //! consistent under fire, and the pipeline must survive disconnects.
 
 use distributed_virtual_windtunnel as dvw;
-use dvw::flowfield::{dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims, VectorField};
+use dvw::flowfield::{
+    dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims, VectorField,
+};
 use dvw::storage::MemoryStore;
 use dvw::tracer::ToolKind;
 use dvw::vecmath::{Aabb, Vec3};
 use dvw::vr::Gesture;
-use dvw::windtunnel::{serve, Command, ServerOptions, TimeCommand, WindtunnelClient, WindtunnelHandle};
+use dvw::windtunnel::{
+    serve, Command, ServerOptions, TimeCommand, WindtunnelClient, WindtunnelHandle,
+};
 use std::sync::Arc;
 
 fn uniform_server() -> WindtunnelHandle {
     let dims = Dims::new(16, 9, 9);
-    let grid = CurvilinearGrid::cartesian(
-        dims,
-        Aabb::new(Vec3::ZERO, Vec3::new(15.0, 8.0, 8.0)),
-    )
-    .unwrap();
+    let grid =
+        CurvilinearGrid::cartesian(dims, Aabb::new(Vec3::ZERO, Vec3::new(15.0, 8.0, 8.0))).unwrap();
     let meta = DatasetMeta {
         name: "stress".into(),
         dims,
@@ -58,7 +59,11 @@ fn eight_clients_full_blast() {
                 .unwrap();
                 c.send(&Command::Hand {
                     position: Vec3::new(5.0, 4.0, 4.0),
-                    gesture: if i % 2 == 0 { Gesture::Fist } else { Gesture::Open },
+                    gesture: if i % 2 == 0 {
+                        Gesture::Fist
+                    } else {
+                        Gesture::Open
+                    },
                 })
                 .unwrap();
                 if t == 0 {

@@ -118,7 +118,16 @@ fn three_users_share_consistently() {
     let dataset = generate_dataset(&flow, "trio", 4, 0.3).unwrap();
     let grid = dataset.grid().clone();
     let store = Arc::new(dvw::storage::MemoryStore::from_dataset(dataset));
-    let handle = serve(store, grid, ServerOptions { periodic_i: true, ..Default::default() }, "127.0.0.1:0").unwrap();
+    let handle = serve(
+        store,
+        grid,
+        ServerOptions {
+            periodic_i: true,
+            ..Default::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
 
     let mut users: Vec<WindtunnelClient> = (0..3)
         .map(|_| WindtunnelClient::connect(handle.addr()).unwrap())

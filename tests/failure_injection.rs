@@ -48,7 +48,10 @@ fn wrong_magic_grid_file_rejected_at_open() {
     format::write_dataset(dir.path(), &ds).unwrap();
     // Stomp the grid file header.
     let grid_path = format::grid_path(dir.path());
-    let mut f = std::fs::OpenOptions::new().write(true).open(&grid_path).unwrap();
+    let mut f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&grid_path)
+        .unwrap();
     f.write_all(b"XXXX").unwrap();
     drop(f);
     assert!(DiskStore::open(dir.path()).is_err());
@@ -75,7 +78,16 @@ fn server_fetch_failure_reaches_client_as_error_not_hang() {
     format::write_dataset(dir.path(), &ds).unwrap();
     let grid = ds.grid().clone();
     let store = Arc::new(DiskStore::open(dir.path()).unwrap());
-    let handle = serve(store, grid, ServerOptions { periodic_i: true, ..Default::default() }, "127.0.0.1:0").unwrap();
+    let handle = serve(
+        store,
+        grid,
+        ServerOptions {
+            periodic_i: true,
+            ..Default::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
 
     let mut client = WindtunnelClient::connect(handle.addr()).unwrap();
     client
@@ -146,8 +158,8 @@ fn byzantine_bytes_on_the_dlib_port_dont_kill_the_server() {
 
 #[test]
 fn governor_reins_in_oversized_scenes() {
-    use dvw::windtunnel::compute::ComputeConfig;
     use dvw::tracer::TraceConfig;
+    use dvw::windtunnel::compute::ComputeConfig;
     // A server with a (deliberately absurd) 50 µs compute budget: after a
     // few computed frames the governor must have cut the per-path point
     // budget, so later frames carry fewer points than the first.
@@ -182,7 +194,9 @@ fn governor_reins_in_oversized_scenes() {
     let mut last = first;
     for t in 0..6 {
         client
-            .send(&Command::Time(dvw::windtunnel::TimeCommand::Step(if t % 2 == 0 { 1 } else { -1 })))
+            .send(&Command::Time(dvw::windtunnel::TimeCommand::Step(
+                if t % 2 == 0 { 1 } else { -1 },
+            )))
             .unwrap();
         last = client.frame(false).unwrap().particle_count();
     }

@@ -127,7 +127,13 @@ fn unsteady_flow_separates_the_three_tools() {
     );
 
     // Streakline after the same interval differs from the pathline.
-    let mut streak = Streakline::new(vec![seed], StreaklineConfig { dt, ..Default::default() });
+    let mut streak = Streakline::new(
+        vec![seed],
+        StreaklineConfig {
+            dt,
+            ..Default::default()
+        },
+    );
     for f in &fields {
         streak.advance(f, &domain);
     }
@@ -197,16 +203,17 @@ fn curvilinear_and_cartesian_descriptions_agree() {
     // (a) unit grid.
     let dims = Dims::new(n, n, n);
     let unit_field = VectorField::from_fn(dims, |_, _, _| u_phys);
-    let unit_grid = CurvilinearGrid::cartesian(
-        dims,
-        Aabb::new(Vec3::ZERO, Vec3::splat((n - 1) as f32)),
-    )
-    .unwrap();
+    let unit_grid =
+        CurvilinearGrid::cartesian(dims, Aabb::new(Vec3::ZERO, Vec3::splat((n - 1) as f32)))
+            .unwrap();
 
     // (b) stretched grid: x spans twice the distance.
     let stretched_grid = CurvilinearGrid::cartesian(
         dims,
-        Aabb::new(Vec3::ZERO, Vec3::new(2.0 * (n - 1) as f32, (n - 1) as f32, (n - 1) as f32)),
+        Aabb::new(
+            Vec3::ZERO,
+            Vec3::new(2.0 * (n - 1) as f32, (n - 1) as f32, (n - 1) as f32),
+        ),
     )
     .unwrap();
     let phys_field = VectorField::from_fn(dims, |_, _, _| u_phys);

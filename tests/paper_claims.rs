@@ -94,7 +94,10 @@ fn table3_all_rows() {
     ];
     for (secs, particles, lines) in rows {
         let t = Duration::from_secs_f64(secs);
-        assert_eq!(b::max_particles(t, b::PAPER_PARTICLES, b::FRAME_BUDGET), particles);
+        assert_eq!(
+            b::max_particles(t, b::PAPER_PARTICLES, b::FRAME_BUDGET),
+            particles
+        );
         assert_eq!(
             b::max_streamlines_200(t, b::PAPER_PARTICLES, b::FRAME_BUDGET),
             lines
@@ -146,7 +149,8 @@ fn section53_vectorized_beats_scalar_on_this_substrate() {
     let scalar = best(b::Kernel::Scalar);
     let vector = best(b::Kernel::Vector);
     assert!(
-        vector.as_secs_f64() < scalar.as_secs_f64() * if cfg!(debug_assertions) { 2.5 } else { 1.1 },
+        vector.as_secs_f64()
+            < scalar.as_secs_f64() * if cfg!(debug_assertions) { 2.5 } else { 1.1 },
         "vector {vector:?} vs scalar {scalar:?}"
     );
 }

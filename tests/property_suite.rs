@@ -151,6 +151,117 @@ proptest! {
         prop_assert!(r.b.distance(original.b) < 1e-4);
     }
 
+    /// The delta protocol's core guarantee: applying a FRAME_DELTA stream
+    /// to the client's retained scene reconstructs a frame byte-identical
+    /// to the full-frame encoding, across random rake add / drag / delete
+    /// / streak-advance sequences and forced keyframe resyncs.
+    #[test]
+    fn delta_stream_byte_identical_to_full_frames(
+        ops in proptest::collection::vec((0u8..6, 0.0f32..1.0), 1..25),
+    ) {
+        use dvw::windtunnel::proto::{Command, TimeCommand};
+        use dvw::windtunnel::{serve, ServerOptions, WindtunnelClient};
+        use dvw::flowfield::{dataset::VelocityCoords, Dataset, DatasetMeta, VectorField};
+        use dvw::storage::MemoryStore;
+        use dvw::tracer::ToolKind;
+        use dvw::vecmath::{Aabb, Pose};
+        use dvw::vr::Gesture;
+        use std::sync::Arc;
+
+        let dims = Dims::new(12, 7, 7);
+        let grid = CurvilinearGrid::cartesian(
+            dims,
+            Aabb::new(Vec3::ZERO, Vec3::new(11.0, 6.0, 6.0)),
+        ).unwrap();
+        let meta = DatasetMeta {
+            name: "delta-prop".into(),
+            dims,
+            timestep_count: 4,
+            dt: 0.1,
+            coords: VelocityCoords::Grid,
+        };
+        let fields = (0..4)
+            .map(|_| VectorField::from_fn(dims, |_, _, _| Vec3::X * 0.5))
+            .collect();
+        let ds = Dataset::new(meta, grid.clone(), fields).unwrap();
+        let store = Arc::new(MemoryStore::from_dataset(ds));
+        let handle = serve(store, grid, ServerOptions::default(), "127.0.0.1:0").unwrap();
+
+        let mut inc = WindtunnelClient::connect(handle.addr()).unwrap();
+        let mut full = WindtunnelClient::connect(handle.addr()).unwrap();
+        let mut live_rakes: Vec<u32> = Vec::new();
+        let mut next_id = 1u32;
+        for (op, x) in ops {
+            match op {
+                0 => {
+                    // Add a rake (alternating tools).
+                    let y = 1.0 + x * 4.0;
+                    let tool = if next_id.is_multiple_of(2) {
+                        ToolKind::Streakline
+                    } else {
+                        ToolKind::Streamline
+                    };
+                    inc.send(&Command::AddRake {
+                        a: Vec3::new(2.0, y, 3.0),
+                        b: Vec3::new(2.0, y + 1.0, 3.0),
+                        seed_count: 2,
+                        tool,
+                    }).unwrap();
+                    live_rakes.push(next_id);
+                    next_id += 1;
+                }
+                1 => {
+                    // Drag: grab near some rake's center and move it (a
+                    // miss is harmless — the hand just closes on air).
+                    if !live_rakes.is_empty() {
+                        let y = 1.0 + x * 4.0;
+                        inc.send(&Command::Hand {
+                            position: Vec3::new(2.0, y + 0.5, 3.0),
+                            gesture: Gesture::Fist,
+                        }).unwrap();
+                        inc.send(&Command::Hand {
+                            position: Vec3::new(2.0 + x, y + 0.5, 3.0),
+                            gesture: Gesture::Fist,
+                        }).unwrap();
+                        inc.send(&Command::Hand {
+                            position: Vec3::new(2.0 + x, y + 0.5, 3.0),
+                            gesture: Gesture::Open,
+                        }).unwrap();
+                    }
+                }
+                2 => {
+                    // Delete the oldest live rake.
+                    if !live_rakes.is_empty() {
+                        let id = live_rakes.remove(0);
+                        inc.send(&Command::RemoveRake { id }).unwrap();
+                    }
+                }
+                3 => {
+                    // Advance the clock (streak systems tick).
+                    inc.send(&Command::Time(TimeCommand::Play)).unwrap();
+                    inc.frame_delta(true).unwrap();
+                }
+                4 => {
+                    // Head-pose-only mutation.
+                    inc.send(&Command::HeadPose {
+                        pose: Pose::new(Vec3::new(x, 1.7, 2.0), Default::default()),
+                    }).unwrap();
+                }
+                _ => {
+                    // Forced resync: drop the retained scene, next reply
+                    // must be a keyframe.
+                    inc.reset_scene();
+                }
+            }
+            let df = inc.frame_delta(false).unwrap();
+            let ff = full.frame(false).unwrap();
+            // Byte-identity: the delta reconstruction must match the
+            // full-frame encoding exactly.
+            prop_assert_eq!(df.encode(), ff.encode());
+        }
+        handle.shutdown();
+    }
+
     /// Disk-model arithmetic: read time is monotone in bytes and inversely
     /// monotone in bandwidth.
     #[test]

@@ -29,17 +29,23 @@
 //! * [`throttle`] — a bandwidth-paced stream wrapper standing in for the
 //!   UltraNet's 13 MB/s (or its buggy 1 MB/s) links in Table 1 runs.
 
+pub mod chaos;
 pub mod client;
 pub mod message;
+pub mod resilient;
 pub mod segments;
 pub mod server;
 pub mod throttle;
 pub mod typed;
 pub mod wire;
 
-pub use client::DlibClient;
+pub use chaos::{FaultAction, FaultConfig, FaultPlan};
+pub use client::{ClientConfig, DlibClient};
 pub use message::{Call, Reply, Status};
-pub use server::{DlibServer, ServerHandle, Session};
+pub use resilient::{ReconnectingClient, RetryPolicy};
+pub use server::{
+    DisconnectReason, DlibServer, ServerConfig, ServerHandle, Session, SessionEvent, PROC_PING,
+};
 pub use throttle::ThrottledWriter;
 
 /// Errors of the distributed layer.
@@ -52,6 +58,15 @@ pub enum DlibError {
     Remote(String),
     /// The peer went away.
     Disconnected,
+    /// A deadline elapsed before the peer answered.
+    Timeout,
+    /// The server shed this call because its dispatch queue was full.
+    /// The connection is still healthy; retry after backing off.
+    Busy,
+    /// A previous call on this client failed locally, leaving the
+    /// request/reply stream in an unknown state; the client refuses
+    /// further calls. Reconnect (or use [`ReconnectingClient`]).
+    Poisoned(String),
 }
 
 impl std::fmt::Display for DlibError {
@@ -61,6 +76,9 @@ impl std::fmt::Display for DlibError {
             DlibError::Protocol(s) => write!(f, "protocol error: {s}"),
             DlibError::Remote(s) => write!(f, "remote error: {s}"),
             DlibError::Disconnected => write!(f, "peer disconnected"),
+            DlibError::Timeout => write!(f, "call deadline elapsed"),
+            DlibError::Busy => write!(f, "server busy: dispatch queue full"),
+            DlibError::Poisoned(s) => write!(f, "client poisoned by earlier failure: {s}"),
         }
     }
 }
@@ -76,11 +94,29 @@ impl std::error::Error for DlibError {
 
 impl From<std::io::Error> for DlibError {
     fn from(e: std::io::Error) -> Self {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            DlibError::Disconnected
-        } else {
-            DlibError::Io(e)
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => DlibError::Disconnected,
+            // Socket deadlines surface as WouldBlock on Unix and
+            // TimedOut on Windows; both mean "the deadline elapsed".
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => DlibError::Timeout,
+            _ => DlibError::Io(e),
         }
+    }
+}
+
+impl DlibError {
+    /// True for failures of the transport itself (as opposed to a clean
+    /// reply carrying an application error). Transport faults leave a
+    /// blocking client unusable; [`ReconnectingClient`] re-dials on them.
+    pub fn is_transport(&self) -> bool {
+        matches!(
+            self,
+            DlibError::Io(_)
+                | DlibError::Protocol(_)
+                | DlibError::Disconnected
+                | DlibError::Timeout
+                | DlibError::Poisoned(_)
+        )
     }
 }
 

@@ -19,6 +19,9 @@ pub enum Status {
     UnknownProcedure,
     /// The procedure itself failed; the payload carries a message.
     Error,
+    /// The server's dispatch queue was full; the call was shed without
+    /// executing. The connection stays healthy — retry after backoff.
+    Busy,
 }
 
 impl Status {
@@ -27,6 +30,7 @@ impl Status {
             Status::Ok => 0,
             Status::UnknownProcedure => 1,
             Status::Error => 2,
+            Status::Busy => 3,
         }
     }
 
@@ -35,6 +39,7 @@ impl Status {
             0 => Ok(Status::Ok),
             1 => Ok(Status::UnknownProcedure),
             2 => Ok(Status::Error),
+            3 => Ok(Status::Busy),
             n => Err(DlibError::Protocol(format!("bad status {n}"))),
         }
     }
@@ -106,6 +111,15 @@ impl Reply {
         }
     }
 
+    /// Shed-load reply: the call named by `seq` never ran.
+    pub fn busy(seq: u64) -> Reply {
+        Reply {
+            seq,
+            status: Status::Busy,
+            payload: Bytes::new(),
+        }
+    }
+
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(20 + self.payload.len());
         b.put_u64_le_(self.seq);
@@ -142,6 +156,7 @@ impl Reply {
             Status::Error => Err(DlibError::Remote(
                 String::from_utf8_lossy(&self.payload).into_owned(),
             )),
+            Status::Busy => Err(DlibError::Busy),
         }
     }
 }
@@ -186,7 +201,30 @@ mod tests {
             status: Status::UnknownProcedure,
             payload: Bytes::new(),
         };
-        assert!(unknown.into_result().is_err());
+        assert!(matches!(
+            unknown.into_result(),
+            Err(DlibError::Remote(m)) if m == "unknown procedure"
+        ));
+    }
+
+    #[test]
+    fn busy_roundtrips_and_maps_to_busy_error() {
+        let b = Reply::busy(9);
+        assert_eq!(b.status, Status::Busy);
+        let back = Reply::decode(b.encode()).unwrap();
+        assert_eq!(back.seq, 9);
+        assert!(matches!(back.into_result(), Err(DlibError::Busy)));
+    }
+
+    #[test]
+    fn error_payload_with_invalid_utf8_still_reported() {
+        let r = Reply {
+            seq: 2,
+            status: Status::Error,
+            payload: Bytes::from_static(&[0xff, 0xfe]),
+        };
+        // Lossy conversion, never a panic or a Protocol error.
+        assert!(matches!(r.into_result(), Err(DlibError::Remote(_))));
     }
 
     #[test]

@@ -41,6 +41,97 @@ pub fn read_frame(r: &mut impl Read) -> Result<Bytes> {
     Ok(Bytes::from(payload))
 }
 
+/// Incremental frame reader that survives read deadlines.
+///
+/// [`read_frame`] uses `read_exact`, which on a socket with a read
+/// timeout can consume *part* of a frame, fail with `WouldBlock`, and
+/// discard what it already read — the next attempt then starts mid-frame
+/// and the stream desynchronizes. The accumulator instead remembers how
+/// far into the current frame it got: on [`DlibError::Timeout`] the
+/// caller may do housekeeping (shutdown flags, heartbeat expiry) and call
+/// [`FrameAccumulator::read_from`] again to resume byte-exactly.
+#[derive(Default)]
+pub struct FrameAccumulator {
+    len_buf: [u8; 4],
+    len_got: usize,
+    payload: Vec<u8>,
+    payload_got: usize,
+}
+
+impl FrameAccumulator {
+    pub fn new() -> FrameAccumulator {
+        FrameAccumulator::default()
+    }
+
+    /// True when some bytes of an incomplete frame have been consumed —
+    /// the peer is mid-send, so it is not idle.
+    pub fn mid_frame(&self) -> bool {
+        self.len_got > 0 || self.payload_got > 0
+    }
+
+    fn fill(r: &mut impl Read, buf: &mut [u8], got: &mut usize) -> Result<bool> {
+        while *got < buf.len() {
+            match r.read(&mut buf[*got..]) {
+                Ok(0) => {
+                    return if *got == 0 && buf.is_empty() {
+                        Ok(true)
+                    } else {
+                        Err(DlibError::Disconnected)
+                    }
+                }
+                Ok(n) => *got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Read one frame, resuming any partial progress. Returns the payload
+    /// once complete; `Err(Timeout)` means "no full frame yet, call
+    /// again"; `Err(Disconnected)` on EOF (clean only at a frame
+    /// boundary); `Err(Protocol)` on an oversized announcement.
+    pub fn read_from(&mut self, r: &mut impl Read) -> Result<Bytes> {
+        if self.payload.is_empty() && self.payload_got == 0 {
+            if self.len_got < 4 {
+                let mut got = self.len_got;
+                // EOF before any length byte is a clean disconnect.
+                while got < 4 {
+                    match r.read(&mut self.len_buf[got..]) {
+                        Ok(0) => {
+                            self.len_got = got;
+                            return Err(DlibError::Disconnected);
+                        }
+                        Ok(n) => got += n,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(e) => {
+                            self.len_got = got;
+                            return Err(e.into());
+                        }
+                    }
+                }
+                self.len_got = got;
+            }
+            let len = u32::from_le_bytes(self.len_buf);
+            if len > MAX_FRAME {
+                return Err(DlibError::Protocol(format!(
+                    "peer announced a {len}-byte frame (cap {MAX_FRAME})"
+                )));
+            }
+            self.payload = vec![0u8; len as usize];
+            self.payload_got = 0;
+        }
+        let mut got = self.payload_got;
+        let res = Self::fill(r, &mut self.payload, &mut got);
+        self.payload_got = got;
+        res?;
+        let payload = std::mem::take(&mut self.payload);
+        self.len_got = 0;
+        self.payload_got = 0;
+        Ok(Bytes::from(payload))
+    }
+}
+
 /// Primitive encoders shared by the message layer. All little-endian.
 pub trait WireWrite {
     fn put_u32_le_(&mut self, v: u32);
@@ -311,6 +402,105 @@ mod tests {
         let buf = b.freeze();
         let mut r = WireReader::new(&buf[..11]); // one byte short
         assert!(r.f32x3_slab(1).is_err());
+    }
+
+    /// Feeds one byte per read and a `WouldBlock` between bytes — the
+    /// worst case a socket read deadline can produce.
+    struct Drip {
+        data: Vec<u8>,
+        pos: usize,
+        starve: bool,
+    }
+
+    impl Drip {
+        fn new(data: Vec<u8>) -> Drip {
+            Drip {
+                data,
+                pos: 0,
+                starve: false,
+            }
+        }
+    }
+
+    impl std::io::Read for Drip {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.starve = !self.starve;
+            if self.starve {
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            if self.pos >= self.data.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn accumulator_resumes_across_timeouts_byte_exactly() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"persist").unwrap();
+        write_frame(&mut wire, b"ence").unwrap();
+        let mut drip = Drip::new(wire);
+        let mut acc = FrameAccumulator::new();
+        let mut frames = Vec::new();
+        let mut timeouts = 0;
+        while frames.len() < 2 {
+            match acc.read_from(&mut drip) {
+                Ok(f) => frames.push(f),
+                Err(DlibError::Timeout) => timeouts += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            assert!(timeouts < 10_000, "no forward progress");
+        }
+        assert_eq!(&frames[0][..], b"persist");
+        assert_eq!(&frames[1][..], b"ence");
+        assert!(timeouts > 0, "the drip must have starved us at least once");
+        assert!(!acc.mid_frame());
+        // The stream is drained: the next read is a clean disconnect.
+        loop {
+            match acc.read_from(&mut drip) {
+                Err(DlibError::Timeout) => continue,
+                Err(DlibError::Disconnected) => break,
+                other => panic!("expected clean disconnect, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_eof_before_length_is_clean_disconnect() {
+        let mut acc = FrameAccumulator::new();
+        let mut cur = Cursor::new(Vec::<u8>::new());
+        assert!(matches!(
+            acc.read_from(&mut cur),
+            Err(DlibError::Disconnected)
+        ));
+        assert!(!acc.mid_frame());
+    }
+
+    #[test]
+    fn accumulator_eof_mid_frame_reports_partial_progress() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"lost in transit").unwrap();
+        wire.truncate(wire.len() - 4); // peer died mid-payload
+        let mut cur = Cursor::new(wire);
+        let mut acc = FrameAccumulator::new();
+        assert!(matches!(
+            acc.read_from(&mut cur),
+            Err(DlibError::Disconnected)
+        ));
+        assert!(acc.mid_frame(), "partial frame consumed — peer was active");
+    }
+
+    #[test]
+    fn accumulator_rejects_oversized_announcement() {
+        let mut cur = Cursor::new(u32::MAX.to_le_bytes().to_vec());
+        let mut acc = FrameAccumulator::new();
+        assert!(matches!(
+            acc.read_from(&mut cur),
+            Err(DlibError::Protocol(_))
+        ));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! dvw-server <dataset-dir> [--addr HOST:PORT] [--ogrid] [--cache N]
 //!            [--budget-ms N] [--readahead N] [--keyframe-interval N]
+//!            [--heartbeat-ms N] [--queue-cap N]
 //! ```
 //!
 //! Serves a dataset directory (written by `dvw-gen` or
@@ -15,7 +16,7 @@ use storage::{CachedStore, DiskStore, ReadAhead};
 use windtunnel::{serve, ServerOptions};
 
 const USAGE: &str = "usage: dvw-server <dataset-dir> [--addr HOST:PORT] [--ogrid] [--cache N] \
-     [--budget-ms N] [--readahead N] [--keyframe-interval N]";
+     [--budget-ms N] [--readahead N] [--keyframe-interval N] [--heartbeat-ms N] [--queue-cap N]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -72,6 +73,15 @@ fn main() {
             "--budget-ms" => {
                 let ms: u64 = flag_value(&mut argv, "--budget-ms", "milliseconds");
                 opts.frame_budget = Some(std::time::Duration::from_millis(ms));
+            }
+            "--heartbeat-ms" => {
+                let ms: u64 =
+                    flag_value(&mut argv, "--heartbeat-ms", "milliseconds (0 = no reaping)");
+                opts.heartbeat_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
+            "--queue-cap" => {
+                opts.queue_capacity =
+                    flag_value(&mut argv, "--queue-cap", "a call queue depth (0 = default)");
             }
             _ => {
                 eprintln!("dvw-server: unknown flag '{flag}'");

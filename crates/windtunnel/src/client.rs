@@ -10,9 +10,11 @@ use crate::proto::{
     Command, DeltaFrame, DeltaRequest, FrameRequest, FrameStats, GeometryFrame, HelloReply,
     PathKind, PathMsg, PROC_COMMAND, PROC_FRAME, PROC_FRAME_DELTA, PROC_HELLO, PROC_STATS,
 };
-use dlib::{DlibClient, DlibError, Result};
+use dlib::{ClientConfig, DlibClient, DlibError, ReconnectingClient, Result, RetryPolicy};
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
+use std::sync::Arc;
 use vecmath::Vec3;
 use vr::render::Rgb;
 use vr::stereo::{render_anaglyph, StereoCamera};
@@ -267,6 +269,176 @@ impl WindtunnelClient {
         }
         for r in &frame.rakes {
             fb.draw_polyline(mvp, &[r.a, r.b], Rgb::new(palette.rake, 60, 60));
+        }
+    }
+}
+
+/// A self-healing windtunnel session: wraps [`dlib::ReconnectingClient`]
+/// so a dropped or wedged connection re-dials with backoff, replays the
+/// `HELLO` handshake, and resynchronizes the retained delta scene.
+///
+/// Resync needs no special protocol: a fresh server session has no
+/// `last_sent` baseline for us, so our stale baseline is "unknown" to it
+/// and the next `FRAME_DELTA` reply falls back to a full keyframe — the
+/// retained scene is also reset locally whenever the connection
+/// generation changes, keeping memory honest. The frame loop degrades to
+/// skipped frames while the server is unreachable; it never panics or
+/// wedges.
+pub struct ResilientClient {
+    rc: ReconnectingClient,
+    /// Filled by the session hook on every (re-)dial. Invariant: `Some`
+    /// after `connect` returns, since the first dial ran the hook.
+    hello: Arc<Mutex<Option<HelloReply>>>,
+    scene: RetainedScene,
+    /// Connection generation the scene was last synced against.
+    seen_generation: u64,
+    said_goodbye: bool,
+}
+
+impl ResilientClient {
+    /// Connect (performing the handshake) with default deadlines and
+    /// retry policy.
+    pub fn connect(addr: SocketAddr) -> Result<ResilientClient> {
+        Self::connect_with(addr, ClientConfig::default(), RetryPolicy::default())
+    }
+
+    pub fn connect_with(
+        addr: SocketAddr,
+        config: ClientConfig,
+        policy: RetryPolicy,
+    ) -> Result<ResilientClient> {
+        let mut rc = ReconnectingClient::with_config(addr, config, policy);
+        let hello: Arc<Mutex<Option<HelloReply>>> = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&hello);
+        rc.on_session(Box::new(move |client| {
+            let reply = client.call(PROC_HELLO, b"")?;
+            *slot.lock() = Some(HelloReply::decode(&reply)?);
+            Ok(())
+        }));
+        rc.ensure_connected()?;
+        let seen_generation = rc.generation();
+        Ok(ResilientClient {
+            rc,
+            hello,
+            scene: RetainedScene::new(),
+            seen_generation,
+            said_goodbye: false,
+        })
+    }
+
+    /// Session metadata from the most recent handshake. Note the
+    /// `user_id` changes across reconnects — each dial is a new dlib
+    /// session.
+    pub fn hello(&self) -> HelloReply {
+        self.hello
+            .lock()
+            .clone()
+            .expect("handshake ran during connect")
+    }
+
+    /// This client's *current* user id.
+    pub fn user_id(&self) -> u64 {
+        self.hello().user_id
+    }
+
+    /// How many connections have been established (1 = never reconnected).
+    pub fn generation(&self) -> u64 {
+        self.rc.generation()
+    }
+
+    /// The underlying reconnecting client — tests use this to install
+    /// fault plans on the live connection.
+    pub fn dlib_mut(&mut self) -> &mut ReconnectingClient {
+        &mut self.rc
+    }
+
+    /// Heartbeat the server (reconnecting if needed).
+    pub fn ping(&mut self) -> Result<()> {
+        self.rc.ping()
+    }
+
+    /// Send one environment command, at most once: `Busy` is retried, but
+    /// a transport failure mid-call surfaces (the command may or may not
+    /// have applied — the caller decides whether to repeat it). The next
+    /// call self-heals.
+    pub fn send(&mut self, cmd: &Command) -> Result<()> {
+        self.rc.call(PROC_COMMAND, &cmd.encode())?;
+        if matches!(cmd, Command::Goodbye) {
+            self.said_goodbye = true;
+        }
+        Ok(())
+    }
+
+    /// Drop the retained scene if the connection was rebuilt since the
+    /// last frame — the new server session doesn't know our baseline, so
+    /// the next reply is a keyframe either way; resetting keeps the local
+    /// memory accounting honest too.
+    fn sync_scene_generation(&mut self) {
+        let gen = self.rc.generation();
+        if gen != self.seen_generation {
+            self.scene = RetainedScene::new();
+            self.seen_generation = gen;
+        }
+    }
+
+    /// Fetch the current frame incrementally, reconnecting and resyncing
+    /// (keyframe fallback) as needed. With `advance = false` the request
+    /// is idempotent and transport failures are retried transparently;
+    /// with `advance = true` (the clock driver) a transport failure
+    /// surfaces after one attempt so a retry cannot double-advance time —
+    /// the driving loop just skips that frame.
+    pub fn frame_delta(&mut self, advance: bool) -> Result<GeometryFrame> {
+        self.sync_scene_generation();
+        let req = DeltaRequest {
+            advance,
+            baseline: self.scene.revision(),
+        };
+        let bytes = if advance {
+            self.rc.call(PROC_FRAME_DELTA, &req.encode())?
+        } else {
+            self.rc.call_idempotent(PROC_FRAME_DELTA, &req.encode())?
+        };
+        let delta = DeltaFrame::decode(&bytes)?;
+        let frame = self.scene.apply(delta)?;
+        // A reconnect during the call produced a keyframe reply; the
+        // apply above rebuilt the scene from it, so the new generation is
+        // now synced.
+        self.seen_generation = self.rc.generation();
+        Ok(frame)
+    }
+
+    /// Fetch a full frame (no delta state involved). Same advance/retry
+    /// split as [`Self::frame_delta`].
+    pub fn frame(&mut self, advance: bool) -> Result<GeometryFrame> {
+        let req = FrameRequest { advance }.encode();
+        let bytes = if advance {
+            self.rc.call(PROC_FRAME, &req)?
+        } else {
+            self.rc.call_idempotent(PROC_FRAME, &req)?
+        };
+        GeometryFrame::decode(&bytes)
+    }
+
+    /// Server pipeline stats (idempotent read).
+    pub fn stats(&mut self) -> Result<FrameStats> {
+        let bytes = self.rc.call_idempotent(PROC_STATS, b"")?;
+        FrameStats::decode(&bytes)
+    }
+
+    /// The retained scene (for inspection).
+    pub fn scene(&self) -> &RetainedScene {
+        &self.scene
+    }
+}
+
+impl Drop for ResilientClient {
+    fn drop(&mut self) {
+        // Best-effort polite sign-off on the live connection only — a
+        // drop must never dial.
+        if !self.said_goodbye {
+            if let Some(c) = self.rc.client_mut() {
+                let _ = c.call(PROC_COMMAND, &Command::Goodbye.encode());
+            }
         }
     }
 }
@@ -786,6 +958,99 @@ mod tests {
         assert_eq!(stats.cum_keyframes, 1);
         assert_eq!(stats.cum_delta_frames, 0);
         assert_eq!(stats.cum_bytes_sent, (nd + nf) as u64);
+        handle.shutdown();
+    }
+
+    /// A fault plan that kills the connection on the next outgoing frame.
+    fn kill_switch() -> dlib::FaultPlan {
+        dlib::FaultPlan::new(
+            7,
+            dlib::FaultConfig {
+                disconnect: 1.0,
+                ..dlib::FaultConfig::quiet()
+            },
+        )
+    }
+
+    #[test]
+    fn resilient_client_reconnects_and_resyncs_byte_identically() {
+        let (handle, addr) = test_server();
+        let mut full = WindtunnelClient::connect(addr).unwrap();
+        let mut inc = ResilientClient::connect(addr).unwrap();
+        inc.send(&Command::AddRake {
+            a: Vec3::new(2.0, 2.0, 4.0),
+            b: Vec3::new(2.0, 6.0, 4.0),
+            seed_count: 4,
+            tool: ToolKind::Streamline,
+        })
+        .unwrap();
+        let f0 = inc.frame_delta(false).unwrap();
+        assert_eq!(f0.encode(), full.frame(false).unwrap().encode());
+        assert_eq!(inc.generation(), 1);
+        let first_user = inc.user_id();
+
+        // Kill the live connection mid-session. The delta request is
+        // idempotent, so the client re-dials, re-handshakes, and the
+        // stale baseline forces a keyframe — the reconstructed frame is
+        // still byte-identical to a full fetch.
+        inc.dlib_mut()
+            .client_mut()
+            .unwrap()
+            .set_fault_plan(kill_switch());
+        let f1 = inc.frame_delta(false).unwrap();
+        assert_eq!(f1.encode(), full.frame(false).unwrap().encode());
+        assert_eq!(inc.generation(), 2, "one reconnect");
+        assert_ne!(inc.user_id(), first_user, "new dlib session after re-dial");
+
+        // Delta flow resumes on the new baseline.
+        inc.send(&Command::HeadPose {
+            pose: Pose::new(Vec3::new(0.0, 1.7, 5.0), Default::default()),
+        })
+        .unwrap();
+        let f2 = inc.frame_delta(false).unwrap();
+        assert_eq!(f2.encode(), full.frame(false).unwrap().encode());
+        assert_eq!(inc.generation(), 2, "no extra reconnects");
+
+        // The server reaps the dead session (asynchronously — its reader
+        // thread sees the EOF): only `full` + the current incarnation of
+        // `inc` remain.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let stats = inc.stats().unwrap();
+            if stats.live_sessions == 2 && stats.cum_reaped_sessions >= 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "dead session never reaped: {stats:?}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn resilient_advance_failure_skips_frame_then_heals() {
+        let (handle, addr) = test_server();
+        let mut driver = ResilientClient::connect(addr).unwrap();
+        driver.send(&Command::Time(TimeCommand::Play)).unwrap();
+        let t0 = driver.frame_delta(true).unwrap().timestep;
+
+        // Clock-advancing calls are at-most-once: a transport fault
+        // surfaces as an error (a skipped frame) rather than retrying and
+        // double-stepping time.
+        driver
+            .dlib_mut()
+            .client_mut()
+            .unwrap()
+            .set_fault_plan(kill_switch());
+        assert!(driver.frame_delta(true).is_err(), "skipped frame surfaces");
+
+        // The very next call heals: reconnect, keyframe resync, and the
+        // clock advanced exactly once more in total.
+        let f = driver.frame_delta(true).unwrap();
+        assert_eq!(f.timestep, t0 + 1, "failed advance must not step time");
+        assert_eq!(driver.generation(), 2);
         handle.shutdown();
     }
 

@@ -69,6 +69,15 @@ impl FrameGovernor {
     pub fn scaled_points(&self, max_points: usize) -> usize {
         ((max_points as f32 * self.detail) as usize).max(2)
     }
+
+    /// Overload signal from outside the compute loop (the dlib dispatcher
+    /// shed calls with `Busy`): cut detail multiplicatively, same floor as
+    /// a budget overshoot. Cheaper frames drain the queue faster, and the
+    /// recovery path restores detail once shedding stops.
+    pub fn shed(&mut self) -> f32 {
+        self.detail = (self.detail * 0.5).max(self.min_detail);
+        self.detail
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +153,21 @@ mod tests {
             (0.2..=0.45).contains(&settled),
             "settled at {settled}, expected ≈ 1/3"
         );
+    }
+
+    #[test]
+    fn shed_halves_detail_with_floor_and_recovers() {
+        let mut g = gov();
+        assert_eq!(g.shed(), 0.5);
+        assert_eq!(g.shed(), 0.25);
+        for _ in 0..20 {
+            g.shed();
+        }
+        assert!((g.detail() - 0.05).abs() < 1e-6, "floored at min_detail");
+        for _ in 0..60 {
+            g.observe(Duration::from_millis(10));
+        }
+        assert_eq!(g.detail(), 1.0, "recovery path restores detail");
     }
 
     #[test]

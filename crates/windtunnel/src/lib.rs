@@ -40,7 +40,7 @@ pub mod server;
 pub mod session;
 pub mod time;
 
-pub use client::{RetainedScene, WindtunnelClient};
+pub use client::{ResilientClient, RetainedScene, WindtunnelClient};
 pub use env::{EnvError, EnvironmentState, RakeId};
 pub use governor::FrameGovernor;
 pub use proto::{Command, DeltaFrame, DeltaRequest, GeometryFrame, PathKind, TimeCommand};

@@ -901,6 +901,13 @@ pub struct FrameStats {
     pub cum_delta_frames: u64,
     /// Lifetime payload bytes sent over FRAME / FRAME_DELTA replies.
     pub cum_bytes_sent: u64,
+    /// Sessions currently connected (as seen by the session-event hook).
+    pub live_sessions: u32,
+    /// Lifetime sessions reaped by disconnect or heartbeat expiry; their
+    /// rake grabs and delta baselines were released.
+    pub cum_reaped_sessions: u64,
+    /// Lifetime calls shed with `Busy` by the bounded dispatch queue.
+    pub cum_shed_calls: u64,
 }
 
 impl FrameStats {
@@ -923,6 +930,9 @@ impl FrameStats {
         b.put_u64_le_(self.cum_keyframes);
         b.put_u64_le_(self.cum_delta_frames);
         b.put_u64_le_(self.cum_bytes_sent);
+        b.put_u32_le_(self.live_sessions);
+        b.put_u64_le_(self.cum_reaped_sessions);
+        b.put_u64_le_(self.cum_shed_calls);
         b.freeze()
     }
 
@@ -946,6 +956,9 @@ impl FrameStats {
             cum_keyframes: r.u64_le()?,
             cum_delta_frames: r.u64_le()?,
             cum_bytes_sent: r.u64_le()?,
+            live_sessions: r.u32_le()?,
+            cum_reaped_sessions: r.u64_le()?,
+            cum_shed_calls: r.u64_le()?,
         };
         if r.remaining() != 0 {
             return Err(DlibError::Protocol("trailing bytes after stats".into()));
@@ -1414,6 +1427,9 @@ mod tests {
             cum_keyframes: 4,
             cum_delta_frames: 44,
             cum_bytes_sent: 1_234_567,
+            live_sessions: 3,
+            cum_reaped_sessions: 6,
+            cum_shed_calls: 17,
         };
         assert_eq!(FrameStats::decode(&s.encode()).unwrap(), s);
         assert_eq!(s.total_us(), 5_025);

@@ -18,10 +18,11 @@ use crate::proto::{
     RakeChunkMsg, TimeCommand, PROC_COMMAND, PROC_FRAME, PROC_FRAME_DELTA, PROC_HELLO, PROC_STATS,
 };
 use bytes::{Bytes, BytesMut};
-use dlib::server::{DlibServer, ServerHandle, Session};
+use dlib::server::{DlibServer, ServerConfig, ServerHandle, Session, SessionEvent};
 use flowfield::CurvilinearGrid;
 use std::collections::HashMap;
 use std::net::SocketAddr;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use storage::TimestepStore;
@@ -49,6 +50,13 @@ pub struct ServerOptions {
     /// (0 = only when a client actually needs one). A periodic keyframe
     /// bounds how long a corrupted client scene could persist.
     pub keyframe_interval: u32,
+    /// Reap sessions that deliver no frame (not even a PING) for this
+    /// long; their rake grabs and delta baselines are released. `None`
+    /// reaps only on connection drop.
+    pub heartbeat_timeout: Option<Duration>,
+    /// Dispatch queue depth before calls are shed with `Busy`
+    /// (0 = dlib's default).
+    pub queue_capacity: usize,
 }
 
 /// One rake's paths, pre-encoded for FRAME_DELTA replies. Shared across
@@ -107,6 +115,10 @@ struct ServerState {
     scratch: BytesMut,
     /// Pipeline stats served by [`PROC_STATS`].
     stats: FrameStats,
+    /// Shared with the dlib transport: total calls shed with `Busy`.
+    shed_counter: Arc<AtomicU64>,
+    /// How much of `shed_counter` the governor has already reacted to.
+    shed_seen: u64,
 }
 
 impl ServerState {
@@ -306,7 +318,43 @@ impl ServerState {
         }
     }
 
+    /// React to transport-level load shedding since the last frame: each
+    /// batch of `Busy` replies cuts frame detail once, so cheaper frames
+    /// drain the queue (the governor's recovery path restores detail when
+    /// shedding stops). Also mirrors the counter into PROC_STATS.
+    fn note_shedding(&mut self) {
+        let total = self.shed_counter.load(std::sync::atomic::Ordering::Relaxed);
+        if total > self.shed_seen {
+            self.shed_seen = total;
+            self.stats.cum_shed_calls = total;
+            if let Some(gov) = &mut self.governor {
+                gov.shed();
+            }
+        }
+    }
+
+    /// Session-lifecycle bookkeeping, registered as the dlib event hook:
+    /// a vanished client (connection drop, protocol violation, or missed
+    /// heartbeats) must release everything it held — rake grabs, presence,
+    /// and its delta baseline — exactly as a polite `Goodbye` would.
+    fn session_event(&mut self, session: Session, event: SessionEvent) {
+        match event {
+            SessionEvent::Connected => {
+                self.stats.live_sessions += 1;
+            }
+            SessionEvent::Disconnected(_reason) => {
+                let user = session.client_id;
+                self.env.disconnect_user(user);
+                crate::interaction::forget_user(&mut self.hands, user);
+                self.sessions.remove(&user);
+                self.stats.live_sessions = self.stats.live_sessions.saturating_sub(1);
+                self.stats.cum_reaped_sessions += 1;
+            }
+        }
+    }
+
     fn frame_bytes(&mut self, advance: bool) -> Result<Bytes, String> {
+        self.note_shedding();
         self.tick(advance)?;
         let revision = self.env.revision();
         self.stats.cum_frames += 1;
@@ -340,6 +388,7 @@ impl ServerState {
     }
 
     fn delta_bytes(&mut self, client: UserId, req: DeltaRequest) -> Result<Bytes, String> {
+        self.note_shedding();
         self.tick(req.advance)?;
         let revision = self.env.revision();
         self.stats.cum_frames += 1;
@@ -448,6 +497,14 @@ pub fn serve(
     } else {
         Domain::boxed(grid.dims())
     };
+    let mut transport = ServerConfig {
+        heartbeat_timeout: opts.heartbeat_timeout,
+        ..ServerConfig::default()
+    };
+    if opts.queue_capacity > 0 {
+        transport.queue_capacity = opts.queue_capacity;
+    }
+    let shed_counter: Arc<AtomicU64> = Arc::clone(&transport.shed_counter);
     let state = ServerState {
         env: EnvironmentState::new(timestep_count),
         engines: ToolEngines::new(),
@@ -467,9 +524,12 @@ pub fn serve(
         sessions: HashMap::new(),
         scratch: BytesMut::new(),
         stats: FrameStats::default(),
+        shed_counter,
+        shed_seen: 0,
     };
 
     let mut server = DlibServer::new(state);
+    server.on_session_event(|state, session, event| state.session_event(session, event));
     server.register(PROC_HELLO, move |state, session: Session, _args| {
         // Joining announces presence (head pose arrives later).
         state.env.update_user(session.client_id, Pose::IDENTITY);
@@ -501,6 +561,6 @@ pub fn serve(
         Ok(state.stats.encode())
     });
 
-    let inner = server.serve(addr)?;
+    let inner = server.serve_with(addr, transport)?;
     Ok(WindtunnelHandle { inner })
 }

@@ -13,7 +13,7 @@
 //! through a mailbox, and the render loop reads that mailbox at whatever
 //! rate the display runs — never blocking on the network.
 
-use crate::client::WindtunnelClient;
+use crate::client::ResilientClient;
 use crate::proto::{Command, GeometryFrame, HelloReply};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use dlib::{DlibError, Result};
@@ -48,9 +48,14 @@ pub struct BackgroundSession {
 impl BackgroundSession {
     /// Connect and start the conversation. `drive` makes this session the
     /// one that advances the shared clock with each frame request.
+    ///
+    /// The worker rides on [`ResilientClient`], so a dropped server
+    /// connection shows up as counted errors (skipped frames) and heals
+    /// by itself once the server is reachable again — the render loop
+    /// keeps spinning on the last good frame throughout.
     pub fn connect(addr: SocketAddr, drive: bool) -> Result<BackgroundSession> {
-        let mut client = WindtunnelClient::connect(addr)?;
-        let hello = client.hello().clone();
+        let mut client = ResilientClient::connect(addr)?;
+        let hello = client.hello();
         let (tx, rx): (Sender<Outbound>, Receiver<Outbound>) = unbounded();
         let mailbox = Arc::new(Mailbox {
             latest: Mutex::new(None),
@@ -79,8 +84,10 @@ impl BackgroundSession {
                         }
                     }
                     // One frame round trip (the slow part the render loop
-                    // no longer waits on).
-                    match client.frame(drive) {
+                    // no longer waits on). Delta transport: after a
+                    // reconnect the stale baseline falls back to a
+                    // keyframe automatically.
+                    match client.frame_delta(drive) {
                         Ok(frame) => {
                             *mb.latest.lock() = Some(frame);
                             mb.frames_fetched.fetch_add(1, Ordering::Relaxed);

@@ -9,6 +9,12 @@ cargo fmt --all --check
 cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
+# Chaos pass: seeded fault schedules against live servers. The proptest
+# shim seeds from the test name, so these replay identically every run;
+# PROPTEST_CASES pins the round count and RUST_BACKTRACE locates any
+# failure inside the storm.
+PROPTEST_CASES=32 RUST_BACKTRACE=1 cargo test -q -p dvw-dlib --test chaos
+RUST_BACKTRACE=1 cargo test -q --test chaos_resync
 cargo run --release -p dvw-bench --bin bench_frame -- --quick
 cargo run --release -p dvw-bench --bin bench_delta -- --quick
 

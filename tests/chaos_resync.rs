@@ -1,0 +1,155 @@
+//! Windtunnel-level chaos: a resilient delta-streaming client under a
+//! seeded fault schedule must converge back to frames byte-identical to
+//! the full-frame encoding once the faults stop, and the server must end
+//! with zero sessions for the departed incarnations.
+
+use distributed_virtual_windtunnel as dvw;
+use dvw::dlib::{FaultConfig, FaultPlan};
+use dvw::flowfield::{
+    dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims, VectorField,
+};
+use dvw::tracer::{ToolKind, TraceConfig};
+use dvw::vecmath::{Aabb, Pose, Vec3};
+use dvw::windtunnel::compute::ComputeConfig;
+use dvw::windtunnel::{
+    serve, Command, ResilientClient, ServerOptions, TimeCommand, WindtunnelClient, WindtunnelHandle,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn chaos_server() -> WindtunnelHandle {
+    let dims = Dims::new(16, 9, 9);
+    let grid =
+        CurvilinearGrid::cartesian(dims, Aabb::new(Vec3::ZERO, Vec3::new(15.0, 8.0, 8.0))).unwrap();
+    let meta = DatasetMeta {
+        name: "chaos".into(),
+        dims,
+        timestep_count: 8,
+        dt: 0.1,
+        coords: VelocityCoords::Grid,
+    };
+    let fields = (0..8)
+        .map(|_| VectorField::from_fn(dims, |_, _, _| Vec3::X))
+        .collect();
+    let ds = Dataset::new(meta, grid.clone(), fields).unwrap();
+    let store = Arc::new(dvw::storage::MemoryStore::from_dataset(ds));
+    let opts = ServerOptions {
+        heartbeat_timeout: Some(Duration::from_millis(500)),
+        compute: ComputeConfig {
+            trace: TraceConfig {
+                dt: 1.0,
+                max_points: 6,
+                ..TraceConfig::default()
+            },
+            ..ComputeConfig::default()
+        },
+        ..ServerOptions::default()
+    };
+    serve(store, grid, opts, "127.0.0.1:0").unwrap()
+}
+
+fn storm_config() -> FaultConfig {
+    FaultConfig {
+        drop: 0.0, // drops cost a full call timeout each; covered in dlib's chaos suite
+        delay: 0.15,
+        duplicate: 0.08,
+        truncate: 0.05,
+        disconnect: 0.10,
+        max_delay: Duration::from_millis(3),
+    }
+}
+
+fn chaos_round(seed: u64) {
+    let server = chaos_server();
+    // The observer fetches full frames over a clean connection — the
+    // ground truth the chaotic delta stream must converge to.
+    let mut observer = WindtunnelClient::connect(server.addr()).unwrap();
+    let mut rc = ResilientClient::connect(server.addr()).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rakes_added = 0u32;
+    let mut skipped = 0u32;
+
+    for i in 0..30u64 {
+        // Sporadically sabotage whatever connection is currently live;
+        // reconnects come up clean until the next sabotage.
+        if rng.random_range(0..3u32) == 0 {
+            if let Some(c) = rc.dlib_mut().client_mut() {
+                c.set_fault_plan(FaultPlan::new(seed ^ i, storm_config()));
+            }
+        }
+        // One random session op. Remote rejections (e.g. a seed-count
+        // request for a never-added rake) are fine — only transport
+        // errors mean a skipped update.
+        let op = match rng.random_range(0..4u32) {
+            0 => {
+                let y0 = rng.random_range(1.0f32..6.0);
+                rakes_added += 1;
+                rc.send(&Command::AddRake {
+                    a: Vec3::new(2.0, y0, 4.0),
+                    b: Vec3::new(2.0, y0 + 1.0, 4.0),
+                    seed_count: rng.random_range(2u32..5),
+                    tool: ToolKind::Streamline,
+                })
+            }
+            1 => rc.send(&Command::HeadPose {
+                pose: Pose::new(
+                    Vec3::new(rng.random_range(0.0f32..15.0), 1.7, 5.0),
+                    Default::default(),
+                ),
+            }),
+            2 => rc.send(&Command::Time(TimeCommand::Jump(rng.random_range(0u32..8)))),
+            _ if rakes_added > 0 => rc.send(&Command::SetSeedCount {
+                id: rng.random_range(1..=rakes_added),
+                n: rng.random_range(2u32..6),
+            }),
+            _ => Ok(()),
+        };
+        if op.is_err() {
+            skipped += 1;
+        }
+        // One frame round trip; errors are skipped frames, never a wedge.
+        if rc.frame_delta(false).is_err() {
+            skipped += 1;
+        }
+    }
+
+    // Calm down: shed any still-sabotaged connection, then the delta
+    // stream must reconstruct exactly what a full fetch sees.
+    rc.dlib_mut().disconnect();
+    let f_inc = rc.frame_delta(false).unwrap();
+    let f_full = observer.frame(false).unwrap();
+    assert_eq!(
+        f_inc.encode(),
+        f_full.encode(),
+        "seed {seed}: reconstructed frame diverged after {skipped} skipped updates"
+    );
+
+    // Departure: every dead incarnation of the chaotic client gets
+    // reaped; only the observer remains.
+    let generations = rc.generation();
+    assert!(generations >= 1);
+    drop(rc);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = observer.stats().unwrap();
+        if stats.live_sessions == 1 && stats.cum_reaped_sessions >= generations {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "seed {seed}: sessions not reaped ({generations} generations): {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn chaotic_delta_streams_converge_to_full_frames() {
+    // Fixed seeds: every run replays the same fault schedules.
+    for seed in [7u64, 1992, 0x5EED_CAFE] {
+        chaos_round(seed);
+    }
+}

@@ -206,3 +206,71 @@ fn governor_reins_in_oversized_scenes() {
     );
     handle.shutdown();
 }
+
+#[test]
+fn client_killed_mid_delta_call_never_wedges_the_server() {
+    use bytes::Bytes;
+    use dvw::windtunnel::proto::{DeltaRequest, PROC_FRAME_DELTA, PROC_HELLO};
+
+    let ds = small_dataset();
+    let grid = ds.grid().clone();
+    let store = Arc::new(dvw::storage::MemoryStore::from_dataset(ds));
+    let opts = ServerOptions {
+        periodic_i: true,
+        heartbeat_timeout: Some(std::time::Duration::from_millis(500)),
+        ..Default::default()
+    };
+    let handle = serve(store, grid, opts, "127.0.0.1:0").unwrap();
+
+    // A hand-rolled victim: handshake, issue a clock-advancing
+    // FRAME_DELTA call, then vanish without ever reading the reply. The
+    // server computes the frame and fails to deliver it — that failure
+    // must stay confined to this connection.
+    {
+        let mut sock = std::net::TcpStream::connect(handle.addr()).unwrap();
+        let hello = dvw::dlib::Call {
+            seq: 1,
+            procedure: PROC_HELLO,
+            args: Bytes::new(),
+        };
+        dvw::dlib::wire::write_frame(&mut sock, &hello.encode()).unwrap();
+        dvw::dlib::wire::read_frame(&mut sock).unwrap();
+        let call = dvw::dlib::Call {
+            seq: 2,
+            procedure: PROC_FRAME_DELTA,
+            args: DeltaRequest {
+                advance: true,
+                baseline: 0,
+            }
+            .encode(),
+        };
+        dvw::dlib::wire::write_frame(&mut sock, &call.encode()).unwrap();
+        sock.shutdown(std::net::Shutdown::Both).unwrap();
+    }
+
+    // A well-behaved client still completes a driven frame promptly —
+    // the tick never wedges on the dead peer.
+    let mut b = WindtunnelClient::connect(handle.addr()).unwrap();
+    let start = std::time::Instant::now();
+    b.frame(true).unwrap();
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(2),
+        "live client's tick must not wait on the dead one"
+    );
+
+    // And PROC_STATS reports the reaped session: only the live client
+    // remains.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let stats = b.stats().unwrap();
+        if stats.cum_reaped_sessions >= 1 && stats.live_sessions == 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "victim session never reaped: {stats:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    handle.shutdown();
+}

@@ -1,3 +1,4 @@
+#![deny(unsafe_op_in_unsafe_fn, unused_must_use)]
 //! Synthetic unsteady-flow generation for the distributed virtual
 //! windtunnel.
 //!

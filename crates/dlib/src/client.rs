@@ -19,7 +19,7 @@
 
 use crate::chaos::{FaultAction, FaultPlan};
 use crate::message::{Call, Reply};
-use crate::wire::{write_frame, FrameAccumulator};
+use crate::wire::{len_u32, write_frame, FrameAccumulator};
 use crate::{DlibError, Result};
 use bytes::Bytes;
 use std::io::{BufReader, BufWriter, Write};
@@ -192,6 +192,8 @@ impl DlibClient {
             FaultAction::Deliver => write_frame(&mut self.writer, payload),
             FaultAction::Drop => Ok(()), // swallowed; the deadline will notice
             FaultAction::Delay(d) => {
+                #[allow(clippy::disallowed_methods)]
+                // injected-fault delay: the chaos transport deliberately stalls this call
                 std::thread::sleep(d);
                 write_frame(&mut self.writer, payload)
             }
@@ -203,7 +205,8 @@ impl DlibClient {
                 // Announce the full frame, deliver only a prefix, then
                 // kill the link: the peer sees a mid-frame disconnect.
                 let keep = keep.min(payload.len());
-                let _ = self.writer.write_all(&(payload.len() as u32).to_le_bytes());
+                let _ = self.writer.write_all(&len_u32(payload.len()).to_le_bytes());
+                // lint:allow(panic-path): `keep` is clamped to payload.len() above
                 let _ = self.writer.write_all(&payload[..keep]);
                 let _ = self.writer.flush();
                 let _ = self.writer.get_ref().shutdown(Shutdown::Both);
@@ -230,6 +233,7 @@ impl DlibClient {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests sleep to let real threads make progress
 mod tests {
     use super::*;
     use crate::chaos::FaultConfig;

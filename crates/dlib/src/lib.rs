@@ -1,3 +1,4 @@
+#![deny(unsafe_op_in_unsafe_fn, unused_must_use)]
 //! dlib — the Distributed Library (Yamasaki, RNR-90-008), reimplemented.
 //!
 //! §4 of the paper: "Like many systems which provide for distributed

@@ -61,6 +61,7 @@ impl RetryPolicy {
     /// Backoff before retry number `retry` (0-based): `initial *
     /// multiplier^retry`, capped at [`RetryPolicy::max_backoff`].
     pub fn backoff(&self, retry: u32) -> Duration {
+        // lint:allow(panic-path): clamped to 63, well inside i32
         let factor = self.multiplier.max(1.0).powi(retry.min(63) as i32);
         let raw = self.initial_backoff.as_secs_f64() * factor;
         Duration::from_secs_f64(raw.min(self.max_backoff.as_secs_f64()))
@@ -137,6 +138,8 @@ impl ReconnectingClient {
             let mut last_err = DlibError::Disconnected;
             for retry in 0..self.policy.max_attempts.max(1) {
                 if retry > 0 {
+                    #[allow(clippy::disallowed_methods)]
+                    // reconnect backoff on the dedicated resilient-client thread
                     std::thread::sleep(self.policy.backoff(retry - 1));
                 }
                 match DlibClient::connect_with(self.addr, self.config) {
@@ -188,6 +191,8 @@ impl ReconnectingClient {
             match res {
                 Ok(b) => return Ok(b),
                 Err(DlibError::Busy) if retry + 1 < self.policy.max_attempts => {
+                    #[allow(clippy::disallowed_methods)]
+                    // reconnect backoff on the dedicated resilient-client thread
                     std::thread::sleep(self.policy.backoff(retry));
                     retry += 1;
                 }
@@ -220,6 +225,8 @@ impl ReconnectingClient {
                     if !retryable || retry + 1 >= self.policy.max_attempts {
                         return Err(e);
                     }
+                    #[allow(clippy::disallowed_methods)]
+                    // reconnect backoff on the dedicated resilient-client thread
                     std::thread::sleep(self.policy.backoff(retry));
                     retry += 1;
                 }

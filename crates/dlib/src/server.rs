@@ -314,6 +314,7 @@ fn spawn_connection(
     let write_stream = match stream.try_clone() {
         Ok(s) => s,
         Err(e) => {
+            // lint:allow(hygiene): connection-fatal error path, not per-frame
             eprintln!(
                 "dlib: session {}: cannot clone stream: {e}",
                 session.client_id
@@ -335,6 +336,7 @@ fn spawn_connection(
             }
         });
     if let Err(e) = writer {
+        // lint:allow(hygiene): spawn failure tears down this connection; rare, not per-frame
         eprintln!("dlib: session {}: spawn writer: {e}", session.client_id);
         return;
     }
@@ -362,6 +364,7 @@ fn spawn_connection(
                 reason,
                 DisconnectReason::ClosedByPeer | DisconnectReason::ServerShutdown
             ) {
+                // lint:allow(hygiene): once per disconnect, the operator wants to see it
                 eprintln!("dlib: session {} dropped: {reason}", session.client_id);
             }
             let _ = stream.shutdown(Shutdown::Both);
@@ -372,6 +375,7 @@ fn spawn_connection(
             // reply_tx drops here, ending the writer thread.
         });
     if let Err(e) = reader {
+        // lint:allow(hygiene): spawn failure tears down this connection; rare, not per-frame
         eprintln!("dlib: session {}: spawn reader: {e}", session.client_id);
     }
 }
@@ -477,6 +481,7 @@ impl Drop for ServerHandle {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests sleep to let real threads make progress
 mod tests {
     use super::*;
     use crate::client::DlibClient;

@@ -106,7 +106,7 @@ impl WireDecode for f32 {
 
 impl WireEncode for bool {
     fn encode_to(&self, out: &mut BytesMut) {
-        out.put_u32_le_(*self as u32);
+        out.put_u32_le_(u32::from(*self));
     }
 }
 impl WireDecode for bool {
@@ -141,7 +141,7 @@ impl WireDecode for () {
 
 impl<T: WireEncode> WireEncode for Vec<T> {
     fn encode_to(&self, out: &mut BytesMut) {
-        out.put_u32_le_(self.len() as u32);
+        out.put_len_(self.len());
         for v in self {
             v.encode_to(out);
         }

@@ -12,6 +12,16 @@ use std::io::{Read, Write};
 /// the windtunnel ships (Table 1's 100 000 particles are 1.2 MB).
 pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
 
+/// Encode a collection length as the wire's `u32` prefix. Saturates
+/// instead of truncating: a saturated prefix fails the peer's bounds
+/// check outright, whereas a wrapped one silently drops data. Lengths
+/// this large can't occur in practice — [`MAX_FRAME`] caps every frame
+/// far below 4 GiB.
+#[inline]
+pub fn len_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
 /// Write one frame.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
     if payload.len() as u64 > MAX_FRAME as u64 {
@@ -20,7 +30,7 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
             payload.len()
         )));
     }
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&len_u32(payload.len()).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()?;
     Ok(())
@@ -139,6 +149,10 @@ pub trait WireWrite {
     fn put_f32_le_(&mut self, v: f32);
     fn put_bytes_(&mut self, b: &[u8]);
     fn put_str_(&mut self, s: &str);
+    /// Length prefix via [`len_u32`] (saturating, never truncating).
+    fn put_len_(&mut self, n: usize) {
+        self.put_u32_le_(len_u32(n));
+    }
 }
 
 impl WireWrite for BytesMut {
@@ -152,7 +166,7 @@ impl WireWrite for BytesMut {
         self.put_f32_le(v);
     }
     fn put_bytes_(&mut self, b: &[u8]) {
-        self.put_u32_le(b.len() as u32);
+        self.put_u32_le(len_u32(b.len()));
         self.put_slice(b);
     }
     fn put_str_(&mut self, s: &str) {

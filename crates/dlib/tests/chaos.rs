@@ -14,6 +14,7 @@
 //! every run replays the same fault schedules; `PROPTEST_CASES` bounds
 //! the number of rounds (pinned in `scripts/check.sh`).
 
+#![allow(clippy::disallowed_methods)] // tests sleep to let real threads make progress
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dlib::{
     ClientConfig, DlibServer, FaultConfig, FaultPlan, ReconnectingClient, RetryPolicy,

@@ -1,0 +1,15 @@
+//! A declared hot path with debug prints in live code.
+
+pub fn serve_one(frame: u64) {
+    dbg!(frame);
+    eprintln!("serving {frame}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_in_tests_are_fine() {
+        println!("ok");
+        eprintln!("ok");
+    }
+}

@@ -1,0 +1,15 @@
+//! No `#![deny(...)]` table at all — one finding per required lint,
+//! plus whatever `hot.rs` contributes.
+
+pub mod hot;
+
+/// An unsafe block with no SAFETY comment.
+pub fn undocumented(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+/// SAFETY within the window: must NOT trip.
+// SAFETY: caller guarantees `p` points at a live, aligned u32.
+pub fn documented(p: *const u32) -> u32 {
+    unsafe { *p }
+}

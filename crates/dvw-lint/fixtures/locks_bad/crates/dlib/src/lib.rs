@@ -1,0 +1,41 @@
+//! Seeded lock-order inversions: a direct one, one hidden behind a call
+//! (caught by one-level inlining), and a correct-order function that
+//! completes the cycle in the observed graph.
+
+use parking_lot::Mutex;
+
+pub struct Server {
+    sessions: Mutex<u32>,
+    queue: Mutex<u32>,
+}
+
+impl Server {
+    /// Direct inversion: takes `queue`, then `sessions`.
+    pub fn inverted(&self) {
+        let q = self.queue.lock();
+        let s = self.sessions.lock();
+        drop(s);
+        drop(q);
+    }
+
+    fn take_sessions(&self) {
+        let s = self.sessions.lock();
+        drop(s);
+    }
+
+    /// Inversion through a call: holds `queue` across `take_sessions`.
+    pub fn inverted_via_call(&self) {
+        let q = self.queue.lock();
+        self.take_sessions();
+        drop(q);
+    }
+
+    /// Declared order, no finding by itself — but together with the
+    /// inversions it closes a `sessions -> queue -> sessions` cycle.
+    pub fn ordered(&self) {
+        let s = self.sessions.lock();
+        let q = self.queue.lock();
+        drop(q);
+        drop(s);
+    }
+}

@@ -1,0 +1,68 @@
+//! Lock usage that respects the declared order, including the release
+//! patterns the analyzer must understand: `drop()`, statement-scoped
+//! temporaries, and block scoping.
+
+use parking_lot::Mutex;
+
+pub struct Server {
+    sessions: Mutex<u32>,
+    queue: Mutex<u32>,
+}
+
+impl Server {
+    pub fn ordered(&self) {
+        let s = self.sessions.lock();
+        let q = self.queue.lock();
+        drop(q);
+        drop(s);
+    }
+
+    /// `queue` is explicitly dropped before `sessions`: sequential, not
+    /// nested.
+    pub fn sequential(&self) {
+        let q = self.queue.lock();
+        drop(q);
+        let s = self.sessions.lock();
+        drop(s);
+    }
+
+    /// The temporary guard dies at the end of the statement.
+    pub fn temporary(&self) {
+        self.queue.lock().checked_add(1);
+        let s = self.sessions.lock();
+        drop(s);
+    }
+
+    /// The inner-block guard dies at the closing brace.
+    pub fn scoped(&self) {
+        {
+            let q = self.queue.lock();
+            drop(q);
+        }
+        let s = self.sessions.lock();
+        drop(s);
+    }
+
+    /// Reads and writes with arguments are I/O, not lock acquisition.
+    pub fn io_read(&self, stream: &mut impl std::io::Read) {
+        let q = self.queue.lock();
+        let mut buf = [0u8; 4];
+        let _ = stream.read(&mut buf);
+        drop(q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_do_anything() {
+        let s = super::Server {
+            sessions: parking_lot::Mutex::new(0),
+            queue: parking_lot::Mutex::new(0),
+        };
+        let q = s.queue.lock();
+        let g = s.sessions.lock();
+        drop(g);
+        drop(q);
+    }
+}

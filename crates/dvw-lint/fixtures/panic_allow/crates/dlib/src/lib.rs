@@ -1,0 +1,25 @@
+//! Escape-hatch behaviour: a reasoned `lint:allow` suppresses, a
+//! reasonless one is itself a finding.
+
+pub fn allowed_inline(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(panic-path): populated two lines above, provably Some
+}
+
+pub fn allowed_above(v: Option<u32>) -> u32 {
+    // lint:allow(panic-path): checked by caller
+    v.unwrap()
+}
+
+pub fn allowed_cast(n: usize) -> u32 {
+    // lint:allow(panic-path): n is a bounded index
+    n as u32
+}
+
+pub fn reasonless(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(panic-path)
+}
+
+pub fn wrong_pass(v: Option<u32>) -> u32 {
+    // lint:allow(lock-order): wrong pass name, does not suppress
+    v.unwrap()
+}

@@ -1,0 +1,68 @@
+//! Seeded panic-path violations: each construct below must trip the
+//! panic-path pass exactly once, and nothing else.
+
+use bytes::Bytes;
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("always there")
+}
+
+pub fn bad_panic() {
+    panic!("boom");
+}
+
+pub fn bad_todo() {
+    todo!()
+}
+
+pub fn bad_unimplemented() {
+    unimplemented!()
+}
+
+pub fn bad_index(buf: &Bytes) -> u8 {
+    buf[0]
+}
+
+pub fn bad_range(buf: Bytes) -> Bytes {
+    buf.slice_ref(&buf[4..8])
+}
+
+pub fn bad_cast(n: usize) -> u32 {
+    n as u32
+}
+
+// The full range cannot panic: must NOT trip.
+pub fn ok_full_range(buf: &Bytes) -> &[u8] {
+    &buf[..]
+}
+
+// A non-Bytes slice index: out of scope for this pass.
+pub fn ok_vec_index(v: &[u8]) -> u8 {
+    v[0]
+}
+
+// Widening never truncates: must NOT trip.
+pub fn ok_widen(n: u32) -> u64 {
+    n as u64
+}
+
+// Strings and comments must not leak tokens into the analysis.
+pub fn ok_string() -> &'static str {
+    // panic!("this is a comment, not code")
+    "x.unwrap() and panic!(..) inside a string"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+        let n = 5usize;
+        let _ = n as u32;
+    }
+}

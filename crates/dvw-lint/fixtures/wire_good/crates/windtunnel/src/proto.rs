@@ -1,0 +1,20 @@
+//! A healthy proto file: a declared non-additive change (marker present,
+//! version bumped past the baseline), unique unreserved ids, and fully
+//! paired codecs.
+
+// wire:non-additive — the frame header gained a mandatory field.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+pub const PROC_HELLO: u32 = 0x0057_0001;
+pub const PROC_COMMAND: u32 = 0x0057_0002;
+pub const PROC_FRAME: u32 = 0x0057_0003;
+
+pub struct Frame;
+
+impl Frame {
+    pub fn encode_into(&self, _b: &mut Vec<u8>) {}
+
+    pub fn decode_from(_buf: &[u8]) -> Frame {
+        Frame
+    }
+}

@@ -1,0 +1,7 @@
+//! A non-additive change was declared but the version never moved: the
+//! marker requires `PROTOCOL_VERSION` to exceed the lint.toml baseline.
+
+// wire:non-additive — rake chunk layout changed incompatibly.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+pub const PROC_HELLO: u32 = 0x0057_0001;

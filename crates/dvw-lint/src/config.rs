@@ -1,0 +1,366 @@
+//! `lint.toml` — the declared invariants.
+//!
+//! Parsed with a hand-rolled TOML subset reader (tables, string / integer /
+//! boolean values, arrays of strings, arrays of string-arrays, `#`
+//! comments, multi-line arrays) so the linter stays dependency-free. The
+//! config *is* the specification the passes check the tree against: the
+//! global lock order, the wire baseline version, the required crate-root
+//! deny table, and the set of crates whose non-test code must be
+//! panic-free.
+
+use std::collections::BTreeMap;
+
+/// A parsed TOML-subset value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(u64),
+    Bool(bool),
+    /// Array of strings.
+    StrArray(Vec<String>),
+    /// Array of string-arrays (the lock-order chains).
+    ChainArray(Vec<Vec<String>>),
+}
+
+/// The whole configuration, resolved with defaults for missing keys.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crate directory names under `crates/` whose non-test code the
+    /// panic-path pass covers.
+    pub panic_crates: Vec<String>,
+    /// Workspace-relative paths exempted from the panic-path pass (bench
+    /// harness modules and the like).
+    pub panic_exclude: Vec<String>,
+    /// Baseline protocol version `proto.rs` must declare unless a
+    /// non-additive marker is present.
+    pub protocol_version: u64,
+    /// Start of the proc-id range reserved for dlib built-ins.
+    pub reserved_min: u64,
+    /// Files scanned for `PROC_*` constants.
+    pub proto_files: Vec<String>,
+    /// Files allowed to define ids inside the reserved range (the dlib
+    /// server itself).
+    pub reserved_allowed: Vec<String>,
+    /// Comment marker that declares a non-additive wire change.
+    pub non_additive_marker: String,
+    /// Declared lock-order chains; locks in one chain must be acquired
+    /// left-to-right.
+    pub lock_order: Vec<Vec<String>>,
+    /// Lints every crate root must `#![deny(...)]`.
+    pub deny: Vec<String>,
+    /// Crate-root files the deny-table check covers.
+    pub crate_roots: Vec<String>,
+    /// Server hot-path files where debug printing is banned.
+    pub hot_paths: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            panic_crates: Vec::new(),
+            panic_exclude: Vec::new(),
+            protocol_version: 1,
+            reserved_min: 0xFFFF_0000,
+            proto_files: Vec::new(),
+            reserved_allowed: Vec::new(),
+            non_additive_marker: "wire:non-additive".into(),
+            lock_order: Vec::new(),
+            deny: Vec::new(),
+            crate_roots: Vec::new(),
+            hot_paths: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// Parse a `lint.toml` document. Unknown keys are ignored so the file
+    /// can grow without breaking old binaries; malformed syntax is an
+    /// error naming the line.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let raw = parse_toml(text)?;
+        let mut cfg = Config::default();
+        let get = |section: &str, key: &str| raw.get(&format!("{section}.{key}")).cloned();
+
+        if let Some(v) = get("panic", "crates") {
+            cfg.panic_crates = expect_str_array(v, "panic.crates")?;
+        }
+        if let Some(v) = get("panic", "exclude") {
+            cfg.panic_exclude = expect_str_array(v, "panic.exclude")?;
+        }
+        if let Some(v) = get("wire", "protocol_version") {
+            cfg.protocol_version = expect_int(v, "wire.protocol_version")?;
+        }
+        if let Some(v) = get("wire", "reserved_min") {
+            cfg.reserved_min = expect_int(v, "wire.reserved_min")?;
+        }
+        if let Some(v) = get("wire", "proto_files") {
+            cfg.proto_files = expect_str_array(v, "wire.proto_files")?;
+        }
+        if let Some(v) = get("wire", "reserved_allowed") {
+            cfg.reserved_allowed = expect_str_array(v, "wire.reserved_allowed")?;
+        }
+        if let Some(v) = get("wire", "non_additive_marker") {
+            match v {
+                Value::Str(s) => cfg.non_additive_marker = s,
+                _ => return Err("wire.non_additive_marker: expected string".into()),
+            }
+        }
+        if let Some(v) = get("locks", "order") {
+            cfg.lock_order = match v {
+                Value::ChainArray(c) => c,
+                Value::StrArray(one) => vec![one],
+                _ => return Err("locks.order: expected array of string arrays".into()),
+            };
+        }
+        if let Some(v) = get("hygiene", "deny") {
+            cfg.deny = expect_str_array(v, "hygiene.deny")?;
+        }
+        if let Some(v) = get("hygiene", "crate_roots") {
+            cfg.crate_roots = expect_str_array(v, "hygiene.crate_roots")?;
+        }
+        if let Some(v) = get("hygiene", "hot_paths") {
+            cfg.hot_paths = expect_str_array(v, "hygiene.hot_paths")?;
+        }
+        Ok(cfg)
+    }
+}
+
+fn expect_str_array(v: Value, key: &str) -> Result<Vec<String>, String> {
+    match v {
+        Value::StrArray(a) => Ok(a),
+        _ => Err(format!("{key}: expected array of strings")),
+    }
+}
+
+fn expect_int(v: Value, key: &str) -> Result<u64, String> {
+    match v {
+        Value::Int(i) => Ok(i),
+        _ => Err(format!("{key}: expected integer")),
+    }
+}
+
+/// Flat `section.key -> value` map. Multi-line arrays are joined before
+/// value parsing, so `order = [\n ["a", "b"],\n]` works.
+fn parse_toml(text: &str) -> Result<BTreeMap<String, Value>, String> {
+    let mut out = BTreeMap::new();
+    let mut section = String::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, line)) = lines.next() {
+        let lineno = idx + 1;
+        let trimmed = strip_comment(line).trim().to_string();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| format!("lint.toml:{lineno}: unterminated table header"))?;
+            section = name.trim().to_string();
+            continue;
+        }
+        let eq = trimmed
+            .find('=')
+            .ok_or_else(|| format!("lint.toml:{lineno}: expected `key = value`"))?;
+        let key = trimmed[..eq].trim().to_string();
+        let mut value_text = trimmed[eq + 1..].trim().to_string();
+        // Join continuation lines until brackets balance.
+        while bracket_depth(&value_text) > 0 {
+            match lines.next() {
+                Some((_, cont)) => {
+                    value_text.push(' ');
+                    value_text.push_str(strip_comment(cont).trim());
+                }
+                None => return Err(format!("lint.toml:{lineno}: unterminated array")),
+            }
+        }
+        let full_key = if section.is_empty() {
+            key
+        } else {
+            format!("{section}.{key}")
+        };
+        out.insert(
+            full_key,
+            parse_value(&value_text).map_err(|e| format!("lint.toml:{lineno}: {e}"))?,
+        );
+    }
+    Ok(out)
+}
+
+/// Strip a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn bracket_depth(s: &str) -> i32 {
+    let mut depth = 0;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    let s = s.trim();
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| "unterminated array".to_string())?;
+        let items = split_top_level(body)?;
+        if items.is_empty() {
+            return Ok(Value::StrArray(Vec::new()));
+        }
+        if items[0].trim_start().starts_with('[') {
+            let mut chains = Vec::new();
+            for item in items {
+                match parse_value(&item)? {
+                    Value::StrArray(a) => chains.push(a),
+                    _ => return Err("expected inner array of strings".into()),
+                }
+            }
+            return Ok(Value::ChainArray(chains));
+        }
+        let mut strs = Vec::new();
+        for item in items {
+            match parse_value(&item)? {
+                Value::Str(v) => strs.push(v),
+                _ => return Err("expected string array element".into()),
+            }
+        }
+        return Ok(Value::StrArray(strs));
+    }
+    if let Some(body) = s.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| "unterminated string".to_string())?;
+        return Ok(Value::Str(body.to_string()));
+    }
+    match s {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let digits = s.replace('_', "");
+    let parsed = if let Some(hex) = digits
+        .strip_prefix("0x")
+        .or_else(|| digits.strip_prefix("0X"))
+    {
+        u64::from_str_radix(hex, 16)
+    } else {
+        digits.parse::<u64>()
+    };
+    parsed
+        .map(Value::Int)
+        .map_err(|_| format!("unrecognized value `{s}`"))
+}
+
+/// Split an array body on top-level commas (commas inside nested arrays
+/// or strings don't count). A trailing comma is tolerated.
+fn split_top_level(body: &str) -> Result<Vec<String>, String> {
+    let mut items = Vec::new();
+    let mut depth = 0;
+    let mut in_str = false;
+    let mut cur = String::new();
+    for c in body.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '[' if !in_str => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' if !in_str => {
+                depth -= 1;
+                if depth < 0 {
+                    return Err("unbalanced brackets".into());
+                }
+                cur.push(c);
+            }
+            ',' if !in_str && depth == 0 => {
+                if !cur.trim().is_empty() {
+                    items.push(cur.trim().to_string());
+                }
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if in_str {
+        return Err("unterminated string in array".into());
+    }
+    if !cur.trim().is_empty() {
+        items.push(cur.trim().to_string());
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r##"
+# comment
+[panic]
+crates = ["dlib", "windtunnel"]  # trailing comment
+
+[wire]
+protocol_version = 1
+reserved_min = 0xFFFF_0000
+proto_files = [
+    "crates/windtunnel/src/proto.rs",
+]
+
+[locks]
+order = [
+    ["sessions", "queue"],
+    ["env", "scene"],
+]
+
+[hygiene]
+deny = ["unsafe_op_in_unsafe_fn"]
+"##;
+
+    #[test]
+    fn parses_sample() {
+        let cfg = Config::parse(SAMPLE).unwrap();
+        assert_eq!(cfg.panic_crates, vec!["dlib", "windtunnel"]);
+        assert_eq!(cfg.protocol_version, 1);
+        assert_eq!(cfg.reserved_min, 0xFFFF_0000);
+        assert_eq!(cfg.proto_files, vec!["crates/windtunnel/src/proto.rs"]);
+        assert_eq!(
+            cfg.lock_order,
+            vec![
+                vec!["sessions".to_string(), "queue".to_string()],
+                vec!["env".to_string(), "scene".to_string()]
+            ]
+        );
+        assert_eq!(cfg.deny, vec!["unsafe_op_in_unsafe_fn"]);
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let err = Config::parse("[wire]\nprotocol_version = banana").unwrap_err();
+        assert!(err.contains("lint.toml:2"), "{err}");
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_comment() {
+        let cfg = Config::parse("[wire]\nnon_additive_marker = \"wire#bump\"").unwrap();
+        assert_eq!(cfg.non_additive_marker, "wire#bump");
+    }
+}

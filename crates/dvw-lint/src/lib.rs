@@ -1,0 +1,212 @@
+#![deny(unsafe_op_in_unsafe_fn, unused_must_use)]
+//! `dvw-lint` — the workspace invariant checker.
+//!
+//! The windtunnel's 1/8 s command→compute→transfer→render budget (§2 of
+//! the paper) makes several properties *system-wide* correctness
+//! conditions rather than local style choices: a panic on a server path
+//! drops frames for every connected client, a reused RPC proc id breaks
+//! the wire protocol for every peer, and a lock-order inversion between
+//! the dispatcher and session state deadlocks the whole simulation. This
+//! crate turns those review-time rules into a machine-checked gate:
+//! four passes over the workspace source, driven by `lint.toml`, run by
+//! `scripts/check.sh` before clippy.
+//!
+//! See `DESIGN.md` §7 for the pass-by-pass specification and the
+//! escape-hatch policy (`// lint:allow(<pass>): <reason>`).
+
+pub mod config;
+pub mod lexer;
+pub mod source;
+
+mod passes {
+    pub mod hygiene;
+    pub mod locks;
+    pub mod panic_path;
+    pub mod wire;
+}
+
+use config::Config;
+use source::SourceFile;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The four analysis passes. The name doubles as the `lint:allow` key
+/// and the `[pass]` tag in output lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pass {
+    PanicPath,
+    WireProtocol,
+    LockOrder,
+    Hygiene,
+}
+
+impl Pass {
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::PanicPath => "panic-path",
+            Pass::WireProtocol => "wire-protocol",
+            Pass::LockOrder => "lock-order",
+            Pass::Hygiene => "hygiene",
+        }
+    }
+}
+
+/// One diagnostic, formatted as `file:line: [pass] message` — stable,
+/// diff-friendly, and editor-clickable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub pass: Pass,
+    pub msg: String,
+}
+
+impl Finding {
+    pub fn new(file: &str, line: u32, pass: Pass, msg: String) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            pass,
+            msg,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.pass.name(),
+            self.msg
+        )
+    }
+}
+
+/// Push `msg` unless an escape hatch covers it. Using the hatch without
+/// a reason is itself a finding: the whole point is a written record of
+/// why the invariant doesn't apply.
+pub(crate) fn push_unless_allowed(
+    file: &SourceFile,
+    findings: &mut Vec<Finding>,
+    pass: Pass,
+    line: u32,
+    msg: String,
+) {
+    match file.allow_for(pass.name(), line) {
+        Some(a) if !a.reason.is_empty() => {}
+        Some(a) => findings.push(Finding::new(
+            &file.rel,
+            a.line,
+            pass,
+            format!(
+                "`lint:allow({})` requires a reason: `// lint:allow({}): <why>`",
+                pass.name(),
+                pass.name()
+            ),
+        )),
+        None => findings.push(Finding::new(&file.rel, line, pass, msg)),
+    }
+}
+
+/// Run all passes on the workspace rooted at `root` (the directory
+/// holding `lint.toml`). Findings come back sorted by file, line, pass.
+pub fn run(root: &Path) -> Result<Vec<Finding>, String> {
+    let cfg_path = root.join("lint.toml");
+    let text =
+        std::fs::read_to_string(&cfg_path).map_err(|e| format!("{}: {e}", cfg_path.display()))?;
+    let cfg = Config::parse(&text)?;
+    run_with_config(root, &cfg)
+}
+
+/// Like [`run`] but with an explicit configuration (fixture tests use
+/// this to point at mini-trees).
+pub fn run_with_config(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
+    let files = load_workspace(root)?;
+    let mut findings = Vec::new();
+
+    for f in &files {
+        if in_panic_scope(f, cfg) {
+            passes::panic_path::check(f, &mut findings);
+        }
+    }
+    passes::wire::check(&files, cfg, &mut findings);
+    passes::locks::check(&files, cfg, &mut findings);
+    passes::hygiene::check(&files, cfg, &mut findings);
+
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.pass, a.msg.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.pass,
+            b.msg.as_str(),
+        ))
+    });
+    findings.dedup();
+    Ok(findings)
+}
+
+fn in_panic_scope(f: &SourceFile, cfg: &Config) -> bool {
+    if cfg.panic_exclude.iter().any(|p| p == &f.rel) {
+        return false;
+    }
+    cfg.panic_crates
+        .iter()
+        .any(|c| f.rel.starts_with(&format!("crates/{c}/src/")))
+}
+
+/// Load every `.rs` file under `src/` and `crates/*/src/`, skipping
+/// `target/`, `shims/` (offline stand-ins for crates-io, not our code),
+/// and this crate's own `fixtures/`.
+fn load_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let top_src = root.join("src");
+    if top_src.is_dir() {
+        collect_rs(&top_src, &mut paths)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let entries =
+            std::fs::read_dir(&crates_dir).map_err(|e| format!("{}: {e}", crates_dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| e.to_string())?;
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut paths)?;
+            }
+        }
+    }
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for p in paths {
+        let text = std::fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push(SourceFile::parse(&rel, &text));
+    }
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,75 @@
+#![deny(unsafe_op_in_unsafe_fn, unused_must_use)]
+//! CLI wrapper: `cargo run -p dvw-lint [-- --root <dir>]`.
+//!
+//! Exit status 0 means the tree upholds every declared invariant; 1 means
+//! findings were printed (one `file:line: [pass] message` per line); 2
+//! means the linter itself could not run (missing/ malformed `lint.toml`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("dvw-lint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "dvw-lint: workspace invariant checker\n\
+                     usage: dvw-lint [--root <workspace dir containing lint.toml>]\n\
+                     passes: panic-path, wire-protocol, lock-order, hygiene\n\
+                     escape hatch: // lint:allow(<pass>): <reason>"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dvw-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(find_root);
+    match dvw_lint::run(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("dvw-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("dvw-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("dvw-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Locate the workspace root: the nearest ancestor of the current
+/// directory containing `lint.toml`, falling back to the crate's own
+/// grandparent (so `cargo run -p dvw-lint` works from anywhere in-tree).
+fn find_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}

@@ -1,0 +1,118 @@
+//! Pass 4 — hygiene.
+//!
+//! * every configured crate root carries the workspace `#![deny(...)]`
+//!   table (at least the lints `lint.toml` lists);
+//! * no `dbg!` / `eprintln!` / `println!` in non-test code of declared
+//!   server hot-path files — stderr writes block the dispatcher and
+//!   debug prints in the frame loop are latency spikes;
+//! * every `unsafe` block is preceded (within five lines) by a
+//!   `// SAFETY:` comment stating the invariant it relies on.
+
+use crate::config::Config;
+use crate::source::SourceFile;
+use crate::{Finding, Pass};
+use std::collections::HashSet;
+
+pub fn check(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
+    let by_rel: std::collections::HashMap<&str, &SourceFile> =
+        files.iter().map(|f| (f.rel.as_str(), f)).collect();
+
+    for root in &cfg.crate_roots {
+        match by_rel.get(root.as_str()) {
+            Some(f) => check_deny_table(f, cfg, findings),
+            None => findings.push(Finding::new(
+                root,
+                1,
+                Pass::Hygiene,
+                "declared crate root missing from the tree".into(),
+            )),
+        }
+    }
+
+    for f in files {
+        let hot = cfg.hot_paths.iter().any(|p| p == &f.rel);
+        check_prints_and_unsafe(f, hot, findings);
+    }
+}
+
+/// Collect idents inside every inner `#![deny(...)]` attribute and demand
+/// the configured set is covered.
+fn check_deny_table(f: &SourceFile, cfg: &Config, findings: &mut Vec<Finding>) {
+    let code = &f.code;
+    let mut denied: HashSet<&str> = HashSet::new();
+    for (i, t) in code.iter().enumerate() {
+        if !(t.is_punct('#')
+            && code.get(i + 1).map(|n| n.is_punct('!')).unwrap_or(false)
+            && code.get(i + 2).map(|n| n.is_punct('[')).unwrap_or(false)
+            && code.get(i + 3).map(|n| n.is_ident("deny")).unwrap_or(false))
+        {
+            continue;
+        }
+        let mut j = i + 4;
+        let mut depth = 0i32;
+        while let Some(n) = code.get(j) {
+            if n.is_punct('(') || n.is_punct('[') {
+                depth += 1;
+            } else if n.is_punct(')') {
+                depth -= 1;
+            } else if n.is_punct(']') {
+                if depth <= 0 {
+                    break;
+                }
+                depth -= 1;
+            } else if n.kind == crate::lexer::TokKind::Ident {
+                denied.insert(&n.text);
+            }
+            j += 1;
+        }
+    }
+    for lint in &cfg.deny {
+        if !denied.contains(lint.as_str()) {
+            findings.push(Finding::new(
+                &f.rel,
+                1,
+                Pass::Hygiene,
+                format!("crate root is missing `#![deny({lint})]` from the workspace table"),
+            ));
+        }
+    }
+}
+
+fn check_prints_and_unsafe(f: &SourceFile, hot: bool, findings: &mut Vec<Finding>) {
+    let code = &f.code;
+    for (i, t) in code.iter().enumerate() {
+        if f.is_test_line(t.line) || t.kind != crate::lexer::TokKind::Ident {
+            continue;
+        }
+        let bang = code.get(i + 1).map(|n| n.is_punct('!')).unwrap_or(false);
+        match t.text.as_str() {
+            "dbg" | "eprintln" | "println" | "eprint" | "print" if hot && bang => {
+                crate::push_unless_allowed(
+                    f,
+                    findings,
+                    Pass::Hygiene,
+                    t.line,
+                    format!(
+                        "`{}!` on a server hot path; route through stats or delete it",
+                        t.text
+                    ),
+                );
+            }
+            "unsafe" => {
+                // Only blocks need SAFETY comments here; `unsafe fn` /
+                // `impl` / `trait` get their own docs.
+                let is_block = code.get(i + 1).map(|n| n.is_punct('{')).unwrap_or(false);
+                if is_block && !f.comment_near_above("SAFETY:", t.line, 5) {
+                    crate::push_unless_allowed(
+                        f,
+                        findings,
+                        Pass::Hygiene,
+                        t.line,
+                        "`unsafe` block without a `// SAFETY:` comment in the 5 lines above".into(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}

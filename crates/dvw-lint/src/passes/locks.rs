@@ -1,0 +1,351 @@
+//! Pass 3 — lock-order analysis.
+//!
+//! `lint.toml` declares global acquisition chains (e.g. dlib server
+//! `sessions` → `queue`, windtunnel `env` → `scene`). This pass extracts
+//! every acquisition site — zero-argument `.lock()` / `.read()` /
+//! `.write()` whose receiver's final field name is one of the declared
+//! lock names (the zero-argument requirement keeps `io::Read::read(buf)`
+//! out) — and simulates guard lifetimes per function:
+//!
+//! * `let g = x.lock();` holds until `drop(g)` or the end of `g`'s block;
+//! * a temporary `x.lock().f();` holds to the end of the statement;
+//! * acquiring `b` while holding `a` records the edge `a → b`.
+//!
+//! Edges are then inlined one level through same-crate calls (`f` holds
+//! `sessions` and calls `g`; `g` takes `queue` ⇒ edge `sessions → queue`)
+//! and every edge is checked against the declared chains; any cycle in
+//! the whole observed graph is rejected even if no single edge inverts a
+//! chain.
+
+use crate::config::Config;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::{Finding, Pass};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+const ACQUIRE_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+#[derive(Debug, Clone)]
+struct Edge {
+    from: String,
+    to: String,
+    file: String,
+    line: u32,
+    via: String,
+}
+
+#[derive(Debug, Default)]
+struct FnInfo {
+    /// Lock names this function acquires anywhere in its body.
+    acquires: BTreeSet<String>,
+    /// (held-locks-at-call-site, callee, line) for one-level inlining.
+    calls: Vec<(Vec<String>, String, u32, String)>,
+    edges: Vec<Edge>,
+}
+
+pub fn check(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
+    let universe: HashSet<&str> = cfg
+        .lock_order
+        .iter()
+        .flatten()
+        .map(|s| s.as_str())
+        .collect();
+    if universe.is_empty() {
+        return;
+    }
+
+    // crate name -> fn name -> info. Functions are keyed by bare name;
+    // same-crate name collisions just make the inlining conservative.
+    let mut crates: BTreeMap<String, HashMap<String, FnInfo>> = BTreeMap::new();
+    for f in files {
+        let krate = crate_of(&f.rel);
+        let fns = analyze_file(f, &universe);
+        let map = crates.entry(krate).or_default();
+        for (name, info) in fns {
+            let slot = map.entry(name).or_default();
+            slot.acquires.extend(info.acquires);
+            slot.calls.extend(info.calls);
+            slot.edges.extend(info.edges);
+        }
+    }
+
+    // One level of intra-crate call inlining.
+    let mut edges: Vec<Edge> = Vec::new();
+    for fns in crates.values() {
+        for info in fns.values() {
+            edges.extend(info.edges.iter().cloned());
+            for (held, callee, line, file) in &info.calls {
+                if let Some(target) = fns.get(callee) {
+                    for h in held {
+                        for a in &target.acquires {
+                            if a != h {
+                                edges.push(Edge {
+                                    from: h.clone(),
+                                    to: a.clone(),
+                                    file: file.clone(),
+                                    line: *line,
+                                    via: format!("via call to `{callee}`"),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Check each edge against the declared chains.
+    let position: HashMap<&str, (usize, usize)> = cfg
+        .lock_order
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, chain)| {
+            chain
+                .iter()
+                .enumerate()
+                .map(move |(li, name)| (name.as_str(), (ci, li)))
+        })
+        .collect();
+    let mut reported: HashSet<(String, u32, String, String)> = HashSet::new();
+    for e in &edges {
+        let (Some(&(ca, ia)), Some(&(cb, ib))) =
+            (position.get(e.from.as_str()), position.get(e.to.as_str()))
+        else {
+            continue;
+        };
+        if ca == cb && ia > ib {
+            let key = (e.file.clone(), e.line, e.from.clone(), e.to.clone());
+            if reported.insert(key) {
+                let chain = cfg.lock_order[ca].join(" -> ");
+                findings.push(Finding::new(
+                    &e.file,
+                    e.line,
+                    Pass::LockOrder,
+                    format!(
+                        "acquires `{}` while holding `{}` {} — declared order is {}",
+                        e.to, e.from, e.via, chain
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Cycle detection over the whole observed graph (catches inversions
+    // assembled across chains or across functions).
+    if let Some(cycle) = find_cycle(&edges) {
+        let e = &cycle[0];
+        let path: Vec<&str> = cycle
+            .iter()
+            .map(|e| e.from.as_str())
+            .chain(std::iter::once(cycle[0].from.as_str()))
+            .collect();
+        findings.push(Finding::new(
+            &e.file,
+            e.line,
+            Pass::LockOrder,
+            format!(
+                "lock acquisition cycle {} — some thread interleaving deadlocks",
+                path.join(" -> ")
+            ),
+        ));
+    }
+}
+
+fn crate_of(rel: &str) -> String {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("workspace-root")
+        .to_string()
+}
+
+/// Extract per-function lock behaviour from one file.
+fn analyze_file(file: &SourceFile, universe: &HashSet<&str>) -> HashMap<String, FnInfo> {
+    let mut out: HashMap<String, FnInfo> = HashMap::new();
+    let code = &file.code;
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code[i].is_ident("fn") || file.is_test_line(code[i].line) {
+            i += 1;
+            continue;
+        }
+        let Some(name) = code.get(i + 1) else {
+            break;
+        };
+        if name.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        // Find the body's opening brace (skipping a `;` means a trait
+        // method signature without a body).
+        let mut j = i + 2;
+        let mut open = None;
+        let mut angle = 0i32;
+        while let Some(t) = code.get(j) {
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle = (angle - 1).max(0);
+            } else if t.is_punct(';') && angle == 0 {
+                break;
+            } else if t.is_punct('{') {
+                open = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+        let (info, end) = analyze_body(file, open, universe);
+        let slot = out.entry(name.text.clone()).or_default();
+        slot.acquires.extend(info.acquires);
+        slot.calls.extend(info.calls);
+        slot.edges.extend(info.edges);
+        i = end;
+    }
+    out
+}
+
+/// A lock the simulated function currently holds.
+#[derive(Debug)]
+struct Held {
+    name: String,
+    /// `let` binding, if any; temporaries die at `;`.
+    guard: Option<String>,
+    /// Brace depth the guard was bound at; popped when the block closes.
+    depth: i32,
+}
+
+fn analyze_body(file: &SourceFile, open: usize, universe: &HashSet<&str>) -> (FnInfo, usize) {
+    let code = &file.code;
+    let mut info = FnInfo::default();
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0i32;
+    // Pending `let` binding name awaiting an acquisition in this statement.
+    let mut pending_let: Option<String> = None;
+    let mut j = open;
+    while j < code.len() {
+        let t = &code[j];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            held.retain(|h| h.depth <= depth);
+            if depth == 0 {
+                j += 1;
+                break;
+            }
+        } else if t.is_punct(';') {
+            held.retain(|h| h.guard.is_some());
+            pending_let = None;
+        } else if t.is_ident("let") {
+            if let Some(n) = code.get(j + 1) {
+                let n = if n.is_ident("mut") {
+                    code.get(j + 2)
+                } else {
+                    Some(n)
+                };
+                if let Some(n) = n {
+                    if n.kind == TokKind::Ident {
+                        pending_let = Some(n.text.clone());
+                    }
+                }
+            }
+        } else if t.is_ident("drop") && code.get(j + 1).map(|n| n.is_punct('(')).unwrap_or(false) {
+            if let Some(v) = code.get(j + 2) {
+                held.retain(|h| h.guard.as_deref() != Some(v.text.as_str()));
+            }
+        } else if t.kind == TokKind::Ident
+            && ACQUIRE_METHODS.contains(&t.text.as_str())
+            && j > 0
+            && code[j - 1].is_punct('.')
+            && code.get(j + 1).map(|n| n.is_punct('(')).unwrap_or(false)
+            && code.get(j + 2).map(|n| n.is_punct(')')).unwrap_or(false)
+        {
+            // Receiver's final field name is the ident before the dot.
+            if j >= 2 && code[j - 2].kind == TokKind::Ident {
+                let field = &code[j - 2].text;
+                if universe.contains(field.as_str()) && !file.is_test_line(t.line) {
+                    for h in &held {
+                        if h.name != *field {
+                            info.edges.push(Edge {
+                                from: h.name.clone(),
+                                to: field.clone(),
+                                file: file.rel.clone(),
+                                line: t.line,
+                                via: String::new(),
+                            });
+                        }
+                    }
+                    info.acquires.insert(field.clone());
+                    held.push(Held {
+                        name: field.clone(),
+                        guard: pending_let.take(),
+                        depth,
+                    });
+                }
+            }
+        } else if t.kind == TokKind::Ident
+            && code.get(j + 1).map(|n| n.is_punct('(')).unwrap_or(false)
+            && !held.is_empty()
+            && !file.is_test_line(t.line)
+        {
+            // A call made while locks are held; resolved during inlining.
+            let names: Vec<String> = held.iter().map(|h| h.name.clone()).collect();
+            info.calls
+                .push((names, t.text.clone(), t.line, file.rel.clone()));
+        }
+        j += 1;
+    }
+    (info, j)
+}
+
+/// DFS cycle search returning the edges of one cycle, if any.
+fn find_cycle(edges: &[Edge]) -> Option<Vec<&Edge>> {
+    let mut adj: BTreeMap<&str, Vec<&Edge>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.from.as_str()).or_default().push(e);
+    }
+    let mut visited: HashSet<&str> = HashSet::new();
+    for start in adj.keys().copied().collect::<Vec<_>>() {
+        if visited.contains(start) {
+            continue;
+        }
+        let mut stack: Vec<&Edge> = Vec::new();
+        let mut on_path: Vec<&str> = vec![start];
+        if dfs(start, &adj, &mut visited, &mut on_path, &mut stack) {
+            // Trim any acyclic lead-in so the report shows just the loop.
+            let back_to = stack.last().map(|e| e.to.clone()).unwrap_or_default();
+            if let Some(pos) = stack.iter().position(|e| e.from == back_to) {
+                stack.drain(..pos);
+            }
+            return Some(stack);
+        }
+    }
+    None
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a Edge>>,
+    visited: &mut HashSet<&'a str>,
+    on_path: &mut Vec<&'a str>,
+    stack: &mut Vec<&'a Edge>,
+) -> bool {
+    visited.insert(node);
+    for e in adj.get(node).map(|v| v.as_slice()).unwrap_or(&[]) {
+        if on_path.contains(&e.to.as_str()) {
+            stack.push(e);
+            return true;
+        }
+        on_path.push(e.to.as_str());
+        stack.push(e);
+        if dfs(e.to.as_str(), adj, visited, on_path, stack) {
+            return true;
+        }
+        stack.pop();
+        on_path.pop();
+    }
+    false
+}

@@ -1,0 +1,231 @@
+//! Pass 1 — panic paths.
+//!
+//! A panic on a server path is a whole-system fault under the paper's
+//! serial multi-user execution model: the dispatcher dies and every
+//! connected client drops frames. This pass flags, in non-test code of
+//! the configured crates:
+//!
+//! * `.unwrap()` / `.expect(...)`
+//! * `panic!` / `todo!` / `unimplemented!`
+//! * range/index expressions on `Bytes`/`BytesMut`-typed bindings (slice
+//!   indexing panics on short input — exactly what a malformed wire frame
+//!   produces; use `get(..)` or `WireReader`)
+//! * `as` casts to integer types narrower than 64 bits (silent
+//!   truncation; use `try_from` or an explicit `min`/mask with an allow)
+//!
+//! `// lint:allow(panic-path): <reason>` on the offending line or the
+//! line above suppresses a finding; the reason is mandatory.
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::{Finding, Pass};
+use std::collections::HashSet;
+
+const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let code = &file.code;
+    for span in fn_spans(code) {
+        let bytes_names = collect_bytes_bindings(code, span.clone());
+        check_bytes_indexing(file, span, &bytes_names, findings);
+    }
+    for (i, t) in code.iter().enumerate() {
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        let next = code.get(i + 1);
+        let prev = if i > 0 { code.get(i - 1) } else { None };
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let followed_by = |c: char| next.map(|n| n.is_punct(c)).unwrap_or(false);
+        let after_dot = prev.map(|p| p.is_punct('.')).unwrap_or(false);
+        match t.text.as_str() {
+            "unwrap" if after_dot && followed_by('(') => emit(
+                file,
+                findings,
+                t.line,
+                "`.unwrap()` on a non-test path; return a typed error instead".into(),
+            ),
+            "expect" if after_dot && followed_by('(') => emit(
+                file,
+                findings,
+                t.line,
+                "`.expect(..)` on a non-test path; return a typed error instead".into(),
+            ),
+            "panic" | "todo" | "unimplemented" if followed_by('!') => emit(
+                file,
+                findings,
+                t.line,
+                format!("`{}!` reachable from non-test code", t.text),
+            ),
+            "as" => {
+                if let Some(n) = next {
+                    if n.kind == TokKind::Ident && NARROW_INTS.contains(&n.text.as_str()) {
+                        emit(
+                            file,
+                            findings,
+                            t.line,
+                            format!(
+                                "`as {}` may truncate; use `{}::try_from(..)` or annotate why the \
+                                 value fits",
+                                n.text, n.text
+                            ),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Token ranges of function bodies (signature start .. body close), used
+/// to scope `Bytes` bindings to the function that declares them.
+fn fn_spans(code: &[crate::lexer::Tok]) -> Vec<std::ops::Range<usize>> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + 1;
+        let mut open = None;
+        let mut angle = 0i32;
+        while let Some(t) = code.get(j) {
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle = (angle - 1).max(0);
+            } else if t.is_punct(';') && angle == 0 {
+                break;
+            } else if t.is_punct('{') {
+                open = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+        let mut depth = 0i32;
+        let mut k = open;
+        while let Some(t) = code.get(k) {
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        // Nested fns get their own (overlapping) span; bindings from the
+        // enclosing fn stay visible there, which is the safe direction.
+        spans.push(start..k.min(code.len() - 1) + 1);
+        i = open + 1;
+    }
+    spans
+}
+
+fn check_bytes_indexing(
+    file: &SourceFile,
+    span: std::ops::Range<usize>,
+    bytes_names: &HashSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    if bytes_names.is_empty() {
+        return;
+    }
+    let code = &file.code;
+    for i in span {
+        let t = &code[i];
+        if t.kind != TokKind::Ident
+            || file.is_test_line(t.line)
+            || !bytes_names.contains(t.text.as_str())
+        {
+            continue;
+        }
+        let followed_by_open = code.get(i + 1).map(|n| n.is_punct('[')).unwrap_or(false);
+        // `buf[..]` (the full range) cannot panic; anything with bounds
+        // can.
+        if followed_by_open && !is_full_range_index(code, i + 1) {
+            emit(
+                file,
+                findings,
+                t.line,
+                format!(
+                    "index/range on `Bytes` binding `{}` panics on short input; use `get(..)` or \
+                     `WireReader`",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn emit(file: &SourceFile, findings: &mut Vec<Finding>, line: u32, msg: String) {
+    crate::push_unless_allowed(file, findings, Pass::PanicPath, line, msg);
+}
+
+/// Names bound with a `Bytes`/`BytesMut` type ascription (`x: Bytes`,
+/// `x: &BytesMut`) or constructed from one (`let x = Bytes::...`) inside
+/// one function's token span.
+fn collect_bytes_bindings(
+    code: &[crate::lexer::Tok],
+    span: std::ops::Range<usize>,
+) -> HashSet<String> {
+    let mut names = HashSet::new();
+    for i in span {
+        let t = &code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `name : [&] [mut] Bytes|BytesMut`
+        if code.get(i + 1).map(|n| n.is_punct(':')).unwrap_or(false) {
+            let mut j = i + 2;
+            while code
+                .get(j)
+                .map(|n| n.is_punct('&') || n.is_ident("mut") || n.kind == TokKind::Lifetime)
+                .unwrap_or(false)
+            {
+                j += 1;
+            }
+            if let Some(ty) = code.get(j) {
+                if ty.is_ident("Bytes") || ty.is_ident("BytesMut") {
+                    names.insert(t.text.clone());
+                }
+            }
+        }
+        // `let [mut] name = Bytes::... | BytesMut::...`
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if code.get(j).map(|n| n.is_ident("mut")).unwrap_or(false) {
+                j += 1;
+            }
+            let (name_tok, eq, ty) = (code.get(j), code.get(j + 1), code.get(j + 2));
+            if let (Some(name), Some(eq), Some(ty)) = (name_tok, eq, ty) {
+                if name.kind == TokKind::Ident
+                    && eq.is_punct('=')
+                    && (ty.is_ident("Bytes") || ty.is_ident("BytesMut"))
+                {
+                    names.insert(name.text.clone());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// True when the index expression starting at the `[` token `open` is
+/// exactly `[..]`.
+fn is_full_range_index(code: &[crate::lexer::Tok], open: usize) -> bool {
+    matches!(
+        (code.get(open + 1), code.get(open + 2), code.get(open + 3)),
+        (Some(a), Some(b), Some(c)) if a.is_punct('.') && b.is_punct('.') && c.is_punct(']')
+    )
+}

@@ -1,0 +1,334 @@
+//! Pass 2 — wire-protocol invariants.
+//!
+//! The workstation and the remote compute server only stay compatible by
+//! convention, and the conventions live in `proto.rs` constants. This
+//! pass asserts, over the configured proto files:
+//!
+//! * every `PROC_*` id is unique across the workspace;
+//! * no application id collides with the reserved built-in range
+//!   (`0xFFFF_0000..`, home of `PROC_PING`) unless the file is explicitly
+//!   allowed to define built-ins;
+//! * `PROTOCOL_VERSION` equals the baseline recorded in `lint.toml`
+//!   unless a `wire:non-additive` marker comment declares a breaking
+//!   change, in which case it must be *greater* (bump then update the
+//!   baseline and drop the marker when the release ships);
+//! * every `impl WireEncode for T` in the workspace has a matching
+//!   `impl WireDecode for T`, and every inherent `fn encode*` in a proto
+//!   file's `impl T` block has a sibling `fn decode*` — one-way types rot
+//!   into undecodable frames.
+
+use crate::config::Config;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::{Finding, Pass};
+use std::collections::HashMap;
+
+pub fn check(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
+    check_proc_ids(files, cfg, findings);
+    check_protocol_version(files, cfg, findings);
+    check_trait_pairs(files, findings);
+    check_inherent_pairs(files, cfg, findings);
+}
+
+struct ProcConst {
+    file: String,
+    line: u32,
+    name: String,
+    value: u64,
+}
+
+/// `const PROC_X: u32 = <int>;` declarations in the proto files.
+fn collect_proc_consts(files: &[SourceFile], cfg: &Config) -> Vec<ProcConst> {
+    let mut out = Vec::new();
+    for f in files {
+        if !cfg.proto_files.iter().any(|p| p == &f.rel) {
+            continue;
+        }
+        let code = &f.code;
+        for (i, t) in code.iter().enumerate() {
+            if !t.is_ident("const") {
+                continue;
+            }
+            let (name, colon, ty) = (code.get(i + 1), code.get(i + 2), code.get(i + 3));
+            let (Some(name), Some(colon), Some(ty)) = (name, colon, ty) else {
+                continue;
+            };
+            if !(name.text.starts_with("PROC_") && colon.is_punct(':') && ty.is_ident("u32")) {
+                continue;
+            }
+            // `= <number> ;`
+            let (eq, val) = (code.get(i + 4), code.get(i + 5));
+            let (Some(eq), Some(val)) = (eq, val) else {
+                continue;
+            };
+            if !eq.is_punct('=') || val.kind != TokKind::Number {
+                continue;
+            }
+            if let Some(v) = parse_int(&val.text) {
+                out.push(ProcConst {
+                    file: f.rel.clone(),
+                    line: name.line,
+                    name: name.text.clone(),
+                    value: v,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn check_proc_ids(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
+    let consts = collect_proc_consts(files, cfg);
+    let mut by_value: HashMap<u64, &ProcConst> = HashMap::new();
+    for c in &consts {
+        if let Some(first) = by_value.get(&c.value) {
+            findings.push(Finding::new(
+                &c.file,
+                c.line,
+                Pass::WireProtocol,
+                format!(
+                    "proc id {:#010X} of `{}` collides with `{}` ({}:{})",
+                    c.value, c.name, first.name, first.file, first.line
+                ),
+            ));
+        } else {
+            by_value.insert(c.value, c);
+        }
+        let reserved_ok = cfg.reserved_allowed.iter().any(|p| p == &c.file);
+        if c.value >= cfg.reserved_min && !reserved_ok {
+            findings.push(Finding::new(
+                &c.file,
+                c.line,
+                Pass::WireProtocol,
+                format!(
+                    "proc id {:#010X} of `{}` lies in the reserved built-in range (>= {:#010X}, \
+                     home of PROC_PING)",
+                    c.value, c.name, cfg.reserved_min
+                ),
+            ));
+        }
+    }
+}
+
+fn check_protocol_version(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
+    let mut declared: Option<(String, u32, u64)> = None;
+    let mut marker: Option<(String, u32)> = None;
+    for f in files {
+        if !cfg.proto_files.iter().any(|p| p == &f.rel) {
+            continue;
+        }
+        let code = &f.code;
+        for (i, t) in code.iter().enumerate() {
+            if t.is_ident("PROTOCOL_VERSION")
+                && i > 0
+                && code[i - 1].is_ident("const")
+                && declared.is_none()
+            {
+                if let Some(val) = code.get(i + 4) {
+                    if let Some(v) = parse_int(&val.text) {
+                        declared = Some((f.rel.clone(), t.line, v));
+                    }
+                }
+            }
+        }
+        if marker.is_none() {
+            if let Some(c) = f
+                .comments
+                .iter()
+                .find(|c| c.text.contains(&cfg.non_additive_marker))
+            {
+                marker = Some((f.rel.clone(), c.line));
+            }
+        }
+    }
+    let Some((file, line, version)) = declared else {
+        if !cfg.proto_files.is_empty() {
+            findings.push(Finding::new(
+                &cfg.proto_files[0],
+                1,
+                Pass::WireProtocol,
+                "no `const PROTOCOL_VERSION` found in proto files".into(),
+            ));
+        }
+        return;
+    };
+    match marker {
+        Some((mfile, mline)) if version <= cfg.protocol_version => {
+            findings.push(Finding::new(
+                &mfile,
+                mline,
+                Pass::WireProtocol,
+                format!(
+                    "`{}` marker present but PROTOCOL_VERSION is still {} (baseline {}); bump it",
+                    cfg.non_additive_marker, version, cfg.protocol_version
+                ),
+            ));
+        }
+        None if version != cfg.protocol_version => {
+            findings.push(Finding::new(
+                &file,
+                line,
+                Pass::WireProtocol,
+                format!(
+                    "PROTOCOL_VERSION is {} but lint.toml baseline is {}; either add a `{}` \
+                     marker for a breaking change or update the baseline",
+                    version, cfg.protocol_version, cfg.non_additive_marker
+                ),
+            ));
+        }
+        _ => {}
+    }
+}
+
+/// `impl [<..>] WireEncode for T` must pair with `impl WireDecode for T`.
+fn check_trait_pairs(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let mut encodes: HashMap<String, (String, u32)> = HashMap::new();
+    let mut decodes: HashMap<String, (String, u32)> = HashMap::new();
+    for f in files {
+        let code = &f.code;
+        for (i, t) in code.iter().enumerate() {
+            if !t.is_ident("impl") {
+                continue;
+            }
+            // Skip optional generics `<..>`.
+            let mut j = i + 1;
+            if code.get(j).map(|n| n.is_punct('<')).unwrap_or(false) {
+                let mut depth = 0i32;
+                while j < code.len() {
+                    if code[j].is_punct('<') {
+                        depth += 1;
+                    } else if code[j].is_punct('>') {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            let Some(trait_tok) = code.get(j) else {
+                continue;
+            };
+            let which = match trait_tok.text.as_str() {
+                "WireEncode" => true,
+                "WireDecode" => false,
+                _ => continue,
+            };
+            // Types that only exist inside `#[cfg(test)]` don't ship.
+            if f.is_test_line(trait_tok.line) {
+                continue;
+            }
+            // Expect `for TYPE... {`; capture the type's token text.
+            let mut k = j + 1;
+            if !code.get(k).map(|n| n.is_ident("for")).unwrap_or(false) {
+                continue; // a trait definition or unrelated impl
+            }
+            k += 1;
+            let mut ty = String::new();
+            while let Some(n) = code.get(k) {
+                if n.is_punct('{') || n.is_ident("where") {
+                    break;
+                }
+                ty.push_str(&n.text);
+                k += 1;
+            }
+            let entry = (f.rel.clone(), trait_tok.line);
+            if which {
+                encodes.entry(ty).or_insert(entry);
+            } else {
+                decodes.entry(ty).or_insert(entry);
+            }
+        }
+    }
+    for (ty, (file, line)) in &encodes {
+        if !decodes.contains_key(ty) {
+            findings.push(Finding::new(
+                file,
+                *line,
+                Pass::WireProtocol,
+                format!("`impl WireEncode for {ty}` has no matching `impl WireDecode`"),
+            ));
+        }
+    }
+}
+
+/// Inherent pairing inside proto files: an `impl T {` block defining
+/// `fn encode` / `fn encode_into` requires some impl of `T` in the same
+/// file to define `fn decode` / `fn decode_from`.
+fn check_inherent_pairs(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
+    for f in files {
+        if !cfg.proto_files.iter().any(|p| p == &f.rel) {
+            continue;
+        }
+        let code = &f.code;
+        // type name -> (has_encode_line, has_decode)
+        let mut types: HashMap<String, (Option<u32>, bool)> = HashMap::new();
+        let mut i = 0usize;
+        while i < code.len() {
+            if !code[i].is_ident("impl") {
+                i += 1;
+                continue;
+            }
+            // Inherent impl: `impl TYPE {` (no `for`). TYPE is one ident.
+            let (Some(ty), Some(open)) = (code.get(i + 1), code.get(i + 2)) else {
+                i += 1;
+                continue;
+            };
+            if ty.kind != TokKind::Ident || !open.is_punct('{') {
+                i += 1;
+                continue;
+            }
+            // Walk the block, tracking fn names at block depth 1.
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            let entry = types.entry(ty.text.clone()).or_insert((None, false));
+            while j < code.len() {
+                let t = &code[j];
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.is_ident("fn") && depth == 1 {
+                    if let Some(name) = code.get(j + 1) {
+                        match name.text.as_str() {
+                            "encode" | "encode_into" if entry.0.is_none() => {
+                                entry.0 = Some(name.line);
+                            }
+                            "decode" | "decode_from" => entry.1 = true,
+                            _ => {}
+                        }
+                    }
+                }
+                j += 1;
+            }
+            i = j + 1;
+        }
+        for (ty, (encode_line, has_decode)) in types {
+            if let (Some(line), false) = (encode_line, has_decode) {
+                crate::push_unless_allowed(
+                    f,
+                    findings,
+                    Pass::WireProtocol,
+                    line,
+                    format!(
+                        "`{ty}` defines `encode` but no `decode`/`decode_from` in {}",
+                        f.rel
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn parse_int(text: &str) -> Option<u64> {
+    let t = text.replace('_', "");
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        t.parse().ok()
+    }
+}

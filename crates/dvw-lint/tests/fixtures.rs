@@ -1,0 +1,169 @@
+//! Fixture-driven self-tests: each known-bad mini-tree must trip exactly
+//! its pass, good input must pass, the escape hatch must suppress only
+//! with a written reason — and the real workspace must be clean.
+
+use dvw_lint::{Finding, Pass};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> Vec<Finding> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    dvw_lint::run(&root).expect("fixture lint run")
+}
+
+fn count(findings: &[Finding], pass: Pass) -> usize {
+    findings.iter().filter(|f| f.pass == pass).count()
+}
+
+#[test]
+fn panic_bad_trips_each_construct_once() {
+    let f = fixture("panic_bad");
+    assert_eq!(count(&f, Pass::PanicPath), 8, "{f:#?}");
+    assert_eq!(f.len(), 8, "only the panic-path pass may fire: {f:#?}");
+    for needle in [
+        "`.unwrap()`",
+        "`.expect(..)`",
+        "`panic!`",
+        "`todo!`",
+        "`unimplemented!`",
+        "`as u32`",
+        "index/range on `Bytes`",
+    ] {
+        assert!(
+            f.iter().any(|x| x.msg.contains(needle)),
+            "missing {needle}: {f:#?}"
+        );
+    }
+    // Both the index and the bounded range trip; the full range does not.
+    assert_eq!(
+        f.iter().filter(|x| x.msg.contains("index/range")).count(),
+        2,
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn panic_allow_suppresses_with_reason_only() {
+    let f = fixture("panic_allow");
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert!(
+        f.iter().any(|x| x.msg.contains("requires a reason")),
+        "{f:#?}"
+    );
+    // The wrong-pass allow does not suppress the unwrap underneath it.
+    assert!(f.iter().any(|x| x.msg.contains("`.unwrap()`")), "{f:#?}");
+}
+
+#[test]
+fn wire_bad_finds_all_five_violations() {
+    let f = fixture("wire_bad");
+    assert_eq!(count(&f, Pass::WireProtocol), 5, "{f:#?}");
+    assert_eq!(f.len(), 5, "{f:#?}");
+    assert!(
+        f.iter()
+            .any(|x| x.msg.contains("collides with `PROC_HELLO`")),
+        "deliberate proc-id collision must be caught: {f:#?}"
+    );
+    assert!(
+        f.iter().any(|x| x.msg.contains("reserved built-in range")),
+        "{f:#?}"
+    );
+    assert!(
+        f.iter().any(|x| x.msg.contains("PROTOCOL_VERSION is 2")),
+        "{f:#?}"
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.msg.contains("`OneWay` defines `encode`")),
+        "{f:#?}"
+    );
+    assert!(
+        f.iter().any(|x| x.msg.contains("WireEncode for Lopsided")),
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn wire_good_declared_break_passes() {
+    let f = fixture("wire_good");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn wire_marker_without_bump_fails() {
+    let f = fixture("wire_marker");
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert!(f[0].msg.contains("bump"), "{f:#?}");
+}
+
+#[test]
+fn locks_bad_finds_direct_inlined_and_cycle() {
+    let f = fixture("locks_bad");
+    assert_eq!(count(&f, Pass::LockOrder), 3, "{f:#?}");
+    assert_eq!(f.len(), 3, "{f:#?}");
+    assert_eq!(
+        f.iter()
+            .filter(|x| x.msg.contains("while holding `queue`"))
+            .count(),
+        2,
+        "direct + via-call inversions: {f:#?}"
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.msg.contains("via call to `take_sessions`")),
+        "{f:#?}"
+    );
+    assert!(f.iter().any(|x| x.msg.contains("cycle")), "{f:#?}");
+}
+
+#[test]
+fn locks_good_release_patterns_pass() {
+    let f = fixture("locks_good");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn hygiene_bad_finds_all_five() {
+    let f = fixture("hygiene_bad");
+    assert_eq!(count(&f, Pass::Hygiene), 5, "{f:#?}");
+    assert_eq!(f.len(), 5, "{f:#?}");
+    assert!(
+        f.iter()
+            .any(|x| x.msg.contains("missing `#![deny(unused_must_use)]`")),
+        "{f:#?}"
+    );
+    assert!(
+        f.iter().any(|x| x.msg.contains("crate root missing")),
+        "{f:#?}"
+    );
+    assert!(f.iter().any(|x| x.msg.contains("`dbg!`")), "{f:#?}");
+    assert!(f.iter().any(|x| x.msg.contains("`eprintln!`")), "{f:#?}");
+    assert_eq!(
+        f.iter().filter(|x| x.msg.contains("SAFETY")).count(),
+        1,
+        "only the undocumented block: {f:#?}"
+    );
+}
+
+#[test]
+fn clean_tree_fixture_passes_every_pass() {
+    let f = fixture("clean_tree");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+/// The real workspace must uphold its own declared invariants — the same
+/// gate `scripts/check.sh` runs, enforced from `cargo test` too.
+#[test]
+fn real_workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let f = dvw_lint::run(&root).expect("workspace lint run");
+    assert!(
+        f.is_empty(),
+        "workspace violates its own invariants:\n{}",
+        f.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,3 +1,4 @@
+#![deny(unsafe_op_in_unsafe_fn, unused_must_use)]
 //! Timestep storage for datasets larger than memory.
 //!
 //! §5.1 of the paper: "The problem of large data sets can be handled in a

@@ -58,6 +58,7 @@ impl Prefetcher {
                     }
                 }
             })
+            // lint:allow(panic-path): thread spawn fails only on resource exhaustion at startup; fail fast before any frame is served
             .expect("spawn prefetch thread");
         Prefetcher {
             req_tx,
@@ -155,6 +156,7 @@ impl Drop for Prefetcher {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests sleep to let real threads make progress
 mod tests {
     use super::*;
     use crate::{DiskModel, MemoryStore, SimulatedDisk};

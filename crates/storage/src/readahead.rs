@@ -119,6 +119,7 @@ impl<S: TimestepStore + 'static> TimestepStore for ReadAhead<S> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests sleep to let real threads make progress
 mod tests {
     use super::*;
     use crate::{DiskModel, MemoryStore, SimulatedDisk};

@@ -88,6 +88,8 @@ impl<S: TimestepStore> TimestepStore for SimulatedDisk<S> {
         // Sleep off whatever the real backend didn't already cost.
         let elapsed = start.elapsed();
         if budget > elapsed {
+            #[allow(clippy::disallowed_methods)]
+            // simulated disk latency is the entire point of simdisk
             std::thread::sleep(budget - elapsed);
         }
         self.simulated_busy_nanos

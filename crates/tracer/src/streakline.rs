@@ -118,6 +118,7 @@ impl Streakline {
                     self.particles.push(Particle {
                         pos: p,
                         age: 0,
+                        // lint:allow(panic-path): seed counts are set via a u32 wire field
                         seed_id: sid as u32,
                     });
                 }

@@ -20,6 +20,10 @@ pub struct Vec3 {
     pub z: f32,
 }
 
+// The unsafe reinterpretation in `as_f32_slice` is only sound for exactly
+// this layout; refuse to compile if the struct ever grows or gets padded.
+const _: () = assert!(std::mem::size_of::<Vec3>() == 12 && std::mem::align_of::<Vec3>() == 4);
+
 impl Vec3 {
     pub const ZERO: Vec3 = Vec3 {
         x: 0.0,
@@ -420,6 +424,26 @@ mod tests {
         let pts = vec![Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0)];
         let raw = Vec3::as_f32_slice(&pts);
         assert_eq!(raw, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert!(Vec3::as_f32_slice(&[]).is_empty());
+    }
+
+    #[test]
+    fn raw_slice_roundtrips_through_wire_layout() {
+        // The zero-copy view and the per-point 12-byte writer must agree on
+        // layout: bytes of as_f32_slice == concatenated write_le output.
+        let pts = vec![
+            Vec3::new(0.5, -1.25, 3.75),
+            Vec3::new(f32::MIN_POSITIVE, -0.0, 1.0e20),
+        ];
+        let mut wire = Vec::new();
+        for p in &pts {
+            p.write_le(&mut wire);
+        }
+        let raw = Vec3::as_f32_slice(&pts);
+        let view: Vec<u8> = raw.iter().flat_map(|f| f.to_le_bytes()).collect();
+        assert_eq!(wire, view);
+        let back: Vec<Vec3> = wire.chunks_exact(12).filter_map(Vec3::read_le).collect();
+        assert_eq!(back, pts);
     }
 
     #[test]

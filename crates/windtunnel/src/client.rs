@@ -333,6 +333,7 @@ impl ResilientClient {
         self.hello
             .lock()
             .clone()
+            // lint:allow(panic-path): the HELLO hook populates this before connect() returns, on every dial
             .expect("handshake ran during connect")
     }
 
@@ -476,6 +477,7 @@ impl Drop for WindtunnelClient {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests sleep to let real threads make progress
 mod tests {
     use super::*;
     use crate::compute::ComputeConfig;

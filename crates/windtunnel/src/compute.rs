@@ -409,6 +409,7 @@ pub fn compute_frame_cached(
         .collect();
 
     let frame = GeometryFrame {
+        // lint:allow(panic-path): timestep indexes the store; HELLO advertises the count as u32
         timestep: timestep as u32,
         time: env.time.time(),
         revision: env.revision(),

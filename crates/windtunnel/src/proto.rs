@@ -115,7 +115,7 @@ fn get_gesture(r: &mut WireReader) -> Result<Gesture> {
 const MAX_POINTS_PER_PATH: usize = 16_000_000;
 
 fn put_points(b: &mut BytesMut, pts: &[Vec3]) {
-    b.put_u32_le_(pts.len() as u32);
+    b.put_len_(pts.len());
     // Bulk slab encode: one reserve + block copies instead of three
     // bounds-checked appends per point. Byte-identical to the
     // per-element path (see `reference` tests).
@@ -140,7 +140,7 @@ mod reference_points {
     use super::*;
 
     pub fn put_points(b: &mut BytesMut, pts: &[Vec3]) {
-        b.put_u32_le_(pts.len() as u32);
+        b.put_len_(pts.len());
         for p in pts {
             put_vec3(b, *p);
         }
@@ -267,7 +267,7 @@ impl Command {
                     }
                     TimeCommand::Step(d) => {
                         b.put_u32_le_(5);
-                        b.put_u32_le_(*d as u32);
+                        b.put_u32_le_(d.cast_unsigned());
                     }
                 }
             }
@@ -309,7 +309,7 @@ impl Command {
                     2 => TimeCommand::Reverse,
                     3 => TimeCommand::SetRate(r.f32_le()?),
                     4 => TimeCommand::Jump(r.u32_le()?),
-                    5 => TimeCommand::Step(r.u32_le()? as i32),
+                    5 => TimeCommand::Step(r.u32_le()?.cast_signed()),
                     n => return Err(DlibError::Protocol(format!("bad time cmd {n}"))),
                 })
             }
@@ -477,7 +477,7 @@ fn get_rake(r: &mut WireReader) -> Result<RakeMsg> {
 }
 
 fn put_rakes_section(b: &mut BytesMut, rakes: &[RakeMsg]) {
-    b.put_u32_le_(rakes.len() as u32);
+    b.put_len_(rakes.len());
     for rk in rakes {
         put_rake(b, rk);
     }
@@ -510,7 +510,7 @@ fn get_path(r: &mut WireReader) -> Result<PathMsg> {
 }
 
 fn put_users_section(b: &mut BytesMut, users: &[UserMsg]) {
-    b.put_u32_le_(users.len() as u32);
+    b.put_len_(users.len());
     for u in users {
         b.put_u64_le_(u.id);
         put_pose(b, &u.head);
@@ -558,7 +558,7 @@ impl GeometryFrame {
         b.put_f32_le_(self.time);
         b.put_u64_le_(self.revision);
         put_rakes_section(b, &self.rakes);
-        b.put_u32_le_(self.paths.len() as u32);
+        b.put_len_(self.paths.len());
         for p in &self.paths {
             put_path(b, p);
         }
@@ -604,7 +604,7 @@ pub struct FrameRequest {
 impl FrameRequest {
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::new();
-        b.put_u32_le_(self.advance as u32);
+        b.put_u32_le_(u32::from(self.advance));
         b.freeze()
     }
 
@@ -631,7 +631,7 @@ pub struct DeltaRequest {
 impl DeltaRequest {
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::new();
-        b.put_u32_le_(self.advance as u32);
+        b.put_u32_le_(u32::from(self.advance));
         b.put_u64_le_(self.baseline);
         b.freeze()
     }
@@ -676,7 +676,7 @@ impl RakeChunkMsg {
     pub fn encode_parts(b: &mut BytesMut, rake_id: RakeId, content_rev: u64, paths: &[PathMsg]) {
         b.put_u32_le_(rake_id);
         b.put_u64_le_(content_rev);
-        b.put_u32_le_(paths.len() as u32);
+        b.put_len_(paths.len());
         for p in paths {
             put_path(b, p);
         }
@@ -757,11 +757,11 @@ impl DeltaFrame {
         b.put_u64_le_(self.revision);
         b.put_u64_le_(self.baseline);
         put_rakes_section(b, &self.rakes);
-        b.put_u32_le_(self.chunks.len() as u32);
+        b.put_len_(self.chunks.len());
         for c in &self.chunks {
             c.encode_into(b);
         }
-        b.put_u32_le_(self.tombstones.len() as u32);
+        b.put_len_(self.tombstones.len());
         for id in &self.tombstones {
             b.put_u32_le_(*id);
         }
@@ -844,11 +844,11 @@ pub fn splice_delta(
     b.put_u64_le_(revision);
     b.put_u64_le_(baseline);
     put_rakes_section(b, rakes);
-    b.put_u32_le_(chunk_blobs.len() as u32);
+    b.put_len_(chunk_blobs.len());
     for blob in chunk_blobs {
         b.put_slice(blob);
     }
-    b.put_u32_le_(tombstones.len() as u32);
+    b.put_len_(tombstones.len());
     for id in tombstones {
         b.put_u32_le_(*id);
     }
@@ -976,6 +976,34 @@ impl FrameStats {
 mod tests {
     use super::*;
     use bytes::BufMut;
+
+    /// Runtime twin of dvw-lint's wire-protocol pass: every application
+    /// proc id is unique and stays out of the `0xFFFF_0000..` range that
+    /// dlib reserves for built-ins such as `PROC_PING`.
+    #[test]
+    fn proc_ids_unique_and_unreserved() {
+        let procs = [
+            ("PROC_HELLO", PROC_HELLO),
+            ("PROC_COMMAND", PROC_COMMAND),
+            ("PROC_FRAME", PROC_FRAME),
+            ("PROC_STATS", PROC_STATS),
+            ("PROC_FRAME_DELTA", PROC_FRAME_DELTA),
+        ];
+        for (i, (name_a, id_a)) in procs.iter().enumerate() {
+            assert!(
+                *id_a < 0xFFFF_0000,
+                "{name_a} ({id_a:#010x}) lands in the reserved built-in range"
+            );
+            assert_ne!(
+                *id_a,
+                dlib::server::PROC_PING,
+                "{name_a} collides with the built-in ping proc"
+            );
+            for (name_b, id_b) in &procs[i + 1..] {
+                assert_ne!(id_a, id_b, "{name_a} and {name_b} share id {id_a:#010x}");
+            }
+        }
+    }
 
     #[test]
     fn command_roundtrips() {

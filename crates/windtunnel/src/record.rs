@@ -15,6 +15,7 @@
 //! tick (a frame request with `advance = true`; payload empty).
 
 use crate::proto::Command;
+use dlib::wire::len_u32;
 use dlib::{DlibError, Result};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -93,16 +94,16 @@ impl SessionRecorder {
         let mut w = BufWriter::new(std::fs::File::create(path).map_err(DlibError::Io)?);
         w.write_all(MAGIC).map_err(DlibError::Io)?;
         w.write_all(&VERSION.to_le_bytes()).map_err(DlibError::Io)?;
-        w.write_all(&(self.events.len() as u32).to_le_bytes())
+        w.write_all(&len_u32(self.events.len()).to_le_bytes())
             .map_err(DlibError::Io)?;
         for ev in &self.events {
-            let micros = ev.at.as_micros().min(u32::MAX as u128) as u32;
+            let micros = u32::try_from(ev.at.as_micros()).unwrap_or(u32::MAX);
             w.write_all(&micros.to_le_bytes()).map_err(DlibError::Io)?;
             match &ev.event {
                 Event::Command(cmd) => {
                     let payload = cmd.encode();
                     w.write_all(&[0u8]).map_err(DlibError::Io)?;
-                    w.write_all(&(payload.len() as u32).to_le_bytes())
+                    w.write_all(&len_u32(payload.len()).to_le_bytes())
                         .map_err(DlibError::Io)?;
                     w.write_all(&payload).map_err(DlibError::Io)?;
                 }
@@ -173,6 +174,8 @@ pub fn replay(
             let target = ev.at.div_f32(speed);
             let elapsed = start.elapsed();
             if target > elapsed {
+                #[allow(clippy::disallowed_methods)]
+                // playback pacing: sleeping to honor the recorded frame cadence is the feature
                 std::thread::sleep(target - elapsed);
             }
         }

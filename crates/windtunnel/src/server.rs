@@ -19,6 +19,7 @@ use crate::proto::{
 };
 use bytes::{Bytes, BytesMut};
 use dlib::server::{DlibServer, ServerConfig, ServerHandle, Session, SessionEvent};
+use dlib::wire::len_u32;
 use flowfield::CurvilinearGrid;
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -287,7 +288,10 @@ impl ServerState {
     /// encode rakes whose paths changed (once, for all clients), evict
     /// deleted ones.
     fn refresh_chunks(&mut self) {
-        let frame = self.frame.as_ref().expect("frame refreshed before chunks");
+        // No frame computed yet means nothing to refresh.
+        let Some(frame) = self.frame.as_ref() else {
+            return;
+        };
         let revision = frame.revision;
         let live: Vec<RakeId> = frame.rakes.iter().map(|r| r.id).collect();
         self.chunk_cache.retain(|id, _| live.contains(id));
@@ -369,10 +373,10 @@ impl ServerState {
         let fresh = self.refresh_frame()?;
         let encode_started = Instant::now();
         self.scratch.clear();
-        self.frame
-            .as_ref()
-            .expect("frame refreshed")
-            .encode_into(&mut self.scratch);
+        let Some(frame) = self.frame.as_ref() else {
+            return Err("no frame computed yet".into());
+        };
+        frame.encode_into(&mut self.scratch);
         let bytes = self.scratch.split().freeze();
         self.stats.encode_us = encode_started.elapsed().as_micros() as u64;
         if fresh {
@@ -409,7 +413,9 @@ impl ServerState {
             || req.baseline < self.delta_floor;
         let baseline = if keyframe { 0 } else { req.baseline };
 
-        let frame = self.frame.as_ref().expect("frame refreshed");
+        let Some(frame) = self.frame.as_ref() else {
+            return Err("no frame computed yet".into());
+        };
         // frame.rakes ascends by id (environment BTreeMap order), so the
         // spliced chunks do too — matching the full-frame path order.
         let chunk_blobs: Vec<Bytes> = frame
@@ -536,7 +542,7 @@ pub fn serve(
         let reply = HelloReply {
             dataset_name: meta.name.clone(),
             dims: meta.dims,
-            timestep_count: meta.timestep_count as u32,
+            timestep_count: len_u32(meta.timestep_count),
             dt: meta.dt,
             bounds_min: bounds.min,
             bounds_max: bounds.max,

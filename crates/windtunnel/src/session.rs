@@ -96,6 +96,8 @@ impl BackgroundSession {
                             mb.errors.fetch_add(1, Ordering::Relaxed);
                             // Back off briefly; the server may be mid-
                             // restart or the link congested.
+                            #[allow(clippy::disallowed_methods)]
+                            // reconnect backoff between dial attempts; nothing else runs on this thread
                             std::thread::sleep(std::time::Duration::from_millis(20));
                         }
                     }
@@ -162,6 +164,7 @@ impl Drop for BackgroundSession {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests sleep to let real threads make progress
 mod tests {
     use super::*;
     use crate::proto::TimeCommand;

@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 cargo fmt --all --check
 cargo build --release
 cargo test -q
+# Workspace invariant checker (hard gate): panic-path, wire-protocol,
+# lock-order, and hygiene passes over the tree. Exit 1 on any finding.
+cargo run --release -q -p dvw-lint
 cargo clippy --workspace --all-targets -- -D warnings
 # Chaos pass: seeded fault schedules against live servers. The proptest
 # shim seeds from the test name, so these replay identically every run;

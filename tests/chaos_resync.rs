@@ -3,6 +3,7 @@
 //! the full-frame encoding once the faults stop, and the server must end
 //! with zero sessions for the departed incarnations.
 
+#![allow(clippy::disallowed_methods)] // tests sleep to let real threads make progress
 use distributed_virtual_windtunnel as dvw;
 use dvw::dlib::{FaultConfig, FaultPlan};
 use dvw::flowfield::{

@@ -2,6 +2,7 @@
 //! The 1992 system ran on a dedicated machine room; a 2026 open-source
 //! release has to survive hostile inputs.
 
+#![allow(clippy::disallowed_methods)] // tests sleep to let real threads make progress
 use distributed_virtual_windtunnel as dvw;
 use dvw::cfd::tapered_cylinder::{generate_dataset, TaperedCylinderFlow};
 use dvw::cfd::OGridSpec;

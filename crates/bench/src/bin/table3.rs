@@ -18,13 +18,15 @@
 //! overall.
 
 use bench_support::{paper_benchmark_seeds, paper_spec, tapered_field, TablePrinter};
-use std::time::Duration;
+use flowfield::{BlendedPair, BlendedPairSoA};
+use std::time::{Duration, Instant};
 use storage::constraints::TABLE3_BENCH_TIMES;
 use tracer::benchmark::{
     max_particles, max_streamlines_200, run_kernel, BenchField, Kernel, FRAME_BUDGET,
     PAPER_PARTICLES, PAPER_STREAMLINES,
 };
 use tracer::streamline::TraceConfig;
+use tracer::{Streakline, StreaklineConfig};
 
 fn main() {
     println!("\nTable 3 (paper rows): computational performance constraints\n");
@@ -44,6 +46,8 @@ fn main() {
     let spec = paper_spec();
     eprintln!("generating field ...");
     let (field, domain) = tapered_field(spec, 12.0);
+    let field_aos = field.clone();
+    let field_soa = field.to_soa();
     let bench = BenchField::new(field, domain);
     let seeds = paper_benchmark_seeds(spec.dims, PAPER_STREAMLINES);
     // dt chosen so a 200-step path stays inside the O-grid disc for
@@ -146,6 +150,69 @@ fn main() {
             ]);
         }
     }
+
+    // ------------------------------------------------------------------
+    // Streak-advance kernel: the *unsteady* smoke path. The paper's
+    // benchmark above is streamlines through one frozen timestep; smoke
+    // in an unsteady dataset must blend two timesteps every sample. The
+    // scalar row steps one particle at a time through two trilinear
+    // samples + a lerp; the batch rows run the fused kernel (cell +
+    // weights located once per particle, both timesteps gathered from
+    // SoA arrays) in rayon-chunked lockstep. Identical output bits —
+    // see tracer/tests/streak_equiv.rs.
+    println!("\nStreak advance: smoke pool on the tapered-cylinder field (alpha = 0.37)\n");
+    let streak_pair_aos = BlendedPair::new(&field_aos, &field_aos, 0.37);
+    let streak_pair_soa = BlendedPairSoA::new(&field_soa, &field_soa, 0.37).expect("matching dims");
+    let streak_cfg = StreaklineConfig {
+        dt: 0.04,
+        max_age: 199,
+        ..StreaklineConfig::default()
+    };
+    let mut proto = Streakline::new(paper_benchmark_seeds(spec.dims, 100), streak_cfg);
+    for _ in 0..200 {
+        proto.advance_batch(&streak_pair_soa, &domain);
+    }
+    let particles = proto.particle_count();
+    let mut t3 = TablePrinter::new(&["kernel", "threads", "us/advance", "Mparticles/s"]);
+    let streak_time = |f: &mut dyn FnMut(&mut Streakline)| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let mut s = proto.clone();
+            let t = Instant::now();
+            for _ in 0..4 {
+                f(&mut s);
+            }
+            best = best.min(t.elapsed().as_secs_f64() / 4.0);
+        }
+        best
+    };
+    let scalar_t = streak_time(&mut |s| {
+        s.advance(&streak_pair_aos, &domain);
+    });
+    t3.row(&[
+        "streak-scalar".to_string(),
+        "1".to_string(),
+        format!("{:.1}", scalar_t * 1e6),
+        format!("{:.1}", particles as f64 / scalar_t / 1e6),
+    ]);
+    for &n in &thread_counts {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .unwrap();
+        let batch_t = pool.install(|| {
+            streak_time(&mut |s| {
+                s.advance_batch(&streak_pair_soa, &domain);
+            })
+        });
+        t3.row(&[
+            "streak-batch".to_string(),
+            format!("{n}"),
+            format!("{:.1}", batch_t * 1e6),
+            format!("{:.1}", particles as f64 / batch_t / 1e6),
+        ]);
+    }
+    println!("({particles} live particles; full sweep in bench_trace / BENCH_trace.json)");
 
     println!();
     let cores = std::thread::available_parallelism()

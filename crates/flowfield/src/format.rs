@@ -105,6 +105,7 @@ fn read_plane(r: &mut impl Read, field: &mut [Vec3], set: impl Fn(&mut Vec3, f32
     let mut bytes = vec![0u8; field.len() * 4];
     r.read_exact(&mut bytes)?;
     for (v, chunk) in field.iter_mut().zip(bytes.chunks_exact(4)) {
+        // lint:allow(panic-path): chunks_exact(4) yields exactly 4 bytes.
         set(v, f32::from_le_bytes(chunk.try_into().unwrap()));
     }
     Ok(())
@@ -204,10 +205,14 @@ pub fn write_meta(path: &Path, meta: &DatasetMeta) -> Result<()> {
     w.write_all(MAGIC_META)?;
     write_u32(&mut w, FORMAT_VERSION)?;
     let name = meta.name.as_bytes();
-    write_u32(&mut w, name.len() as u32)?;
+    let name_len = u32::try_from(name.len())
+        .map_err(|_| FieldError::Format("dataset name longer than u32::MAX bytes".into()))?;
+    write_u32(&mut w, name_len)?;
     w.write_all(name)?;
     write_dims(&mut w, meta.dims)?;
-    write_u32(&mut w, meta.timestep_count as u32)?;
+    let steps = u32::try_from(meta.timestep_count)
+        .map_err(|_| FieldError::Format("timestep count exceeds u32::MAX".into()))?;
+    write_u32(&mut w, steps)?;
     write_f32(&mut w, meta.dt)?;
     let coords = match meta.coords {
         VelocityCoords::Physical => 0u32,
@@ -270,7 +275,9 @@ pub fn write_dataset(dir: &Path, dataset: &Dataset) -> Result<()> {
     write_grid(&grid_path(dir), dataset.grid())?;
     for (idx, field) in dataset.timesteps().iter().enumerate() {
         let time = idx as f32 * dataset.meta().dt;
-        write_velocity(&velocity_path(dir, idx), idx as u32, time, field)?;
+        let index = u32::try_from(idx)
+            .map_err(|_| FieldError::Format("timestep index exceeds u32::MAX".into()))?;
+        write_velocity(&velocity_path(dir, idx), index, time, field)?;
     }
     Ok(())
 }

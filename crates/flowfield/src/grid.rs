@@ -99,6 +99,20 @@ impl CurvilinearGrid {
             .collect()
     }
 
+    /// [`CurvilinearGrid::path_to_physical`], but rewriting the buffer in
+    /// place (write-index compaction) instead of allocating a fresh
+    /// vector — the hot-path variant used on per-frame streak filaments.
+    pub fn path_to_physical_in_place(&self, path: &mut Vec<Vec3>) {
+        let mut w = 0;
+        for r in 0..path.len() {
+            if let Some(p) = self.to_physical(path[r]) {
+                path[w] = p;
+                w += 1;
+            }
+        }
+        path.truncate(w);
+    }
+
     /// Jacobian ∂x/∂ξ at a fractional grid coordinate: columns are the
     /// physical-space tangents of the three grid directions, estimated by
     /// differencing the trilinear position mapping. For interior points

@@ -22,6 +22,7 @@
 //! * [`mod@format`] — the binary file format (PLOT3D-flavoured) used by the
 //!   disk-resident store.
 
+pub mod blend;
 pub mod dataset;
 pub mod decimate;
 pub mod dims;
@@ -30,6 +31,7 @@ pub mod format;
 pub mod grid;
 pub mod scalar;
 
+pub use blend::{BlendedPair, BlendedPairSoA};
 pub use dataset::{Dataset, DatasetMeta};
 pub use dims::Dims;
 pub use field::{FieldSample, VectorField, VectorFieldSoA};

@@ -46,6 +46,23 @@ impl Domain {
         self.dims
     }
 
+    /// Wrap one periodic coordinate into `[0, period)` — equivalent to
+    /// `x.rem_euclid(period)` bit for bit, but skips the libm `fmod`
+    /// call in the overwhelmingly common already-in-range case (`fmod`
+    /// is exact, so for `0 <= x < period` it returns `x` unchanged;
+    /// `-0.0` takes the fast path and stays `-0.0`, which is also what
+    /// `rem_euclid` produces). Particles cross a periodic seam on a
+    /// tiny fraction of steps, so this keeps the per-step wrap cost to
+    /// two compares on the integration hot path.
+    #[inline]
+    fn wrap(x: f32, period: f32) -> f32 {
+        if (0.0..period).contains(&x) {
+            x
+        } else {
+            x.rem_euclid(period)
+        }
+    }
+
     /// Wrap periodic axes into range and bounds-check the rest. Returns
     /// the canonical coordinate, or `None` when the particle has left the
     /// domain through a non-periodic face.
@@ -55,20 +72,17 @@ impl Domain {
             return None;
         }
         if self.periodic_i {
-            let period = (self.dims.ni - 1) as f32;
-            p.x = p.x.rem_euclid(period);
+            p.x = Domain::wrap(p.x, (self.dims.ni - 1) as f32);
         } else if p.x < 0.0 || p.x > (self.dims.ni - 1) as f32 {
             return None;
         }
         if self.periodic_j {
-            let period = (self.dims.nj - 1) as f32;
-            p.y = p.y.rem_euclid(period);
+            p.y = Domain::wrap(p.y, (self.dims.nj - 1) as f32);
         } else if p.y < 0.0 || p.y > (self.dims.nj - 1) as f32 {
             return None;
         }
         if self.periodic_k {
-            let period = (self.dims.nk - 1) as f32;
-            p.z = p.z.rem_euclid(period);
+            p.z = Domain::wrap(p.z, (self.dims.nk - 1) as f32);
         } else if p.z < 0.0 || p.z > (self.dims.nk - 1) as f32 {
             return None;
         }
@@ -126,6 +140,21 @@ mod tests {
         let d = Domain::o_grid(Dims::new(5, 5, 5));
         assert!(d.canonicalize(Vec3::new(f32::NAN, 1.0, 1.0)).is_none());
         assert!(d.canonicalize(Vec3::new(1.0, f32::INFINITY, 1.0)).is_none());
+    }
+
+    #[test]
+    fn wrap_fast_path_matches_rem_euclid_bitwise() {
+        // Includes the edge cases the fast path must not disturb:
+        // -0.0 (in range, preserved), exactly `period` (slow path, wraps
+        // to 0), and a tiny negative (slow path; rem_euclid itself
+        // rounds up to exactly `period` — preserved verbatim).
+        let d = Domain::o_grid(Dims::new(5, 5, 5));
+        for x in [
+            -0.0f32, 0.0, 0.5, 3.999, 4.0, 4.5, -0.5, -1.0e-10, 123.75, -123.75,
+        ] {
+            let p = d.canonicalize(Vec3::new(x, 1.0, 1.0)).unwrap();
+            assert_eq!(p.x.to_bits(), x.rem_euclid(4.0).to_bits(), "x = {x}");
+        }
     }
 
     #[test]

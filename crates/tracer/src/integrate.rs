@@ -83,26 +83,10 @@ impl Integrator {
         p: Vec3,
         dt: f32,
     ) -> Option<Vec3> {
-        // Wrap the pair in a blending sampler and reuse the scheme.
-        struct Blend<'a, F> {
-            f0: &'a F,
-            f1: &'a F,
-            alpha: f32,
-        }
-        impl<F: FieldSample> FieldSample for Blend<'_, F> {
-            fn dims(&self) -> flowfield::Dims {
-                self.f0.dims()
-            }
-            fn sample(&self, p: Vec3) -> Option<Vec3> {
-                let a = self.f0.sample(p)?;
-                if self.alpha == 0.0 {
-                    return Some(a);
-                }
-                let b = self.f1.sample(p)?;
-                Some(a.lerp(b, self.alpha))
-            }
-        }
-        let blend = Blend { f0, f1, alpha };
+        // Wrap the pair in the shared blending sampler and reuse the
+        // scheme. `BlendedPair` runs the full lerp even at alpha == 0 so
+        // its arithmetic is bit-identical to the fused SoA kernel.
+        let blend = flowfield::BlendedPair::new(f0, f1, alpha);
         self.step(&blend, domain, p, dt)
     }
 }

@@ -46,7 +46,7 @@ pub use isosurface::{isosurface, Triangle};
 pub use multizone::{trace_multizone, Zone, ZonedPoint};
 pub use pathline::{pathline, PathlineConfig};
 pub use seed::{Handle, Rake, ToolKind};
-pub use streakline::{Streakline, StreaklineConfig};
+pub use streakline::{AdvanceStats, StagnationPolicy, Streakline, StreaklineConfig};
 pub use streamline::{streamline, TraceConfig};
 
 /// A computed path: polyline vertices in grid coordinates. Convert to

@@ -11,14 +11,15 @@
 
 use crate::env::{EnvironmentState, RakeId};
 use crate::proto::{GeometryFrame, PathKind, PathMsg, RakeMsg, UserMsg};
-use flowfield::{CurvilinearGrid, FieldError, VectorField};
+use flowfield::{BlendedPairSoA, CurvilinearGrid, FieldError, VectorField, VectorFieldSoA};
 use rayon::IntoParallelIterator;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 use storage::TimestepStore;
 use tracer::{
-    trace_batch_parallel, Domain, Integrator, Streakline, StreaklineConfig, ToolKind, TraceConfig,
+    trace_batch_parallel, AdvanceStats, Domain, Integrator, Polyline, Streakline, StreaklineConfig,
+    ToolKind, TraceConfig,
 };
 use vecmath::Vec3;
 
@@ -53,6 +54,16 @@ pub struct ToolEngines {
     /// streak rake's smoke changes per clock tick even when the rake
     /// itself hasn't moved.
     epoch: u64,
+    /// SoA conversions of store timesteps, keyed by timestep index. Only
+    /// the pair bracketing the current playback time is retained, so at
+    /// most two timesteps are resident in SoA form; during steady
+    /// playback each conversion is paid once and reused every tick.
+    soa_cache: HashMap<usize, Arc<VectorFieldSoA>>,
+    /// The node-interleaved blend pair for the bracketing timesteps.
+    /// Interleaving copies the whole grid, so it is rebuilt only when
+    /// the bracket moves; between timestep crossings a tick just resets
+    /// the blend factor, keeping the per-tick path allocation-free.
+    pair_cache: Option<((usize, usize), BlendedPairSoA)>,
 }
 
 impl ToolEngines {
@@ -69,17 +80,64 @@ impl ToolEngines {
         });
     }
 
-    /// Advance all streak systems one step in the current field — called
-    /// exactly once per time advance, not per client frame request.
+    /// The SoA view of one stored timestep, converted on first use.
+    fn soa_for(
+        &mut self,
+        store: &dyn TimestepStore,
+        ts: usize,
+    ) -> Result<Arc<VectorFieldSoA>, FieldError> {
+        if let Some(soa) = self.soa_cache.get(&ts) {
+            return Ok(soa.clone());
+        }
+        let field = store.fetch(ts)?;
+        let soa = Arc::new(field.to_soa());
+        self.soa_cache.insert(ts, soa.clone());
+        Ok(soa)
+    }
+
+    /// Advance all streak systems one step — called exactly once per
+    /// time advance, not per client frame request.
+    ///
+    /// The smoke is advected through the field at the *fractional*
+    /// playback time: the two bracketing timesteps are blended at the
+    /// interpolation factor, so mid-interpolation ticks no longer sample
+    /// a single rounded timestep (the fidelity gap the scalar path had).
+    /// Advancing runs the batched SoA path; returns the per-stage
+    /// timings summed across all streak rakes.
     pub fn advance_streaks(
         &mut self,
         env: &EnvironmentState,
-        field: &VectorField,
+        store: &dyn TimestepStore,
         domain: &Domain,
         cfg: &StreaklineConfig,
-    ) {
+    ) -> Result<AdvanceStats, FieldError> {
         self.prune(env);
         self.epoch += 1;
+        let mut total = AdvanceStats::default();
+        let count = store.timestep_count();
+        if count == 0 {
+            return Ok(total);
+        }
+        // Bracketing pair and blend factor for the fractional time.
+        let t = env.time.time().max(0.0);
+        let t0 = (t.floor() as usize).min(count - 1);
+        let t1 = (t0 + 1).min(count - 1);
+        let alpha = if t1 == t0 { 0.0 } else { t - t0 as f32 };
+        if !matches!(&self.pair_cache, Some((key, _)) if *key == (t0, t1)) {
+            let f0 = self.soa_for(store, t0)?;
+            let f1 = if t1 == t0 {
+                f0.clone()
+            } else {
+                self.soa_for(store, t1)?
+            };
+            self.soa_cache.retain(|ts, _| *ts == t0 || *ts == t1);
+            self.pair_cache = Some(((t0, t1), BlendedPairSoA::new(&f0, &f1, alpha)?));
+        }
+        let Some((_, pair)) = &mut self.pair_cache else {
+            return Ok(total); // just populated above
+        };
+        pair.set_alpha(alpha);
+        let pair = &*pair;
         for (id, entry) in env.rakes() {
             if entry.rake.tool != ToolKind::Streakline {
                 continue;
@@ -90,8 +148,9 @@ impl ToolEngines {
                 .entry(id)
                 .or_insert_with(|| Streakline::new(seeds.clone(), *cfg));
             streak.set_seeds(seeds);
-            streak.advance(field, domain);
+            total.accumulate(streak.advance_batch(pair, domain));
         }
+        Ok(total)
     }
 
     /// Reset all particle systems (time jumped discontinuously).
@@ -169,7 +228,7 @@ fn geom_key(
     timestep: usize,
     tool: ToolKind,
     cfg: &ComputeConfig,
-    engines: &ToolEngines,
+    streak_epoch: u64,
 ) -> GeomKey {
     GeomKey {
         geom_rev,
@@ -182,7 +241,7 @@ fn geom_key(
         both_directions: cfg.trace.both_directions,
         pathline_window: cfg.pathline_window,
         streak_epoch: if tool == ToolKind::Streakline {
-            engines.epoch
+            streak_epoch
         } else {
             0
         },
@@ -251,6 +310,11 @@ pub struct FrameComputeStats {
     pub geom_misses: u32,
 }
 
+/// One cache miss queued for re-tracing: rake id, the new cache key,
+/// the seed points, the tool, and (for streaklines) the pre-extracted
+/// filament snapshot.
+type GeomMiss = (RakeId, GeomKey, Vec<Vec3>, ToolKind, Vec<Polyline>);
+
 /// Compute a full [`GeometryFrame`], re-tracing only rakes whose cache
 /// key changed and fanning the misses out across threads.
 ///
@@ -259,7 +323,7 @@ pub struct FrameComputeStats {
 /// happens once per clock tick via [`ToolEngines::advance_streaks`].
 pub fn compute_frame_cached(
     env: &EnvironmentState,
-    engines: &ToolEngines,
+    engines: &mut ToolEngines,
     cache: &mut GeometryCache,
     store: &dyn TimestepStore,
     grid: &CurvilinearGrid,
@@ -275,8 +339,9 @@ pub fn compute_frame_cached(
     // Forget geometry for rakes that no longer exist.
     cache.entries.retain(|id, _| env.rake(*id).is_some());
 
+    let streak_epoch = engines.epoch;
     let mut rakes = Vec::new();
-    let mut misses: Vec<(RakeId, GeomKey, Vec<Vec3>, ToolKind)> = Vec::new();
+    let mut misses: Vec<GeomMiss> = Vec::new();
     for (id, entry) in env.rakes() {
         let rake = &entry.rake;
         // Rake state for client rendering (physical endpoints; endpoints
@@ -298,12 +363,28 @@ pub fn compute_frame_cached(
             owner: entry.grab.map(|(u, _)| u).unwrap_or(0),
         });
 
-        let key = geom_key(entry.geom_rev(), timestep, rake.tool, cfg, engines);
+        let key = geom_key(entry.geom_rev(), timestep, rake.tool, cfg, streak_epoch);
         match cache.entries.get(&id) {
             Some(cached) if cached.key == key => stats.geom_hits += 1,
             _ => {
                 stats.geom_misses += 1;
-                misses.push((id, key, rake.seeds(), rake.tool));
+                // Streak filaments are extracted here, before the
+                // parallel fan-out: the pull is a cheap sorted copy out
+                // of the particle pool (into reusable scratch), and the
+                // buffers then move through physical mapping straight
+                // into the wire messages — no intermediate point vector.
+                let filaments = if rake.tool == ToolKind::Streakline {
+                    let t0 = Instant::now();
+                    let mut fils = Vec::new();
+                    if let Some(streak) = engines.streaks.get_mut(&id) {
+                        streak.filaments_into(&mut fils);
+                    }
+                    stats.integrate_us += t0.elapsed().as_micros() as u64;
+                    fils
+                } else {
+                    Vec::new()
+                };
+                misses.push((id, key, rake.seeds(), rake.tool, filaments));
             }
         }
     }
@@ -315,7 +396,7 @@ pub fn compute_frame_cached(
     type Traced = (RakeId, GeomKey, Vec<PathMsg>, u64, u64);
     let traced: Vec<Result<Traced, FieldError>> = misses
         .into_par_iter()
-        .map(|(id, key, seeds, tool)| {
+        .map(|(id, key, seeds, tool, filaments)| {
             let mut integrate_us = 0u64;
             let mut map_us = 0u64;
             let mut paths = Vec::new();
@@ -363,23 +444,22 @@ pub fn compute_frame_cached(
                     }
                 }
                 ToolKind::Streakline => {
-                    if let Some(streak) = engines.streaks.get(&id) {
-                        let t0 = Instant::now();
-                        let filaments = streak.filaments();
-                        integrate_us += t0.elapsed().as_micros() as u64;
-                        let t1 = Instant::now();
-                        for filament in filaments {
-                            if filament.is_empty() {
-                                continue;
-                            }
-                            paths.push(PathMsg {
-                                rake_id: id,
-                                kind: PathKind::Streak,
-                                points: grid.path_to_physical(&filament),
-                            });
+                    // Filaments were pulled from the particle system
+                    // before the fan-out; map each buffer to physical
+                    // space in place and hand it to the wire message.
+                    let t1 = Instant::now();
+                    for mut filament in filaments {
+                        grid.path_to_physical_in_place(&mut filament);
+                        if filament.is_empty() {
+                            continue;
                         }
-                        map_us += t1.elapsed().as_micros() as u64;
+                        paths.push(PathMsg {
+                            rake_id: id,
+                            kind: PathKind::Streak,
+                            points: filament,
+                        });
                     }
+                    map_us += t1.elapsed().as_micros() as u64;
                 }
             }
             Ok((id, key, paths, integrate_us, map_us))
@@ -547,9 +627,10 @@ mod tests {
         assert_eq!(f0.paths.len(), 0);
 
         // Three clock ticks.
-        let field = store.fetch(0).unwrap();
         for _ in 0..3 {
-            engines.advance_streaks(&env, field.as_ref(), &domain, &cfg.streak);
+            engines
+                .advance_streaks(&env, &store, &domain, &cfg.streak)
+                .unwrap();
         }
         let f1 = compute_frame(&env, &mut engines, &store, &grid, &domain, &cfg).unwrap();
         assert_eq!(f1.paths.len(), 3); // one filament per seed
@@ -568,11 +649,14 @@ mod tests {
         let mut env = EnvironmentState::new(store.timestep_count());
         let id = env.add_rake(rake(ToolKind::Streakline));
         let mut engines = ToolEngines::new();
-        let field = store.fetch(0).unwrap();
-        engines.advance_streaks(&env, field.as_ref(), &domain, &StreaklineConfig::default());
+        engines
+            .advance_streaks(&env, &store, &domain, &StreaklineConfig::default())
+            .unwrap();
         assert!(engines.streak_particles() > 0);
         env.remove_rake(0, id).unwrap();
-        engines.advance_streaks(&env, field.as_ref(), &domain, &StreaklineConfig::default());
+        engines
+            .advance_streaks(&env, &store, &domain, &StreaklineConfig::default())
+            .unwrap();
         assert_eq!(engines.streak_particles(), 0);
         let frame = compute_frame(
             &env,
@@ -616,15 +700,17 @@ mod tests {
             2,
             ToolKind::Streamline,
         ));
-        let engines = ToolEngines::new();
+        let mut engines = ToolEngines::new();
         let mut cache = GeometryCache::new();
         let cfg = ComputeConfig::default();
         let (f0, s0) =
-            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
+            compute_frame_cached(&env, &mut engines, &mut cache, &store, &grid, &domain, &cfg)
+                .unwrap();
         assert_eq!(s0.geom_misses, 2);
         assert_eq!(s0.geom_hits, 0);
         let (f1, s1) =
-            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
+            compute_frame_cached(&env, &mut engines, &mut cache, &store, &grid, &domain, &cfg)
+                .unwrap();
         assert_eq!(s1.geom_hits, 2);
         assert_eq!(s1.geom_misses, 0);
         assert_eq!(f0, f1, "cached frame must equal the computed one");
@@ -642,13 +728,14 @@ mod tests {
             2,
             ToolKind::Streamline,
         ));
-        let engines = ToolEngines::new();
+        let mut engines = ToolEngines::new();
         let mut cache = GeometryCache::new();
         let cfg = ComputeConfig::default();
-        compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
+        compute_frame_cached(&env, &mut engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
         env.set_seed_count(a, 5).unwrap();
         let (frame, stats) =
-            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
+            compute_frame_cached(&env, &mut engines, &mut cache, &store, &grid, &domain, &cfg)
+                .unwrap();
         assert_eq!(
             stats.geom_hits, 1,
             "untouched rake must be served from cache"
@@ -666,13 +753,14 @@ mod tests {
         let (store, grid, domain) = test_store();
         let mut env = EnvironmentState::new(store.timestep_count());
         env.add_rake(rake(ToolKind::Streamline));
-        let engines = ToolEngines::new();
+        let mut engines = ToolEngines::new();
         let mut cache = GeometryCache::new();
         let cfg = ComputeConfig::default();
-        compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
+        compute_frame_cached(&env, &mut engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
         env.update_user(9, vecmath::Pose::IDENTITY);
         let (frame, stats) =
-            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
+            compute_frame_cached(&env, &mut engines, &mut cache, &store, &grid, &domain, &cfg)
+                .unwrap();
         assert_eq!(stats.geom_misses, 0, "a head pose is not a geometry change");
         assert_eq!(stats.geom_hits, 1);
         assert_eq!(frame.users.len(), 1);
@@ -697,12 +785,16 @@ mod tests {
         let mut engines = ToolEngines::new();
         let mut cache = GeometryCache::new();
         let cfg = ComputeConfig::default();
-        let field = store.fetch(0).unwrap();
-        engines.advance_streaks(&env, field.as_ref(), &domain, &cfg.streak);
-        compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
-        engines.advance_streaks(&env, field.as_ref(), &domain, &cfg.streak);
+        engines
+            .advance_streaks(&env, &store, &domain, &cfg.streak)
+            .unwrap();
+        compute_frame_cached(&env, &mut engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
+        engines
+            .advance_streaks(&env, &store, &domain, &cfg.streak)
+            .unwrap();
         let (frame, stats) =
-            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
+            compute_frame_cached(&env, &mut engines, &mut cache, &store, &grid, &domain, &cfg)
+                .unwrap();
         assert_eq!(stats.geom_misses, 1, "only the streak rake re-traces");
         assert_eq!(stats.geom_hits, 1);
         assert_eq!(
@@ -723,13 +815,14 @@ mod tests {
         let (store, grid, domain) = test_store();
         let mut env = EnvironmentState::new(store.timestep_count());
         let id = env.add_rake(rake(ToolKind::Streamline));
-        let engines = ToolEngines::new();
+        let mut engines = ToolEngines::new();
         let mut cache = GeometryCache::new();
         let cfg = ComputeConfig::default();
-        compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
+        compute_frame_cached(&env, &mut engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
         env.remove_rake(0, id).unwrap();
         let (frame, _) =
-            compute_frame_cached(&env, &engines, &mut cache, &store, &grid, &domain, &cfg).unwrap();
+            compute_frame_cached(&env, &mut engines, &mut cache, &store, &grid, &domain, &cfg)
+                .unwrap();
         assert!(frame.paths.is_empty());
         assert!(cache.entries.is_empty());
     }

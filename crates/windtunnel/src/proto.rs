@@ -908,6 +908,18 @@ pub struct FrameStats {
     pub cum_reaped_sessions: u64,
     /// Lifetime calls shed with `Busy` by the bounded dispatch queue.
     pub cum_shed_calls: u64,
+    /// Streak advance, fused field-sampling stage (k1+k2 gathers) for
+    /// the last clock tick, microseconds (summed CPU work across rakes).
+    pub streak_sample_us: u64,
+    /// Streak advance, integration arithmetic stage, microseconds.
+    pub streak_integrate_us: u64,
+    /// Streak advance, pool compaction (swap-remove sweep), µs.
+    pub streak_compact_us: u64,
+    /// Streak advance, seed injection, microseconds.
+    pub streak_inject_us: u64,
+    /// Streak advance throughput: particles stepped per second over the
+    /// sample+integrate stages of the last tick (0 when no particles).
+    pub streak_particles_per_s: u64,
 }
 
 impl FrameStats {
@@ -933,6 +945,11 @@ impl FrameStats {
         b.put_u32_le_(self.live_sessions);
         b.put_u64_le_(self.cum_reaped_sessions);
         b.put_u64_le_(self.cum_shed_calls);
+        b.put_u64_le_(self.streak_sample_us);
+        b.put_u64_le_(self.streak_integrate_us);
+        b.put_u64_le_(self.streak_compact_us);
+        b.put_u64_le_(self.streak_inject_us);
+        b.put_u64_le_(self.streak_particles_per_s);
         b.freeze()
     }
 
@@ -959,6 +976,11 @@ impl FrameStats {
             live_sessions: r.u32_le()?,
             cum_reaped_sessions: r.u64_le()?,
             cum_shed_calls: r.u64_le()?,
+            streak_sample_us: r.u64_le()?,
+            streak_integrate_us: r.u64_le()?,
+            streak_compact_us: r.u64_le()?,
+            streak_inject_us: r.u64_le()?,
+            streak_particles_per_s: r.u64_le()?,
         };
         if r.remaining() != 0 {
             return Err(DlibError::Protocol("trailing bytes after stats".into()));
@@ -1458,6 +1480,11 @@ mod tests {
             live_sessions: 3,
             cum_reaped_sessions: 6,
             cum_shed_calls: 17,
+            streak_sample_us: 210,
+            streak_integrate_us: 340,
+            streak_compact_us: 12,
+            streak_inject_us: 5,
+            streak_particles_per_s: 2_500_000,
         };
         assert_eq!(FrameStats::decode(&s.encode()).unwrap(), s);
         assert_eq!(s.total_us(), 5_025);

@@ -218,19 +218,32 @@ impl ServerState {
                 .hint_direction(self.env.time.rate().signum() as i64);
         }
         self.env.time.advance();
-        // Streaklines advance once per clock tick, in the *current*
-        // field (§2.1), whether or not the integer timestep moved —
-        // time can be paused with smoke still streaming.
-        let field = self
-            .store
-            .fetch(self.env.time.timestep())
+        // Streaklines advance once per clock tick, in the field at the
+        // *fractional* current time (§2.1, blended between the two
+        // bracketing timesteps), whether or not the integer timestep
+        // moved — time can be paused with smoke still streaming.
+        let adv = self
+            .engines
+            .advance_streaks(
+                &self.env,
+                self.store.as_ref(),
+                &self.domain,
+                &self.opts.compute.streak,
+            )
             .map_err(|e| e.to_string())?;
-        self.engines.advance_streaks(
-            &self.env,
-            field.as_ref(),
-            &self.domain,
-            &self.opts.compute.streak,
-        );
+        // Stage breakdown of the advance, surfaced via PROC_STATS. The
+        // streak_* fields describe the latest tick and survive frame
+        // refreshes through the `..self.stats` spread there.
+        self.stats.streak_sample_us = adv.sample_ns / 1_000;
+        self.stats.streak_integrate_us = adv.integrate_ns / 1_000;
+        self.stats.streak_compact_us = adv.compact_ns / 1_000;
+        self.stats.streak_inject_us = adv.inject_ns / 1_000;
+        let step_ns = adv.sample_ns + adv.integrate_ns;
+        self.stats.streak_particles_per_s = adv
+            .stepped
+            .saturating_mul(1_000_000_000)
+            .checked_div(step_ns)
+            .unwrap_or(0);
         self.env.bump_revision();
         Ok(())
     }
@@ -256,7 +269,7 @@ impl ServerState {
         let started = Instant::now();
         let (frame, cstats) = compute_frame_cached(
             &self.env,
-            &self.engines,
+            &mut self.engines,
             &mut self.geom_cache,
             self.store.as_ref(),
             &self.grid,

@@ -20,5 +20,9 @@ PROPTEST_CASES=32 RUST_BACKTRACE=1 cargo test -q -p dvw-dlib --test chaos
 RUST_BACKTRACE=1 cargo test -q --test chaos_resync
 cargo run --release -p dvw-bench --bin bench_frame -- --quick
 cargo run --release -p dvw-bench --bin bench_delta -- --quick
+cargo run --release -p dvw-bench --bin bench_trace -- --quick
+# Scalar-vs-batch streakline bitwise equality under a pinned case count
+# (the batch kernel is only as good as this proptest says it is).
+PROPTEST_CASES=64 RUST_BACKTRACE=1 cargo test -q --release -p dvw-tracer --test streak_equiv
 
 echo "check.sh: all green"

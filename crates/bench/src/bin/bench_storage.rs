@@ -1,0 +1,185 @@
+//! Storage streaming benchmark: raw v1 timesteps vs the v2 compressed
+//! container, synchronous and pipelined, under the paper's disk model.
+//!
+//! §5.1 / Table 2: at 30 MB/s sustained + 2 ms seek (the Convex C3240's
+//! measured low end), the tapered cylinder's 1.57 MB timestep costs
+//! ~54 ms — 18 effective timesteps/s, the number that binds unsteady
+//! playback. This harness measures three configurations over the same
+//! on-disk dataset and disk model:
+//!
+//!   1. `raw_v1_sync` — v1 container, synchronous DiskStore fetch,
+//!   2. `v2_sync` — compressed chunks, synchronous fetch (bandwidth
+//!      charged at actual file bytes),
+//!   3. `v2_pipelined` — compressed chunks behind the read-ahead
+//!      scheduler's worker pool, the shipping configuration.
+//!
+//! Emits `BENCH_storage.json`. `--quick` runs a down-scaled smoke pass
+//! (small grid, nothing written) so CI can prove the harness works.
+
+use flowfield::format;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use storage::{DiskModel, DiskStore, ReadAhead, SimulatedDisk, TimestepStore};
+
+struct Profile {
+    spec: cfd::OGridSpec,
+    timesteps: usize,
+    /// Fetch passes over the whole dataset per measurement.
+    laps: usize,
+    /// Read-ahead worker pool for the pipelined row.
+    workers: usize,
+    depth: usize,
+}
+
+fn full() -> Profile {
+    Profile {
+        spec: bench_support::paper_spec(), // 64×64×32 = 131 072 points
+        timesteps: 12,
+        laps: 2,
+        workers: 4,
+        depth: 6,
+    }
+}
+
+fn quick() -> Profile {
+    Profile {
+        spec: bench_support::small_spec(),
+        timesteps: 4,
+        laps: 1,
+        workers: 2,
+        depth: 2,
+    }
+}
+
+/// Sequential forward playback over every timestep, `laps` times.
+/// Returns effective timesteps/second.
+fn measure<S: TimestepStore>(store: &S, timesteps: usize, laps: usize) -> f64 {
+    let start = Instant::now();
+    let mut fetched = 0u32;
+    for _ in 0..laps {
+        for t in 0..timesteps {
+            let f = store.fetch(t).expect("fetch");
+            // Touch the data so nothing is optimized away.
+            std::hint::black_box(f.as_slice().first());
+            fetched += 1;
+        }
+    }
+    f64::from(fetched) / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let is_quick = std::env::args().any(|a| a == "--quick");
+    let p = if is_quick { quick() } else { full() };
+    let model = DiskModel::convex_c3240();
+
+    eprintln!(
+        "building tapered-cylinder dataset: {} points x {} timesteps",
+        p.spec.dims.point_count(),
+        p.timesteps
+    );
+    let ds = bench_support::tapered_dataset(p.spec, p.timesteps);
+    let v1_dir = tempfile::tempdir().expect("tempdir");
+    let v2_dir = tempfile::tempdir().expect("tempdir");
+    format::write_dataset(v1_dir.path(), &ds).expect("write v1");
+    format::write_dataset_v2(v2_dir.path(), &ds).expect("write v2");
+
+    let v1 = DiskStore::open(v1_dir.path()).expect("open v1");
+    let v2 = DiskStore::open(v2_dir.path()).expect("open v2");
+    let raw_bytes: u64 = (0..p.timesteps).map(|t| v1.payload_bytes(t)).sum();
+    let v2_bytes: u64 = (0..p.timesteps).map(|t| v2.payload_bytes(t)).sum();
+    let ratio = raw_bytes as f64 / v2_bytes as f64;
+    eprintln!("on-disk: v1 {raw_bytes} B, v2 {v2_bytes} B ({ratio:.2}x compression)");
+
+    // Row 1: raw v1, synchronous.
+    let raw_store = SimulatedDisk::new(v1, model);
+    let raw_tps = measure(&raw_store, p.timesteps, p.laps);
+    eprintln!("raw_v1_sync:   {raw_tps:6.1} timesteps/s");
+
+    // Row 2: v2 compressed, synchronous. The disk model charges actual
+    // file bytes, so the codec's ratio converts directly to bandwidth.
+    let v2_sync_store = SimulatedDisk::new(DiskStore::open(v2_dir.path()).expect("open"), model);
+    let v2_sync_tps = measure(&v2_sync_store, p.timesteps, p.laps);
+    eprintln!("v2_sync:       {v2_sync_tps:6.1} timesteps/s");
+
+    // Row 3: v2 behind the deadline-aware read-ahead pool — the
+    // configuration the server actually runs. Prime the predictor with
+    // one untimed lap so the measurement sees steady-state streaming.
+    let pipelined =
+        ReadAhead::with_workers(Arc::new(SimulatedDisk::new(v2, model)), p.depth, p.workers);
+    measure(&pipelined, p.timesteps, 1);
+    let v2_pipe_tps = measure(&pipelined, p.timesteps, p.laps);
+    eprintln!("v2_pipelined:  {v2_pipe_tps:6.1} timesteps/s");
+
+    let speedup_sync = v2_sync_tps / raw_tps;
+    let speedup_pipe = v2_pipe_tps / raw_tps;
+    let io = pipelined.io_stats();
+    eprintln!(
+        "effective speedup: {speedup_sync:.2}x sync, {speedup_pipe:.2}x pipelined \
+         (prefetch {}/{} hits, decode {} us total)",
+        io.prefetch_hits,
+        io.prefetch_hits + io.prefetch_misses,
+        io.decode_us
+    );
+
+    if is_quick {
+        eprintln!("--quick: smoke pass only, BENCH_storage.json not written");
+        return;
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"grid_points\": {},", p.spec.dims.point_count());
+    let _ = writeln!(json, "  \"timesteps\": {},", p.timesteps);
+    let _ = writeln!(
+        json,
+        "  \"disk_model\": {{\"bandwidth_mb_per_s\": 30.0, \"seek_ms\": 2.0}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"raw_bytes_per_timestep\": {},",
+        raw_bytes / p.timesteps as u64
+    );
+    let _ = writeln!(
+        json,
+        "  \"v2_bytes_per_timestep\": {},",
+        v2_bytes / p.timesteps as u64
+    );
+    let _ = writeln!(json, "  \"compression_ratio\": {ratio:.3},");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, (mode, tps)) in [
+        ("raw_v1_sync", raw_tps),
+        ("v2_sync", v2_sync_tps),
+        ("v2_pipelined", v2_pipe_tps),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{mode}\", \"timesteps_per_s\": {tps:.2}, \
+             \"ms_per_timestep\": {:.2}}}{}",
+            1000.0 / tps,
+            if i < 2 { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedup_v2_sync_vs_raw\": {speedup_sync:.3},");
+    let _ = writeln!(json, "  \"speedup_v2_pipelined_vs_raw\": {speedup_pipe:.3}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_storage.json", &json).expect("write BENCH_storage.json");
+    print!("{json}");
+
+    // Regression floor. The codec alone measures ~1.94x on the tapered
+    // cylinder (the w-component is exactly zero in Grid coordinates and
+    // collapses ~250x; u/v carry near-random low mantissa bytes and only
+    // reach ~1.3x), which lands the synchronous compressed path near
+    // 1.9x effective. The ≥3x gate is met by the shipping configuration:
+    // compression × the read-ahead pool overlapping seek+transfer
+    // budgets across workers (the striped-controller regime SimulatedDisk
+    // models). See DESIGN.md §6.5 for the honest breakdown.
+    assert!(
+        speedup_pipe >= 3.0,
+        "compressed pipelined streaming must be >= 3x raw sync DiskStore \
+         (measured {speedup_pipe:.2}x; sync-only ratio {speedup_sync:.2}x)"
+    );
+}

@@ -1,0 +1,4 @@
+//! Container layout moved (chunk table gained a field) but nobody wrote
+//! the layout-change marker: the bump is undeclared.
+
+pub const DATASET_FORMAT_VERSION: u32 = 3;

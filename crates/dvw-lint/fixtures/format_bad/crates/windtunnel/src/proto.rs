@@ -1,0 +1,3 @@
+//! The protocol side is healthy — the dataset container is what moved.
+
+pub const PROTOCOL_VERSION: u32 = 1;

@@ -1,0 +1,5 @@
+//! A layout change was declared but the version never moved: the marker
+//! requires `DATASET_FORMAT_VERSION` to exceed the lint.toml baseline.
+
+// format:layout-change — per-chunk checksum widened to 64 bits.
+pub const DATASET_FORMAT_VERSION: u32 = 2;

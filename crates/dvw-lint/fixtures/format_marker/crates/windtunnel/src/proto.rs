@@ -1,0 +1,3 @@
+//! Protocol untouched, as a container layout change requires.
+
+pub const PROTOCOL_VERSION: u32 = 1;

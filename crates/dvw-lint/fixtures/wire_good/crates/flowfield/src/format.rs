@@ -1,0 +1,5 @@
+//! A declared container layout change: marker present, version bumped
+//! past the baseline, protocol version untouched.
+
+// format:layout-change — timestep payload split into compressed chunks.
+pub const DATASET_FORMAT_VERSION: u32 = 3;

@@ -43,6 +43,13 @@ pub struct Config {
     pub reserved_allowed: Vec<String>,
     /// Comment marker that declares a non-additive wire change.
     pub non_additive_marker: String,
+    /// Files scanned for `DATASET_FORMAT_VERSION` (the on-disk container,
+    /// versioned independently of the wire protocol).
+    pub format_files: Vec<String>,
+    /// Baseline dataset format version; `0` disables the check.
+    pub dataset_format_version: u64,
+    /// Comment marker that declares a container layout change.
+    pub format_marker: String,
     /// Declared lock-order chains; locks in one chain must be acquired
     /// left-to-right.
     pub lock_order: Vec<Vec<String>>,
@@ -64,6 +71,9 @@ impl Default for Config {
             proto_files: Vec::new(),
             reserved_allowed: Vec::new(),
             non_additive_marker: "wire:non-additive".into(),
+            format_files: Vec::new(),
+            dataset_format_version: 0,
+            format_marker: "format:layout-change".into(),
             lock_order: Vec::new(),
             deny: Vec::new(),
             crate_roots: Vec::new(),
@@ -103,6 +113,18 @@ impl Config {
             match v {
                 Value::Str(s) => cfg.non_additive_marker = s,
                 _ => return Err("wire.non_additive_marker: expected string".into()),
+            }
+        }
+        if let Some(v) = get("wire", "format_files") {
+            cfg.format_files = expect_str_array(v, "wire.format_files")?;
+        }
+        if let Some(v) = get("wire", "dataset_format_version") {
+            cfg.dataset_format_version = expect_int(v, "wire.dataset_format_version")?;
+        }
+        if let Some(v) = get("wire", "format_marker") {
+            match v {
+                Value::Str(s) => cfg.format_marker = s,
+                _ => return Err("wire.format_marker: expected string".into()),
             }
         }
         if let Some(v) = get("locks", "order") {

@@ -26,6 +26,7 @@ use std::collections::HashMap;
 pub fn check(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
     check_proc_ids(files, cfg, findings);
     check_protocol_version(files, cfg, findings);
+    check_dataset_format_version(files, cfg, findings);
     check_trait_pairs(files, findings);
     check_inherent_pairs(files, cfg, findings);
 }
@@ -173,6 +174,84 @@ fn check_protocol_version(files: &[SourceFile], cfg: &Config, findings: &mut Vec
                     "PROTOCOL_VERSION is {} but lint.toml baseline is {}; either add a `{}` \
                      marker for a breaking change or update the baseline",
                     version, cfg.protocol_version, cfg.non_additive_marker
+                ),
+            ));
+        }
+        _ => {}
+    }
+}
+
+/// The on-disk container is versioned independently of the wire protocol:
+/// `DATASET_FORMAT_VERSION` must bump iff the container layout changes
+/// (declared with a `format:layout-change` marker comment), and a layout
+/// change never touches `PROTOCOL_VERSION` — the protocol baseline above
+/// keeps enforcing that separately. Disabled when `format_files` is empty
+/// or the baseline is 0.
+fn check_dataset_format_version(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
+    if cfg.format_files.is_empty() || cfg.dataset_format_version == 0 {
+        return;
+    }
+    let mut declared: Option<(String, u32, u64)> = None;
+    let mut marker: Option<(String, u32)> = None;
+    for f in files {
+        if !cfg.format_files.iter().any(|p| p == &f.rel) {
+            continue;
+        }
+        let code = &f.code;
+        for (i, t) in code.iter().enumerate() {
+            if t.is_ident("DATASET_FORMAT_VERSION")
+                && i > 0
+                && code[i - 1].is_ident("const")
+                && declared.is_none()
+            {
+                if let Some(val) = code.get(i + 4) {
+                    if let Some(v) = parse_int(&val.text) {
+                        declared = Some((f.rel.clone(), t.line, v));
+                    }
+                }
+            }
+        }
+        if marker.is_none() {
+            if let Some(c) = f
+                .comments
+                .iter()
+                .find(|c| c.text.contains(&cfg.format_marker))
+            {
+                marker = Some((f.rel.clone(), c.line));
+            }
+        }
+    }
+    let Some((file, line, version)) = declared else {
+        findings.push(Finding::new(
+            &cfg.format_files[0],
+            1,
+            Pass::WireProtocol,
+            "no `const DATASET_FORMAT_VERSION` found in format files".into(),
+        ));
+        return;
+    };
+    match marker {
+        Some((mfile, mline)) if version <= cfg.dataset_format_version => {
+            findings.push(Finding::new(
+                &mfile,
+                mline,
+                Pass::WireProtocol,
+                format!(
+                    "`{}` marker present but DATASET_FORMAT_VERSION is still {} (baseline {}); \
+                     a container layout change must bump it (PROTOCOL_VERSION stays untouched)",
+                    cfg.format_marker, version, cfg.dataset_format_version
+                ),
+            ));
+        }
+        None if version != cfg.dataset_format_version => {
+            findings.push(Finding::new(
+                &file,
+                line,
+                Pass::WireProtocol,
+                format!(
+                    "DATASET_FORMAT_VERSION is {} but lint.toml baseline is {}; a version bump \
+                     requires a `{}` marker declaring the container layout change",
+                    version, cfg.dataset_format_version, cfg.format_marker
                 ),
             ));
         }

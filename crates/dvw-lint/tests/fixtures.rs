@@ -98,6 +98,27 @@ fn wire_marker_without_bump_fails() {
 }
 
 #[test]
+fn format_bump_without_marker_fails() {
+    let f = fixture("format_bad");
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert!(
+        f[0].msg.contains("DATASET_FORMAT_VERSION is 3")
+            && f[0].msg.contains("format:layout-change"),
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn format_marker_without_bump_fails() {
+    let f = fixture("format_marker");
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert!(
+        f[0].msg.contains("PROTOCOL_VERSION stays untouched"),
+        "{f:#?}"
+    );
+}
+
+#[test]
 fn locks_bad_finds_direct_inlined_and_cycle() {
     let f = fixture("locks_bad");
     assert_eq!(count(&f, Pass::LockOrder), 3, "{f:#?}");

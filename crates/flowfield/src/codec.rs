@@ -1,0 +1,462 @@
+//! Lossless f32 chunk codec for the v2 dataset container.
+//!
+//! The pipeline per chunk of velocity-component values is:
+//!
+//! 1. **XOR-delta** — each value's bit pattern is XORed with the previous
+//!    grid point's (the first value deltas against zero). Neighbouring
+//!    velocities in a smooth CFD field agree in sign, exponent and the
+//!    leading mantissa bits, so the delta zeroes the high bytes.
+//! 2. **Byte transpose** — the four delta bytes are split into four
+//!    planes (all byte-0s, then byte-1s, …). The near-zero high-byte
+//!    planes become long runs the entropy stage can collapse.
+//! 3. **LZ** — a hand-rolled LZ4-flavoured byte-oriented compressor
+//!    (greedy hash-chain matcher, u16 offsets, nibble-packed token with
+//!    255-run length extensions). Runs double as RLE: a zero plane turns
+//!    into one literal plus an offset-1 match covering the rest.
+//!
+//! Decode inverts the three stages exactly, so the f32 roundtrip is
+//! bitwise-identical — NaN payloads and `-0.0` included. Incompressible
+//! chunks (the low mantissa bytes of already-turbulent data are close to
+//! random) fall back to a stored-raw method so a chunk never expands
+//! beyond its payload plus the fixed chunk header.
+//!
+//! Everything here is panic-free on arbitrary input: the decoder treats
+//! the compressed stream as untrusted and reports malformed data as
+//! [`FieldError::Format`].
+
+use crate::{FieldError, Result};
+
+/// Maximum values per chunk (64 KiB of raw f32 payload). Keeps every LZ
+/// match offset within `u16` and bounds per-chunk decode scratch.
+pub const MAX_CHUNK_VALUES: usize = 16 * 1024;
+
+/// Chunk stored as raw little-endian f32s (incompressible fallback).
+pub const METHOD_RAW: u32 = 0;
+/// Chunk stored as XOR-delta + byte-transpose + LZ.
+pub const METHOD_DELTA_LZ: u32 = 1;
+
+const MIN_MATCH: usize = 4;
+const MAX_OFFSET: usize = u16::MAX as usize;
+const HASH_BITS: u32 = 15;
+
+/// FNV-1a 32-bit checksum of a byte slice (over the *compressed* bytes,
+/// so corruption is caught before the decoder runs).
+#[must_use]
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+fn truncated() -> FieldError {
+    FieldError::Format("compressed chunk truncated".into())
+}
+
+fn corrupt(what: &str) -> FieldError {
+    FieldError::Format(format!("compressed chunk corrupt: {what}"))
+}
+
+/// Push a value the caller guarantees fits in a byte.
+fn push_u8(out: &mut Vec<u8>, v: usize) {
+    // Caller invariant: v <= 255, so the fallback never fires.
+    out.push(u8::try_from(v).unwrap_or(u8::MAX));
+}
+
+/// 255-run length extension (LZ4 style): emit `extra` as a run of 255s
+/// plus a terminating byte < 255.
+fn put_varlen(out: &mut Vec<u8>, mut extra: usize) {
+    while extra >= 255 {
+        out.push(255);
+        extra -= 255;
+    }
+    push_u8(out, extra);
+}
+
+fn read_varlen(src: &[u8], p: &mut usize) -> Result<usize> {
+    let mut total = 0usize;
+    loop {
+        let b = *src.get(*p).ok_or_else(truncated)?;
+        *p += 1;
+        total += usize::from(b);
+        if b != 255 {
+            return Ok(total);
+        }
+        if total > (1 << 32) {
+            return Err(corrupt("length extension overflows any valid chunk"));
+        }
+    }
+}
+
+fn hash4(b: [u8; 4]) -> usize {
+    // Knuth multiplicative hash over the 4-byte window.
+    (u32::from_le_bytes(b).wrapping_mul(2_654_435_761) >> (32 - HASH_BITS)) as usize
+}
+
+/// One LZ sequence: literal run, then an optional back-reference.
+fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], back: Option<(usize, usize)>) {
+    let lit = literals.len();
+    let mnib = match back {
+        Some((_, len)) => (len - MIN_MATCH).min(15),
+        None => 0,
+    };
+    let lnib = lit.min(15);
+    push_u8(out, (lnib << 4) | mnib);
+    if lnib == 15 {
+        put_varlen(out, lit - 15);
+    }
+    out.extend_from_slice(literals);
+    if let Some((offset, len)) = back {
+        // Caller invariant: 1 <= offset <= MAX_OFFSET.
+        let off = u16::try_from(offset).unwrap_or(u16::MAX);
+        out.extend_from_slice(&off.to_le_bytes());
+        if mnib == 15 {
+            put_varlen(out, len - MIN_MATCH - 15);
+        }
+    }
+}
+
+/// Greedy LZ compressor. Appends the compressed stream to `out`.
+pub fn lz_compress(src: &[u8], out: &mut Vec<u8>) {
+    let mut table = vec![u32::MAX; 1 << HASH_BITS];
+    let mut anchor = 0usize;
+    let mut i = 0usize;
+    while i + MIN_MATCH <= src.len() {
+        let window = [src[i], src[i + 1], src[i + 2], src[i + 3]];
+        let h = hash4(window);
+        let cand = table[h];
+        // lint:allow(panic-path): chunk inputs are <= 256 KiB, so i fits in u32
+        table[h] = i as u32;
+        let cand = cand as usize;
+        if cand != u32::MAX as usize
+            && i - cand <= MAX_OFFSET
+            && src[cand..cand + MIN_MATCH] == src[i..i + MIN_MATCH]
+        {
+            let mut len = MIN_MATCH;
+            while i + len < src.len() && src[cand + len] == src[i + len] {
+                len += 1;
+            }
+            emit_sequence(out, &src[anchor..i], Some((i - cand, len)));
+            i += len;
+            anchor = i;
+        } else {
+            i += 1;
+        }
+    }
+    emit_sequence(out, &src[anchor..], None);
+}
+
+/// Decompress an LZ stream produced by [`lz_compress`] into `out`
+/// (cleared first). Fails unless exactly `expected_len` bytes come out.
+pub fn lz_decompress(src: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()> {
+    out.clear();
+    out.reserve(expected_len);
+    let mut p = 0usize;
+    loop {
+        let token = *src.get(p).ok_or_else(truncated)?;
+        p += 1;
+        let mut lit = usize::from(token >> 4);
+        let mnib = usize::from(token & 0x0f);
+        if lit == 15 {
+            lit += read_varlen(src, &mut p)?;
+        }
+        let lits = src.get(p..p + lit).ok_or_else(truncated)?;
+        if out.len() + lit > expected_len {
+            return Err(corrupt("literal run exceeds declared chunk size"));
+        }
+        out.extend_from_slice(lits);
+        p += lit;
+        if p == src.len() {
+            // Final sequence carries literals only.
+            break;
+        }
+        let off = src.get(p..p + 2).ok_or_else(truncated)?;
+        p += 2;
+        let offset = usize::from(u16::from_le_bytes([off[0], off[1]]));
+        let mut len = mnib + MIN_MATCH;
+        if mnib == 15 {
+            len += read_varlen(src, &mut p)?;
+        }
+        if offset == 0 || offset > out.len() {
+            return Err(corrupt("match offset outside decoded prefix"));
+        }
+        if out.len() + len > expected_len {
+            return Err(corrupt("match run exceeds declared chunk size"));
+        }
+        // Overlapping matches replicate the trailing period; copy in
+        // doubling steps so each extend reads only already-written bytes.
+        let start = out.len() - offset;
+        let mut remaining = len;
+        while remaining > 0 {
+            let take = remaining.min(out.len() - start);
+            out.extend_from_within(start..start + take);
+            remaining -= take;
+        }
+    }
+    if out.len() != expected_len {
+        return Err(corrupt("decoded size does not match declared chunk size"));
+    }
+    Ok(())
+}
+
+/// XOR-delta against the previous value, then split the delta bytes into
+/// four byte planes. `out` is resized to `values.len() * 4`.
+pub fn forward_transform(values: &[f32], out: &mut Vec<u8>) {
+    let n = values.len();
+    out.clear();
+    out.resize(n * 4, 0);
+    let (p0, rest) = out.split_at_mut(n);
+    let (p1, rest) = rest.split_at_mut(n);
+    let (p2, p3) = rest.split_at_mut(n);
+    let mut prev = 0u32;
+    for (i, v) in values.iter().enumerate() {
+        let bits = v.to_bits();
+        let b = (bits ^ prev).to_le_bytes();
+        prev = bits;
+        p0[i] = b[0];
+        p1[i] = b[1];
+        p2[i] = b[2];
+        p3[i] = b[3];
+    }
+}
+
+/// Invert [`forward_transform`]: gather the four byte planes and undo the
+/// XOR-delta. `bytes.len()` must be exactly `out.len() * 4`.
+pub fn inverse_transform(bytes: &[u8], out: &mut [f32]) -> Result<()> {
+    let n = out.len();
+    if bytes.len() != n * 4 {
+        return Err(corrupt("transformed payload has wrong length"));
+    }
+    let (p0, rest) = bytes.split_at(n);
+    let (p1, rest) = rest.split_at(n);
+    let (p2, p3) = rest.split_at(n);
+    let mut prev = 0u32;
+    for (i, v) in out.iter_mut().enumerate() {
+        let d = u32::from_le_bytes([p0[i], p1[i], p2[i], p3[i]]);
+        prev ^= d;
+        *v = f32::from_bits(prev);
+    }
+    Ok(())
+}
+
+/// Compress one chunk of component values. Appends the payload to `out`
+/// (cleared first) and returns the method tag. Falls back to
+/// [`METHOD_RAW`] when the transform+LZ pipeline does not shrink the
+/// chunk, so compressed payloads never exceed raw ones.
+pub fn compress_chunk(values: &[f32], scratch: &mut Vec<u8>, out: &mut Vec<u8>) -> u32 {
+    out.clear();
+    forward_transform(values, scratch);
+    lz_compress(scratch, out);
+    if out.len() >= values.len() * 4 {
+        out.clear();
+        for v in values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        METHOD_RAW
+    } else {
+        METHOD_DELTA_LZ
+    }
+}
+
+/// Decompress one chunk into `out` (its length selects the expected value
+/// count). The compressed bytes are untrusted: any structural problem is
+/// an error, never a panic.
+pub fn decompress_chunk(
+    method: u32,
+    comp: &[u8],
+    scratch: &mut Vec<u8>,
+    out: &mut [f32],
+) -> Result<()> {
+    match method {
+        METHOD_RAW => {
+            if comp.len() != out.len() * 4 {
+                return Err(corrupt("raw chunk has wrong length"));
+            }
+            for (v, b) in out.iter_mut().zip(comp.chunks_exact(4)) {
+                *v = f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+            }
+            Ok(())
+        }
+        METHOD_DELTA_LZ => {
+            lz_decompress(comp, out.len() * 4, scratch)?;
+            inverse_transform(scratch, out)
+        }
+        m => Err(corrupt(&format!("unknown method tag {m}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[f32]) -> (u32, usize) {
+        let mut scratch = Vec::new();
+        let mut comp = Vec::new();
+        let method = compress_chunk(values, &mut scratch, &mut comp);
+        let mut back = vec![0.0f32; values.len()];
+        decompress_chunk(method, &comp, &mut scratch, &mut back).expect("decode");
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bitwise roundtrip");
+        }
+        (method, comp.len())
+    }
+
+    #[test]
+    fn smooth_data_compresses() {
+        let values: Vec<f32> = (0..MAX_CHUNK_VALUES)
+            .map(|i| 1.0 + (i as f32) * 1e-4)
+            .collect();
+        let (method, len) = roundtrip(&values);
+        assert_eq!(method, METHOD_DELTA_LZ);
+        assert!(
+            len < values.len() * 4 / 2,
+            "smooth ramp should compress >2x, got {len} of {}",
+            values.len() * 4
+        );
+    }
+
+    #[test]
+    fn constant_data_collapses() {
+        let values = vec![3.25f32; 4096];
+        let (method, len) = roundtrip(&values);
+        assert_eq!(method, METHOD_DELTA_LZ);
+        assert!(len < 128, "constant chunk should nearly vanish, got {len}");
+    }
+
+    #[test]
+    fn zeros_collapse() {
+        // A run costs ~1 extension byte per 255 matched bytes, so the
+        // floor is ~length/255, not a constant.
+        let (_, len) = roundtrip(&vec![0.0f32; MAX_CHUNK_VALUES]);
+        assert!(
+            len < MAX_CHUNK_VALUES * 4 / 100,
+            "zero chunk should compress >100x, got {len}"
+        );
+    }
+
+    #[test]
+    fn random_noise_falls_back_to_raw() {
+        // Deterministic xorshift noise — full-entropy mantissas and
+        // exponents do not compress, so the raw fallback must kick in
+        // and the payload must not expand.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let values: Vec<f32> = (0..4096)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                f32::from_bits((state as u32) | 0x0040_0000)
+            })
+            .collect();
+        let (method, len) = roundtrip(&values);
+        assert_eq!(method, METHOD_RAW);
+        assert_eq!(len, values.len() * 4);
+    }
+
+    #[test]
+    fn special_bit_patterns_roundtrip() {
+        let values = [
+            0.0,
+            -0.0,
+            f32::NAN,
+            f32::from_bits(0x7fc0_dead), // NaN with payload
+            f32::from_bits(0xffc0_0001), // negative quiet NaN
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE,
+            f32::from_bits(1), // smallest subnormal
+            f32::MAX,
+            -f32::MAX,
+        ];
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn empty_and_tiny_chunks_roundtrip() {
+        roundtrip(&[]);
+        roundtrip(&[1.5]);
+        roundtrip(&[1.5, -2.5, 3.5]);
+    }
+
+    #[test]
+    fn literal_run_extension_boundaries() {
+        // Byte-level LZ roundtrip at the 15 / 15+255 literal-run edges.
+        for n in [14usize, 15, 16, 269, 270, 271, 600] {
+            let src: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+            let mut comp = Vec::new();
+            lz_compress(&src, &mut comp);
+            let mut back = Vec::new();
+            lz_decompress(&comp, src.len(), &mut back).expect("decode");
+            assert_eq!(back, src, "n={n}");
+        }
+    }
+
+    #[test]
+    fn long_match_extension_and_overlap() {
+        // Period-1 and period-3 runs exercise overlapping matches and the
+        // match-length extension bytes.
+        for (period, n) in [(1usize, 5000usize), (3, 5000), (7, 1000)] {
+            let src: Vec<u8> = (0..n).map(|i| (i % period) as u8).collect();
+            let mut comp = Vec::new();
+            lz_compress(&src, &mut comp);
+            assert!(comp.len() < n / 4, "period {period} should compress");
+            let mut back = Vec::new();
+            lz_decompress(&comp, src.len(), &mut back).expect("decode");
+            assert_eq!(back, src);
+        }
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let values: Vec<f32> = (0..2048).map(|i| (i as f32).sin()).collect();
+        let mut scratch = Vec::new();
+        let mut comp = Vec::new();
+        let method = compress_chunk(&values, &mut scratch, &mut comp);
+        let mut back = vec![0.0f32; values.len()];
+        for cut in [0, 1, comp.len() / 2, comp.len() - 1] {
+            assert!(
+                decompress_chunk(method, &comp[..cut], &mut scratch, &mut back).is_err(),
+                "cut={cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_expected_len_rejected() {
+        let src = vec![7u8; 100];
+        let mut comp = Vec::new();
+        lz_compress(&src, &mut comp);
+        let mut back = Vec::new();
+        assert!(lz_decompress(&comp, 99, &mut back).is_err());
+        assert!(lz_decompress(&comp, 101, &mut back).is_err());
+    }
+
+    #[test]
+    fn corrupt_offset_rejected() {
+        // A match at the very start of the stream has nothing to refer
+        // back to; hand-build one.
+        let stream = [0x04u8, 0xff, 0xff]; // token: 0 literals, match len 8, offset 0xffff
+        let mut out = Vec::new();
+        assert!(lz_decompress(&stream, 8, &mut out).is_err());
+        let zero_off = [0x04u8, 0x00, 0x00];
+        assert!(lz_decompress(&zero_off, 8, &mut out).is_err());
+    }
+
+    #[test]
+    fn unknown_method_rejected() {
+        let mut scratch = Vec::new();
+        let mut out = vec![0.0f32; 4];
+        assert!(decompress_chunk(99, &[0u8; 16], &mut scratch, &mut out).is_err());
+    }
+
+    #[test]
+    fn checksum_is_stable_and_sensitive() {
+        assert_eq!(checksum(b""), 0x811c_9dc5);
+        let a = checksum(b"dvw");
+        let mut flipped = b"dvw".to_vec();
+        flipped[0] ^= 1;
+        assert_ne!(a, checksum(&flipped));
+    }
+}

@@ -17,9 +17,12 @@
 //! the reader can stream each component straight into the SoA field layout
 //! without a transpose.
 
+use crate::codec;
 use crate::dataset::{DatasetMeta, VelocityCoords};
 use crate::field::FieldSample;
-use crate::{CurvilinearGrid, Dataset, Dims, FieldError, Result, VectorField};
+use crate::{CurvilinearGrid, Dataset, Dims, FieldError, Result, VectorField, VectorFieldSoA};
+use rayon::prelude::*;
+use std::cell::RefCell;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
@@ -29,6 +32,23 @@ const MAGIC_GRID: &[u8; 4] = b"DVWG";
 const MAGIC_VELOCITY: &[u8; 4] = b"DVWQ";
 const MAGIC_META: &[u8; 4] = b"DVWM";
 const FORMAT_VERSION: u32 = 1;
+
+/// Current velocity *container* version, written by [`write_velocity_v2`].
+/// Version 2 splits the payload into independently-decodable compressed
+/// chunks (see [`codec`]); version 1 is the raw component-planar layout.
+/// Grid and meta files stay at version 1 — their layout is unchanged.
+///
+/// This constant must change iff the container layout changes; dvw-lint's
+/// wire pass pins it against `lint.toml` the same way PROTOCOL_VERSION is
+/// pinned (a bump requires the layout-change marker named there).
+pub const DATASET_FORMAT_VERSION: u32 = 2;
+
+/// v2 chunking granularity in values (64 KiB of raw f32 per chunk).
+pub const V2_CHUNK_VALUES: usize = codec::MAX_CHUNK_VALUES;
+
+/// Sanity bound when reading a v2 header: chunk granularity this large
+/// would defeat independent decode and is certainly corruption.
+const V2_MAX_CHUNK_VALUES: usize = 1 << 20;
 
 fn write_u32(w: &mut impl Write, v: u32) -> Result<()> {
     w.write_all(&v.to_le_bytes())?;
@@ -162,41 +182,404 @@ pub struct VelocityHeader {
     pub time: f32,
 }
 
-/// Read one velocity timestep, reusing `into` (must match dims) to avoid
-/// per-frame allocation — the disk-streaming loop of §5.2 reads a timestep
-/// every frame, so the buffer is recycled. Returns the header.
-pub fn read_velocity_into(path: &Path, into: &mut VectorField) -> Result<VelocityHeader> {
-    let mut r = BufReader::with_capacity(256 * 1024, File::open(path)?);
-    expect_magic(&mut r, MAGIC_VELOCITY)?;
-    check_version(&mut r)?;
-    let dims = read_dims(&mut r)?;
-    if dims != into.dims() {
-        return Err(FieldError::LengthMismatch {
-            expected: into.dims().point_count(),
-            actual: dims.point_count(),
-        });
-    }
-    let index = read_u32(&mut r)?;
-    let time = read_f32(&mut r)?;
-    read_plane(&mut r, into.as_mut_slice(), |v, f| v.x = f)?;
-    read_plane(&mut r, into.as_mut_slice(), |v, f| v.y = f)?;
-    read_plane(&mut r, into.as_mut_slice(), |v, f| v.z = f)?;
-    Ok(VelocityHeader { dims, index, time })
+/// Bounds-checked little-endian cursor over an in-memory velocity file.
+/// Velocity reads slurp the whole file in one syscall (the streaming loop
+/// of §5.2 wants exactly one big sequential read per timestep) and parse
+/// from the slice; truncation surfaces as a typed error, never a panic.
+struct Cur<'a> {
+    data: &'a [u8],
+    pos: usize,
 }
 
-/// Read one velocity timestep into a fresh field.
+impl<'a> Cur<'a> {
+    fn new(data: &'a [u8]) -> Cur<'a> {
+        Cur { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| FieldError::Format("velocity file offset overflows".into()))?;
+        let s = self
+            .data
+            .get(self.pos..end)
+            .ok_or_else(|| FieldError::Format("velocity file truncated".into()))?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f32(&mut self) -> Result<f32> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn rest(&self) -> &'a [u8] {
+        self.data.get(self.pos..).unwrap_or(&[])
+    }
+}
+
+/// One v2 chunk: a contiguous run of values of one component.
+struct ChunkDesc<'a> {
+    method: u32,
+    checksum: u32,
+    values: usize,
+    bytes: &'a [u8],
+}
+
+// Per-worker decode scratch (LZ output + one component plane), reused
+// across fetches so the steady-state decode path allocates nothing.
+thread_local! {
+    static DECODE_SCRATCH: RefCell<(Vec<u8>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Decode one chunk, checksum-verified, into `out` (len == chunk values).
+fn decode_chunk_into(d: &ChunkDesc<'_>, out: &mut [f32]) -> Result<()> {
+    if codec::checksum(d.bytes) != d.checksum {
+        return Err(FieldError::Format("chunk checksum mismatch".into()));
+    }
+    DECODE_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        codec::decompress_chunk(d.method, d.bytes, &mut scratch.0, out)
+    })
+}
+
+/// Parse the v2 chunk table that follows the common header. Returns the
+/// chunk granularity and the three per-component descriptor runs
+/// (concatenated, component-major: all U chunks, then V, then W).
+fn parse_v2_chunks<'a>(c: &mut Cur<'a>, point_count: usize) -> Result<(usize, Vec<ChunkDesc<'a>>)> {
+    let chunk_values = c.u32()? as usize;
+    if chunk_values == 0 || chunk_values > V2_MAX_CHUNK_VALUES {
+        return Err(FieldError::Format(format!(
+            "bad v2 chunk granularity {chunk_values}"
+        )));
+    }
+    let chunk_count = c.u32()? as usize;
+    let per_comp = point_count.div_ceil(chunk_values);
+    if chunk_count != per_comp * 3 {
+        return Err(FieldError::Format(format!(
+            "v2 chunk count {chunk_count} does not match {per_comp} per component"
+        )));
+    }
+    let mut chunks = Vec::with_capacity(chunk_count);
+    for i in 0..chunk_count {
+        let method = c.u32()?;
+        let values = c.u32()? as usize;
+        let comp_len = c.u32()? as usize;
+        let checksum = c.u32()?;
+        let expected = match (i % per_comp.max(1)) + 1 == per_comp {
+            true => point_count - (per_comp - 1) * chunk_values,
+            false => chunk_values,
+        };
+        if values != expected {
+            return Err(FieldError::Format(format!(
+                "v2 chunk {i} declares {values} values, expected {expected}"
+            )));
+        }
+        let bytes = c.take(comp_len)?;
+        chunks.push(ChunkDesc {
+            method,
+            checksum,
+            values,
+            bytes,
+        });
+    }
+    if !c.rest().is_empty() {
+        return Err(FieldError::Format(
+            "trailing bytes after v2 chunk table".into(),
+        ));
+    }
+    Ok((chunk_values, chunks))
+}
+
+/// Common velocity header: magic, version, dims, index, time. Returns the
+/// version so the caller can dispatch on the container layout.
+fn parse_velocity_header(c: &mut Cur<'_>) -> Result<(u32, VelocityHeader)> {
+    let magic = c.take(4)?;
+    if magic != MAGIC_VELOCITY {
+        return Err(FieldError::Format(format!(
+            "bad magic: expected \"DVWQ\", found {:?}",
+            String::from_utf8_lossy(magic)
+        )));
+    }
+    let version = c.u32()?;
+    if version != FORMAT_VERSION && version != DATASET_FORMAT_VERSION {
+        return Err(FieldError::Format(format!(
+            "unsupported velocity format version {version} (expected {FORMAT_VERSION} or {DATASET_FORMAT_VERSION})"
+        )));
+    }
+    let dims = Dims::new(c.u32()?, c.u32()?, c.u32()?);
+    let index = c.u32()?;
+    let time = c.f32()?;
+    Ok((version, VelocityHeader { dims, index, time }))
+}
+
+/// Decode a v1 component-planar payload into an AoS field.
+fn decode_v1_into(c: &Cur<'_>, into: &mut VectorField) -> Result<()> {
+    let n = into.dims().point_count();
+    let rest = c.rest();
+    if rest.len() != n * 12 {
+        return Err(FieldError::Format(format!(
+            "v1 payload is {} bytes, expected {}",
+            rest.len(),
+            n * 12
+        )));
+    }
+    let (px, rest) = rest.split_at(n * 4);
+    let (py, pz) = rest.split_at(n * 4);
+    let out = into.as_mut_slice();
+    for (v, b) in out.iter_mut().zip(px.chunks_exact(4)) {
+        v.x = f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+    }
+    for (v, b) in out.iter_mut().zip(py.chunks_exact(4)) {
+        v.y = f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+    }
+    for (v, b) in out.iter_mut().zip(pz.chunks_exact(4)) {
+        v.z = f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+    }
+    Ok(())
+}
+
+/// Decode a v2 chunked payload into an AoS field. Point ranges are
+/// decoded in parallel via rayon: each range scatters its three component
+/// chunks into a disjoint slice of the field.
+fn decode_v2_into(mut c: Cur<'_>, into: &mut VectorField) -> Result<()> {
+    let n = into.dims().point_count();
+    let (chunk_values, chunks) = parse_v2_chunks(&mut c, n)?;
+    let per_comp = n.div_ceil(chunk_values);
+    let ranges: Vec<(usize, &mut [Vec3])> = into
+        .as_mut_slice()
+        .chunks_mut(chunk_values)
+        .enumerate()
+        .collect();
+    let chunks = &chunks;
+    let errors: Vec<FieldError> = ranges
+        .into_par_iter()
+        .filter_map(|(ri, dst)| decode_range(chunks, per_comp, ri, dst).err())
+        .collect();
+    match errors.into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Decode the U/V/W chunks of point range `ri` and scatter them into the
+/// AoS destination slice.
+fn decode_range(
+    chunks: &[ChunkDesc<'_>],
+    per_comp: usize,
+    ri: usize,
+    dst: &mut [Vec3],
+) -> Result<()> {
+    for comp in 0..3 {
+        let d = chunks
+            .get(comp * per_comp + ri)
+            .ok_or_else(|| FieldError::Format("chunk table shorter than ranges".into()))?;
+        if d.values != dst.len() {
+            return Err(FieldError::Format(
+                "chunk length does not match point range".into(),
+            ));
+        }
+        DECODE_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let (lz, plane) = &mut *scratch;
+            plane.clear();
+            plane.resize(dst.len(), 0.0);
+            if codec::checksum(d.bytes) != d.checksum {
+                return Err(FieldError::Format("chunk checksum mismatch".into()));
+            }
+            codec::decompress_chunk(d.method, d.bytes, lz, plane)?;
+            match comp {
+                0 => {
+                    for (v, f) in dst.iter_mut().zip(plane.iter()) {
+                        v.x = *f;
+                    }
+                }
+                1 => {
+                    for (v, f) in dst.iter_mut().zip(plane.iter()) {
+                        v.y = *f;
+                    }
+                }
+                _ => {
+                    for (v, f) in dst.iter_mut().zip(plane.iter()) {
+                        v.z = *f;
+                    }
+                }
+            }
+            Ok(())
+        })?;
+    }
+    Ok(())
+}
+
+/// Decode an in-memory velocity file (either container version) into
+/// `into` (must match dims). Split from [`read_velocity_into`] so callers
+/// that account I/O and decode time separately — the storage fast path —
+/// can do the file read themselves.
+pub fn decode_velocity_into(data: &[u8], into: &mut VectorField) -> Result<VelocityHeader> {
+    let mut c = Cur::new(data);
+    let (version, header) = parse_velocity_header(&mut c)?;
+    if header.dims != into.dims() {
+        return Err(FieldError::LengthMismatch {
+            expected: into.dims().point_count(),
+            actual: header.dims.point_count(),
+        });
+    }
+    match version {
+        FORMAT_VERSION => decode_v1_into(&c, into)?,
+        _ => decode_v2_into(c, into)?,
+    }
+    Ok(header)
+}
+
+/// Read one velocity timestep, reusing `into` (must match dims) to avoid
+/// per-frame allocation — the disk-streaming loop of §5.2 reads a timestep
+/// every frame, so the buffer is recycled. Handles both container
+/// versions: v1 raw planes and v2 compressed chunks. Returns the header.
+pub fn read_velocity_into(path: &Path, into: &mut VectorField) -> Result<VelocityHeader> {
+    let data = std::fs::read(path)?;
+    decode_velocity_into(&data, into)
+}
+
+/// Read one velocity timestep (either container version) into a fresh
+/// field.
 pub fn read_velocity(path: &Path) -> Result<(VelocityHeader, VectorField)> {
-    let mut r = BufReader::with_capacity(256 * 1024, File::open(path)?);
-    expect_magic(&mut r, MAGIC_VELOCITY)?;
-    check_version(&mut r)?;
-    let dims = read_dims(&mut r)?;
-    let index = read_u32(&mut r)?;
-    let time = read_f32(&mut r)?;
-    let mut field = VectorField::zeros(dims);
-    read_plane(&mut r, field.as_mut_slice(), |v, f| v.x = f)?;
-    read_plane(&mut r, field.as_mut_slice(), |v, f| v.y = f)?;
-    read_plane(&mut r, field.as_mut_slice(), |v, f| v.z = f)?;
-    Ok((VelocityHeader { dims, index, time }, field))
+    let data = std::fs::read(path)?;
+    let mut c = Cur::new(&data);
+    let (version, header) = parse_velocity_header(&mut c)?;
+    let mut field = VectorField::zeros(header.dims);
+    match version {
+        FORMAT_VERSION => decode_v1_into(&c, &mut field)?,
+        _ => decode_v2_into(c, &mut field)?,
+    }
+    Ok((header, field))
+}
+
+/// Decode an in-memory velocity file straight into the SoA layout,
+/// skipping the AoS detour entirely. For v1 the component-planar file
+/// layout *is* the SoA layout, so this is three straight memcpy-style
+/// plane reads; for v2 each component's chunks decompress directly into
+/// its plane (in parallel via rayon — disjoint output ranges per chunk).
+pub fn decode_velocity_soa_into(data: &[u8], into: &mut VectorFieldSoA) -> Result<VelocityHeader> {
+    let mut c = Cur::new(data);
+    let (version, header) = parse_velocity_header(&mut c)?;
+    if header.dims != into.dims() {
+        return Err(FieldError::LengthMismatch {
+            expected: into.dims().point_count(),
+            actual: header.dims.point_count(),
+        });
+    }
+    let n = header.dims.point_count();
+    if version == FORMAT_VERSION {
+        let rest = c.rest();
+        if rest.len() != n * 12 {
+            return Err(FieldError::Format(format!(
+                "v1 payload is {} bytes, expected {}",
+                rest.len(),
+                n * 12
+            )));
+        }
+        let (px, rest) = rest.split_at(n * 4);
+        let (py, pz) = rest.split_at(n * 4);
+        for (plane, out) in [(px, &mut into.x), (py, &mut into.y), (pz, &mut into.z)] {
+            for (v, b) in out.iter_mut().zip(plane.chunks_exact(4)) {
+                *v = f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+            }
+        }
+        return Ok(header);
+    }
+    let (chunk_values, chunks) = parse_v2_chunks(&mut c, n)?;
+    let per_comp = n.div_ceil(chunk_values);
+    for (comp, plane) in [&mut into.x, &mut into.y, &mut into.z]
+        .into_iter()
+        .enumerate()
+    {
+        let comp_chunks = chunks
+            .get(comp * per_comp..(comp + 1) * per_comp)
+            .ok_or_else(|| FieldError::Format("chunk table shorter than ranges".into()))?;
+        let items: Vec<(&ChunkDesc<'_>, &mut [f32])> = comp_chunks
+            .iter()
+            .zip(plane.chunks_mut(chunk_values))
+            .collect();
+        let errors: Vec<FieldError> = items
+            .into_par_iter()
+            .filter_map(|(d, dst)| {
+                if d.values != dst.len() {
+                    return Some(FieldError::Format(
+                        "chunk length does not match point range".into(),
+                    ));
+                }
+                decode_chunk_into(d, dst).err()
+            })
+            .collect();
+        if let Some(e) = errors.into_iter().next() {
+            return Err(e);
+        }
+    }
+    Ok(header)
+}
+
+/// Read one velocity timestep straight into the SoA layout (see
+/// [`decode_velocity_soa_into`]).
+pub fn read_velocity_soa_into(path: &Path, into: &mut VectorFieldSoA) -> Result<VelocityHeader> {
+    let data = std::fs::read(path)?;
+    decode_velocity_soa_into(&data, into)
+}
+
+/// Write one velocity timestep in the v2 compressed container: the common
+/// header, then `chunk_values`/`chunk_count`, then component-major chunks
+/// each tagged `(method, raw_values, comp_len, checksum)`. Chunks are
+/// independently decodable (the XOR-delta restarts per chunk) so readers
+/// can decompress them in parallel.
+pub fn write_velocity_v2(path: &Path, index: u32, time: f32, field: &VectorField) -> Result<()> {
+    let mut w = BufWriter::with_capacity(256 * 1024, File::create(path)?);
+    w.write_all(MAGIC_VELOCITY)?;
+    write_u32(&mut w, DATASET_FORMAT_VERSION)?;
+    write_dims(&mut w, field.dims())?;
+    write_u32(&mut w, index)?;
+    write_f32(&mut w, time)?;
+    let n = field.dims().point_count();
+    let cv = V2_CHUNK_VALUES;
+    let per_comp = n.div_ceil(cv);
+    let cv_u32 = u32::try_from(cv)
+        .map_err(|_| FieldError::Format("chunk granularity exceeds u32::MAX".into()))?;
+    let count_u32 = u32::try_from(per_comp * 3)
+        .map_err(|_| FieldError::Format("chunk count exceeds u32::MAX".into()))?;
+    write_u32(&mut w, cv_u32)?;
+    write_u32(&mut w, count_u32)?;
+    let pts = field.as_slice();
+    let mut values: Vec<f32> = Vec::with_capacity(cv.min(n.max(1)));
+    let mut scratch = Vec::new();
+    let mut comp_buf = Vec::new();
+    for comp in 0..3u32 {
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + cv).min(n);
+            values.clear();
+            values.extend(pts[start..end].iter().map(|v| match comp {
+                0 => v.x,
+                1 => v.y,
+                _ => v.z,
+            }));
+            let method = codec::compress_chunk(&values, &mut scratch, &mut comp_buf);
+            write_u32(&mut w, method)?;
+            let raw_u32 = u32::try_from(values.len())
+                .map_err(|_| FieldError::Format("chunk value count exceeds u32::MAX".into()))?;
+            write_u32(&mut w, raw_u32)?;
+            let len_u32 = u32::try_from(comp_buf.len())
+                .map_err(|_| FieldError::Format("compressed chunk exceeds u32::MAX".into()))?;
+            write_u32(&mut w, len_u32)?;
+            write_u32(&mut w, codec::checksum(&comp_buf))?;
+            w.write_all(&comp_buf)?;
+            start = end;
+        }
+    }
+    w.flush()?;
+    Ok(())
 }
 
 /// Write dataset metadata.
@@ -280,6 +663,45 @@ pub fn write_dataset(dir: &Path, dataset: &Dataset) -> Result<()> {
         write_velocity(&velocity_path(dir, idx), index, time, field)?;
     }
     Ok(())
+}
+
+/// Write a whole in-memory dataset as a dataset directory using the v2
+/// compressed velocity container (meta and grid keep their v1 layout —
+/// they are read once at open, not streamed).
+pub fn write_dataset_v2(dir: &Path, dataset: &Dataset) -> Result<()> {
+    std::fs::create_dir_all(dir)?;
+    write_meta(&meta_path(dir), dataset.meta())?;
+    write_grid(&grid_path(dir), dataset.grid())?;
+    for (idx, field) in dataset.timesteps().iter().enumerate() {
+        let time = idx as f32 * dataset.meta().dt;
+        let index = u32::try_from(idx)
+            .map_err(|_| FieldError::Format("timestep index exceeds u32::MAX".into()))?;
+        write_velocity_v2(&velocity_path(dir, idx), index, time, field)?;
+    }
+    Ok(())
+}
+
+/// Migrate a dataset directory to the v2 compressed container: meta and
+/// grid are copied verbatim, every timestep is re-encoded (v1 inputs are
+/// decoded first; v2 inputs are recompressed, which is a lossless no-op).
+/// One reusable field buffer bounds memory at a single timestep. Returns
+/// the number of timesteps migrated.
+pub fn migrate_dataset_to_v2(src: &Path, dst: &Path) -> Result<usize> {
+    if src == dst {
+        return Err(FieldError::Format(
+            "migration target must differ from source".into(),
+        ));
+    }
+    std::fs::create_dir_all(dst)?;
+    let meta = read_meta(&meta_path(src))?;
+    std::fs::copy(meta_path(src), meta_path(dst))?;
+    std::fs::copy(grid_path(src), grid_path(dst))?;
+    let mut buf = VectorField::zeros(meta.dims);
+    for idx in 0..meta.timestep_count {
+        let header = read_velocity_into(&velocity_path(src, idx), &mut buf)?;
+        write_velocity_v2(&velocity_path(dst, idx), header.index, header.time, &buf)?;
+    }
+    Ok(meta.timestep_count)
 }
 
 /// Read a whole dataset directory into memory (only sensible when it fits;
@@ -431,6 +853,160 @@ mod tests {
         assert_eq!(velocity_path(dir, 799).file_name().unwrap(), "q.00799.dvwq");
         // Lexicographic order == numeric order, so `ls` shows play order.
         assert!(velocity_path(dir, 9) < velocity_path(dir, 10));
+    }
+
+    #[test]
+    fn v2_velocity_roundtrip_bitwise() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("q.dvwq");
+        let f = sample_field(3.5);
+        write_velocity_v2(&path, 7, 0.35, &f).unwrap();
+        let (h, f2) = read_velocity(&path).unwrap();
+        assert_eq!(h.index, 7);
+        assert_eq!(h.dims, f.dims());
+        for (a, b) in f.as_slice().iter().zip(f2.as_slice()) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
+    }
+
+    #[test]
+    fn v2_read_into_and_soa_agree() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("q.dvwq");
+        let f = sample_field(-2.0);
+        write_velocity_v2(&path, 3, 1.5, &f).unwrap();
+        let mut aos = VectorField::zeros(f.dims());
+        read_velocity_into(&path, &mut aos).unwrap();
+        assert_eq!(aos, f);
+        let mut soa = VectorFieldSoA::zeros(f.dims());
+        let h = read_velocity_soa_into(&path, &mut soa).unwrap();
+        assert_eq!(h.index, 3);
+        assert_eq!(soa.to_aos(), f);
+    }
+
+    #[test]
+    fn v1_soa_read_matches_aos_read() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("q.dvwq");
+        let f = sample_field(0.75);
+        write_velocity(&path, 1, 0.1, &f).unwrap();
+        let mut soa = VectorFieldSoA::zeros(f.dims());
+        read_velocity_soa_into(&path, &mut soa).unwrap();
+        assert_eq!(soa.to_aos(), f);
+    }
+
+    #[test]
+    fn v2_spans_multiple_chunks() {
+        // > MAX_CHUNK_VALUES points so every component needs 2+ chunks.
+        let dims = Dims::new(66, 33, 9); // 19 602 points
+        let f = VectorField::from_fn(dims, |i, j, k| {
+            Vec3::new(
+                (i as f32 * 0.37).sin(),
+                (j as f32 * 0.21).cos() * 0.01,
+                k as f32 * -1.5,
+            )
+        });
+        assert!(dims.point_count() > crate::codec::MAX_CHUNK_VALUES);
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("q.dvwq");
+        write_velocity_v2(&path, 0, 0.0, &f).unwrap();
+        let (_, f2) = read_velocity(&path).unwrap();
+        for (a, b) in f.as_slice().iter().zip(f2.as_slice()) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
+    }
+
+    #[test]
+    fn v2_truncated_and_corrupt_rejected() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("q.dvwq");
+        let f = sample_field(1.25);
+        write_velocity_v2(&path, 0, 0.0, &f).unwrap();
+        let full = std::fs::read(&path).unwrap();
+
+        // Truncation anywhere in the chunk region fails loudly.
+        for cut in [full.len() - 1, full.len() / 2, 30] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(read_velocity(&path).is_err(), "cut={cut}");
+        }
+
+        // A flipped payload byte trips the per-chunk checksum.
+        let mut corrupt = full.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x40;
+        std::fs::write(&path, &corrupt).unwrap();
+        let err = read_velocity(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("checksum"),
+            "expected checksum error, got: {err}"
+        );
+
+        // Trailing garbage after the chunk table is rejected too.
+        let mut padded = full.clone();
+        padded.push(0);
+        std::fs::write(&path, &padded).unwrap();
+        assert!(read_velocity(&path).is_err());
+    }
+
+    #[test]
+    fn wrong_version_header_rejected() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("q.dvwq");
+        write_velocity(&path, 0, 0.0, &sample_field(0.0)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_velocity(&path).unwrap_err();
+        assert!(err.to_string().contains("version"), "got: {err}");
+        let mut soa = VectorFieldSoA::zeros(Dims::new(4, 3, 2));
+        assert!(read_velocity_soa_into(&path, &mut soa).is_err());
+    }
+
+    #[test]
+    fn v2_dataset_directory_roundtrip_and_migration() {
+        let dir = tempdir().unwrap();
+        let v1_dir = dir.path().join("v1");
+        let v2_dir = dir.path().join("v2");
+        let migrated_dir = dir.path().join("migrated");
+        let grid = sample_grid();
+        let meta = DatasetMeta {
+            name: "round".into(),
+            dims: grid.dims(),
+            timestep_count: 3,
+            dt: 0.1,
+            coords: VelocityCoords::Grid,
+        };
+        let ds = Dataset::new(
+            meta,
+            grid,
+            vec![sample_field(0.0), sample_field(1.0), sample_field(2.0)],
+        )
+        .unwrap();
+
+        write_dataset(&v1_dir, &ds).unwrap();
+        write_dataset_v2(&v2_dir, &ds).unwrap();
+        let back_v2 = read_dataset(&v2_dir).unwrap();
+        assert_eq!(back_v2.meta(), ds.meta());
+        assert_eq!(back_v2.timesteps(), ds.timesteps());
+
+        let n = migrate_dataset_to_v2(&v1_dir, &migrated_dir).unwrap();
+        assert_eq!(n, 3);
+        let back_migrated = read_dataset(&migrated_dir).unwrap();
+        assert_eq!(back_migrated.timesteps(), ds.timesteps());
+
+        // Migrated files really are v2 containers.
+        let bytes = std::fs::read(velocity_path(&migrated_dir, 0)).unwrap();
+        assert_eq!(&bytes[4..8], &DATASET_FORMAT_VERSION.to_le_bytes());
+    }
+
+    #[test]
+    fn migration_rejects_in_place() {
+        let dir = tempdir().unwrap();
+        assert!(migrate_dataset_to_v2(dir.path(), dir.path()).is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //!   disk-resident store.
 
 pub mod blend;
+pub mod codec;
 pub mod dataset;
 pub mod decimate;
 pub mod dims;

@@ -1,0 +1,190 @@
+//! Property tests for the v2 compressed timestep container: whatever the
+//! bit patterns — NaNs, negative zero, infinities, denormals — a
+//! write→read roundtrip must be bitwise identical, and malformed files
+//! must be rejected, never mis-decoded.
+//!
+//! Case count honors `PROPTEST_CASES` (check.sh runs these at 64).
+
+use flowfield::codec;
+use flowfield::format::{self, DATASET_FORMAT_VERSION};
+use flowfield::{Dims, VectorField};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use vecmath::Vec3;
+
+/// An f32 with adversarial bit patterns mixed in: quiet/signaling NaNs,
+/// ±0.0, ±inf, denormals, plus ordinary turbulent-looking magnitudes.
+fn hostile_f32(rng: &mut StdRng) -> f32 {
+    match rng.random_range(0..10u32) {
+        0 => f32::NAN,
+        1 => f32::from_bits(0x7f80_0001), // signaling NaN payload
+        2 => -0.0,
+        3 => f32::INFINITY,
+        4 => f32::NEG_INFINITY,
+        5 => f32::from_bits(rng.random_range(1..0x0080_0000)), // denormal
+        6 => 0.0,
+        _ => (rng.random::<f32>() - 0.5) * 10f32.powi(rng.random_range(-6..6)),
+    }
+}
+
+fn hostile_field(dims: Dims, seed: u64) -> VectorField {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let values: Vec<Vec3> = (0..dims.point_count())
+        .map(|_| {
+            Vec3::new(
+                hostile_f32(&mut rng),
+                hostile_f32(&mut rng),
+                hostile_f32(&mut rng),
+            )
+        })
+        .collect();
+    let mut field = VectorField::zeros(dims);
+    field.as_mut_slice().copy_from_slice(&values);
+    field
+}
+
+fn assert_bitwise_eq(a: &VectorField, b: &VectorField) {
+    for (i, (va, vb)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        for (ca, cb) in [(va.x, vb.x), (va.y, vb.y), (va.z, vb.z)] {
+            assert_eq!(
+                ca.to_bits(),
+                cb.to_bits(),
+                "component differs at point {i}: {ca:?} vs {cb:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_v2_roundtrip_bitwise_identical(
+        nx in 2u32..24, ny in 2u32..20, nz in 2u32..16, seed in 0u64..1_000_000,
+    ) {
+        let dims = Dims::new(nx, ny, nz);
+        let field = hostile_field(dims, seed);
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("ts.v2");
+        format::write_velocity_v2(&path, 7, 0.35, &field).unwrap();
+        let (header, decoded) = format::read_velocity(&path).unwrap();
+        prop_assert_eq!(header.index, 7);
+        prop_assert_eq!(header.dims, dims);
+        assert_bitwise_eq(&field, &decoded);
+        // The SoA fast path decodes the identical bits.
+        let mut soa = flowfield::VectorFieldSoA::zeros(dims);
+        format::read_velocity_soa_into(&path, &mut soa).unwrap();
+        for (i, v) in field.as_slice().iter().enumerate() {
+            prop_assert_eq!(v.x.to_bits(), soa.x[i].to_bits());
+            prop_assert_eq!(v.y.to_bits(), soa.y[i].to_bits());
+            prop_assert_eq!(v.z.to_bits(), soa.z[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn prop_chunk_codec_roundtrip(len in 1usize..3000, seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<f32> = (0..len).map(|_| hostile_f32(&mut rng)).collect();
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        let method = codec::compress_chunk(&values, &mut scratch, &mut out);
+        let mut back = vec![0.0f32; len];
+        codec::decompress_chunk(method, &out, &mut scratch, &mut back).unwrap();
+        for (a, b) in values.iter().zip(&back) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn prop_lz_roundtrip_arbitrary_bytes(len in 0usize..4096, seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Mix compressible runs with incompressible noise.
+        let mut src = Vec::with_capacity(len);
+        while src.len() < len {
+            if rng.random_bool(0.5) {
+                let b: u8 = rng.random();
+                let run = rng.random_range(1..64usize).min(len - src.len());
+                src.extend(std::iter::repeat_n(b, run));
+            } else {
+                src.push(rng.random::<u8>());
+            }
+        }
+        let mut packed = Vec::new();
+        codec::lz_compress(&src, &mut packed);
+        let mut back = Vec::new();
+        codec::lz_decompress(&packed, src.len(), &mut back).unwrap();
+        prop_assert_eq!(src, back);
+    }
+
+    #[test]
+    fn prop_truncated_v2_rejected(seed in 0u64..10_000, cut in 1usize..200) {
+        let dims = Dims::new(6, 5, 4);
+        let field = hostile_field(dims, seed);
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("ts.v2");
+        format::write_velocity_v2(&path, 0, 0.0, &field).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = cut.min(bytes.len() - 1);
+        let truncated = &bytes[..bytes.len() - cut];
+        let mut into = VectorField::zeros(dims);
+        prop_assert!(format::decode_velocity_into(truncated, &mut into).is_err());
+    }
+
+    #[test]
+    fn prop_corrupt_v2_never_silently_wrong(seed in 0u64..10_000, victim in 28usize..400) {
+        // Flip one payload byte: decode must either error (checksum) or —
+        // never — return bits that differ from the original without an
+        // error. A successful decode can only happen if the flip landed
+        // somewhere unused, which parse rejection makes impossible; so we
+        // simply require an error.
+        let dims = Dims::new(6, 5, 4);
+        let field = hostile_field(dims, seed);
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("ts.v2");
+        format::write_velocity_v2(&path, 0, 0.0, &field).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let victim = victim.min(bytes.len() - 1);
+        bytes[victim] ^= 0xa5;
+        let mut into = VectorField::zeros(dims);
+        match format::decode_velocity_into(&bytes, &mut into) {
+            Err(_) => {}
+            Ok(_) => {
+                // The flip must have hit a chunk-table field that still
+                // parsed consistently — then the checksum pass is the
+                // last line of defense and the data must round-trip
+                // anyway. Bitwise equality is the only acceptable "Ok".
+                assert_bitwise_eq(&field, &into);
+            }
+        }
+    }
+}
+
+#[test]
+fn wrong_version_rejected() {
+    let dims = Dims::new(4, 4, 4);
+    let field = hostile_field(dims, 1);
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("ts.v2");
+    format::write_velocity_v2(&path, 0, 0.0, &field).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Patch the version field to a future version.
+    bytes[4..8].copy_from_slice(&(DATASET_FORMAT_VERSION + 1).to_le_bytes());
+    let mut into = VectorField::zeros(dims);
+    let err = format::decode_velocity_into(&bytes, &mut into).unwrap_err();
+    assert!(err.to_string().contains("version"), "{err}");
+}
+
+#[test]
+fn bad_checksum_names_the_failure() {
+    let dims = Dims::new(8, 8, 8);
+    let field = hostile_field(dims, 2);
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("ts.v2");
+    format::write_velocity_v2(&path, 0, 0.0, &field).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Corrupt the very last payload byte: past all chunk-table fields,
+    // guaranteed inside compressed data → checksum must catch it.
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    let mut into = VectorField::zeros(dims);
+    let err = format::decode_velocity_into(&bytes, &mut into).unwrap_err();
+    assert!(err.to_string().contains("checksum"), "{err}");
+}

@@ -35,8 +35,40 @@ pub use prefetch::Prefetcher;
 pub use readahead::ReadAhead;
 pub use simdisk::{DiskModel, SimulatedDisk};
 
-use flowfield::{DatasetMeta, Result, VectorField};
+use flowfield::{DatasetMeta, Result, VectorField, VectorFieldSoA};
 use std::sync::Arc;
+
+/// Cumulative I/O-path counters a store (or store stack) reports for
+/// observability. Wrappers aggregate their own contribution on top of the
+/// inner store's, so `io_stats()` on the outermost store describes the
+/// whole fetch path. All counters are cumulative since open.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreIoStats {
+    /// Microseconds fetch callers spent blocked on I/O — real file reads
+    /// plus any simulated-disk budget slept off by [`SimulatedDisk`].
+    pub io_wait_us: u64,
+    /// Microseconds spent decoding payloads (v2 decompression, or plane
+    /// parsing for v1).
+    pub decode_us: u64,
+    /// Fetches satisfied without blocking on the backend: prefetched
+    /// timesteps that were ready on arrival and LRU-cache hits.
+    pub prefetch_hits: u64,
+    /// Fetches that had to go to the backend and wait.
+    pub prefetch_misses: u64,
+}
+
+impl StoreIoStats {
+    /// Component-wise sum (wrapper + inner contributions).
+    #[must_use]
+    pub fn plus(self, other: StoreIoStats) -> StoreIoStats {
+        StoreIoStats {
+            io_wait_us: self.io_wait_us.saturating_add(other.io_wait_us),
+            decode_us: self.decode_us.saturating_add(other.decode_us),
+            prefetch_hits: self.prefetch_hits.saturating_add(other.prefetch_hits),
+            prefetch_misses: self.prefetch_misses.saturating_add(other.prefetch_misses),
+        }
+    }
+}
 
 /// Random access to the timesteps of one dataset. Implementations must be
 /// shareable across threads: the server's compute, send and prefetch
@@ -50,9 +82,30 @@ pub trait TimestepStore: Send + Sync {
     /// clone.
     fn fetch(&self, index: usize) -> Result<Arc<VectorField>>;
 
+    /// Fetch one timestep in the SoA layout the batched compute kernels
+    /// want. The default converts the AoS fetch; backends that can decode
+    /// straight into SoA ([`DiskStore`] on v2 files) or memoize the
+    /// conversion ([`MemoryStore`]) override it.
+    fn fetch_soa(&self, index: usize) -> Result<Arc<VectorFieldSoA>> {
+        Ok(Arc::new(self.fetch(index)?.to_soa()))
+    }
+
     /// Number of timesteps available.
     fn timestep_count(&self) -> usize {
         self.meta().timestep_count
+    }
+
+    /// On-disk payload size of one timestep in bytes — what a bandwidth
+    /// model should charge for the read. The default assumes the raw
+    /// uncompressed size; compressed backends report actual file bytes.
+    fn payload_bytes(&self, _index: usize) -> u64 {
+        self.meta().dims.timestep_bytes() as u64
+    }
+
+    /// Cumulative I/O counters for this store stack (see
+    /// [`StoreIoStats`]). Plain memory-resident backends report zeros.
+    fn io_stats(&self) -> StoreIoStats {
+        StoreIoStats::default()
     }
 
     /// Advise the store of the expected playback direction: positive for
@@ -70,8 +123,17 @@ impl<S: TimestepStore + ?Sized> TimestepStore for Arc<S> {
     fn fetch(&self, index: usize) -> Result<Arc<VectorField>> {
         (**self).fetch(index)
     }
+    fn fetch_soa(&self, index: usize) -> Result<Arc<VectorFieldSoA>> {
+        (**self).fetch_soa(index)
+    }
     fn timestep_count(&self) -> usize {
         (**self).timestep_count()
+    }
+    fn payload_bytes(&self, index: usize) -> u64 {
+        (**self).payload_bytes(index)
+    }
+    fn io_stats(&self) -> StoreIoStats {
+        (**self).io_stats()
     }
     fn hint_direction(&self, direction: i64) {
         (**self).hint_direction(direction)

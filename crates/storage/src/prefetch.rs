@@ -5,8 +5,17 @@
 //! also occur in parallel. The timestep required for the next computation
 //! is loaded into a buffer." The paper's remote system ran this as a
 //! separate process communicating through shared memory; here it is a
-//! worker thread fed through channels, which is the same architecture in
-//! Rust idiom.
+//! small worker pool fed through channels, which is the same architecture
+//! in Rust idiom.
+//!
+//! The scheduler is deadline-aware in the sense that matters for
+//! playback: every queued request carries an implicit deadline of "when
+//! the playhead arrives", so workers always claim the pending index
+//! *closest to the playhead* first, the in-flight set is bounded (a
+//! request for a far-away timestep is dropped or displaced rather than
+//! allowed to starve near ones), and requests outside a re-aimed window
+//! are cancelled wholesale when §2's run-backwards control flips
+//! direction (see [`Prefetcher::retain`]).
 
 use crate::TimestepStore;
 use crossbeam_channel::{bounded, Receiver, Sender};
@@ -16,14 +25,60 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-enum Request {
-    Load(usize),
+/// Default bound on queued-plus-loading requests.
+const DEFAULT_IN_FLIGHT: usize = 16;
+
+/// Ready-buffer bound, as a multiple of the in-flight bound. Mispredicted
+/// loads park here until evicted by distance from the playhead.
+const READY_FACTOR: usize = 2;
+
+enum Token {
+    Work,
     Shutdown,
 }
 
 type LoadResult = (usize, Result<Arc<VectorField>>);
 
-/// Background timestep loader with a small ready-buffer.
+/// Scheduler state shared between the caller-facing handle and the
+/// worker pool.
+struct Shared {
+    state: Mutex<State>,
+}
+
+struct State {
+    /// Requested but not yet claimed by a worker.
+    pending: Vec<usize>,
+    /// Claimed by a worker, fetch in progress.
+    loading: Vec<usize>,
+    /// Most recent playback position — the priority reference point.
+    playhead: usize,
+    /// Fetches served from the ready buffer without blocking.
+    hits: u64,
+    /// Fetches that had to wait for (or trigger) a load.
+    misses: u64,
+    /// Requests cancelled or displaced before a worker claimed them.
+    cancelled: u64,
+}
+
+impl Shared {
+    /// Claim the pending index closest to the playhead, if any.
+    fn claim(&self) -> Option<usize> {
+        let mut st = self.state.lock();
+        let playhead = st.playhead;
+        let best = st
+            .pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &idx)| idx.abs_diff(playhead))
+            .map(|(pos, _)| pos)?;
+        let idx = st.pending.swap_remove(best);
+        st.loading.push(idx);
+        Some(idx)
+    }
+}
+
+/// Background timestep loader pool with a bounded in-flight set and a
+/// small ready-buffer.
 ///
 /// Typical frame loop:
 /// ```ignore
@@ -31,71 +86,174 @@ type LoadResult = (usize, Result<Arc<VectorField>>);
 /// let field = prefetcher.wait(current)?;   // ready by the time we ask
 /// ```
 pub struct Prefetcher {
-    req_tx: Sender<Request>,
+    shared: Arc<Shared>,
+    work_tx: Sender<Token>,
     res_rx: Receiver<LoadResult>,
     ready: Mutex<HashMap<usize, Result<Arc<VectorField>>>>,
-    in_flight: Mutex<Vec<usize>>,
-    worker: Option<JoinHandle<()>>,
+    capacity: usize,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl Prefetcher {
-    /// Spawn the loader thread over a shared store.
+    /// Spawn a two-worker pool over a shared store — enough to overlap
+    /// the next decode with an in-progress read without oversubscribing
+    /// small hosts.
     pub fn new<S: TimestepStore + 'static>(store: Arc<S>) -> Prefetcher {
-        let (req_tx, req_rx) = bounded::<Request>(16);
-        let (res_tx, res_rx) = bounded::<LoadResult>(16);
-        let worker = std::thread::Builder::new()
-            .name("dvw-prefetch".into())
-            .spawn(move || {
-                while let Ok(req) = req_rx.recv() {
-                    match req {
-                        Request::Load(idx) => {
-                            let result = store.fetch(idx);
-                            if res_tx.send((idx, result)).is_err() {
-                                break;
+        Prefetcher::with_workers(store, 2)
+    }
+
+    /// Spawn `workers` loader threads (≥ 1) over a shared store.
+    pub fn with_workers<S: TimestepStore + 'static>(store: Arc<S>, workers: usize) -> Prefetcher {
+        let workers = workers.max(1);
+        let (work_tx, work_rx) = bounded::<Token>(8 * DEFAULT_IN_FLIGHT);
+        let (res_tx, res_rx) = bounded::<LoadResult>(8 * DEFAULT_IN_FLIGHT);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                pending: Vec::new(),
+                loading: Vec::new(),
+                playhead: 0,
+                hits: 0,
+                misses: 0,
+                cancelled: 0,
+            }),
+        });
+        let handles = (0..workers)
+            .map(|n| {
+                let shared = Arc::clone(&shared);
+                let store = Arc::clone(&store);
+                let work_rx = work_rx.clone();
+                let res_tx = res_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("dvw-prefetch-{n}"))
+                    .spawn(move || {
+                        while let Ok(token) = work_rx.recv() {
+                            match token {
+                                Token::Work => {
+                                    // The token may be stale (its request
+                                    // was cancelled); claim whatever is
+                                    // most urgent now, or nothing.
+                                    let Some(idx) = shared.claim() else {
+                                        continue;
+                                    };
+                                    let result = store.fetch(idx);
+                                    if res_tx.send((idx, result)).is_err() {
+                                        break;
+                                    }
+                                }
+                                Token::Shutdown => break,
                             }
                         }
-                        Request::Shutdown => break,
-                    }
-                }
+                    })
+                    // lint:allow(panic-path): thread spawn fails only on resource exhaustion at startup; fail fast before any frame is served
+                    .expect("spawn prefetch thread")
             })
-            // lint:allow(panic-path): thread spawn fails only on resource exhaustion at startup; fail fast before any frame is served
-            .expect("spawn prefetch thread");
+            .collect();
         Prefetcher {
-            req_tx,
+            shared,
+            work_tx,
             res_rx,
             ready: Mutex::new(HashMap::new()),
-            in_flight: Mutex::new(Vec::new()),
-            worker: Some(worker),
+            capacity: DEFAULT_IN_FLIGHT,
+            workers: handles,
         }
     }
 
-    /// Queue a timestep load; no-op if it is already queued or ready.
+    /// Queue a timestep load; no-op if already queued, loading or ready.
+    /// When the in-flight set is full, the farthest-from-playhead pending
+    /// request is displaced if the new one is closer; otherwise the new
+    /// request is dropped (the caller will block in [`wait`] instead —
+    /// correct, just slower).
+    ///
+    /// [`wait`]: Prefetcher::wait
     pub fn request(&self, index: usize) {
-        {
-            let ready = self.ready.lock();
-            if ready.contains_key(&index) {
-                return;
-            }
-            let mut in_flight = self.in_flight.lock();
-            if in_flight.contains(&index) {
-                return;
-            }
-            in_flight.push(index);
-        }
-        // A full queue means the worker is saturated; drop the hint (the
-        // caller will block in wait() instead — correct, just slower).
-        if self.req_tx.try_send(Request::Load(index)).is_err() {
-            self.in_flight.lock().retain(|&i| i != index);
-        }
+        self.request_inner(index, false);
     }
 
-    /// Drain completed loads into the ready buffer without blocking.
+    fn request_inner(&self, index: usize, force: bool) {
+        if self.ready.lock().contains_key(&index) {
+            return;
+        }
+        {
+            let mut st = self.shared.state.lock();
+            if st.pending.contains(&index) || st.loading.contains(&index) {
+                return;
+            }
+            if st.pending.len() + st.loading.len() >= self.capacity {
+                // Full: displace the farthest pending request if the new
+                // one is closer (or we're forced), else drop the new one.
+                let playhead = st.playhead;
+                let Some(far) = st
+                    .pending
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &idx)| idx.abs_diff(playhead))
+                    .map(|(pos, _)| pos)
+                else {
+                    // Everything in flight is already loading; nothing to
+                    // displace. Forced requests queue anyway.
+                    if force {
+                        st.pending.push(index);
+                        drop(st);
+                        let _ = self.work_tx.try_send(Token::Work);
+                    }
+                    return;
+                };
+                if force || st.pending[far].abs_diff(playhead) > index.abs_diff(playhead) {
+                    st.pending.swap_remove(far);
+                    st.cancelled += 1;
+                    // Reuse the displaced request's wakeup token: swap the
+                    // index in, no new token needed.
+                    st.pending.push(index);
+                    return;
+                }
+                return;
+            }
+            st.pending.push(index);
+        }
+        // One token per queued item. A full token queue can only mean a
+        // storm of cancellations left stale tokens; the pending item will
+        // be claimed by one of those instead.
+        let _ = self.work_tx.try_send(Token::Work);
+    }
+
+    /// Tell the scheduler where playback is; pending requests are
+    /// prioritised by distance from this point.
+    pub fn set_playhead(&self, index: usize) {
+        self.shared.state.lock().playhead = index;
+    }
+
+    /// Cancel every *pending* (not yet claimed) request for which `keep`
+    /// returns false, and drop matching mispredictions from the ready
+    /// buffer. Loads already claimed by a worker run to completion — the
+    /// disk is already seeking — but their results land in the ready
+    /// buffer where distance-eviction reclaims them.
+    pub fn retain(&self, keep: impl Fn(usize) -> bool) {
+        {
+            let mut st = self.shared.state.lock();
+            let before = st.pending.len();
+            st.pending.retain(|&idx| keep(idx));
+            let dropped = before - st.pending.len();
+            st.cancelled += dropped as u64;
+        }
+        self.ready.lock().retain(|&idx, _| keep(idx));
+    }
+
+    /// Drain completed loads into the ready buffer without blocking, then
+    /// bound the buffer by evicting entries farthest from the playhead.
     fn drain(&self) {
         let mut ready = self.ready.lock();
-        let mut in_flight = self.in_flight.lock();
+        let mut st = self.shared.state.lock();
         while let Ok((idx, result)) = self.res_rx.try_recv() {
-            in_flight.retain(|&i| i != idx);
+            st.loading.retain(|&i| i != idx);
             ready.insert(idx, result);
+        }
+        let playhead = st.playhead;
+        drop(st);
+        while ready.len() > READY_FACTOR * self.capacity {
+            let Some(&far) = ready.keys().max_by_key(|&&idx| idx.abs_diff(playhead)) else {
+                break;
+            };
+            ready.remove(&far);
         }
     }
 
@@ -106,27 +264,39 @@ impl Prefetcher {
     }
 
     /// Take a loaded timestep, blocking until it is available. If it was
-    /// never requested, it is requested now (synchronous fallback).
+    /// never requested, it is requested now at top priority (synchronous
+    /// fallback). Also moves the playhead to `index`.
     pub fn wait(&self, index: usize) -> Result<Arc<VectorField>> {
+        self.set_playhead(index);
+        self.drain();
+        if let Some(result) = self.ready.lock().remove(&index) {
+            self.shared.state.lock().hits += 1;
+            return result;
+        }
+        self.shared.state.lock().misses += 1;
         loop {
             self.drain();
             if let Some(result) = self.ready.lock().remove(&index) {
                 return result;
             }
-            let queued = self.in_flight.lock().contains(&index);
-            if !queued {
-                self.request(index);
-                // If the queue rejected it again, fail rather than spin.
-                if !self.in_flight.lock().contains(&index) {
-                    return Err(FieldError::Format(format!(
-                        "prefetch queue refused timestep {index}"
-                    )));
+            {
+                let st = self.shared.state.lock();
+                let queued = st.pending.contains(&index) || st.loading.contains(&index);
+                drop(st);
+                if !queued {
+                    self.request_inner(index, true);
+                    let st = self.shared.state.lock();
+                    if !st.pending.contains(&index) && !st.loading.contains(&index) {
+                        return Err(FieldError::Format(format!(
+                            "prefetch queue refused timestep {index}"
+                        )));
+                    }
                 }
             }
             // Block on the next completion, whichever index it is.
             match self.res_rx.recv() {
                 Ok((idx, result)) => {
-                    self.in_flight.lock().retain(|&i| i != idx);
+                    self.shared.state.lock().loading.retain(|&i| i != idx);
                     if idx == index {
                         return result;
                     }
@@ -144,12 +314,28 @@ impl Prefetcher {
         self.drain();
         self.ready.lock().len()
     }
+
+    /// Number of requests queued or being loaded right now.
+    pub fn in_flight(&self) -> usize {
+        let st = self.shared.state.lock();
+        st.pending.len() + st.loading.len()
+    }
+
+    /// Scheduler counters: `(hits, misses, cancelled)` — waits served
+    /// from the ready buffer, waits that blocked, and requests cancelled
+    /// or displaced before loading.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        let st = self.shared.state.lock();
+        (st.hits, st.misses, st.cancelled)
+    }
 }
 
 impl Drop for Prefetcher {
     fn drop(&mut self) {
-        let _ = self.req_tx.send(Request::Shutdown);
-        if let Some(h) = self.worker.take() {
+        for _ in &self.workers {
+            let _ = self.work_tx.send(Token::Shutdown);
+        }
+        for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
@@ -161,6 +347,7 @@ mod tests {
     use super::*;
     use crate::{DiskModel, MemoryStore, SimulatedDisk};
     use flowfield::{dataset::VelocityCoords, CurvilinearGrid, Dataset, DatasetMeta, Dims};
+    use std::sync::atomic::{AtomicBool, Ordering};
     use std::time::{Duration, Instant};
     use vecmath::{Aabb, Vec3};
 
@@ -186,19 +373,23 @@ mod tests {
         let pf = Prefetcher::new(Arc::new(mem_store(5)));
         let f = pf.wait(3).unwrap();
         assert_eq!(f.at(0, 0, 0), Vec3::splat(3.0));
+        let (hits, misses, _) = pf.stats();
+        assert_eq!((hits, misses), (0, 1));
     }
 
     #[test]
     fn requested_timestep_becomes_ready() {
         let pf = Prefetcher::new(Arc::new(mem_store(5)));
         pf.request(2);
-        // Poll until ready (worker is fast on a memory store).
+        // Poll until ready (workers are fast on a memory store).
         let deadline = Instant::now() + Duration::from_secs(2);
         while !pf.is_ready(2) {
             assert!(Instant::now() < deadline, "prefetch never completed");
             std::thread::yield_now();
         }
         assert_eq!(pf.wait(2).unwrap().at(0, 0, 0), Vec3::splat(2.0));
+        let (hits, misses, _) = pf.stats();
+        assert_eq!((hits, misses), (1, 0));
     }
 
     #[test]
@@ -258,5 +449,123 @@ mod tests {
         let pf = Prefetcher::new(Arc::new(mem_store(3)));
         pf.request(0);
         drop(pf); // must not hang or panic
+    }
+
+    /// A store whose first fetch blocks until released, so tests can pile
+    /// up pending requests behind a busy worker deterministically.
+    struct GatedStore {
+        inner: MemoryStore,
+        gate: AtomicBool,
+        order: Mutex<Vec<usize>>,
+    }
+
+    impl GatedStore {
+        fn new(n: usize) -> GatedStore {
+            GatedStore {
+                inner: mem_store(n),
+                gate: AtomicBool::new(false),
+                order: Mutex::new(Vec::new()),
+            }
+        }
+    }
+
+    impl TimestepStore for GatedStore {
+        fn meta(&self) -> &DatasetMeta {
+            self.inner.meta()
+        }
+        fn fetch(&self, index: usize) -> Result<Arc<VectorField>> {
+            let first = {
+                let mut order = self.order.lock();
+                order.push(index);
+                order.len() == 1
+            };
+            if first {
+                while !self.gate.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+            }
+            self.inner.fetch(index)
+        }
+    }
+
+    #[test]
+    fn pending_requests_claimed_nearest_playhead_first() {
+        let store = Arc::new(GatedStore::new(20));
+        let pf = Prefetcher::with_workers(Arc::clone(&store), 1);
+        pf.request(10); // claims the single worker, blocks on the gate
+        while store.order.lock().is_empty() {
+            std::thread::yield_now();
+        }
+        // Queue far-to-near with the playhead at 0.
+        pf.set_playhead(0);
+        for idx in [9, 1, 8, 2, 15] {
+            pf.request(idx);
+        }
+        store.gate.store(true, Ordering::SeqCst);
+        for idx in [1, 2, 8, 9, 15] {
+            let deadline = Instant::now() + Duration::from_secs(2);
+            while !pf.is_ready(idx) {
+                assert!(Instant::now() < deadline, "load of {idx} never finished");
+                std::thread::yield_now();
+            }
+        }
+        let order = store.order.lock().clone();
+        assert_eq!(
+            order,
+            vec![10, 1, 2, 8, 9, 15],
+            "claims must follow distance"
+        );
+    }
+
+    #[test]
+    fn retain_cancels_pending_and_evicts_ready() {
+        let store = Arc::new(GatedStore::new(30));
+        let pf = Prefetcher::with_workers(Arc::clone(&store), 1);
+        pf.request(5); // occupy the worker
+        while store.order.lock().is_empty() {
+            std::thread::yield_now();
+        }
+        for idx in [6, 7, 8, 9] {
+            pf.request(idx);
+        }
+        assert_eq!(pf.in_flight(), 5);
+        // Direction flip: only 4 and 3 remain interesting.
+        pf.retain(|idx| idx == 4 || idx == 3 || idx == 5);
+        pf.request(4);
+        pf.request(3);
+        store.gate.store(true, Ordering::SeqCst);
+        assert_eq!(pf.wait(4).unwrap().at(0, 0, 0), Vec3::splat(4.0));
+        assert_eq!(pf.wait(3).unwrap().at(0, 0, 0), Vec3::splat(3.0));
+        let order = store.order.lock().clone();
+        assert!(
+            !order.contains(&8) && !order.contains(&9),
+            "cancelled requests must never reach the store: {order:?}"
+        );
+        let (_, _, cancelled) = pf.stats();
+        assert_eq!(cancelled, 4);
+    }
+
+    #[test]
+    fn in_flight_set_is_bounded_with_distance_displacement() {
+        let store = Arc::new(GatedStore::new(200));
+        let pf = Prefetcher::with_workers(Arc::clone(&store), 1);
+        pf.request(0); // occupy the worker
+        while store.order.lock().is_empty() {
+            std::thread::yield_now();
+        }
+        pf.set_playhead(0);
+        for idx in 1..=DEFAULT_IN_FLIGHT + 10 {
+            pf.request(idx);
+        }
+        // Bounded: far requests past the cap were dropped...
+        assert_eq!(pf.in_flight(), DEFAULT_IN_FLIGHT);
+        // ...but a *nearer* late request displaces the farthest pending.
+        pf.request(1); // dup, no-op
+        let before = pf.in_flight();
+        pf.set_playhead(100);
+        pf.request(101);
+        assert_eq!(pf.in_flight(), before, "displacement keeps the bound");
+        store.gate.store(true, Ordering::SeqCst);
+        assert_eq!(pf.wait(101).unwrap().at(0, 0, 0), Vec3::splat(101.0));
     }
 }

@@ -8,7 +8,7 @@
 //! direction in flight, so a windtunnel server whose clients are playing
 //! the dataset never waits on the disk — including §2's "run backwards".
 
-use crate::{Prefetcher, TimestepStore};
+use crate::{Prefetcher, StoreIoStats, TimestepStore};
 use flowfield::{DatasetMeta, Result, VectorField};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -28,10 +28,16 @@ struct PredictState {
 }
 
 impl<S: TimestepStore + 'static> ReadAhead<S> {
-    /// Wrap `inner`, keeping `depth` predicted timesteps in flight.
+    /// Wrap `inner`, keeping `depth` predicted timesteps in flight on a
+    /// two-worker pool.
     pub fn new(inner: Arc<S>, depth: usize) -> ReadAhead<S> {
+        ReadAhead::with_workers(inner, depth, 2)
+    }
+
+    /// Wrap `inner` with an explicit loader-pool size.
+    pub fn with_workers(inner: Arc<S>, depth: usize, workers: usize) -> ReadAhead<S> {
         ReadAhead {
-            prefetcher: Prefetcher::new(Arc::clone(&inner)),
+            prefetcher: Prefetcher::with_workers(Arc::clone(&inner), workers),
             inner,
             depth: depth.max(1),
             state: Mutex::new(PredictState::default()),
@@ -41,6 +47,19 @@ impl<S: TimestepStore + 'static> ReadAhead<S> {
     /// The stride currently predicted (0 until two fetches happened).
     pub fn predicted_stride(&self) -> i64 {
         self.state.lock().stride
+    }
+
+    /// Prefetch scheduler counters: `(hits, misses, cancelled)`.
+    pub fn prefetch_stats(&self) -> (u64, u64, u64) {
+        self.prefetcher.stats()
+    }
+
+    /// The window of timestep indices predicted from `anchor` along
+    /// `stride` (wrapping), nearest first.
+    fn window(&self, anchor: usize, stride: i64, len: i64) -> Vec<usize> {
+        (1..=self.depth as i64)
+            .map(|n| (anchor as i64 + stride * n).rem_euclid(len) as usize)
+            .collect()
     }
 
     fn predict_and_request(&self, index: usize) {
@@ -69,8 +88,7 @@ impl<S: TimestepStore + 'static> ReadAhead<S> {
         let stride = st.stride;
         drop(st);
         if stride != 0 {
-            for n in 1..=self.depth as i64 {
-                let next = (index as i64 + stride * n).rem_euclid(len) as usize;
+            for next in self.window(index, stride, len) {
                 self.prefetcher.request(next);
             }
         }
@@ -91,6 +109,20 @@ impl<S: TimestepStore + 'static> TimestepStore for ReadAhead<S> {
         result
     }
 
+    fn payload_bytes(&self, index: usize) -> u64 {
+        self.inner.payload_bytes(index)
+    }
+
+    fn io_stats(&self) -> StoreIoStats {
+        let (hits, misses, _) = self.prefetcher.stats();
+        StoreIoStats {
+            prefetch_hits: hits,
+            prefetch_misses: misses,
+            ..StoreIoStats::default()
+        }
+        .plus(self.inner.io_stats())
+    }
+
     fn hint_direction(&self, direction: i64) {
         let len = self.inner.timestep_count() as i64;
         if direction == 0 || len <= 1 {
@@ -98,9 +130,10 @@ impl<S: TimestepStore + 'static> TimestepStore for ReadAhead<S> {
         }
         let mut st = self.state.lock();
         let dir = direction.signum();
+        let flipped = st.stride != 0 && st.stride.signum() != dir;
         if st.stride == 0 {
             st.stride = dir;
-        } else if st.stride.signum() != dir {
+        } else if flipped {
             // Keep any learned skip magnitude (every-other-step playback)
             // but aim it the advised way.
             st.stride = -st.stride;
@@ -108,10 +141,16 @@ impl<S: TimestepStore + 'static> TimestepStore for ReadAhead<S> {
         let (stride, last) = (st.stride, st.last);
         drop(st);
         // Re-aim the in-flight set right away — the next fetch after a
-        // reversal should already find its timestep loading.
+        // reversal should already find its timestep loading, and the now
+        // stale opposite-direction requests must not keep the loader pool
+        // busy ahead of it.
         if let Some(last) = last {
-            for n in 1..=self.depth as i64 {
-                let next = (last as i64 + stride * n).rem_euclid(len) as usize;
+            let wanted = self.window(last, stride, len);
+            if flipped {
+                self.prefetcher
+                    .retain(|idx| idx == last || wanted.contains(&idx));
+            }
+            for next in wanted {
                 self.prefetcher.request(next);
             }
         }
@@ -273,6 +312,57 @@ mod tests {
         );
         stack.hint_direction(-5);
         assert_eq!(ra.predicted_stride(), -1);
+    }
+
+    #[test]
+    fn reversal_cancels_stale_forward_pileup() {
+        // The regression this scheduler exists for: deep read-ahead on a
+        // slow disk piles up forward requests; flipping direction used to
+        // leave the reversed fetch stuck behind every stale forward read
+        // still in the queue. With cancellation + nearest-first claiming,
+        // the reversed fetch waits for at most the load already on the
+        // "platter" plus its own.
+        let model = DiskModel {
+            bandwidth_bytes_per_sec: 1.0e12,
+            seek: Duration::from_millis(25),
+        };
+        let slow = Arc::new(SimulatedDisk::new(mem_store(40), model));
+        // One worker and a deep window: a stale pileup is 6 × 25 ms.
+        let ra = ReadAhead::with_workers(slow, 6, 1);
+        ra.fetch(20).unwrap();
+        ra.fetch(21).unwrap();
+        ra.fetch(22).unwrap(); // queues 23..=28 behind one busy worker
+        ra.hint_direction(-1); // cancels them, aims 21..=16
+        let start = Instant::now();
+        let f = ra.fetch(21).unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(f.at(0, 0, 0), Vec3::splat(21.0));
+        // Stuck-behind-stale would be ≥ 5 × 25 ms = 125 ms before 21 even
+        // starts loading; cancelled + prioritised is ≤ one in-progress
+        // stale load + 21's own (~50 ms). Allow slack for a busy host.
+        assert!(
+            elapsed < Duration::from_millis(100),
+            "reversed fetch was stuck behind stale forward reads: {elapsed:?}"
+        );
+        let (_, _, cancelled) = ra.prefetch_stats();
+        assert!(cancelled > 0, "stale forward requests were not cancelled");
+    }
+
+    #[test]
+    fn io_stats_fold_prefetch_counters() {
+        let ra = ReadAhead::new(Arc::new(mem_store(10)), 2);
+        ra.fetch(0).unwrap(); // miss (nothing predicted yet)
+        ra.fetch(1).unwrap(); // miss (stride learned only now)
+                              // Give the pool a moment to land the predicted 2 and 3.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while ra.prefetcher.ready_count() < 2 {
+            assert!(Instant::now() < deadline, "window never loaded");
+            std::thread::yield_now();
+        }
+        ra.fetch(2).unwrap(); // hit
+        let io = ra.io_stats();
+        assert_eq!(io.prefetch_hits, 1);
+        assert_eq!(io.prefetch_misses, 2);
     }
 
     #[test]

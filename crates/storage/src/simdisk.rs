@@ -9,8 +9,8 @@
 //! `seek + bytes/bandwidth`, so the bench harness can measure achieved
 //! frame rates as a function of disk speed.
 
-use crate::TimestepStore;
-use flowfield::{DatasetMeta, Result, VectorField};
+use crate::{StoreIoStats, TimestepStore};
+use flowfield::{DatasetMeta, Result, VectorField, VectorFieldSoA};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -50,10 +50,18 @@ impl DiskModel {
 }
 
 /// Store wrapper imposing a [`DiskModel`] on every fetch.
+///
+/// Each fetch is charged `seek + payload_bytes / bandwidth` — *actual*
+/// on-disk bytes, so a compressed (v2) backend is charged its compressed
+/// size; multiplying effective bandwidth is exactly what the codec is
+/// for. Concurrent fetches overlap their budgets, modeling the striped
+/// controller / command-queuing of the paper's Convex I/O system rather
+/// than a single serializing spindle.
 pub struct SimulatedDisk<S> {
     inner: S,
     model: DiskModel,
     simulated_busy_nanos: AtomicU64,
+    slept_us: AtomicU64,
 }
 
 impl<S: TimestepStore> SimulatedDisk<S> {
@@ -62,6 +70,7 @@ impl<S: TimestepStore> SimulatedDisk<S> {
             inner,
             model,
             simulated_busy_nanos: AtomicU64::new(0),
+            slept_us: AtomicU64::new(0),
         }
     }
 
@@ -73,6 +82,30 @@ impl<S: TimestepStore> SimulatedDisk<S> {
     pub fn simulated_busy(&self) -> Duration {
         Duration::from_nanos(self.simulated_busy_nanos.load(Ordering::Relaxed))
     }
+
+    /// Charge the model's budget around `op`: run it, then sleep off
+    /// whatever the real backend didn't already cost.
+    fn charge<T>(&self, index: usize, op: impl FnOnce() -> Result<T>) -> Result<T> {
+        let budget = self.model.read_duration(self.inner.payload_bytes(index));
+        let start = Instant::now();
+        let result = op()?;
+        let elapsed = start.elapsed();
+        if budget > elapsed {
+            let pause = budget - elapsed;
+            #[allow(clippy::disallowed_methods)]
+            // simulated disk latency is the entire point of simdisk
+            std::thread::sleep(pause);
+            self.slept_us.fetch_add(
+                u64::try_from(pause.as_micros()).unwrap_or(u64::MAX),
+                Ordering::Relaxed,
+            );
+        }
+        self.simulated_busy_nanos.fetch_add(
+            u64::try_from(budget.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        Ok(result)
+    }
 }
 
 impl<S: TimestepStore> TimestepStore for SimulatedDisk<S> {
@@ -81,20 +114,25 @@ impl<S: TimestepStore> TimestepStore for SimulatedDisk<S> {
     }
 
     fn fetch(&self, index: usize) -> Result<Arc<VectorField>> {
-        let bytes = self.meta().dims.timestep_bytes() as u64;
-        let budget = self.model.read_duration(bytes);
-        let start = Instant::now();
-        let result = self.inner.fetch(index)?;
-        // Sleep off whatever the real backend didn't already cost.
-        let elapsed = start.elapsed();
-        if budget > elapsed {
-            #[allow(clippy::disallowed_methods)]
-            // simulated disk latency is the entire point of simdisk
-            std::thread::sleep(budget - elapsed);
+        self.charge(index, || self.inner.fetch(index))
+    }
+
+    fn fetch_soa(&self, index: usize) -> Result<Arc<VectorFieldSoA>> {
+        self.charge(index, || self.inner.fetch_soa(index))
+    }
+
+    fn payload_bytes(&self, index: usize) -> u64 {
+        self.inner.payload_bytes(index)
+    }
+
+    fn io_stats(&self) -> StoreIoStats {
+        // The slept-off budget is I/O wait the caller really experienced;
+        // the inner store accounts its own real read time.
+        StoreIoStats {
+            io_wait_us: self.slept_us.load(Ordering::Relaxed),
+            ..StoreIoStats::default()
         }
-        self.simulated_busy_nanos
-            .fetch_add(budget.as_nanos() as u64, Ordering::Relaxed);
-        Ok(result)
+        .plus(self.inner.io_stats())
     }
 
     fn hint_direction(&self, direction: i64) {

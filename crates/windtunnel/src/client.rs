@@ -963,6 +963,65 @@ mod tests {
         handle.shutdown();
     }
 
+    #[test]
+    fn stats_report_storage_pipeline_from_live_ticks() {
+        // End-to-end observability: a server over a compressed on-disk
+        // dataset behind a simulated disk and read-ahead must surface
+        // io-wait, decode time and prefetch hit/miss counts through
+        // PROC_STATS after real playback ticks.
+        use storage::{DiskModel, DiskStore, ReadAhead, SimulatedDisk};
+        let dims = Dims::new(12, 8, 8);
+        let grid =
+            CurvilinearGrid::cartesian(dims, Aabb::new(Vec3::ZERO, Vec3::new(11.0, 7.0, 7.0)))
+                .unwrap();
+        let meta = DatasetMeta {
+            name: "disk-v2".into(),
+            dims,
+            timestep_count: 6,
+            dt: 0.1,
+            coords: VelocityCoords::Grid,
+        };
+        let fields = (0..6)
+            .map(|t| {
+                VectorField::from_fn(dims, move |i, _, _| {
+                    Vec3::new(1.0 + 0.01 * (t + i) as f32, 0.0, 0.0)
+                })
+            })
+            .collect();
+        let ds = Dataset::new(meta, grid.clone(), fields).unwrap();
+        let dir = tempfile::tempdir().unwrap();
+        flowfield::format::write_dataset_v2(dir.path(), &ds).unwrap();
+        let disk = DiskStore::open(dir.path()).unwrap();
+        let model = DiskModel {
+            bandwidth_bytes_per_sec: 30.0e6,
+            seek: std::time::Duration::from_millis(1),
+        };
+        let store = Arc::new(ReadAhead::new(Arc::new(SimulatedDisk::new(disk, model)), 2));
+        let opts = ServerOptions::default();
+        let handle = serve(store, grid, opts, "127.0.0.1:0").unwrap();
+        let mut client = WindtunnelClient::connect(handle.addr()).unwrap();
+        client
+            .send(&Command::AddRake {
+                a: Vec3::new(2.0, 2.0, 4.0),
+                b: Vec3::new(2.0, 5.0, 4.0),
+                seed_count: 3,
+                tool: ToolKind::Streakline,
+            })
+            .unwrap();
+        client.send(&Command::Time(TimeCommand::Play)).unwrap();
+        for _ in 0..8 {
+            client.frame(true).unwrap(); // advance: ticks fetch timesteps
+        }
+        let stats = client.stats().unwrap();
+        assert!(stats.cum_io_wait_us > 0, "no io wait recorded: {stats:?}");
+        assert!(stats.cum_decode_us > 0, "no decode time recorded");
+        assert!(
+            stats.cum_prefetch_hits + stats.cum_prefetch_misses > 0,
+            "no fetches classified: {stats:?}"
+        );
+        handle.shutdown();
+    }
+
     /// A fault plan that kills the connection on the next outgoing frame.
     fn kill_switch() -> dlib::FaultPlan {
         dlib::FaultPlan::new(

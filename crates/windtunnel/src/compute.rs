@@ -80,7 +80,9 @@ impl ToolEngines {
         });
     }
 
-    /// The SoA view of one stored timestep, converted on first use.
+    /// The SoA view of one stored timestep, fetched on first use. The
+    /// store's `fetch_soa` fast path lets v2 disk backends decode
+    /// straight into SoA planes instead of converting an AoS copy.
     fn soa_for(
         &mut self,
         store: &dyn TimestepStore,
@@ -89,8 +91,7 @@ impl ToolEngines {
         if let Some(soa) = self.soa_cache.get(&ts) {
             return Ok(soa.clone());
         }
-        let field = store.fetch(ts)?;
-        let soa = Arc::new(field.to_soa());
+        let soa = store.fetch_soa(ts)?;
         self.soa_cache.insert(ts, soa.clone());
         Ok(soa)
     }

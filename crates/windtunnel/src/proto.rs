@@ -920,6 +920,16 @@ pub struct FrameStats {
     /// Streak advance throughput: particles stepped per second over the
     /// sample+integrate stages of the last tick (0 when no particles).
     pub streak_particles_per_s: u64,
+    /// Lifetime microseconds the storage stack spent blocked on I/O
+    /// (real reads plus simulated-disk budgets).
+    pub cum_io_wait_us: u64,
+    /// Lifetime microseconds spent decoding timestep payloads.
+    pub cum_decode_us: u64,
+    /// Lifetime fetches served without blocking on the backend
+    /// (prefetched-and-ready or cache-resident timesteps).
+    pub cum_prefetch_hits: u64,
+    /// Lifetime fetches that had to go to the backend and wait.
+    pub cum_prefetch_misses: u64,
 }
 
 impl FrameStats {
@@ -950,6 +960,10 @@ impl FrameStats {
         b.put_u64_le_(self.streak_compact_us);
         b.put_u64_le_(self.streak_inject_us);
         b.put_u64_le_(self.streak_particles_per_s);
+        b.put_u64_le_(self.cum_io_wait_us);
+        b.put_u64_le_(self.cum_decode_us);
+        b.put_u64_le_(self.cum_prefetch_hits);
+        b.put_u64_le_(self.cum_prefetch_misses);
         b.freeze()
     }
 
@@ -981,6 +995,10 @@ impl FrameStats {
             streak_compact_us: r.u64_le()?,
             streak_inject_us: r.u64_le()?,
             streak_particles_per_s: r.u64_le()?,
+            cum_io_wait_us: r.u64_le()?,
+            cum_decode_us: r.u64_le()?,
+            cum_prefetch_hits: r.u64_le()?,
+            cum_prefetch_misses: r.u64_le()?,
         };
         if r.remaining() != 0 {
             return Err(DlibError::Protocol("trailing bytes after stats".into()));
@@ -1485,6 +1503,10 @@ mod tests {
             streak_compact_us: 12,
             streak_inject_us: 5,
             streak_particles_per_s: 2_500_000,
+            cum_io_wait_us: 54_400,
+            cum_decode_us: 1_030,
+            cum_prefetch_hits: 31,
+            cum_prefetch_misses: 21,
         };
         assert_eq!(FrameStats::decode(&s.encode()).unwrap(), s);
         assert_eq!(s.total_us(), 5_025);

@@ -577,6 +577,13 @@ pub fn serve(
         state.delta_bytes(session.client_id, req)
     });
     server.register(PROC_STATS, |state, _session, _args| {
+        // Storage counters are polled at reply time so they are current
+        // even when no frame has been recomputed since the last call.
+        let io = state.store.io_stats();
+        state.stats.cum_io_wait_us = io.io_wait_us;
+        state.stats.cum_decode_us = io.decode_us;
+        state.stats.cum_prefetch_hits = io.prefetch_hits;
+        state.stats.cum_prefetch_misses = io.prefetch_misses;
         Ok(state.stats.encode())
     });
 

@@ -21,8 +21,13 @@ RUST_BACKTRACE=1 cargo test -q --test chaos_resync
 cargo run --release -p dvw-bench --bin bench_frame -- --quick
 cargo run --release -p dvw-bench --bin bench_delta -- --quick
 cargo run --release -p dvw-bench --bin bench_trace -- --quick
+cargo run --release -p dvw-bench --bin bench_storage -- --quick
 # Scalar-vs-batch streakline bitwise equality under a pinned case count
 # (the batch kernel is only as good as this proptest says it is).
 PROPTEST_CASES=64 RUST_BACKTRACE=1 cargo test -q --release -p dvw-tracer --test streak_equiv
+# v2 container codec: write->read must be bitwise identical whatever the
+# bit patterns (NaN payloads, -0.0, denormals), and truncation/corruption
+# must be rejected, never mis-decoded.
+PROPTEST_CASES=64 RUST_BACKTRACE=1 cargo test -q --release -p dvw-flowfield --test codec_roundtrip
 
 echo "check.sh: all green"

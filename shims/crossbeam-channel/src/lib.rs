@@ -4,15 +4,19 @@
 //! preserved from the real crate's semantics because this workspace
 //! relies on them:
 //!
-//! * [`Receiver`] is `Sync` (std's is not) — the storage prefetcher keeps
-//!   a receiver inside a `TimestepStore: Sync` implementation. The shim
-//!   wraps the std receiver in a mutex; contention is nil because every
-//!   call site is single-consumer.
+//! * [`Receiver`] is `Sync` and `Clone` (std's is neither) — the storage
+//!   prefetcher keeps a receiver inside a `TimestepStore: Sync`
+//!   implementation and hands clones to a worker pool. The shim wraps
+//!   the std receiver in an `Arc<Mutex<…>>`: each message is delivered
+//!   to exactly one receiver, the real crate's multi-consumer semantics.
+//!   A receiver blocked in `recv` holds the mutex, so siblings queue on
+//!   the lock rather than the channel — same delivery behavior, merely
+//!   less fair under heavy contention than the real crate.
 //! * `bounded` maps to `sync_channel`, so `try_send` reports a full
 //!   queue without blocking.
 
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
@@ -72,7 +76,15 @@ impl<T> Sender<T> {
 }
 
 pub struct Receiver<T> {
-    rx: Mutex<mpsc::Receiver<T>>,
+    rx: Arc<Mutex<mpsc::Receiver<T>>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        Receiver {
+            rx: Arc::clone(&self.rx),
+        }
+    }
 }
 
 impl<T> Receiver<T> {
@@ -104,7 +116,9 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         Sender {
             tx: Tx::Unbounded(tx),
         },
-        Receiver { rx: Mutex::new(rx) },
+        Receiver {
+            rx: Arc::new(Mutex::new(rx)),
+        },
     )
 }
 
@@ -114,7 +128,9 @@ pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         Sender {
             tx: Tx::Bounded(tx),
         },
-        Receiver { rx: Mutex::new(rx) },
+        Receiver {
+            rx: Arc::new(Mutex::new(rx)),
+        },
     )
 }
 
@@ -144,6 +160,20 @@ mod tests {
     fn receiver_is_sync() {
         fn assert_sync<T: Sync>() {}
         assert_sync::<Receiver<u32>>();
+    }
+
+    #[test]
+    fn cloned_receivers_split_the_stream() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let a = rx.recv().unwrap();
+        let b = rx2.recv().unwrap();
+        // Each message delivered exactly once, across both handles.
+        assert_eq!([a, b], [1, 2]);
+        assert!(rx.try_recv().is_err());
+        assert!(rx2.try_recv().is_err());
     }
 
     #[test]

@@ -22,7 +22,10 @@
 use crate::client::{ClientConfig, DlibClient};
 use crate::{DlibError, Result};
 use bytes::Bytes;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Capped exponential backoff schedule.
@@ -36,6 +39,12 @@ pub struct RetryPolicy {
     pub max_backoff: Duration,
     /// Growth factor between consecutive backoffs.
     pub multiplier: f64,
+    /// Fractional jitter applied by [`RetryPolicy::backoff_jittered`]:
+    /// each backoff is scaled uniformly into `[(1 − jitter)·b, b]`,
+    /// clamped to `[0, 1]`. Zero disables jitter. Without it, every
+    /// client that lost the same server re-dials on the same schedule —
+    /// a reconnect thundering herd aimed at a host that just fell over.
+    pub jitter: f64,
 }
 
 impl Default for RetryPolicy {
@@ -45,6 +54,7 @@ impl Default for RetryPolicy {
             initial_backoff: Duration::from_millis(10),
             max_backoff: Duration::from_secs(1),
             multiplier: 2.0,
+            jitter: 0.5,
         }
     }
 }
@@ -66,7 +76,29 @@ impl RetryPolicy {
         let raw = self.initial_backoff.as_secs_f64() * factor;
         Duration::from_secs_f64(raw.min(self.max_backoff.as_secs_f64()))
     }
+
+    /// [`RetryPolicy::backoff`] with seeded multiplicative jitter: the
+    /// deterministic backoff `b` is scaled uniformly into
+    /// `[(1 − jitter)·b, b]`. The draw is a pure function of
+    /// `(seed, retry)`, so a given client replays the same schedule run
+    /// to run while clients with different seeds spread out instead of
+    /// re-dialing in lockstep.
+    pub fn backoff_jittered(&self, retry: u32, seed: u64) -> Duration {
+        let base = self.backoff(retry);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 {
+            return base;
+        }
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(seed ^ u64::from(retry).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        base.mul_f64(1.0 - jitter * rng.random_range(0.0..1.0))
+    }
 }
+
+/// Distinct default backoff seeds for clients dialed by the same process
+/// — the whole point of the jitter is that siblings don't share a
+/// schedule.
+static NEXT_BACKOFF_SEED: AtomicU64 = AtomicU64::new(0x5eed_ba5e);
 
 /// Runs against every freshly dialed connection before it serves calls —
 /// the place to re-establish application session state (handshakes,
@@ -84,6 +116,7 @@ pub struct ReconnectingClient {
     hook: Option<SessionHook>,
     client: Option<DlibClient>,
     generation: u64,
+    backoff_seed: u64,
 }
 
 impl ReconnectingClient {
@@ -105,6 +138,7 @@ impl ReconnectingClient {
             hook: None,
             client: None,
             generation: 0,
+            backoff_seed: NEXT_BACKOFF_SEED.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed),
         }
     }
 
@@ -140,7 +174,7 @@ impl ReconnectingClient {
                 if retry > 0 {
                     #[allow(clippy::disallowed_methods)]
                     // reconnect backoff on the dedicated resilient-client thread
-                    std::thread::sleep(self.policy.backoff(retry - 1));
+                    std::thread::sleep(self.policy.backoff_jittered(retry - 1, self.backoff_seed));
                 }
                 match DlibClient::connect_with(self.addr, self.config) {
                     Ok(mut fresh) => {
@@ -193,7 +227,7 @@ impl ReconnectingClient {
                 Err(DlibError::Busy) if retry + 1 < self.policy.max_attempts => {
                     #[allow(clippy::disallowed_methods)]
                     // reconnect backoff on the dedicated resilient-client thread
-                    std::thread::sleep(self.policy.backoff(retry));
+                    std::thread::sleep(self.policy.backoff_jittered(retry, self.backoff_seed));
                     retry += 1;
                 }
                 Err(e) => {
@@ -227,7 +261,7 @@ impl ReconnectingClient {
                     }
                     #[allow(clippy::disallowed_methods)]
                     // reconnect backoff on the dedicated resilient-client thread
-                    std::thread::sleep(self.policy.backoff(retry));
+                    std::thread::sleep(self.policy.backoff_jittered(retry, self.backoff_seed));
                     retry += 1;
                 }
             }
@@ -256,6 +290,7 @@ mod tests {
             initial_backoff: Duration::from_millis(10),
             max_backoff: Duration::from_millis(100),
             multiplier: 2.0,
+            jitter: 0.0,
         };
         assert_eq!(p.backoff(0), Duration::from_millis(10));
         assert_eq!(p.backoff(1), Duration::from_millis(20));
@@ -264,6 +299,42 @@ mod tests {
         assert_eq!(p.backoff(4), Duration::from_millis(100));
         assert_eq!(p.backoff(63), Duration::from_millis(100));
         assert_eq!(p.backoff(10_000), Duration::from_millis(100));
+        // Zero jitter leaves the schedule untouched.
+        assert_eq!(p.backoff_jittered(3, 42), Duration::from_millis(80));
+    }
+
+    #[test]
+    fn jittered_backoff_stays_in_bounds_and_is_seed_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            multiplier: 2.0,
+            jitter: 0.5,
+        };
+        let mut diverged = false;
+        for retry in 0..8 {
+            let base = p.backoff(retry);
+            for seed in [0u64, 1, 7, 0xdead_beef] {
+                let j = p.backoff_jittered(retry, seed);
+                // Bounds: [(1 − jitter)·b, b].
+                assert!(j <= base, "retry {retry} seed {seed}: {j:?} > {base:?}");
+                assert!(
+                    j >= base.mul_f64(1.0 - p.jitter),
+                    "retry {retry} seed {seed}: {j:?} below jitter floor of {base:?}"
+                );
+                // Deterministic per (seed, retry).
+                assert_eq!(j, p.backoff_jittered(retry, seed));
+                diverged |= j != p.backoff_jittered(retry, seed ^ 0x5eed);
+            }
+        }
+        assert!(diverged, "distinct seeds never produced distinct backoffs");
+
+        // Out-of-range jitter configs are clamped, not panicked on.
+        let wild = RetryPolicy { jitter: 7.5, ..p };
+        assert!(wild.backoff_jittered(2, 9) <= wild.backoff(2));
+        let negative = RetryPolicy { jitter: -1.0, ..p };
+        assert_eq!(negative.backoff_jittered(2, 9), negative.backoff(2));
     }
 
     fn fast_policy() -> RetryPolicy {
@@ -272,6 +343,7 @@ mod tests {
             initial_backoff: Duration::from_millis(1),
             max_backoff: Duration::from_millis(10),
             multiplier: 2.0,
+            ..RetryPolicy::default()
         }
     }
 

@@ -103,6 +103,7 @@ fn chaos_round(seed: u64) -> Result<(), TestCaseError> {
             initial_backoff: Duration::from_millis(1),
             max_backoff: Duration::from_millis(10),
             multiplier: 2.0,
+            ..RetryPolicy::default()
         },
     );
     rc.on_session(Box::new(move |client| {

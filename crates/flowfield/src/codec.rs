@@ -22,7 +22,8 @@
 //!
 //! Everything here is panic-free on arbitrary input: the decoder treats
 //! the compressed stream as untrusted and reports malformed data as
-//! [`FieldError::Format`].
+//! [`FieldError::Corrupt`] — the typed class the resilient storage layer
+//! keys its re-read/salvage policy on.
 
 use crate::{FieldError, Result};
 
@@ -52,11 +53,11 @@ pub fn checksum(bytes: &[u8]) -> u32 {
 }
 
 fn truncated() -> FieldError {
-    FieldError::Format("compressed chunk truncated".into())
+    FieldError::Corrupt("compressed chunk truncated".into())
 }
 
 fn corrupt(what: &str) -> FieldError {
-    FieldError::Format(format!("compressed chunk corrupt: {what}"))
+    FieldError::Corrupt(format!("compressed chunk corrupt: {what}"))
 }
 
 /// Push a value the caller guarantees fits in a byte.

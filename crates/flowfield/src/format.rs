@@ -182,6 +182,30 @@ pub struct VelocityHeader {
     pub time: f32,
 }
 
+/// Per-timestep decode health, produced by the salvage decoder
+/// ([`decode_velocity_salvage_into`]): which v2 chunks failed their
+/// checksum (or would not decompress) and were zero-filled instead.
+///
+/// `chunk_count == 0` marks a v1 payload — v1 has no chunk framing, so
+/// v1 decodes are all-or-nothing and a successful one is always clean.
+/// The mask bounds the damage of a degraded decode: every value outside
+/// the ranges named by `bad_chunks` is bit-exact.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FieldHealth {
+    /// Total chunks in the container (3 × per-component count).
+    pub chunk_count: usize,
+    /// Component-major indices of chunks that were zero-filled.
+    pub bad_chunks: Vec<usize>,
+}
+
+impl FieldHealth {
+    /// True when every chunk decoded bit-exact.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.bad_chunks.is_empty()
+    }
+}
+
 /// Bounds-checked little-endian cursor over an in-memory velocity file.
 /// Velocity reads slurp the whole file in one syscall (the streaming loop
 /// of §5.2 wants exactly one big sequential read per timestep) and parse
@@ -204,7 +228,7 @@ impl<'a> Cur<'a> {
         let s = self
             .data
             .get(self.pos..end)
-            .ok_or_else(|| FieldError::Format("velocity file truncated".into()))?;
+            .ok_or_else(|| FieldError::Corrupt("velocity file truncated".into()))?;
         self.pos = end;
         Ok(s)
     }
@@ -240,7 +264,7 @@ thread_local! {
 /// Decode one chunk, checksum-verified, into `out` (len == chunk values).
 fn decode_chunk_into(d: &ChunkDesc<'_>, out: &mut [f32]) -> Result<()> {
     if codec::checksum(d.bytes) != d.checksum {
-        return Err(FieldError::Format("chunk checksum mismatch".into()));
+        return Err(FieldError::Corrupt("chunk checksum mismatch".into()));
     }
     DECODE_SCRATCH.with(|cell| {
         let mut scratch = cell.borrow_mut();
@@ -367,6 +391,71 @@ fn decode_v2_into(mut c: Cur<'_>, into: &mut VectorField) -> Result<()> {
     }
 }
 
+/// Decode one component chunk (checksum-verified) and scatter it into the
+/// matching component of the AoS destination slice.
+fn decode_component_chunk(d: &ChunkDesc<'_>, comp: usize, dst: &mut [Vec3]) -> Result<()> {
+    if d.values != dst.len() {
+        return Err(FieldError::Format(
+            "chunk length does not match point range".into(),
+        ));
+    }
+    if codec::checksum(d.bytes) != d.checksum {
+        return Err(FieldError::Corrupt("chunk checksum mismatch".into()));
+    }
+    DECODE_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let (lz, plane) = &mut *scratch;
+        plane.clear();
+        plane.resize(dst.len(), 0.0);
+        codec::decompress_chunk(d.method, d.bytes, lz, plane)?;
+        scatter_component(comp, plane, dst);
+        Ok(())
+    })
+}
+
+fn scatter_component(comp: usize, plane: &[f32], dst: &mut [Vec3]) {
+    match comp {
+        0 => {
+            for (v, f) in dst.iter_mut().zip(plane.iter()) {
+                v.x = *f;
+            }
+        }
+        1 => {
+            for (v, f) in dst.iter_mut().zip(plane.iter()) {
+                v.y = *f;
+            }
+        }
+        _ => {
+            for (v, f) in dst.iter_mut().zip(plane.iter()) {
+                v.z = *f;
+            }
+        }
+    }
+}
+
+/// Overwrite one component of the destination slice with zeros — the
+/// bounded stand-in the salvage decoder uses for an unrecoverable chunk
+/// (the `FieldHealth` mask records exactly which ranges were zeroed).
+fn zero_component(comp: usize, dst: &mut [Vec3]) {
+    match comp {
+        0 => {
+            for v in dst.iter_mut() {
+                v.x = 0.0;
+            }
+        }
+        1 => {
+            for v in dst.iter_mut() {
+                v.y = 0.0;
+            }
+        }
+        _ => {
+            for v in dst.iter_mut() {
+                v.z = 0.0;
+            }
+        }
+    }
+}
+
 /// Decode the U/V/W chunks of point range `ri` and scatter them into the
 /// AoS destination slice.
 fn decode_range(
@@ -379,39 +468,7 @@ fn decode_range(
         let d = chunks
             .get(comp * per_comp + ri)
             .ok_or_else(|| FieldError::Format("chunk table shorter than ranges".into()))?;
-        if d.values != dst.len() {
-            return Err(FieldError::Format(
-                "chunk length does not match point range".into(),
-            ));
-        }
-        DECODE_SCRATCH.with(|cell| {
-            let mut scratch = cell.borrow_mut();
-            let (lz, plane) = &mut *scratch;
-            plane.clear();
-            plane.resize(dst.len(), 0.0);
-            if codec::checksum(d.bytes) != d.checksum {
-                return Err(FieldError::Format("chunk checksum mismatch".into()));
-            }
-            codec::decompress_chunk(d.method, d.bytes, lz, plane)?;
-            match comp {
-                0 => {
-                    for (v, f) in dst.iter_mut().zip(plane.iter()) {
-                        v.x = *f;
-                    }
-                }
-                1 => {
-                    for (v, f) in dst.iter_mut().zip(plane.iter()) {
-                        v.y = *f;
-                    }
-                }
-                _ => {
-                    for (v, f) in dst.iter_mut().zip(plane.iter()) {
-                        v.z = *f;
-                    }
-                }
-            }
-            Ok(())
-        })?;
+        decode_component_chunk(d, comp, dst)?;
     }
     Ok(())
 }
@@ -457,6 +514,147 @@ pub fn read_velocity(path: &Path) -> Result<(VelocityHeader, VectorField)> {
         _ => decode_v2_into(c, &mut field)?,
     }
     Ok((header, field))
+}
+
+/// Look up one chunk's component index, point range and descriptor.
+fn chunk_slot<'c, 'a, 'f>(
+    chunks: &'c [ChunkDesc<'a>],
+    chunk_values: usize,
+    per_comp: usize,
+    ci: usize,
+    field: &'f mut [Vec3],
+) -> Result<(&'c ChunkDesc<'a>, usize, &'f mut [Vec3])> {
+    let d = chunks
+        .get(ci)
+        .ok_or_else(|| FieldError::Format(format!("chunk index {ci} out of range")))?;
+    let comp = ci / per_comp.max(1);
+    let ri = ci % per_comp.max(1);
+    let start = ri * chunk_values;
+    let dst = field
+        .get_mut(start..start + d.values)
+        .ok_or_else(|| FieldError::Format("chunk table shorter than ranges".into()))?;
+    Ok((d, comp, dst))
+}
+
+/// Salvage-decode an in-memory velocity file into `into` (must match
+/// dims): every v2 chunk that passes its checksum and decompresses is
+/// decoded bit-exact; every chunk that does not is zero-filled and
+/// recorded in the returned [`FieldHealth`] mask. Structural damage —
+/// a torn header, a chunk table that does not describe the dims,
+/// trailing bytes — is not salvageable at this granularity and still
+/// returns `Err` (the caller's move is a whole-file re-read).
+///
+/// v1 payloads have no chunk framing: they decode all-or-nothing and a
+/// success reports a clean health with `chunk_count == 0`.
+pub fn decode_velocity_salvage_into(
+    data: &[u8],
+    into: &mut VectorField,
+) -> Result<(VelocityHeader, FieldHealth)> {
+    let mut c = Cur::new(data);
+    let (version, header) = parse_velocity_header(&mut c)?;
+    if header.dims != into.dims() {
+        return Err(FieldError::LengthMismatch {
+            expected: into.dims().point_count(),
+            actual: header.dims.point_count(),
+        });
+    }
+    if version == FORMAT_VERSION {
+        decode_v1_into(&c, into)?;
+        return Ok((header, FieldHealth::default()));
+    }
+    let n = into.dims().point_count();
+    let (chunk_values, chunks) = parse_v2_chunks(&mut c, n)?;
+    let per_comp = n.div_ceil(chunk_values);
+    let mut health = FieldHealth {
+        chunk_count: chunks.len(),
+        bad_chunks: Vec::new(),
+    };
+    for ci in 0..chunks.len() {
+        let (d, comp, dst) = chunk_slot(&chunks, chunk_values, per_comp, ci, into.as_mut_slice())?;
+        if decode_component_chunk(d, comp, dst).is_err() {
+            zero_component(comp, dst);
+            health.bad_chunks.push(ci);
+        }
+    }
+    Ok((header, health))
+}
+
+/// Decode only the chunks named by `which` (component-major indices, as
+/// reported in [`FieldHealth::bad_chunks`]) from a fresh copy of the
+/// file, scattering the recovered values into `into`. Chunks that fail
+/// again are re-zeroed; the returned list holds exactly those still-bad
+/// indices. This is the re-read half of chunk salvage: a resilient store
+/// re-reads the file and pays decode cost only for the ranges that were
+/// bad the first time.
+pub fn decode_velocity_chunks_into(
+    data: &[u8],
+    into: &mut VectorField,
+    which: &[usize],
+) -> Result<Vec<usize>> {
+    let mut c = Cur::new(data);
+    let (version, header) = parse_velocity_header(&mut c)?;
+    if version == FORMAT_VERSION {
+        return Err(FieldError::Format(
+            "chunk-level decode needs a v2 container".into(),
+        ));
+    }
+    if header.dims != into.dims() {
+        return Err(FieldError::LengthMismatch {
+            expected: into.dims().point_count(),
+            actual: header.dims.point_count(),
+        });
+    }
+    let n = into.dims().point_count();
+    let (chunk_values, chunks) = parse_v2_chunks(&mut c, n)?;
+    let per_comp = n.div_ceil(chunk_values);
+    let mut still_bad = Vec::new();
+    for &ci in which {
+        let (d, comp, dst) = chunk_slot(&chunks, chunk_values, per_comp, ci, into.as_mut_slice())?;
+        if decode_component_chunk(d, comp, dst).is_err() {
+            zero_component(comp, dst);
+            still_bad.push(ci);
+        }
+    }
+    Ok(still_bad)
+}
+
+/// Byte ranges of every v2 chunk's compressed payload inside `data`
+/// (component-major chunk order). Fault-injection harnesses use this to
+/// aim bit flips at payload bytes — never at chunk framing — so an
+/// injected flip deterministically surfaces as a checksum failure on a
+/// known chunk index rather than an unparseable file.
+pub fn v2_chunk_payload_ranges(data: &[u8]) -> Result<Vec<std::ops::Range<usize>>> {
+    let mut c = Cur::new(data);
+    let (version, header) = parse_velocity_header(&mut c)?;
+    if version != DATASET_FORMAT_VERSION {
+        return Err(FieldError::Format(
+            "chunk payload ranges need a v2 container".into(),
+        ));
+    }
+    let n = header.dims.point_count();
+    let chunk_values = c.u32()? as usize;
+    if chunk_values == 0 || chunk_values > V2_MAX_CHUNK_VALUES {
+        return Err(FieldError::Format(format!(
+            "bad v2 chunk granularity {chunk_values}"
+        )));
+    }
+    let chunk_count = c.u32()? as usize;
+    if chunk_count != n.div_ceil(chunk_values) * 3 {
+        return Err(FieldError::Format(format!(
+            "v2 chunk count {chunk_count} does not match dims"
+        )));
+    }
+    let mut ranges = Vec::with_capacity(chunk_count);
+    for _ in 0..chunk_count {
+        let _method = c.u32()?;
+        let _values = c.u32()?;
+        let comp_len = c.u32()? as usize;
+        let _checksum = c.u32()?;
+        let start = c.pos;
+        c.take(comp_len)?;
+        ranges.push(start..start + comp_len);
+    }
+    Ok(ranges)
 }
 
 /// Decode an in-memory velocity file straight into the SoA layout,
@@ -950,6 +1148,137 @@ mod tests {
         padded.push(0);
         std::fs::write(&path, &padded).unwrap();
         assert!(read_velocity(&path).is_err());
+    }
+
+    /// A deterministic field big enough that every component spans two
+    /// chunks (6 chunks total), for chunk-granular salvage tests.
+    fn multi_chunk_field() -> VectorField {
+        let dims = Dims::new(66, 33, 9); // 19 602 points, 2 chunks/component
+        VectorField::from_fn(dims, |i, j, k| {
+            Vec3::new(
+                (i as f32 * 0.37).sin(),
+                (j as f32 * 0.21).cos() * 0.01,
+                k as f32 * -1.5 + i as f32,
+            )
+        })
+    }
+
+    #[test]
+    fn chunk_payload_ranges_cover_exact_chunks() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("q.dvwq");
+        let f = multi_chunk_field();
+        write_velocity_v2(&path, 0, 0.0, &f).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let ranges = v2_chunk_payload_ranges(&bytes).unwrap();
+        assert_eq!(ranges.len(), 6);
+        // Ascending, disjoint, inside the file, and the last payload ends
+        // exactly at EOF (no trailing bytes in the container).
+        let mut prev_end = 0;
+        for r in &ranges {
+            assert!(r.start >= prev_end && r.end <= bytes.len());
+            prev_end = r.end;
+        }
+        assert_eq!(prev_end, bytes.len());
+        // v1 containers have no chunk table.
+        write_velocity(&path, 0, 0.0, &sample_field(0.0)).unwrap();
+        let v1 = std::fs::read(&path).unwrap();
+        assert!(v2_chunk_payload_ranges(&v1).is_err());
+    }
+
+    #[test]
+    fn salvage_decodes_around_corrupt_chunk() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("q.dvwq");
+        let f = multi_chunk_field();
+        write_velocity_v2(&path, 4, 0.2, &f).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let ranges = v2_chunk_payload_ranges(&bytes).unwrap();
+
+        // Flip a payload byte of chunk 1 (= U component, second range).
+        bytes[ranges[1].start + 3] ^= 0x10;
+
+        // Start from a dirty buffer to prove zero-fill overwrites stale
+        // recycled data, not just freshly-zeroed allocations.
+        let mut out = VectorField::from_fn(f.dims(), |_, _, _| Vec3::new(9.0, 9.0, 9.0));
+        let (h, health) = decode_velocity_salvage_into(&bytes, &mut out).unwrap();
+        assert_eq!(h.index, 4);
+        assert_eq!(health.chunk_count, 6);
+        assert_eq!(health.bad_chunks, vec![1]);
+        assert!(!health.is_clean());
+
+        let cv = V2_CHUNK_VALUES;
+        for (i, (a, b)) in out.as_slice().iter().zip(f.as_slice()).enumerate() {
+            if i < cv {
+                assert_eq!(a.x.to_bits(), b.x.to_bits(), "clean U chunk at {i}");
+            } else {
+                assert_eq!(a.x, 0.0, "zero-filled U range at {i}");
+            }
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
+
+        // The whole-file decoder still rejects the same bytes outright.
+        let mut strict = VectorField::zeros(f.dims());
+        let err = decode_velocity_into(&bytes, &mut strict).unwrap_err();
+        assert!(matches!(err, FieldError::Corrupt(_)), "got: {err}");
+    }
+
+    #[test]
+    fn chunk_retry_decode_recovers_bad_ranges() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("q.dvwq");
+        let f = multi_chunk_field();
+        write_velocity_v2(&path, 0, 0.0, &f).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        let ranges = v2_chunk_payload_ranges(&clean).unwrap();
+
+        let mut torn = clean.clone();
+        torn[ranges[2].start] ^= 0x01; // chunk 2: V component, first range
+        torn[ranges[5].start] ^= 0x01; // chunk 5: W component, last range
+
+        let mut out = VectorField::zeros(f.dims());
+        let (_, health) = decode_velocity_salvage_into(&torn, &mut out).unwrap();
+        assert_eq!(health.bad_chunks, vec![2, 5]);
+
+        // Re-read returned clean bytes: decode only the bad chunks.
+        let still_bad = decode_velocity_chunks_into(&clean, &mut out, &health.bad_chunks).unwrap();
+        assert!(still_bad.is_empty());
+        for (a, b) in out.as_slice().iter().zip(f.as_slice()) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
+
+        // A re-read that is corrupt in the same place reports it still bad.
+        let still = decode_velocity_chunks_into(&torn, &mut out, &[2]).unwrap();
+        assert_eq!(still, vec![2]);
+        // Out-of-range chunk indices are a structural error, not a panic.
+        assert!(decode_velocity_chunks_into(&clean, &mut out, &[99]).is_err());
+    }
+
+    #[test]
+    fn salvage_is_all_or_nothing_for_v1_and_structural_damage() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("q.dvwq");
+        let f = sample_field(2.0);
+        write_velocity(&path, 1, 0.1, &f).unwrap();
+        let v1 = std::fs::read(&path).unwrap();
+        let mut out = VectorField::zeros(f.dims());
+        let (h, health) = decode_velocity_salvage_into(&v1, &mut out).unwrap();
+        assert_eq!(h.index, 1);
+        assert_eq!(health.chunk_count, 0);
+        assert!(health.is_clean());
+        assert_eq!(out, f);
+        // Chunk-level decode is meaningless on v1.
+        assert!(decode_velocity_chunks_into(&v1, &mut out, &[0]).is_err());
+
+        // Structural damage (truncation into the chunk table) is not
+        // salvageable: the salvage decoder refuses rather than guessing.
+        write_velocity_v2(&path, 1, 0.1, &f).unwrap();
+        let v2 = std::fs::read(&path).unwrap();
+        let cut = &v2[..30];
+        assert!(decode_velocity_salvage_into(cut, &mut out).is_err());
     }
 
     #[test]

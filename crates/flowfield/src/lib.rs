@@ -50,8 +50,20 @@ pub enum FieldError {
     SingularCell { i: usize, j: usize, k: usize },
     /// I/O failure in the file format layer.
     Io(std::io::Error),
-    /// Malformed file contents.
+    /// Malformed file contents (structural: bad magic, bad version, a
+    /// chunk table that does not describe the dims). Re-reading the same
+    /// file cannot help.
     Format(String),
+    /// Corrupt file *content*: a checksum mismatch, a torn/truncated
+    /// payload, or an undecodable compressed stream. Unlike [`Format`],
+    /// this is the signature of a bad read — a retry may return clean
+    /// bytes, and v2 containers can be salvaged chunk by chunk.
+    ///
+    /// [`Format`]: FieldError::Format
+    Corrupt(String),
+    /// The timestep was quarantined by a resilient store after exhausting
+    /// its retry budget; no further I/O is attempted for it.
+    Quarantined { index: usize },
 }
 
 impl std::fmt::Display for FieldError {
@@ -75,6 +87,13 @@ impl std::fmt::Display for FieldError {
             }
             FieldError::Io(e) => write!(f, "I/O error: {e}"),
             FieldError::Format(s) => write!(f, "malformed dataset file: {s}"),
+            FieldError::Corrupt(s) => write!(f, "corrupt dataset file: {s}"),
+            FieldError::Quarantined { index } => {
+                write!(
+                    f,
+                    "timestep {index} is quarantined after repeated read faults"
+                )
+            }
         }
     }
 }

@@ -7,7 +7,7 @@
 //! timesteps of a disk-backed dataset are in memory at once, and exposes
 //! the bound so the windtunnel can clamp particle-path length to it.
 
-use crate::{StoreIoStats, TimestepStore};
+use crate::{StoreHealthStats, StoreIoStats, TimestepStore};
 use flowfield::{DatasetMeta, Result, VectorField};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -126,6 +126,10 @@ impl<S: TimestepStore> TimestepStore for CachedStore<S> {
             ..StoreIoStats::default()
         }
         .plus(self.inner.io_stats())
+    }
+
+    fn health_stats(&self) -> StoreHealthStats {
+        self.inner.health_stats()
     }
 
     fn hint_direction(&self, direction: i64) {
@@ -252,6 +256,52 @@ mod tests {
         let cached = CachedStore::new(CountingStore::new(3), 4);
         assert!(cached.fetch(9).is_err());
         assert_eq!(cached.resident(), 0);
+    }
+
+    #[test]
+    fn error_never_cached_and_next_fetch_retries() {
+        // Negative-result regression: a failed load must not poison the
+        // slot. A flaky inner store errs once; the next fetch must go back
+        // to the inner store and a success after that must hit the cache.
+        struct FlakyStore {
+            meta: DatasetMeta,
+            fetches: AtomicU64,
+        }
+        impl TimestepStore for FlakyStore {
+            fn meta(&self) -> &DatasetMeta {
+                &self.meta
+            }
+            fn fetch(&self, index: usize) -> Result<Arc<VectorField>> {
+                let n = self.fetches.fetch_add(1, Ordering::SeqCst);
+                if n == 0 {
+                    return Err(FieldError::Corrupt("injected".into()));
+                }
+                Ok(Arc::new(VectorField::from_fn(self.meta.dims, |_, _, _| {
+                    Vec3::splat(index as f32)
+                })))
+            }
+        }
+        let cached = CachedStore::new(
+            FlakyStore {
+                meta: DatasetMeta {
+                    name: "flaky".into(),
+                    dims: Dims::new(2, 2, 2),
+                    timestep_count: 4,
+                    dt: 0.1,
+                    coords: VelocityCoords::Grid,
+                },
+                fetches: AtomicU64::new(0),
+            },
+            4,
+        );
+        assert!(cached.fetch(1).is_err());
+        assert_eq!(cached.resident(), 0, "an Err is never cached");
+        // Retry reaches the inner store (no stale negative entry) …
+        assert_eq!(cached.fetch(1).unwrap().at(0, 0, 0), Vec3::splat(1.0));
+        assert_eq!(cached.inner.fetches.load(Ordering::SeqCst), 2);
+        // … and the success is cached normally.
+        cached.fetch(1).unwrap();
+        assert_eq!(cached.inner.fetches.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -23,16 +23,22 @@
 pub mod cache;
 pub mod constraints;
 pub mod disk;
+pub mod faulty;
 pub mod memory;
 pub mod prefetch;
 pub mod readahead;
+pub mod resilient;
 pub mod simdisk;
 
 pub use cache::CachedStore;
 pub use disk::DiskStore;
+pub use faulty::{
+    DiskFaultAction, DiskFaultConfig, DiskFaultPlan, FaultyDisk, FileReader, TimestepReader,
+};
 pub use memory::MemoryStore;
 pub use prefetch::Prefetcher;
 pub use readahead::ReadAhead;
+pub use resilient::{ResilientStore, RetryConfig};
 pub use simdisk::{DiskModel, SimulatedDisk};
 
 use flowfield::{DatasetMeta, Result, VectorField, VectorFieldSoA};
@@ -67,6 +73,50 @@ impl StoreIoStats {
             prefetch_hits: self.prefetch_hits.saturating_add(other.prefetch_hits),
             prefetch_misses: self.prefetch_misses.saturating_add(other.prefetch_misses),
         }
+    }
+}
+
+/// Cumulative fault-tolerance counters a store stack reports alongside
+/// [`StoreIoStats`]. All zeros on a healthy run — the counters exist so a
+/// client can render a data-health indicator the moment playback starts
+/// surviving on degraded data instead of clean reads. Wrappers fold with
+/// [`StoreHealthStats::plus`], mirroring `io_stats()`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreHealthStats {
+    /// Reads retried after a transient I/O error or a corrupt payload
+    /// (each retry counts once, successful or not).
+    pub retried_reads: u64,
+    /// v2 chunks that failed their checksum on first decode but were
+    /// recovered bit-exact from a re-read.
+    pub salvaged_chunks: u64,
+    /// v2 chunks that exhausted salvage re-reads and were served
+    /// zero-filled under a `FieldHealth` mask.
+    pub zero_filled_chunks: u64,
+    /// Timesteps quarantined after exhausting their retry budget; fetches
+    /// for them fail fast without touching the device again.
+    pub quarantined_steps: u64,
+}
+
+impl StoreHealthStats {
+    /// Component-wise sum (wrapper + inner contributions).
+    #[must_use]
+    pub fn plus(self, other: StoreHealthStats) -> StoreHealthStats {
+        StoreHealthStats {
+            retried_reads: self.retried_reads.saturating_add(other.retried_reads),
+            salvaged_chunks: self.salvaged_chunks.saturating_add(other.salvaged_chunks),
+            zero_filled_chunks: self
+                .zero_filled_chunks
+                .saturating_add(other.zero_filled_chunks),
+            quarantined_steps: self
+                .quarantined_steps
+                .saturating_add(other.quarantined_steps),
+        }
+    }
+
+    /// True when any counter is non-zero — playback has been degraded.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        *self != StoreHealthStats::default()
     }
 }
 
@@ -108,6 +158,14 @@ pub trait TimestepStore: Send + Sync {
         StoreIoStats::default()
     }
 
+    /// Cumulative fault-tolerance counters for this store stack (see
+    /// [`StoreHealthStats`]). Stores without a fault-handling layer report
+    /// zeros; wrappers forward/fold the inner store's so the outermost
+    /// store describes the whole fetch path, like `io_stats()`.
+    fn health_stats(&self) -> StoreHealthStats {
+        StoreHealthStats::default()
+    }
+
     /// Advise the store of the expected playback direction: positive for
     /// forward, negative for reverse, zero for unknown/paused. Plain
     /// backends ignore it; prefetching wrappers ([`ReadAhead`]) use it to
@@ -134,6 +192,9 @@ impl<S: TimestepStore + ?Sized> TimestepStore for Arc<S> {
     }
     fn io_stats(&self) -> StoreIoStats {
         (**self).io_stats()
+    }
+    fn health_stats(&self) -> StoreHealthStats {
+        (**self).health_stats()
     }
     fn hint_direction(&self, direction: i64) {
         (**self).hint_direction(direction)

@@ -58,6 +58,11 @@ struct State {
     misses: u64,
     /// Requests cancelled or displaced before a worker claimed them.
     cancelled: u64,
+    /// Loads that completed with an error. Failures are *never* parked in
+    /// the ready buffer: the error is delivered to the waiter that blocks
+    /// on that index (if any) and otherwise dropped, so a stale failure
+    /// can never satisfy a later request.
+    failed: u64,
 }
 
 impl Shared {
@@ -89,7 +94,8 @@ pub struct Prefetcher {
     shared: Arc<Shared>,
     work_tx: Sender<Token>,
     res_rx: Receiver<LoadResult>,
-    ready: Mutex<HashMap<usize, Result<Arc<VectorField>>>>,
+    /// Successfully loaded timesteps only — failed loads never enter.
+    ready: Mutex<HashMap<usize, Arc<VectorField>>>,
     capacity: usize,
     workers: Vec<JoinHandle<()>>,
 }
@@ -115,6 +121,7 @@ impl Prefetcher {
                 hits: 0,
                 misses: 0,
                 cancelled: 0,
+                failed: 0,
             }),
         });
         let handles = (0..workers)
@@ -135,7 +142,20 @@ impl Prefetcher {
                                     let Some(idx) = shared.claim() else {
                                         continue;
                                     };
-                                    let result = store.fetch(idx);
+                                    // A store that panics mid-fetch must
+                                    // not take the worker (and its token)
+                                    // down with it: convert the panic to
+                                    // an error result so the slot is
+                                    // released and the pool keeps
+                                    // draining.
+                                    let result = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| store.fetch(idx)),
+                                    )
+                                    .unwrap_or_else(|_| {
+                                        Err(FieldError::Format(format!(
+                                            "prefetch worker panicked loading timestep {idx}"
+                                        )))
+                                    });
                                     if res_tx.send((idx, result)).is_err() {
                                         break;
                                     }
@@ -245,7 +265,15 @@ impl Prefetcher {
         let mut st = self.shared.state.lock();
         while let Ok((idx, result)) = self.res_rx.try_recv() {
             st.loading.retain(|&i| i != idx);
-            ready.insert(idx, result);
+            match result {
+                Ok(field) => {
+                    ready.insert(idx, field);
+                }
+                // Never park a failure: drop it so a later request for
+                // this index triggers a fresh load instead of being
+                // served a stale error.
+                Err(_) => st.failed += 1,
+            }
         }
         let playhead = st.playhead;
         drop(st);
@@ -269,15 +297,15 @@ impl Prefetcher {
     pub fn wait(&self, index: usize) -> Result<Arc<VectorField>> {
         self.set_playhead(index);
         self.drain();
-        if let Some(result) = self.ready.lock().remove(&index) {
+        if let Some(field) = self.ready.lock().remove(&index) {
             self.shared.state.lock().hits += 1;
-            return result;
+            return Ok(field);
         }
         self.shared.state.lock().misses += 1;
         loop {
             self.drain();
-            if let Some(result) = self.ready.lock().remove(&index) {
-                return result;
+            if let Some(field) = self.ready.lock().remove(&index) {
+                return Ok(field);
             }
             {
                 let st = self.shared.state.lock();
@@ -298,9 +326,16 @@ impl Prefetcher {
                 Ok((idx, result)) => {
                     self.shared.state.lock().loading.retain(|&i| i != idx);
                     if idx == index {
+                        // Errors are delivered only to the waiter that
+                        // asked for this exact index.
                         return result;
                     }
-                    self.ready.lock().insert(idx, result);
+                    match result {
+                        Ok(field) => {
+                            self.ready.lock().insert(idx, field);
+                        }
+                        Err(_) => self.shared.state.lock().failed += 1,
+                    }
                 }
                 Err(_) => {
                     return Err(FieldError::Format("prefetch worker died".into()));
@@ -327,6 +362,14 @@ impl Prefetcher {
     pub fn stats(&self) -> (u64, u64, u64) {
         let st = self.shared.state.lock();
         (st.hits, st.misses, st.cancelled)
+    }
+
+    /// Loads that completed with an error (dropped, never cached). Drains
+    /// completions first so the count reflects everything the workers have
+    /// finished.
+    pub fn failed_count(&self) -> u64 {
+        self.drain();
+        self.shared.state.lock().failed
     }
 }
 
@@ -567,5 +610,127 @@ mod tests {
         assert_eq!(pf.in_flight(), before, "displacement keeps the bound");
         store.gate.store(true, Ordering::SeqCst);
         assert_eq!(pf.wait(101).unwrap().at(0, 0, 0), Vec3::splat(101.0));
+    }
+
+    use std::sync::atomic::AtomicU64;
+
+    /// A store that fails fetches according to a predicate over
+    /// `(index, attempt)`, then serves from memory. Lets tests pin the
+    /// "failed load must not be cached" invariant without wall-clock
+    /// dependence.
+    struct FlakyStore {
+        inner: MemoryStore,
+        fails: fn(usize, u64) -> bool,
+        attempts: Mutex<HashMap<usize, u64>>,
+        fetches: AtomicU64,
+    }
+
+    impl FlakyStore {
+        fn new(n: usize, fails: fn(usize, u64) -> bool) -> FlakyStore {
+            FlakyStore {
+                inner: mem_store(n),
+                fails,
+                attempts: Mutex::new(HashMap::new()),
+                fetches: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl TimestepStore for FlakyStore {
+        fn meta(&self) -> &DatasetMeta {
+            self.inner.meta()
+        }
+        fn fetch(&self, index: usize) -> Result<Arc<VectorField>> {
+            self.fetches.fetch_add(1, Ordering::SeqCst);
+            let attempt = {
+                let mut attempts = self.attempts.lock();
+                let n = attempts.entry(index).or_insert(0);
+                *n += 1;
+                *n
+            };
+            if (self.fails)(index, attempt) {
+                return Err(FieldError::Corrupt(format!(
+                    "injected failure {attempt} for timestep {index}"
+                )));
+            }
+            self.inner.fetch(index)
+        }
+    }
+
+    #[test]
+    fn failed_load_is_never_cached_or_served_to_a_later_waiter() {
+        // Index 2 fails on its first fetch only, then heals.
+        let store = Arc::new(FlakyStore::new(5, |idx, attempt| idx == 2 && attempt == 1));
+        let pf = Prefetcher::with_workers(Arc::clone(&store), 1);
+        pf.request(2); // background load fails once
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while pf.failed_count() < 1 {
+            assert!(Instant::now() < deadline, "failure never drained");
+            std::thread::yield_now();
+        }
+        // The failure was dropped, not parked as ready.
+        assert!(!pf.is_ready(2));
+        assert_eq!(pf.ready_count(), 0);
+        // A later waiter triggers a *fresh* fetch and gets the healed
+        // data, not the stale error.
+        assert_eq!(pf.wait(2).unwrap().at(0, 0, 0), Vec3::splat(2.0));
+        assert_eq!(store.fetches.load(Ordering::SeqCst), 2);
+        assert_eq!(pf.in_flight(), 0);
+    }
+
+    #[test]
+    fn erroring_store_returns_tokens_and_pool_keeps_draining() {
+        // Odd indices always fail; drive several failing loads through a
+        // single worker and verify it keeps claiming work.
+        let store = Arc::new(FlakyStore::new(6, |idx, _| idx % 2 == 1));
+        let pf = Prefetcher::with_workers(Arc::clone(&store), 1);
+        for idx in [1, 3, 5] {
+            pf.request(idx);
+        }
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while pf.failed_count() < 3 || pf.in_flight() > 0 {
+            assert!(Instant::now() < deadline, "worker wedged after errors");
+            std::thread::yield_now();
+        }
+        // Waiting on a failing index surfaces the error to that waiter…
+        assert!(pf.wait(1).is_err());
+        // …and the pool is still alive for healthy loads afterwards.
+        assert_eq!(pf.wait(0).unwrap().at(0, 0, 0), Vec3::splat(0.0));
+        assert_eq!(pf.wait(2).unwrap().at(0, 0, 0), Vec3::splat(2.0));
+        assert_eq!(pf.in_flight(), 0);
+    }
+
+    /// A store that panics when asked for a poisoned index.
+    struct PanickyStore {
+        inner: MemoryStore,
+        poisoned: usize,
+    }
+
+    impl TimestepStore for PanickyStore {
+        fn meta(&self) -> &DatasetMeta {
+            self.inner.meta()
+        }
+        fn fetch(&self, index: usize) -> Result<Arc<VectorField>> {
+            assert!(index != self.poisoned, "poisoned timestep {index}");
+            self.inner.fetch(index)
+        }
+    }
+
+    #[test]
+    fn panicking_store_does_not_wedge_the_pool() {
+        let store = Arc::new(PanickyStore {
+            inner: mem_store(5),
+            poisoned: 1,
+        });
+        let pf = Prefetcher::with_workers(store, 1);
+        // The panic is converted to an error for the blocked waiter…
+        let err = pf.wait(1).unwrap_err();
+        assert!(err.to_string().contains("panicked"), "got: {err}");
+        // …the slot is released, and the same single worker still serves
+        // later loads.
+        assert_eq!(pf.wait(0).unwrap().at(0, 0, 0), Vec3::splat(0.0));
+        assert_eq!(pf.wait(3).unwrap().at(0, 0, 0), Vec3::splat(3.0));
+        assert_eq!(pf.in_flight(), 0);
+        assert!(!pf.is_ready(1), "a panicked load must never look ready");
     }
 }

@@ -123,6 +123,10 @@ impl<S: TimestepStore + 'static> TimestepStore for ReadAhead<S> {
         .plus(self.inner.io_stats())
     }
 
+    fn health_stats(&self) -> crate::StoreHealthStats {
+        self.inner.health_stats()
+    }
+
     fn hint_direction(&self, direction: i64) {
         let len = self.inner.timestep_count() as i64;
         if direction == 0 || len <= 1 {

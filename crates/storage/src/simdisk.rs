@@ -135,6 +135,10 @@ impl<S: TimestepStore> TimestepStore for SimulatedDisk<S> {
         .plus(self.inner.io_stats())
     }
 
+    fn health_stats(&self) -> crate::StoreHealthStats {
+        self.inner.health_stats()
+    }
+
     fn hint_direction(&self, direction: i64) {
         self.inner.hint_direction(direction)
     }

@@ -204,6 +204,14 @@ impl WindtunnelClient {
         FrameStats::decode(&bytes)
     }
 
+    /// Convenience probe over [`Self::stats`]: true when the server's
+    /// storage stack has reported any fault-tolerance activity (retries,
+    /// chunk salvage, zero-fill, quarantine, neighbour substitution) —
+    /// the cue to surface a data-health warning next to the clock.
+    pub fn store_degraded(&mut self) -> Result<bool> {
+        Ok(self.stats()?.store_degraded())
+    }
+
     /// Render a frame into an anaglyph stereo framebuffer from the given
     /// head-tracked camera — the full client-side display path. Draws the
     /// other participants' heads too (§5.1: "indicating to participants

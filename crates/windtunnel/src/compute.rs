@@ -49,6 +49,11 @@ impl Default for ComputeConfig {
 #[derive(Default)]
 pub struct ToolEngines {
     streaks: HashMap<RakeId, Streakline>,
+    /// Cumulative count of streak-advance fetches served by a healthy
+    /// *neighbouring* timestep because the requested one could not be
+    /// read (quarantined or erroring store). Folded into the server's
+    /// degraded-playback stats.
+    substituted: u64,
     /// Bumped whenever the persistent particle systems mutate (advance
     /// or clear), so cached streak geometry invalidates precisely — a
     /// streak rake's smoke changes per clock tick even when the rake
@@ -96,6 +101,27 @@ impl ToolEngines {
         Ok(soa)
     }
 
+    /// [`ToolEngines::soa_for`] with nearest-healthy substitution: when
+    /// `ts` cannot be served, spiral outward through the dataset and use
+    /// the closest timestep that loads. Returns the field and the index
+    /// actually served; `None` when nothing in the dataset loads.
+    fn soa_near(
+        &mut self,
+        store: &dyn TimestepStore,
+        ts: usize,
+        count: usize,
+    ) -> Option<(Arc<VectorFieldSoA>, usize)> {
+        for cand in substitution_candidates(ts, count) {
+            if let Ok(soa) = self.soa_for(store, cand) {
+                if cand != ts {
+                    self.substituted += 1;
+                }
+                return Some((soa, cand));
+            }
+        }
+        None
+    }
+
     /// Advance all streak systems one step — called exactly once per
     /// time advance, not per client frame request.
     ///
@@ -119,19 +145,45 @@ impl ToolEngines {
         if count == 0 {
             return Ok(total);
         }
+        // No streak rakes means nothing to advect: skip the bracket
+        // fetches entirely (a tick must not touch — or trip over — the
+        // store on behalf of tools nobody is using).
+        if !env
+            .rakes()
+            .any(|(_, e)| e.rake.tool == ToolKind::Streakline)
+        {
+            return Ok(total);
+        }
         // Bracketing pair and blend factor for the fractional time.
         let t = env.time.time().max(0.0);
         let t0 = (t.floor() as usize).min(count - 1);
         let t1 = (t0 + 1).min(count - 1);
         let alpha = if t1 == t0 { 0.0 } else { t - t0 as f32 };
         if !matches!(&self.pair_cache, Some((key, _)) if *key == (t0, t1)) {
-            let f0 = self.soa_for(store, t0)?;
-            let f1 = if t1 == t0 {
-                f0.clone()
-            } else {
-                self.soa_for(store, t1)?
+            // Degraded playback: if the bracket cannot be read, advect
+            // through the nearest healthy field instead of wedging the
+            // tick loop. A substituted endpoint degenerates the pair to
+            // (h, h) — blending across the gap would interpolate between
+            // non-adjacent timesteps, so the blend collapses to a single
+            // field (any alpha then samples exactly that field).
+            let Some((f0, s0)) = self.soa_near(store, t0, count) else {
+                // Nothing in the dataset loads: skip this advance and
+                // leave the smoke where it is; the frame path reports
+                // the underlying error.
+                return Ok(total);
             };
-            self.soa_cache.retain(|ts, _| *ts == t0 || *ts == t1);
+            let (f1, s1) = if t1 == t0 || s0 != t0 {
+                (f0.clone(), s0)
+            } else {
+                match self.soa_for(store, t1) {
+                    Ok(f1) => (f1, t1),
+                    Err(_) => {
+                        self.substituted += 1;
+                        (f0.clone(), s0)
+                    }
+                }
+            };
+            self.soa_cache.retain(|ts, _| *ts == s0 || *ts == s1);
             self.pair_cache = Some(((t0, t1), BlendedPairSoA::new(&f0, &f1, alpha)?));
         }
         let Some((_, pair)) = &mut self.pair_cache else {
@@ -171,6 +223,49 @@ impl ToolEngines {
     pub fn streak_particles(&self) -> usize {
         self.streaks.values().map(|s| s.particle_count()).sum()
     }
+
+    /// Cumulative streak-advance fetches served by a substituted
+    /// neighbouring timestep (degraded playback).
+    pub fn substituted_fetches(&self) -> u64 {
+        self.substituted
+    }
+}
+
+/// Candidate order for nearest-healthy substitution: the requested
+/// timestep first, then spiralling outward (`ts−1, ts+1, ts−2, …`) so a
+/// substitute is as visually close to the request as the dataset allows.
+fn substitution_candidates(ts: usize, count: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(count);
+    if ts < count {
+        order.push(ts);
+    }
+    for d in 1..count.max(1) {
+        if let Some(lo) = ts.checked_sub(d) {
+            order.push(lo);
+        }
+        if ts + d < count {
+            order.push(ts + d);
+        }
+    }
+    order
+}
+
+/// Fetch the frame's field with nearest-healthy substitution: a
+/// quarantined or unreadable timestep must degrade the picture, not kill
+/// the frame. Returns the field and the timestep actually served; `Err`
+/// only when *no* timestep in the dataset loads.
+fn fetch_with_substitution(
+    store: &dyn TimestepStore,
+    ts: usize,
+) -> Result<(Arc<VectorField>, usize), FieldError> {
+    let mut last_err = FieldError::Format("dataset has no readable timesteps".into());
+    for cand in substitution_candidates(ts, store.timestep_count()) {
+        match store.fetch(cand) {
+            Ok(field) => return Ok((field, cand)),
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
 }
 
 /// Integrate a particle path starting at `seed` (grid coords) from
@@ -191,7 +286,12 @@ fn pathline_over_store(
     let mut path = vec![p];
     let end = (start + window).min(store.timestep_count());
     for ts in start..end {
-        let field: Arc<VectorField> = store.fetch(ts)?;
+        // A path that reaches an unreadable timestep simply ends there —
+        // the gap truncates the path rather than erroring the frame.
+        let Ok(field) = store.fetch(ts) else {
+            break;
+        };
+        let field: Arc<VectorField> = field;
         match integrator.step(field.as_ref(), domain, p, dt) {
             Some(next) => {
                 p = next;
@@ -309,6 +409,9 @@ pub struct FrameComputeStats {
     pub geom_hits: u32,
     /// Rakes re-traced this frame.
     pub geom_misses: u32,
+    /// 1 when the frame's field was served by a substituted neighbouring
+    /// timestep because the requested one could not be read.
+    pub substituted_fetches: u32,
 }
 
 /// One cache miss queued for re-tracing: rake id, the new cache key,
@@ -334,8 +437,11 @@ pub fn compute_frame_cached(
     let mut stats = FrameComputeStats::default();
     let timestep = env.time.timestep();
     let fetch_started = Instant::now();
-    let field = store.fetch(timestep)?;
+    let (field, served) = fetch_with_substitution(store, timestep)?;
     stats.fetch_us = fetch_started.elapsed().as_micros() as u64;
+    if served != timestep {
+        stats.substituted_fetches = 1;
+    }
 
     // Forget geometry for rakes that no longer exist.
     cache.entries.retain(|id, _| env.rake(*id).is_some());
@@ -364,7 +470,10 @@ pub fn compute_frame_cached(
             owner: entry.grab.map(|(u, _)| u).unwrap_or(0),
         });
 
-        let key = geom_key(entry.geom_rev(), timestep, rake.tool, cfg, streak_epoch);
+        // Geometry is keyed on the timestep actually *served*: a frame
+        // drawn from a substitute must not be mistaken for (or poison the
+        // cache of) the real one.
+        let key = geom_key(entry.geom_rev(), served, rake.tool, cfg, streak_epoch);
         match cache.entries.get(&id) {
             Some(cached) if cached.key == key => stats.geom_hits += 1,
             _ => {
@@ -826,6 +935,99 @@ mod tests {
                 .unwrap();
         assert!(frame.paths.is_empty());
         assert!(cache.entries.is_empty());
+    }
+
+    /// A store that refuses a fixed set of timesteps, as a quarantining
+    /// fault-tolerant store would.
+    struct FailingStore {
+        inner: MemoryStore,
+        bad: Vec<usize>,
+    }
+
+    impl TimestepStore for FailingStore {
+        fn meta(&self) -> &flowfield::DatasetMeta {
+            self.inner.meta()
+        }
+        fn fetch(&self, index: usize) -> Result<Arc<VectorField>, FieldError> {
+            if self.bad.contains(&index) {
+                return Err(FieldError::Quarantined { index });
+            }
+            self.inner.fetch(index)
+        }
+    }
+
+    #[test]
+    fn quarantined_timestep_substituted_with_nearest_healthy() {
+        let (inner, grid, domain) = test_store();
+        let store = FailingStore {
+            inner,
+            bad: vec![3],
+        };
+        let mut env = EnvironmentState::new(store.timestep_count());
+        env.add_rake(rake(ToolKind::Streamline));
+        env.time.jump(3);
+        let mut engines = ToolEngines::new();
+        let mut cache = GeometryCache::new();
+        let cfg = ComputeConfig::default();
+        let (frame, stats) =
+            compute_frame_cached(&env, &mut engines, &mut cache, &store, &grid, &domain, &cfg)
+                .unwrap();
+        assert_eq!(stats.substituted_fetches, 1);
+        assert_eq!(
+            frame.timestep, 3,
+            "the frame still reports the requested timestep"
+        );
+        assert_eq!(frame.paths.len(), 3, "paths drawn from the substitute");
+        // A healthy request is not counted as substituted.
+        env.time.jump(1);
+        let (_, s2) =
+            compute_frame_cached(&env, &mut engines, &mut cache, &store, &grid, &domain, &cfg)
+                .unwrap();
+        assert_eq!(s2.substituted_fetches, 0);
+    }
+
+    #[test]
+    fn streak_advance_survives_unreadable_bracket() {
+        let (inner, _grid, domain) = test_store();
+        let store = FailingStore {
+            inner,
+            bad: vec![0, 1],
+        };
+        let mut env = EnvironmentState::new(store.timestep_count());
+        env.add_rake(rake(ToolKind::Streakline));
+        let mut engines = ToolEngines::new();
+        // Bracket (0, 1) is entirely unreadable: the advance substitutes
+        // the nearest healthy field instead of failing the tick.
+        engines
+            .advance_streaks(&env, &store, &domain, &StreaklineConfig::default())
+            .unwrap();
+        assert!(engines.streak_particles() > 0, "smoke still advected");
+        assert!(engines.substituted_fetches() >= 1);
+    }
+
+    #[test]
+    fn fully_unreadable_dataset_is_an_error_not_a_panic() {
+        let (inner, grid, domain) = test_store();
+        let store = FailingStore {
+            inner,
+            bad: (0..6).collect(),
+        };
+        let env = EnvironmentState::new(store.timestep_count());
+        let mut engines = ToolEngines::new();
+        assert!(compute_frame(
+            &env,
+            &mut engines,
+            &store,
+            &grid,
+            &domain,
+            &ComputeConfig::default(),
+        )
+        .is_err());
+        // Streak advance skips (leaves smoke in place) rather than erring.
+        engines
+            .advance_streaks(&env, &store, &domain, &StreaklineConfig::default())
+            .unwrap();
+        assert_eq!(engines.streak_particles(), 0, "nothing advected");
     }
 
     #[test]

@@ -930,6 +930,21 @@ pub struct FrameStats {
     pub cum_prefetch_hits: u64,
     /// Lifetime fetches that had to go to the backend and wait.
     pub cum_prefetch_misses: u64,
+    /// Lifetime storage reads retried after a transient I/O error or a
+    /// corrupt payload. Zero on a healthy disk.
+    pub cum_store_retries: u64,
+    /// Lifetime v2 chunks recovered bit-exact from a salvage re-read
+    /// after failing their checksum.
+    pub cum_salvaged_chunks: u64,
+    /// Lifetime v2 chunks served zero-filled under a health mask after
+    /// salvage was exhausted.
+    pub cum_zero_filled_chunks: u64,
+    /// Timesteps currently quarantined (unreadable after retries); the
+    /// server substitutes neighbours for them during playback.
+    pub cum_quarantined_steps: u64,
+    /// Lifetime frame/streak fetches served by a substituted neighbouring
+    /// timestep instead of the requested (unreadable) one.
+    pub cum_substituted_fetches: u64,
 }
 
 impl FrameStats {
@@ -964,6 +979,11 @@ impl FrameStats {
         b.put_u64_le_(self.cum_decode_us);
         b.put_u64_le_(self.cum_prefetch_hits);
         b.put_u64_le_(self.cum_prefetch_misses);
+        b.put_u64_le_(self.cum_store_retries);
+        b.put_u64_le_(self.cum_salvaged_chunks);
+        b.put_u64_le_(self.cum_zero_filled_chunks);
+        b.put_u64_le_(self.cum_quarantined_steps);
+        b.put_u64_le_(self.cum_substituted_fetches);
         b.freeze()
     }
 
@@ -999,6 +1019,11 @@ impl FrameStats {
             cum_decode_us: r.u64_le()?,
             cum_prefetch_hits: r.u64_le()?,
             cum_prefetch_misses: r.u64_le()?,
+            cum_store_retries: r.u64_le()?,
+            cum_salvaged_chunks: r.u64_le()?,
+            cum_zero_filled_chunks: r.u64_le()?,
+            cum_quarantined_steps: r.u64_le()?,
+            cum_substituted_fetches: r.u64_le()?,
         };
         if r.remaining() != 0 {
             return Err(DlibError::Protocol("trailing bytes after stats".into()));
@@ -1009,6 +1034,18 @@ impl FrameStats {
     /// Total pipeline time for the last computed frame, microseconds.
     pub fn total_us(&self) -> u64 {
         self.fetch_us + self.integrate_us + self.map_us + self.encode_us
+    }
+
+    /// True when the storage stack has reported any fault-tolerance
+    /// activity — retries, salvage, zero-fill, quarantine or neighbour
+    /// substitution. A client should surface a data-health indicator:
+    /// playback is live but no longer backed entirely by clean reads.
+    pub fn store_degraded(&self) -> bool {
+        self.cum_store_retries != 0
+            || self.cum_salvaged_chunks != 0
+            || self.cum_zero_filled_chunks != 0
+            || self.cum_quarantined_steps != 0
+            || self.cum_substituted_fetches != 0
     }
 }
 
@@ -1507,9 +1544,16 @@ mod tests {
             cum_decode_us: 1_030,
             cum_prefetch_hits: 31,
             cum_prefetch_misses: 21,
+            cum_store_retries: 5,
+            cum_salvaged_chunks: 2,
+            cum_zero_filled_chunks: 1,
+            cum_quarantined_steps: 1,
+            cum_substituted_fetches: 9,
         };
         assert_eq!(FrameStats::decode(&s.encode()).unwrap(), s);
         assert_eq!(s.total_us(), 5_025);
+        assert!(s.store_degraded());
+        assert!(!FrameStats::default().store_degraded());
         // Trailing garbage rejected.
         let mut bytes = s.encode().to_vec();
         bytes.push(0);

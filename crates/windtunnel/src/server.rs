@@ -116,6 +116,9 @@ struct ServerState {
     scratch: BytesMut,
     /// Pipeline stats served by [`PROC_STATS`].
     stats: FrameStats,
+    /// Lifetime frame fetches served by a substituted neighbouring
+    /// timestep (the streak engine counts its own separately).
+    cum_substituted: u64,
     /// Shared with the dlib transport: total calls shed with `Busy`.
     shed_counter: Arc<AtomicU64>,
     /// How much of `shed_counter` the governor has already reacted to.
@@ -278,6 +281,7 @@ impl ServerState {
         )
         .map_err(|e| e.to_string())?;
         self.compute_elapsed = started.elapsed();
+        self.cum_substituted += u64::from(cstats.substituted_fetches);
         let (cum_geom_hits, cum_geom_misses) = self.geom_cache.cumulative();
         self.stats = FrameStats {
             revision,
@@ -543,6 +547,7 @@ pub fn serve(
         sessions: HashMap::new(),
         scratch: BytesMut::new(),
         stats: FrameStats::default(),
+        cum_substituted: 0,
         shed_counter,
         shed_seen: 0,
     };
@@ -584,6 +589,13 @@ pub fn serve(
         state.stats.cum_decode_us = io.decode_us;
         state.stats.cum_prefetch_hits = io.prefetch_hits;
         state.stats.cum_prefetch_misses = io.prefetch_misses;
+        let health = state.store.health_stats();
+        state.stats.cum_store_retries = health.retried_reads;
+        state.stats.cum_salvaged_chunks = health.salvaged_chunks;
+        state.stats.cum_zero_filled_chunks = health.zero_filled_chunks;
+        state.stats.cum_quarantined_steps = health.quarantined_steps;
+        state.stats.cum_substituted_fetches =
+            state.cum_substituted + state.engines.substituted_fetches();
         Ok(state.stats.encode())
     });
 

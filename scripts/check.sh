@@ -18,6 +18,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 # failure inside the storm.
 PROPTEST_CASES=32 RUST_BACKTRACE=1 cargo test -q -p dvw-dlib --test chaos
 RUST_BACKTRACE=1 cargo test -q --test chaos_resync
+# Disk chaos: seeded read faults (transient, torn, bit flips, one dead
+# timestep) under live looped playback; recovery counters must match the
+# injected schedule exactly and a clean disk must report all zeros.
+PROPTEST_CASES=32 RUST_BACKTRACE=1 cargo test -q --test disk_chaos
 cargo run --release -p dvw-bench --bin bench_frame -- --quick
 cargo run --release -p dvw-bench --bin bench_delta -- --quick
 cargo run --release -p dvw-bench --bin bench_trace -- --quick

@@ -1,0 +1,268 @@
+//! Disk-chaos harness: a windtunnel server playing a dataset off a
+//! seeded [`FaultyDisk`] — transient read errors, torn reads, flipped
+//! chunk bits, and one permanently unreadable timestep — must stream
+//! ≥ 200 frames with zero errors, and the recovery counters reported
+//! over the wire must match the injected fault schedule *exactly*,
+//! replayed from the pure [`DiskFaultPlan`].
+
+use distributed_virtual_windtunnel as dvw;
+use dvw::flowfield::{
+    dataset::VelocityCoords, format, CurvilinearGrid, Dataset, DatasetMeta, Dims, VectorField,
+};
+use dvw::storage::{
+    CachedStore, DiskFaultAction, DiskFaultConfig, DiskFaultPlan, FaultyDisk, FileReader,
+    ResilientStore, RetryConfig,
+};
+use dvw::tracer::ToolKind;
+use dvw::vecmath::{Aabb, Vec3};
+use dvw::windtunnel::{serve, Command, ServerOptions, TimeCommand, WindtunnelClient};
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::sync::Arc;
+
+/// 66×33×9 points → 19 602 values per component → 2 chunks per
+/// component at `V2_CHUNK_VALUES = 16 384`, 6 chunks per container.
+const DIMS: (u32, u32, u32) = (66, 33, 9);
+const CHUNKS: usize = 6;
+const TIMESTEPS: usize = 24;
+/// The permanently unreadable timestep. Looped playback never visits
+/// `TIMESTEPS - 1`, so pick something squarely mid-range.
+const DEAD: usize = 11;
+const TICKS: usize = 220;
+
+fn write_dataset(dir: &Path) -> (DatasetMeta, CurvilinearGrid) {
+    let dims = Dims::new(DIMS.0, DIMS.1, DIMS.2);
+    let grid = CurvilinearGrid::cartesian(dims, Aabb::new(Vec3::ZERO, Vec3::new(65.0, 32.0, 8.0)))
+        .unwrap();
+    let meta = DatasetMeta {
+        name: "disk-chaos".into(),
+        dims,
+        timestep_count: TIMESTEPS,
+        dt: 0.1,
+        coords: VelocityCoords::Grid,
+    };
+    let fields = (0..TIMESTEPS)
+        .map(|t| {
+            VectorField::from_fn(dims, |i, j, _k| {
+                Vec3::new(1.0, 0.05 * (t as f32 + i as f32 * 0.01), 0.02 * j as f32)
+            })
+        })
+        .collect();
+    let ds = Dataset::new(meta.clone(), grid.clone(), fields).unwrap();
+    format::write_dataset_v2(dir, &ds).unwrap();
+    (meta, grid)
+}
+
+/// Expected recovery counters for the whole run.
+#[derive(Debug, Default, PartialEq)]
+struct Expected {
+    retried: u64,
+    salvaged: u64,
+    zero_filled: u64,
+    quarantined: u64,
+}
+
+/// Replay the resilient store's fetch loop for one (cached, so
+/// fetched-exactly-once) timestep against the pure fault plan,
+/// mirroring `ResilientStore::fetch` + `salvage_chunks`: every disk
+/// read consumes one plan attempt, transient/torn first reads retry
+/// whole-file, a corrupt delivery enters the salvage loop where only
+/// re-corruptions of still-bad chunks keep them bad.
+fn replay_fetch(plan: &DiskFaultPlan, index: usize, cfg: &RetryConfig, out: &mut Expected) {
+    if plan.is_permanent(index) {
+        // Missing ⇒ quarantined on the first attempt, no retries.
+        out.quarantined += 1;
+        return;
+    }
+    let mut attempt = 0u64;
+    for a in 0..cfg.max_read_attempts.max(1) {
+        if a > 0 {
+            out.retried += 1;
+        }
+        let act = plan.action(index, attempt, CHUNKS);
+        attempt += 1;
+        match act {
+            DiskFaultAction::Permanent => unreachable!("checked above"),
+            DiskFaultAction::Transient | DiskFaultAction::Torn { .. } => continue,
+            DiskFaultAction::Deliver => return,
+            DiskFaultAction::Corrupt { chunks } => {
+                let initial = chunks.len() as u64;
+                let mut bad = chunks;
+                for _round in 0..cfg.max_salvage_rereads {
+                    if bad.is_empty() {
+                        break;
+                    }
+                    out.retried += 1;
+                    let re = plan.action(index, attempt, CHUNKS);
+                    attempt += 1;
+                    match re {
+                        DiskFaultAction::Deliver => bad.clear(),
+                        DiskFaultAction::Corrupt { chunks: again } => {
+                            bad.retain(|c| again.contains(c));
+                        }
+                        // Errored or torn re-read: bad set unchanged.
+                        DiskFaultAction::Transient | DiskFaultAction::Torn { .. } => {}
+                        DiskFaultAction::Permanent => unreachable!("checked above"),
+                    }
+                }
+                out.zero_filled += bad.len() as u64;
+                out.salvaged += initial - bad.len() as u64;
+                return;
+            }
+        }
+    }
+    out.quarantined += 1;
+}
+
+struct Run {
+    frames_at_dead: u64,
+    visited: BTreeSet<usize>,
+    stats: dvw::windtunnel::proto::FrameStats,
+}
+
+fn play(plan: DiskFaultPlan, dir: &Path, meta: DatasetMeta, grid: CurvilinearGrid) -> Run {
+    let cfg = RetryConfig::instant();
+    let disk = FaultyDisk::new(FileReader::new(dir), plan);
+    let resilient = Arc::new(ResilientStore::with_reader(disk, meta, cfg));
+    // Capacity ≥ timestep count: each healthy timestep hits the disk
+    // through the resilient store exactly once, so the plan replay is an
+    // exact mirror rather than a bound.
+    let store = Arc::new(CachedStore::new(Arc::clone(&resilient), TIMESTEPS + 8));
+    let server = serve(store, grid, ServerOptions::default(), "127.0.0.1:0").unwrap();
+
+    let mut client = WindtunnelClient::connect(server.addr()).unwrap();
+    client
+        .send(&Command::AddRake {
+            a: Vec3::new(2.0, 8.0, 4.0),
+            b: Vec3::new(2.0, 24.0, 4.0),
+            seed_count: 4,
+            tool: ToolKind::Streamline,
+        })
+        .unwrap();
+    client.send(&Command::Time(TimeCommand::Play)).unwrap();
+
+    let mut run = Run {
+        frames_at_dead: 0,
+        visited: BTreeSet::new(),
+        stats: Default::default(),
+    };
+    for tick in 0..TICKS {
+        let frame = client
+            .frame(true)
+            .unwrap_or_else(|e| panic!("frame erred at tick {tick}: {e}"));
+        let ts = frame.timestep as usize;
+        run.visited.insert(ts);
+        if ts == DEAD {
+            run.frames_at_dead += 1;
+        }
+        assert!(
+            !frame.paths.is_empty(),
+            "tick {tick} at timestep {ts} produced no geometry"
+        );
+    }
+    run.stats = client.stats().unwrap();
+
+    // Post-mortem on the store itself, through the kept Arc.
+    let disk = resilient.reader();
+    let visited_healthy = run.visited.iter().filter(|&&t| t != DEAD).count() as u64;
+    if resilient.quarantined() == vec![DEAD] {
+        // Chaos run: require the headline fault classes actually fired.
+        assert!(
+            disk.transient_injected() > 0,
+            "schedule injected no transient errors; pick a new seed"
+        );
+        let delivered_chunks = visited_healthy * CHUNKS as u64;
+        assert!(
+            disk.chunks_corrupted() * 20 >= delivered_chunks,
+            "corruption below 5% of delivered chunks ({} of {})",
+            disk.chunks_corrupted(),
+            delivered_chunks
+        );
+        assert_eq!(disk.permanent_denials(), 1, "dead timestep read once");
+    } else {
+        assert!(
+            resilient.quarantined().is_empty(),
+            "fault-free run quarantined {:?}",
+            resilient.quarantined()
+        );
+        assert_eq!(disk.reads(), visited_healthy + 1, "one read per timestep");
+        assert_eq!(disk.transient_injected() + disk.torn_injected(), 0);
+        assert_eq!(disk.chunks_corrupted(), 0);
+    }
+    server.shutdown();
+    run
+}
+
+#[test]
+fn seeded_disk_chaos_playback_matches_the_injected_schedule() {
+    let tmp = tempfile::tempdir().unwrap();
+    let (meta, grid) = write_dataset(tmp.path());
+
+    let cfg = DiskFaultConfig {
+        transient: 0.15,
+        torn: 0.05,
+        corrupt: 0.35,
+        max_corrupt_chunks: 2,
+        permanent: vec![DEAD],
+    };
+    let plan = DiskFaultPlan::new(0xD15C_CA05, cfg);
+    let run = play(plan.clone(), tmp.path(), meta, grid);
+
+    // Looped playback at rate 1 must sweep every loop position
+    // (0..TIMESTEPS-1; the last step is the blend bracket, never the
+    // frame) well within 220 ticks, and the dead step stays on the wire
+    // as the *requested* timestep even though a neighbour was served.
+    let all: BTreeSet<usize> = (0..TIMESTEPS - 1).collect();
+    assert_eq!(run.visited, all, "playback did not sweep the loop");
+    assert!(run.frames_at_dead >= 5, "dead step visited on every lap");
+
+    // Replay the schedule: each visited timestep is fetched exactly
+    // once (cache), the dead one quarantines on first touch.
+    let mut expected = Expected::default();
+    let retry = RetryConfig::instant();
+    for &ts in &run.visited {
+        replay_fetch(&plan, ts, &retry, &mut expected);
+    }
+    assert_eq!(
+        expected.quarantined, 1,
+        "seed must quarantine only the permanent timestep; re-seed if a \
+         healthy step exhausted its retry budget: {expected:?}"
+    );
+    assert!(expected.salvaged > 0, "schedule exercised chunk salvage");
+
+    let s = &run.stats;
+    let got = Expected {
+        retried: s.cum_store_retries,
+        salvaged: s.cum_salvaged_chunks,
+        zero_filled: s.cum_zero_filled_chunks,
+        quarantined: s.cum_quarantined_steps,
+    };
+    assert_eq!(got, expected, "wire counters diverge from the schedule");
+    // Every frame computed at the dead timestep substituted a healthy
+    // neighbour — no more, no fewer.
+    assert_eq!(s.cum_substituted_fetches, run.frames_at_dead);
+    assert!(s.store_degraded());
+}
+
+#[test]
+fn fault_free_run_reports_all_zero_health_counters() {
+    let tmp = tempfile::tempdir().unwrap();
+    let (meta, grid) = write_dataset(tmp.path());
+
+    let plan = DiskFaultPlan::new(0xD15C_CA05, DiskFaultConfig::quiet());
+    let run = play(plan, tmp.path(), meta, grid);
+
+    let s = &run.stats;
+    assert_eq!(
+        (
+            s.cum_store_retries,
+            s.cum_salvaged_chunks,
+            s.cum_zero_filled_chunks,
+            s.cum_quarantined_steps,
+            s.cum_substituted_fetches,
+        ),
+        (0, 0, 0, 0, 0),
+        "healthy disk must report all-zero health counters"
+    );
+    assert!(!s.store_degraded());
+}

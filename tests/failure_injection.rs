@@ -71,9 +71,11 @@ fn mismatched_grid_and_meta_rejected() {
 }
 
 #[test]
-fn server_fetch_failure_reaches_client_as_error_not_hang() {
+fn server_fetch_failure_degrades_to_a_substituted_frame_not_a_hang() {
     // Serve a dataset directory, then delete a timestep file out from
-    // under the server: the client's frame request must fail fast.
+    // under the server: playback substitutes the nearest healthy
+    // timestep (DESIGN.md §6.6) instead of erring the frame, and the
+    // degradation is visible in the wire stats.
     let ds = small_dataset();
     let dir = tempfile::tempdir().unwrap();
     format::write_dataset(dir.path(), &ds).unwrap();
@@ -101,13 +103,25 @@ fn server_fetch_failure_reaches_client_as_error_not_hang() {
         .unwrap();
     // First frame works (timestep 0 exists).
     assert!(client.frame(false).is_ok());
-    // Nuke timestep 1 and jump to it: the error must propagate.
+    assert!(!client.store_degraded().unwrap());
+    // Nuke timestep 1 and jump to it: the frame must still come back,
+    // computed from the nearest healthy neighbour, with the *requested*
+    // timestep on the wire and the substitution counted.
     std::fs::remove_file(format::velocity_path(dir.path(), 1)).unwrap();
     client
         .send(&Command::Time(dvw::windtunnel::TimeCommand::Jump(1)))
         .unwrap();
-    let result = client.frame(false);
-    assert!(result.is_err(), "missing timestep must surface as an error");
+    let frame = client
+        .frame(false)
+        .expect("missing timestep must degrade, not err");
+    assert_eq!(frame.timestep, 1, "wire keeps the requested timestep");
+    assert!(
+        !frame.paths.is_empty(),
+        "substituted frame carries geometry"
+    );
+    let stats = client.stats().unwrap();
+    assert!(stats.cum_substituted_fetches >= 1, "substitution counted");
+    assert!(client.store_degraded().unwrap());
     // The session survives: jump back and keep working.
     client
         .send(&Command::Time(dvw::windtunnel::TimeCommand::Jump(0)))

@@ -1,0 +1,22 @@
+//! The escape hatch: a reasoned allow suppresses, a bare allow is
+//! itself a finding.
+
+pub struct Pool {
+    state: Mutex<State>,
+    tokens: Sender<()>,
+}
+
+impl Pool {
+    pub fn return_token(&self) {
+        let st = self.state.lock();
+        // lint:allow(blocking): token-channel return; capacity equals pool size so this never blocks
+        self.tokens.send(());
+        drop(st);
+    }
+
+    pub fn bare_allow(&self) {
+        let st = self.state.lock();
+        self.tokens.send(()); // lint:allow(blocking)
+        drop(st);
+    }
+}

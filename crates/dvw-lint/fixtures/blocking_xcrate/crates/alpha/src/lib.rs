@@ -1,0 +1,5 @@
+//! The callee crate: a free function that blocks on a channel.
+
+pub fn fetch_sync(rx: &Receiver<u32>) -> u32 {
+    rx.recv()
+}

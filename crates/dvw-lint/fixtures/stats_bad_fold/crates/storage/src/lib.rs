@@ -1,0 +1,13 @@
+//! A fold that forgot a counter: `plus` folds `a` but silently drops
+//! `b`, so the merged stats report zero `b` forever.
+
+pub struct Agg {
+    pub a: u64,
+    pub b: u64,
+}
+
+impl Agg {
+    pub fn plus(&mut self, o: &Agg) {
+        self.a += o.a;
+    }
+}

@@ -1,0 +1,33 @@
+//! Wire-plane violations: an encode that swaps two fields and drops a
+//! third, a struct reordered against its baseline, and a field appended
+//! without updating the baseline.
+
+pub struct Wire {
+    pub a: u64,
+    pub b: u64,
+    pub c: u64,
+}
+
+impl Wire {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.b.to_le_bytes());
+        out.extend_from_slice(&self.a.to_le_bytes());
+    }
+
+    pub fn decode(buf: &[u8]) -> Wire {
+        let a = rd(buf, 0);
+        let b = rd(buf, 8);
+        let c = rd(buf, 16);
+        Wire { a, b, c }
+    }
+}
+
+pub struct Reorder {
+    pub y: u64,
+    pub x: u64,
+}
+
+pub struct Grown {
+    pub p: u64,
+    pub q: u64,
+}

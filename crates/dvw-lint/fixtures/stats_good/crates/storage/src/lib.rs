@@ -1,0 +1,25 @@
+//! The contract kept: baseline matches declaration order, the fold
+//! touches every field, and the codec covers every field in order.
+
+pub struct Agg {
+    pub a: u64,
+    pub b: u64,
+}
+
+impl Agg {
+    pub fn plus(&mut self, o: &Agg) {
+        self.a += o.a;
+        self.b += o.b;
+    }
+
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.a.to_le_bytes());
+        out.extend_from_slice(&self.b.to_le_bytes());
+    }
+
+    pub fn decode(buf: &[u8]) -> Agg {
+        let a = rd(buf, 0);
+        let b = rd(buf, 8);
+        Agg { a, b }
+    }
+}

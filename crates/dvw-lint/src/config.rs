@@ -59,6 +59,43 @@ pub struct Config {
     pub crate_roots: Vec<String>,
     /// Server hot-path files where debug printing is banned.
     pub hot_paths: Vec<String>,
+    /// Crate directory names whose non-test code the blocking pass
+    /// covers (empty disables the pass).
+    pub blocking_crates: Vec<String>,
+    /// Workspace-relative paths exempted from the blocking pass.
+    pub blocking_exclude: Vec<String>,
+    /// Method names classified as blocking primitives (channel ops,
+    /// thread join, condvar waits, socket reads) on top of the built-in
+    /// defaults in `passes::blocking`.
+    pub blocking_methods: Vec<String>,
+    /// Free-function names classified as blocking primitives (e.g.
+    /// `std::thread::sleep`) on top of the built-in defaults.
+    pub blocking_functions: Vec<String>,
+    /// Stats-plane contracts checked by the stats pass, one per
+    /// `[stats.<StructName>]` table.
+    pub stats: Vec<StatsSpec>,
+}
+
+/// One `[stats.<Name>]` table: a stats struct whose fold functions must
+/// touch every field and whose wire codec (when present) must follow the
+/// declaration order, which itself must stay append-only against the
+/// `fields` baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSpec {
+    /// Struct name (the table suffix).
+    pub name: String,
+    /// Workspace-relative file holding the struct definition.
+    pub file: String,
+    /// Fold/merge/accumulate functions as `Type::fn` pairs; each must
+    /// mention every field of the struct.
+    pub folds: Vec<String>,
+    /// When true, the struct's inherent `encode`/`decode` must exist and
+    /// mention every field in declaration order.
+    pub wire: bool,
+    /// Baseline field list in declaration order. The struct must match
+    /// exactly; growth happens by appending to both the struct and this
+    /// list, never by reordering.
+    pub fields: Vec<String>,
 }
 
 impl Default for Config {
@@ -78,6 +115,11 @@ impl Default for Config {
             deny: Vec::new(),
             crate_roots: Vec::new(),
             hot_paths: Vec::new(),
+            blocking_crates: Vec::new(),
+            blocking_exclude: Vec::new(),
+            blocking_methods: Vec::new(),
+            blocking_functions: Vec::new(),
+            stats: Vec::new(),
         }
     }
 }
@@ -143,8 +185,66 @@ impl Config {
         if let Some(v) = get("hygiene", "hot_paths") {
             cfg.hot_paths = expect_str_array(v, "hygiene.hot_paths")?;
         }
+        if let Some(v) = get("blocking", "crates") {
+            cfg.blocking_crates = expect_str_array(v, "blocking.crates")?;
+        }
+        if let Some(v) = get("blocking", "exclude") {
+            cfg.blocking_exclude = expect_str_array(v, "blocking.exclude")?;
+        }
+        if let Some(v) = get("blocking", "methods") {
+            cfg.blocking_methods = expect_str_array(v, "blocking.methods")?;
+        }
+        if let Some(v) = get("blocking", "functions") {
+            cfg.blocking_functions = expect_str_array(v, "blocking.functions")?;
+        }
+        cfg.stats = parse_stats_specs(&raw)?;
         Ok(cfg)
     }
+}
+
+/// Collect every `[stats.<Name>]` table into a [`StatsSpec`]. The struct
+/// name is the table suffix; `file` and `fields` are mandatory.
+fn parse_stats_specs(raw: &BTreeMap<String, Value>) -> Result<Vec<StatsSpec>, String> {
+    let mut names: Vec<String> = Vec::new();
+    for key in raw.keys() {
+        if let Some(rest) = key.strip_prefix("stats.") {
+            if let Some((name, _)) = rest.split_once('.') {
+                if !names.iter().any(|n| n == name) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+    }
+    let mut specs = Vec::new();
+    for name in names {
+        let get = |key: &str| raw.get(&format!("stats.{name}.{key}")).cloned();
+        let file = match get("file") {
+            Some(Value::Str(s)) => s,
+            Some(_) => return Err(format!("stats.{name}.file: expected string")),
+            None => return Err(format!("stats.{name}: missing `file`")),
+        };
+        let folds = match get("folds") {
+            Some(v) => expect_str_array(v, &format!("stats.{name}.folds"))?,
+            None => Vec::new(),
+        };
+        let wire = match get("wire") {
+            Some(Value::Bool(b)) => b,
+            Some(_) => return Err(format!("stats.{name}.wire: expected boolean")),
+            None => false,
+        };
+        let fields = match get("fields") {
+            Some(v) => expect_str_array(v, &format!("stats.{name}.fields"))?,
+            None => return Err(format!("stats.{name}: missing `fields` baseline")),
+        };
+        specs.push(StatsSpec {
+            name,
+            file,
+            folds,
+            wire,
+            fields,
+        });
+    }
+    Ok(specs)
 }
 
 fn expect_str_array(v: Value, key: &str) -> Result<Vec<String>, String> {
@@ -384,5 +484,48 @@ deny = ["unsafe_op_in_unsafe_fn"]
     fn hash_inside_string_is_not_comment() {
         let cfg = Config::parse("[wire]\nnon_additive_marker = \"wire#bump\"").unwrap();
         assert_eq!(cfg.non_additive_marker, "wire#bump");
+    }
+
+    #[test]
+    fn parses_blocking_and_stats_tables() {
+        let cfg = Config::parse(
+            r#"
+[blocking]
+crates = ["dlib", "storage"]
+exclude = ["crates/dlib/src/bench.rs"]
+methods = ["poll_forever"]
+functions = ["nap"]
+
+[stats.StoreIoStats]
+file = "crates/storage/src/lib.rs"
+folds = ["StoreIoStats::plus"]
+fields = ["io_wait_us", "decode_us"]
+
+[stats.FrameStats]
+file = "crates/windtunnel/src/proto.rs"
+wire = true
+fields = ["revision"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.blocking_crates, vec!["dlib", "storage"]);
+        assert_eq!(cfg.blocking_exclude, vec!["crates/dlib/src/bench.rs"]);
+        assert_eq!(cfg.blocking_methods, vec!["poll_forever"]);
+        assert_eq!(cfg.blocking_functions, vec!["nap"]);
+        assert_eq!(cfg.stats.len(), 2);
+        let io = cfg.stats.iter().find(|s| s.name == "StoreIoStats").unwrap();
+        assert_eq!(io.file, "crates/storage/src/lib.rs");
+        assert_eq!(io.folds, vec!["StoreIoStats::plus"]);
+        assert!(!io.wire);
+        assert_eq!(io.fields, vec!["io_wait_us", "decode_us"]);
+        let fs = cfg.stats.iter().find(|s| s.name == "FrameStats").unwrap();
+        assert!(fs.wire);
+        assert!(fs.folds.is_empty());
+    }
+
+    #[test]
+    fn stats_table_without_fields_is_an_error() {
+        let err = Config::parse("[stats.X]\nfile = \"crates/a/src/lib.rs\"").unwrap_err();
+        assert!(err.contains("fields"), "{err}");
     }
 }

@@ -1,0 +1,318 @@
+//! Machine-readable findings: `--format json` rendering plus a minimal
+//! parser so the schema test can round-trip the output without any
+//! external dependency.
+//!
+//! Schema (stable; bump `schema` on any incompatible change):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "active": 2,
+//!   "allowed": 1,
+//!   "findings": [
+//!     {"file": "crates/x/src/lib.rs", "line": 9, "pass": "blocking",
+//!      "message": "..", "allowed": false, "reason": null},
+//!     {"file": "crates/y/src/lib.rs", "line": 3, "pass": "stats",
+//!      "message": "..", "allowed": true, "reason": "why it is fine"}
+//!   ]
+//! }
+//! ```
+//!
+//! Active findings come first (the gate), then suppressed ones with
+//! their written reasons — check.sh archives the whole document so a
+//! reviewer can audit every escape hatch in one place.
+
+use crate::Outcome;
+use std::fmt::Write as _;
+
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Render an [`Outcome`] as the stable JSON document.
+pub fn render(outcome: &Outcome) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\n  \"schema\": {SCHEMA_VERSION},\n  \"active\": {},\n  \"allowed\": {},\n  \"findings\": [",
+        outcome.findings.len(),
+        outcome.allowed.len()
+    );
+    let mut first = true;
+    for f in &outcome.findings {
+        push_entry(
+            &mut s,
+            &mut first,
+            &f.file,
+            f.line,
+            f.pass.name(),
+            &f.msg,
+            None,
+        );
+    }
+    for a in &outcome.allowed {
+        let f = &a.finding;
+        push_entry(
+            &mut s,
+            &mut first,
+            &f.file,
+            f.line,
+            f.pass.name(),
+            &f.msg,
+            Some(&a.reason),
+        );
+    }
+    if first {
+        s.push_str("]\n}\n");
+    } else {
+        s.push_str("\n  ]\n}\n");
+    }
+    s
+}
+
+fn push_entry(
+    s: &mut String,
+    first: &mut bool,
+    file: &str,
+    line: u32,
+    pass: &str,
+    msg: &str,
+    reason: Option<&str>,
+) {
+    if !*first {
+        s.push(',');
+    }
+    *first = false;
+    let reason_json = match reason {
+        Some(r) => format!("\"{}\"", escape(r)),
+        None => "null".to_string(),
+    };
+    let _ = write!(
+        s,
+        "\n    {{\"file\": \"{}\", \"line\": {line}, \"pass\": \"{}\", \"message\": \"{}\", \
+         \"allowed\": {}, \"reason\": {reason_json}}}",
+        escape(file),
+        escape(pass),
+        escape(msg),
+        reason.is_some(),
+    );
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parsed JSON value — just enough for the round-trip test and any
+/// in-tree tooling that wants to read `bench_out/lint_findings.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(i64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Integers only (that is all the schema emits);
+/// errors name the byte offset.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected `:` at byte {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                pairs.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            if b[*pos] == b'-' {
+                *pos += 1;
+            }
+            while *pos < b.len() && b[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<i64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        Some(c) => Err(format!("unexpected `{}` at byte {pos}", *c as char)),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        *pos += 4;
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("unknown escape `\\{}`", other as char)),
+                }
+            }
+            _ => {
+                // Re-sync to char boundaries for multi-byte UTF-8.
+                let start = *pos - 1;
+                let mut end = *pos;
+                while end < b.len() && (b[end] & 0xC0) == 0x80 {
+                    end += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&b[start..end]).map_err(|_| "bad UTF-8".to_string())?,
+                );
+                *pos = end;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}

@@ -432,6 +432,66 @@ mod tests {
     }
 
     #[test]
+    fn raw_strings_with_many_hashes() {
+        // The delimiter is quote-plus-exactly-N-hashes; a shorter run
+        // inside the literal must not terminate it.
+        let t = kinds(r###"r##"has "# inside"## tail"###);
+        assert_eq!(t[0], (TokKind::Str, "has \"# inside".into()));
+        assert_eq!(t[1], (TokKind::Ident, "tail".into()));
+    }
+
+    #[test]
+    fn byte_strings_are_strings_not_idents() {
+        let t = kinds(r#"b"x.lock()" b'q' tail"#);
+        assert_eq!(t[0], (TokKind::Str, "x.lock()".into()));
+        assert_eq!(t[1], (TokKind::Char, "q".into()));
+        assert_eq!(t[2], (TokKind::Ident, "tail".into()));
+    }
+
+    #[test]
+    fn raw_byte_strings_swallow_their_body() {
+        let t = kinds(r##"br#"self.rx.recv()"# tail"##);
+        assert_eq!(t[0], (TokKind::Str, "self.rx.recv()".into()));
+        assert_eq!(t[1], (TokKind::Ident, "tail".into()));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_balance() {
+        let toks = lex("/* 1 /* 2 /* 3 */ 2 */ /* 2b */ 1 */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokKind::Comment);
+        assert_eq!(toks[1].text, "x");
+    }
+
+    #[test]
+    fn string_bodies_never_leak_code_tokens() {
+        // grep-style linting would see a lock and a send in here; the
+        // lexer must see exactly three string tokens and a semicolon.
+        let src = r###"r#"g.lock()"# b".send(x)" "rx.recv()";"###;
+        let t = kinds(src);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 3);
+        assert!(t
+            .iter()
+            .all(|(k, _)| *k == TokKind::Str || *k == TokKind::Punct));
+    }
+
+    #[test]
+    fn multiline_raw_strings_keep_line_numbers_accurate() {
+        let toks = lex("r#\"a\nb\nc\"#\nafter");
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].text, "after");
+        assert_eq!(toks[1].line, 4);
+    }
+
+    #[test]
+    fn raw_identifiers_stay_identifiers() {
+        let t = kinds("r#type loop");
+        assert_eq!(t[0], (TokKind::Ident, "type".into()));
+        assert_eq!(t[1], (TokKind::Ident, "loop".into()));
+    }
+
+    #[test]
     fn float_vs_range() {
         let t = kinds("1.5 1..2");
         assert_eq!(t[0], (TokKind::Number, "1.5".into()));

@@ -5,23 +5,29 @@
 //! the paper) makes several properties *system-wide* correctness
 //! conditions rather than local style choices: a panic on a server path
 //! drops frames for every connected client, a reused RPC proc id breaks
-//! the wire protocol for every peer, and a lock-order inversion between
-//! the dispatcher and session state deadlocks the whole simulation. This
-//! crate turns those review-time rules into a machine-checked gate:
-//! four passes over the workspace source, driven by `lint.toml`, run by
-//! `scripts/check.sh` before clippy.
+//! the wire protocol for every peer, a lock-order inversion between the
+//! dispatcher and session state deadlocks the whole simulation, a thread
+//! that blocks while holding a guard stalls every other thread touching
+//! that lock, and a stats counter dropped from a fold reports zero
+//! forever. This crate turns those review-time rules into a
+//! machine-checked gate: six passes over the workspace source, driven by
+//! `lint.toml`, run by `scripts/check.sh` before clippy.
 //!
 //! See `DESIGN.md` §7 for the pass-by-pass specification and the
 //! escape-hatch policy (`// lint:allow(<pass>): <reason>`).
 
+pub mod callgraph;
 pub mod config;
+pub mod json;
 pub mod lexer;
 pub mod source;
 
 mod passes {
+    pub mod blocking;
     pub mod hygiene;
     pub mod locks;
     pub mod panic_path;
+    pub mod stats;
     pub mod wire;
 }
 
@@ -30,7 +36,7 @@ use source::SourceFile;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// The four analysis passes. The name doubles as the `lint:allow` key
+/// The six analysis passes. The name doubles as the `lint:allow` key
 /// and the `[pass]` tag in output lines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Pass {
@@ -38,6 +44,8 @@ pub enum Pass {
     WireProtocol,
     LockOrder,
     Hygiene,
+    Blocking,
+    Stats,
 }
 
 impl Pass {
@@ -47,6 +55,8 @@ impl Pass {
             Pass::WireProtocol => "wire-protocol",
             Pass::LockOrder => "lock-order",
             Pass::Hygiene => "hygiene",
+            Pass::Blocking => "blocking",
+            Pass::Stats => "stats",
         }
     }
 }
@@ -85,19 +95,55 @@ impl fmt::Display for Finding {
     }
 }
 
+/// A finding suppressed by a reasoned `lint:allow` — recorded rather
+/// than discarded so `--format json` can archive every escape hatch
+/// with its written justification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowedFinding {
+    pub finding: Finding,
+    pub reason: String,
+}
+
+/// What the passes produce: findings that gate the build, plus the
+/// suppressed ones with their reasons.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    pub findings: Vec<Finding>,
+    pub allowed: Vec<AllowedFinding>,
+}
+
+/// Collector the passes write into. `push` is for findings no escape
+/// hatch can cover (missing files, malformed config entries);
+/// everything site-anchored goes through [`push_unless_allowed`].
+#[derive(Debug, Default)]
+pub struct Sink {
+    findings: Vec<Finding>,
+    allowed: Vec<AllowedFinding>,
+}
+
+impl Sink {
+    pub fn push(&mut self, f: Finding) {
+        self.findings.push(f);
+    }
+}
+
 /// Push `msg` unless an escape hatch covers it. Using the hatch without
 /// a reason is itself a finding: the whole point is a written record of
-/// why the invariant doesn't apply.
+/// why the invariant doesn't apply. A reasoned allow is recorded in the
+/// outcome's `allowed` list.
 pub(crate) fn push_unless_allowed(
     file: &SourceFile,
-    findings: &mut Vec<Finding>,
+    sink: &mut Sink,
     pass: Pass,
     line: u32,
     msg: String,
 ) {
     match file.allow_for(pass.name(), line) {
-        Some(a) if !a.reason.is_empty() => {}
-        Some(a) => findings.push(Finding::new(
+        Some(a) if !a.reason.is_empty() => sink.allowed.push(AllowedFinding {
+            finding: Finding::new(&file.rel, line, pass, msg),
+            reason: a.reason.clone(),
+        }),
+        Some(a) => sink.findings.push(Finding::new(
             &file.rel,
             a.line,
             pass,
@@ -107,45 +153,56 @@ pub(crate) fn push_unless_allowed(
                 pass.name()
             ),
         )),
-        None => findings.push(Finding::new(&file.rel, line, pass, msg)),
+        None => sink.findings.push(Finding::new(&file.rel, line, pass, msg)),
     }
 }
 
 /// Run all passes on the workspace rooted at `root` (the directory
 /// holding `lint.toml`). Findings come back sorted by file, line, pass.
 pub fn run(root: &Path) -> Result<Vec<Finding>, String> {
-    let cfg_path = root.join("lint.toml");
-    let text =
-        std::fs::read_to_string(&cfg_path).map_err(|e| format!("{}: {e}", cfg_path.display()))?;
-    let cfg = Config::parse(&text)?;
-    run_with_config(root, &cfg)
+    run_outcome(root).map(|o| o.findings)
 }
 
 /// Like [`run`] but with an explicit configuration (fixture tests use
 /// this to point at mini-trees).
 pub fn run_with_config(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
+    run_outcome_with_config(root, cfg).map(|o| o.findings)
+}
+
+/// Run all passes and return both active and suppressed findings — the
+/// full record `--format json` renders.
+pub fn run_outcome(root: &Path) -> Result<Outcome, String> {
+    let cfg_path = root.join("lint.toml");
+    let text =
+        std::fs::read_to_string(&cfg_path).map_err(|e| format!("{}: {e}", cfg_path.display()))?;
+    let cfg = Config::parse(&text)?;
+    run_outcome_with_config(root, &cfg)
+}
+
+/// [`run_outcome`] with an explicit configuration.
+pub fn run_outcome_with_config(root: &Path, cfg: &Config) -> Result<Outcome, String> {
     let files = load_workspace(root)?;
-    let mut findings = Vec::new();
+    let mut sink = Sink::default();
 
     for f in &files {
         if in_panic_scope(f, cfg) {
-            passes::panic_path::check(f, &mut findings);
+            passes::panic_path::check(f, &mut sink);
         }
     }
-    passes::wire::check(&files, cfg, &mut findings);
-    passes::locks::check(&files, cfg, &mut findings);
-    passes::hygiene::check(&files, cfg, &mut findings);
+    passes::wire::check(&files, cfg, &mut sink);
+    passes::locks::check(&files, cfg, &mut sink);
+    passes::hygiene::check(&files, cfg, &mut sink);
+    passes::blocking::check(&files, cfg, &mut sink);
+    passes::stats::check(&files, cfg, &mut sink);
 
-    findings.sort_by(|a, b| {
-        (a.file.as_str(), a.line, a.pass, a.msg.as_str()).cmp(&(
-            b.file.as_str(),
-            b.line,
-            b.pass,
-            b.msg.as_str(),
-        ))
-    });
+    let sort_key = |f: &Finding| (f.file.clone(), f.line, f.pass, f.msg.clone());
+    let mut findings = sink.findings;
+    findings.sort_by_key(sort_key);
     findings.dedup();
-    Ok(findings)
+    let mut allowed = sink.allowed;
+    allowed.sort_by_key(|a| (sort_key(&a.finding), a.reason.clone()));
+    allowed.dedup();
+    Ok(Outcome { findings, allowed })
 }
 
 fn in_panic_scope(f: &SourceFile, cfg: &Config) -> bool {
@@ -159,7 +216,9 @@ fn in_panic_scope(f: &SourceFile, cfg: &Config) -> bool {
 
 /// Load every `.rs` file under `src/` and `crates/*/src/`, skipping
 /// `target/`, `shims/` (offline stand-ins for crates-io, not our code),
-/// and this crate's own `fixtures/`.
+/// and this crate's own `fixtures/`. Files are lexed and classified on
+/// scoped threads — the crate stays zero-dependency — and returned in
+/// deterministic path order regardless of which worker parsed what.
 fn load_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
     let mut paths: Vec<PathBuf> = Vec::new();
     let top_src = root.join("src");
@@ -179,17 +238,46 @@ fn load_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
         }
     }
     paths.sort();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8);
+    let chunk = paths.len().div_ceil(workers).max(1);
+    let parsed: Vec<Vec<Result<SourceFile, String>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = paths
+            .chunks(chunk)
+            .map(|chunk_paths| {
+                s.spawn(move || {
+                    chunk_paths
+                        .iter()
+                        .map(|p| load_one(root, p))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(_) => vec![Err("source parser worker panicked".to_string())],
+            })
+            .collect()
+    });
     let mut files = Vec::with_capacity(paths.len());
-    for p in paths {
-        let text = std::fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
-        let rel = p
-            .strip_prefix(root)
-            .unwrap_or(&p)
-            .to_string_lossy()
-            .replace('\\', "/");
-        files.push(SourceFile::parse(&rel, &text));
+    for r in parsed.into_iter().flatten() {
+        files.push(r?);
     }
     Ok(files)
+}
+
+fn load_one(root: &Path, p: &Path) -> Result<SourceFile, String> {
+    let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+    let rel = p
+        .strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/");
+    Ok(SourceFile::parse(&rel, &text))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {

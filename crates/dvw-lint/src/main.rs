@@ -1,15 +1,22 @@
 #![deny(unsafe_op_in_unsafe_fn, unused_must_use)]
-//! CLI wrapper: `cargo run -p dvw-lint [-- --root <dir>]`.
+//! CLI wrapper: `cargo run -p dvw-lint [-- --root <dir>] [--format text|json]`.
 //!
 //! Exit status 0 means the tree upholds every declared invariant; 1 means
-//! findings were printed (one `file:line: [pass] message` per line); 2
-//! means the linter itself could not run (missing/ malformed `lint.toml`).
+//! findings were printed (one `file:line: [pass] message` per line, or
+//! the JSON document with `--format json`); 2 means the linter itself
+//! could not run (missing/ malformed `lint.toml`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Format {
+    Text,
+    Json,
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -20,12 +27,25 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!(
+                        "dvw-lint: --format requires `text` or `json`, got {:?}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "dvw-lint: workspace invariant checker\n\
-                     usage: dvw-lint [--root <workspace dir containing lint.toml>]\n\
-                     passes: panic-path, wire-protocol, lock-order, hygiene\n\
-                     escape hatch: // lint:allow(<pass>): <reason>"
+                     usage: dvw-lint [--root <workspace dir containing lint.toml>] \
+                     [--format text|json]\n\
+                     passes: panic-path, wire-protocol, lock-order, hygiene, blocking, stats\n\
+                     escape hatch: // lint:allow(<pass>): <reason>\n\
+                     --format json emits the stable findings document (active + allowed)"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -36,17 +56,25 @@ fn main() -> ExitCode {
         }
     }
     let root = root.unwrap_or_else(find_root);
-    match dvw_lint::run(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("dvw-lint: clean ({})", root.display());
-            ExitCode::SUCCESS
-        }
-        Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
+    match dvw_lint::run_outcome(&root) {
+        Ok(outcome) => {
+            match format {
+                Format::Json => print!("{}", dvw_lint::json::render(&outcome)),
+                Format::Text if outcome.findings.is_empty() => {
+                    println!("dvw-lint: clean ({})", root.display());
+                }
+                Format::Text => {
+                    for f in &outcome.findings {
+                        println!("{f}");
+                    }
+                }
             }
-            eprintln!("dvw-lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
+            if outcome.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("dvw-lint: {} finding(s)", outcome.findings.len());
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("dvw-lint: {e}");

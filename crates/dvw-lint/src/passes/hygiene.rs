@@ -10,17 +10,17 @@
 
 use crate::config::Config;
 use crate::source::SourceFile;
-use crate::{Finding, Pass};
+use crate::{Finding, Pass, Sink};
 use std::collections::HashSet;
 
-pub fn check(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
+pub fn check(files: &[SourceFile], cfg: &Config, sink: &mut Sink) {
     let by_rel: std::collections::HashMap<&str, &SourceFile> =
         files.iter().map(|f| (f.rel.as_str(), f)).collect();
 
     for root in &cfg.crate_roots {
         match by_rel.get(root.as_str()) {
-            Some(f) => check_deny_table(f, cfg, findings),
-            None => findings.push(Finding::new(
+            Some(f) => check_deny_table(f, cfg, sink),
+            None => sink.push(Finding::new(
                 root,
                 1,
                 Pass::Hygiene,
@@ -31,13 +31,13 @@ pub fn check(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
 
     for f in files {
         let hot = cfg.hot_paths.iter().any(|p| p == &f.rel);
-        check_prints_and_unsafe(f, hot, findings);
+        check_prints_and_unsafe(f, hot, sink);
     }
 }
 
 /// Collect idents inside every inner `#![deny(...)]` attribute and demand
 /// the configured set is covered.
-fn check_deny_table(f: &SourceFile, cfg: &Config, findings: &mut Vec<Finding>) {
+fn check_deny_table(f: &SourceFile, cfg: &Config, sink: &mut Sink) {
     let code = &f.code;
     let mut denied: HashSet<&str> = HashSet::new();
     for (i, t) in code.iter().enumerate() {
@@ -68,7 +68,7 @@ fn check_deny_table(f: &SourceFile, cfg: &Config, findings: &mut Vec<Finding>) {
     }
     for lint in &cfg.deny {
         if !denied.contains(lint.as_str()) {
-            findings.push(Finding::new(
+            sink.push(Finding::new(
                 &f.rel,
                 1,
                 Pass::Hygiene,
@@ -78,7 +78,7 @@ fn check_deny_table(f: &SourceFile, cfg: &Config, findings: &mut Vec<Finding>) {
     }
 }
 
-fn check_prints_and_unsafe(f: &SourceFile, hot: bool, findings: &mut Vec<Finding>) {
+fn check_prints_and_unsafe(f: &SourceFile, hot: bool, sink: &mut Sink) {
     let code = &f.code;
     for (i, t) in code.iter().enumerate() {
         if f.is_test_line(t.line) || t.kind != crate::lexer::TokKind::Ident {
@@ -89,7 +89,7 @@ fn check_prints_and_unsafe(f: &SourceFile, hot: bool, findings: &mut Vec<Finding
             "dbg" | "eprintln" | "println" | "eprint" | "print" if hot && bang => {
                 crate::push_unless_allowed(
                     f,
-                    findings,
+                    sink,
                     Pass::Hygiene,
                     t.line,
                     format!(
@@ -105,7 +105,7 @@ fn check_prints_and_unsafe(f: &SourceFile, hot: bool, findings: &mut Vec<Finding
                 if is_block && !f.comment_near_above("SAFETY:", t.line, 5) {
                     crate::push_unless_allowed(
                         f,
-                        findings,
+                        sink,
                         Pass::Hygiene,
                         t.line,
                         "`unsafe` block without a `// SAFETY:` comment in the 5 lines above".into(),

@@ -20,7 +20,7 @@
 use crate::config::Config;
 use crate::lexer::TokKind;
 use crate::source::SourceFile;
-use crate::{Finding, Pass};
+use crate::{Finding, Pass, Sink};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 const ACQUIRE_METHODS: [&str; 3] = ["lock", "read", "write"];
@@ -43,7 +43,7 @@ struct FnInfo {
     edges: Vec<Edge>,
 }
 
-pub fn check(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
+pub fn check(files: &[SourceFile], cfg: &Config, sink: &mut Sink) {
     let universe: HashSet<&str> = cfg
         .lock_order
         .iter()
@@ -117,7 +117,7 @@ pub fn check(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
             let key = (e.file.clone(), e.line, e.from.clone(), e.to.clone());
             if reported.insert(key) {
                 let chain = cfg.lock_order[ca].join(" -> ");
-                findings.push(Finding::new(
+                sink.push(Finding::new(
                     &e.file,
                     e.line,
                     Pass::LockOrder,
@@ -139,7 +139,7 @@ pub fn check(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
             .map(|e| e.from.as_str())
             .chain(std::iter::once(cycle[0].from.as_str()))
             .collect();
-        findings.push(Finding::new(
+        sink.push(Finding::new(
             &e.file,
             e.line,
             Pass::LockOrder,

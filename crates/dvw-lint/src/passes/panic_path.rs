@@ -18,16 +18,16 @@
 
 use crate::lexer::TokKind;
 use crate::source::SourceFile;
-use crate::{Finding, Pass};
+use crate::{Pass, Sink};
 use std::collections::HashSet;
 
 const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 
-pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+pub fn check(file: &SourceFile, sink: &mut Sink) {
     let code = &file.code;
     for span in fn_spans(code) {
         let bytes_names = collect_bytes_bindings(code, span.clone());
-        check_bytes_indexing(file, span, &bytes_names, findings);
+        check_bytes_indexing(file, span, &bytes_names, sink);
     }
     for (i, t) in code.iter().enumerate() {
         if file.is_test_line(t.line) {
@@ -43,19 +43,19 @@ pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
         match t.text.as_str() {
             "unwrap" if after_dot && followed_by('(') => emit(
                 file,
-                findings,
+                sink,
                 t.line,
                 "`.unwrap()` on a non-test path; return a typed error instead".into(),
             ),
             "expect" if after_dot && followed_by('(') => emit(
                 file,
-                findings,
+                sink,
                 t.line,
                 "`.expect(..)` on a non-test path; return a typed error instead".into(),
             ),
             "panic" | "todo" | "unimplemented" if followed_by('!') => emit(
                 file,
-                findings,
+                sink,
                 t.line,
                 format!("`{}!` reachable from non-test code", t.text),
             ),
@@ -64,7 +64,7 @@ pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
                     if n.kind == TokKind::Ident && NARROW_INTS.contains(&n.text.as_str()) {
                         emit(
                             file,
-                            findings,
+                            sink,
                             t.line,
                             format!(
                                 "`as {}` may truncate; use `{}::try_from(..)` or annotate why the \
@@ -136,7 +136,7 @@ fn check_bytes_indexing(
     file: &SourceFile,
     span: std::ops::Range<usize>,
     bytes_names: &HashSet<String>,
-    findings: &mut Vec<Finding>,
+    sink: &mut Sink,
 ) {
     if bytes_names.is_empty() {
         return;
@@ -156,7 +156,7 @@ fn check_bytes_indexing(
         if followed_by_open && !is_full_range_index(code, i + 1) {
             emit(
                 file,
-                findings,
+                sink,
                 t.line,
                 format!(
                     "index/range on `Bytes` binding `{}` panics on short input; use `get(..)` or \
@@ -168,8 +168,8 @@ fn check_bytes_indexing(
     }
 }
 
-fn emit(file: &SourceFile, findings: &mut Vec<Finding>, line: u32, msg: String) {
-    crate::push_unless_allowed(file, findings, Pass::PanicPath, line, msg);
+fn emit(file: &SourceFile, sink: &mut Sink, line: u32, msg: String) {
+    crate::push_unless_allowed(file, sink, Pass::PanicPath, line, msg);
 }
 
 /// Names bound with a `Bytes`/`BytesMut` type ascription (`x: Bytes`,

@@ -1,0 +1,511 @@
+//! Pass 6 — stats-plane exhaustiveness.
+//!
+//! The observability counters (`FrameStats`, `StoreIoStats`,
+//! `StoreHealthStats`, `AdvanceStats`) are folded up through every
+//! wrapper and, for the frame plane, carried over the wire. A field
+//! added to the struct but forgotten in a fold silently reports zero
+//! forever; one missing from encode/decode skews every counter after
+//! it. For each `[stats.<Name>]` table in `lint.toml` this pass checks:
+//!
+//! * **baseline** — the struct's declared field order must match the
+//!   `fields` list exactly; growth appends to both, never reorders or
+//!   removes (the wire layout is append-only);
+//! * **folds** — every `Type::fn` listed in `folds` must mention every
+//!   field of the struct;
+//! * **wire** — when `wire = true`, the struct's inherent `encode` must
+//!   write `self.<field>` for every field in declaration order, and
+//!   `decode` must read every field in the same order.
+
+use crate::config::{Config, StatsSpec};
+use crate::lexer::{Tok, TokKind};
+use crate::source::SourceFile;
+use crate::{Finding, Pass, Sink};
+use std::collections::HashSet;
+
+pub fn check(files: &[SourceFile], cfg: &Config, sink: &mut Sink) {
+    for spec in &cfg.stats {
+        match files.iter().find(|f| f.rel == spec.file) {
+            Some(f) => check_spec(f, spec, sink),
+            None => sink.push(Finding::new(
+                &spec.file,
+                1,
+                Pass::Stats,
+                format!(
+                    "declared stats file for `{}` missing from the tree",
+                    spec.name
+                ),
+            )),
+        }
+    }
+}
+
+fn check_spec(file: &SourceFile, spec: &StatsSpec, sink: &mut Sink) {
+    let Some((struct_line, fields)) = struct_fields(file, &spec.name) else {
+        sink.push(Finding::new(
+            &file.rel,
+            1,
+            Pass::Stats,
+            format!("struct `{}` not found in declared stats file", spec.name),
+        ));
+        return;
+    };
+    check_baseline(file, spec, struct_line, &fields, sink);
+    for fold in &spec.folds {
+        check_fold(file, spec, fold, &fields, struct_line, sink);
+    }
+    if spec.wire {
+        check_wire(file, spec, &fields, struct_line, sink);
+    }
+}
+
+/// Declaration order must equal the baseline; the only legal growth is
+/// appending to both ends at once.
+fn check_baseline(
+    file: &SourceFile,
+    spec: &StatsSpec,
+    struct_line: u32,
+    fields: &[(String, u32)],
+    sink: &mut Sink,
+) {
+    let decl: Vec<&str> = fields.iter().map(|(n, _)| n.as_str()).collect();
+    let base: Vec<&str> = spec.fields.iter().map(|s| s.as_str()).collect();
+    let common = decl
+        .iter()
+        .zip(base.iter())
+        .take_while(|(a, b)| a == b)
+        .count();
+    if common == base.len() && common == decl.len() {
+        return;
+    }
+    if common == base.len() {
+        // Struct grew past the baseline: legal shape, stale config.
+        for (name, line) in &fields[common..] {
+            crate::push_unless_allowed(
+                file,
+                sink,
+                Pass::Stats,
+                *line,
+                format!(
+                    "field `{name}` of `{}` is appended but missing from the lint.toml baseline \
+                     — append it to `stats.{}.fields`",
+                    spec.name, spec.name
+                ),
+            );
+        }
+        return;
+    }
+    if common == decl.len() {
+        for name in &base[common..] {
+            crate::push_unless_allowed(
+                file,
+                sink,
+                Pass::Stats,
+                struct_line,
+                format!(
+                    "baseline field `{name}` missing from struct `{}` — stats fields may be \
+                     appended, never removed",
+                    spec.name
+                ),
+            );
+        }
+        return;
+    }
+    let (got, _) = &fields[common];
+    crate::push_unless_allowed(
+        file,
+        sink,
+        Pass::Stats,
+        fields[common].1,
+        format!(
+            "declaration order of `{}` diverges from the baseline at position {common} (`{got}` \
+             vs baseline `{}`) — the wire layout is append-only, never reorder",
+            spec.name, base[common]
+        ),
+    );
+}
+
+fn check_fold(
+    file: &SourceFile,
+    spec: &StatsSpec,
+    fold: &str,
+    fields: &[(String, u32)],
+    struct_line: u32,
+    sink: &mut Sink,
+) {
+    let Some((ty, fn_name)) = fold.split_once("::") else {
+        sink.push(Finding::new(
+            &file.rel,
+            struct_line,
+            Pass::Stats,
+            format!(
+                "fold `{fold}` in `stats.{}.folds` must be written `Type::fn`",
+                spec.name
+            ),
+        ));
+        return;
+    };
+    let Some((fold_line, span)) = impl_fn_body(file, ty, fn_name) else {
+        crate::push_unless_allowed(
+            file,
+            sink,
+            Pass::Stats,
+            struct_line,
+            format!("declared fold `{fold}` not found in `{}`", file.rel),
+        );
+        return;
+    };
+    let mentioned: HashSet<&str> = file.code[span.clone()]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    // `Struct { a: .., ..self }` style folds touch every field without
+    // naming each one; a rest expression defeats the whole point of
+    // this check, so it is flagged. A rest expr is `..` directly after
+    // `{` or `,` — which excludes ranges like `0..n`.
+    let code = &file.code;
+    let has_rest = span.clone().any(|k| {
+        code[k].is_punct('.')
+            && code.get(k + 1).map(|n| n.is_punct('.')).unwrap_or(false)
+            && k > 0
+            && (code[k - 1].is_punct(',') || code[k - 1].is_punct('{'))
+            && code
+                .get(k + 2)
+                .map(|n| n.kind == TokKind::Ident || n.is_punct('*'))
+                .unwrap_or(false)
+    });
+    if has_rest {
+        crate::push_unless_allowed(
+            file,
+            sink,
+            Pass::Stats,
+            fold_line,
+            format!(
+                "fold `{fold}` uses a `..` rest expression — spell out every field so a new \
+                 counter cannot be silently dropped from the fold"
+            ),
+        );
+        return;
+    }
+    for (name, _) in fields {
+        if !mentioned.contains(name.as_str()) {
+            crate::push_unless_allowed(
+                file,
+                sink,
+                Pass::Stats,
+                fold_line,
+                format!(
+                    "fold `{fold}` never mentions field `{name}` — every stats field must be \
+                     folded"
+                ),
+            );
+        }
+    }
+}
+
+fn check_wire(
+    file: &SourceFile,
+    spec: &StatsSpec,
+    fields: &[(String, u32)],
+    struct_line: u32,
+    sink: &mut Sink,
+) {
+    let field_names: Vec<&str> = fields.iter().map(|(n, _)| n.as_str()).collect();
+    match impl_fn_body(file, &spec.name, "encode") {
+        None => crate::push_unless_allowed(
+            file,
+            sink,
+            Pass::Stats,
+            struct_line,
+            format!(
+                "`{}` is declared `wire = true` but has no inherent `encode`",
+                spec.name
+            ),
+        ),
+        Some((line, span)) => {
+            // Write order = sequence of first `self.<field>` mentions.
+            let mut order: Vec<&str> = Vec::new();
+            for (k, t) in file.code[span.clone()].iter().enumerate() {
+                if t.is_ident("self")
+                    && file.code[span.clone()]
+                        .get(k + 1)
+                        .map(|n| n.is_punct('.'))
+                        .unwrap_or(false)
+                {
+                    if let Some(f) = file.code[span.clone()].get(k + 2) {
+                        if let Some(name) = field_names.iter().find(|n| f.is_ident(n)) {
+                            if !order.contains(name) {
+                                order.push(name);
+                            }
+                        }
+                    }
+                }
+            }
+            report_wire_order(
+                file,
+                spec,
+                "encode",
+                "writes",
+                line,
+                &field_names,
+                &order,
+                sink,
+            );
+        }
+    }
+    match impl_fn_body(file, &spec.name, "decode") {
+        None => crate::push_unless_allowed(
+            file,
+            sink,
+            Pass::Stats,
+            struct_line,
+            format!(
+                "`{}` is declared `wire = true` but has no inherent `decode`",
+                spec.name
+            ),
+        ),
+        Some((line, span)) => {
+            // Read order = sequence of first field-ident mentions (covers
+            // struct-literal, `let field = ..`, and `s.field = ..` styles).
+            let mut order: Vec<&str> = Vec::new();
+            for t in &file.code[span] {
+                if t.kind == TokKind::Ident {
+                    if let Some(name) = field_names.iter().find(|n| t.text == **n) {
+                        if !order.contains(name) {
+                            order.push(name);
+                        }
+                    }
+                }
+            }
+            report_wire_order(
+                file,
+                spec,
+                "decode",
+                "reads",
+                line,
+                &field_names,
+                &order,
+                sink,
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn report_wire_order(
+    file: &SourceFile,
+    spec: &StatsSpec,
+    fn_name: &str,
+    verb: &str,
+    line: u32,
+    decl: &[&str],
+    order: &[&str],
+    sink: &mut Sink,
+) {
+    for name in decl {
+        if !order.contains(name) {
+            crate::push_unless_allowed(
+                file,
+                sink,
+                Pass::Stats,
+                line,
+                format!(
+                    "`{}::{fn_name}` never {verb} field `{name}` — the wire codec must cover \
+                     every field",
+                    spec.name
+                ),
+            );
+        }
+    }
+    // Order check over the fields both sides know about.
+    let present: Vec<&str> = decl.iter().copied().filter(|n| order.contains(n)).collect();
+    let ordered: Vec<&str> = order.iter().copied().filter(|n| decl.contains(n)).collect();
+    if let Some(pos) = present.iter().zip(ordered.iter()).position(|(a, b)| a != b) {
+        crate::push_unless_allowed(
+            file,
+            sink,
+            Pass::Stats,
+            line,
+            format!(
+                "`{}::{fn_name}` {verb} `{}` where declaration order has `{}` — wire order must \
+                 match declaration order",
+                spec.name, ordered[pos], present[pos]
+            ),
+        );
+    }
+}
+
+/// Find `struct <name> { .. }` and return its line plus the named
+/// fields, each with the line it is declared on.
+fn struct_fields(file: &SourceFile, name: &str) -> Option<(u32, Vec<(String, u32)>)> {
+    let code = &file.code;
+    let mut i = 0usize;
+    while i < code.len() {
+        if !(code[i].is_ident("struct")
+            && code.get(i + 1).map(|n| n.is_ident(name)).unwrap_or(false))
+        {
+            i += 1;
+            continue;
+        }
+        let struct_line = code[i].line;
+        // Opening brace (skipping generics); `;` first means a unit or
+        // tuple struct, which this pass does not model.
+        let mut j = i + 2;
+        let mut open = None;
+        while let Some(t) = code.get(j) {
+            if t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('{') {
+                open = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let open = open?;
+        let mut fields = Vec::new();
+        let mut depth = 0i32;
+        let mut expecting = true;
+        let mut k = open;
+        while let Some(t) = code.get(k) {
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth == 1 {
+                if t.is_punct(',') {
+                    expecting = true;
+                } else if t.is_punct('#') {
+                    // Skip an attribute's brackets.
+                    let mut b = 0i32;
+                    k += 1;
+                    while let Some(a) = code.get(k) {
+                        if a.is_punct('[') {
+                            b += 1;
+                        } else if a.is_punct(']') {
+                            b -= 1;
+                            if b == 0 {
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                } else if t.is_ident("pub") {
+                    // `pub` or `pub(crate)` — skip the visibility.
+                    if code.get(k + 1).map(|n| n.is_punct('(')).unwrap_or(false) {
+                        while let Some(a) = code.get(k) {
+                            if a.is_punct(')') {
+                                break;
+                            }
+                            k += 1;
+                        }
+                    }
+                } else if expecting
+                    && t.kind == TokKind::Ident
+                    && code.get(k + 1).map(|n| n.is_punct(':')).unwrap_or(false)
+                {
+                    fields.push((t.text.clone(), t.line));
+                    expecting = false;
+                }
+            }
+            k += 1;
+        }
+        return Some((struct_line, fields));
+    }
+    None
+}
+
+/// Find `fn <fn_name>` inside any `impl .. <ty> { .. }` block (inherent
+/// or trait impl — the target type is the ident after `for`, or the
+/// first ident after `impl` otherwise) and return its line plus the
+/// token index range of its body.
+fn impl_fn_body(
+    file: &SourceFile,
+    ty: &str,
+    fn_name: &str,
+) -> Option<(u32, std::ops::Range<usize>)> {
+    let code = &file.code;
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // Header idents up to the body brace.
+        let mut j = i + 1;
+        let mut header: Vec<&Tok> = Vec::new();
+        while let Some(t) = code.get(j) {
+            if t.is_punct('{') {
+                break;
+            }
+            header.push(t);
+            j += 1;
+        }
+        let target = header
+            .iter()
+            .position(|t| t.is_ident("for"))
+            .and_then(|p| header.get(p + 1))
+            .or_else(|| header.iter().find(|t| t.kind == TokKind::Ident))
+            .map(|t| t.text.as_str());
+        if target != Some(ty) {
+            i = j + 1;
+            continue;
+        }
+        // Walk the impl body at depth 1 looking for the fn.
+        let mut depth = 0i32;
+        let mut k = j;
+        while let Some(t) = code.get(k) {
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth == 1
+                && t.is_ident("fn")
+                && code
+                    .get(k + 1)
+                    .map(|n| n.is_ident(fn_name))
+                    .unwrap_or(false)
+            {
+                let line = t.line;
+                // Body: first `{` after the signature.
+                let mut m = k + 2;
+                while let Some(b) = code.get(m) {
+                    if b.is_punct('{') {
+                        break;
+                    }
+                    if b.is_punct(';') {
+                        break;
+                    }
+                    m += 1;
+                }
+                if !code.get(m).map(|b| b.is_punct('{')).unwrap_or(false) {
+                    k = m + 1;
+                    continue;
+                }
+                let open = m;
+                let mut bd = 0i32;
+                while let Some(b) = code.get(m) {
+                    if b.is_punct('{') {
+                        bd += 1;
+                    } else if b.is_punct('}') {
+                        bd -= 1;
+                        if bd == 0 {
+                            break;
+                        }
+                    }
+                    m += 1;
+                }
+                return Some((line, open..m.min(code.len())));
+            }
+            k += 1;
+        }
+        i = k + 1;
+    }
+    None
+}

@@ -20,15 +20,15 @@
 use crate::config::Config;
 use crate::lexer::TokKind;
 use crate::source::SourceFile;
-use crate::{Finding, Pass};
+use crate::{Finding, Pass, Sink};
 use std::collections::HashMap;
 
-pub fn check(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
-    check_proc_ids(files, cfg, findings);
-    check_protocol_version(files, cfg, findings);
-    check_dataset_format_version(files, cfg, findings);
-    check_trait_pairs(files, findings);
-    check_inherent_pairs(files, cfg, findings);
+pub fn check(files: &[SourceFile], cfg: &Config, sink: &mut Sink) {
+    check_proc_ids(files, cfg, sink);
+    check_protocol_version(files, cfg, sink);
+    check_dataset_format_version(files, cfg, sink);
+    check_trait_pairs(files, sink);
+    check_inherent_pairs(files, cfg, sink);
 }
 
 struct ProcConst {
@@ -78,12 +78,12 @@ fn collect_proc_consts(files: &[SourceFile], cfg: &Config) -> Vec<ProcConst> {
     out
 }
 
-fn check_proc_ids(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
+fn check_proc_ids(files: &[SourceFile], cfg: &Config, sink: &mut Sink) {
     let consts = collect_proc_consts(files, cfg);
     let mut by_value: HashMap<u64, &ProcConst> = HashMap::new();
     for c in &consts {
         if let Some(first) = by_value.get(&c.value) {
-            findings.push(Finding::new(
+            sink.push(Finding::new(
                 &c.file,
                 c.line,
                 Pass::WireProtocol,
@@ -97,7 +97,7 @@ fn check_proc_ids(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding
         }
         let reserved_ok = cfg.reserved_allowed.iter().any(|p| p == &c.file);
         if c.value >= cfg.reserved_min && !reserved_ok {
-            findings.push(Finding::new(
+            sink.push(Finding::new(
                 &c.file,
                 c.line,
                 Pass::WireProtocol,
@@ -111,7 +111,7 @@ fn check_proc_ids(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding
     }
 }
 
-fn check_protocol_version(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
+fn check_protocol_version(files: &[SourceFile], cfg: &Config, sink: &mut Sink) {
     let mut declared: Option<(String, u32, u64)> = None;
     let mut marker: Option<(String, u32)> = None;
     for f in files {
@@ -144,7 +144,7 @@ fn check_protocol_version(files: &[SourceFile], cfg: &Config, findings: &mut Vec
     }
     let Some((file, line, version)) = declared else {
         if !cfg.proto_files.is_empty() {
-            findings.push(Finding::new(
+            sink.push(Finding::new(
                 &cfg.proto_files[0],
                 1,
                 Pass::WireProtocol,
@@ -155,7 +155,7 @@ fn check_protocol_version(files: &[SourceFile], cfg: &Config, findings: &mut Vec
     };
     match marker {
         Some((mfile, mline)) if version <= cfg.protocol_version => {
-            findings.push(Finding::new(
+            sink.push(Finding::new(
                 &mfile,
                 mline,
                 Pass::WireProtocol,
@@ -166,7 +166,7 @@ fn check_protocol_version(files: &[SourceFile], cfg: &Config, findings: &mut Vec
             ));
         }
         None if version != cfg.protocol_version => {
-            findings.push(Finding::new(
+            sink.push(Finding::new(
                 &file,
                 line,
                 Pass::WireProtocol,
@@ -187,7 +187,7 @@ fn check_protocol_version(files: &[SourceFile], cfg: &Config, findings: &mut Vec
 /// change never touches `PROTOCOL_VERSION` — the protocol baseline above
 /// keeps enforcing that separately. Disabled when `format_files` is empty
 /// or the baseline is 0.
-fn check_dataset_format_version(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
+fn check_dataset_format_version(files: &[SourceFile], cfg: &Config, sink: &mut Sink) {
     if cfg.format_files.is_empty() || cfg.dataset_format_version == 0 {
         return;
     }
@@ -222,7 +222,7 @@ fn check_dataset_format_version(files: &[SourceFile], cfg: &Config, findings: &m
         }
     }
     let Some((file, line, version)) = declared else {
-        findings.push(Finding::new(
+        sink.push(Finding::new(
             &cfg.format_files[0],
             1,
             Pass::WireProtocol,
@@ -232,7 +232,7 @@ fn check_dataset_format_version(files: &[SourceFile], cfg: &Config, findings: &m
     };
     match marker {
         Some((mfile, mline)) if version <= cfg.dataset_format_version => {
-            findings.push(Finding::new(
+            sink.push(Finding::new(
                 &mfile,
                 mline,
                 Pass::WireProtocol,
@@ -244,7 +244,7 @@ fn check_dataset_format_version(files: &[SourceFile], cfg: &Config, findings: &m
             ));
         }
         None if version != cfg.dataset_format_version => {
-            findings.push(Finding::new(
+            sink.push(Finding::new(
                 &file,
                 line,
                 Pass::WireProtocol,
@@ -260,7 +260,7 @@ fn check_dataset_format_version(files: &[SourceFile], cfg: &Config, findings: &m
 }
 
 /// `impl [<..>] WireEncode for T` must pair with `impl WireDecode for T`.
-fn check_trait_pairs(files: &[SourceFile], findings: &mut Vec<Finding>) {
+fn check_trait_pairs(files: &[SourceFile], sink: &mut Sink) {
     let mut encodes: HashMap<String, (String, u32)> = HashMap::new();
     let mut decodes: HashMap<String, (String, u32)> = HashMap::new();
     for f in files {
@@ -322,7 +322,7 @@ fn check_trait_pairs(files: &[SourceFile], findings: &mut Vec<Finding>) {
     }
     for (ty, (file, line)) in &encodes {
         if !decodes.contains_key(ty) {
-            findings.push(Finding::new(
+            sink.push(Finding::new(
                 file,
                 *line,
                 Pass::WireProtocol,
@@ -335,7 +335,7 @@ fn check_trait_pairs(files: &[SourceFile], findings: &mut Vec<Finding>) {
 /// Inherent pairing inside proto files: an `impl T {` block defining
 /// `fn encode` / `fn encode_into` requires some impl of `T` in the same
 /// file to define `fn decode` / `fn decode_from`.
-fn check_inherent_pairs(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
+fn check_inherent_pairs(files: &[SourceFile], cfg: &Config, sink: &mut Sink) {
     for f in files {
         if !cfg.proto_files.iter().any(|p| p == &f.rel) {
             continue;
@@ -390,7 +390,7 @@ fn check_inherent_pairs(files: &[SourceFile], cfg: &Config, findings: &mut Vec<F
             if let (Some(line), false) = (encode_line, has_decode) {
                 crate::push_unless_allowed(
                     f,
-                    findings,
+                    sink,
                     Pass::WireProtocol,
                     line,
                     format!(

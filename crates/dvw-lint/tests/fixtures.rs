@@ -12,6 +12,13 @@ fn fixture(name: &str) -> Vec<Finding> {
     dvw_lint::run(&root).expect("fixture lint run")
 }
 
+fn fixture_outcome(name: &str) -> dvw_lint::Outcome {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    dvw_lint::run_outcome(&root).expect("fixture lint run")
+}
+
 fn count(findings: &[Finding], pass: Pass) -> usize {
     findings.iter().filter(|f| f.pass == pass).count()
 }
@@ -165,6 +172,120 @@ fn hygiene_bad_finds_all_five() {
         1,
         "only the undocumented block: {f:#?}"
     );
+}
+
+#[test]
+fn blocking_bad_trips_each_construct_once() {
+    let f = fixture("blocking_bad");
+    assert_eq!(count(&f, Pass::Blocking), 4, "{f:#?}");
+    assert_eq!(f.len(), 4, "only the blocking pass may fire: {f:#?}");
+    assert!(
+        f.iter().any(|x| x
+            .msg
+            .contains("blocks on `.send()` while holding `state` guard")),
+        "direct send-under-guard: {f:#?}"
+    );
+    // Two hops below the guard holder: top -> mid -> leaf -> recv. A
+    // single level of inlining would miss this.
+    assert!(
+        f.iter().any(|x| x
+            .msg
+            .contains("calls `mid`, which may block (`leaf` -> `.recv()` at")
+            && x.msg.contains("while holding `state` guard")),
+        "fixed-point call chain: {f:#?}"
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.msg.contains("inside a `.par_iter()` closure")),
+        "blocking in a rayon closure: {f:#?}"
+    );
+    assert!(
+        f.iter().any(|x| x
+            .msg
+            .contains("blocks on `sleep(..)` while holding `m` guard")),
+        "sleep-under-guard: {f:#?}"
+    );
+}
+
+#[test]
+fn blocking_good_release_patterns_pass() {
+    let f = fixture("blocking_good");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn blocking_allow_reasoned_suppresses_bare_fails() {
+    let o = fixture_outcome("blocking_allow");
+    assert_eq!(o.findings.len(), 1, "{o:#?}");
+    assert!(o.findings[0].msg.contains("requires a reason"), "{o:#?}");
+    // The reasoned allow is archived, not discarded.
+    assert_eq!(o.allowed.len(), 1, "{o:#?}");
+    assert_eq!(o.allowed[0].finding.pass, Pass::Blocking, "{o:#?}");
+    assert!(
+        o.allowed[0].reason.contains("token-channel return"),
+        "{o:#?}"
+    );
+}
+
+#[test]
+fn blocking_xcrate_chain_crosses_crates() {
+    let f = fixture("blocking_xcrate");
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert!(
+        f[0].msg.contains("fetch_sync")
+            && f[0].msg.contains("`.recv()` at crates/alpha/src/lib.rs:4")
+            && f[0].msg.contains("while holding `state` guard"),
+        "{f:#?}"
+    );
+    assert_eq!(f[0].file, "crates/beta/src/lib.rs", "{f:#?}");
+}
+
+#[test]
+fn stats_bad_fold_names_the_dropped_field() {
+    let f = fixture("stats_bad_fold");
+    assert_eq!(count(&f, Pass::Stats), 1, "{f:#?}");
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert!(
+        f[0].msg
+            .contains("fold `Agg::plus` never mentions field `b`"),
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn stats_bad_wire_finds_all_four_violations() {
+    let f = fixture("stats_bad_wire");
+    assert_eq!(count(&f, Pass::Stats), 4, "{f:#?}");
+    assert_eq!(f.len(), 4, "{f:#?}");
+    assert!(
+        f.iter()
+            .any(|x| x.msg.contains("`Wire::encode` never writes field `c`")),
+        "dropped wire field: {f:#?}"
+    );
+    assert!(
+        f.iter().any(|x| x
+            .msg
+            .contains("`Wire::encode` writes `b` where declaration order has `a`")),
+        "swapped wire order: {f:#?}"
+    );
+    assert!(
+        f.iter().any(|x| x
+            .msg
+            .contains("declaration order of `Reorder` diverges from the baseline at position 0")),
+        "reorder against baseline: {f:#?}"
+    );
+    assert!(
+        f.iter().any(|x| x
+            .msg
+            .contains("field `q` of `Grown` is appended but missing from the lint.toml baseline")),
+        "stale baseline: {f:#?}"
+    );
+}
+
+#[test]
+fn stats_good_contract_kept_passes() {
+    let f = fixture("stats_good");
+    assert!(f.is_empty(), "{f:#?}");
 }
 
 #[test]

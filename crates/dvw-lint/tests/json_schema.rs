@@ -1,0 +1,109 @@
+//! The `--format json` document is a stable interface: check.sh
+//! archives it and out-of-tree tooling may read it. These tests pin the
+//! schema shape and prove real findings round-trip through the emitter
+//! and the bundled parser.
+
+use dvw_lint::json::{self, Json};
+use dvw_lint::{Finding, Outcome, Pass};
+use std::path::PathBuf;
+
+fn fixture_outcome(name: &str) -> Outcome {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    dvw_lint::run_outcome(&root).expect("fixture lint run")
+}
+
+#[test]
+fn schema_version_is_pinned() {
+    // Bumping this constant is an interface break: update the doc
+    // comment in json.rs and every reader of lint_findings.json first.
+    assert_eq!(json::SCHEMA_VERSION, 1);
+}
+
+/// Render a fixture with both active and allowed findings, parse the
+/// document back, and verify every field survives.
+#[test]
+fn findings_round_trip_through_the_schema() {
+    let o = fixture_outcome("blocking_allow");
+    assert!(
+        !o.findings.is_empty() && !o.allowed.is_empty(),
+        "fixture must exercise both halves of the document: {o:#?}"
+    );
+    let text = json::render(&o);
+    let v = json::parse(&text).expect("emitted JSON parses");
+
+    assert_eq!(v.get("schema").and_then(Json::as_i64), Some(1));
+    assert_eq!(
+        v.get("active").and_then(Json::as_i64),
+        Some(o.findings.len() as i64)
+    );
+    assert_eq!(
+        v.get("allowed").and_then(Json::as_i64),
+        Some(o.allowed.len() as i64)
+    );
+    let arr = v.get("findings").and_then(Json::as_arr).expect("findings");
+    assert_eq!(arr.len(), o.findings.len() + o.allowed.len());
+
+    // Active findings first, in order, with `reason: null`.
+    for (e, f) in arr.iter().zip(o.findings.iter()) {
+        assert_eq!(e.get("file").and_then(Json::as_str), Some(f.file.as_str()));
+        assert_eq!(e.get("line").and_then(Json::as_i64), Some(f.line as i64));
+        assert_eq!(e.get("pass").and_then(Json::as_str), Some(f.pass.name()));
+        assert_eq!(
+            e.get("message").and_then(Json::as_str),
+            Some(f.msg.as_str())
+        );
+        assert_eq!(e.get("allowed").and_then(Json::as_bool), Some(false));
+        assert_eq!(e.get("reason"), Some(&Json::Null));
+    }
+    // Then the suppressed ones, each carrying its written reason.
+    for (e, a) in arr[o.findings.len()..].iter().zip(o.allowed.iter()) {
+        let f = &a.finding;
+        assert_eq!(e.get("file").and_then(Json::as_str), Some(f.file.as_str()));
+        assert_eq!(e.get("line").and_then(Json::as_i64), Some(f.line as i64));
+        assert_eq!(e.get("pass").and_then(Json::as_str), Some(f.pass.name()));
+        assert_eq!(
+            e.get("message").and_then(Json::as_str),
+            Some(f.msg.as_str())
+        );
+        assert_eq!(e.get("allowed").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            e.get("reason").and_then(Json::as_str),
+            Some(a.reason.as_str())
+        );
+    }
+}
+
+/// Finding messages quote source (backticks, quotes, paths); make sure
+/// hostile content survives escaping in both directions.
+#[test]
+fn escaping_survives_hostile_messages() {
+    let msg = "quote \" backslash \\ newline \n tab \t bell \u{7} done";
+    let o = Outcome {
+        findings: vec![Finding::new(
+            "crates/x/src/a.rs",
+            7,
+            Pass::Blocking,
+            msg.into(),
+        )],
+        allowed: Vec::new(),
+    };
+    let text = json::render(&o);
+    let v = json::parse(&text).expect("hostile message still parses");
+    let arr = v.get("findings").and_then(Json::as_arr).expect("findings");
+    assert_eq!(arr[0].get("message").and_then(Json::as_str), Some(msg));
+}
+
+/// An empty outcome renders the degenerate-but-valid document.
+#[test]
+fn empty_outcome_renders_empty_array() {
+    let text = json::render(&Outcome::default());
+    let v = json::parse(&text).expect("empty document parses");
+    assert_eq!(v.get("active").and_then(Json::as_i64), Some(0));
+    assert_eq!(v.get("allowed").and_then(Json::as_i64), Some(0));
+    assert_eq!(
+        v.get("findings").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(0)
+    );
+}
